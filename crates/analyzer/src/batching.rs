@@ -1,0 +1,119 @@
+//! Thread-to-warp batching policies.
+//!
+//! The paper's analyzer groups traced threads into warps with a
+//! "configurable batching algorithm" before lock-step emulation. Linear
+//! batching (consecutive thread ids, like CUDA) is the default used in
+//! every figure; strided and randomized policies are provided for the
+//! warp-formation exploration the paper mentions.
+
+use serde::{Deserialize, Serialize};
+
+/// How threads are grouped into warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Consecutive thread ids per warp (hardware default).
+    Linear,
+    /// Warp `w` takes threads `w, w+s, w+2s, …` where `s` is the warp
+    /// count — interleaves far-apart threads into one warp.
+    Strided,
+    /// Deterministic pseudo-random shuffle with the given seed.
+    Shuffled {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::Linear
+    }
+}
+
+impl BatchPolicy {
+    /// Partitions `n_threads` thread ids into warps of at most `warp_size`.
+    ///
+    /// # Panics
+    /// Panics if `warp_size` is zero.
+    pub fn batch(&self, n_threads: u32, warp_size: u32) -> Vec<Vec<u32>> {
+        assert!(warp_size > 0, "warp size must be nonzero");
+        let order: Vec<u32> = match self {
+            BatchPolicy::Linear => (0..n_threads).collect(),
+            BatchPolicy::Strided => {
+                let n_warps = n_threads.div_ceil(warp_size).max(1);
+                let mut v = Vec::with_capacity(n_threads as usize);
+                for w in 0..n_warps {
+                    let mut t = w;
+                    while t < n_threads {
+                        v.push(t);
+                        t += n_warps;
+                    }
+                }
+                v
+            }
+            BatchPolicy::Shuffled { seed } => {
+                let mut v: Vec<u32> = (0..n_threads).collect();
+                // xorshift* Fisher–Yates: deterministic, dependency-free.
+                let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                for i in (1..v.len()).rev() {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let j = (s % (i as u64 + 1)) as usize;
+                    v.swap(i, j);
+                }
+                v
+            }
+        };
+        order.chunks(warp_size as usize).map(<[u32]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_batching_is_consecutive() {
+        let warps = BatchPolicy::Linear.batch(10, 4);
+        assert_eq!(warps, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn strided_batching_interleaves() {
+        let warps = BatchPolicy::Strided.batch(8, 4);
+        assert_eq!(warps.len(), 2);
+        assert_eq!(warps[0], vec![0, 2, 4, 6]);
+        assert_eq!(warps[1], vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn shuffled_is_deterministic_per_seed() {
+        let a = BatchPolicy::Shuffled { seed: 7 }.batch(32, 8);
+        let b = BatchPolicy::Shuffled { seed: 7 }.batch(32, 8);
+        let c = BatchPolicy::Shuffled { seed: 8 }.batch(32, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn every_policy_is_a_partition(
+            n in 1u32..200,
+            w in 1u32..64,
+            seed in any::<u64>(),
+        ) {
+            for policy in [BatchPolicy::Linear, BatchPolicy::Strided, BatchPolicy::Shuffled { seed }] {
+                let warps = policy.batch(n, w);
+                let mut seen: Vec<u32> = warps.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                let expect: Vec<u32> = (0..n).collect();
+                prop_assert_eq!(&seen, &expect, "{:?}", policy);
+                for warp in &warps {
+                    prop_assert!(warp.len() <= w as usize);
+                    prop_assert!(!warp.is_empty());
+                }
+            }
+        }
+    }
+}

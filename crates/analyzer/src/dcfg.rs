@@ -1,0 +1,289 @@
+//! Dynamic Control-Flow Graph construction (paper §III, Fig. 3b).
+//!
+//! The analyzer rebuilds each function's CFG *from the traces alone*:
+//! consecutive block events of one thread (at the same call depth) yield
+//! successor edges; a `Ret` yields an edge to the function's **virtual
+//! exit block**, which forces divergent threads to reconverge at function
+//! end exactly like the paper's per-function DCFG. Per-thread graphs are
+//! merged into a unified graph, then the same iterative IPDOM solver used
+//! by the hardware model runs on it.
+//!
+//! Because the DCFG only contains *observed* edges, its IPDOMs can be less
+//! conservative than the static CFG's when some static path was never
+//! exercised — a property the paper shares.
+
+use crate::AnalyzeError;
+use std::collections::HashSet;
+use threadfuser_ir::{ipdom_of, BlockId, FuncId, Program};
+use threadfuser_tracer::{TraceEvent, TraceSet};
+
+/// The dynamic CFG of one function, with solved IPDOMs.
+#[derive(Debug, Clone)]
+pub struct Dcfg {
+    n_blocks: usize,
+    succs: Vec<Vec<usize>>,
+    ipdom: Vec<Option<usize>>,
+    observed: Vec<bool>,
+}
+
+impl Dcfg {
+    /// Node index of the virtual exit.
+    pub fn virtual_exit(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Immediate post-dominator of a block in the dynamic graph, if it can
+    /// reach the virtual exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<usize> {
+        self.ipdom.get(b.0 as usize).copied().flatten()
+    }
+
+    /// Whether the block was ever executed by any thread.
+    pub fn observed(&self, b: BlockId) -> bool {
+        self.observed.get(b.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Observed successor nodes of a block.
+    pub fn succs(&self, b: BlockId) -> &[usize] {
+        &self.succs[b.0 as usize]
+    }
+}
+
+/// Dynamic CFGs for every function observed in a trace set.
+#[derive(Debug, Clone)]
+pub struct DcfgSet {
+    per_func: Vec<Option<Dcfg>>,
+}
+
+impl DcfgSet {
+    /// Scans every thread trace and builds merged per-function DCFGs.
+    ///
+    /// # Errors
+    /// [`AnalyzeError::MalformedTrace`] when call/return events do not
+    /// nest properly.
+    pub fn build(program: &Program, traces: &TraceSet) -> Result<Self, AnalyzeError> {
+        let n_funcs = program.functions().len();
+        // Edge sets per function; node space = blocks + virtual exit.
+        let mut edges: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); n_funcs];
+        let mut observed: Vec<Vec<bool>> = program
+            .functions()
+            .iter()
+            .map(|f| vec![false; f.blocks.len()])
+            .collect();
+
+        for t in traces.threads() {
+            // (func, prev block within that frame)
+            let mut frames: Vec<(FuncId, Option<usize>)> = Vec::new();
+            let mut root_seen = false;
+            for e in &t.events {
+                match e {
+                    TraceEvent::Block { addr, .. } => {
+                        let fi = addr.func.0 as usize;
+                        if fi >= n_funcs
+                            || addr.block.0 as usize >= program.functions()[fi].blocks.len()
+                        {
+                            return Err(AnalyzeError::MalformedTrace {
+                                tid: t.tid,
+                                detail: format!("block address {} out of program range", addr),
+                            });
+                        }
+                        if frames.is_empty() {
+                            if root_seen {
+                                return Err(AnalyzeError::MalformedTrace {
+                                    tid: t.tid,
+                                    detail: "events after the kernel returned".into(),
+                                });
+                            }
+                            frames.push((addr.func, None));
+                            root_seen = true;
+                        }
+                        let (func, prev) = frames.last_mut().expect("frame present");
+                        if *func != addr.func {
+                            return Err(AnalyzeError::MalformedTrace {
+                                tid: t.tid,
+                                detail: format!(
+                                    "block of {} while inside {}",
+                                    addr.func, func
+                                ),
+                            });
+                        }
+                        let node = addr.block.0 as usize;
+                        observed[fi][node] = true;
+                        if let Some(p) = prev {
+                            edges[fi].insert((*p, node));
+                        }
+                        *prev = Some(node);
+                    }
+                    TraceEvent::Call { callee } => {
+                        if callee.0 as usize >= n_funcs {
+                            return Err(AnalyzeError::MalformedTrace {
+                                tid: t.tid,
+                                detail: format!("call to unknown {}", callee),
+                            });
+                        }
+                        frames.push((*callee, None));
+                    }
+                    TraceEvent::Ret => {
+                        let Some((func, prev)) = frames.pop() else {
+                            return Err(AnalyzeError::MalformedTrace {
+                                tid: t.tid,
+                                detail: "return without an active frame".into(),
+                            });
+                        };
+                        let fi = func.0 as usize;
+                        if let Some(p) = prev {
+                            let exit = program.functions()[fi].blocks.len();
+                            edges[fi].insert((p, exit));
+                        }
+                    }
+                    TraceEvent::Mem { .. }
+                    | TraceEvent::Acquire { .. }
+                    | TraceEvent::Release { .. }
+                    | TraceEvent::Barrier { .. } => {}
+                }
+            }
+            if !frames.is_empty() {
+                return Err(AnalyzeError::MalformedTrace {
+                    tid: t.tid,
+                    detail: format!("{} unreturned frames at end of trace", frames.len()),
+                });
+            }
+        }
+
+        let per_func = (0..n_funcs)
+            .map(|fi| {
+                if edges[fi].is_empty() && !observed[fi].iter().any(|&o| o) {
+                    return None;
+                }
+                let n_blocks = program.functions()[fi].blocks.len();
+                let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_blocks + 1];
+                for &(from, to) in &edges[fi] {
+                    succs[from].push(to);
+                }
+                for s in &mut succs {
+                    s.sort_unstable();
+                }
+                let ipdom = ipdom_of(&succs, n_blocks);
+                Some(Dcfg { n_blocks, succs, ipdom, observed: observed[fi].clone() })
+            })
+            .collect();
+        Ok(DcfgSet { per_func })
+    }
+
+    /// The DCFG of `func`, if it was ever executed.
+    pub fn get(&self, func: FuncId) -> Option<&Dcfg> {
+        self.per_func.get(func.0 as usize).and_then(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_tracer::trace_program;
+
+    /// Kernel with an if/else diamond taken both ways across threads.
+    fn diamond() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global("out", 8 * 16);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let bit = fb.alu(AluOp::And, tid, 1i64);
+            let acc = fb.var(8);
+            fb.if_then_else(
+                Cond::Eq,
+                bit,
+                0i64,
+                |fb| fb.store_var(acc, 1i64),
+                |fb| fb.store_var(acc, 2i64),
+            );
+            let v = fb.load_var(acc);
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, v);
+            fb.ret(None);
+        });
+        (pb.build().unwrap(), k)
+    }
+
+    #[test]
+    fn dcfg_matches_static_diamond() {
+        let (p, k) = diamond();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 8)).unwrap();
+        let dcfgs = DcfgSet::build(&p, &traces).unwrap();
+        let d = dcfgs.get(k).expect("kernel executed");
+        // entry(0) → then(1)/else(2) → join(3): dynamic IPDOM of the branch
+        // is the join, as in the static CFG.
+        assert_eq!(d.ipdom(BlockId(0)), Some(3));
+        assert!(d.observed(BlockId(1)) && d.observed(BlockId(2)));
+    }
+
+    #[test]
+    fn one_sided_branch_gives_optimistic_ipdom() {
+        // All threads take the same side: the DCFG never sees the other
+        // edge, so the "branch" is dynamically straight-line.
+        let mut pb = ProgramBuilder::new();
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            fb.if_then(Cond::Ge, tid, 0i64, |fb| fb.nop()); // always taken
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
+        let dcfgs = DcfgSet::build(&p, &traces).unwrap();
+        let d = dcfgs.get(k).unwrap();
+        // Dynamic successor of entry is only the then-block (1).
+        assert_eq!(d.succs(BlockId(0)), &[1]);
+        assert_eq!(d.ipdom(BlockId(0)), Some(1), "optimistic: reconverges immediately");
+    }
+
+    #[test]
+    fn per_function_graphs_are_separate() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.function("h", 1, |fb| {
+            let x = fb.arg(0);
+            fb.ret(Some(Operand::Reg(x)));
+        });
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let _ = fb.call(helper, &[Operand::Reg(tid)]);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
+        let dcfgs = DcfgSet::build(&p, &traces).unwrap();
+        let dk = dcfgs.get(k).unwrap();
+        let dh = dcfgs.get(helper).unwrap();
+        // The call edge is NOT a CFG edge: k's entry block's dynamic
+        // successor is its continuation, not h's entry.
+        assert_eq!(dk.succs(BlockId(0)), &[1]);
+        assert_eq!(dh.succs(BlockId(0)), &[dh.virtual_exit()]);
+    }
+
+    #[test]
+    fn unexecuted_function_has_no_dcfg() {
+        let mut pb = ProgramBuilder::new();
+        let dead = pb.function("dead", 0, |fb| fb.ret(None));
+        let k = pb.function("k", 1, |fb| fb.ret(None));
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
+        let dcfgs = DcfgSet::build(&p, &traces).unwrap();
+        assert!(dcfgs.get(dead).is_none());
+        assert!(dcfgs.get(k).is_some());
+    }
+
+    #[test]
+    fn loop_edges_recorded() {
+        let mut pb = ProgramBuilder::new();
+        let k = pb.function("k", 1, |fb| {
+            fb.for_range(0i64, 4i64, 1, |fb, _| fb.nop());
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 1)).unwrap();
+        let dcfgs = DcfgSet::build(&p, &traces).unwrap();
+        let d = dcfgs.get(k).unwrap();
+        // The loop head (block 1) has two observed successors: body and exit.
+        assert_eq!(d.succs(BlockId(1)).len(), 2);
+    }
+}

@@ -1,0 +1,773 @@
+//! Lock-step warp emulation over dynamic traces — the ThreadFuser
+//! analyzer's core (paper §III).
+//!
+//! Threads are batched into warps, then each warp is replayed through a
+//! SIMT reconvergence stack identical in discipline to the hardware model:
+//! divergence pushes per-target entries whose reconvergence PC is the
+//! diverging block's **dynamic** immediate post-dominator, and lanes
+//! waiting at a reconvergence point merge into the entry below. Function
+//! calls push frame entries that reconverge at the callee's virtual exit
+//! block.
+//!
+//! Synchronization (paper §III "Synchronization handling"): when
+//! intra-warp lock emulation is enabled and warp-mates acquire the *same*
+//! lock, the warp splits — contended threads run their critical sections
+//! serially (one SIMT-stack entry each), uncontended threads continue as
+//! one group — and everyone reconverges at the anticipated reconvergence
+//! point: the block following one thread's matching unlock.
+
+use crate::batching::BatchPolicy;
+use crate::dcfg::{Dcfg, DcfgSet};
+use crate::report::{AnalysisReport, FunctionReport};
+use crate::AnalyzeError;
+use std::collections::BTreeMap;
+use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
+use threadfuser_machine::{segment_of, Segment};
+use threadfuser_tracer::{ThreadTrace, TraceEvent, TraceSet};
+
+/// Where diverged warp-mates reconverge (ablation knob; the paper uses
+/// dynamic IPDOMs, §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconvergencePolicy {
+    /// Immediate post-dominator on the *dynamic* CFG (the paper's choice;
+    /// least conservative).
+    #[default]
+    DynamicIpdom,
+    /// Immediate post-dominator on the *static* CFG — what reconvergence
+    /// hardware actually implements; more conservative whenever a static
+    /// path was never exercised.
+    StaticIpdom,
+    /// Reconverge only at function end (the "distant reconvergence
+    /// points" strawman of §III; most conservative).
+    FunctionExit,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Warp width (1–64).
+    pub warp_size: u32,
+    /// Thread-to-warp grouping policy.
+    pub batching: BatchPolicy,
+    /// Emulate serialization of warp-mates contending on one lock
+    /// (paper Fig. 9). When off, locks are assumed fine-grain.
+    pub emulate_intra_warp_locks: bool,
+    /// Reconvergence-point selection (ablation; default dynamic IPDOM).
+    pub reconvergence: ReconvergencePolicy,
+    /// Worker threads for warp-parallel analysis (1 = sequential).
+    pub parallelism: usize,
+    /// Per-warp issue budget (runaway guard).
+    pub max_issues_per_warp: u64,
+}
+
+impl AnalyzerConfig {
+    /// Defaults: warp 32, linear batching, fine-grain locks, sequential.
+    pub fn new(warp_size: u32) -> Self {
+        AnalyzerConfig {
+            warp_size,
+            batching: BatchPolicy::Linear,
+            emulate_intra_warp_locks: false,
+            reconvergence: ReconvergencePolicy::default(),
+            parallelism: 1,
+            max_issues_per_warp: 1 << 40,
+        }
+    }
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+/// One emulated lock-step block execution, exposed to [`StepSink`]
+/// observers (used by the warp-trace generator).
+#[derive(Debug)]
+pub struct BlockStep<'a> {
+    /// Warp index (per batching order).
+    pub warp: u32,
+    /// Executing function.
+    pub func: FuncId,
+    /// Executed block.
+    pub block: BlockId,
+    /// Dynamic instructions in the block (body + terminator).
+    pub n_insts: u32,
+    /// Active-lane mask.
+    pub mask: u64,
+    /// Active-lane count.
+    pub active: u32,
+    /// Per-instruction memory accesses: instruction index → `(addr, size)`
+    /// for every active lane.
+    pub mem: &'a BTreeMap<u32, Vec<(u64, u32)>>,
+}
+
+/// Observer of emulated lock-step block executions.
+pub trait StepSink {
+    /// Called once per lock-step block execution, in emulation order.
+    fn on_step(&mut self, step: &BlockStep<'_>);
+
+    /// A divergence: the SIMT stack pushed one entry per target group,
+    /// reconverging at `reconverge_at` (a node index; the function's block
+    /// count denotes its virtual exit). `groups` pairs each target node
+    /// with its lane mask. Default: ignored.
+    fn on_divergence(
+        &mut self,
+        warp: u32,
+        func: FuncId,
+        at: BlockId,
+        reconverge_at: usize,
+        groups: &[(usize, u64)],
+    ) {
+        let _ = (warp, func, at, reconverge_at, groups);
+    }
+
+    /// A reconvergence: the top SIMT-stack entry popped at `node` with
+    /// `mask`, merging into the entry below. Default: ignored.
+    fn on_reconvergence(&mut self, warp: u32, func: FuncId, node: usize, mask: u64) {
+        let _ = (warp, func, node, mask);
+    }
+}
+
+/// Runs the full analysis: DCFG construction, IPDOM, warp batching, and
+/// lock-step emulation; returns the aggregated report.
+///
+/// # Errors
+/// [`AnalyzeError`] when traces are malformed or desynchronize from the
+/// program structure.
+pub fn analyze(
+    program: &Program,
+    traces: &TraceSet,
+    config: &AnalyzerConfig,
+) -> Result<AnalysisReport, AnalyzeError> {
+    analyze_impl(program, traces, config, None)
+}
+
+/// [`analyze`] with a [`StepSink`] observing every lock-step block
+/// execution. Forces sequential (single-worker) emulation so steps arrive
+/// in deterministic warp order.
+///
+/// # Errors
+/// [`AnalyzeError`] when traces are malformed or desynchronize from the
+/// program structure.
+pub fn analyze_with_sink(
+    program: &Program,
+    traces: &TraceSet,
+    config: &AnalyzerConfig,
+    sink: &mut dyn StepSink,
+) -> Result<AnalysisReport, AnalyzeError> {
+    analyze_impl(program, traces, config, Some(sink))
+}
+
+fn analyze_impl(
+    program: &Program,
+    traces: &TraceSet,
+    config: &AnalyzerConfig,
+    mut sink: Option<&mut dyn StepSink>,
+) -> Result<AnalysisReport, AnalyzeError> {
+    assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
+    let dcfgs = DcfgSet::build(program, traces)?;
+    // Static CFGs are only needed for the StaticIpdom ablation.
+    let static_cfgs: Option<Vec<FuncCfg>> =
+        if config.reconvergence == ReconvergencePolicy::StaticIpdom {
+            Some(program.functions().iter().map(FuncCfg::from_function).collect())
+        } else {
+            None
+        };
+    let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
+
+    fn run_chunk(
+        program: &Program,
+        dcfgs: &DcfgSet,
+        static_cfgs: Option<&[FuncCfg]>,
+        config: &AnalyzerConfig,
+        traces: &TraceSet,
+        chunk: &[Vec<u32>],
+        mut sink: Option<&mut dyn StepSink>,
+        warp_base: u32,
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        let mut report = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
+        for (wi, warp) in chunk.iter().enumerate() {
+            let lanes: Vec<&ThreadTrace> =
+                warp.iter().map(|&t| &traces.threads()[t as usize]).collect();
+            let mut emu = WarpEmulator::new(program, dcfgs, config, &lanes);
+            emu.static_cfgs = static_cfgs;
+            emu.warp_index = warp_base + wi as u32;
+            // Move the sink in for this warp and take it back after:
+            // `&mut dyn` is invariant, so a per-iteration reborrow would
+            // pin the borrow for the whole loop.
+            emu.sink = sink.take();
+            let run_result = emu.run();
+            sink = emu.sink.take();
+            run_result?;
+            report.merge(emu.report);
+        }
+        Ok(report)
+    }
+
+    // A sink forces sequential emulation (deterministic step order).
+    let workers = if sink.is_some() {
+        1
+    } else {
+        config.parallelism.max(1).min(warps.len().max(1))
+    };
+    let mut report = if workers <= 1 {
+        run_chunk(program, &dcfgs, static_cfgs.as_deref(), config, traces, &warps, sink.take(), 0)?
+    } else {
+        let chunk_len = warps.len().div_ceil(workers);
+        let dcfgs_ref = &dcfgs;
+        let statics_ref = static_cfgs.as_deref();
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = warps
+                .chunks(chunk_len)
+                .map(|c| {
+                    s.spawn(move |_| {
+                        run_chunk(program, dcfgs_ref, statics_ref, config, traces, c, None, 0)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analysis worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+        let mut merged = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
+        for r in results {
+            merged.merge(r?);
+        }
+        merged
+    };
+
+    // Skip counters come straight from the traces.
+    report.skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
+    report.skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
+    Ok(report)
+}
+
+struct Cursor<'t> {
+    tid: u32,
+    events: &'t [TraceEvent],
+    pos: usize,
+}
+
+impl<'t> Cursor<'t> {
+    fn peek(&self) -> Option<&'t TraceEvent> {
+        self.events.get(self.pos)
+    }
+}
+
+/// SIMT-stack entry. `is_frame` marks entries that own a function
+/// activation (root, calls, and their inherited reconvergence entries);
+/// popping a frame entry updates the caller's continuation block from the
+/// lanes' next trace events.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    func: FuncId,
+    node: usize,
+    rpc: usize,
+    mask: u64,
+    is_frame: bool,
+}
+
+struct WarpEmulator<'a, 't, 's> {
+    program: &'a Program,
+    dcfgs: &'a DcfgSet,
+    static_cfgs: Option<&'a [FuncCfg]>,
+    config: &'a AnalyzerConfig,
+    cursors: Vec<Cursor<'t>>,
+    stack: Vec<Entry>,
+    report: AnalysisReport,
+    warp_index: u32,
+    sink: Option<&'s mut dyn StepSink>,
+}
+
+fn lanes_of(mask: u64, n: usize) -> impl Iterator<Item = usize> {
+    (0..n).filter(move |&l| mask >> l & 1 == 1)
+}
+
+impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
+    fn new(
+        program: &'a Program,
+        dcfgs: &'a DcfgSet,
+        config: &'a AnalyzerConfig,
+        lanes: &[&'t ThreadTrace],
+    ) -> Self {
+        let cursors =
+            lanes.iter().map(|t| Cursor { tid: t.tid, events: &t.events, pos: 0 }).collect();
+        WarpEmulator {
+            program,
+            dcfgs,
+            static_cfgs: None,
+            config,
+            cursors,
+            stack: Vec::new(),
+            report: AnalysisReport { warp_size: config.warp_size, warps: 1, ..Default::default() },
+            warp_index: 0,
+            sink: None,
+        }
+    }
+
+    fn desync(&self, lane: usize, detail: impl Into<String>) -> AnalyzeError {
+        AnalyzeError::Desync { tid: self.cursors[lane].tid, detail: detail.into() }
+    }
+
+    fn dcfg(&self, f: FuncId) -> Result<&'a Dcfg, AnalyzeError> {
+        self.dcfgs.get(f).ok_or(AnalyzeError::MalformedTrace {
+            tid: 0,
+            detail: format!("no dynamic CFG for executed function {f}"),
+        })
+    }
+
+    fn run(&mut self) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        if n == 0 {
+            return Ok(());
+        }
+        // All lanes must open with the kernel's entry block.
+        let first = match self.cursors[0].peek() {
+            Some(TraceEvent::Block { addr, .. }) => *addr,
+            _ => return Err(self.desync(0, "trace does not start with a block")),
+        };
+        for l in 1..n {
+            match self.cursors[l].peek() {
+                Some(TraceEvent::Block { addr, .. }) if *addr == first => {}
+                other => {
+                    return Err(self.desync(l, format!("lane entry mismatch: {other:?}")));
+                }
+            }
+        }
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let vexit = self.dcfg(first.func)?.virtual_exit();
+        self.stack.push(Entry {
+            func: first.func,
+            node: first.block.0 as usize,
+            rpc: vexit,
+            mask: full,
+            is_frame: true,
+        });
+
+        while let Some(&top) = self.stack.last() {
+            let dcfg = self.dcfg(top.func)?;
+            let vexit = dcfg.virtual_exit();
+
+            // ---- reconvergence / pop -----------------------------------
+            if top.node == top.rpc {
+                self.stack.pop();
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.on_reconvergence(self.warp_index, top.func, top.node, top.mask);
+                }
+                if top.is_frame {
+                    self.pop_frame(top)?;
+                }
+                continue;
+            }
+            if top.node == vexit {
+                // A non-frame entry strayed to function end past its
+                // reconvergence point: irregular control flow.
+                let lane = lanes_of(top.mask, n).next().unwrap_or(0);
+                return Err(self.desync(lane, "lanes escaped their reconvergence point"));
+            }
+
+            // ---- execute block ------------------------------------------
+            self.exec_block(top)?;
+            if self.report.issues > self.config.max_issues_per_warp {
+                return Err(AnalyzeError::IssueBudget);
+            }
+
+            // ---- terminator ---------------------------------------------
+            let term =
+                &self.program.function(top.func).block(BlockId(top.node as u32)).term.clone();
+            match term {
+                Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
+                    let groups = self.group_by_next_block(top)?;
+                    let ipd = self.reconvergence_point(dcfg, top.func, top.node);
+                    self.apply_transition(top, groups, ipd)?;
+                }
+                Terminator::Ret { .. } => {
+                    for l in lanes_of(top.mask, n) {
+                        match self.cursors[l].peek() {
+                            Some(TraceEvent::Ret) => self.cursors[l].pos += 1,
+                            other => {
+                                return Err(
+                                    self.desync(l, format!("expected Ret event, got {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                    let vx = self.dcfg(top.func)?.virtual_exit();
+                    self.apply_transition(top, vec![(vx, top.mask)], vx)?;
+                }
+                Terminator::Call { callee, .. } => {
+                    for l in lanes_of(top.mask, n) {
+                        match self.cursors[l].peek() {
+                            Some(TraceEvent::Call { callee: c }) if *c == *callee => {
+                                self.cursors[l].pos += 1;
+                            }
+                            other => {
+                                return Err(
+                                    self.desync(l, format!("expected Call event, got {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                    let active = lanes_of(top.mask, n).count() as u64;
+                    let cf = self.program.function(*callee);
+                    let entry = self
+                        .per_function_entry(*callee);
+                    entry.invocations += active;
+                    let callee_exit = self.dcfg(*callee)?.virtual_exit();
+                    self.stack.push(Entry {
+                        func: *callee,
+                        node: cf.entry.0 as usize,
+                        rpc: callee_exit,
+                        mask: top.mask,
+                        is_frame: true,
+                    });
+                }
+                Terminator::Acquire { next, .. } => {
+                    self.handle_acquire(top, next.0 as usize)?;
+                }
+                Terminator::Release { next, .. } => {
+                    for l in lanes_of(top.mask, n) {
+                        match self.cursors[l].peek() {
+                            Some(TraceEvent::Release { .. }) => self.cursors[l].pos += 1,
+                            other => {
+                                return Err(self
+                                    .desync(l, format!("expected Release event, got {other:?}")))
+                            }
+                        }
+                    }
+                    self.stack.last_mut().expect("nonempty").node = next.0 as usize;
+                }
+                Terminator::Barrier { next, .. } => {
+                    for l in lanes_of(top.mask, n) {
+                        match self.cursors[l].peek() {
+                            Some(TraceEvent::Barrier { .. }) => self.cursors[l].pos += 1,
+                            other => {
+                                return Err(self
+                                    .desync(l, format!("expected Barrier event, got {other:?}")))
+                            }
+                        }
+                    }
+                    self.stack.last_mut().expect("nonempty").node = next.0 as usize;
+                }
+            }
+        }
+
+        // Every lane must be fully consumed.
+        for l in 0..n {
+            if self.cursors[l].peek().is_some() {
+                return Err(self.desync(l, "trailing events after warp completion"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops a frame entry: all its lanes finished a function; set the
+    /// caller entry's continuation block from their next trace events.
+    fn pop_frame(&mut self, popped: Entry) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        let Some(below_func) = self.stack.last().map(|e| e.func) else {
+            return Ok(()); // root: trailing-event check happens at the end
+        };
+        let mut target: Option<BlockAddr> = None;
+        for l in lanes_of(popped.mask, n) {
+            match self.cursors[l].peek() {
+                Some(TraceEvent::Block { addr, .. }) => match target {
+                    None => target = Some(*addr),
+                    Some(t) if t == *addr => {}
+                    Some(t) => {
+                        return Err(self.desync(
+                            l,
+                            format!("call continuation mismatch: {addr} vs {t}"),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(
+                        self.desync(l, format!("expected continuation block, got {other:?}"))
+                    )
+                }
+            }
+        }
+        let t = target.expect("frame entries have nonempty masks");
+        if t.func != below_func {
+            let lane = lanes_of(popped.mask, n).next().unwrap_or(0);
+            return Err(self.desync(lane, "continuation in unexpected function"));
+        }
+        self.stack.last_mut().expect("nonempty").node = t.block.0 as usize;
+        Ok(())
+    }
+
+    /// Consumes the Block + Mem events of every active lane and accounts
+    /// issues, per-function attribution, and coalesced transactions.
+    fn exec_block(&mut self, top: Entry) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        let addr = BlockAddr::new(top.func, BlockId(top.node as u32));
+        let mut n_insts: Option<u32> = None;
+        let mut mem_groups: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut active = 0u64;
+        for l in lanes_of(top.mask, n) {
+            active += 1;
+            match self.cursors[l].peek() {
+                Some(TraceEvent::Block { addr: a, n_insts: ni }) if *a == addr => {
+                    match n_insts {
+                        None => n_insts = Some(*ni),
+                        Some(prev) if prev == *ni => {}
+                        Some(prev) => {
+                            return Err(self.desync(
+                                l,
+                                format!("block size mismatch at {addr}: {ni} vs {prev}"),
+                            ))
+                        }
+                    }
+                    self.cursors[l].pos += 1;
+                }
+                other => {
+                    return Err(self.desync(
+                        l,
+                        format!("expected block {addr}, got {other:?}"),
+                    ))
+                }
+            }
+            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.cursors[l].peek()
+            {
+                mem_groups.entry(*inst_idx).or_default().push((*addr, *size as u32));
+                self.cursors[l].pos += 1;
+            }
+        }
+        let ni = n_insts.expect("at least one active lane") as u64;
+        self.report.issues += ni;
+        self.report.thread_insts += ni * active;
+        let fr = self.per_function_entry(top.func);
+        fr.own_issues += ni;
+        fr.own_thread_insts += ni * active;
+
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_step(&BlockStep {
+                warp: self.warp_index,
+                func: top.func,
+                block: BlockId(top.node as u32),
+                n_insts: ni as u32,
+                mask: top.mask,
+                active: active as u32,
+                mem: &mem_groups,
+            });
+        }
+
+        for accesses in mem_groups.values() {
+            let mut heap: Vec<(u64, u32)> = Vec::new();
+            let mut stack: Vec<(u64, u32)> = Vec::new();
+            for &(a, s) in accesses {
+                match segment_of(a) {
+                    Segment::Heap => heap.push((a, s)),
+                    Segment::Stack => stack.push((a, s)),
+                }
+            }
+            if !heap.is_empty() {
+                self.report.heap.instructions += 1;
+                self.report.heap.accesses += heap.len() as u64;
+                self.report.heap.transactions +=
+                    threadfuser_mem::coalesce_transactions(heap) as u64;
+            }
+            if !stack.is_empty() {
+                self.report.stack.instructions += 1;
+                self.report.stack.accesses += stack.len() as u64;
+                self.report.stack.transactions +=
+                    threadfuser_mem::coalesce_transactions(stack) as u64;
+            }
+        }
+        Ok(())
+    }
+
+    fn per_function_entry(&mut self, func: FuncId) -> &mut FunctionReport {
+        let name = &self.program.function(func).name;
+        self.report.per_function.entry(func.0).or_insert_with(|| FunctionReport {
+            name: name.clone(),
+            ..Default::default()
+        })
+    }
+
+    /// Groups active lanes by the block their next trace event names.
+    fn group_by_next_block(&mut self, top: Entry) -> Result<Vec<(usize, u64)>, AnalyzeError> {
+        let n = self.cursors.len();
+        let mut groups: Vec<(usize, u64)> = Vec::new();
+        for l in lanes_of(top.mask, n) {
+            let node = match self.cursors[l].peek() {
+                Some(TraceEvent::Block { addr, .. }) if addr.func == top.func => {
+                    addr.block.0 as usize
+                }
+                other => {
+                    return Err(
+                        self.desync(l, format!("expected successor block, got {other:?}"))
+                    )
+                }
+            };
+            match groups.iter_mut().find(|(g, _)| *g == node) {
+                Some((_, m)) => *m |= 1 << l,
+                None => groups.push((node, 1 << l)),
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Standard SIMT-stack transition: advance, merge, or diverge via the
+    /// dynamic IPDOM (`ipd`) of the block just executed.
+    fn apply_transition(
+        &mut self,
+        top: Entry,
+        mut groups: Vec<(usize, u64)>,
+        ipd: usize,
+    ) -> Result<(), AnalyzeError> {
+        if groups.len() == 1 {
+            self.stack.last_mut().expect("nonempty").node = groups[0].0;
+            return Ok(());
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_divergence(
+                self.warp_index,
+                top.func,
+                BlockId(top.node as u32),
+                ipd,
+                &groups,
+            );
+        }
+        self.stack.pop();
+        // Reconvergence entry inherits the frame flag so a divergence that
+        // spans to function end still performs the caller update on pop.
+        self.stack.push(Entry {
+            func: top.func,
+            node: ipd,
+            rpc: top.rpc,
+            mask: top.mask,
+            is_frame: top.is_frame,
+        });
+        groups.sort_by_key(|&(node, _)| std::cmp::Reverse(node));
+        for (node, mask) in groups {
+            if node != ipd {
+                self.stack.push(Entry { func: top.func, node, rpc: ipd, mask, is_frame: false });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lock handling at an `Acquire` terminator (paper §III).
+    fn handle_acquire(&mut self, top: Entry, next: usize) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        let mut locks: Vec<(usize, u64)> = Vec::new(); // (lane, lock)
+        for l in lanes_of(top.mask, n) {
+            match self.cursors[l].peek() {
+                Some(TraceEvent::Acquire { lock }) => {
+                    locks.push((l, *lock));
+                    self.cursors[l].pos += 1;
+                }
+                other => {
+                    return Err(self.desync(l, format!("expected Acquire event, got {other:?}")))
+                }
+            }
+        }
+        let contended: Vec<usize> = locks
+            .iter()
+            .filter(|(_, lk)| locks.iter().filter(|(_, o)| o == lk).count() > 1)
+            .map(|&(l, _)| l)
+            .collect();
+        if !self.config.emulate_intra_warp_locks || contended.is_empty() {
+            self.stack.last_mut().expect("nonempty").node = next;
+            return Ok(());
+        }
+
+        // Anticipated reconvergence point: the block after the first
+        // contended thread's matching unlock (paper: "one of the unlock
+        // pairs of one of the threads").
+        let lead = contended[0];
+        let lead_lock = locks.iter().find(|(l, _)| *l == lead).expect("present").1;
+        let Some(rpoint) = self.scan_release(lead, lead_lock, top.func) else {
+            self.report.lock_fallbacks += 1;
+            self.stack.last_mut().expect("nonempty").node = next;
+            return Ok(());
+        };
+        self.report.lock_serializations += 1;
+
+        self.stack.pop();
+        self.stack.push(Entry {
+            func: top.func,
+            node: rpoint,
+            rpc: top.rpc,
+            mask: top.mask,
+            is_frame: top.is_frame,
+        });
+        // Uncontended lanes proceed together ("threads acquiring different
+        // locks execute in parallel").
+        let contended_mask: u64 = contended.iter().map(|&l| 1u64 << l).sum();
+        let uncontended = top.mask & !contended_mask;
+        if uncontended != 0 && next != rpoint {
+            self.stack.push(Entry {
+                func: top.func,
+                node: next,
+                rpc: rpoint,
+                mask: uncontended,
+                is_frame: false,
+            });
+        }
+        // Contended lanes serialize, one entry each.
+        if next != rpoint {
+            for &l in contended.iter().rev() {
+                self.stack.push(Entry {
+                    func: top.func,
+                    node: next,
+                    rpc: rpoint,
+                    mask: 1 << l,
+                    is_frame: false,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans ahead in `lane`'s trace for the matching `Release` of `lock`,
+    /// returning the block that follows it if it belongs to `func`.
+    fn scan_release(&self, lane: usize, lock: u64, func: FuncId) -> Option<usize> {
+        let c = &self.cursors[lane];
+        let mut nesting = 0u32;
+        let mut release_at: Option<usize> = None;
+        for (i, e) in c.events[c.pos..].iter().enumerate() {
+            match e {
+                TraceEvent::Acquire { lock: l } if *l == lock => nesting += 1,
+                TraceEvent::Release { lock: l } if *l == lock => {
+                    if nesting == 0 {
+                        release_at = Some(c.pos + i);
+                        break;
+                    }
+                    nesting -= 1;
+                }
+                _ => {}
+            }
+        }
+        let at = release_at?;
+        for e in &c.events[at + 1..] {
+            if let TraceEvent::Block { addr, .. } = e {
+                return if addr.func == func { Some(addr.block.0 as usize) } else { None };
+            }
+        }
+        None
+    }
+}
+
+impl WarpEmulator<'_, '_, '_> {
+    /// Reconvergence point of a diverging block under the configured
+    /// policy (node index; possibly the virtual exit).
+    fn reconvergence_point(&self, dcfg: &Dcfg, func: FuncId, node: usize) -> usize {
+        match self.config.reconvergence {
+            ReconvergencePolicy::DynamicIpdom => {
+                dcfg.ipdom(BlockId(node as u32)).unwrap_or_else(|| dcfg.virtual_exit())
+            }
+            ReconvergencePolicy::StaticIpdom => {
+                let cfgs = self.static_cfgs.expect("static CFGs built for this policy");
+                cfgs[func.0 as usize]
+                    .ipdom(BlockId(node as u32))
+                    .unwrap_or_else(|| dcfg.virtual_exit())
+            }
+            ReconvergencePolicy::FunctionExit => dcfg.virtual_exit(),
+        }
+    }
+}

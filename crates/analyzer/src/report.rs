@@ -1,0 +1,234 @@
+//! Analyzer output: whole-program and per-function SIMT reports.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use threadfuser_ir::FuncId;
+
+/// Memory-divergence counters for one segment (stack or heap), mirroring
+/// the paper's transactions-per-load/store reporting (Figs. 5b, 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentTraffic {
+    /// 32-byte transactions issued.
+    pub transactions: u64,
+    /// Warp-level memory instructions touching this segment.
+    pub instructions: u64,
+    /// Individual per-thread accesses.
+    pub accesses: u64,
+}
+
+impl SegmentTraffic {
+    /// Average transactions per warp-level memory instruction.
+    pub fn transactions_per_inst(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.transactions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: &SegmentTraffic) {
+        self.transactions += other.transactions;
+        self.instructions += other.instructions;
+        self.accesses += other.accesses;
+    }
+}
+
+/// Per-function efficiency entry (paper Fig. 7): instruction counts and
+/// lock-step issues attributed to the function's *own* blocks, excluding
+/// nested calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Lock-step issues spent in the function's own blocks.
+    pub own_issues: u64,
+    /// Per-thread instructions executed in the function's own blocks.
+    pub own_thread_insts: u64,
+    /// Dynamic call-count (thread-level invocations).
+    pub invocations: u64,
+}
+
+impl FunctionReport {
+    /// Per-function SIMT efficiency (Eq. 1, restricted to own blocks).
+    pub fn efficiency(&self, warp_size: u32) -> f64 {
+        if self.own_issues == 0 {
+            1.0
+        } else {
+            self.own_thread_insts as f64 / (self.own_issues as f64 * warp_size as f64)
+        }
+    }
+}
+
+/// Complete output of one analyzer run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Configured warp width.
+    pub warp_size: u32,
+    /// Warps emulated.
+    pub warps: u32,
+    /// Total lock-step issue slots.
+    pub issues: u64,
+    /// Total per-thread instructions.
+    pub thread_insts: u64,
+    /// Heap-segment (SIMT global space) traffic.
+    pub heap: SegmentTraffic,
+    /// Stack-segment (SIMT local space) traffic.
+    pub stack: SegmentTraffic,
+    /// Per-function breakdown, keyed by function index.
+    pub per_function: HashMap<u32, FunctionReport>,
+    /// Instructions skipped in opaque I/O (from the traces).
+    pub skipped_io: u64,
+    /// Instructions skipped spinning on locks (from the traces).
+    pub skipped_spin: u64,
+    /// Intra-warp lock serialization episodes emulated.
+    pub lock_serializations: u64,
+    /// Contended acquires that could not be serialized (no same-function
+    /// reconvergence point found); treated as fine-grain.
+    pub lock_fallbacks: u64,
+}
+
+impl AnalysisReport {
+    /// Whole-program SIMT efficiency (paper Eq. 1).
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.issues == 0 {
+            1.0
+        } else {
+            self.thread_insts as f64 / (self.issues as f64 * self.warp_size as f64)
+        }
+    }
+
+    /// Total 32-byte transactions across both segments.
+    pub fn total_transactions(&self) -> u64 {
+        self.heap.transactions + self.stack.transactions
+    }
+
+    /// Fraction of instructions traced rather than skipped (Fig. 8).
+    pub fn traced_fraction(&self) -> f64 {
+        let all = self.thread_insts + self.skipped_io + self.skipped_spin;
+        if all == 0 {
+            1.0
+        } else {
+            self.thread_insts as f64 / all as f64
+        }
+    }
+
+    /// Per-function entry for `func`, if it executed.
+    pub fn function(&self, func: FuncId) -> Option<&FunctionReport> {
+        self.per_function.get(&func.0)
+    }
+
+    /// Function entries sorted by instruction share, hottest first
+    /// (the layout of paper Fig. 7a).
+    pub fn functions_by_share(&self) -> Vec<(&FunctionReport, f64)> {
+        let total: u64 = self.per_function.values().map(|f| f.own_thread_insts).sum();
+        let mut v: Vec<&FunctionReport> = self.per_function.values().collect();
+        v.sort_by(|a, b| b.own_thread_insts.cmp(&a.own_thread_insts).then(a.name.cmp(&b.name)));
+        v.into_iter()
+            .map(|f| {
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    f.own_thread_insts as f64 / total as f64
+                };
+                (f, share)
+            })
+            .collect()
+    }
+
+    /// Accumulates a partial report produced from a disjoint set of warps.
+    ///
+    /// # Panics
+    /// Panics if warp sizes differ.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        assert_eq!(self.warp_size, other.warp_size, "cannot merge different warp sizes");
+        self.warps += other.warps;
+        self.issues += other.issues;
+        self.thread_insts += other.thread_insts;
+        self.heap.merge(&other.heap);
+        self.stack.merge(&other.stack);
+        self.skipped_io += other.skipped_io;
+        self.skipped_spin += other.skipped_spin;
+        self.lock_serializations += other.lock_serializations;
+        self.lock_fallbacks += other.lock_fallbacks;
+        for (k, v) in other.per_function {
+            let e = self.per_function.entry(k).or_insert_with(|| FunctionReport {
+                name: v.name.clone(),
+                ..Default::default()
+            });
+            e.own_issues += v.own_issues;
+            e.own_thread_insts += v.own_thread_insts;
+            e.invocations += v.invocations;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(issues: u64, insts: u64, w: u32) -> AnalysisReport {
+        AnalysisReport { warp_size: w, issues, thread_insts: insts, ..Default::default() }
+    }
+
+    #[test]
+    fn efficiency_formula() {
+        let r = report_with(100, 1600, 32);
+        assert!((r.simt_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(report_with(0, 0, 32).simt_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = report_with(10, 320, 32);
+        a.per_function.insert(
+            0,
+            FunctionReport { name: "f".into(), own_issues: 10, own_thread_insts: 320, invocations: 1 },
+        );
+        let mut b = report_with(30, 320, 32);
+        b.per_function.insert(
+            0,
+            FunctionReport { name: "f".into(), own_issues: 30, own_thread_insts: 320, invocations: 2 },
+        );
+        a.merge(b);
+        assert_eq!(a.issues, 40);
+        assert_eq!(a.per_function[&0].invocations, 3);
+        assert!((a.simt_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_share_ordering() {
+        let mut r = report_with(10, 100, 32);
+        r.per_function.insert(
+            0,
+            FunctionReport { name: "cold".into(), own_thread_insts: 10, ..Default::default() },
+        );
+        r.per_function.insert(
+            1,
+            FunctionReport { name: "hot".into(), own_thread_insts: 90, ..Default::default() },
+        );
+        let shares = r.functions_by_share();
+        assert_eq!(shares[0].0.name, "hot");
+        assert!((shares[0].1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = report_with(10, 100, 32);
+        r.per_function.insert(
+            2,
+            FunctionReport { name: "f".into(), own_issues: 4, own_thread_insts: 64, invocations: 3 },
+        );
+        r.heap = SegmentTraffic { transactions: 9, instructions: 3, accesses: 12 };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn segment_traffic_ratio() {
+        let s = SegmentTraffic { transactions: 64, instructions: 8, accesses: 256 };
+        assert_eq!(s.transactions_per_inst(), 8.0);
+        assert_eq!(SegmentTraffic::default().transactions_per_inst(), 0.0);
+    }
+}

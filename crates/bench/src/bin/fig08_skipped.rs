@@ -1,0 +1,44 @@
+//! Figure 8: percentage of traced vs skipped instructions (I/O operations
+//! and lock spinning) across the microservice workloads.
+//!
+//! Expected shape (paper §V-B): ~90% of instructions traced at the
+//! geomean, so skipping the remainder is safe for the efficiency study.
+
+use threadfuser::analyzer::stats::geomean;
+use threadfuser::machine::MachineConfig;
+use threadfuser::tracer::trace_program;
+use threadfuser::workloads::microservices;
+use threadfuser::TextTable;
+use threadfuser_bench::{emit, pct, threads_for};
+
+fn main() {
+    let mut table =
+        TextTable::new(&["workload", "traced", "skipped_io", "skipped_spin", "traced_frac"]);
+    let mut fracs = Vec::new();
+    for w in microservices() {
+        let mut cfg = MachineConfig::new(w.kernel, threads_for(&w));
+        cfg.init = w.init;
+        let (traces, _) = trace_program(&w.program, cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let traced = traces.total_traced_insts();
+        let io: u64 = traces.threads().iter().map(|t| t.skipped_io).sum();
+        let spin: u64 = traces.threads().iter().map(|t| t.skipped_spin).sum();
+        let frac = traces.traced_fraction();
+        fracs.push(frac);
+        table.row(&[
+            w.meta.name.to_string(),
+            traced.to_string(),
+            io.to_string(),
+            spin.to_string(),
+            pct(frac),
+        ]);
+    }
+    let gm = geomean(&fracs);
+    table.row(&["GEOMEAN".to_string(), String::new(), String::new(), String::new(), pct(gm)]);
+
+    println!("Figure 8: traced vs skipped (I/O + lock-spin) instructions\n");
+    emit("fig08_skipped", &table);
+
+    assert!(gm > 0.75, "geomean traced fraction {gm:.3} (paper: ≈0.9)");
+    println!("\nshape check passed: geomean traced fraction {:.1}%", gm * 100.0);
+}

@@ -1,0 +1,57 @@
+//! Figure 9: warp efficiency of the microservice workloads (warp 32) when
+//! intra-warp lock serialization is emulated, versus the fine-grain-lock
+//! assumption.
+//!
+//! Expected shape (paper §V-B): emulating intra-warp locking lowers
+//! efficiency, but not dramatically — these services use fine-grained
+//! locks and handle independent requests, so contention among warp-mates
+//! is limited.
+
+use threadfuser::workloads::microservices;
+use threadfuser::TextTable;
+use threadfuser_bench::{developer_pipeline, emit, f3};
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "workload",
+        "eff(fine-grain)",
+        "eff(intra-warp locks)",
+        "serializations",
+        "fallbacks",
+    ]);
+    let mut drops = Vec::new();
+    for w in microservices() {
+        let fine = developer_pipeline(&w)
+            .analyze()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let locked = developer_pipeline(&w)
+            .intra_warp_locks(true)
+            .analyze()
+            .unwrap_or_else(|e| panic!("{} (locks): {e}", w.meta.name));
+        let ef = fine.simt_efficiency();
+        let el = locked.simt_efficiency();
+        assert!(
+            el <= ef + 1e-9,
+            "{}: serialization cannot raise efficiency ({el} vs {ef})",
+            w.meta.name
+        );
+        if w.meta.uses_locks {
+            drops.push(ef - el);
+        }
+        table.row(&[
+            w.meta.name.to_string(),
+            f3(ef),
+            f3(el),
+            locked.lock_serializations.to_string(),
+            locked.lock_fallbacks.to_string(),
+        ]);
+    }
+
+    println!("Figure 9: microservice warp efficiency with intra-warp locking (warp 32)\n");
+    emit("fig09_locks", &table);
+
+    let any_drop = drops.iter().any(|d| *d > 1e-6);
+    assert!(any_drop, "at least one locking service must lose efficiency");
+    let max_drop = drops.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nshape check passed: max efficiency drop {:.1} points", max_drop * 100.0);
+}

@@ -1,0 +1,32 @@
+//! Table I: the studied workloads — suite, modelled structure, the
+//! paper's `#SIMT Threads`, and this repo's default simulation scale.
+
+use threadfuser::workloads::all;
+use threadfuser::TextTable;
+use threadfuser_bench::emit;
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "workload",
+        "suite",
+        "paper_threads",
+        "default_threads",
+        "gpu_impl",
+        "locks",
+        "description",
+    ]);
+    for w in all() {
+        table.row(&[
+            w.meta.name.to_string(),
+            format!("{:?}", w.meta.suite),
+            w.meta.paper_threads.to_string(),
+            w.meta.default_threads.to_string(),
+            if w.meta.has_gpu_impl { "yes" } else { "-" }.to_string(),
+            if w.meta.uses_locks { "yes" } else { "-" }.to_string(),
+            w.meta.description.to_string(),
+        ]);
+    }
+    println!("Table I: studied workloads\n");
+    emit("table1_workloads", &table);
+    assert_eq!(table.len(), 36);
+}

@@ -1,0 +1,93 @@
+//! Table II: XAPP vs ThreadFuser on execution-time prediction.
+//!
+//! Ground truth for each correlation workload is the simulated cycle count
+//! of its "GPU implementation" (warp traces from the `O1` reference
+//! binary). ThreadFuser's prediction simulates the warp traces extracted
+//! from the developer's `-O3` CPU binary. XAPP's prediction is a
+//! leave-one-out-trained ridge regression over 16 single-threaded profile
+//! features.
+//!
+//! Expected shape (paper Table II): both land in the tens of percent on
+//! execution time, with ThreadFuser additionally providing the white-box
+//! efficiency/divergence breakdowns XAPP cannot.
+
+use threadfuser::analyzer::stats::{mean_absolute_pct_error, pearson};
+use threadfuser::cpusim::CpuSimConfig;
+use threadfuser::ir::OptLevel;
+use threadfuser::simtsim::SimtSimConfig;
+use threadfuser::workloads::correlation_set;
+use threadfuser::xapp::{extract_features, FeatureVector, XappModel};
+use threadfuser::{Pipeline, TextTable};
+use threadfuser_bench::{emit, f2, threads_for};
+
+fn main() {
+    let workloads = correlation_set();
+    let simt = SimtSimConfig::default();
+    let cpu = CpuSimConfig::default();
+
+    // Collect per-workload: ground truth speedup, ThreadFuser projection,
+    // and the XAPP feature vector.
+    let mut truth = Vec::new();
+    let mut tf_pred = Vec::new();
+    let mut features: Vec<FeatureVector> = Vec::new();
+    for w in &workloads {
+        let threads = threads_for(w);
+        let gt = Pipeline::from_workload(w)
+            .threads(threads)
+            .opt_level(OptLevel::O1)
+            .project_speedup(&simt, &cpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let tf = Pipeline::from_workload(w)
+            .threads(threads)
+            .opt_level(OptLevel::O3)
+            .project_speedup(&simt, &cpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        truth.push(gt.speedup);
+        tf_pred.push(tf.speedup);
+
+        let (program, traces) = Pipeline::from_workload(w)
+            .threads(threads)
+            .opt_level(OptLevel::O3)
+            .trace()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        features.push(extract_features(&program, &traces));
+    }
+
+    // Leave-one-out XAPP predictions.
+    let mut xapp_pred = Vec::new();
+    for hold in 0..workloads.len() {
+        let train: Vec<(FeatureVector, f64)> = (0..workloads.len())
+            .filter(|&i| i != hold)
+            .map(|i| (features[i], truth[i]))
+            .collect();
+        let model = XappModel::train(&train, 0.05);
+        xapp_pred.push(model.predict(&features[hold]).max(0.0));
+    }
+
+    let mut table = TextTable::new(&["workload", "truth", "ThreadFuser", "XAPP(LOO)"]);
+    for (i, w) in workloads.iter().enumerate() {
+        table.row(&[w.meta.name.to_string(), f2(truth[i]), f2(tf_pred[i]), f2(xapp_pred[i])]);
+    }
+    println!("Table II: execution-time (speedup) prediction, XAPP vs ThreadFuser\n");
+    emit("table2_xapp", &table);
+
+    let tf_err = mean_absolute_pct_error(&tf_pred, &truth);
+    let xapp_err = mean_absolute_pct_error(&xapp_pred, &truth);
+    let tf_correl = pearson(&tf_pred, &truth);
+    let mut summary = TextTable::new(&["metric", "XAPP", "ThreadFuser"]);
+    summary.row(&["exec-time MAPE".to_string(), f2(xapp_err), f2(tf_err)]);
+    summary.row(&["speedup correlation".to_string(), f2(pearson(&xapp_pred, &truth)), f2(tf_correl)]);
+    summary.row(&[
+        "output".to_string(),
+        "single speedup number".to_string(),
+        "efficiency + divergence + per-function + cycles".to_string(),
+    ]);
+    println!();
+    emit("table2_summary", &summary);
+
+    assert!(
+        tf_correl > 0.9,
+        "ThreadFuser speedup projection must correlate strongly, got {tf_correl:.3}"
+    );
+    println!("\nshape check passed: ThreadFuser correlation {tf_correl:.3}, MAPE {tf_err:.2}");
+}

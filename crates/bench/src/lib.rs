@@ -1,0 +1,57 @@
+//! Shared plumbing for the experiment binaries (one per paper figure or
+//! table; see `src/bin/`).
+//!
+//! Every binary prints its table to stdout and, when the `TF_RESULTS`
+//! environment variable names a directory, also writes a CSV there.
+//! `TF_THREADS` caps the per-workload thread count (default: each
+//! workload's `default_threads`).
+
+use std::fs;
+use std::path::PathBuf;
+use threadfuser::ir::OptLevel;
+use threadfuser::workloads::Workload;
+use threadfuser::{Pipeline, TextTable};
+
+/// Thread count to simulate for `w`, honouring the `TF_THREADS` override.
+pub fn threads_for(w: &Workload) -> u32 {
+    match std::env::var("TF_THREADS").ok().and_then(|v| v.parse::<u32>().ok()) {
+        Some(n) => n.max(1),
+        None => w.meta.default_threads,
+    }
+}
+
+/// A pipeline preconfigured the way the paper's developer use case runs:
+/// the `-O3` binary, default warp 32.
+pub fn developer_pipeline(w: &Workload) -> Pipeline {
+    Pipeline::from_workload(w).threads(threads_for(w)).opt_level(OptLevel::O3)
+}
+
+/// Prints the table and optionally persists it as `<name>.csv` under
+/// `TF_RESULTS`.
+pub fn emit(name: &str, table: &TextTable) {
+    println!("{table}");
+    if let Ok(dir) = std::env::var("TF_RESULTS") {
+        let mut path = PathBuf::from(dir);
+        if fs::create_dir_all(&path).is_ok() {
+            path.push(format!("{name}.csv"));
+            if let Err(e) = fs::write(&path, table.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}

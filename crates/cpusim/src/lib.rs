@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+
+//! # ThreadFuser CPU timing model
+//!
+//! The speedup denominator of the paper's Fig. 6: a simple multicore
+//! in-order timing model replaying the *same per-thread traces* the
+//! analyzer consumes. Logical threads are distributed round-robin over
+//! `n_cores` cores (like an OpenMP runtime distributing iterations);
+//! each core executes its threads back-to-back at one instruction per
+//! cycle, with a private L1 and a shared L2 + DRAM from `threadfuser-mem`.
+//!
+//! Skipped instructions (I/O, lock spinning) still cost CPU cycles — the
+//! real CPU executes them even though the tracer does not trace them.
+//!
+//! ```
+//! use threadfuser_ir::{ProgramBuilder, Operand};
+//! use threadfuser_machine::MachineConfig;
+//! use threadfuser_tracer::trace_program;
+//! use threadfuser_cpusim::{simulate_cpu, CpuSimConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let out = pb.global("out", 8 * 64);
+//! let k = pb.function("k", 1, |fb| {
+//!     let tid = fb.arg(0);
+//!     let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+//!     fb.store(dst, tid);
+//!     fb.ret(None);
+//! });
+//! let program = pb.build().unwrap();
+//! let (traces, _) = trace_program(&program, MachineConfig::new(k, 64)).unwrap();
+//! let stats = simulate_cpu(&traces, &CpuSimConfig::default());
+//! assert!(stats.cycles > 0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use threadfuser_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use threadfuser_tracer::{TraceEvent, TraceSet};
+
+/// CPU model configuration (defaults sized like the paper's 20-core
+/// Xeon E5-2630 host).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuSimConfig {
+    /// Cores.
+    pub n_cores: u32,
+    /// Private L1 data cache per core.
+    pub l1: CacheConfig,
+    /// Extra cycles charged per L1 hit beyond the pipelined base cost.
+    pub l1_hit_extra: u64,
+    /// Shared L2 + DRAM.
+    pub hierarchy: HierarchyConfig,
+    /// Clock in GHz (for wall-time/speedup conversion).
+    pub clock_ghz: f64,
+    /// Charge cycles for skipped (I/O + spin) instructions too.
+    pub include_skipped: bool,
+}
+
+impl Default for CpuSimConfig {
+    fn default() -> Self {
+        CpuSimConfig {
+            n_cores: 20,
+            l1: CacheConfig::l1_default(),
+            l1_hit_extra: 0,
+            hierarchy: HierarchyConfig::cpu_default(),
+            clock_ghz: 2.2,
+            include_skipped: true,
+        }
+    }
+}
+
+/// CPU simulation results.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CpuSimStats {
+    /// Execution cycles (max over cores).
+    pub cycles: u64,
+    /// Instructions retired (traced + skipped when configured).
+    pub insts: u64,
+    /// Cycles spent waiting on memory.
+    pub mem_stall_cycles: u64,
+    /// Per-core finish cycles.
+    pub core_cycles: Vec<u64>,
+    /// L1 hits across cores.
+    pub l1_hits: u64,
+    /// L1 misses across cores.
+    pub l1_misses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+impl CpuSimStats {
+    /// Instructions per cycle (whole machine).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Simulated wall time in seconds at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1e9)
+    }
+}
+
+/// Replays per-thread traces through the multicore timing model.
+pub fn simulate_cpu(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
+    let mut stats = CpuSimStats::default();
+    let n_cores = config.n_cores.max(1) as usize;
+    // Banked memory system: per-core L2 slice + even DRAM bandwidth share,
+    // so per-core clocks stay independent (see threadfuser-simtsim).
+    let mut banked = config.hierarchy;
+    banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
+    banked.dram.cycles_per_transaction =
+        banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
+    let mut hierarchies: Vec<Hierarchy> = (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
+    let mut core_cycles = vec![0u64; n_cores];
+    let mut l1s: Vec<Cache> = (0..n_cores).map(|_| Cache::new(config.l1)).collect();
+
+    for (i, t) in traces.threads().iter().enumerate() {
+        let core = i % n_cores;
+        let l1 = &mut l1s[core];
+        let hierarchy = &mut hierarchies[core];
+        let mut cycle = core_cycles[core];
+        for e in &t.events {
+            match e {
+                TraceEvent::Block { n_insts, .. } => {
+                    cycle += *n_insts as u64;
+                    stats.insts += *n_insts as u64;
+                }
+                TraceEvent::Mem { addr, is_store, .. } => {
+                    let access = l1.access(*addr, *is_store);
+                    if access.hit {
+                        cycle += config.l1_hit_extra;
+                    } else if !is_store {
+                        // Loads stall the in-order pipeline.
+                        let (done, _) = hierarchy.access(cycle, *addr, *is_store);
+                        stats.mem_stall_cycles += done.saturating_sub(cycle);
+                        cycle = done;
+                    } else {
+                        // Store misses consume bandwidth but retire.
+                        let _ = hierarchy.access(cycle, *addr, *is_store);
+                    }
+                }
+                TraceEvent::Call { .. }
+                | TraceEvent::Ret
+                | TraceEvent::Acquire { .. }
+                | TraceEvent::Release { .. }
+                | TraceEvent::Barrier { .. } => {
+                    cycle += 2;
+                }
+            }
+        }
+        if config.include_skipped {
+            let skipped = t.skipped_io + t.skipped_spin;
+            cycle += skipped;
+            stats.insts += skipped;
+        }
+        core_cycles[core] = cycle;
+    }
+
+    for l1 in &l1s {
+        let cs = l1.stats();
+        stats.l1_hits += cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
+        stats.l1_misses += cs.read_misses + cs.write_misses;
+    }
+    for h in &hierarchies {
+        stats.dram_accesses += h.stats().dram_accesses;
+    }
+    stats.cycles = core_cycles.iter().copied().max().unwrap_or(0);
+    stats.core_cycles = core_cycles;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{AluOp, Operand, ProgramBuilder};
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_tracer::trace_program;
+
+    fn traced(n_threads: u32, body_nops: usize) -> TraceSet {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global("out", 8 * 4096);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            for _ in 0..body_nops {
+                fb.nop();
+            }
+            let v = fb.alu(AluOp::Mul, tid, 2i64);
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, v);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        trace_program(&p, MachineConfig::new(k, n_threads)).unwrap().0
+    }
+
+    #[test]
+    fn cycles_scale_with_work() {
+        let small = simulate_cpu(&traced(64, 4), &CpuSimConfig::default());
+        let large = simulate_cpu(&traced(64, 64), &CpuSimConfig::default());
+        assert!(large.cycles > small.cycles * 2);
+    }
+
+    #[test]
+    fn more_cores_reduce_cycles() {
+        let traces = traced(256, 32);
+        let mut one = CpuSimConfig::default();
+        one.n_cores = 1;
+        let mut many = CpuSimConfig::default();
+        many.n_cores = 16;
+        let s1 = simulate_cpu(&traces, &one);
+        let s16 = simulate_cpu(&traces, &many);
+        assert!(s16.cycles * 4 < s1.cycles);
+    }
+
+    #[test]
+    fn skipped_instructions_cost_cpu_cycles_when_enabled() {
+        let mut pb = ProgramBuilder::new();
+        let k = pb.function("k", 1, |fb| {
+            fb.io(threadfuser_ir::IoKind::Read, 10_000);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 1)).unwrap();
+        let with = simulate_cpu(&traces, &CpuSimConfig::default());
+        let mut cfg = CpuSimConfig::default();
+        cfg.include_skipped = false;
+        let without = simulate_cpu(&traces, &cfg);
+        assert!(with.cycles > without.cycles + 9_000);
+    }
+
+    #[test]
+    fn repeated_addresses_hit_in_l1() {
+        // All threads read the same global repeatedly → high hit rate.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global_i64("g", &[42]);
+        let k = pb.function("k", 1, |fb| {
+            for _ in 0..16 {
+                let _ = fb.load(threadfuser_ir::MemRef::global(
+                    g,
+                    None,
+                    0,
+                    threadfuser_ir::AccessSize::B8,
+                ));
+            }
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
+        let stats = simulate_cpu(&traces, &CpuSimConfig::default());
+        assert!(stats.l1_hits > stats.l1_misses * 10);
+    }
+
+    #[test]
+    fn ipc_at_most_one_per_core_aggregate() {
+        let traces = traced(64, 16);
+        let cfg = CpuSimConfig::default();
+        let stats = simulate_cpu(&traces, &cfg);
+        // Work is spread over cores, so machine-level IPC can exceed 1 but
+        // never n_cores.
+        assert!(stats.ipc() <= cfg.n_cores as f64 + 1e-9);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn empty_traces_zero_cycles() {
+        let stats = simulate_cpu(&TraceSet::default(), &CpuSimConfig::default());
+        assert_eq!(stats.cycles, 0);
+    }
+}

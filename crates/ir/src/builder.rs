@@ -1,0 +1,749 @@
+//! Ergonomic construction of TFIR programs.
+//!
+//! The builder emits *naive, unoptimized* code on purpose: every source
+//! variable created with [`FunctionBuilder::var`] lives in a stack-frame
+//! slot and is re-loaded/re-stored around each use, exactly like `gcc -O0`
+//! output. The [`crate::opt`] passes then model the higher optimization
+//! levels of the paper's correlation sweep.
+
+use crate::ids::{BlockId, FuncId, GlobalId, Reg};
+use crate::inst::{AccessSize, AluOp, Base, Cond, Inst, IoKind, MemRef, Operand, Terminator};
+use crate::program::{BasicBlock, Function, Global, Program, ValidateError};
+
+/// A stack-frame slot created by [`FunctionBuilder::var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    offset: u32,
+    size: AccessSize,
+}
+
+impl Slot {
+    /// Frame offset in bytes.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// The memory reference for this slot.
+    pub fn mem(&self) -> MemRef {
+        MemRef::frame(self.offset as i64, self.size)
+    }
+}
+
+/// Builds a whole [`Program`]: declare globals, then functions.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+    globals: Vec<Global>,
+    reserved: Vec<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a zero-initialized global of `size` bytes.
+    pub fn global(&mut self, name: &str, size: u64) -> GlobalId {
+        self.global_init(name, size, Vec::new())
+    }
+
+    /// Declares a global with an initializer (zero-padded to `size`).
+    ///
+    /// # Panics
+    /// Panics if the initializer is longer than `size`.
+    pub fn global_init(&mut self, name: &str, size: u64, init: Vec<u8>) -> GlobalId {
+        assert!(init.len() as u64 <= size, "initializer longer than global");
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global { name: name.to_string(), size, init });
+        id
+    }
+
+    /// Declares a global initialized from little-endian `i64` words.
+    pub fn global_i64(&mut self, name: &str, words: &[i64]) -> GlobalId {
+        let mut init = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            init.extend_from_slice(&w.to_le_bytes());
+        }
+        let size = init.len() as u64;
+        self.global_init(name, size, init)
+    }
+
+    /// Reserves a [`FuncId`] for a function defined later with
+    /// [`Self::define`], enabling forward references (mutual recursion).
+    pub fn declare(&mut self, name: &str) -> FuncId {
+        let id = FuncId((self.functions.len() + self.reserved.len()) as u32);
+        self.reserved.push(name.to_string());
+        id
+    }
+
+    /// Defines a function immediately; returns its id.
+    ///
+    /// The closure receives a [`FunctionBuilder`] positioned at the entry
+    /// block and must end every control path (the builder auto-terminates a
+    /// trailing open block with `ret`).
+    pub fn function(&mut self, name: &str, params: u16, f: impl FnOnce(&mut FunctionBuilder)) -> FuncId {
+        let id = self.declare(name);
+        self.define(id, params, f);
+        id
+    }
+
+    /// Defines a previously [`Self::declare`]d function.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by `declare` on this builder or has
+    /// already been defined.
+    pub fn define(&mut self, id: FuncId, params: u16, f: impl FnOnce(&mut FunctionBuilder)) {
+        let pending = id.0 as usize - self.functions.len();
+        assert!(
+            pending < self.reserved.len(),
+            "define() on an unknown or already-defined FuncId"
+        );
+        let name = self.reserved[pending].clone();
+        let mut fb = FunctionBuilder::new(name, params);
+        f(&mut fb);
+        let func = fb.finish();
+        // Functions must land at their declared index: flush in order.
+        assert_eq!(
+            pending, 0,
+            "functions must be defined in declaration order (define {id:?} after its predecessors)"
+        );
+        self.reserved.remove(0);
+        self.functions.push(func);
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    /// Returns a [`ValidateError`] if any structural invariant is violated.
+    ///
+    /// # Panics
+    /// Panics if declared functions remain undefined.
+    pub fn build(self) -> Result<Program, ValidateError> {
+        assert!(
+            self.reserved.is_empty(),
+            "undefined declared functions: {:?}",
+            self.reserved
+        );
+        Program::new(self.functions, self.globals)
+    }
+}
+
+/// Builds one function block-by-block.
+///
+/// The builder keeps a *current block*; instruction-emitting methods append
+/// to it, and control-flow methods terminate it and (usually) open a new
+/// one.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: u16,
+    next_reg: u16,
+    scalar_size: u32,
+    array_size: u32,
+    blocks: Vec<(Vec<Inst>, Option<Terminator>)>,
+    current: usize,
+}
+
+impl FunctionBuilder {
+    fn new(name: String, params: u16) -> Self {
+        FunctionBuilder {
+            name,
+            params,
+            next_reg: params,
+            scalar_size: 0,
+            array_size: 0,
+            blocks: vec![(Vec::new(), None)],
+            current: 0,
+        }
+    }
+
+    /// Parameter register `i` (`r0..`).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of the declared parameter range.
+    pub fn arg(&self, i: u16) -> Reg {
+        assert!(i < self.params, "argument index {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates a stack-frame variable of 1/2/4/8 bytes.
+    ///
+    /// Scalars live in the low frame region (below
+    /// [`Self::ARRAY_REGION`]); frame arrays live above it. The split
+    /// keeps register promotion of scalars sound in functions that also
+    /// hold address-taken arrays.
+    ///
+    /// # Panics
+    /// Panics if `size` is not 1, 2, 4, or 8, or if the scalar region
+    /// overflows.
+    pub fn var(&mut self, size: u32) -> Slot {
+        let access = match size {
+            1 => AccessSize::B1,
+            2 => AccessSize::B2,
+            4 => AccessSize::B4,
+            8 => AccessSize::B8,
+            _ => panic!("variable size must be 1, 2, 4, or 8 bytes"),
+        };
+        // Keep slots naturally aligned.
+        let offset = (self.scalar_size + size - 1) / size * size;
+        self.scalar_size = offset + size;
+        assert!(
+            self.scalar_size <= Self::ARRAY_REGION,
+            "scalar frame region overflow ({} slots of 8B max)",
+            Self::ARRAY_REGION / 8
+        );
+        Slot { offset, size: access }
+    }
+
+    /// First frame offset of the array region (see [`Self::var`]).
+    pub const ARRAY_REGION: u32 = 2048;
+
+    /// Allocates a frame-resident array of `len` elements of `elem_size`
+    /// bytes in the high frame region; returns the base offset. Accesses
+    /// use [`Self::frame_ref`].
+    pub fn frame_array(&mut self, len: u32, elem_size: u32) -> u32 {
+        let base = self.array_size.max(Self::ARRAY_REGION);
+        let offset = (base + elem_size - 1) / elem_size * elem_size;
+        self.array_size = offset + len * elem_size;
+        offset
+    }
+
+    // ---- memory reference helpers -------------------------------------
+
+    /// `global + index*size + 0` reference, with `index` an operand
+    /// materialized to a register if needed.
+    pub fn global_ref(&mut self, g: GlobalId, index: Operand, elem_size: u64) -> MemRef {
+        let size = access(elem_size);
+        match index {
+            Operand::Imm(i) => MemRef::global(g, None, i * elem_size as i64, size),
+            Operand::Reg(r) => MemRef::global(g, Some((r, elem_size as u8)), 0, size),
+            Operand::Mem(_) => {
+                let r = self.mov(index);
+                MemRef::global(g, Some((r, elem_size as u8)), 0, size)
+            }
+        }
+    }
+
+    /// Frame array reference `frame + base_off + index*elem_size`.
+    pub fn frame_ref(&mut self, base_off: u32, index: Operand, elem_size: u64) -> MemRef {
+        let size = access(elem_size);
+        match index {
+            Operand::Imm(i) => MemRef::frame(base_off as i64 + i * elem_size as i64, size),
+            Operand::Reg(r) => MemRef {
+                base: Base::Frame,
+                index: Some((r, elem_size as u8)),
+                disp: base_off as i64,
+                size,
+            },
+            Operand::Mem(_) => {
+                let r = self.mov(index);
+                MemRef {
+                    base: Base::Frame,
+                    index: Some((r, elem_size as u8)),
+                    disp: base_off as i64,
+                    size,
+                }
+            }
+        }
+    }
+
+    /// Pointer-based reference `reg + index*elem_size + disp`.
+    pub fn ptr_ref(&mut self, ptr: Reg, index: Operand, elem_size: u64, disp: i64) -> MemRef {
+        let size = access(elem_size);
+        match index {
+            Operand::Imm(i) => MemRef::reg(ptr, disp + i * elem_size as i64, size),
+            Operand::Reg(r) => MemRef::reg_index(ptr, r, elem_size as u8, disp, size),
+            Operand::Mem(_) => {
+                let r = self.mov(index);
+                MemRef::reg_index(ptr, r, elem_size as u8, disp, size)
+            }
+        }
+    }
+
+    // ---- instruction emission ------------------------------------------
+
+    fn emit(&mut self, inst: Inst) {
+        assert!(
+            self.blocks[self.current].1.is_none(),
+            "emitting into a terminated block; switch_to() a new one first"
+        );
+        self.blocks[self.current].0.push(inst);
+    }
+
+    /// `dst = a <op> b` into a fresh register.
+    pub fn alu(&mut self, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Alu { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// `dst = a <op> b` into an existing register.
+    pub fn alu_into(&mut self, dst: Reg, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.emit(Inst::Alu { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// Materializes an operand into a fresh register (a load when `src` is
+    /// a memory operand).
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Mov { dst, src: src.into() });
+        dst
+    }
+
+    /// `dst = src` into an existing register.
+    pub fn mov_into(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Inst::Mov { dst, src: src.into() });
+    }
+
+    /// Loads a frame variable.
+    pub fn load_var(&mut self, slot: Slot) -> Reg {
+        self.mov(Operand::Mem(slot.mem()))
+    }
+
+    /// Stores to a frame variable.
+    pub fn store_var(&mut self, slot: Slot, src: impl Into<Operand>) {
+        self.emit(Inst::Store { addr: slot.mem(), src: src.into() });
+    }
+
+    /// Loads through an arbitrary memory reference.
+    pub fn load(&mut self, addr: MemRef) -> Reg {
+        self.mov(Operand::Mem(addr))
+    }
+
+    /// Stores through an arbitrary memory reference.
+    pub fn store(&mut self, addr: MemRef, src: impl Into<Operand>) {
+        self.emit(Inst::Store { addr, src: src.into() });
+    }
+
+    /// `dst = &addr`.
+    pub fn lea(&mut self, addr: MemRef) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Lea { dst, addr });
+        dst
+    }
+
+    /// Heap allocation.
+    pub fn alloc(&mut self, size: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Alloc { dst, size: size.into() });
+        dst
+    }
+
+    /// Heap free.
+    pub fn free(&mut self, addr: impl Into<Operand>) {
+        self.emit(Inst::Free { addr: addr.into() });
+    }
+
+    /// Opaque I/O worth `cost` skipped instructions.
+    pub fn io(&mut self, kind: IoKind, cost: u32) {
+        self.emit(Inst::Io { kind, cost });
+    }
+
+    /// Emits a no-op (padding for efficiency experiments).
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Creates a new, empty, unterminated block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Redirects emission to `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.blocks[block.0 as usize].1.is_none(),
+            "switch_to() on a terminated block"
+        );
+        self.current = block.0 as usize;
+    }
+
+    /// The block currently receiving instructions.
+    pub fn current_block(&self) -> BlockId {
+        BlockId(self.current as u32)
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            self.blocks[self.current].1.is_none(),
+            "block already terminated"
+        );
+        self.blocks[self.current].1 = Some(term);
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jmp(target));
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn br(
+        &mut self,
+        cond: Cond,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        taken: BlockId,
+        fallthrough: BlockId,
+    ) {
+        self.terminate(Terminator::Br {
+            cond,
+            a: a.into(),
+            b: b.into(),
+            taken,
+            fallthrough,
+        });
+    }
+
+    /// Ends the current block with a jump table.
+    pub fn switch(&mut self, val: impl Into<Operand>, base: i64, targets: Vec<BlockId>, default: BlockId) {
+        self.terminate(Terminator::Switch { val: val.into(), base, targets, default });
+    }
+
+    /// Calls `callee`, resuming in a fresh block; returns the result
+    /// register.
+    pub fn call(&mut self, callee: FuncId, args: &[Operand]) -> Reg {
+        let dst = self.reg();
+        let ret_to = self.new_block();
+        self.terminate(Terminator::Call {
+            callee,
+            args: args.to_vec(),
+            ret_to,
+            dst: Some(dst),
+        });
+        self.switch_to(ret_to);
+        dst
+    }
+
+    /// Calls `callee` discarding any return value.
+    pub fn call_void(&mut self, callee: FuncId, args: &[Operand]) {
+        let ret_to = self.new_block();
+        self.terminate(Terminator::Call { callee, args: args.to_vec(), ret_to, dst: None });
+        self.switch_to(ret_to);
+    }
+
+    /// Ends the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Terminator::Ret { val });
+    }
+
+    /// Acquires the mutex at address `lock`, resuming in a fresh block.
+    pub fn acquire(&mut self, lock: impl Into<Operand>) {
+        let next = self.new_block();
+        self.terminate(Terminator::Acquire { lock: lock.into(), next });
+        self.switch_to(next);
+    }
+
+    /// Releases the mutex at address `lock`, resuming in a fresh block.
+    pub fn release(&mut self, lock: impl Into<Operand>) {
+        let next = self.new_block();
+        self.terminate(Terminator::Release { lock: lock.into(), next });
+        self.switch_to(next);
+    }
+
+    /// Crosses barrier `id`, resuming in a fresh block.
+    pub fn barrier(&mut self, id: u32) {
+        let next = self.new_block();
+        self.terminate(Terminator::Barrier { id, next });
+        self.switch_to(next);
+    }
+
+    // ---- structured-control helpers ---------------------------------------
+
+    /// Builds a `for (i = start; i < end; i += step)` loop whose induction
+    /// variable lives in a frame slot (O0-style). The body closure receives
+    /// the builder and a register holding the current `i`.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: i64,
+        body: impl FnOnce(&mut FunctionBuilder, Reg),
+    ) {
+        let i = self.var(8);
+        let end_v = self.var(8);
+        let end_op = end.into();
+        let end_r = self.mov(end_op);
+        self.store_var(end_v, end_r);
+        let start_op = start.into();
+        let start_r = self.mov(start_op);
+        self.store_var(i, start_r);
+
+        let head = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.jmp(head);
+
+        self.switch_to(head);
+        let iv = self.load_var(i);
+        self.br(Cond::Lt, iv, Operand::Mem(end_v.mem()), body_b, exit);
+
+        self.switch_to(body_b);
+        let iv2 = self.load_var(i);
+        body(self, iv2);
+        // body may have switched blocks; continue from wherever it left off
+        let next = self.load_var(i);
+        let bumped = self.alu(AluOp::Add, next, step);
+        self.store_var(i, bumped);
+        self.jmp(head);
+
+        self.switch_to(exit);
+    }
+
+    /// Builds a `while (cond_reg_producer() != 0)` loop. The `cond` closure
+    /// emits code computing the condition into a register each iteration;
+    /// the loop runs while it is non-zero.
+    pub fn while_nonzero(
+        &mut self,
+        cond: impl Fn(&mut FunctionBuilder) -> Reg,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) {
+        let head = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.jmp(head);
+
+        self.switch_to(head);
+        let c = cond(self);
+        self.br(Cond::Ne, c, 0i64, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self);
+        self.jmp(head);
+
+        self.switch_to(exit);
+    }
+
+    /// Builds `if (a cond b) { then }` with reconvergence after.
+    pub fn if_then(
+        &mut self,
+        cond: Cond,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        then: impl FnOnce(&mut FunctionBuilder),
+    ) {
+        let t = self.new_block();
+        let join = self.new_block();
+        self.br(cond, a, b, t, join);
+        self.switch_to(t);
+        then(self);
+        self.jmp(join);
+        self.switch_to(join);
+    }
+
+    /// Builds `if (a cond b) { then } else { els }` with reconvergence.
+    pub fn if_then_else(
+        &mut self,
+        cond: Cond,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        then: impl FnOnce(&mut FunctionBuilder),
+        els: impl FnOnce(&mut FunctionBuilder),
+    ) {
+        let t = self.new_block();
+        let e = self.new_block();
+        let join = self.new_block();
+        self.br(cond, a, b, t, e);
+        self.switch_to(t);
+        then(self);
+        self.jmp(join);
+        self.switch_to(e);
+        els(self);
+        self.jmp(join);
+        self.switch_to(join);
+    }
+
+    fn finish(mut self) -> Function {
+        // Auto-terminate a trailing open current block for convenience.
+        if self.blocks[self.current].1.is_none() {
+            self.blocks[self.current].1 = Some(Terminator::Ret { val: None });
+        }
+        let blocks: Vec<BasicBlock> = self
+            .blocks
+            .into_iter()
+            .map(|(insts, term)| BasicBlock {
+                insts,
+                // Unreachable never-terminated side blocks become returns.
+                term: term.unwrap_or(Terminator::Ret { val: None }),
+            })
+            .collect();
+        let frame_size = if self.array_size > 0 { self.array_size } else { self.scalar_size };
+        Function {
+            name: self.name,
+            params: self.params,
+            reg_count: self.next_reg.max(self.params),
+            frame_size: round_up(frame_size, 16),
+            blocks,
+            entry: BlockId(0),
+        }
+    }
+}
+
+fn access(elem_size: u64) -> AccessSize {
+    match elem_size {
+        1 => AccessSize::B1,
+        2 => AccessSize::B2,
+        4 => AccessSize::B4,
+        8 => AccessSize::B8,
+        _ => panic!("element size must be 1, 2, 4, or 8 bytes"),
+    }
+}
+
+fn round_up(v: u32, align: u32) -> u32 {
+    (v + align - 1) / align * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_straightline_function() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("f", 1, |fb| {
+            let a = fb.arg(0);
+            let b = fb.alu(AluOp::Add, a, 1i64);
+            fb.ret(Some(Operand::Reg(b)));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.functions()[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn for_range_builds_loop_shape() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("out", 8 * 64);
+        pb.function("k", 1, |fb| {
+            fb.for_range(0i64, 8i64, 1, |fb, i| {
+                let dst = fb.global_ref(g, Operand::Reg(i), 8);
+                fb.store(dst, i);
+            });
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        // entry + head + body + exit at minimum
+        assert!(p.functions()[0].blocks.len() >= 4);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn if_then_else_reconverges() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 1, |fb| {
+            let a = fb.arg(0);
+            fb.if_then_else(
+                Cond::Gt,
+                a,
+                0i64,
+                |fb| {
+                    fb.nop();
+                },
+                |fb| {
+                    fb.nop();
+                    fb.nop();
+                },
+            );
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let f = &p.functions()[0];
+        // entry, then, else, join
+        assert_eq!(f.blocks.len(), 4);
+        // both then and else jump to the same join block
+        let succ_t = f.blocks[1].term.successors();
+        let succ_e = f.blocks[2].term.successors();
+        assert_eq!(succ_t, succ_e);
+    }
+
+    #[test]
+    fn calls_pass_through_fresh_continuation() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.function("callee", 1, |fb| {
+            let a = fb.arg(0);
+            fb.ret(Some(Operand::Reg(a)));
+        });
+        pb.function("caller", 0, |fb| {
+            let r = fb.call(callee, &[Operand::Imm(42)]);
+            fb.ret(Some(Operand::Reg(r)));
+        });
+        let p = pb.build().unwrap();
+        let caller = &p.functions()[1];
+        assert_eq!(caller.blocks.len(), 2);
+        assert!(matches!(caller.blocks[0].term, Terminator::Call { .. }));
+    }
+
+    #[test]
+    fn declare_then_define_supports_forward_refs() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare("a");
+        let b = pb.declare("b");
+        pb.define(a, 0, |fb| {
+            fb.call_void(b, &[]);
+            fb.ret(None);
+        });
+        pb.define(b, 0, |fb| {
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.find_function("a"), Some(FuncId(0)));
+        assert_eq!(p.find_function("b"), Some(FuncId(1)));
+    }
+
+    #[test]
+    fn vars_are_aligned_and_frame_rounded() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("f", 0, |fb| {
+            let a = fb.var(1);
+            let b = fb.var(8);
+            assert_eq!(a.offset(), 0);
+            assert_eq!(b.offset(), 8);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.functions()[0].frame_size % 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn emitting_into_terminated_block_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("f", 0, |fb| {
+            fb.ret(None);
+            fb.nop();
+        });
+    }
+
+    #[test]
+    fn while_nonzero_shape() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("f", 1, |fb| {
+            let n = fb.var(8);
+            let a0 = fb.arg(0);
+            fb.store_var(n, a0);
+            fb.while_nonzero(
+                |fb| fb.load_var(n),
+                |fb| {
+                    let v = fb.load_var(n);
+                    let d = fb.alu(AluOp::Sub, v, 1i64);
+                    fb.store_var(n, d);
+                },
+            );
+            fb.ret(None);
+        });
+        pb.build().unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Typed identifiers for TFIR entities.
+//!
+//! Newtypes keep function, block, register, and global indices statically
+//! distinct (C-NEWTYPE): a [`BlockId`] can never be passed where a [`FuncId`]
+//! is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a function within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// A virtual register within a function frame.
+///
+/// Every function owns its register file (frames are fully caller-saved by
+/// construction), so registers never need spilling around calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+/// Index of a global data object within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+/// Globally unique "address" of a basic block: the pair (function, block).
+///
+/// This is what the tracer records per executed block, playing the role of
+/// the x86 code address a PIN trace would contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Containing function.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+}
+
+impl BlockAddr {
+    /// Creates a block address from a function/block pair.
+    pub fn new(func: FuncId, block: BlockId) -> Self {
+        Self { func, block }
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_ordering_groups_by_function() {
+        let a = BlockAddr::new(FuncId(0), BlockId(9));
+        let b = BlockAddr::new(FuncId(1), BlockId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(3).to_string(), "fn3");
+        assert_eq!(BlockId(7).to_string(), "bb7");
+        assert_eq!(Reg(2).to_string(), "r2");
+        assert_eq!(BlockAddr::new(FuncId(1), BlockId(2)).to_string(), "fn1:bb2");
+    }
+
+    #[test]
+    fn ids_round_trip_serde() {
+        let addr = BlockAddr::new(FuncId(4), BlockId(5));
+        let json = serde_json::to_string(&addr).unwrap();
+        let back: BlockAddr = serde_json::from_str(&json).unwrap();
+        assert_eq!(addr, back);
+    }
+}

@@ -1,0 +1,850 @@
+//! The TFIR optimizer: levels `O0`–`O3` modelling the gcc optimization
+//! sweep of the paper's correlation study (Section IV).
+//!
+//! | Level | Passes |
+//! |-------|--------|
+//! | `O0`  | none — builder output (every variable in a frame slot) |
+//! | `O1`  | block-local store→load forwarding + dead-store elimination |
+//! | `O2`  | `O1` + whole-function promotion of non-address-taken frame slots to registers |
+//! | `O3`  | `O2` + self-loop unrolling + compare-chain → jump-table conversion |
+//!
+//! The passes reproduce the paper's observed artefacts: `O0` inflates memory
+//! traffic (a load/store per variable access), `O2`/`O3` remove traffic the
+//! SIMT reference binary still performs, and `O3`'s unrolling/jump-tables
+//! perturb and *reduce* control divergence in the trace, causing the
+//! analyzer to overestimate SIMT efficiency exactly as reported.
+
+use crate::ids::Reg;
+use crate::inst::{AccessSize, Base, Inst, MemRef, Operand, Terminator};
+use crate::program::{Function, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Compiler optimization level applied to a TFIR program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization (builder output).
+    O0,
+    /// Store→load forwarding and dead-store elimination within blocks.
+    O1,
+    /// `O1` plus whole-function register promotion of frame slots.
+    O2,
+    /// `O2` plus loop unrolling and jump-table conversion.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, in ascending aggressiveness.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+    /// Applies this level's pass pipeline, returning the optimized program.
+    ///
+    /// # Panics
+    /// Panics if a pass produces an invalid program (internal bug).
+    pub fn apply(self, program: &Program) -> Program {
+        let mut p = program.clone();
+        if self >= OptLevel::O1 {
+            for f in p.functions_mut() {
+                store_load_forward(f);
+            }
+        }
+        if self >= OptLevel::O2 {
+            for f in p.functions_mut() {
+                promote_slots(f);
+            }
+        }
+        if self >= OptLevel::O3 {
+            for f in p.functions_mut() {
+                unroll_self_loops(f, 2);
+                unroll_rotated_loops(f);
+                convert_jump_tables(f);
+            }
+        }
+        p.validate().expect("optimizer produced an invalid program");
+        p
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+            OptLevel::O3 => write!(f, "O3"),
+        }
+    }
+}
+
+/// Byte ranges of the frame whose address escapes (via `Lea` or indexed
+/// frame references). Slots inside these ranges must stay in memory.
+fn aliased_frame_ranges(f: &Function) -> Vec<(i64, i64)> {
+    fn note(ranges: &mut Vec<(i64, i64)>, m: &MemRef) {
+        if let Base::Frame = m.base {
+            if m.index.is_some() {
+                // Indexed access: anything at or above the base displacement
+                // may be touched.
+                ranges.push((m.disp, i64::MAX));
+            }
+        }
+    }
+    let mut ranges = Vec::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::Lea { addr, .. } = inst {
+                if matches!(addr.base, Base::Frame) {
+                    // Taking a frame address aliases the whole frame
+                    // conservatively (pointer arithmetic may roam).
+                    ranges.push((0, i64::MAX));
+                }
+            }
+            if let Some(m) = inst.mem_read() {
+                note(&mut ranges, m);
+            }
+            if let Some(m) = inst.mem_write() {
+                note(&mut ranges, m);
+            }
+        }
+        if let Some(m) = b.term.mem_read() {
+            note(&mut ranges, m);
+        }
+    }
+    ranges
+}
+
+fn slot_aliased(ranges: &[(i64, i64)], disp: i64, size: u64) -> bool {
+    let end = disp + size as i64;
+    ranges.iter().any(|&(lo, hi)| disp < hi && lo < end)
+}
+
+/// Identifies a direct (non-indexed) frame slot.
+fn direct_frame_slot(m: &MemRef) -> Option<(i64, AccessSize)> {
+    if matches!(m.base, Base::Frame) && m.index.is_none() {
+        Some((m.disp, m.size))
+    } else {
+        None
+    }
+}
+
+// --------------------------------------------------------------------------
+// O1: block-local store→load forwarding + dead-store elimination
+// --------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct Known {
+    val: Operand,          // Reg or Imm only
+    store_idx: Option<usize>,
+    loaded_since: bool,
+    size: AccessSize,
+}
+
+/// Forwards frame-slot stores to later loads within each block and deletes
+/// stores overwritten before any read. Only non-aliased slots participate.
+/// Returns whether anything changed.
+pub fn store_load_forward(f: &mut Function) -> bool {
+    let ranges = aliased_frame_ranges(f);
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut known: HashMap<i64, Known> = HashMap::new();
+        let mut dead: HashSet<usize> = HashSet::new();
+
+        let invalidate_reg = |known: &mut HashMap<i64, Known>, r: Reg| {
+            known.retain(|_, k| k.val != Operand::Reg(r));
+        };
+        let rewrite =
+            |known: &HashMap<i64, Known>, op: &mut Operand, changed: &mut bool| {
+                if let Operand::Mem(m) = *op {
+                    if let Some((disp, size)) = direct_frame_slot(&m) {
+                        if let Some(k) = known.get(&disp) {
+                            if k.size == size {
+                                *op = k.val;
+                                *changed = true;
+                            }
+                        }
+                    }
+                }
+            };
+
+        for (i, inst) in b.insts.iter_mut().enumerate() {
+            match inst {
+                Inst::Mov { dst, src } => {
+                    // Forward into the source first.
+                    if let Operand::Mem(m) = *src {
+                        if let Some((disp, size)) = direct_frame_slot(&m) {
+                            if !slot_aliased(&ranges, disp, size.bytes()) {
+                                if let Some(k) = known.get_mut(&disp) {
+                                    if k.size == size {
+                                        *src = k.val;
+                                        k.loaded_since = true;
+                                        changed = true;
+                                    }
+                                } else {
+                                    // A load leaves the slot's value in dst.
+                                    let dst = *dst;
+                                    invalidate_reg(&mut known, dst);
+                                    known.insert(
+                                        disp,
+                                        Known {
+                                            val: Operand::Reg(dst),
+                                            store_idx: None,
+                                            loaded_since: true,
+                                            size,
+                                        },
+                                    );
+                                    continue;
+                                }
+                            } else if let Some(k) = known.get_mut(&disp) {
+                                k.loaded_since = true;
+                            }
+                        }
+                    }
+                    invalidate_reg(&mut known, *dst);
+                }
+                Inst::Alu { dst, a, b: bb, .. } => {
+                    rewrite(&known, a, &mut changed);
+                    rewrite(&known, bb, &mut changed);
+                    // Indexed frame reads inside the aliased region count as
+                    // loads of everything (conservative).
+                    invalidate_reg(&mut known, *dst);
+                }
+                Inst::Store { addr, src } => {
+                    rewrite(&known, src, &mut changed);
+                    if let Some((disp, size)) = direct_frame_slot(addr) {
+                        if !slot_aliased(&ranges, disp, size.bytes()) {
+                            if let Some(prev) = known.get(&disp) {
+                                if let Some(pi) = prev.store_idx {
+                                    if !prev.loaded_since && prev.size == size {
+                                        dead.insert(pi);
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            let val = match *src {
+                                Operand::Reg(_) | Operand::Imm(_) => Some(*src),
+                                Operand::Mem(_) => None,
+                            };
+                            if let Some(val) = val {
+                                known.insert(
+                                    disp,
+                                    Known { val, store_idx: Some(i), loaded_since: false, size },
+                                );
+                            } else {
+                                known.remove(&disp);
+                            }
+                        }
+                    }
+                }
+                Inst::Lea { dst, .. } | Inst::Alloc { dst, .. } => {
+                    invalidate_reg(&mut known, *dst);
+                }
+                Inst::Free { .. } | Inst::Io { .. } | Inst::Nop => {}
+            }
+        }
+
+        // The terminator may read a slot; rewrite it too (reads keep the
+        // final store live, which is already guaranteed: only *overwritten*
+        // stores were marked dead).
+        match &mut b.term {
+            Terminator::Br { a, b: bb, .. } => {
+                rewrite(&known, a, &mut changed);
+                rewrite(&known, bb, &mut changed);
+            }
+            Terminator::Switch { val, .. } => rewrite(&known, val, &mut changed),
+            Terminator::Ret { val: Some(v) } => rewrite(&known, v, &mut changed),
+            _ => {}
+        }
+
+        if !dead.is_empty() {
+            let mut idx = 0usize;
+            b.insts.retain(|_| {
+                let keep = !dead.contains(&idx);
+                idx += 1;
+                keep
+            });
+        }
+    }
+    changed
+}
+
+// --------------------------------------------------------------------------
+// O2: whole-function register promotion
+// --------------------------------------------------------------------------
+
+/// Promotes every non-aliased, consistently-sized frame slot to a fresh
+/// register. Sound because frames are private per activation, registers are
+/// zero-initialized like frame memory, and non-address-taken slots cannot be
+/// reached through pointers.
+pub fn promote_slots(f: &mut Function) -> usize {
+    let ranges = aliased_frame_ranges(f);
+
+    // Gather candidate slots and reject mixed-size access patterns.
+    let mut sizes: HashMap<i64, Option<AccessSize>> = HashMap::new();
+    let consider = |m: &MemRef, sizes: &mut HashMap<i64, Option<AccessSize>>| {
+        if let Some((disp, size)) = direct_frame_slot(m) {
+            sizes
+                .entry(disp)
+                .and_modify(|e| {
+                    if *e != Some(size) {
+                        *e = None;
+                    }
+                })
+                .or_insert(Some(size));
+        }
+    };
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Some(m) = inst.mem_read() {
+                consider(m, &mut sizes);
+            }
+            if let Some(m) = inst.mem_write() {
+                consider(m, &mut sizes);
+            }
+        }
+        if let Some(m) = b.term.mem_read() {
+            consider(m, &mut sizes);
+        }
+    }
+
+    let mut promoted: HashMap<i64, Reg> = HashMap::new();
+    let mut next = f.reg_count;
+    for (&disp, &size) in &sizes {
+        let Some(size) = size else { continue };
+        if slot_aliased(&ranges, disp, size.bytes()) {
+            continue;
+        }
+        promoted.insert(disp, Reg(next));
+        next += 1;
+    }
+    if promoted.is_empty() {
+        return 0;
+    }
+    f.reg_count = next;
+
+    let swap = |op: &mut Operand| {
+        if let Operand::Mem(m) = *op {
+            if let Some((disp, _)) = direct_frame_slot(&m) {
+                if let Some(&r) = promoted.get(&disp) {
+                    *op = Operand::Reg(r);
+                }
+            }
+        }
+    };
+
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Mov { src, .. } => swap(src),
+                Inst::Alu { a, b, .. } => {
+                    swap(a);
+                    swap(b);
+                }
+                Inst::Store { addr, src } => {
+                    if let Some((disp, _)) = direct_frame_slot(addr) {
+                        if let Some(&r) = promoted.get(&disp) {
+                            // Store becomes a register move.
+                            *inst = Inst::Mov { dst: r, src: *src };
+                            continue;
+                        }
+                    }
+                    swap(src);
+                }
+                _ => {}
+            }
+        }
+        match &mut b.term {
+            Terminator::Br { a, b, .. } => {
+                swap(a);
+                swap(b);
+            }
+            Terminator::Switch { val, .. } => swap(val),
+            Terminator::Ret { val: Some(v) } => swap(v),
+            _ => {}
+        }
+    }
+    promoted.len()
+}
+
+// --------------------------------------------------------------------------
+// O3: self-loop unrolling
+// --------------------------------------------------------------------------
+
+/// Unrolls single-block self-loops by `factor`, chaining `factor` body
+/// copies with per-copy exit checks. Reduces per-iteration visits to the
+/// header block, perturbing the dynamic block stream relative to lower
+/// optimization levels (the paper's O3 trace artefact).
+pub fn unroll_self_loops(f: &mut Function, factor: u32) -> usize {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let mut unrolled = 0;
+    let n = f.blocks.len();
+    for b_idx in 0..n {
+        let (is_self_loop, exits_on_taken) = match &f.blocks[b_idx].term {
+            Terminator::Br { taken, fallthrough, .. } => {
+                if taken.0 as usize == b_idx && fallthrough.0 as usize != b_idx {
+                    (true, false)
+                } else if fallthrough.0 as usize == b_idx && taken.0 as usize != b_idx {
+                    (true, true)
+                } else {
+                    (false, false)
+                }
+            }
+            _ => (false, false),
+        };
+        if !is_self_loop || f.blocks[b_idx].insts.is_empty() {
+            continue;
+        }
+        let _ = exits_on_taken;
+        // Chain factor-1 copies: B -> C1 -> ... -> C_{f-1} -> B, each copy
+        // keeping the original exit edge.
+        let mut loop_target = crate::ids::BlockId(b_idx as u32);
+        for _ in 1..factor {
+            let mut copy = f.blocks[b_idx].clone();
+            let new_id = crate::ids::BlockId(f.blocks.len() as u32);
+            // The copy loops back to the original header.
+            redirect_self_edge(&mut copy.term, b_idx, loop_target);
+            f.blocks.push(copy);
+            loop_target = new_id;
+        }
+        // The original header now continues into the last-created copy:
+        // rebuild the chain so B -> C_{last} -> ... -> B.
+        redirect_self_edge_at(f, b_idx, loop_target);
+        unrolled += 1;
+    }
+    unrolled
+}
+
+fn redirect_self_edge(term: &mut Terminator, self_idx: usize, to: crate::ids::BlockId) {
+    if let Terminator::Br { taken, fallthrough, .. } = term {
+        if taken.0 as usize == self_idx {
+            *taken = to;
+        }
+        if fallthrough.0 as usize == self_idx {
+            *fallthrough = to;
+        }
+    }
+}
+
+fn redirect_self_edge_at(f: &mut Function, b_idx: usize, to: crate::ids::BlockId) {
+    let term = &mut f.blocks[b_idx].term;
+    redirect_self_edge(term, b_idx, to);
+}
+
+/// Unrolls the classic two-block rotated loop produced by structured
+/// builders — a header `H: … br cond ? B : E` whose body `B` ends with
+/// `jmp H` — by duplicating the pair: `B` now jumps to a copy `H2 → B2 →
+/// H`, halving dynamic visits to each header block per two iterations.
+/// Semantics are preserved (each copy keeps the exit check); the dynamic
+/// block stream changes, which is exactly the O3 trace artefact the
+/// correlation study measures.
+pub fn unroll_rotated_loops(f: &mut Function) -> usize {
+    use crate::ids::BlockId;
+    let mut count = 0;
+    let n = f.blocks.len();
+    for h in 0..n {
+        let Terminator::Br { taken, fallthrough, .. } = f.blocks[h].term else { continue };
+        let mut unrolled_here = false;
+        for body in [taken, fallthrough] {
+            let bi = body.0 as usize;
+            if bi == h || unrolled_here {
+                continue;
+            }
+            let loops_back =
+                matches!(f.blocks[bi].term, Terminator::Jmp(t) if t.0 as usize == h);
+            if !loops_back || f.blocks[bi].insts.is_empty() {
+                continue;
+            }
+            let h2 = BlockId(f.blocks.len() as u32);
+            let b2 = BlockId(f.blocks.len() as u32 + 1);
+            // H2 is H with its body edge redirected to B2.
+            let mut hcopy = f.blocks[h].clone();
+            if let Terminator::Br { taken, fallthrough, .. } = &mut hcopy.term {
+                if *taken == body {
+                    *taken = b2;
+                }
+                if *fallthrough == body {
+                    *fallthrough = b2;
+                }
+            }
+            // B2 is B unchanged (still jumps to the original H).
+            let bcopy = f.blocks[bi].clone();
+            f.blocks.push(hcopy);
+            f.blocks.push(bcopy);
+            // The original body now continues into the copied header.
+            f.blocks[bi].term = Terminator::Jmp(h2);
+            count += 1;
+            unrolled_here = true;
+        }
+    }
+    count
+}
+
+// --------------------------------------------------------------------------
+// O3: compare-chain → jump-table conversion
+// --------------------------------------------------------------------------
+
+/// Resolves an operand through leading `Mov` copies in `insts` to its root.
+fn root_operand(insts: &[Inst], op: Operand) -> Operand {
+    let mut cur = op;
+    // Walk backwards through the block's moves.
+    for inst in insts.iter().rev() {
+        if let Inst::Mov { dst, src } = inst {
+            if cur == Operand::Reg(*dst) {
+                cur = *src;
+            }
+        }
+    }
+    cur
+}
+
+/// Converts chains of `if (x == k0) … else if (x == k1) …` blocks into a
+/// single [`Terminator::Switch`] jump table, as `gcc -O3` does for dense
+/// switch statements. Chain links must be empty apart from `Mov`
+/// instructions feeding the comparison, and all comparisons must resolve to
+/// the same root operand with dense constants.
+pub fn convert_jump_tables(f: &mut Function) -> usize {
+    let mut converted = 0;
+    let n = f.blocks.len();
+    'outer: for head in 0..n {
+        // Collect the chain starting at `head`.
+        let mut cases: Vec<(i64, crate::ids::BlockId)> = Vec::new();
+        let mut cur = head;
+        let mut root: Option<Operand> = None;
+        let default;
+        loop {
+            let b = &f.blocks[cur];
+            if cur != head && !b.insts.iter().all(|i| matches!(i, Inst::Mov { .. })) {
+                continue 'outer;
+            }
+            match &b.term {
+                Terminator::Br {
+                    cond: crate::inst::Cond::Eq,
+                    a,
+                    b: bb,
+                    taken,
+                    fallthrough,
+                } => {
+                    let (val_op, key) = match (a, bb) {
+                        (x, Operand::Imm(k)) => (*x, *k),
+                        (Operand::Imm(k), x) => (*x, *k),
+                        _ => continue 'outer,
+                    };
+                    let r = root_operand(&b.insts, val_op);
+                    match &root {
+                        None => root = Some(r),
+                        Some(existing) if *existing == r => {}
+                        _ => continue 'outer,
+                    }
+                    if cases.iter().any(|(k, _)| *k == key) {
+                        continue 'outer;
+                    }
+                    cases.push((key, *taken));
+                    let next = fallthrough.0 as usize;
+                    if next == head || cases.len() > 64 {
+                        continue 'outer;
+                    }
+                    // Chain continues if the fallthrough looks like another
+                    // link; otherwise it is the default.
+                    let fb = &f.blocks[next];
+                    let looks_like_link = matches!(
+                        fb.term,
+                        Terminator::Br { cond: crate::inst::Cond::Eq, .. }
+                    ) && fb.insts.iter().all(|i| matches!(i, Inst::Mov { .. }));
+                    if looks_like_link && cases.len() < 64 {
+                        cur = next;
+                        continue;
+                    }
+                    default = *fallthrough;
+                    break;
+                }
+                _ => continue 'outer,
+            }
+        }
+        if cases.len() < 3 {
+            continue;
+        }
+        let min = cases.iter().map(|(k, _)| *k).min().expect("nonempty");
+        let max = cases.iter().map(|(k, _)| *k).max().expect("nonempty");
+        let span = (max - min) as usize + 1;
+        if span > 128 {
+            continue; // too sparse for a table
+        }
+        let mut targets = vec![default; span];
+        for (k, t) in &cases {
+            targets[(k - min) as usize] = *t;
+        }
+        let root = root.expect("chain had at least one compare");
+        f.blocks[head].term =
+            Terminator::Switch { val: root, base: min, targets, default };
+        converted += 1;
+    }
+    converted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::BlockId;
+    use crate::inst::{AluOp, Cond};
+
+    fn count_mem_insts(p: &Program) -> usize {
+        p.functions()
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.touches_memory())
+            .count()
+    }
+
+    fn sample_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("out", 8 * 128);
+        pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let acc = fb.var(8);
+            fb.store_var(acc, 0i64);
+            fb.for_range(0i64, 16i64, 1, |fb, i| {
+                let a = fb.load_var(acc);
+                let s = fb.alu(AluOp::Add, a, i);
+                fb.store_var(acc, s);
+            });
+            let fin = fb.load_var(acc);
+            let dst = fb.global_ref(g, Operand::Reg(tid), 8);
+            fb.store(dst, fin);
+            fb.ret(None);
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn o1_reduces_memory_instructions() {
+        let p = sample_program();
+        let o1 = OptLevel::O1.apply(&p);
+        assert!(count_mem_insts(&o1) < count_mem_insts(&p));
+    }
+
+    #[test]
+    fn o2_removes_nearly_all_frame_traffic() {
+        let p = sample_program();
+        let o2 = OptLevel::O2.apply(&p);
+        let frame_ops = o2
+            .functions()
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| {
+                i.mem_read().map(|m| m.is_frame()).unwrap_or(false)
+                    || i.mem_write().map(|m| m.is_frame()).unwrap_or(false)
+            })
+            .count();
+        assert_eq!(frame_ops, 0, "all direct slots should be promoted");
+    }
+
+    #[test]
+    fn opt_levels_are_ordered() {
+        assert!(OptLevel::O0 < OptLevel::O1);
+        assert!(OptLevel::O2 < OptLevel::O3);
+        assert_eq!(OptLevel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn promotion_respects_address_taken_slots() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 0, |fb| {
+            let v = fb.var(8);
+            fb.store_var(v, 7i64);
+            let p = fb.lea(v.mem());
+            let m = fb.ptr_ref(p, Operand::Imm(0), 8, 0);
+            let lv = fb.load(m);
+            fb.ret(Some(Operand::Reg(lv)));
+        });
+        let p = pb.build().unwrap();
+        let o2 = OptLevel::O2.apply(&p);
+        // The store must survive: its address escaped via Lea.
+        let stores = o2.functions()[0]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn dead_store_eliminated() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 0, |fb| {
+            let v = fb.var(8);
+            fb.store_var(v, 1i64);
+            fb.store_var(v, 2i64); // kills the first store
+            let r = fb.load_var(v);
+            fb.ret(Some(Operand::Reg(r)));
+        });
+        let p = pb.build().unwrap();
+        let o1 = OptLevel::O1.apply(&p);
+        let stores = o1.functions()[0]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn store_not_killed_when_loaded_between() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 0, |fb| {
+            let v = fb.var(8);
+            fb.store_var(v, 1i64);
+            let a = fb.load_var(v);
+            fb.store_var(v, 2i64);
+            fb.ret(Some(Operand::Reg(a)));
+        });
+        let p = pb.build().unwrap();
+        let o1 = OptLevel::O1.apply(&p);
+        // Forwarding may rewrite the load, but both stores remain only if the
+        // first was observed; after forwarding the load reads the stored
+        // value directly, making the first store dead-on-arrival — the pass
+        // must still keep it because `loaded_since` was set.
+        let stores = o1.functions()[0]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn unroll_duplicates_self_loop() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 1, |fb| {
+            let n = fb.arg(0);
+            // hand-built self-loop: body and latch in one block
+            let loop_b = fb.new_block();
+            let exit = fb.new_block();
+            let i = fb.reg();
+            fb.mov_into(i, 0i64);
+            fb.jmp(loop_b);
+            fb.switch_to(loop_b);
+            fb.alu_into(i, AluOp::Add, i, 1i64);
+            fb.br(Cond::Lt, i, n, loop_b, exit);
+            fb.switch_to(exit);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let before = p.functions()[0].blocks.len();
+        let o3 = OptLevel::O3.apply(&p);
+        assert!(o3.functions()[0].blocks.len() > before);
+    }
+
+    #[test]
+    fn rotated_loop_unrolled_at_o3() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 1, |fb| {
+            let n = fb.arg(0);
+            fb.for_range(0i64, Operand::Reg(n), 1, |fb, _| {
+                fb.nop();
+            });
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let before = p.functions()[0].blocks.len();
+        let o3 = OptLevel::O3.apply(&p);
+        assert!(
+            o3.functions()[0].blocks.len() >= before + 2,
+            "for_range loop should be rotated-unrolled"
+        );
+    }
+
+    #[test]
+    fn jump_table_conversion_on_eq_chain() {
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 1, |fb| {
+            let x = fb.arg(0);
+            let out = fb.var(8);
+            fb.if_then_else(
+                Cond::Eq,
+                x,
+                0i64,
+                |fb| fb.store_var(out, 10i64),
+                |fb| {
+                    fb.if_then_else(
+                        Cond::Eq,
+                        x,
+                        1i64,
+                        |fb| fb.store_var(out, 20i64),
+                        |fb| {
+                            fb.if_then_else(
+                                Cond::Eq,
+                                x,
+                                2i64,
+                                |fb| fb.store_var(out, 30i64),
+                                |fb| fb.store_var(out, 40i64),
+                            );
+                        },
+                    );
+                },
+            );
+            let r = fb.load_var(out);
+            fb.ret(Some(Operand::Reg(r)));
+        });
+        let p = pb.build().unwrap();
+        let o3 = OptLevel::O3.apply(&p);
+        let has_switch = o3.functions()[0]
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Switch { .. }));
+        assert!(has_switch, "eq-chain should become a jump table at O3");
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let p = sample_program();
+        let o0 = OptLevel::O0.apply(&p);
+        assert_eq!(p, o0);
+    }
+
+    #[test]
+    fn root_operand_resolution() {
+        let insts = vec![
+            Inst::Mov { dst: Reg(1), src: Operand::Reg(Reg(0)) },
+            Inst::Mov { dst: Reg(2), src: Operand::Reg(Reg(1)) },
+        ];
+        assert_eq!(root_operand(&insts, Operand::Reg(Reg(2))), Operand::Reg(Reg(0)));
+        assert_eq!(root_operand(&insts, Operand::Imm(5)), Operand::Imm(5));
+    }
+
+    #[test]
+    fn unreachable_chain_blocks_left_in_place() {
+        // Conversion must not remove blocks (ids stay stable).
+        let mut pb = ProgramBuilder::new();
+        pb.function("k", 1, |fb| {
+            let x = fb.arg(0);
+            fb.if_then_else(
+                Cond::Eq,
+                x,
+                0i64,
+                |fb| fb.nop(),
+                |fb| {
+                    fb.if_then_else(
+                        Cond::Eq,
+                        x,
+                        1i64,
+                        |fb| fb.nop(),
+                        |fb| {
+                            fb.if_then_else(Cond::Eq, x, 2i64, |fb| fb.nop(), |fb| fb.nop());
+                        },
+                    );
+                },
+            );
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let before = p.functions()[0].blocks.len();
+        let o3 = OptLevel::O3.apply(&p);
+        assert_eq!(o3.functions()[0].blocks.len(), before);
+        let _ = BlockId(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Human-readable disassembly of TFIR programs.
+
+use crate::inst::{Base, Inst, MemRef, Operand, Terminator};
+use crate::program::{Function, Program};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Wrapper whose `Display` renders a program as assembly-style text.
+///
+/// ```
+/// use threadfuser_ir::{ProgramBuilder, pretty::Disasm};
+/// let mut pb = ProgramBuilder::new();
+/// pb.function("f", 0, |fb| fb.ret(None));
+/// let p = pb.build().unwrap();
+/// let text = Disasm(&p).to_string();
+/// assert!(text.contains("fn f"));
+/// ```
+#[derive(Debug)]
+pub struct Disasm<'a>(pub &'a Program);
+
+fn fmt_mem(m: &MemRef) -> String {
+    let mut s = String::from("[");
+    match m.base {
+        Base::None => {}
+        Base::Reg(r) => {
+            let _ = write!(s, "{r}");
+        }
+        Base::Frame => s.push_str("fp"),
+        Base::Global(g) => {
+            let _ = write!(s, "{g}");
+        }
+    }
+    if let Some((r, scale)) = m.index {
+        let _ = write!(s, "+{r}*{scale}");
+    }
+    if m.disp != 0 {
+        let _ = write!(s, "{:+}", m.disp);
+    }
+    let _ = write!(s, "]{{{}}}", m.size.bytes());
+    s
+}
+
+fn fmt_op(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => v.to_string(),
+        Operand::Mem(m) => fmt_mem(m),
+    }
+}
+
+fn fmt_inst(i: &Inst) -> String {
+    match i {
+        Inst::Alu { op, dst, a, b } => {
+            format!("{dst} = {:?}({}, {})", op, fmt_op(a), fmt_op(b)).to_lowercase()
+        }
+        Inst::Mov { dst, src } => format!("{dst} = {}", fmt_op(src)),
+        Inst::Store { addr, src } => format!("{} = {}", fmt_mem(addr), fmt_op(src)),
+        Inst::Lea { dst, addr } => format!("{dst} = lea {}", fmt_mem(addr)),
+        Inst::Alloc { dst, size } => format!("{dst} = alloc({})", fmt_op(size)),
+        Inst::Free { addr } => format!("free({})", fmt_op(addr)),
+        Inst::Io { kind, cost } => format!("io.{kind:?}({cost})").to_lowercase(),
+        Inst::Nop => "nop".to_string(),
+    }
+}
+
+fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jmp(b) => format!("jmp {b}"),
+        Terminator::Br { cond, a, b, taken, fallthrough } => format!(
+            "br {:?}({}, {}) ? {taken} : {fallthrough}",
+            cond,
+            fmt_op(a),
+            fmt_op(b)
+        )
+        .to_lowercase(),
+        Terminator::Switch { val, base, targets, default } => {
+            let ts: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+            format!(
+                "switch {} base={base} [{}] default {default}",
+                fmt_op(val),
+                ts.join(", ")
+            )
+        }
+        Terminator::Call { callee, args, ret_to, dst } => {
+            let a: Vec<String> = args.iter().map(fmt_op).collect();
+            match dst {
+                Some(d) => format!("{d} = call {callee}({}) -> {ret_to}", a.join(", ")),
+                None => format!("call {callee}({}) -> {ret_to}", a.join(", ")),
+            }
+        }
+        Terminator::Ret { val } => match val {
+            Some(v) => format!("ret {}", fmt_op(v)),
+            None => "ret".to_string(),
+        },
+        Terminator::Acquire { lock, next } => format!("acquire {} -> {next}", fmt_op(lock)),
+        Terminator::Release { lock, next } => format!("release {} -> {next}", fmt_op(lock)),
+        Terminator::Barrier { id, next } => format!("barrier #{id} -> {next}"),
+    }
+}
+
+fn fmt_function(out: &mut fmt::Formatter<'_>, idx: usize, f: &Function) -> fmt::Result {
+    writeln!(
+        out,
+        "fn {} (fn{idx}, params={}, regs={}, frame={}B):",
+        f.name, f.params, f.reg_count, f.frame_size
+    )?;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        writeln!(out, "  bb{bi}:")?;
+        for i in &b.insts {
+            writeln!(out, "    {}", fmt_inst(i))?;
+        }
+        writeln!(out, "    {}", fmt_term(&b.term))?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Disasm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (gi, g) in self.0.globals().iter().enumerate() {
+            writeln!(f, "global g{gi} {} ({}B)", g.name, g.size)?;
+        }
+        for (fi, func) in self.0.functions().iter().enumerate() {
+            fmt_function(f, fi, func)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::AluOp;
+
+    #[test]
+    fn disassembly_covers_control_and_sync_terminators() {
+        use crate::inst::Cond;
+        let mut pb = ProgramBuilder::new();
+        let lock = pb.global("lock", 8);
+        pb.function("f", 1, |fb| {
+            let a = fb.arg(0);
+            let l = fb.lea(crate::inst::MemRef::global(
+                lock,
+                None,
+                0,
+                crate::inst::AccessSize::B8,
+            ));
+            fb.acquire(crate::inst::Operand::Reg(l));
+            fb.release(crate::inst::Operand::Reg(l));
+            fb.barrier(3);
+            let c0 = fb.new_block();
+            let c1 = fb.new_block();
+            let join = fb.new_block();
+            fb.switch(a, 0, vec![c0, c1], join);
+            fb.switch_to(c0);
+            fb.jmp(join);
+            fb.switch_to(c1);
+            fb.if_then(Cond::Ne, a, 0i64, |fb| fb.nop());
+            fb.jmp(join);
+            fb.switch_to(join);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let text = Disasm(&p).to_string();
+        for needle in ["acquire", "release", "barrier #3", "switch", "lea", "br ne"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn disassembly_mentions_all_parts() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("table", 64);
+        pb.function("work", 1, |fb| {
+            let t = fb.arg(0);
+            let v = fb.alu(AluOp::Mul, t, 3i64);
+            let m = fb.global_ref(g, Operand::Reg(t), 8);
+            fb.store(m, v);
+            fb.ret(Some(Operand::Reg(v)));
+        });
+        let p = pb.build().unwrap();
+        let text = Disasm(&p).to_string();
+        assert!(text.contains("global g0 table"));
+        assert!(text.contains("fn work"));
+        assert!(text.contains("mul"));
+        assert!(text.contains("ret"));
+    }
+}

@@ -1,0 +1,549 @@
+//! Whole TFIR programs: functions, basic blocks, globals, and validation.
+
+use crate::ids::{BlockId, FuncId, GlobalId, Reg};
+use crate::inst::{Base, Inst, MemRef, Operand, Terminator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A basic block: straight-line instructions plus exactly one terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// Control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Number of dynamic instructions the block represents when executed
+    /// (body plus the terminator itself).
+    pub fn len_with_term(&self) -> u32 {
+        self.insts.len() as u32 + 1
+    }
+}
+
+/// A function: a register frame, a stack frame, and a block list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (unique within the program).
+    pub name: String,
+    /// Number of parameters, passed in `r0..r(params-1)`.
+    pub params: u16,
+    /// Number of virtual registers used (`r0..r(reg_count-1)`).
+    pub reg_count: u16,
+    /// Stack-frame size in bytes.
+    pub frame_size: u32,
+    /// Basic blocks; `BlockId(i)` indexes this vector.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Borrow a block by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (validated programs never do this).
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterator over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+}
+
+/// A global data object, loaded at a fixed heap-segment address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Global {
+    /// Human-readable name (unique within the program).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Optional initializer (zero-filled when shorter than `size`).
+    pub init: Vec<u8>,
+}
+
+/// A complete TFIR program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    functions: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl Program {
+    /// Assembles a program from parts, validating the result.
+    ///
+    /// # Errors
+    /// Returns the first [`ValidateError`] found.
+    pub fn new(functions: Vec<Function>, globals: Vec<Global>) -> Result<Self, ValidateError> {
+        let p = Program { functions, globals };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// All functions; `FuncId(i)` indexes this slice.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All globals; `GlobalId(i)` indexes this slice.
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// Borrow a function by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access for optimizer passes (crate-internal).
+    pub(crate) fn functions_mut(&mut self) -> &mut Vec<Function> {
+        &mut self.functions
+    }
+
+    /// Looks up a function id by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Total static instruction count (bodies plus terminators).
+    pub fn static_inst_count(&self) -> u64 {
+        self.functions
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.len_with_term() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Checks structural invariants; see [`ValidateError`] for the rules.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for (fi, f) in self.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            if f.params > f.reg_count {
+                return Err(ValidateError::ParamsExceedRegs { func: fid });
+            }
+            if f.blocks.is_empty() {
+                return Err(ValidateError::EmptyFunction { func: fid });
+            }
+            if f.entry.0 as usize >= f.blocks.len() {
+                return Err(ValidateError::BadBlockRef { func: fid, block: f.entry });
+            }
+            for (bi, b) in f.iter_blocks() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    self.validate_inst(fid, f, bi, ii, inst)?;
+                }
+                self.validate_term(fid, f, bi, &b.term)?;
+            }
+        }
+        let mut names: Vec<&str> = self.functions.iter().map(|f| f.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ValidateError::DuplicateName);
+        }
+        Ok(())
+    }
+
+    fn validate_operand(
+        &self,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        op: &Operand,
+    ) -> Result<(), ValidateError> {
+        match op {
+            Operand::Reg(r) => self.validate_reg(func, f, block, *r),
+            Operand::Imm(_) => Ok(()),
+            Operand::Mem(m) => self.validate_memref(func, f, block, m),
+        }
+    }
+
+    fn validate_reg(
+        &self,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        r: Reg,
+    ) -> Result<(), ValidateError> {
+        if r.0 >= f.reg_count {
+            Err(ValidateError::BadReg { func, block, reg: r })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn validate_memref(
+        &self,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        m: &MemRef,
+    ) -> Result<(), ValidateError> {
+        match m.base {
+            Base::Reg(r) => self.validate_reg(func, f, block, r)?,
+            Base::Global(g) => {
+                if g.0 as usize >= self.globals.len() {
+                    return Err(ValidateError::BadGlobal { func, block, global: g });
+                }
+            }
+            Base::None | Base::Frame => {}
+        }
+        if let Some((r, scale)) = m.index {
+            self.validate_reg(func, f, block, r)?;
+            if !matches!(scale, 1 | 2 | 4 | 8) {
+                return Err(ValidateError::BadScale { func, block, scale });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_inst(
+        &self,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        idx: usize,
+        inst: &Inst,
+    ) -> Result<(), ValidateError> {
+        let mem_ops = |ops: &[&Operand]| ops.iter().filter(|o| o.mem().is_some()).count();
+        match inst {
+            Inst::Alu { dst, a, b, .. } => {
+                self.validate_reg(func, f, block, *dst)?;
+                self.validate_operand(func, f, block, a)?;
+                self.validate_operand(func, f, block, b)?;
+                if mem_ops(&[a, b]) > 1 {
+                    return Err(ValidateError::TwoMemOperands { func, block, inst: idx });
+                }
+            }
+            Inst::Mov { dst, src } => {
+                self.validate_reg(func, f, block, *dst)?;
+                self.validate_operand(func, f, block, src)?;
+            }
+            Inst::Store { addr, src } => {
+                self.validate_memref(func, f, block, addr)?;
+                self.validate_operand(func, f, block, src)?;
+                if src.mem().is_some() {
+                    return Err(ValidateError::TwoMemOperands { func, block, inst: idx });
+                }
+            }
+            Inst::Lea { dst, addr } => {
+                self.validate_reg(func, f, block, *dst)?;
+                self.validate_memref(func, f, block, addr)?;
+            }
+            Inst::Alloc { dst, size } => {
+                self.validate_reg(func, f, block, *dst)?;
+                self.validate_operand(func, f, block, size)?;
+            }
+            Inst::Free { addr } => self.validate_operand(func, f, block, addr)?,
+            Inst::Io { .. } | Inst::Nop => {}
+        }
+        Ok(())
+    }
+
+    fn validate_term(
+        &self,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        term: &Terminator,
+    ) -> Result<(), ValidateError> {
+        for s in term.successors() {
+            if s.0 as usize >= f.blocks.len() {
+                return Err(ValidateError::BadBlockRef { func, block: s });
+            }
+        }
+        match term {
+            Terminator::Br { a, b, .. } => {
+                self.validate_operand(func, f, block, a)?;
+                self.validate_operand(func, f, block, b)?;
+                if a.mem().is_some() && b.mem().is_some() {
+                    return Err(ValidateError::TwoMemOperands { func, block, inst: usize::MAX });
+                }
+            }
+            Terminator::Switch { val, .. } => self.validate_operand(func, f, block, val)?,
+            Terminator::Call { callee, args, dst, .. } => {
+                let Some(cf) = self.functions.get(callee.0 as usize) else {
+                    return Err(ValidateError::BadCallee { func, block, callee: *callee });
+                };
+                if args.len() != cf.params as usize {
+                    return Err(ValidateError::ArgCountMismatch {
+                        func,
+                        block,
+                        callee: *callee,
+                        expected: cf.params,
+                        got: args.len(),
+                    });
+                }
+                for a in args {
+                    self.validate_operand(func, f, block, a)?;
+                    if a.mem().is_some() {
+                        return Err(ValidateError::TwoMemOperands {
+                            func,
+                            block,
+                            inst: usize::MAX,
+                        });
+                    }
+                }
+                if let Some(d) = dst {
+                    self.validate_reg(func, f, block, *d)?;
+                }
+            }
+            Terminator::Ret { val: Some(v) } => self.validate_operand(func, f, block, v)?,
+            Terminator::Acquire { lock, .. } | Terminator::Release { lock, .. } => {
+                self.validate_operand(func, f, block, lock)?;
+                if lock.mem().is_some() {
+                    return Err(ValidateError::TwoMemOperands { func, block, inst: usize::MAX });
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Structural validation failures for [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A function declares more parameters than registers.
+    ParamsExceedRegs {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function.
+        func: FuncId,
+    },
+    /// A terminator or entry references a block out of range.
+    BadBlockRef {
+        /// Containing function.
+        func: FuncId,
+        /// The bad reference.
+        block: BlockId,
+    },
+    /// A register index is out of the function's register frame.
+    BadReg {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// The bad register.
+        reg: Reg,
+    },
+    /// A memory reference names a global out of range.
+    BadGlobal {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// The bad global.
+        global: GlobalId,
+    },
+    /// An index scale other than 1, 2, 4, or 8.
+    BadScale {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// The bad scale.
+        scale: u8,
+    },
+    /// More than one memory operand on a single instruction (x86 rule).
+    TwoMemOperands {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// Instruction index (`usize::MAX` for the terminator).
+        inst: usize,
+    },
+    /// A call names a function out of range.
+    BadCallee {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// The bad callee.
+        callee: FuncId,
+    },
+    /// A call passes the wrong number of arguments.
+    ArgCountMismatch {
+        /// Containing function.
+        func: FuncId,
+        /// Containing block.
+        block: BlockId,
+        /// Callee.
+        callee: FuncId,
+        /// Declared parameter count.
+        expected: u16,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Two functions share a name.
+    DuplicateName,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::ParamsExceedRegs { func } => {
+                write!(f, "{func}: more parameters than registers")
+            }
+            ValidateError::EmptyFunction { func } => write!(f, "{func}: function has no blocks"),
+            ValidateError::BadBlockRef { func, block } => {
+                write!(f, "{func}: reference to nonexistent {block}")
+            }
+            ValidateError::BadReg { func, block, reg } => {
+                write!(f, "{func}:{block}: register {reg} out of frame")
+            }
+            ValidateError::BadGlobal { func, block, global } => {
+                write!(f, "{func}:{block}: nonexistent global {global}")
+            }
+            ValidateError::BadScale { func, block, scale } => {
+                write!(f, "{func}:{block}: invalid index scale {scale}")
+            }
+            ValidateError::TwoMemOperands { func, block, inst } => {
+                write!(f, "{func}:{block}: instruction {inst} has two memory operands")
+            }
+            ValidateError::BadCallee { func, block, callee } => {
+                write!(f, "{func}:{block}: call to nonexistent {callee}")
+            }
+            ValidateError::ArgCountMismatch { func, block, callee, expected, got } => write!(
+                f,
+                "{func}:{block}: call to {callee} with {got} args, expected {expected}"
+            ),
+            ValidateError::DuplicateName => write!(f, "duplicate function name"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AccessSize, AluOp};
+
+    fn one_block_fn(name: &str, insts: Vec<Inst>, term: Terminator) -> Function {
+        Function {
+            name: name.to_string(),
+            params: 1,
+            reg_count: 4,
+            frame_size: 64,
+            blocks: vec![BasicBlock { insts, term }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn valid_minimal_program() {
+        let f = one_block_fn("main", vec![], Terminator::Ret { val: None });
+        assert!(Program::new(vec![f], vec![]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_block_ref() {
+        let f = one_block_fn("main", vec![], Terminator::Jmp(BlockId(5)));
+        let err = Program::new(vec![f], vec![]).unwrap_err();
+        assert!(matches!(err, ValidateError::BadBlockRef { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_frame_register() {
+        let f = one_block_fn(
+            "main",
+            vec![Inst::Mov { dst: Reg(99), src: Operand::Imm(0) }],
+            Terminator::Ret { val: None },
+        );
+        let err = Program::new(vec![f], vec![]).unwrap_err();
+        assert!(matches!(err, ValidateError::BadReg { .. }));
+    }
+
+    #[test]
+    fn rejects_two_memory_operands() {
+        let m = MemRef::frame(0, AccessSize::B8);
+        let f = one_block_fn(
+            "main",
+            vec![Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Mem(m),
+                b: Operand::Mem(m),
+            }],
+            Terminator::Ret { val: None },
+        );
+        let err = Program::new(vec![f], vec![]).unwrap_err();
+        assert!(matches!(err, ValidateError::TwoMemOperands { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_global() {
+        let m = MemRef::global(GlobalId(3), None, 0, AccessSize::B4);
+        let f = one_block_fn(
+            "main",
+            vec![Inst::Mov { dst: Reg(0), src: Operand::Mem(m) }],
+            Terminator::Ret { val: None },
+        );
+        let err = Program::new(vec![f], vec![]).unwrap_err();
+        assert!(matches!(err, ValidateError::BadGlobal { .. }));
+    }
+
+    #[test]
+    fn rejects_arg_count_mismatch() {
+        let callee = one_block_fn("callee", vec![], Terminator::Ret { val: None });
+        let caller = Function {
+            name: "caller".into(),
+            params: 0,
+            reg_count: 2,
+            frame_size: 0,
+            blocks: vec![
+                BasicBlock {
+                    insts: vec![],
+                    term: Terminator::Call {
+                        callee: FuncId(0),
+                        args: vec![],
+                        ret_to: BlockId(1),
+                        dst: None,
+                    },
+                },
+                BasicBlock { insts: vec![], term: Terminator::Ret { val: None } },
+            ],
+            entry: BlockId(0),
+        };
+        let err = Program::new(vec![callee, caller], vec![]).unwrap_err();
+        assert!(matches!(err, ValidateError::ArgCountMismatch { expected: 1, got: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let a = one_block_fn("f", vec![], Terminator::Ret { val: None });
+        let b = one_block_fn("f", vec![], Terminator::Ret { val: None });
+        assert_eq!(Program::new(vec![a, b], vec![]).unwrap_err(), ValidateError::DuplicateName);
+    }
+
+    #[test]
+    fn find_function_by_name() {
+        let a = one_block_fn("alpha", vec![], Terminator::Ret { val: None });
+        let b = one_block_fn("beta", vec![], Terminator::Ret { val: None });
+        let p = Program::new(vec![a, b], vec![]).unwrap();
+        assert_eq!(p.find_function("beta"), Some(FuncId(1)));
+        assert_eq!(p.find_function("gamma"), None);
+    }
+
+    #[test]
+    fn static_inst_count_includes_terminators() {
+        let f = one_block_fn(
+            "main",
+            vec![Inst::Nop, Inst::Nop],
+            Terminator::Ret { val: None },
+        );
+        let p = Program::new(vec![f], vec![]).unwrap();
+        assert_eq!(p.static_inst_count(), 3);
+    }
+}

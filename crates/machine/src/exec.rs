@@ -1,0 +1,400 @@
+//! The shared single-instruction executor.
+//!
+//! Both execution modes — the MIMD multicore machine (`mimd`) and the
+//! lock-step warp-native executor (`lockstep`) — drive threads/lanes
+//! through this module, guaranteeing identical instruction semantics on
+//! both sides of the correlation study.
+
+use crate::heap::{Heap, HeapError};
+use crate::memory::Memory;
+use threadfuser_ir::{
+    Base, BlockId, FuncId, Inst, MemRef, Operand, Reg, Terminator,
+};
+
+/// One dynamic memory access performed by an instruction or terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Width in bytes.
+    pub size: u32,
+    /// Store (`true`) or load (`false`).
+    pub is_store: bool,
+}
+
+/// Run-time faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Access below the null guard page.
+    NullDeref(u64),
+    /// Simulated heap exhausted.
+    OutOfMemory,
+    /// `free` of a non-live address.
+    InvalidFree(u64),
+    /// Thread stack exhausted.
+    StackOverflow,
+    /// Instruction budget exceeded (runaway program).
+    Budget,
+    /// A mutex was re-acquired by its owner.
+    RecursiveLock(u64),
+    /// A mutex was released by a non-owner.
+    ReleaseUnheld(u64),
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::NullDeref(a) => write!(f, "null-page access at {a:#x}"),
+            Trap::OutOfMemory => write!(f, "simulated heap exhausted"),
+            Trap::InvalidFree(a) => write!(f, "invalid free of {a:#x}"),
+            Trap::StackOverflow => write!(f, "thread stack overflow"),
+            Trap::Budget => write!(f, "instruction budget exceeded"),
+            Trap::RecursiveLock(a) => write!(f, "recursive acquire of lock {a:#x}"),
+            Trap::ReleaseUnheld(a) => write!(f, "release of unheld lock {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<HeapError> for Trap {
+    fn from(e: HeapError) -> Self {
+        match e {
+            HeapError::OutOfMemory => Trap::OutOfMemory,
+            HeapError::InvalidFree(a) => Trap::InvalidFree(a),
+        }
+    }
+}
+
+/// Control transfer produced by a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Next {
+    /// Continue at a block in the same function.
+    Goto(BlockId),
+    /// Call with evaluated arguments.
+    Call {
+        /// Callee function.
+        callee: FuncId,
+        /// Evaluated argument values.
+        args: Vec<i64>,
+        /// Caller continuation block.
+        ret_to: BlockId,
+        /// Register in the caller receiving the return value.
+        dst: Option<Reg>,
+    },
+    /// Return with an optional value.
+    Ret(Option<i64>),
+    /// Acquire the mutex at the given address, then continue.
+    Acquire {
+        /// Lock address.
+        lock: u64,
+        /// Successor block.
+        next: BlockId,
+    },
+    /// Release the mutex at the given address, then continue.
+    Release {
+        /// Lock address.
+        lock: u64,
+        /// Successor block.
+        next: BlockId,
+    },
+    /// Wait at barrier `id`, then continue.
+    Barrier {
+        /// Barrier identity.
+        id: u32,
+        /// Successor block.
+        next: BlockId,
+    },
+}
+
+/// Execution context of one thread (or lane): its register frame, frame
+/// pointer, and the shared memory/heap.
+#[derive(Debug)]
+pub struct ExecCtx<'a> {
+    /// Current function's register frame.
+    pub regs: &'a mut [i64],
+    /// Current frame pointer.
+    pub fp: u64,
+    /// Shared memory image.
+    pub mem: &'a mut Memory,
+    /// Shared heap allocator.
+    pub heap: &'a mut Heap,
+}
+
+const NULL_GUARD: u64 = 0x1000;
+
+impl ExecCtx<'_> {
+    fn addr_of(&self, m: &MemRef) -> u64 {
+        let base = match m.base {
+            Base::None => 0,
+            Base::Reg(r) => self.regs[r.0 as usize] as u64,
+            Base::Frame => self.fp,
+            Base::Global(g) => self.mem.global_addr(g),
+        };
+        let index = match m.index {
+            Some((r, scale)) => (self.regs[r.0 as usize] as u64).wrapping_mul(scale as u64),
+            None => 0,
+        };
+        base.wrapping_add(index).wrapping_add(m.disp as u64)
+    }
+
+    fn value(&mut self, op: &Operand, acc: &mut Vec<MemAccess>) -> Result<i64, Trap> {
+        match op {
+            Operand::Reg(r) => Ok(self.regs[r.0 as usize]),
+            Operand::Imm(v) => Ok(*v),
+            Operand::Mem(m) => {
+                let addr = self.addr_of(m);
+                if addr < NULL_GUARD {
+                    return Err(Trap::NullDeref(addr));
+                }
+                let size = m.size.bytes() as u32;
+                acc.push(MemAccess { addr, size, is_store: false });
+                Ok(self.mem.read(addr, size) as i64)
+            }
+        }
+    }
+
+    /// Executes one straight-line instruction, appending its memory
+    /// accesses to `acc`.
+    ///
+    /// [`Inst::Io`] and [`Inst::Nop`] are semantic no-ops here; the caller
+    /// accounts for skipped I/O cost.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on run-time faults.
+    pub fn exec_inst(&mut self, inst: &Inst, acc: &mut Vec<MemAccess>) -> Result<(), Trap> {
+        match inst {
+            Inst::Alu { op, dst, a, b } => {
+                let av = self.value(a, acc)?;
+                let bv = self.value(b, acc)?;
+                let v = op.eval(av, bv).ok_or(Trap::DivByZero)?;
+                self.regs[dst.0 as usize] = v;
+            }
+            Inst::Mov { dst, src } => {
+                let v = self.value(src, acc)?;
+                self.regs[dst.0 as usize] = v;
+            }
+            Inst::Store { addr, src } => {
+                let v = self.value(src, acc)?;
+                let a = self.addr_of(addr);
+                if a < NULL_GUARD {
+                    return Err(Trap::NullDeref(a));
+                }
+                let size = addr.size.bytes() as u32;
+                acc.push(MemAccess { addr: a, size, is_store: true });
+                self.mem.write(a, size, v as u64);
+            }
+            Inst::Lea { dst, addr } => {
+                self.regs[dst.0 as usize] = self.addr_of(addr) as i64;
+            }
+            Inst::Alloc { dst, size } => {
+                let n = self.value(size, acc)?;
+                let ptr = self.heap.alloc(n.max(1) as u64)?;
+                self.regs[dst.0 as usize] = ptr as i64;
+            }
+            Inst::Free { addr } => {
+                let a = self.value(addr, acc)?;
+                self.heap.free(a as u64)?;
+            }
+            Inst::Io { .. } | Inst::Nop => {}
+        }
+        Ok(())
+    }
+
+    /// Evaluates a terminator to the resulting control transfer, appending
+    /// memory accesses (branch comparisons may carry a memory operand).
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on run-time faults.
+    pub fn eval_term(&mut self, term: &Terminator, acc: &mut Vec<MemAccess>) -> Result<Next, Trap> {
+        Ok(match term {
+            Terminator::Jmp(t) => Next::Goto(*t),
+            Terminator::Br { cond, a, b, taken, fallthrough } => {
+                let av = self.value(a, acc)?;
+                let bv = self.value(b, acc)?;
+                Next::Goto(if cond.eval(av, bv) { *taken } else { *fallthrough })
+            }
+            Terminator::Switch { val, base, targets, default } => {
+                let v = self.value(val, acc)?;
+                let idx = v.wrapping_sub(*base);
+                let t = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                Next::Goto(t)
+            }
+            Terminator::Call { callee, args, ret_to, dst } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.value(a, acc)?);
+                }
+                Next::Call { callee: *callee, args: vals, ret_to: *ret_to, dst: *dst }
+            }
+            Terminator::Ret { val } => {
+                let v = match val {
+                    Some(v) => Some(self.value(v, acc)?),
+                    None => None,
+                };
+                Next::Ret(v)
+            }
+            Terminator::Acquire { lock, next } => {
+                let l = self.value(lock, acc)? as u64;
+                Next::Acquire { lock: l, next: *next }
+            }
+            Terminator::Release { lock, next } => {
+                let l = self.value(lock, acc)? as u64;
+                Next::Release { lock: l, next: *next }
+            }
+            Terminator::Barrier { id, next } => Next::Barrier { id: *id, next: *next },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{AccessSize, AluOp, Cond};
+
+    fn ctx<'a>(regs: &'a mut [i64], mem: &'a mut Memory, heap: &'a mut Heap) -> ExecCtx<'a> {
+        ExecCtx { regs, fp: crate::layout::stack_top(0) - 64, mem, heap }
+    }
+
+    #[test]
+    fn alu_with_memory_operand_records_access() {
+        let mut regs = vec![0i64; 4];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let fp = crate::layout::stack_top(0) - 64;
+        mem.write(fp + 8, 8, 5);
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let mut acc = Vec::new();
+        c.exec_inst(
+            &Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Imm(2),
+                b: Operand::Mem(MemRef::frame(8, AccessSize::B8)),
+            },
+            &mut acc,
+        )
+        .unwrap();
+        assert_eq!(regs[0], 7);
+        assert_eq!(acc.len(), 1);
+        assert!(!acc[0].is_store);
+        assert_eq!(acc[0].addr, fp + 8);
+    }
+
+    #[test]
+    fn store_and_reload() {
+        let mut regs = vec![9i64; 4];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let mut acc = Vec::new();
+        let slot = MemRef::frame(16, AccessSize::B8);
+        c.exec_inst(&Inst::Store { addr: slot, src: Operand::Imm(42) }, &mut acc).unwrap();
+        c.exec_inst(&Inst::Mov { dst: Reg(1), src: Operand::Mem(slot) }, &mut acc).unwrap();
+        assert_eq!(regs[1], 42);
+        assert_eq!(acc.len(), 2);
+        assert!(acc[0].is_store && !acc[1].is_store);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut regs = vec![0i64; 2];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let err = c
+            .exec_inst(
+                &Inst::Alu { op: AluOp::Div, dst: Reg(0), a: Operand::Imm(1), b: Operand::Imm(0) },
+                &mut Vec::new(),
+            )
+            .unwrap_err();
+        assert_eq!(err, Trap::DivByZero);
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let mut regs = vec![0i64; 2];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let err = c
+            .exec_inst(
+                &Inst::Mov {
+                    dst: Reg(0),
+                    src: Operand::Mem(MemRef::reg(Reg(1), 8, AccessSize::B8)),
+                },
+                &mut Vec::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Trap::NullDeref(8)));
+    }
+
+    #[test]
+    fn branch_picks_side_and_records_mem_operand() {
+        let mut regs = vec![3i64; 2];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let fp = crate::layout::stack_top(0) - 64;
+        mem.write(fp, 8, 10);
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let mut acc = Vec::new();
+        let next = c
+            .eval_term(
+                &Terminator::Br {
+                    cond: Cond::Lt,
+                    a: Operand::Reg(Reg(0)),
+                    b: Operand::Mem(MemRef::frame(0, AccessSize::B8)),
+                    taken: BlockId(1),
+                    fallthrough: BlockId(2),
+                },
+                &mut acc,
+            )
+            .unwrap();
+        assert_eq!(next, Next::Goto(BlockId(1)));
+        assert_eq!(acc.len(), 1);
+    }
+
+    #[test]
+    fn switch_in_and_out_of_range() {
+        let mut regs = vec![0i64; 2];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let term = Terminator::Switch {
+            val: Operand::Reg(Reg(0)),
+            base: 10,
+            targets: vec![BlockId(1), BlockId(2)],
+            default: BlockId(9),
+        };
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        c.regs[0] = 11;
+        assert_eq!(c.eval_term(&term, &mut Vec::new()).unwrap(), Next::Goto(BlockId(2)));
+        c.regs[0] = 5;
+        assert_eq!(c.eval_term(&term, &mut Vec::new()).unwrap(), Next::Goto(BlockId(9)));
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut regs = vec![0i64; 2];
+        let mut mem = Memory::new();
+        let mut heap = Heap::new();
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        c.exec_inst(&Inst::Alloc { dst: Reg(0), size: Operand::Imm(100) }, &mut Vec::new())
+            .unwrap();
+        let ptr = regs[0];
+        assert!(ptr as u64 >= crate::layout::HEAP_BASE);
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        c.exec_inst(&Inst::Free { addr: Operand::Reg(Reg(0)) }, &mut Vec::new()).unwrap();
+        let mut c = ctx(&mut regs, &mut mem, &mut heap);
+        let err = c
+            .exec_inst(&Inst::Free { addr: Operand::Reg(Reg(0)) }, &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err, Trap::InvalidFree(ptr as u64));
+    }
+}

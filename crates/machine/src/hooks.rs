@@ -1,0 +1,75 @@
+//! Instrumentation hooks — the PIN-callback equivalent.
+//!
+//! The MIMD machine invokes an [`ExecHook`] at the same points the
+//! ThreadFuser PIN tool instruments: basic-block entry, per-instruction
+//! memory accesses, call/return, synchronization primitives, and skipped
+//! (I/O or lock-spin) regions. The tracer crate implements this trait to
+//! build per-thread traces.
+
+use threadfuser_ir::{BlockAddr, FuncId};
+
+/// Why instructions were skipped rather than traced (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SkipKind {
+    /// Opaque I/O operation.
+    Io,
+    /// Busy-wait iterations on a contended mutex.
+    LockSpin,
+}
+
+/// Callbacks fired during MIMD execution. All methods have empty defaults;
+/// implement only what you need.
+pub trait ExecHook {
+    /// A thread is about to execute a basic block of `n_insts` dynamic
+    /// instructions (body + terminator).
+    fn on_block(&mut self, tid: u32, addr: BlockAddr, n_insts: u32) {
+        let _ = (tid, addr, n_insts);
+    }
+
+    /// A memory access by instruction `inst_idx` of the current block
+    /// (the terminator counts as index `n_insts - 1`).
+    fn on_mem(&mut self, tid: u32, inst_idx: u32, addr: u64, size: u32, is_store: bool) {
+        let _ = (tid, inst_idx, addr, size, is_store);
+    }
+
+    /// A call to `callee` (fired before the callee's entry block).
+    fn on_call(&mut self, tid: u32, callee: FuncId) {
+        let _ = (tid, callee);
+    }
+
+    /// A return from the current function.
+    fn on_ret(&mut self, tid: u32) {
+        let _ = tid;
+    }
+
+    /// A successful mutex acquisition.
+    fn on_acquire(&mut self, tid: u32, lock: u64) {
+        let _ = (tid, lock);
+    }
+
+    /// A mutex release.
+    fn on_release(&mut self, tid: u32, lock: u64) {
+        let _ = (tid, lock);
+    }
+
+    /// Arrival at (and eventual passage through) barrier `id`.
+    fn on_barrier(&mut self, tid: u32, id: u32) {
+        let _ = (tid, id);
+    }
+
+    /// `count` native instructions were skipped (not traced).
+    fn on_skipped(&mut self, tid: u32, count: u64, kind: SkipKind) {
+        let _ = (tid, count, kind);
+    }
+
+    /// The thread's kernel invocation finished.
+    fn on_thread_end(&mut self, tid: u32) {
+        let _ = tid;
+    }
+}
+
+/// Hook that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl ExecHook for NoopHook {}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # ThreadFuser machine
+//!
+//! Execution substrates for the ThreadFuser framework:
+//!
+//! * [`Machine`] — the **MIMD multicore machine**: a deterministic
+//!   round-robin interpreter running one TFIR kernel invocation per logical
+//!   thread, with pthread-style mutexes, barriers, a shared heap, and
+//!   per-thread stacks. The tracer attaches through [`ExecHook`] exactly as
+//!   the paper's PIN tool attaches to an x86 process.
+//! * [`LockstepMachine`] — the **warp-native lock-step executor**: the
+//!   "SIMT hardware" ground truth the trace-based analyzer is correlated
+//!   against (paper Fig. 5), complete with a hardware SIMT reconvergence
+//!   stack and 32-byte-transaction coalescing.
+//!
+//! Both modes share one instruction executor ([`exec`]), guaranteeing
+//! identical semantics on both sides of the correlation study.
+
+pub mod exec;
+pub mod heap;
+pub mod hooks;
+pub mod layout;
+pub mod lockstep;
+pub mod memory;
+pub mod mimd;
+
+pub use exec::{ExecCtx, MemAccess, Next, Trap};
+pub use heap::{Heap, HeapError};
+pub use hooks::{ExecHook, NoopHook, SkipKind};
+pub use layout::{segment_of, Segment};
+pub use lockstep::{
+    LockstepConfig, LockstepError, LockstepMachine, LockstepStats, SegmentMemStats,
+};
+pub use memory::Memory;
+pub use mimd::{Machine, MachineConfig, MachineError, RunStats, ThreadStats};

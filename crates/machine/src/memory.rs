@@ -1,0 +1,157 @@
+//! Sparse byte-addressable memory.
+//!
+//! Pages materialize on first touch and read as zero before any write,
+//! which also defines the semantics of uninitialized frame slots (zero) on
+//! which the register-promotion pass relies.
+
+use crate::layout::GLOBAL_BASE;
+use std::collections::HashMap;
+use threadfuser_ir::{GlobalId, Program};
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse memory image plus the resolved addresses of program globals.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    global_addrs: Vec<u64>,
+}
+
+impl Memory {
+    /// Creates an empty memory with no globals loaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a memory image with `program`'s globals placed consecutively
+    /// (64-byte aligned) from [`GLOBAL_BASE`].
+    pub fn with_globals(program: &Program) -> Self {
+        let mut mem = Memory::new();
+        let mut cursor = GLOBAL_BASE;
+        for g in program.globals() {
+            mem.global_addrs.push(cursor);
+            if !g.init.is_empty() {
+                mem.write_bytes(cursor, &g.init);
+            }
+            cursor += (g.size + 63) / 64 * 64;
+        }
+        mem
+    }
+
+    /// Resolved address of a global.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range for the loaded program.
+    pub fn global_addr(&self, g: GlobalId) -> u64 {
+        self.global_addrs[g.0 as usize]
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads `size` (1/2/4/8) bytes little-endian, zero-extended to `u64`.
+    pub fn read(&self, addr: u64, size: u32) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..size as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `size` (1/2/4/8) bytes of `value` little-endian.
+    pub fn write(&mut self, addr: u64, size: u32, value: u64) {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let bytes = value.to_le_bytes();
+        self.write_bytes(addr, &bytes[..size as usize]);
+    }
+
+    /// Reads a byte range (zero for untouched pages).
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) {
+        let mut a = addr;
+        let mut off = 0usize;
+        while off < out.len() {
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(out.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => out[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => out[off..off + n].fill(0),
+            }
+            a += n as u64;
+            off += n;
+        }
+    }
+
+    /// Writes a byte range.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let mut a = addr;
+        let mut off = 0usize;
+        while off < data.len() {
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - off);
+            self.page_mut(page)[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            a += n as u64;
+            off += n;
+        }
+    }
+
+    /// Number of materialized pages (memory footprint proxy).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+    }
+
+    #[test]
+    fn round_trip_all_sizes() {
+        let mut m = Memory::new();
+        for (size, val) in [(1u32, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
+        {
+            m.write(0x100, size, val);
+            assert_eq!(m.read(0x100, size), val);
+        }
+    }
+
+    #[test]
+    fn narrow_write_does_not_clobber_neighbors() {
+        let mut m = Memory::new();
+        m.write(0x100, 8, u64::MAX);
+        m.write(0x100, 1, 0);
+        assert_eq!(m.read(0x100, 8), u64::MAX << 8);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles page 0 and 1
+        m.write(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn globals_load_at_stable_addresses() {
+        let mut pb = threadfuser_ir::ProgramBuilder::new();
+        let a = pb.global_i64("a", &[7, 8]);
+        let b = pb.global("b", 10);
+        pb.function("noop", 0, |fb| fb.ret(None));
+        let p = pb.build().unwrap();
+        let m = Memory::with_globals(&p);
+        assert_eq!(m.global_addr(a), GLOBAL_BASE);
+        assert_eq!(m.read(m.global_addr(a), 8), 7);
+        assert_eq!(m.read(m.global_addr(a) + 8, 8), 8);
+        assert!(m.global_addr(b) >= GLOBAL_BASE + 16);
+        assert_eq!(m.global_addr(b) % 64, 0);
+    }
+}

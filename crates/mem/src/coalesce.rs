@@ -1,0 +1,125 @@
+//! Memory-access coalescing (paper Fig. 4).
+//!
+//! SIMT hardware merges the per-lane accesses of one warp-level load/store
+//! into the minimal set of 32-byte transactions. ThreadFuser applies the
+//! same rule when estimating memory divergence: for each memory
+//! instruction, the addresses touched by all *active* threads are bucketed
+//! into 32-byte-aligned lines and the number of distinct lines is the
+//! transaction count.
+
+/// Transaction granularity in bytes (32 B, matching NVIDIA sectors and the
+/// paper's reporting).
+pub const TRANSACTION_BYTES: u64 = 32;
+
+/// Counts the distinct 32-byte transactions needed to service the given
+/// `(address, size)` accesses issued together by one warp instruction.
+///
+/// Accesses may straddle a line boundary, in which case they contribute to
+/// every line they touch. An empty iterator yields zero transactions.
+///
+/// ```
+/// use threadfuser_mem::coalesce_transactions;
+/// // Four adjacent 8-byte accesses fit in one 32-byte line.
+/// let n = coalesce_transactions([(0u64, 8u32), (8, 8), (16, 8), (24, 8)]);
+/// assert_eq!(n, 1);
+/// // Strided accesses each need their own transaction.
+/// let n = coalesce_transactions([(0u64, 8u32), (64, 8), (128, 8), (192, 8)]);
+/// assert_eq!(n, 4);
+/// ```
+pub fn coalesce_transactions(accesses: impl IntoIterator<Item = (u64, u32)>) -> u32 {
+    // Warps are small (≤ 64 lanes); a sorted Vec beats a HashSet here.
+    let mut lines: Vec<u64> = Vec::with_capacity(8);
+    for (addr, size) in accesses {
+        debug_assert!(size > 0, "zero-sized access");
+        let first = addr / TRANSACTION_BYTES;
+        let last = (addr + size as u64 - 1) / TRANSACTION_BYTES;
+        for line in first..=last {
+            lines.push(line);
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(coalesce_transactions(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn single_access_one_transaction() {
+        assert_eq!(coalesce_transactions([(100u64, 4u32)]), 1);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_lines() {
+        // 8-byte access at offset 28 touches lines 0 and 1.
+        assert_eq!(coalesce_transactions([(28u64, 8u32)]), 2);
+    }
+
+    #[test]
+    fn fully_coalesced_warp32_4byte() {
+        // The paper's ideal: 32 threads × 4-byte adjacent = 4 transactions.
+        let accesses = (0..32u64).map(|i| (i * 4, 4u32));
+        assert_eq!(coalesce_transactions(accesses), 4);
+    }
+
+    #[test]
+    fn fully_coalesced_warp32_8byte() {
+        // 32 threads × 8-byte adjacent = 8 transactions (paper §III).
+        let accesses = (0..32u64).map(|i| (i * 8, 8u32));
+        assert_eq!(coalesce_transactions(accesses), 8);
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one() {
+        let accesses = (0..32u64).map(|_| (4096u64, 8u32));
+        assert_eq!(coalesce_transactions(accesses), 1);
+    }
+
+    #[test]
+    fn worst_case_divergent() {
+        let accesses = (0..32u64).map(|i| (i * 4096, 4u32));
+        assert_eq!(coalesce_transactions(accesses), 32);
+    }
+
+    proptest! {
+        #[test]
+        fn at_least_one_per_nonempty_and_bounded(
+            addrs in proptest::collection::vec((0u64..1 << 40, 1u32..=8), 1..64)
+        ) {
+            let n = coalesce_transactions(addrs.iter().copied());
+            prop_assert!(n >= 1);
+            // Each access touches at most 2 lines for sizes <= 32.
+            prop_assert!(n as usize <= addrs.len() * 2);
+        }
+
+        #[test]
+        fn permutation_invariant(
+            mut addrs in proptest::collection::vec((0u64..1 << 30, 1u32..=8), 1..32)
+        ) {
+            let a = coalesce_transactions(addrs.iter().copied());
+            addrs.reverse();
+            let b = coalesce_transactions(addrs.iter().copied());
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn subadditive_under_union(
+            a in proptest::collection::vec((0u64..1 << 30, 1u32..=8), 1..16),
+            b in proptest::collection::vec((0u64..1 << 30, 1u32..=8), 1..16),
+        ) {
+            let na = coalesce_transactions(a.iter().copied());
+            let nb = coalesce_transactions(b.iter().copied());
+            let both = coalesce_transactions(a.iter().chain(b.iter()).copied());
+            prop_assert!(both <= na + nb);
+            prop_assert!(both >= na.max(nb));
+        }
+    }
+}

@@ -1,0 +1,533 @@
+#![warn(missing_docs)]
+
+//! # ThreadFuser SIMT simulator
+//!
+//! A trace-driven, cycle-level SIMT device model filling the Accel-Sim
+//! role of the paper: it consumes the warp-based instruction traces
+//! produced by `threadfuser-tracegen` and reports cycle counts for
+//! speedup projection (paper Fig. 6).
+//!
+//! The device comprises `n_cores` SIMT cores, each with a private L1 data
+//! cache and a greedy-then-oldest (GTO) or loose-round-robin (LRR) warp
+//! scheduler issuing one warp instruction per cycle, over a shared
+//! L2 + bandwidth-limited DRAM (from `threadfuser-mem`). Loads stall the
+//! issuing warp until the slowest of their coalesced 32-byte transactions
+//! returns; stores retire immediately but consume cache/DRAM bandwidth.
+//!
+//! ```
+//! use threadfuser_ir::{ProgramBuilder, Operand};
+//! use threadfuser_machine::MachineConfig;
+//! use threadfuser_tracer::trace_program;
+//! use threadfuser_analyzer::AnalyzerConfig;
+//! use threadfuser_tracegen::generate_warp_traces;
+//! use threadfuser_simtsim::{simulate, SimtSimConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let out = pb.global("out", 8 * 128);
+//! let k = pb.function("k", 1, |fb| {
+//!     let tid = fb.arg(0);
+//!     let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+//!     fb.store(dst, tid);
+//!     fb.ret(None);
+//! });
+//! let program = pb.build().unwrap();
+//! let (traces, _) = trace_program(&program, MachineConfig::new(k, 128)).unwrap();
+//! let wt = generate_warp_traces(&program, &traces, &AnalyzerConfig::new(32)).unwrap();
+//! let stats = simulate(&wt, &SimtSimConfig::default());
+//! assert!(stats.cycles > 0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use threadfuser_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use threadfuser_tracegen::{MemOp, OpClass, WarpTraceSet};
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls.
+    Gto,
+    /// Loose round-robin.
+    Lrr,
+}
+
+/// Device configuration (defaults sized like an RTX 3070, the simulator
+/// target used in the paper's Fig. 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimtSimConfig {
+    /// SIMT cores (SMs).
+    pub n_cores: u32,
+    /// Resident warps per core.
+    pub max_warps_per_core: u32,
+    /// Warp scheduler.
+    pub scheduler: Scheduler,
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// L1 hit latency.
+    pub l1_latency: u64,
+    /// Shared L2 + DRAM.
+    pub hierarchy: HierarchyConfig,
+    /// Device clock in GHz (for wall-time/speedup conversion).
+    pub clock_ghz: f64,
+    /// Simulation cycle budget (runaway guard).
+    pub max_cycles: u64,
+}
+
+impl Default for SimtSimConfig {
+    fn default() -> Self {
+        SimtSimConfig {
+            n_cores: 46,
+            max_warps_per_core: 32,
+            scheduler: Scheduler::Gto,
+            l1: CacheConfig::l1_default(),
+            l1_latency: 30,
+            hierarchy: HierarchyConfig::gpu_default(),
+            clock_ghz: 1.5,
+            max_cycles: 10_000_000_000,
+        }
+    }
+}
+
+/// Device-level simulation results.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimtSimStats {
+    /// Total device cycles (max over cores).
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_insts: u64,
+    /// Thread instructions (warp instructions × active lanes).
+    pub thread_insts: u64,
+    /// Cycles warps spent stalled on memory (summed over warps).
+    pub mem_stall_cycles: u64,
+    /// 32-byte transactions after coalescing.
+    pub transactions: u64,
+    /// L1 hits across cores.
+    pub l1_hits: u64,
+    /// L1 misses across cores.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Per-core finish cycles (diagnostics/load balance).
+    pub core_cycles: Vec<u64>,
+    /// Whether the cycle budget was exhausted before completion.
+    pub truncated: bool,
+}
+
+impl SimtSimStats {
+    /// Warp instructions per cycle (device-wide).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Simulated wall time in seconds at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1e9)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    Ready,
+    StalledUntil(u64),
+    Finished,
+}
+
+struct WarpCtx {
+    trace_idx: usize,
+    pos: usize,
+    state: WarpState,
+}
+
+struct Core {
+    resident: Vec<WarpCtx>,
+    waiting: Vec<usize>, // trace indices not yet resident (pop = FIFO)
+    l1: Cache,
+    cycle: u64,
+    last_issued: usize,
+    rr_pointer: usize,
+}
+
+fn alu_latency(op: OpClass) -> u64 {
+    match op {
+        OpClass::IntAlu | OpClass::Branch => 1,
+        OpClass::IntMul => 2,
+        OpClass::IntDiv => 16,
+        OpClass::CallRet => 2,
+        OpClass::Sync => 4,
+        OpClass::Alloc => 20,
+        OpClass::Load | OpClass::Store => 1, // handled separately
+    }
+}
+
+/// Runs the device simulation over a warp-trace set.
+pub fn simulate(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
+    let mut stats = SimtSimStats::default();
+    let n_cores = config.n_cores.max(1) as usize;
+    // Banked memory system: each core owns an L2 slice and an even share
+    // of DRAM bandwidth. This keeps per-core clocks independent while
+    // preserving first-order bandwidth contention.
+    let mut banked = config.hierarchy;
+    banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
+    banked.dram.cycles_per_transaction =
+        banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
+    let mut hierarchies: Vec<Hierarchy> =
+        (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
+
+    // Static assignment: warp w runs on core w % n_cores (CTA-style).
+    let mut cores: Vec<Core> = (0..n_cores)
+        .map(|_| Core {
+            resident: Vec::new(),
+            waiting: Vec::new(),
+            l1: Cache::new(config.l1),
+            cycle: 0,
+            last_issued: 0,
+            rr_pointer: 0,
+        })
+        .collect();
+    for (i, _w) in traces.warps().iter().enumerate() {
+        cores[i % n_cores].waiting.push(i);
+    }
+    for core in &mut cores {
+        core.waiting.reverse(); // pop() yields FIFO order
+    }
+
+    // Each core advances independently against its own memory bank.
+    for (core_idx, core) in cores.iter_mut().enumerate() {
+        let hierarchy = &mut hierarchies[core_idx];
+        loop {
+            // Promote waiting warps into free residency slots.
+            while core.resident.iter().filter(|w| w.state != WarpState::Finished).count()
+                < config.max_warps_per_core as usize
+            {
+                match core.waiting.pop() {
+                    Some(t) => core
+                        .resident
+                        .push(WarpCtx { trace_idx: t, pos: 0, state: WarpState::Ready }),
+                    None => break,
+                }
+            }
+            // Wake stalled warps.
+            for w in &mut core.resident {
+                if let WarpState::StalledUntil(t) = w.state {
+                    if t <= core.cycle {
+                        w.state = WarpState::Ready;
+                    }
+                }
+            }
+            let any_live = core.resident.iter().any(|w| w.state != WarpState::Finished);
+            if !any_live && core.waiting.is_empty() {
+                break;
+            }
+            if core.cycle >= config.max_cycles {
+                stats.truncated = true;
+                break;
+            }
+
+            // Pick a warp.
+            let Some(widx) = pick_warp(core, config.scheduler) else {
+                // Nothing ready: jump to the earliest wake-up.
+                let next = core
+                    .resident
+                    .iter()
+                    .filter_map(|w| match w.state {
+                        WarpState::StalledUntil(t) => Some(t),
+                        _ => None,
+                    })
+                    .min();
+                match next {
+                    Some(t) => core.cycle = t.max(core.cycle + 1),
+                    None => core.cycle += 1,
+                }
+                continue;
+            };
+
+            // Issue one instruction from the chosen warp.
+            core.last_issued = widx;
+            core.rr_pointer = (widx + 1) % core.resident.len().max(1);
+            let w = &mut core.resident[widx];
+            let trace = &traces.warps()[w.trace_idx];
+            let inst = &trace.insts[w.pos];
+            w.pos += 1;
+            stats.warp_insts += 1;
+            stats.thread_insts += inst.active as u64;
+
+            match (&inst.op, &inst.mem) {
+                (OpClass::Load, Some(mem)) => {
+                    let done = service_mem(
+                        mem,
+                        core.cycle,
+                        &mut core.l1,
+                        hierarchy,
+                        config.l1_latency,
+                        &mut stats,
+                    );
+                    stats.mem_stall_cycles += done.saturating_sub(core.cycle);
+                    w.state = WarpState::StalledUntil(done);
+                }
+                (OpClass::Store, Some(mem)) => {
+                    // Write-through-style: traffic counted, no stall.
+                    let _ = service_mem(
+                        mem,
+                        core.cycle,
+                        &mut core.l1,
+                        hierarchy,
+                        config.l1_latency,
+                        &mut stats,
+                    );
+                    w.state = WarpState::StalledUntil(core.cycle + 1);
+                }
+                (op, _) => {
+                    w.state = WarpState::StalledUntil(core.cycle + alu_latency(*op));
+                }
+            }
+            if w.pos >= trace.insts.len() {
+                w.state = WarpState::Finished;
+            }
+            core.cycle += 1;
+        }
+        stats.core_cycles.push(core.cycle);
+        let cs = core.l1.stats();
+        stats.l1_hits += cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
+        stats.l1_misses += cs.read_misses + cs.write_misses;
+    }
+
+    stats.cycles = stats.core_cycles.iter().copied().max().unwrap_or(0);
+    for h in &hierarchies {
+        stats.l2_hits += h.stats().l2_hits;
+        stats.dram_accesses += h.stats().dram_accesses;
+    }
+    stats
+}
+
+fn pick_warp(core: &Core, scheduler: Scheduler) -> Option<usize> {
+    let n = core.resident.len();
+    if n == 0 {
+        return None;
+    }
+    let ready = |i: usize| core.resident[i].state == WarpState::Ready;
+    match scheduler {
+        Scheduler::Gto => {
+            if core.last_issued < n && ready(core.last_issued) {
+                return Some(core.last_issued);
+            }
+            (0..n).find(|&i| ready(i))
+        }
+        Scheduler::Lrr => (0..n).map(|off| (core.rr_pointer + off) % n).find(|&i| ready(i)),
+    }
+}
+
+/// Coalesces a warp memory operation into 32-byte transactions and runs
+/// each through L1 → L2 → DRAM; returns the completion cycle of the
+/// slowest transaction.
+fn service_mem(
+    mem: &MemOp,
+    now: u64,
+    l1: &mut Cache,
+    hierarchy: &mut Hierarchy,
+    l1_latency: u64,
+    stats: &mut SimtSimStats,
+) -> u64 {
+    let line = threadfuser_mem::TRANSACTION_BYTES;
+    let mut lines: Vec<u64> = mem
+        .accesses
+        .iter()
+        .flat_map(|&(a, s)| {
+            let first = a / line;
+            let last = (a + s.max(1) as u64 - 1) / line;
+            first..=last
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    stats.transactions += lines.len() as u64;
+    let mut done = now + 1;
+    for l in lines {
+        let addr = l * line;
+        let access = l1.access(addr, mem.is_store);
+        let completion = if access.hit {
+            now + l1_latency
+        } else {
+            let (c, _) = hierarchy.access(now + l1_latency, addr, mem.is_store);
+            c
+        };
+        done = done.max(completion);
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_analyzer::AnalyzerConfig;
+    use threadfuser_ir::{AluOp, Operand, ProgramBuilder};
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_tracegen::generate_warp_traces;
+    use threadfuser_tracer::trace_program;
+
+    fn warp_traces_for(
+        build: impl FnOnce(&mut ProgramBuilder) -> threadfuser_ir::FuncId,
+        n: u32,
+        w: u32,
+    ) -> WarpTraceSet {
+        let mut pb = ProgramBuilder::new();
+        let k = build(&mut pb);
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, n)).unwrap();
+        generate_warp_traces(&p, &traces, &AnalyzerConfig::new(w)).unwrap()
+    }
+
+    fn coalesced_kernel(pb: &mut ProgramBuilder) -> threadfuser_ir::FuncId {
+        let a = pb.global("a", 8 * 4096);
+        let out = pb.global("out", 8 * 4096);
+        pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let src = fb.global_ref(a, Operand::Reg(tid), 8);
+            let v = fb.load(src);
+            let v2 = fb.alu(AluOp::Add, v, 1i64);
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, v2);
+            fb.ret(None);
+        })
+    }
+
+    fn strided_kernel(pb: &mut ProgramBuilder) -> threadfuser_ir::FuncId {
+        let a = pb.global("a", 8 * 4096 * 64);
+        let out = pb.global("out", 8 * 4096 * 64);
+        pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let idx = fb.alu(AluOp::Mul, tid, 64i64);
+            let src = fb.global_ref(a, Operand::Reg(idx), 8);
+            let v = fb.load(src);
+            let v2 = fb.alu(AluOp::Add, v, 1i64);
+            let dst = fb.global_ref(out, Operand::Reg(idx), 8);
+            fb.store(dst, v2);
+            fb.ret(None);
+        })
+    }
+
+    #[test]
+    fn simulation_completes_and_counts() {
+        let wt = warp_traces_for(coalesced_kernel, 1024, 32);
+        let stats = simulate(&wt, &SimtSimConfig::default());
+        assert!(!stats.truncated);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.warp_insts, wt.total_insts());
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn uncoalesced_access_needs_more_cycles_and_transactions() {
+        let coalesced = warp_traces_for(coalesced_kernel, 1024, 32);
+        let strided = warp_traces_for(strided_kernel, 1024, 32);
+        let cfg = SimtSimConfig::default();
+        let sc = simulate(&coalesced, &cfg);
+        let ss = simulate(&strided, &cfg);
+        assert!(
+            ss.transactions >= sc.transactions * 4,
+            "strided {} vs coalesced {}",
+            ss.transactions,
+            sc.transactions
+        );
+        assert!(ss.cycles > sc.cycles, "strided {} vs coalesced {}", ss.cycles, sc.cycles);
+    }
+
+    fn compute_kernel(pb: &mut ProgramBuilder) -> threadfuser_ir::FuncId {
+        let out = pb.global("out", 8 * 8192);
+        pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let mut v = fb.alu(AluOp::Mul, tid, 3i64);
+            for _ in 0..64 {
+                v = fb.alu(AluOp::Add, v, 1i64);
+            }
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, v);
+            fb.ret(None);
+        })
+    }
+
+    #[test]
+    fn more_cores_reduce_cycles() {
+        let wt = warp_traces_for(compute_kernel, 4096, 32);
+        let mut one = SimtSimConfig::default();
+        one.n_cores = 1;
+        let mut many = SimtSimConfig::default();
+        many.n_cores = 32;
+        let s1 = simulate(&wt, &one);
+        let s32 = simulate(&wt, &many);
+        assert!(s32.cycles * 4 < s1.cycles, "32 cores {} vs 1 core {}", s32.cycles, s1.cycles);
+    }
+
+    #[test]
+    fn schedulers_agree_on_work_done() {
+        let wt = warp_traces_for(strided_kernel, 1024, 32);
+        let mut gto = SimtSimConfig::default();
+        gto.scheduler = Scheduler::Gto;
+        let mut lrr = SimtSimConfig::default();
+        lrr.scheduler = Scheduler::Lrr;
+        let sg = simulate(&wt, &gto);
+        let sl = simulate(&wt, &lrr);
+        assert_eq!(sg.warp_insts, sl.warp_insts);
+        assert_eq!(sg.transactions, sl.transactions);
+        assert!(!sg.truncated && !sl.truncated);
+    }
+
+    #[test]
+    fn multithreading_hides_memory_latency() {
+        // With many resident warps, memory stalls overlap: the wide
+        // configuration must finish sooner than one-warp-at-a-time cores.
+        let wt = warp_traces_for(strided_kernel, 2048, 32);
+        let mut narrow = SimtSimConfig::default();
+        narrow.n_cores = 4;
+        narrow.max_warps_per_core = 1;
+        let mut wide = SimtSimConfig::default();
+        wide.n_cores = 4;
+        wide.max_warps_per_core = 32;
+        let sn = simulate(&wt, &narrow);
+        let sw = simulate(&wt, &wide);
+        assert!(sw.cycles < sn.cycles, "wide {} vs narrow {}", sw.cycles, sn.cycles);
+    }
+
+    #[test]
+    fn cycle_budget_truncates() {
+        let wt = warp_traces_for(coalesced_kernel, 2048, 32);
+        let mut cfg = SimtSimConfig::default();
+        cfg.max_cycles = 10;
+        let stats = simulate(&wt, &cfg);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn seconds_conversion_uses_clock() {
+        let stats = SimtSimStats { cycles: 3_000_000_000, ..Default::default() };
+        assert!((stats.seconds(1.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gto_prefers_last_issued_warp() {
+        // With GTO and two compute-heavy warps on one core, the first warp
+        // should run to completion before the second starts issuing; LRR
+        // interleaves. Both must still finish all work.
+        let wt = warp_traces_for(compute_kernel, 64, 32);
+        let mut cfg = SimtSimConfig::default();
+        cfg.n_cores = 1;
+        cfg.max_warps_per_core = 2;
+        cfg.scheduler = Scheduler::Gto;
+        let g = simulate(&wt, &cfg);
+        cfg.scheduler = Scheduler::Lrr;
+        let l = simulate(&wt, &cfg);
+        assert_eq!(g.warp_insts, l.warp_insts);
+        assert!(g.cycles > 0 && l.cycles > 0);
+    }
+
+    #[test]
+    fn empty_trace_set_is_fine() {
+        let stats = simulate(&WarpTraceSet::default(), &SimtSimConfig::default());
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.warp_insts, 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The `threadfuser` command-line tool.
+//!
+//! ```text
+//! threadfuser list
+//! threadfuser analyze <workload> [--threads N] [--warp N] [--opt O0..O3] [--locks] [--batching linear|strided|shuffled] [--json]
+//! threadfuser functions <workload> [--threads N] [--warp N]
+//! threadfuser hardware <workload> [--threads N] [--warp N]
+//! threadfuser speedup <workload> [--threads N] [--cores N]
+//! ```
+
+use std::process::ExitCode;
+use threadfuser::analyzer::BatchPolicy;
+use threadfuser::cpusim::CpuSimConfig;
+use threadfuser::ir::OptLevel;
+use threadfuser::simtsim::SimtSimConfig;
+use threadfuser::workloads::{all, by_name, Workload};
+use threadfuser::{Pipeline, TextTable};
+
+struct Options {
+    threads: Option<u32>,
+    warp: u32,
+    opt: OptLevel,
+    locks: bool,
+    batching: BatchPolicy,
+    json: bool,
+    cores: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            threads: None,
+            warp: 32,
+            opt: OptLevel::O3,
+            locks: false,
+            batching: BatchPolicy::Linear,
+            json: false,
+            cores: 16,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: threadfuser <command> [args]\n\n\
+         commands:\n  \
+         list                      catalog the Table I workloads\n  \
+         analyze   <workload>      SIMT efficiency + memory divergence\n  \
+         functions <workload>      per-function breakdown (Fig. 7 style)\n  \
+         hardware  <workload>      warp-native lock-step measurement\n  \
+         speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n\n\
+         options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
+         --batching linear|strided|shuffled --cores N --json"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {a}"))
+        };
+        match a.as_str() {
+            "--threads" => o.threads = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--warp" => o.warp = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => o.cores = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--opt" => {
+                o.opt = match val()?.as_str() {
+                    "O0" | "o0" => OptLevel::O0,
+                    "O1" | "o1" => OptLevel::O1,
+                    "O2" | "o2" => OptLevel::O2,
+                    "O3" | "o3" => OptLevel::O3,
+                    other => return Err(format!("unknown opt level {other}")),
+                }
+            }
+            "--batching" => {
+                o.batching = match val()?.as_str() {
+                    "linear" => BatchPolicy::Linear,
+                    "strided" => BatchPolicy::Strided,
+                    "shuffled" => BatchPolicy::Shuffled { seed: 42 },
+                    other => return Err(format!("unknown batching {other}")),
+                }
+            }
+            "--locks" => o.locks = true,
+            "--json" => o.json = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn pipeline(w: &Workload, o: &Options) -> Pipeline {
+    let mut p = Pipeline::from_workload(w)
+        .opt_level(o.opt)
+        .warp_size(o.warp)
+        .batching(o.batching)
+        .intra_warp_locks(o.locks);
+    if let Some(t) = o.threads {
+        p = p.threads(t);
+    }
+    p
+}
+
+fn resolve(name: &str) -> Result<Workload, String> {
+    by_name(name).ok_or_else(|| {
+        format!("unknown workload `{name}` (see `threadfuser list`)")
+    })
+}
+
+fn cmd_list() -> ExitCode {
+    let mut t = TextTable::new(&["workload", "suite", "paper_threads", "description"]);
+    for w in all() {
+        t.row(&[
+            w.meta.name.to_string(),
+            format!("{:?}", w.meta.suite),
+            w.meta.paper_threads.to_string(),
+            w.meta.description.to_string(),
+        ]);
+    }
+    println!("{t}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(w: &Workload, o: &Options) -> Result<(), String> {
+    let report = pipeline(w, o).analyze().map_err(|e| e.to_string())?;
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    println!("workload        : {}", w.meta.name);
+    println!("binary          : {}", o.opt);
+    println!("warp size       : {}", o.warp);
+    println!("warps emulated  : {}", report.warps);
+    println!("SIMT efficiency : {:.1}%", report.simt_efficiency() * 100.0);
+    println!(
+        "memory          : heap {:.2} txn/inst ({}), stack {:.2} txn/inst ({})",
+        report.heap.transactions_per_inst(),
+        report.heap.transactions,
+        report.stack.transactions_per_inst(),
+        report.stack.transactions
+    );
+    println!("traced fraction : {:.1}%", report.traced_fraction() * 100.0);
+    if o.locks {
+        println!(
+            "lock handling   : {} serializations, {} fallbacks",
+            report.lock_serializations, report.lock_fallbacks
+        );
+    }
+    Ok(())
+}
+
+fn cmd_functions(w: &Workload, o: &Options) -> Result<(), String> {
+    let report = pipeline(w, o).analyze().map_err(|e| e.to_string())?;
+    let mut t = TextTable::new(&["function", "inst share", "efficiency", "invocations"]);
+    for (f, share) in report.functions_by_share() {
+        t.row(&[
+            f.name.clone(),
+            format!("{:.1}%", share * 100.0),
+            format!("{:.1}%", f.efficiency(report.warp_size) * 100.0),
+            f.invocations.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_hardware(w: &Workload, o: &Options) -> Result<(), String> {
+    let stats = pipeline(w, o).measure_hardware().map_err(|e| e.to_string())?;
+    println!("warp-native measurement of {} (reference O1 binary):", w.meta.name);
+    println!("SIMT efficiency : {:.1}%", stats.simt_efficiency() * 100.0);
+    println!(
+        "transactions    : heap {} ({:.2}/inst), stack {} ({:.2}/inst)",
+        stats.heap.transactions,
+        stats.heap.transactions_per_inst(),
+        stats.stack.transactions,
+        stats.stack.transactions_per_inst()
+    );
+    Ok(())
+}
+
+fn cmd_speedup(w: &Workload, o: &Options) -> Result<(), String> {
+    let mut simt = SimtSimConfig::default();
+    simt.n_cores = o.cores;
+    let cpu = CpuSimConfig::default();
+    let proj = pipeline(w, o).project_speedup(&simt, &cpu).map_err(|e| e.to_string())?;
+    println!("workload   : {}", w.meta.name);
+    println!("GPU        : {} cycles (IPC {:.2}, {} SMs)", proj.gpu.cycles, proj.gpu.ipc(), o.cores);
+    println!("CPU        : {} cycles ({} cores)", proj.cpu.cycles, cpu.n_cores);
+    println!("speedup    : {:.2}x", proj.speedup);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    if cmd == "list" {
+        return cmd_list();
+    }
+    let Some(name) = args.get(1) else { return usage() };
+    let opts = match parse_options(&args[2..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let w = match resolve(name) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(&w, &opts),
+        "functions" => cmd_functions(&w, &opts),
+        "hardware" => cmd_hardware(&w, &opts),
+        "speedup" => cmd_speedup(&w, &opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

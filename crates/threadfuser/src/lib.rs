@@ -1,0 +1,53 @@
+//! # ThreadFuser
+//!
+//! A SIMT analysis framework for MIMD programs — a Rust reproduction of
+//! *"ThreadFuser: A SIMT Analysis Framework for MIMD Programs"* (MICRO
+//! 2024). ThreadFuser predicts how a multithreaded CPU program would
+//! behave on GPU-like SIMT hardware **without porting it**: it traces the
+//! program's native MIMD execution, fuses threads into warps through a
+//! SIMT reconvergence stack driven by dynamic control-flow analysis, and
+//! reports SIMT efficiency, per-function bottlenecks, memory divergence,
+//! and (through the bundled cycle-level simulator) projected speedups.
+//!
+//! This crate is the facade: it re-exports every component and offers the
+//! one-stop [`Pipeline`] API.
+//!
+//! ```
+//! use threadfuser::Pipeline;
+//! use threadfuser::workloads;
+//!
+//! let w = workloads::by_name("vectoradd").unwrap();
+//! let report = Pipeline::from_workload(&w).threads(64).analyze().unwrap();
+//! assert!(report.simt_efficiency() > 0.99);
+//! ```
+//!
+//! ## Component map
+//!
+//! | Module | Role (paper section) |
+//! |--------|----------------------|
+//! | [`ir`] | TFIR: the CISC-flavoured IR standing in for x86 binaries, with the `O0`–`O3` optimizer (§IV) |
+//! | [`machine`] | MIMD multicore interpreter (native execution) + lock-step "SIMT hardware" ground truth (§IV) |
+//! | [`tracer`] | PIN-equivalent per-thread dynamic tracing (§III, Fig. 3a) |
+//! | [`analyzer`] | DCFG + IPDOM + warp batching + SIMT-stack emulation + reports (§III, Fig. 3b) |
+//! | [`tracegen`] | Warp-based instruction traces, CISC→RISC decomposition (§III) |
+//! | [`simtsim`] | Cycle-level trace-driven SIMT simulator (the Accel-Sim role, Fig. 6) |
+//! | [`cpusim`] | Multicore CPU timing baseline (Fig. 6 denominator) |
+//! | [`workloads`] | The 36 Table I workloads |
+//! | [`xapp`] | XAPP-style ML baseline (Table II) |
+
+pub use threadfuser_analyzer as analyzer;
+pub use threadfuser_cpusim as cpusim;
+pub use threadfuser_ir as ir;
+pub use threadfuser_machine as machine;
+pub use threadfuser_mem as mem;
+pub use threadfuser_simtsim as simtsim;
+pub use threadfuser_tracegen as tracegen;
+pub use threadfuser_tracer as tracer;
+pub use threadfuser_workloads as workloads;
+pub use threadfuser_xapp as xapp;
+
+pub mod pipeline;
+pub mod table;
+
+pub use pipeline::{Pipeline, PipelineError, SpeedupProjection};
+pub use table::TextTable;

@@ -1,0 +1,310 @@
+//! The one-stop ThreadFuser pipeline: compile (optimize) → execute+trace →
+//! analyze → (optionally) generate warp traces and simulate both sides of
+//! the speedup projection.
+
+use std::fmt;
+use threadfuser_analyzer::{
+    analyze, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
+};
+use threadfuser_cpusim::{simulate_cpu, CpuSimConfig, CpuSimStats};
+use threadfuser_ir::{FuncId, OptLevel, Program};
+use threadfuser_machine::{
+    LockstepConfig, LockstepError, LockstepMachine, LockstepStats, MachineConfig, MachineError,
+};
+use threadfuser_simtsim::{simulate, SimtSimConfig, SimtSimStats};
+use threadfuser_tracegen::{generate_warp_traces, WarpTraceSet};
+use threadfuser_tracer::{trace_program, TraceSet};
+use threadfuser_workloads::Workload;
+
+/// Any error the pipeline can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Native MIMD execution failed.
+    Machine(MachineError),
+    /// Trace analysis failed.
+    Analyze(AnalyzeError),
+    /// Lock-step ground-truth execution failed.
+    Lockstep(LockstepError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Machine(e) => write!(f, "machine: {e}"),
+            PipelineError::Analyze(e) => write!(f, "analyzer: {e}"),
+            PipelineError::Lockstep(e) => write!(f, "lockstep: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<MachineError> for PipelineError {
+    fn from(e: MachineError) -> Self {
+        PipelineError::Machine(e)
+    }
+}
+
+impl From<AnalyzeError> for PipelineError {
+    fn from(e: AnalyzeError) -> Self {
+        PipelineError::Analyze(e)
+    }
+}
+
+impl From<LockstepError> for PipelineError {
+    fn from(e: LockstepError) -> Self {
+        PipelineError::Lockstep(e)
+    }
+}
+
+/// Result of a speedup projection (one bar of paper Fig. 6).
+#[derive(Debug, Clone)]
+pub struct SpeedupProjection {
+    /// SIMT-device simulation results.
+    pub gpu: SimtSimStats,
+    /// CPU baseline simulation results.
+    pub cpu: CpuSimStats,
+    /// Projected speedup (CPU time / GPU time at the configured clocks).
+    pub speedup: f64,
+}
+
+/// High-level driver mirroring the paper's workflow.
+///
+/// ```
+/// use threadfuser::Pipeline;
+/// use threadfuser::ir::OptLevel;
+/// use threadfuser::workloads;
+///
+/// let w = workloads::by_name("pigz").unwrap();
+/// let eff = Pipeline::from_workload(&w)
+///     .threads(64)
+///     .opt_level(OptLevel::O3)
+///     .warp_size(32)
+///     .analyze()
+///     .unwrap()
+///     .simt_efficiency();
+/// assert!(eff < 0.5, "pigz is divergent, got {eff}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    program: Program,
+    kernel: FuncId,
+    init: Option<FuncId>,
+    threads: u32,
+    opt: OptLevel,
+    hardware_opt: OptLevel,
+    analyzer: AnalyzerConfig,
+    spin_cost: u32,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for an arbitrary program/kernel pair.
+    pub fn new(program: Program, kernel: FuncId) -> Self {
+        Pipeline {
+            program,
+            kernel,
+            init: None,
+            threads: 64,
+            opt: OptLevel::O3,
+            hardware_opt: OptLevel::O1,
+            analyzer: AnalyzerConfig::new(32),
+            spin_cost: 16,
+        }
+    }
+
+    /// Creates a pipeline for a Table I workload (uses its default thread
+    /// count).
+    pub fn from_workload(w: &Workload) -> Self {
+        let mut p = Pipeline::new(w.program.clone(), w.kernel);
+        p.init = w.init;
+        p.threads = w.meta.default_threads;
+        p
+    }
+
+    /// Sets the logical thread count.
+    pub fn threads(mut self, n: u32) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets the CPU compiler optimization level applied before tracing
+    /// (the paper's gcc sweep; default `O3`, the developer scenario).
+    pub fn opt_level(mut self, o: OptLevel) -> Self {
+        self.opt = o;
+        self
+    }
+
+    /// Sets the optimization level of the reference "GPU binary" used by
+    /// [`Self::measure_hardware`] (default `O1`, the nvcc-like moderate
+    /// level the paper found closest to hardware).
+    pub fn hardware_opt_level(mut self, o: OptLevel) -> Self {
+        self.hardware_opt = o;
+        self
+    }
+
+    /// Sets the warp width (8–64; default 32).
+    pub fn warp_size(mut self, w: u32) -> Self {
+        self.analyzer.warp_size = w;
+        self
+    }
+
+    /// Sets the thread→warp batching policy.
+    pub fn batching(mut self, b: BatchPolicy) -> Self {
+        self.analyzer.batching = b;
+        self
+    }
+
+    /// Enables intra-warp lock serialization emulation (paper Fig. 9).
+    pub fn intra_warp_locks(mut self, on: bool) -> Self {
+        self.analyzer.emulate_intra_warp_locks = on;
+        self
+    }
+
+    /// Selects the reconvergence-point policy (ablation; default dynamic
+    /// IPDOM, the paper's design).
+    pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
+        self.analyzer.reconvergence = policy;
+        self
+    }
+
+    /// Sets analyzer worker-thread count.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.analyzer.parallelism = n;
+        self
+    }
+
+    /// The analyzer configuration assembled so far.
+    pub fn analyzer_config(&self) -> &AnalyzerConfig {
+        &self.analyzer
+    }
+
+    fn machine_config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::new(self.kernel, self.threads);
+        cfg.init = self.init;
+        cfg.spin_cost = self.spin_cost;
+        cfg
+    }
+
+    /// Optimizes at the configured level and captures per-thread traces
+    /// from native MIMD execution.
+    ///
+    /// # Errors
+    /// Propagates machine faults (traps, deadlock).
+    pub fn trace(&self) -> Result<(Program, TraceSet), PipelineError> {
+        let program = self.opt.apply(&self.program);
+        let (traces, _) = trace_program(&program, self.machine_config())?;
+        Ok((program, traces))
+    }
+
+    /// The headline operation: trace, then run the ThreadFuser analysis.
+    ///
+    /// # Errors
+    /// Propagates machine and analyzer errors.
+    pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
+        let (program, traces) = self.trace()?;
+        Ok(analyze(&program, &traces, &self.analyzer)?)
+    }
+
+    /// Runs the program warp-natively at [`Self::hardware_opt_level`] —
+    /// the "real GPU" measurement the analysis is correlated against.
+    ///
+    /// # Errors
+    /// Propagates lock-step machine faults.
+    pub fn measure_hardware(&self) -> Result<LockstepStats, PipelineError> {
+        let program = self.hardware_opt.apply(&self.program);
+        let mut cfg = LockstepConfig::new(self.kernel, self.threads);
+        cfg.warp_size = self.analyzer.warp_size;
+        cfg.init = self.init;
+        Ok(LockstepMachine::new(&program, cfg)?.run()?)
+    }
+
+    /// Generates warp-based instruction traces for the SIMT simulator.
+    ///
+    /// # Errors
+    /// Propagates machine and analyzer errors.
+    pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
+        let (program, traces) = self.trace()?;
+        Ok(generate_warp_traces(&program, &traces, &self.analyzer)?)
+    }
+
+    /// Projects the speedup of SIMT execution over native multicore CPU
+    /// execution (one bar of paper Fig. 6).
+    ///
+    /// # Errors
+    /// Propagates machine and analyzer errors.
+    pub fn project_speedup(
+        &self,
+        simt: &SimtSimConfig,
+        cpu: &CpuSimConfig,
+    ) -> Result<SpeedupProjection, PipelineError> {
+        let (program, traces) = self.trace()?;
+        let wt = generate_warp_traces(&program, &traces, &self.analyzer)?;
+        let gpu_stats = simulate(&wt, simt);
+        let cpu_stats = simulate_cpu(&traces, cpu);
+        let gpu_s = gpu_stats.seconds(simt.clock_ghz);
+        let cpu_s = cpu_stats.seconds(cpu.clock_ghz);
+        let speedup = if gpu_s > 0.0 { cpu_s / gpu_s } else { 0.0 };
+        Ok(SpeedupProjection { gpu: gpu_stats, cpu: cpu_stats, speedup })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_workloads::by_name;
+
+    #[test]
+    fn analyze_runs_end_to_end() {
+        let w = by_name("md5").unwrap();
+        let report = Pipeline::from_workload(&w).threads(64).analyze().unwrap();
+        assert!(report.simt_efficiency() > 0.9);
+    }
+
+    #[test]
+    fn opt_levels_change_the_traced_binary() {
+        let w = by_name("vectoradd").unwrap();
+        let o0 = Pipeline::from_workload(&w)
+            .threads(64)
+            .opt_level(OptLevel::O0)
+            .analyze()
+            .unwrap();
+        let o2 = Pipeline::from_workload(&w)
+            .threads(64)
+            .opt_level(OptLevel::O2)
+            .analyze()
+            .unwrap();
+        assert!(
+            o0.total_transactions() > o2.total_transactions(),
+            "O0 must have more memory traffic: {} vs {}",
+            o0.total_transactions(),
+            o2.total_transactions()
+        );
+    }
+
+    #[test]
+    fn hardware_measurement_matches_o1_prediction() {
+        // The paper's key result: tracing the O1 binary predicts hardware
+        // exactly (correlation 1.0).
+        let w = by_name("bfs").unwrap();
+        let p = Pipeline::from_workload(&w).threads(64).opt_level(OptLevel::O1);
+        let predicted = p.analyze().unwrap();
+        let measured = p.measure_hardware().unwrap();
+        assert!(
+            (predicted.simt_efficiency() - measured.simt_efficiency()).abs() < 1e-9,
+            "{} vs {}",
+            predicted.simt_efficiency(),
+            measured.simt_efficiency()
+        );
+    }
+
+    #[test]
+    fn speedup_projection_produces_finite_numbers() {
+        let w = by_name("vectoradd").unwrap();
+        let proj = Pipeline::from_workload(&w)
+            .threads(128)
+            .project_speedup(&SimtSimConfig::default(), &CpuSimConfig::default())
+            .unwrap();
+        assert!(proj.speedup.is_finite() && proj.speedup > 0.0);
+        assert!(proj.gpu.cycles > 0 && proj.cpu.cycles > 0);
+    }
+}

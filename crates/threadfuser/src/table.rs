@@ -1,0 +1,125 @@
+//! Plain-text tables for experiment output (the bench binaries print the
+//! paper's tables and figure series with this).
+
+use std::fmt;
+
+/// A right-padded text table with a header row.
+///
+/// ```
+/// use threadfuser::TextTable;
+/// let mut t = TextTable::new(&["workload", "efficiency"]);
+/// t.row(&["nbody", "0.99"]);
+/// let s = t.to_string();
+/// assert!(s.contains("nbody"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (missing cells render empty; extras are kept).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (no quoting; intended for numeric experiment dumps).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == widths.len() {
+                    writeln!(f, "{cell}")?;
+                } else {
+                    write!(f, "{cell:<w$}  ", w = w)?;
+                }
+            }
+            Ok(())
+        };
+        print_row(f, &self.header)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for r in &self.rows {
+            print_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // "a" padded to the width of "longer"
+        assert!(lines[2].contains("a       "));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(&["x", "y"]);
+        t.row(&["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.to_string();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! The tracing hook and the one-call capture front door.
+
+use crate::events::{ThreadTrace, TraceEvent, TraceSet};
+use std::collections::HashSet;
+use threadfuser_ir::{BlockAddr, FuncId, Program};
+use threadfuser_machine::{
+    ExecHook, Machine, MachineConfig, MachineError, RunStats, SkipKind,
+};
+
+/// Tracer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TracerConfig {
+    /// Functions whose execution (including everything they call) is
+    /// dropped from the trace but still counted, mirroring the PIN tool's
+    /// selective instrumentation.
+    pub exclude: HashSet<FuncId>,
+}
+
+#[derive(Debug, Default)]
+struct PerThread {
+    trace: ThreadTrace,
+    /// Depth of nesting inside excluded functions (0 = tracing).
+    excluded_depth: u32,
+    /// Instruction count of the currently executing block, used to
+    /// attribute excluded instructions.
+    current_block_insts: u32,
+}
+
+/// An [`ExecHook`] that builds per-thread traces.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    config: TracerConfig,
+    threads: Vec<PerThread>,
+}
+
+impl Tracer {
+    /// Creates a tracer that records everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracer with selective exclusion.
+    pub fn with_config(config: TracerConfig) -> Self {
+        Tracer { config, threads: Vec::new() }
+    }
+
+    fn thread(&mut self, tid: u32) -> &mut PerThread {
+        let idx = tid as usize;
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, PerThread::default);
+            for (i, t) in self.threads.iter_mut().enumerate() {
+                t.trace.tid = i as u32;
+            }
+        }
+        &mut self.threads[idx]
+    }
+
+    /// Finishes capture and returns the trace set.
+    pub fn into_traces(self) -> TraceSet {
+        self.threads.into_iter().map(|t| t.trace).collect()
+    }
+}
+
+impl ExecHook for Tracer {
+    fn on_block(&mut self, tid: u32, addr: BlockAddr, n_insts: u32) {
+        let t = self.thread(tid);
+        t.current_block_insts = n_insts;
+        if t.excluded_depth > 0 {
+            t.trace.excluded_insts += n_insts as u64;
+            return;
+        }
+        t.trace.events.push(TraceEvent::Block { addr, n_insts });
+    }
+
+    fn on_mem(&mut self, tid: u32, inst_idx: u32, addr: u64, size: u32, is_store: bool) {
+        let t = self.thread(tid);
+        if t.excluded_depth > 0 {
+            return;
+        }
+        t.trace.events.push(TraceEvent::Mem { inst_idx, addr, size: size as u8, is_store });
+    }
+
+    fn on_call(&mut self, tid: u32, callee: FuncId) {
+        let excluded = self.config.exclude.contains(&callee);
+        let t = self.thread(tid);
+        if t.excluded_depth > 0 {
+            t.excluded_depth += 1;
+            return;
+        }
+        if excluded {
+            t.excluded_depth = 1;
+            return;
+        }
+        t.trace.events.push(TraceEvent::Call { callee });
+    }
+
+    fn on_ret(&mut self, tid: u32) {
+        let t = self.thread(tid);
+        if t.excluded_depth > 0 {
+            t.excluded_depth -= 1;
+            return;
+        }
+        t.trace.events.push(TraceEvent::Ret);
+    }
+
+    fn on_acquire(&mut self, tid: u32, lock: u64) {
+        let t = self.thread(tid);
+        if t.excluded_depth == 0 {
+            t.trace.events.push(TraceEvent::Acquire { lock });
+        }
+    }
+
+    fn on_release(&mut self, tid: u32, lock: u64) {
+        let t = self.thread(tid);
+        if t.excluded_depth == 0 {
+            t.trace.events.push(TraceEvent::Release { lock });
+        }
+    }
+
+    fn on_barrier(&mut self, tid: u32, id: u32) {
+        let t = self.thread(tid);
+        if t.excluded_depth == 0 {
+            t.trace.events.push(TraceEvent::Barrier { id });
+        }
+    }
+
+    fn on_skipped(&mut self, tid: u32, count: u64, kind: SkipKind) {
+        let t = self.thread(tid);
+        match kind {
+            SkipKind::Io => t.trace.skipped_io += count,
+            SkipKind::LockSpin => t.trace.skipped_spin += count,
+        }
+    }
+}
+
+/// Runs `program` on the MIMD machine under a fresh tracer; the one-call
+/// equivalent of `pin -t threadfuser_tracer -- ./app`.
+///
+/// # Errors
+/// Propagates any [`MachineError`] from the run.
+pub fn trace_program(
+    program: &Program,
+    config: MachineConfig,
+) -> Result<(TraceSet, RunStats), MachineError> {
+    trace_program_with(program, config, TracerConfig::default())
+}
+
+/// [`trace_program`] with selective function exclusion.
+///
+/// # Errors
+/// Propagates any [`MachineError`] from the run.
+pub fn trace_program_with(
+    program: &Program,
+    config: MachineConfig,
+    tracer_config: TracerConfig,
+) -> Result<(TraceSet, RunStats), MachineError> {
+    let mut machine = Machine::new(program, config)?;
+    let mut tracer = Tracer::with_config(tracer_config);
+    let stats = machine.run(&mut tracer)?;
+    Ok((tracer.into_traces(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{AluOp, Operand, ProgramBuilder};
+
+    fn simple_program() -> (Program, FuncId, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global("out", 8 * 8);
+        let helper = pb.function("helper", 1, |fb| {
+            let x = fb.arg(0);
+            let v = fb.alu(AluOp::Mul, x, x);
+            fb.ret(Some(Operand::Reg(v)));
+        });
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let r = fb.call(helper, &[Operand::Reg(tid)]);
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, r);
+            fb.ret(None);
+        });
+        (pb.build().unwrap(), k, helper)
+    }
+
+    #[test]
+    fn trace_contains_blocks_calls_and_mems_in_order() {
+        let (p, k, helper) = simple_program();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
+        let t = &traces.threads()[1];
+        // k entry block, call, helper block, ret, k continuation block.
+        let kinds: Vec<&'static str> = t
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Block { .. } => "block",
+                TraceEvent::Mem { .. } => "mem",
+                TraceEvent::Call { .. } => "call",
+                TraceEvent::Ret => "ret",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["block", "call", "block", "ret", "block", "mem", "ret"]);
+        match t.events[1] {
+            TraceEvent::Call { callee } => assert_eq!(callee, helper),
+            ref e => panic!("expected call, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn per_thread_traces_differ_by_addresses() {
+        let (p, k, _) = simple_program();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
+        let mem0 = traces.threads()[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Mem { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .unwrap();
+        let mem1 = traces.threads()[1]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Mem { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(mem1 - mem0, 8, "adjacent output slots");
+    }
+
+    #[test]
+    fn excluded_function_disappears_but_is_counted() {
+        let (p, k, helper) = simple_program();
+        let mut tc = TracerConfig::default();
+        tc.exclude.insert(helper);
+        let (traces, _) =
+            trace_program_with(&p, MachineConfig::new(k, 1), tc).unwrap();
+        let t = &traces.threads()[0];
+        assert!(
+            !t.events.iter().any(|e| matches!(e, TraceEvent::Call { .. })),
+            "excluded call must not appear"
+        );
+        assert!(t.excluded_insts > 0);
+        // Only the two k blocks remain.
+        assert_eq!(t.block_count(), 2);
+    }
+
+    #[test]
+    fn sync_events_captured_in_order() {
+        let mut pb = ProgramBuilder::new();
+        let lock = pb.global("lock", 8);
+        let k = pb.function("k", 1, |fb| {
+            let l = fb.lea(threadfuser_ir::MemRef::global(
+                lock,
+                None,
+                0,
+                threadfuser_ir::AccessSize::B8,
+            ));
+            fb.acquire(Operand::Reg(l));
+            fb.release(Operand::Reg(l));
+            fb.barrier(9);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 1)).unwrap();
+        let kinds: Vec<&str> = traces.threads()[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Acquire { .. } => Some("acq"),
+                TraceEvent::Release { .. } => Some("rel"),
+                TraceEvent::Barrier { id: 9 } => Some("bar"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["acq", "rel", "bar"]);
+    }
+
+    #[test]
+    fn traced_matches_machine_stats() {
+        let (p, k, _) = simple_program();
+        let (traces, stats) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
+        assert_eq!(traces.total_traced_insts(), stats.total_traced());
+    }
+}

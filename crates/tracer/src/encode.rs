@@ -1,0 +1,279 @@
+//! Compact binary trace encoding.
+//!
+//! Trace files in the paper's toolchain are bulk artifacts shipped between
+//! the tracer and the analyzer/simulator. This module provides a compact
+//! little-endian binary format (much denser than JSON) with a strict
+//! decoder.
+
+use crate::events::{ThreadTrace, TraceEvent, TraceSet};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use threadfuser_ir::{BlockAddr, BlockId, FuncId};
+
+const MAGIC: &[u8; 4] = b"TFTR";
+const VERSION: u8 = 1;
+
+const TAG_BLOCK: u8 = 0;
+const TAG_MEM: u8 = 1;
+const TAG_CALL: u8 = 2;
+const TAG_RET: u8 = 3;
+const TAG_ACQUIRE: u8 = 4;
+const TAG_RELEASE: u8 = 5;
+const TAG_BARRIER: u8 = 6;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// Input ended mid-record.
+    Truncated,
+    /// Unknown event tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "bad trace file header"),
+            DecodeError::Truncated => write!(f, "truncated trace file"),
+            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a trace set to the binary format.
+pub fn encode(set: &TraceSet) -> Bytes {
+    let mut out = BytesMut::with_capacity(64 + set.threads().len() * 64);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(set.threads().len() as u32);
+    for t in set.threads() {
+        out.put_u32_le(t.tid);
+        out.put_u64_le(t.skipped_io);
+        out.put_u64_le(t.skipped_spin);
+        out.put_u64_le(t.excluded_insts);
+        out.put_u64_le(t.events.len() as u64);
+        for e in &t.events {
+            encode_event(&mut out, e);
+        }
+    }
+    out.freeze()
+}
+
+fn encode_event(out: &mut BytesMut, e: &TraceEvent) {
+    match e {
+        TraceEvent::Block { addr, n_insts } => {
+            out.put_u8(TAG_BLOCK);
+            out.put_u32_le(addr.func.0);
+            out.put_u32_le(addr.block.0);
+            out.put_u32_le(*n_insts);
+        }
+        TraceEvent::Mem { inst_idx, addr, size, is_store } => {
+            out.put_u8(TAG_MEM);
+            out.put_u32_le(*inst_idx);
+            out.put_u64_le(*addr);
+            out.put_u8(*size);
+            out.put_u8(u8::from(*is_store));
+        }
+        TraceEvent::Call { callee } => {
+            out.put_u8(TAG_CALL);
+            out.put_u32_le(callee.0);
+        }
+        TraceEvent::Ret => out.put_u8(TAG_RET),
+        TraceEvent::Acquire { lock } => {
+            out.put_u8(TAG_ACQUIRE);
+            out.put_u64_le(*lock);
+        }
+        TraceEvent::Release { lock } => {
+            out.put_u8(TAG_RELEASE);
+            out.put_u64_le(*lock);
+        }
+        TraceEvent::Barrier { id } => {
+            out.put_u8(TAG_BARRIER);
+            out.put_u32_le(*id);
+        }
+    }
+}
+
+/// Deserializes a trace set from the binary format.
+///
+/// # Errors
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode(mut buf: &[u8]) -> Result<TraceSet, DecodeError> {
+    if buf.remaining() < 5 || &buf[..4] != MAGIC {
+        return Err(DecodeError::BadHeader);
+    }
+    buf.advance(4);
+    if buf.get_u8() != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+    need(&buf, 4)?;
+    let n_threads = buf.get_u32_le() as usize;
+    let mut threads = Vec::with_capacity(n_threads);
+    for _ in 0..n_threads {
+        need(&buf, 4 + 8 * 4)?;
+        let tid = buf.get_u32_le();
+        let skipped_io = buf.get_u64_le();
+        let skipped_spin = buf.get_u64_le();
+        let excluded_insts = buf.get_u64_le();
+        let n_events = buf.get_u64_le() as usize;
+        let mut events = Vec::with_capacity(n_events.min(1 << 20));
+        for _ in 0..n_events {
+            events.push(decode_event(&mut buf)?);
+        }
+        threads.push(ThreadTrace { tid, events, skipped_io, skipped_spin, excluded_insts });
+    }
+    Ok(TraceSet::new(threads))
+}
+
+fn need(buf: &&[u8], n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_event(buf: &mut &[u8]) -> Result<TraceEvent, DecodeError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_BLOCK => {
+            need(buf, 12)?;
+            let func = FuncId(buf.get_u32_le());
+            let block = BlockId(buf.get_u32_le());
+            let n_insts = buf.get_u32_le();
+            TraceEvent::Block { addr: BlockAddr::new(func, block), n_insts }
+        }
+        TAG_MEM => {
+            need(buf, 14)?;
+            let inst_idx = buf.get_u32_le();
+            let addr = buf.get_u64_le();
+            let size = buf.get_u8();
+            let is_store = buf.get_u8() != 0;
+            TraceEvent::Mem { inst_idx, addr, size, is_store }
+        }
+        TAG_CALL => {
+            need(buf, 4)?;
+            TraceEvent::Call { callee: FuncId(buf.get_u32_le()) }
+        }
+        TAG_RET => TraceEvent::Ret,
+        TAG_ACQUIRE => {
+            need(buf, 8)?;
+            TraceEvent::Acquire { lock: buf.get_u64_le() }
+        }
+        TAG_RELEASE => {
+            need(buf, 8)?;
+            TraceEvent::Release { lock: buf.get_u64_le() }
+        }
+        TAG_BARRIER => {
+            need(buf, 4)?;
+            TraceEvent::Barrier { id: buf.get_u32_le() }
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = TraceEvent> {
+        prop_oneof![
+            (0u32..100, 0u32..100, 1u32..50).prop_map(|(f, b, n)| TraceEvent::Block {
+                addr: BlockAddr::new(FuncId(f), BlockId(b)),
+                n_insts: n
+            }),
+            (0u32..50, any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<bool>())
+                .prop_map(|(i, a, s, st)| TraceEvent::Mem {
+                    inst_idx: i,
+                    addr: a,
+                    size: s,
+                    is_store: st
+                }),
+            (0u32..100).prop_map(|f| TraceEvent::Call { callee: FuncId(f) }),
+            Just(TraceEvent::Ret),
+            any::<u64>().prop_map(|l| TraceEvent::Acquire { lock: l }),
+            any::<u64>().prop_map(|l| TraceEvent::Release { lock: l }),
+            (0u32..16).prop_map(|id| TraceEvent::Barrier { id }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(
+            traces in proptest::collection::vec(
+                (0u32..64, proptest::collection::vec(arb_event(), 0..64), 0u64..1000, 0u64..1000),
+                0..8
+            )
+        ) {
+            let mut tid = 0u32;
+            let set: TraceSet = traces
+                .into_iter()
+                .map(|(_, events, io, spin)| {
+                    tid += 1;
+                    ThreadTrace {
+                        tid,
+                        events,
+                        skipped_io: io,
+                        skipped_spin: spin,
+                        excluded_insts: 0,
+                    }
+                })
+                .collect();
+            let bytes = encode(&set);
+            let back = decode(&bytes).unwrap();
+            prop_assert_eq!(set, back);
+        }
+
+        #[test]
+        fn truncation_always_errors(cut in 5usize..40) {
+            let t = ThreadTrace {
+                tid: 0,
+                events: vec![
+                    TraceEvent::Block { addr: BlockAddr::new(FuncId(1), BlockId(2)), n_insts: 3 },
+                    TraceEvent::Mem { inst_idx: 0, addr: 42, size: 8, is_store: false },
+                ],
+                ..Default::default()
+            };
+            let set: TraceSet = std::iter::once(t).collect();
+            let bytes = encode(&set);
+            prop_assume!(cut < bytes.len());
+            let r = decode(&bytes[..cut]);
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let set = TraceSet::default();
+        assert_eq!(decode(&encode(&set)).unwrap(), set);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode(b"NOPE\x01\x00\x00\x00\x00"), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        assert_eq!(decode(b"TFTR\x09\x00\x00\x00\x00"), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let set: TraceSet = std::iter::once(ThreadTrace {
+            tid: 0,
+            events: vec![TraceEvent::Ret],
+            ..Default::default()
+        })
+        .collect();
+        let mut bytes = encode(&set).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] = 200; // clobber the Ret tag
+        assert_eq!(decode(&bytes), Err(DecodeError::BadTag(200)));
+    }
+}

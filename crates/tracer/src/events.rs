@@ -1,0 +1,194 @@
+//! Trace event model.
+
+use serde::{Deserialize, Serialize};
+use threadfuser_ir::{BlockAddr, FuncId};
+
+/// One event in a per-thread dynamic trace.
+///
+/// Events appear in execution order. A [`TraceEvent::Block`] is followed by
+/// the [`TraceEvent::Mem`] events its instructions produced (in instruction
+/// order); synchronization events produced by the block's terminator follow
+/// those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A basic block was executed.
+    Block {
+        /// Code address of the block.
+        addr: BlockAddr,
+        /// Dynamic instructions in the block (body + terminator).
+        n_insts: u32,
+    },
+    /// A memory access by the preceding block.
+    Mem {
+        /// Index of the accessing instruction within the block (the
+        /// terminator is `n_insts - 1`).
+        inst_idx: u32,
+        /// Effective address.
+        addr: u64,
+        /// Width in bytes.
+        size: u8,
+        /// Store (`true`) or load (`false`).
+        is_store: bool,
+    },
+    /// A call; the next `Block` is the callee's entry.
+    Call {
+        /// Called function.
+        callee: FuncId,
+    },
+    /// Return from the current function.
+    Ret,
+    /// A mutex was acquired.
+    Acquire {
+        /// Lock address.
+        lock: u64,
+    },
+    /// A mutex was released.
+    Release {
+        /// Lock address.
+        lock: u64,
+    },
+    /// The thread crossed a barrier.
+    Barrier {
+        /// Barrier identity.
+        id: u32,
+    },
+}
+
+/// The dynamic trace of one logical thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Thread id.
+    pub tid: u32,
+    /// Ordered event stream.
+    pub events: Vec<TraceEvent>,
+    /// Instructions skipped inside opaque I/O.
+    pub skipped_io: u64,
+    /// Instructions skipped spinning on contended locks.
+    pub skipped_spin: u64,
+    /// Instructions executed inside excluded functions (dropped from the
+    /// event stream).
+    pub excluded_insts: u64,
+}
+
+impl ThreadTrace {
+    /// Traced dynamic instructions (sum of block sizes).
+    pub fn traced_insts(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Block { n_insts, .. } => *n_insts as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Executed blocks.
+    pub fn block_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Block { .. })).count()
+    }
+}
+
+/// A complete capture: one trace per logical thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSet {
+    threads: Vec<ThreadTrace>,
+}
+
+impl TraceSet {
+    /// Builds a set from per-thread traces (sorted by tid).
+    pub fn new(mut threads: Vec<ThreadTrace>) -> Self {
+        threads.sort_by_key(|t| t.tid);
+        TraceSet { threads }
+    }
+
+    /// Per-thread traces, ordered by tid.
+    pub fn threads(&self) -> &[ThreadTrace] {
+        &self.threads
+    }
+
+    /// Total traced instructions over all threads.
+    pub fn total_traced_insts(&self) -> u64 {
+        self.threads.iter().map(ThreadTrace::traced_insts).sum()
+    }
+
+    /// Total skipped instructions (I/O + spin) over all threads.
+    pub fn total_skipped_insts(&self) -> u64 {
+        self.threads.iter().map(|t| t.skipped_io + t.skipped_spin).sum()
+    }
+
+    /// Fraction of instructions traced (paper Fig. 8).
+    pub fn traced_fraction(&self) -> f64 {
+        let traced = self.total_traced_insts();
+        let all = traced + self.total_skipped_insts();
+        if all == 0 {
+            1.0
+        } else {
+            traced as f64 / all as f64
+        }
+    }
+}
+
+impl FromIterator<ThreadTrace> for TraceSet {
+    fn from_iter<I: IntoIterator<Item = ThreadTrace>>(iter: I) -> Self {
+        TraceSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{BlockId, FuncId};
+
+    fn block(n: u32) -> TraceEvent {
+        TraceEvent::Block { addr: BlockAddr::new(FuncId(0), BlockId(0)), n_insts: n }
+    }
+
+    #[test]
+    fn traced_inst_accounting() {
+        let t = ThreadTrace {
+            tid: 0,
+            events: vec![block(3), TraceEvent::Ret, block(5)],
+            skipped_io: 2,
+            skipped_spin: 0,
+            excluded_insts: 0,
+        };
+        assert_eq!(t.traced_insts(), 8);
+        assert_eq!(t.block_count(), 2);
+    }
+
+    #[test]
+    fn traceset_orders_by_tid_and_aggregates() {
+        let t1 = ThreadTrace { tid: 1, events: vec![block(4)], ..Default::default() };
+        let t0 = ThreadTrace { tid: 0, events: vec![block(6)], skipped_io: 10, ..Default::default() };
+        let set = TraceSet::new(vec![t1, t0]);
+        assert_eq!(set.threads()[0].tid, 0);
+        assert_eq!(set.total_traced_insts(), 10);
+        assert!((set.traced_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_traced_fraction_is_one() {
+        assert_eq!(TraceSet::default().traced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = ThreadTrace {
+            tid: 7,
+            events: vec![
+                block(2),
+                TraceEvent::Mem { inst_idx: 0, addr: 0x1000, size: 8, is_store: true },
+                TraceEvent::Call { callee: FuncId(3) },
+                TraceEvent::Acquire { lock: 0xbeef },
+                TraceEvent::Barrier { id: 2 },
+            ],
+            skipped_io: 1,
+            skipped_spin: 2,
+            excluded_insts: 3,
+        };
+        let set: TraceSet = std::iter::once(t).collect();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: TraceSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
+    }
+}

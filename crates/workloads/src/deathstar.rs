@@ -1,0 +1,278 @@
+//! DeathStarBench social-network microservices: ComposePost, Text,
+//! UrlShorten, UniqueID, UserTag, and User — the request-parallel
+//! workloads of the paper's Fig. 8–10 studies.
+
+use crate::motifs::{
+    bounded_hash, compute_chain, elem8, hash_probe, receive_request, send_response,
+    with_lock, xorshift_round,
+};
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+
+fn meta(name: &'static str, description: &'static str, uses_locks: bool) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::DeathStarBench,
+        description,
+        paper_threads: 2048,
+        default_threads: 256,
+        has_gpu_impl: false,
+        uses_locks,
+    }
+}
+
+const REQ_FIELDS: i64 = 4;
+const SHARDS: i64 = 32;
+
+fn requests(seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..1024 * REQ_FIELDS as usize).map(|_| rng.gen_range(1..1_000_000)).collect()
+}
+
+/// ComposePost: parse, generate an id, run text filtering, then publish to
+/// the author's shard under its lock.
+pub fn post() -> Workload {
+    let reqs = requests(0xD50_1);
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_locks = pb.global("shard_locks", 8 * SHARDS as u64);
+    let g_store = pb.global("post_store", 8 * 4096);
+    let kernel = pb.function("compose_post", 1, |fb| {
+        let tid = fb.arg(0);
+        let body = receive_request(fb, g_reqs, tid, REQ_FIELDS, 22);
+        // Request-type dispatch: an ==-chain over a dense selector that
+        // `O3` converts into a jump table (the gcc behaviour behind the
+        // paper's Fig. 5 discussion).
+        let rtype = bounded_hash(fb, body, 4);
+        let kind_bonus = fb.var(8);
+        fb.store_var(kind_bonus, 0i64);
+        fb.if_then_else(
+            Cond::Eq,
+            rtype,
+            0i64,
+            |fb| fb.store_var(kind_bonus, 3i64), // text post
+            |fb| {
+                fb.if_then_else(
+                    Cond::Eq,
+                    rtype,
+                    1i64,
+                    |fb| fb.store_var(kind_bonus, 7i64), // media post
+                    |fb| {
+                        fb.if_then_else(
+                            Cond::Eq,
+                            rtype,
+                            2i64,
+                            |fb| fb.store_var(kind_bonus, 11i64), // repost
+                            |fb| fb.store_var(kind_bonus, 13i64), // dm
+                        );
+                    },
+                );
+            },
+        );
+        // Media/text processing: length-dependent (8..=23 words).
+        let words = bounded_hash(fb, body, 16);
+        let len = fb.alu(AluOp::Add, words, 8i64);
+        let digest = fb.var(8);
+        fb.store_var(digest, 0i64);
+        fb.for_range(0i64, Operand::Reg(len), 1, |fb, w| {
+            let mixed = compute_chain(fb, w, 4);
+            let d = fb.load_var(digest);
+            let s = fb.alu(AluOp::Xor, d, mixed);
+            fb.store_var(digest, s);
+        });
+        // Publish to the author's shard (fine-grain lock).
+        let shard = bounded_hash(fb, tid, SHARDS);
+        let kb = fb.load_var(kind_bonus);
+        let d0 = fb.load_var(digest);
+        let d = fb.alu(AluOp::Add, d0, kb);
+        with_lock(fb, g_locks, shard, |fb| {
+            let slot = fb.alu(AluOp::Rem, d, 4096i64.abs());
+            let clamped = fb.alu(AluOp::And, slot, 4095i64);
+            let m = elem8(fb, g_store, clamped);
+            fb.store(m, d);
+        });
+        send_response(fb, 14);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("post", "compose-post: variable text pass + locked publish", true),
+        program: pb.build().expect("post builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Text: tokenize a variable-length message, branching per token on a
+/// stop-word check — medium divergence.
+pub fn text() -> Workload {
+    let reqs = requests(0xD50_2);
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_out = pb.global("tokens_out", 8 * 4096);
+    let kernel = pb.function("text_service", 1, |fb| {
+        let tid = fb.arg(0);
+        let msg = receive_request(fb, g_reqs, tid, REQ_FIELDS, 18);
+        let words = bounded_hash(fb, msg, 12);
+        let len = fb.alu(AluOp::Add, words, 6i64);
+        let kept = fb.var(8);
+        fb.store_var(kept, 0i64);
+        let state = fb.mov(msg);
+        fb.for_range(0i64, Operand::Reg(len), 1, |fb, _w| {
+            xorshift_round(fb, state);
+            let tok = fb.alu(AluOp::And, state, 0xFFi64);
+            // Stop-word filter: ~25% of tokens take the short path.
+            fb.if_then_else(
+                Cond::Lt,
+                tok,
+                64i64,
+                |fb| {
+                    fb.nop(); // dropped token
+                },
+                |fb| {
+                    let k = fb.load_var(kept);
+                    let mixed = compute_chain(fb, k, 3);
+                    fb.store_var(kept, mixed);
+                },
+            );
+        });
+        let k = fb.load_var(kept);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, k);
+        send_response(fb, 11);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("text", "tokenizer with per-token stop-word branches", false),
+        program: pb.build().expect("text builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// UrlShorten: shorten 1–3 URLs per request; each goes through hash +
+/// shard-locked table insert.
+pub fn urlshort() -> Workload {
+    let reqs = requests(0xD50_3);
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_locks = pb.global("shard_locks", 8 * SHARDS as u64);
+    let g_table = pb.global("short_table", 8 * 2048);
+    let kernel = pb.function("url_shorten", 1, |fb| {
+        let tid = fb.arg(0);
+        let req = receive_request(fb, g_reqs, tid, REQ_FIELDS, 20);
+        let n0 = bounded_hash(fb, req, 3);
+        let n = fb.alu(AluOp::Add, n0, 1i64);
+        fb.for_range(0i64, Operand::Reg(n), 1, |fb, u| {
+            let url = fb.alu(AluOp::Add, req, u);
+            let short = compute_chain(fb, url, 10);
+            let shard = bounded_hash(fb, short, SHARDS);
+            with_lock(fb, g_locks, shard, |fb| {
+                let slot = fb.alu(AluOp::And, short, 2047i64);
+                let m = elem8(fb, g_table, slot);
+                fb.store(m, short);
+            });
+        });
+        send_response(fb, 13);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("urlshort", "1–3 URL hashes + locked table inserts", true),
+        program: pb.build().expect("urlshort builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// UniqueID: timestamp/counter id generation — pure convergent hashing,
+/// the highest-efficiency microservice.
+pub fn uniqueid() -> Workload {
+    let reqs = requests(0xD50_4);
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_out = pb.global("ids", 8 * 4096);
+    let kernel = pb.function("unique_id", 1, |fb| {
+        let tid = fb.arg(0);
+        let seed = receive_request(fb, g_reqs, tid, REQ_FIELDS, 14);
+        let mixed = fb.alu(AluOp::Xor, seed, tid);
+        let id = compute_chain(fb, mixed, 96);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, id);
+        send_response(fb, 9);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("uniqueid", "snowflake-style id generation, convergent", false),
+        program: pb.build().expect("uniqueid builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// UserTag: tag 1–8 users per request, each tag updating a per-user shard
+/// under its fine-grain lock — the densest locking microservice.
+pub fn usertag() -> Workload {
+    let reqs = requests(0xD50_5);
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_locks = pb.global("user_locks", 8 * SHARDS as u64);
+    let g_counts = pb.global("tag_counts", 8 * SHARDS as u64);
+    let kernel = pb.function("user_tag", 1, |fb| {
+        let tid = fb.arg(0);
+        let req = receive_request(fb, g_reqs, tid, REQ_FIELDS, 18);
+        let t0 = bounded_hash(fb, req, 8);
+        let tags = fb.alu(AluOp::Add, t0, 1i64);
+        fb.for_range(0i64, Operand::Reg(tags), 1, |fb, t| {
+            let user = fb.alu(AluOp::Add, req, t);
+            let shard = bounded_hash(fb, user, SHARDS);
+            with_lock(fb, g_locks, shard, |fb| {
+                let m = elem8(fb, g_counts, shard);
+                let c = fb.load(m);
+                let c2 = fb.alu(AluOp::Add, c, 1i64);
+                let m2 = elem8(fb, g_counts, shard);
+                fb.store(m2, c2);
+            });
+        });
+        send_response(fb, 11);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("usertag", "1–8 per-user tags under fine-grain locks", true),
+        program: pb.build().expect("usertag builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// User: login — fixed-round credential hash chain plus a session-table
+/// probe; convergent except for probe-length variance.
+pub fn user() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xD50_6);
+    let reqs = requests(0xD50_6);
+    let sessions: Vec<i64> = (0..1024)
+        .map(|_| if rng.gen_bool(0.5) { rng.gen_range(1..1_000_000) } else { 0 })
+        .collect();
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_sessions = pb.global_i64("sessions", &sessions);
+    let g_out = pb.global("auth_out", 8 * 4096);
+    let kernel = pb.function("user_login", 1, |fb| {
+        let tid = fb.arg(0);
+        let cred = receive_request(fb, g_reqs, tid, REQ_FIELDS, 16);
+        // Fixed 32-round password hash (convergent).
+        let h = compute_chain(fb, cred, 32);
+        let session = hash_probe(fb, g_sessions, h, 1024, 6);
+        let token = fb.alu(AluOp::Xor, session, h);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, token);
+        send_response(fb, 11);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("user", "login: fixed hash chain + session probe", false),
+        program: pb.build().expect("user builds"),
+        kernel,
+        init: None,
+    }
+}

@@ -1,0 +1,235 @@
+#![warn(missing_docs)]
+
+//! # ThreadFuser workload suite
+//!
+//! TFIR implementations of the 36 MIMD CPU workloads of the paper's
+//! Table I. Each workload models the control-flow, memory-access, and
+//! synchronization *structure* of its namesake — the properties the
+//! ThreadFuser analysis actually consumes — at laptop-friendly input
+//! sizes (the paper's thread counts are preserved as metadata).
+//!
+//! | Suite | Workloads |
+//! |-------|-----------|
+//! | Rodinia 3.1 | `bfs`, `nn`, `streamcluster`, `btree`, `particlefilter` |
+//! | Paropoly | `paropoly_bfs`, `cc`, `pagerank`, `nbody` |
+//! | Micro | `vectoradd`, `uncoalesced` |
+//! | μSuite | `mcrouter_memcached`, `mcrouter_mid`, `mcrouter_leaf`, `textsearch_mid`, `textsearch_leaf`, `hdsearch_mid`, `hdsearch_leaf` |
+//! | DeathStarBench | `post`, `text`, `urlshort`, `uniqueid`, `usertag`, `user` |
+//! | PARSEC 3.0 | `blackscholes`, `streamcluster_p`, `bodytrack`, `facesim`, `fluidanimate`, `freqmine`, `swaptions`, `vips`, `x264` |
+//! | Others | `pigz`, `rotate`, `md5` |
+//!
+//! `hdsearch_mid_fixed` is the SIMT-aware variant of the paper's Fig. 7
+//! case study (top-k-capped `getpoint`).
+//!
+//! ```
+//! use threadfuser_workloads::{all, by_name};
+//! assert_eq!(all().len(), 36);
+//! let w = by_name("nbody").unwrap();
+//! assert!(w.meta.has_gpu_impl);
+//! ```
+
+pub mod deathstar;
+pub mod micro;
+pub mod motifs;
+pub mod other;
+pub mod paropoly;
+pub mod parsec;
+pub mod rodinia;
+pub mod usuite;
+
+use threadfuser_ir::{FuncId, Program};
+
+/// Benchmark suite a workload belongs to (paper Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia 3.1 (OpenMP ↔ CUDA correlation set).
+    Rodinia,
+    /// Paropoly (pthread reimplementations, correlation set).
+    Paropoly,
+    /// Hand-written microbenchmarks (correlation set).
+    Micro,
+    /// μSuite microservices.
+    USuite,
+    /// DeathStarBench microservices.
+    DeathStarBench,
+    /// PARSEC 3.0.
+    Parsec,
+    /// Standalone applications (pigz, rotate, md5).
+    Other,
+}
+
+/// Static facts about a workload (paper Table I row).
+#[derive(Debug, Clone)]
+pub struct WorkloadMeta {
+    /// Canonical name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// One-line description of the modelled structure.
+    pub description: &'static str,
+    /// `#SIMT Threads` from Table I.
+    pub paper_threads: u32,
+    /// Default simulated threads in this repo (scaled for test speed).
+    pub default_threads: u32,
+    /// In the paper's 11-workload GPU-correlation set.
+    pub has_gpu_impl: bool,
+    /// Exercises mutexes (candidates for Fig. 9).
+    pub uses_locks: bool,
+}
+
+/// A ready-to-run workload: program + kernel + metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Static facts.
+    pub meta: WorkloadMeta,
+    /// The TFIR program.
+    pub program: Program,
+    /// Kernel function (one invocation per logical thread).
+    pub kernel: FuncId,
+    /// Optional single-threaded setup function.
+    pub init: Option<FuncId>,
+}
+
+/// Builds every workload of Table I (36 entries; the Fig. 7 `_fixed`
+/// variant is separate, see [`usuite::hdsearch_mid_fixed`]).
+pub fn all() -> Vec<Workload> {
+    vec![
+        // Correlation set (11).
+        rodinia::bfs(),
+        rodinia::nn(),
+        rodinia::streamcluster(),
+        rodinia::btree(),
+        rodinia::particlefilter(),
+        paropoly::bfs(),
+        paropoly::cc(),
+        paropoly::pagerank(),
+        paropoly::nbody(),
+        micro::vectoradd(),
+        micro::uncoalesced(),
+        // μSuite (7).
+        usuite::mcrouter_memcached(),
+        usuite::mcrouter_mid(),
+        usuite::mcrouter_leaf(),
+        usuite::textsearch_mid(),
+        usuite::textsearch_leaf(),
+        usuite::hdsearch_mid(),
+        usuite::hdsearch_leaf(),
+        // DeathStarBench (6).
+        deathstar::post(),
+        deathstar::text(),
+        deathstar::urlshort(),
+        deathstar::uniqueid(),
+        deathstar::usertag(),
+        deathstar::user(),
+        // PARSEC (9).
+        parsec::blackscholes(),
+        parsec::streamcluster_p(),
+        parsec::bodytrack(),
+        parsec::facesim(),
+        parsec::fluidanimate(),
+        parsec::freqmine(),
+        parsec::swaptions(),
+        parsec::vips(),
+        parsec::x264(),
+        // Others (3).
+        other::rotate(),
+        other::md5(),
+        other::pigz(),
+    ]
+}
+
+/// Looks a workload up by name (also resolves `hdsearch_mid_fixed`).
+pub fn by_name(name: &str) -> Option<Workload> {
+    if name == "hdsearch_mid_fixed" {
+        return Some(usuite::hdsearch_mid_fixed());
+    }
+    all().into_iter().find(|w| w.meta.name == name)
+}
+
+/// The 11 workloads with GPU counterparts (paper §IV correlation study).
+pub fn correlation_set() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.meta.has_gpu_impl).collect()
+}
+
+/// The 13 microservice workloads (μSuite + DeathStarBench), the subjects
+/// of Figs. 8–10.
+pub fn microservices() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| matches!(w.meta.suite, Suite::USuite | Suite::DeathStarBench))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_36_workloads() {
+        assert_eq!(all().len(), 36);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = all().iter().map(|w| w.meta.name).collect();
+        assert_eq!(names.len(), 36);
+    }
+
+    #[test]
+    fn eleven_correlation_workloads() {
+        assert_eq!(correlation_set().len(), 11);
+    }
+
+    #[test]
+    fn thirteen_microservices() {
+        assert_eq!(microservices().len(), 13);
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for w in all() {
+            w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+            // Kernel must take exactly the thread id.
+            assert_eq!(
+                w.program.function(w.kernel).params,
+                1,
+                "{} kernel arity",
+                w.meta.name
+            );
+            if let Some(init) = w.init {
+                assert_eq!(w.program.function(init).params, 0, "{} init arity", w.meta.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_fixed_variant() {
+        assert!(by_name("hdsearch_mid_fixed").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_thread_counts_match_table1() {
+        let expect = [
+            ("bfs", 4096),
+            ("nn", 42 * 1024),
+            ("streamcluster", 16 * 1024),
+            ("btree", 4096),
+            ("particlefilter", 4096),
+            ("paropoly_bfs", 4096),
+            ("cc", 4096),
+            ("pagerank", 4096),
+            ("nbody", 4096),
+            ("vectoradd", 1024),
+            ("uncoalesced", 1024),
+            ("pigz", 128),
+            ("swaptions", 512),
+        ];
+        let ws = all();
+        for (name, n) in expect {
+            let w = ws.iter().find(|w| w.meta.name == name).unwrap();
+            assert_eq!(w.meta.paper_threads, n, "{name}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Reusable program motifs shared by the workload suite.
+//!
+//! The 36 workloads of the paper's Table I are built from a small set of
+//! recurring control/memory/synchronization patterns; this module provides
+//! those patterns as builder helpers so each workload module stays focused
+//! on the structure that makes it *that* workload.
+
+use threadfuser_ir::{
+    AccessSize, AluOp, Cond, FunctionBuilder, GlobalId, IoKind, MemRef, Operand, Reg,
+};
+
+/// Emits one xorshift64* mixing round of `state` in place — the workhorse
+/// of hash-like, data-dependent value generation (deterministic and fast
+/// to interpret).
+pub fn xorshift_round(fb: &mut FunctionBuilder, state: Reg) {
+    let a = fb.alu(AluOp::Shl, state, 13i64);
+    fb.alu_into(state, AluOp::Xor, state, a);
+    let b = fb.alu(AluOp::Shr, state, 7i64);
+    fb.alu_into(state, AluOp::Xor, state, b);
+    let c = fb.alu(AluOp::Shl, state, 17i64);
+    fb.alu_into(state, AluOp::Xor, state, c);
+}
+
+/// Emits `n` dependent integer operations on a fresh accumulator seeded
+/// from `seed`; returns the accumulator. Models a convergent compute
+/// kernel body (identical work on every thread).
+pub fn compute_chain(fb: &mut FunctionBuilder, seed: impl Into<Operand>, n: usize) -> Reg {
+    let acc = fb.mov(seed);
+    for i in 0..n {
+        match i % 4 {
+            0 => fb.alu_into(acc, AluOp::Add, acc, 0x9E37_79B9i64),
+            1 => fb.alu_into(acc, AluOp::Xor, acc, 0x85EB_CA6Bi64),
+            2 => fb.alu_into(acc, AluOp::Mul, acc, 31i64),
+            _ => fb.alu_into(acc, AluOp::Sar, acc, 1i64),
+        }
+    }
+    acc
+}
+
+/// Derives a bounded pseudo-random value `0..bound` from `key` with a few
+/// mixing rounds; returns the register holding it. Thread-dependent but
+/// deterministic — the source of data-dependent trip counts.
+pub fn bounded_hash(fb: &mut FunctionBuilder, key: impl Into<Operand>, bound: i64) -> Reg {
+    let h = fb.mov(key);
+    fb.alu_into(h, AluOp::Mul, h, 0x2545_F491_4F6C_DD1Di64);
+    xorshift_round(fb, h);
+    let masked = fb.alu(AluOp::And, h, i64::MAX);
+    fb.alu(AluOp::Rem, masked, bound.max(1))
+}
+
+/// Emits a loop running `count` (register) iterations of `body_ops`
+/// dependent ALU operations — the canonical data-dependent-loop motif that
+/// destroys SIMT efficiency when `count` varies across warp-mates.
+pub fn variable_work(fb: &mut FunctionBuilder, count: Reg, body_ops: usize) {
+    fb.for_range(0i64, Operand::Reg(count), 1, |fb, i| {
+        let _ = compute_chain(fb, i, body_ops);
+    });
+}
+
+/// Streams `len` sequential 8-byte elements of `buf[base..]`, folding them
+/// into a returned accumulator. Fully coalesced when `base` is a linear
+/// function of the thread id.
+pub fn stream_sum(fb: &mut FunctionBuilder, buf: GlobalId, base: Reg, len: i64) -> Reg {
+    let acc = fb.var(8);
+    fb.store_var(acc, 0i64);
+    fb.for_range(0i64, len, 1, |fb, i| {
+        let idx = fb.alu(AluOp::Add, base, i);
+        let m = fb.global_ref(buf, Operand::Reg(idx), 8);
+        let v = fb.load(m);
+        let a = fb.load_var(acc);
+        let s = fb.alu(AluOp::Add, a, v);
+        fb.store_var(acc, s);
+    });
+    fb.load_var(acc)
+}
+
+/// Emits a pointer-chase of `steps` hops through `next[]` starting at
+/// `start`; returns the final node. Divergent in memory, convergent in
+/// control (fixed step count).
+pub fn pointer_chase(fb: &mut FunctionBuilder, next: GlobalId, start: Reg, steps: i64) -> Reg {
+    let cur = fb.var(8);
+    fb.store_var(cur, start);
+    fb.for_range(0i64, steps, 1, |fb, _| {
+        let c = fb.load_var(cur);
+        let m = fb.global_ref(next, Operand::Reg(c), 8);
+        let n = fb.load(m);
+        fb.store_var(cur, n);
+    });
+    fb.load_var(cur)
+}
+
+/// Models parsing an RPC request: an I/O receive of `io_cost` skipped
+/// instructions, a copy of the `fields` request words into a
+/// stack-resident scratch buffer (address-taken, so it survives register
+/// promotion — the source of the stack-segment divergence of Fig. 10),
+/// and a checksum over the buffer.
+pub fn receive_request(
+    fb: &mut FunctionBuilder,
+    reqs: GlobalId,
+    tid: Reg,
+    fields: i64,
+    io_cost: u32,
+) -> Reg {
+    fb.io(IoKind::Read, io_cost);
+    let base = fb.alu(AluOp::Mul, tid, fields);
+    // Stack scratch buffer, register-indexed (never promotable).
+    let buf = fb.frame_array(fields as u32, 8);
+    for f in 0..fields {
+        let idx = fb.alu(AluOp::Add, base, f);
+        let m = fb.global_ref(reqs, Operand::Reg(idx), 8);
+        let v = fb.load(m);
+        let fi = fb.mov(f);
+        let slot = fb.frame_ref(buf, Operand::Reg(fi), 8);
+        fb.store(slot, v);
+    }
+    let acc = fb.var(8);
+    fb.store_var(acc, 0i64);
+    for f in 0..fields {
+        let fi = fb.mov(f);
+        let slot = fb.frame_ref(buf, Operand::Reg(fi), 8);
+        let v = fb.load(slot);
+        let a = fb.load_var(acc);
+        let s = fb.alu(AluOp::Xor, a, v);
+        fb.store_var(acc, s);
+    }
+    fb.load_var(acc)
+}
+
+/// Models sending an RPC response: `io_cost` skipped instructions.
+pub fn send_response(fb: &mut FunctionBuilder, io_cost: u32) {
+    fb.io(IoKind::Write, io_cost);
+}
+
+/// Acquires the `slot`-th lock of the lock array `locks`, runs `body`,
+/// and releases — the fine-grained-locking motif of the microservice
+/// workloads (paper Fig. 9).
+pub fn with_lock(
+    fb: &mut FunctionBuilder,
+    locks: GlobalId,
+    slot: Reg,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    let m = fb.global_ref(locks, Operand::Reg(slot), 8);
+    let addr = fb.lea(m);
+    fb.acquire(Operand::Reg(addr));
+    body(fb);
+    fb.release(Operand::Reg(addr));
+}
+
+/// Probes the open-addressed hash table `table` (`capacity` 8-byte slots)
+/// for `key`: up to `max_probes` linear probes, stopping early when the
+/// slot matches `key` or is empty. Returns the last probed value. Mildly
+/// divergent (probe counts differ per key).
+pub fn hash_probe(
+    fb: &mut FunctionBuilder,
+    table: GlobalId,
+    key: Reg,
+    capacity: i64,
+    max_probes: i64,
+) -> Reg {
+    let h = bounded_hash(fb, key, capacity);
+    let pos = fb.var(8);
+    fb.store_var(pos, h);
+    let found = fb.var(8);
+    fb.store_var(found, 0i64);
+    let exit = fb.new_block();
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let iv = fb.var(8);
+    fb.store_var(iv, 0i64);
+    fb.jmp(head);
+
+    fb.switch_to(head);
+    let i = fb.load_var(iv);
+    fb.br(Cond::Lt, i, max_probes, body, exit);
+
+    fb.switch_to(body);
+    let p = fb.load_var(pos);
+    let m = fb.global_ref(table, Operand::Reg(p), 8);
+    let v = fb.load(m);
+    fb.store_var(found, v);
+    // stop on hit or empty slot
+    let hit = fb.new_block();
+    let miss = fb.new_block();
+    fb.br(Cond::Eq, v, key, hit, miss);
+    fb.switch_to(hit);
+    fb.jmp(exit);
+    fb.switch_to(miss);
+    let empty = fb.new_block();
+    let next = fb.new_block();
+    fb.br(Cond::Eq, v, 0i64, empty, next);
+    fb.switch_to(empty);
+    fb.jmp(exit);
+    fb.switch_to(next);
+    let p2 = fb.alu(AluOp::Add, p, 1i64);
+    let wrapped = fb.alu(AluOp::Rem, p2, capacity);
+    fb.store_var(pos, wrapped);
+    let i2 = fb.alu(AluOp::Add, i, 1i64);
+    fb.store_var(iv, i2);
+    fb.jmp(head);
+
+    fb.switch_to(exit);
+    fb.load_var(found)
+}
+
+/// Reference to the `i`-th 8-byte element of global `g` via register index.
+pub fn elem8(fb: &mut FunctionBuilder, g: GlobalId, idx: Reg) -> MemRef {
+    fb.global_ref(g, Operand::Reg(idx), 8)
+}
+
+/// Reference to a fixed 8-byte element of global `g`.
+pub fn elem8_const(g: GlobalId, idx: i64) -> MemRef {
+    MemRef::global(g, None, idx * 8, AccessSize::B8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::ProgramBuilder;
+
+    #[test]
+    fn motifs_produce_valid_programs() {
+        let mut pb = ProgramBuilder::new();
+        let data = pb.global("data", 8 * 1024);
+        let table = pb.global("table", 8 * 256);
+        let locks = pb.global("locks", 8 * 16);
+        let reqs = pb.global("reqs", 8 * 1024);
+        pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let st = fb.mov(tid);
+            xorshift_round(fb, st);
+            let _c = compute_chain(fb, tid, 8);
+            let n = bounded_hash(fb, tid, 16);
+            variable_work(fb, n, 3);
+            let base = fb.alu(AluOp::Mul, tid, 4i64);
+            let _s = stream_sum(fb, data, base, 4);
+            let _p = pointer_chase(fb, data, tid, 3);
+            let key = receive_request(fb, reqs, tid, 4, 10);
+            let _f = hash_probe(fb, table, key, 256, 8);
+            let slot = fb.alu(AluOp::And, tid, 15i64);
+            with_lock(fb, locks, slot, |fb| fb.nop());
+            send_response(fb, 5);
+            fb.ret(None);
+        });
+        let p = pb.build().expect("motif program must validate");
+        assert!(p.static_inst_count() > 50);
+    }
+}

@@ -1,0 +1,246 @@
+//! Standalone applications: `pigz` (parallel gzip), `rotate` (image
+//! rotation), and `md5` (digest) — the "Others" column of Table I.
+
+use crate::motifs::elem8;
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+
+fn meta(
+    name: &'static str,
+    description: &'static str,
+    paper_threads: u32,
+    default_threads: u32,
+) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::Other,
+        description,
+        paper_threads,
+        default_threads,
+        has_gpu_impl: false,
+        uses_locks: false,
+    }
+}
+
+/// rotate: per-pixel coordinate transform — uniform arithmetic, gathered
+/// reads, coalesced writes; high SIMT efficiency.
+pub fn rotate() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x2070);
+    const W: i64 = 64;
+    const H: i64 = 64;
+    let img: Vec<i64> = (0..(W * H) as usize).map(|_| rng.gen_range(0..256)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_img = pb.global_i64("image", &img);
+    let g_out = pb.global("rotated", 8 * (W * H) as u64);
+    let kernel = pb.function("rotate_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        // Each thread rotates a row of pixels by 90°.
+        let row = fb.alu(AluOp::Rem, tid, H);
+        fb.for_range(0i64, W, 1, |fb, x| {
+            let src0 = fb.alu(AluOp::Mul, row, W);
+            let src = fb.alu(AluOp::Add, src0, x);
+            let m = elem8(fb, g_img, src);
+            let px = fb.load(m);
+            // (x, y) -> (y, W-1-x)
+            let dsty = fb.alu(AluOp::Sub, W - 1, x);
+            let dst0 = fb.alu(AluOp::Mul, dsty, H);
+            let dst = fb.alu(AluOp::Add, dst0, row);
+            let mo = elem8(fb, g_out, dst);
+            fb.store(mo, px);
+        });
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("rotate", "90° image rotation, uniform transform", 1024, 256),
+        program: pb.build().expect("rotate builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// md5: fixed 64-round digest per message — the archetypal convergent
+/// kernel (efficiency ≈100%, warp-size-insensitive).
+pub fn md5() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x3D55);
+    const MSGS: usize = 512;
+    let msgs: Vec<i64> = (0..MSGS * 4).map(|_| rng.gen::<i64>()).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_msgs = pb.global_i64("messages", &msgs);
+    let g_out = pb.global("digests", 8 * 4096);
+    let kernel = pb.function("md5_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let msg = fb.alu(AluOp::Rem, tid, MSGS as i64);
+        let base = fb.alu(AluOp::Mul, msg, 4i64);
+        // Load the 4-word block.
+        let mut words = Vec::new();
+        for w in 0..4i64 {
+            let idx = fb.alu(AluOp::Add, base, w);
+            let m = elem8(fb, g_msgs, idx);
+            words.push(fb.load(m));
+        }
+        let a = fb.mov(0x6745_2301i64);
+        let b = fb.mov(0xEFCD_AB89u32 as i64);
+        let c = fb.mov(0x98BA_DCFEu32 as i64);
+        let d = fb.mov(0x1032_5476i64);
+        // 64 rounds of the boolean-mix schedule (fixed, branch-free).
+        for round in 0..64usize {
+            let w = words[round % 4];
+            let f = match round / 16 {
+                0 => {
+                    let bc = fb.alu(AluOp::And, b, c);
+                    let nb = fb.alu(AluOp::Xor, b, -1i64);
+                    let nbd = fb.alu(AluOp::And, nb, d);
+                    fb.alu(AluOp::Or, bc, nbd)
+                }
+                1 => {
+                    let bd = fb.alu(AluOp::And, b, d);
+                    let nd = fb.alu(AluOp::Xor, d, -1i64);
+                    let cnd = fb.alu(AluOp::And, c, nd);
+                    fb.alu(AluOp::Or, bd, cnd)
+                }
+                2 => {
+                    let bc = fb.alu(AluOp::Xor, b, c);
+                    fb.alu(AluOp::Xor, bc, d)
+                }
+                _ => {
+                    let nd = fb.alu(AluOp::Xor, d, -1i64);
+                    let bnd = fb.alu(AluOp::Or, b, nd);
+                    fb.alu(AluOp::Xor, c, bnd)
+                }
+            };
+            let t0 = fb.alu(AluOp::Add, a, f);
+            let t1 = fb.alu(AluOp::Add, t0, w);
+            let t2 = fb.alu(AluOp::Add, t1, (round as i64 + 1) * 0x5A82);
+            let rot = fb.alu(AluOp::Shl, t2, ((round % 4) + 5) as i64);
+            let rot2 = fb.alu(AluOp::Shr, t2, (64 - ((round % 4) + 5)) as i64);
+            let rolled = fb.alu(AluOp::Or, rot, rot2);
+            // rotate the working registers
+            fb.mov_into(a, d);
+            fb.mov_into(d, c);
+            fb.mov_into(c, b);
+            let nb = fb.alu(AluOp::Add, b, rolled);
+            fb.mov_into(b, nb);
+        }
+        let ab = fb.alu(AluOp::Xor, a, b);
+        let cd = fb.alu(AluOp::Xor, c, d);
+        let digest = fb.alu(AluOp::Xor, ab, cd);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, digest);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("md5", "64-round digest, fully convergent", 512, 256),
+        program: pb.build().expect("md5 builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// pigz: LZ77-style block compression — position scan with data-dependent
+/// match-length inner loops and literal/match branching. The paper's
+/// lowest-efficiency workload (≈10% at warp 32, 18% at warp 8).
+pub fn pigz() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x9199);
+    const BLOCK: i64 = 96;
+    const BLOCKS: usize = 256;
+    // Compressible-ish data: runs of repeated bytes with random breaks.
+    let mut data = Vec::with_capacity(BLOCKS * BLOCK as usize);
+    let mut cur = rng.gen_range(0..=255i64);
+    for _ in 0..BLOCKS * BLOCK as usize {
+        if rng.gen_bool(0.3) {
+            cur = rng.gen_range(0..=255);
+        }
+        data.push(cur);
+    }
+    let mut pb = ProgramBuilder::new();
+    let g_data = pb.global_i64("input", &data);
+    let g_out = pb.global("compressed_len", 8 * 4096);
+    let kernel = pb.function("pigz_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let blk = fb.alu(AluOp::Rem, tid, BLOCKS as i64);
+        let base = fb.alu(AluOp::Mul, blk, BLOCK);
+        let pos = fb.var(8);
+        fb.store_var(pos, 0i64);
+        let outlen = fb.var(8);
+        fb.store_var(outlen, 0i64);
+        // Scan the block; at each position try to extend a match against
+        // the previous position (RLE-flavored LZ).
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.switch_to(head);
+        let p = fb.load_var(pos);
+        fb.br(Cond::Lt, p, BLOCK - 1, body, exit);
+        fb.switch_to(body);
+        let here0 = fb.alu(AluOp::Add, base, p);
+        let m_here = elem8(fb, g_data, here0);
+        let byte = fb.load(m_here);
+        // Match loop: how far does this byte repeat? (data-dependent)
+        let run = fb.var(8);
+        fb.store_var(run, 0i64);
+        let mhead = fb.new_block();
+        let mbody = fb.new_block();
+        let mexit = fb.new_block();
+        fb.jmp(mhead);
+        fb.switch_to(mhead);
+        let r = fb.load_var(run);
+        let look0 = fb.alu(AluOp::Add, p, r);
+        let look = fb.alu(AluOp::Add, look0, 1i64);
+        fb.br(Cond::Lt, look, BLOCK, mbody, mexit);
+        fb.switch_to(mbody);
+        let idx = fb.alu(AluOp::Add, base, look);
+        let m_next = elem8(fb, g_data, idx);
+        let nb = fb.load(m_next);
+        let matched = fb.new_block();
+        let broke = fb.new_block();
+        fb.br(Cond::Eq, nb, Operand::Reg(byte), matched, broke);
+        fb.switch_to(matched);
+        let r2 = fb.alu(AluOp::Add, r, 1i64);
+        fb.store_var(run, r2);
+        fb.jmp(mhead);
+        fb.switch_to(broke);
+        fb.jmp(mexit);
+        fb.switch_to(mexit);
+        // Emit literal or back-reference (divergent choice).
+        let r = fb.load_var(run);
+        let lit = fb.new_block();
+        let refb = fb.new_block();
+        let cont = fb.new_block();
+        fb.br(Cond::Lt, r, 3i64, lit, refb);
+        fb.switch_to(lit);
+        let o = fb.load_var(outlen);
+        let o2 = fb.alu(AluOp::Add, o, 1i64);
+        fb.store_var(outlen, o2);
+        let p1 = fb.alu(AluOp::Add, p, 1i64);
+        fb.store_var(pos, p1);
+        fb.jmp(cont);
+        fb.switch_to(refb);
+        // Huffman-ish encode of the run (a little extra work).
+        let bits0 = fb.alu(AluOp::Mul, r, 5i64);
+        let bits = fb.alu(AluOp::Sar, bits0, 2i64);
+        let o = fb.load_var(outlen);
+        let o2 = fb.alu(AluOp::Add, o, bits);
+        let o3 = fb.alu(AluOp::Add, o2, 2i64);
+        fb.store_var(outlen, o3);
+        let skip0 = fb.alu(AluOp::Add, p, r);
+        let skip = fb.alu(AluOp::Add, skip0, 1i64);
+        fb.store_var(pos, skip);
+        fb.jmp(cont);
+        fb.switch_to(cont);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let o = fb.load_var(outlen);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, o);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("pigz", "LZ block compression, data-dependent matching", 128, 128),
+        program: pb.build().expect("pigz builds"),
+        kernel,
+        init: None,
+    }
+}

@@ -1,0 +1,286 @@
+//! Paropoly workloads (correlation set): pthread reimplementations of
+//! BFS, Connected Components, PageRank, and N-body — the "complex control
+//! flow" suite of the paper's §IV.
+
+use crate::motifs::elem8;
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+
+fn meta(name: &'static str, description: &'static str) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::Paropoly,
+        description,
+        paper_threads: 4096,
+        default_threads: 256,
+        has_gpu_impl: true,
+        uses_locks: false,
+    }
+}
+
+/// Power-law-ish degree CSR: most nodes tiny, a few hubs.
+fn powerlaw_csr(rng: &mut StdRng, n: usize, max_deg: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut row = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    row.push(0i64);
+    for _ in 0..n {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let deg = ((r * r * r) * max_deg as f64) as usize + 1;
+        for _ in 0..deg {
+            col.push(rng.gen_range(0..n) as i64);
+        }
+        row.push(col.len() as i64);
+    }
+    (row, col)
+}
+
+/// Paropoly BFS: like the Rodinia kernel but over a power-law graph plus a
+/// visited-flag branch — lower efficiency, strong warp-size sensitivity.
+pub fn bfs() -> Workload {
+    const NODES: usize = 512;
+    let mut rng = StdRng::seed_from_u64(0x9A70);
+    let (row, col) = powerlaw_csr(&mut rng, NODES, 48);
+    let visited: Vec<i64> = (0..NODES).map(|_| i64::from(rng.gen_bool(0.35))).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_row = pb.global_i64("row_ptr", &row);
+    let g_col = pb.global_i64("col", &col);
+    let g_vis = pb.global_i64("visited", &visited);
+    let g_out = pb.global("frontier_out", 8 * NODES as u64);
+    let kernel = pb.function("pbfs_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let node = fb.alu(AluOp::Rem, tid, NODES as i64);
+        let mv = elem8(fb, g_vis, node);
+        let seen = fb.load(mv);
+        let count = fb.var(8);
+        fb.store_var(count, 0i64);
+        // Only unvisited nodes expand — an extra divergence layer.
+        fb.if_then(Cond::Eq, seen, 0i64, |fb| {
+            let ms = elem8(fb, g_row, node);
+            let start = fb.load(ms);
+            let n1 = fb.alu(AluOp::Add, node, 1i64);
+            let me = elem8(fb, g_row, n1);
+            let end = fb.load(me);
+            fb.for_range(Operand::Reg(start), Operand::Reg(end), 1, |fb, e| {
+                let mc = elem8(fb, g_col, e);
+                let nbr = fb.load(mc);
+                let mnv = elem8(fb, g_vis, nbr);
+                let nv = fb.load(mnv);
+                fb.if_then(Cond::Eq, nv, 0i64, |fb| {
+                    let c = fb.load_var(count);
+                    let c2 = fb.alu(AluOp::Add, c, 1i64);
+                    fb.store_var(count, c2);
+                });
+            });
+        });
+        let c = fb.load_var(count);
+        let mo = elem8(fb, g_out, node);
+        fb.store(mo, c);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("paropoly_bfs", "power-law BFS with visited-flag gating"),
+        program: pb.build().expect("paropoly bfs builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Connected Components: per-edge hooking with union-find root chasing —
+/// pointer chasing of data-dependent depth.
+pub fn cc() -> Workload {
+    const NODES: usize = 512;
+    let mut rng = StdRng::seed_from_u64(0xCC01);
+    // Parent forest with shallow random chains.
+    let mut parent: Vec<i64> = (0..NODES as i64).collect();
+    for i in 0..NODES {
+        if rng.gen_bool(0.6) {
+            parent[i] = rng.gen_range(0..NODES) as i64;
+        }
+    }
+    let us: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..NODES) as i64).collect();
+    let vs: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..NODES) as i64).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_parent = pb.global_i64("parent", &parent);
+    let g_u = pb.global_i64("edge_u", &us);
+    let g_v = pb.global_i64("edge_v", &vs);
+    let g_out = pb.global("roots", 8 * NODES as u64);
+
+    // find_root(x): walk parents until fixpoint or depth cap.
+    let find_root = pb.declare("find_root");
+    pb.define(find_root, 1, |fb| {
+        let x = fb.arg(0);
+        let cur = fb.var(8);
+        fb.store_var(cur, x);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let steps = fb.var(8);
+        fb.store_var(steps, 0i64);
+        fb.jmp(head);
+        fb.switch_to(head);
+        let s = fb.load_var(steps);
+        fb.br(Cond::Lt, s, 16i64, body, exit);
+        fb.switch_to(body);
+        let c = fb.load_var(cur);
+        let mp = elem8(fb, g_parent, c);
+        let p = fb.load(mp);
+        let fixed = fb.new_block();
+        let advance = fb.new_block();
+        fb.br(Cond::Eq, p, Operand::Reg(c), fixed, advance);
+        fb.switch_to(fixed);
+        fb.jmp(exit);
+        fb.switch_to(advance);
+        fb.store_var(cur, p);
+        let s2 = fb.alu(AluOp::Add, s, 1i64);
+        fb.store_var(steps, s2);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let r = fb.load_var(cur);
+        fb.ret(Some(Operand::Reg(r)));
+    });
+
+    let kernel = pb.function("cc_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let e = fb.alu(AluOp::Rem, tid, NODES as i64);
+        let mu = elem8(fb, g_u, e);
+        let u = fb.load(mu);
+        let mv = elem8(fb, g_v, e);
+        let v = fb.load(mv);
+        let ru = fb.call(find_root, &[Operand::Reg(u)]);
+        let rv = fb.call(find_root, &[Operand::Reg(v)]);
+        let combined = fb.alu(AluOp::Min, ru, rv);
+        let mo = elem8(fb, g_out, e);
+        fb.store(mo, combined);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("cc", "union-find hooking with variable-depth root chase"),
+        program: pb.build().expect("cc builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// PageRank: per-node rank update over in-edges; moderate divergence from
+/// degree variance, convergent arithmetic tail.
+pub fn pagerank() -> Workload {
+    const NODES: usize = 512;
+    let mut rng = StdRng::seed_from_u64(0x9123);
+    let (row, col) = powerlaw_csr(&mut rng, NODES, 24);
+    let ranks: Vec<i64> = (0..NODES).map(|_| rng.gen_range(1..1000)).collect();
+    let degs: Vec<i64> = (0..NODES)
+        .map(|i| (row[i + 1] - row[i]).max(1))
+        .collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_row = pb.global_i64("row_ptr", &row);
+    let g_col = pb.global_i64("col", &col);
+    let g_rank = pb.global_i64("rank", &ranks);
+    let g_deg = pb.global_i64("deg", &degs);
+    let g_out = pb.global("rank_out", 8 * NODES as u64);
+    let kernel = pb.function("pr_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let node = fb.alu(AluOp::Rem, tid, NODES as i64);
+        let ms = elem8(fb, g_row, node);
+        let start = fb.load(ms);
+        let n1 = fb.alu(AluOp::Add, node, 1i64);
+        let me = elem8(fb, g_row, n1);
+        let end = fb.load(me);
+        let sum = fb.var(8);
+        fb.store_var(sum, 0i64);
+        fb.for_range(Operand::Reg(start), Operand::Reg(end), 1, |fb, e| {
+            let mc = elem8(fb, g_col, e);
+            let src = fb.load(mc);
+            let mr = elem8(fb, g_rank, src);
+            let r = fb.load(mr);
+            let md = elem8(fb, g_deg, src);
+            let d = fb.load(md);
+            let contrib = fb.alu(AluOp::Div, r, d);
+            let s = fb.load_var(sum);
+            let s2 = fb.alu(AluOp::Add, s, contrib);
+            fb.store_var(sum, s2);
+        });
+        // rank = base + damping * sum (fixed-point)
+        let s = fb.load_var(sum);
+        let scaled = fb.alu(AluOp::Mul, s, 85i64);
+        let damped = fb.alu(AluOp::Div, scaled, 100i64);
+        let rank = fb.alu(AluOp::Add, damped, 15i64);
+        let mo = elem8(fb, g_out, node);
+        fb.store(mo, rank);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("pagerank", "in-edge rank accumulation, degree-divergent"),
+        program: pb.build().expect("pagerank builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// N-body: all-pairs force accumulation — uniform inner loop with
+/// broadcast loads; the paper's headline high-efficiency workload
+/// (warp-size-insensitive, ≥95%).
+pub fn nbody() -> Workload {
+    const BODIES: usize = 64;
+    let mut rng = StdRng::seed_from_u64(0x0B0D);
+    let pos: Vec<i64> = (0..BODIES * 3).map(|_| rng.gen_range(-1000..1000)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_pos = pb.global_i64("pos", &pos);
+    let g_out = pb.global("force", 8 * 4096 * 3);
+    let kernel = pb.function("nbody_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let me = fb.alu(AluOp::Rem, tid, BODIES as i64);
+        let mybase = fb.alu(AluOp::Mul, me, 3i64);
+        let fx = fb.var(8);
+        let fy = fb.var(8);
+        let fz = fb.var(8);
+        fb.store_var(fx, 0i64);
+        fb.store_var(fy, 0i64);
+        fb.store_var(fz, 0i64);
+        let my = [fx, fy, fz];
+        fb.for_range(0i64, BODIES as i64, 1, |fb, j| {
+            let jbase = fb.alu(AluOp::Mul, j, 3i64);
+            let mut dist2 = fb.mov(1i64);
+            let mut deltas = Vec::new();
+            for axis in 0..3i64 {
+                let mi = fb.alu(AluOp::Add, mybase, axis);
+                let mj = fb.alu(AluOp::Add, jbase, axis);
+                let pm = elem8(fb, g_pos, mi);
+                let pi = fb.load(pm);
+                let pjm = elem8(fb, g_pos, mj);
+                let pj = fb.load(pjm);
+                let d = fb.alu(AluOp::Sub, pj, pi);
+                let d2 = fb.alu(AluOp::Mul, d, d);
+                dist2 = fb.alu(AluOp::Add, dist2, d2);
+                deltas.push(d);
+            }
+            // inverse-square-ish force in fixed point (no branches)
+            let inv = fb.alu(AluOp::Div, 1_000_000i64, dist2);
+            for (axis, d) in deltas.into_iter().enumerate() {
+                let f = fb.alu(AluOp::Mul, d, inv);
+                let cur = fb.load_var(my[axis]);
+                let s = fb.alu(AluOp::Add, cur, f);
+                fb.store_var(my[axis], s);
+            }
+        });
+        for (axis, v) in my.into_iter().enumerate() {
+            let idx0 = fb.alu(AluOp::Mul, tid, 3i64);
+            let idx = fb.alu(AluOp::Add, idx0, axis as i64);
+            let val = fb.load_var(v);
+            let mo = elem8(fb, g_out, idx);
+            fb.store(mo, val);
+        }
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("nbody", "all-pairs force, uniform loop + broadcast loads"),
+        program: pb.build().expect("nbody builds"),
+        kernel,
+        init: None,
+    }
+}

@@ -1,0 +1,440 @@
+//! PARSEC 3.0 workloads: blackscholes, streamcluster, bodytrack, facesim,
+//! fluidanimate, freqmine, swaptions, vips, and x264.
+
+use crate::motifs::{bounded_hash, compute_chain, elem8, with_lock, xorshift_round};
+use crate::rodinia::build_streamcluster;
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+
+fn meta(
+    name: &'static str,
+    description: &'static str,
+    paper_threads: u32,
+    uses_locks: bool,
+) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::Parsec,
+        description,
+        paper_threads,
+        default_threads: 256,
+        has_gpu_impl: false,
+        uses_locks,
+    }
+}
+
+/// blackscholes: one option per thread, a fixed closed-form formula with a
+/// cheap call/put branch — near-perfect efficiency.
+pub fn blackscholes() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xB5B5);
+    let opts: Vec<i64> = (0..1024 * 4).map(|_| rng.gen_range(1..10_000)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_opts = pb.global_i64("options", &opts);
+    let g_out = pb.global("prices", 8 * 4096);
+    let kernel = pb.function("bs_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let idx = fb.alu(AluOp::Rem, tid, 1024i64);
+        let base = fb.alu(AluOp::Mul, idx, 4i64);
+        let spot = {
+            let m = elem8(fb, g_opts, base);
+            fb.load(m)
+        };
+        let strike = {
+            let b1 = fb.alu(AluOp::Add, base, 1i64);
+            let m = elem8(fb, g_opts, b1);
+            fb.load(m)
+        };
+        // Fixed-point CDF approximation chain (identical on all threads).
+        let spread = fb.alu(AluOp::Sub, spot, strike);
+        let d1 = compute_chain(fb, spread, 60);
+        // Call vs put by option parity: both sides cost the same.
+        let parity = fb.alu(AluOp::And, idx, 1i64);
+        let price = fb.var(8);
+        fb.if_then_else(
+            Cond::Eq,
+            parity,
+            0i64,
+            |fb| {
+                let p = fb.alu(AluOp::Add, d1, 100i64);
+                fb.store_var(price, p);
+            },
+            |fb| {
+                let p = fb.alu(AluOp::Sub, d1, 100i64);
+                fb.store_var(price, p);
+            },
+        );
+        let p = fb.load_var(price);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, p);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("blackscholes", "closed-form option pricing, convergent", 1024, false),
+        program: pb.build().expect("blackscholes builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// PARSEC streamcluster (same kernel family as the Rodinia variant, larger
+/// input regime in the paper).
+pub fn streamcluster_p() -> Workload {
+    build_streamcluster(
+        WorkloadMeta {
+            name: "streamcluster_p",
+            suite: Suite::Parsec,
+            description: "k-center assignment (PARSEC input regime)",
+            paper_threads: 8 * 1024,
+            default_threads: 256,
+            has_gpu_impl: false,
+            uses_locks: false,
+        },
+        0x5C5D,
+    )
+}
+
+/// bodytrack: per-particle likelihood over fixed camera set with an
+/// error-threshold early exit — medium divergence.
+pub fn bodytrack() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xB0D1);
+    let frames: Vec<i64> = (0..1024).map(|_| rng.gen_range(0..255)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_frames = pb.global_i64("edge_maps", &frames);
+    let g_out = pb.global("likelihood", 8 * 4096);
+    let kernel = pb.function("bodytrack_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let err = fb.var(8);
+        fb.store_var(err, 0i64);
+        let cam = fb.var(8);
+        fb.store_var(cam, 0i64);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.switch_to(head);
+        let c = fb.load_var(cam);
+        fb.br(Cond::Lt, c, 8i64, body, exit);
+        fb.switch_to(body);
+        // Sample the edge map at a particle-dependent offset.
+        let mix = fb.alu(AluOp::Mul, tid, 31i64);
+        let off0 = fb.alu(AluOp::Add, mix, c);
+        let off = fb.alu(AluOp::And, off0, 1023i64);
+        let m = elem8(fb, g_frames, off);
+        let sample = fb.load(m);
+        let contrib = compute_chain(fb, sample, 8);
+        let clamped = fb.alu(AluOp::And, contrib, 0xFFi64);
+        let e = fb.load_var(err);
+        let e2 = fb.alu(AluOp::Add, e, clamped);
+        fb.store_var(err, e2);
+        // Early exit once the particle is hopeless (data-dependent).
+        let bail = fb.new_block();
+        let next = fb.new_block();
+        fb.br(Cond::Gt, e2, 900i64, bail, next);
+        fb.switch_to(bail);
+        fb.jmp(exit);
+        fb.switch_to(next);
+        let c2 = fb.alu(AluOp::Add, c, 1i64);
+        fb.store_var(cam, c2);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let e = fb.load_var(err);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, e);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("bodytrack", "per-particle likelihood with early exit", 1024, false),
+        program: pb.build().expect("bodytrack builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// facesim: mesh-node update over a fixed neighbor stencil — convergent
+/// control, scattered (indirection-table) loads.
+pub fn facesim() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    const NODES: usize = 512;
+    let nbrs: Vec<i64> =
+        (0..NODES * 8).map(|_| rng.gen_range(0..NODES) as i64).collect();
+    let pos: Vec<i64> = (0..NODES).map(|_| rng.gen_range(-500..500)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_nbrs = pb.global_i64("neighbors", &nbrs);
+    let g_pos = pb.global_i64("positions", &pos);
+    let g_out = pb.global("forces", 8 * NODES as u64);
+    let kernel = pb.function("facesim_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let node = fb.alu(AluOp::Rem, tid, NODES as i64);
+        let base = fb.alu(AluOp::Mul, node, 8i64);
+        let mypos = {
+            let m = elem8(fb, g_pos, node);
+            fb.load(m)
+        };
+        let force = fb.var(8);
+        fb.store_var(force, 0i64);
+        fb.for_range(0i64, 8i64, 1, |fb, k| {
+            let idx = fb.alu(AluOp::Add, base, k);
+            let mn = elem8(fb, g_nbrs, idx);
+            let nbr = fb.load(mn);
+            let mp = elem8(fb, g_pos, nbr);
+            let np = fb.load(mp);
+            let d = fb.alu(AluOp::Sub, np, mypos);
+            let spring = fb.alu(AluOp::Mul, d, 3i64);
+            let f = fb.load_var(force);
+            let f2 = fb.alu(AluOp::Add, f, spring);
+            fb.store_var(force, f2);
+        });
+        let f = fb.load_var(force);
+        let mo = elem8(fb, g_out, node);
+        fb.store(mo, f);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("facesim", "mesh stencil, convergent + scattered loads", 1024, false),
+        program: pb.build().expect("facesim builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// fluidanimate: per-cell particle interactions — variable particles per
+/// cell and a per-cell lock on the write-back.
+pub fn fluidanimate() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xF1D0);
+    const CELLS: usize = 512;
+    let occupancy: Vec<i64> = (0..CELLS).map(|_| rng.gen_range(0..8)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_occ = pb.global_i64("occupancy", &occupancy);
+    let g_locks = pb.global("cell_locks", 8 * 64);
+    let g_density = pb.global("density", 8 * CELLS as u64);
+    let kernel = pb.function("fluid_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let cell = fb.alu(AluOp::Rem, tid, CELLS as i64);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+        // Fixed 3-neighbor stencil, variable particles per neighbor cell.
+        fb.for_range(0i64, 3i64, 1, |fb, n| {
+            let nc0 = fb.alu(AluOp::Add, cell, n);
+            let nc = fb.alu(AluOp::Rem, nc0, CELLS as i64);
+            let mo = elem8(fb, g_occ, nc);
+            let particles = fb.load(mo);
+            fb.for_range(0i64, Operand::Reg(particles), 1, |fb, p| {
+                let w = compute_chain(fb, p, 6);
+                let a = fb.load_var(acc);
+                let s = fb.alu(AluOp::Add, a, w);
+                fb.store_var(acc, s);
+            });
+        });
+        let a = fb.load_var(acc);
+        let slot = fb.alu(AluOp::And, cell, 63i64);
+        with_lock(fb, g_locks, slot, |fb| {
+            let m = elem8(fb, g_density, cell);
+            let old = fb.load(m);
+            let s = fb.alu(AluOp::Add, old, a);
+            let m2 = elem8(fb, g_density, cell);
+            fb.store(m2, s);
+        });
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("fluidanimate", "variable particles/cell + locked writes", 4096, true),
+        program: pb.build().expect("fluidanimate builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// freqmine: FP-growth-style conditional tree walks — variable path depth
+/// and per-node branching; one of the least SIMT-friendly PARSEC codes.
+pub fn freqmine() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xF9E3);
+    const NODES: usize = 1024;
+    let parent: Vec<i64> = (0..NODES)
+        .map(|i| if i == 0 { 0 } else { rng.gen_range(0..i) as i64 })
+        .collect();
+    let counts: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..32)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_parent = pb.global_i64("fp_parent", &parent);
+    let g_counts = pb.global_i64("fp_counts", &counts);
+    let g_out = pb.global("support", 8 * 4096);
+    let kernel = pb.function("freqmine_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let start = bounded_hash(fb, tid, NODES as i64);
+        let cur = fb.var(8);
+        fb.store_var(cur, start);
+        let support = fb.var(8);
+        fb.store_var(support, 0i64);
+        // Walk to the root (variable depth), conditionally accumulating.
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.switch_to(head);
+        let c = fb.load_var(cur);
+        fb.br(Cond::Gt, c, 0i64, body, exit);
+        fb.switch_to(body);
+        let mc = elem8(fb, g_counts, c);
+        let cnt = fb.load(mc);
+        // Only frequent nodes contribute (per-node branch).
+        fb.if_then(Cond::Gt, cnt, 8i64, |fb| {
+            let s = fb.load_var(support);
+            let s2 = fb.alu(AluOp::Add, s, cnt);
+            fb.store_var(support, s2);
+        });
+        let mp = elem8(fb, g_parent, c);
+        let p = fb.load(mp);
+        fb.store_var(cur, p);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let s = fb.load_var(support);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, s);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("freqmine", "FP-tree walks of variable depth", 2048, false),
+        program: pb.build().expect("freqmine builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// swaptions: Monte Carlo HJM — fixed trials × fixed steps of uniform
+/// arithmetic; very high efficiency, warp-size-insensitive.
+pub fn swaptions() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let g_out = pb.global("swaption_prices", 8 * 4096);
+    let kernel = pb.function("swaptions_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let sum = fb.var(8);
+        fb.store_var(sum, 0i64);
+        fb.for_range(0i64, 8i64, 1, |fb, trial| {
+            let seed0 = fb.alu(AluOp::Mul, tid, 0x9E37i64);
+            let seed = fb.alu(AluOp::Add, seed0, trial);
+            let state = fb.mov(seed);
+            fb.for_range(0i64, 16i64, 1, |fb, _step| {
+                xorshift_round(fb, state);
+                let rate = fb.alu(AluOp::And, state, 0xFFFi64);
+                let drift = fb.alu(AluOp::Mul, rate, 3i64);
+                let _ = fb.alu(AluOp::Sar, drift, 2i64);
+            });
+            let payoff = fb.alu(AluOp::And, state, 0xFFFFi64);
+            let s = fb.load_var(sum);
+            let s2 = fb.alu(AluOp::Add, s, payoff);
+            fb.store_var(sum, s2);
+        });
+        let s = fb.load_var(sum);
+        let avg = fb.alu(AluOp::Div, s, 8i64);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, avg);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("swaptions", "Monte Carlo pricing, fixed trials×steps", 512, false),
+        program: pb.build().expect("swaptions builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// vips: per-tile image pipeline with rare clamp branches — high
+/// efficiency, coalesced row access.
+pub fn vips() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x7195);
+    const PIXELS: usize = 4096;
+    let img: Vec<i64> = (0..PIXELS).map(|_| rng.gen_range(0..256)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_img = pb.global_i64("image", &img);
+    let g_out = pb.global("image_out", 8 * PIXELS as u64);
+    let kernel = pb.function("vips_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        // Each thread owns an 8-pixel row chunk.
+        let base = fb.alu(AluOp::Mul, tid, 8i64);
+        fb.for_range(0i64, 8i64, 1, |fb, i| {
+            let idx0 = fb.alu(AluOp::Add, base, i);
+            let idx = fb.alu(AluOp::And, idx0, (PIXELS - 1) as i64);
+            let m = elem8(fb, g_img, idx);
+            let px = fb.load(m);
+            // Convolve-ish arithmetic.
+            let a = fb.alu(AluOp::Mul, px, 5i64);
+            let b = fb.alu(AluOp::Add, a, 16i64);
+            let c = fb.alu(AluOp::Sar, b, 3i64);
+            // Rare clamp (taken for ~6% of pixels).
+            let out = fb.var(8);
+            fb.store_var(out, c);
+            fb.if_then(Cond::Gt, c, 240i64, |fb| {
+                fb.store_var(out, 240i64);
+            });
+            let v = fb.load_var(out);
+            let mo = elem8(fb, g_out, idx);
+            fb.store(mo, v);
+        });
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("vips", "image pipeline with rare clamp branches", 512, false),
+        program: pb.build().expect("vips builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// x264: motion search per macroblock with SAD-threshold early
+/// termination — heavily data-dependent, low-medium efficiency.
+pub fn x264() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x2640);
+    const BLOCKS: usize = 512;
+    let sads: Vec<i64> = (0..BLOCKS * 16).map(|_| rng.gen_range(0..800)).collect();
+    let mut pb = ProgramBuilder::new();
+    let g_sads = pb.global_i64("sad_table", &sads);
+    let g_out = pb.global("mv_out", 8 * 4096);
+    let kernel = pb.function("x264_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let mb = fb.alu(AluOp::Rem, tid, BLOCKS as i64);
+        let base = fb.alu(AluOp::Mul, mb, 16i64);
+        let best = fb.var(8);
+        fb.store_var(best, i64::MAX);
+        let cand = fb.var(8);
+        fb.store_var(cand, 0i64);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.switch_to(head);
+        let c = fb.load_var(cand);
+        fb.br(Cond::Lt, c, 16i64, body, exit);
+        fb.switch_to(body);
+        let idx = fb.alu(AluOp::Add, base, c);
+        let m = elem8(fb, g_sads, idx);
+        let sad = fb.load(m);
+        // Refine cost (uniform work per candidate).
+        let cost0 = compute_chain(fb, sad, 5);
+        let cost = fb.alu(AluOp::And, cost0, 0x3FFi64);
+        let b = fb.load_var(best);
+        let mn = fb.alu(AluOp::Min, b, cost);
+        fb.store_var(best, mn);
+        // Early termination when a good-enough match appears.
+        let good = fb.new_block();
+        let next = fb.new_block();
+        fb.br(Cond::Lt, mn, 40i64, good, next);
+        fb.switch_to(good);
+        fb.jmp(exit);
+        fb.switch_to(next);
+        let c2 = fb.alu(AluOp::Add, c, 1i64);
+        fb.store_var(cand, c2);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let b = fb.load_var(best);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, b);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("x264", "motion search with early termination", 4096, false),
+        program: pb.build().expect("x264 builds"),
+        kernel,
+        init: None,
+    }
+}

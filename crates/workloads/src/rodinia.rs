@@ -1,0 +1,335 @@
+//! Rodinia 3.1 workloads (correlation set): BFS, Nearest Neighbors,
+//! StreamCluster, B+Tree, and Particle Filter — the OpenMP applications
+//! with identical CUDA implementations the paper validates against.
+
+use crate::motifs::{bounded_hash, compute_chain, elem8};
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+
+fn meta(
+    name: &'static str,
+    description: &'static str,
+    paper_threads: u32,
+    default_threads: u32,
+) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::Rodinia,
+        description,
+        paper_threads,
+        default_threads,
+        has_gpu_impl: true,
+        uses_locks: false,
+    }
+}
+
+/// Builds a CSR graph with `n` nodes and degrees in `1..=max_deg`.
+fn csr(rng: &mut StdRng, n: usize, max_deg: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut row = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    row.push(0i64);
+    for _ in 0..n {
+        // Quadratic skew: many low-degree nodes, a few heavy hubs.
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let deg = ((r * r * r) * max_deg as f64) as usize + 1;
+        for _ in 0..deg {
+            col.push(rng.gen_range(0..n) as i64);
+        }
+        row.push(col.len() as i64);
+    }
+    (row, col)
+}
+
+/// Breadth-first search: one thread per frontier node, iterating a
+/// data-dependent number of CSR neighbors — the classic divergent graph
+/// kernel (paper: jumps to 40% efficiency at warp size 8).
+pub fn bfs() -> Workload {
+    const NODES: usize = 512;
+    let mut rng = StdRng::seed_from_u64(0xB1F5);
+    let (row, col) = csr(&mut rng, NODES, 96);
+    let dist: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..64)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_row = pb.global_i64("row_ptr", &row);
+    let g_col = pb.global_i64("col", &col);
+    let g_dist = pb.global_i64("dist", &dist);
+    let g_out = pb.global("out", 8 * NODES as u64);
+    let kernel = pb.function("bfs_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let node = fb.alu(AluOp::Rem, tid, NODES as i64);
+        let m_start = elem8(fb, g_row, node);
+        let start = fb.load(m_start);
+        let node1 = fb.alu(AluOp::Add, node, 1i64);
+        let m_end = elem8(fb, g_row, node1);
+        let end = fb.load(m_end);
+        let my_dist = {
+            let m = elem8(fb, g_dist, node);
+            fb.load(m)
+        };
+        let best = fb.var(8);
+        fb.store_var(best, i64::MAX);
+        // Data-dependent edge loop: the source of control divergence.
+        fb.for_range(Operand::Reg(start), Operand::Reg(end), 1, |fb, e| {
+            let m = elem8(fb, g_col, e);
+            let nbr = fb.load(m);
+            let m2 = elem8(fb, g_dist, nbr);
+            let nd = fb.load(m2);
+            let cand = fb.alu(AluOp::Add, nd, 1i64);
+            let b = fb.load_var(best);
+            fb.if_then(Cond::Lt, cand, Operand::Reg(b), |fb| {
+                fb.store_var(best, cand);
+            });
+        });
+        let b = fb.load_var(best);
+        let relaxed = fb.alu(AluOp::Min, b, my_dist);
+        let m_out = elem8(fb, g_out, node);
+        fb.store(m_out, relaxed);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("bfs", "CSR BFS frontier expansion, degree-divergent", 4096, 256),
+        program: pb.build().expect("bfs builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Nearest Neighbors: one thread scores one AoS record against the query —
+/// convergent control, strided (record-sized) memory accesses.
+pub fn nn() -> Workload {
+    const RECORDS: usize = 1024;
+    const FIELDS: usize = 8;
+    let mut rng = StdRng::seed_from_u64(0x4E4E);
+    let recs: Vec<i64> = (0..RECORDS * FIELDS).map(|_| rng.gen_range(-100..100)).collect();
+    let query: Vec<i64> = (0..FIELDS).map(|_| rng.gen_range(-100..100)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_recs = pb.global_i64("records", &recs);
+    let g_query = pb.global_i64("query", &query);
+    let g_out = pb.global("out", 8 * RECORDS as u64);
+    let kernel = pb.function("nn_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let rec = fb.alu(AluOp::Rem, tid, RECORDS as i64);
+        let base = fb.alu(AluOp::Mul, rec, FIELDS as i64);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+        for f in 0..FIELDS as i64 {
+            let idx = fb.alu(AluOp::Add, base, f);
+            let m = elem8(fb, g_recs, idx);
+            let rv = fb.load(m);
+            let qf = fb.reg();
+            fb.mov_into(qf, Operand::Mem(crate::motifs::elem8_const(g_query, f)));
+            let d = fb.alu(AluOp::Sub, rv, qf);
+            let d2 = fb.alu(AluOp::Mul, d, d);
+            let a = fb.load_var(acc);
+            let s = fb.alu(AluOp::Add, a, d2);
+            fb.store_var(acc, s);
+        }
+        let dist = fb.load_var(acc);
+        let m_out = elem8(fb, g_out, rec);
+        fb.store(m_out, dist);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("nn", "AoS record distance scan, convergent + strided", 42 * 1024, 256),
+        program: pb.build().expect("nn builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// StreamCluster: per-point assignment cost over a fixed center set with a
+/// cheap conditional best-update — high efficiency, light divergence.
+pub fn streamcluster() -> Workload {
+    build_streamcluster(
+        meta("streamcluster", "k-center assignment cost, near-convergent", 16 * 1024, 256),
+        0x5C5C,
+    )
+}
+
+/// Shared implementation for the Rodinia and PARSEC streamcluster variants
+/// (the paper lists both; they differ in input regime).
+pub(crate) fn build_streamcluster(meta: WorkloadMeta, seed: u64) -> Workload {
+    const POINTS: usize = 512;
+    const CENTERS: i64 = 8;
+    const DIMS: i64 = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<i64> = (0..POINTS * DIMS as usize).map(|_| rng.gen_range(-50..50)).collect();
+    let ctr: Vec<i64> =
+        (0..(CENTERS * DIMS) as usize).map(|_| rng.gen_range(-50..50)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_pts = pb.global_i64("points", &pts);
+    let g_ctr = pb.global_i64("centers", &ctr);
+    let g_out = pb.global("assign", 8 * POINTS as u64);
+    let kernel = pb.function("sc_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let p = fb.alu(AluOp::Rem, tid, POINTS as i64);
+        let pbase = fb.alu(AluOp::Mul, p, DIMS);
+        let best = fb.var(8);
+        let best_c = fb.var(8);
+        fb.store_var(best, i64::MAX);
+        fb.store_var(best_c, 0i64);
+        fb.for_range(0i64, CENTERS, 1, |fb, c| {
+            let cbase = fb.alu(AluOp::Mul, c, DIMS);
+            let cost = fb.var(8);
+            fb.store_var(cost, 0i64);
+            fb.for_range(0i64, DIMS, 1, |fb, d| {
+                let pi = fb.alu(AluOp::Add, pbase, d);
+                let ci = fb.alu(AluOp::Add, cbase, d);
+                let mp = elem8(fb, g_pts, pi);
+                let pv = fb.load(mp);
+                let mc = elem8(fb, g_ctr, ci);
+                let cv = fb.load(mc);
+                let diff = fb.alu(AluOp::Sub, pv, cv);
+                let sq = fb.alu(AluOp::Mul, diff, diff);
+                let acc = fb.load_var(cost);
+                let s = fb.alu(AluOp::Add, acc, sq);
+                fb.store_var(cost, s);
+            });
+            let total = fb.load_var(cost);
+            let b = fb.load_var(best);
+            fb.if_then(Cond::Lt, total, Operand::Reg(b), |fb| {
+                fb.store_var(best, total);
+                fb.store_var(best_c, c);
+            });
+        });
+        let winner = fb.load_var(best_c);
+        let m_out = elem8(fb, g_out, p);
+        fb.store(m_out, winner);
+        fb.ret(None);
+    });
+    Workload { meta, program: pb.build().expect("streamcluster builds"), kernel, init: None }
+}
+
+/// B+Tree lookups: fixed-depth traversal with a key-dependent linear scan
+/// inside each node — the data-dependent-scan motif.
+pub fn btree() -> Workload {
+    const FANOUT: i64 = 8;
+    const DEPTH: i64 = 4;
+    const NODES: usize = 1 + 8 + 64 + 512; // full tree of internal nodes
+    let mut rng = StdRng::seed_from_u64(0xB7EE);
+    // keys[node*FANOUT + i], ascending within a node.
+    let mut keys = Vec::with_capacity(NODES * FANOUT as usize);
+    for _ in 0..NODES {
+        let mut ks: Vec<i64> = (0..FANOUT).map(|_| rng.gen_range(0..10_000)).collect();
+        ks.sort_unstable();
+        keys.extend(ks);
+    }
+
+    let mut pb = ProgramBuilder::new();
+    let g_keys = pb.global_i64("node_keys", &keys);
+    let g_out = pb.global("found", 8 * 4096);
+    let kernel = pb.function("btree_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        let key = bounded_hash(fb, tid, 10_000);
+        let node = fb.var(8);
+        fb.store_var(node, 0i64);
+        fb.for_range(0i64, DEPTH, 1, |fb, _level| {
+            let n = fb.load_var(node);
+            let base = fb.alu(AluOp::Mul, n, FANOUT);
+            // Linear scan until key < node_keys[base+i] (data-dependent).
+            let slot = fb.var(8);
+            fb.store_var(slot, 0i64);
+            let head = fb.new_block();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            fb.jmp(head);
+            fb.switch_to(head);
+            let i = fb.load_var(slot);
+            fb.br(Cond::Lt, i, FANOUT - 1, body, exit);
+            fb.switch_to(body);
+            let idx = fb.alu(AluOp::Add, base, i);
+            let m = elem8(fb, g_keys, idx);
+            let nk = fb.load(m);
+            let stop = fb.new_block();
+            let next = fb.new_block();
+            fb.br(Cond::Lt, key, Operand::Reg(nk), stop, next);
+            fb.switch_to(stop);
+            fb.jmp(exit);
+            fb.switch_to(next);
+            let i2 = fb.alu(AluOp::Add, i, 1i64);
+            fb.store_var(slot, i2);
+            fb.jmp(head);
+            fb.switch_to(exit);
+            // child = node*FANOUT + slot + 1
+            let s = fb.load_var(slot);
+            let scaled = fb.alu(AluOp::Mul, n, FANOUT);
+            let child = fb.alu(AluOp::Add, scaled, s);
+            let child1 = fb.alu(AluOp::Add, child, 1i64);
+            let wrapped = fb.alu(AluOp::Rem, child1, NODES as i64);
+            fb.store_var(node, wrapped);
+        });
+        let leaf = fb.load_var(node);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, leaf);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("btree", "B+tree lookup with in-node key scans", 4096, 256),
+        program: pb.build().expect("btree builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Particle Filter: uniform weight computation followed by a
+/// data-dependent CDF search for the resampling index.
+pub fn particlefilter() -> Workload {
+    const PARTICLES: usize = 256;
+    let mut rng = StdRng::seed_from_u64(0xF117);
+    let mut cdf = Vec::with_capacity(PARTICLES);
+    let mut acc = 0i64;
+    for _ in 0..PARTICLES {
+        acc += rng.gen_range(1..20);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut pb = ProgramBuilder::new();
+    let g_cdf = pb.global_i64("cdf", &cdf);
+    let g_out = pb.global("resample", 8 * 4096);
+    let kernel = pb.function("pf_kernel", 1, |fb| {
+        let tid = fb.arg(0);
+        // Phase 1: uniform likelihood computation (convergent).
+        let w = compute_chain(fb, tid, 40);
+        // Phase 2: draw u in [0,total) and search the CDF (divergent).
+        let hashed = fb.alu(AluOp::Xor, w, tid);
+        let masked = fb.alu(AluOp::And, hashed, i64::MAX);
+        let u = fb.alu(AluOp::Rem, masked, total);
+        let idx = fb.var(8);
+        fb.store_var(idx, 0i64);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.switch_to(head);
+        let i = fb.load_var(idx);
+        fb.br(Cond::Lt, i, PARTICLES as i64 - 1, body, exit);
+        fb.switch_to(body);
+        let m = elem8(fb, g_cdf, i);
+        let c = fb.load(m);
+        let hit = fb.new_block();
+        let next = fb.new_block();
+        fb.br(Cond::Le, u, Operand::Reg(c), hit, next);
+        fb.switch_to(hit);
+        fb.jmp(exit);
+        fb.switch_to(next);
+        let i2 = fb.alu(AluOp::Add, i, 1i64);
+        fb.store_var(idx, i2);
+        fb.jmp(head);
+        fb.switch_to(exit);
+        let found = fb.load_var(idx);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, found);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("particlefilter", "uniform weights + divergent CDF resampling", 4096, 256),
+        program: pb.build().expect("particlefilter builds"),
+        kernel,
+        init: None,
+    }
+}

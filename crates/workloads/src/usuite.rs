@@ -1,0 +1,385 @@
+//! μSuite microservices: McRouter (memcached/mid/leaf), TextSearch
+//! (mid/leaf), and HDImageSearch (mid/leaf).
+//!
+//! `hdsearch_mid` reproduces the paper's Fig. 7 case study: half its
+//! instructions come from a `getpoint` function whose FLANN-style
+//! kd-bucket walk has data-dependent inner-loop trip counts, collapsing
+//! SIMT efficiency; [`hdsearch_mid_fixed`] caps the walk at a fixed top-k,
+//! recovering ~90% efficiency at unchanged result quality. `ProcessRequest`
+//! and `vector_push` additionally serialize on the global allocator mutex,
+//! mirroring the paper's glibc-malloc observation.
+
+use crate::motifs::{
+    bounded_hash, compute_chain, elem8, hash_probe, receive_request, send_response, with_lock,
+};
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AccessSize, AluOp, Cond, MemRef, Operand, ProgramBuilder};
+
+fn meta(
+    name: &'static str,
+    description: &'static str,
+    uses_locks: bool,
+) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::USuite,
+        description,
+        paper_threads: 2048,
+        default_threads: 256,
+        has_gpu_impl: false,
+        uses_locks,
+    }
+}
+
+const REQ_FIELDS: i64 = 4;
+const TABLE_CAP: i64 = 1024;
+const SHARDS: i64 = 32;
+
+fn request_pool(rng: &mut StdRng, threads: usize) -> Vec<i64> {
+    (0..threads * REQ_FIELDS as usize).map(|_| rng.gen_range(1..100_000)).collect()
+}
+
+/// Populates an open-addressed table at ~60% occupancy.
+fn table_image(rng: &mut StdRng) -> Vec<i64> {
+    let mut t = vec![0i64; TABLE_CAP as usize];
+    for slot in t.iter_mut() {
+        if rng.gen_bool(0.6) {
+            *slot = rng.gen_range(1..100_000);
+        }
+    }
+    t
+}
+
+fn mcrouter(name: &'static str, description: &'static str, io_in: u32, io_out: u32, compute: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x3C20 ^ name.len() as u64);
+    let reqs = request_pool(&mut rng, 1024);
+    let table = table_image(&mut rng);
+
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("requests", &reqs);
+    let g_table = pb.global_i64("cache", &table);
+    let g_locks = pb.global("shard_locks", 8 * SHARDS as u64);
+    let g_out = pb.global("responses", 8 * 4096);
+    let kernel = pb.function("mcrouter_handler", 1, |fb| {
+        let tid = fb.arg(0);
+        let key = receive_request(fb, g_reqs, tid, REQ_FIELDS, io_in);
+        // Route: hash key, probe the cache table.
+        let found = hash_probe(fb, g_table, key, TABLE_CAP, 8);
+        // Miss path refreshes the shard under its lock (fine-grain).
+        let shard = bounded_hash(fb, key, SHARDS);
+        fb.if_then(Cond::Eq, found, 0i64, |fb| {
+            with_lock(fb, g_locks, shard, |fb| {
+                let slot = bounded_hash(fb, key, TABLE_CAP);
+                let m = elem8(fb, g_table, slot);
+                fb.store(m, key);
+            });
+        });
+        // Service-specific compute.
+        let digest = compute_chain(fb, found, compute);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, digest);
+        send_response(fb, io_out);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(name, description, true),
+        program: pb.build().expect("mcrouter builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// McRouter fronting memcached: route + cache probe + shard-locked refresh.
+pub fn mcrouter_memcached() -> Workload {
+    mcrouter(
+        "mcrouter_memcached",
+        "key routing + cache probe + locked shard refresh",
+        18,
+        10,
+        32,
+    )
+}
+
+/// McRouter mid-tier: heavier routing fan-out, more I/O per request.
+pub fn mcrouter_mid() -> Workload {
+    mcrouter("mcrouter_mid", "mid-tier router, I/O-heavy fan-out", 40, 25, 16)
+}
+
+/// McRouter leaf: compute-leaning leaf node.
+pub fn mcrouter_leaf() -> Workload {
+    mcrouter("mcrouter_leaf", "leaf node, compute-leaning service", 12, 8, 64)
+}
+
+fn textsearch(name: &'static str, description: &'static str, docs: i64, terms: i64, io: u32) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x7E87 ^ docs as u64);
+    let reqs = request_pool(&mut rng, 1024);
+    let postings: Vec<i64> =
+        (0..(docs * terms) as usize).map(|_| rng.gen_range(0..1000)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("queries", &reqs);
+    let g_post = pb.global_i64("postings", &postings);
+    let g_out = pb.global("scores", 8 * 4096);
+    let kernel = pb.function("textsearch_handler", 1, |fb| {
+        let tid = fb.arg(0);
+        let q = receive_request(fb, g_reqs, tid, REQ_FIELDS, io);
+        // Fixed-shape scoring: every request scores the same doc × term
+        // grid — the paper's "remarkable SIMT efficiency" case.
+        let best = fb.var(8);
+        fb.store_var(best, 0i64);
+        fb.for_range(0i64, docs, 1, |fb, d| {
+            let score = fb.var(8);
+            fb.store_var(score, 0i64);
+            fb.for_range(0i64, terms, 1, |fb, t| {
+                let off = fb.alu(AluOp::Mul, d, terms);
+                let idx = fb.alu(AluOp::Add, off, t);
+                let m = elem8(fb, g_post, idx);
+                let w = fb.load(m);
+                let qterm = fb.alu(AluOp::Xor, q, t);
+                let mix = fb.alu(AluOp::And, qterm, 0xFFi64);
+                let contrib = fb.alu(AluOp::Mul, w, mix);
+                let s = fb.load_var(score);
+                let s2 = fb.alu(AluOp::Add, s, contrib);
+                fb.store_var(score, s2);
+            });
+            let s = fb.load_var(score);
+            let b = fb.load_var(best);
+            let mx = fb.alu(AluOp::Max, s, b);
+            fb.store_var(best, mx);
+        });
+        let b = fb.load_var(best);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, b);
+        send_response(fb, io / 2);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(name, description, false),
+        program: pb.build().expect("textsearch builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// TextSearch mid-tier: top-k merge over fixed-shape shard results.
+pub fn textsearch_mid() -> Workload {
+    textsearch("textsearch_mid", "fixed-grid scoring + top-k merge (mid)", 8, 8, 40)
+}
+
+/// TextSearch leaf: posting-list dot products, fully regular.
+pub fn textsearch_leaf() -> Workload {
+    textsearch("textsearch_leaf", "posting-list scoring (leaf)", 16, 8, 25)
+}
+
+const HD_TABLES: i64 = 2;
+const HD_MASKS: i64 = 2;
+
+/// Core of the Fig. 7 case study. `fixed_topk = None` models the original
+/// FLANN `getpoint` with data-dependent bucket sizes; `Some(k)` is the
+/// SIMT-aware rewrite that always returns the first `k` candidates.
+fn hdsearch(name: &'static str, description: &'static str, fixed_topk: Option<i64>) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x4D53);
+    let reqs = request_pool(&mut rng, 1024);
+    // Heavy-tailed bucket sizes: almost all tiny, a few enormous — the
+    // kd-bucket occupancy law that destroys lock-step efficiency.
+    let buckets: Vec<i64> = (0..2048)
+        .map(|_| {
+            // 92% near-empty buckets, 8% very heavy ones.
+            if rng.gen_bool(0.08) {
+                rng.gen_range(96..192)
+            } else {
+                rng.gen_range(0..4)
+            }
+        })
+        .collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("queries", &reqs);
+    let g_bucket = pb.global_i64("bucket_sizes", &buckets);
+    let g_points = pb.global("point_store", 8 * 1 << 16);
+    let g_out = pb.global("results", 8 * 4096);
+    let g_alloc_lock = pb.global("malloc_mutex", 8);
+
+    // vector::push_back — allocation serialized on the global glibc-style
+    // allocator mutex (the paper's ProcessRequest/vector bottleneck).
+    let vector_push = pb.declare("vector_push");
+    pb.define(vector_push, 1, |fb| {
+        let val = fb.arg(0);
+        let l = fb.lea(MemRef::global(g_alloc_lock, None, 0, AccessSize::B8));
+        fb.acquire(Operand::Reg(l));
+        let buf = fb.alloc(256i64);
+        fb.release(Operand::Reg(l));
+        // Grow-and-copy: the vector reallocation loop (fixed 16 elements).
+        fb.for_range(0i64, 16i64, 1, |fb, i| {
+            let mixed = fb.alu(AluOp::Xor, val, i);
+            let m = fb.ptr_ref(buf, Operand::Reg(i), 8, 0);
+            fb.store(m, mixed);
+        });
+        fb.free(Operand::Reg(buf));
+        fb.ret(Some(Operand::Reg(val)));
+    });
+
+    // getpoint — Listing 1: table × xor-mask × data-dependent point loop.
+    let getpoint = pb.declare("getpoint");
+    pb.define(getpoint, 1, |fb| {
+        let key = fb.arg(0);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+        fb.for_range(0i64, HD_TABLES, 1, |fb, table| {
+            fb.for_range(0i64, HD_MASKS, 1, |fb, mask| {
+                let sub_key = fb.alu(AluOp::Xor, key, mask);
+                let mixed = fb.alu(AluOp::Mul, sub_key, 0x9E37i64);
+                let t_off = fb.alu(AluOp::Mul, table, 512i64);
+                let h = fb.alu(AluOp::And, mixed, 511i64);
+                let slot = fb.alu(AluOp::Add, t_off, h);
+                let num_point = match fixed_topk {
+                    // SIMT-aware fix: uniform trip count for all threads.
+                    Some(k) => fb.mov(k),
+                    // Original: bucket occupancy decides the trip count.
+                    None => {
+                        let m = elem8(fb, g_bucket, slot);
+                        fb.load(m)
+                    }
+                };
+                fb.for_range(0i64, Operand::Reg(num_point), 1, |fb, j| {
+                    let p_idx = fb.alu(AluOp::Add, slot, j);
+                    let wrapped = fb.alu(AluOp::And, p_idx, (1 << 13) - 1i64);
+                    let m = elem8(fb, g_points, wrapped);
+                    let p = fb.load(m);
+                    let a = fb.load_var(acc);
+                    let s = fb.alu(AluOp::Add, a, p);
+                    fb.store_var(acc, s);
+                });
+            });
+        });
+        let r = fb.load_var(acc);
+        fb.ret(Some(Operand::Reg(r)));
+    });
+
+    // ProcessRequest — parse + allocator-serialized response object.
+    let process_request = pb.declare("process_request");
+    pb.define(process_request, 1, |fb| {
+        let raw = fb.arg(0);
+        // Deserialize a variable number of protobuf-ish fields (3..=5):
+        // a light residual divergence even in the fixed variant.
+        let extra = bounded_hash(fb, raw, 3);
+        let nfields = fb.alu(AluOp::Add, extra, 3i64);
+        let parsed = fb.var(8);
+        fb.store_var(parsed, raw);
+        fb.for_range(0i64, Operand::Reg(nfields), 1, |fb, i| {
+            let salted = fb.alu(AluOp::Add, raw, i);
+            let fieldv = compute_chain(fb, salted, 12);
+            let p = fb.load_var(parsed);
+            let x = fb.alu(AluOp::Xor, p, fieldv);
+            fb.store_var(parsed, x);
+        });
+        // Fixed-shape decode pass.
+        fb.for_range(0i64, 8i64, 1, |fb, i| {
+            let _ = compute_chain(fb, i, 8);
+        });
+        let l = fb.lea(MemRef::global(g_alloc_lock, None, 0, AccessSize::B8));
+        fb.acquire(Operand::Reg(l));
+        let obj = fb.alloc(128i64);
+        fb.release(Operand::Reg(l));
+        let pv = fb.load_var(parsed);
+        let m = fb.ptr_ref(obj, Operand::Imm(0), 8, 0);
+        fb.store(m, pv);
+        let m2 = fb.ptr_ref(obj, Operand::Imm(0), 8, 0);
+        let v = fb.load(m2);
+        fb.free(Operand::Reg(obj));
+        fb.ret(Some(Operand::Reg(v)));
+    });
+
+    let kernel = pb.declare("hdsearch_handler");
+    pb.define(kernel, 1, |fb| {
+        let tid = fb.arg(0);
+        let raw = receive_request(fb, g_reqs, tid, REQ_FIELDS, 35);
+        let key = fb.call(process_request, &[Operand::Reg(raw)]);
+        let result = fb.call(getpoint, &[Operand::Reg(key)]);
+        let stored = fb.call(vector_push, &[Operand::Reg(result)]);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, stored);
+        send_response(fb, 18);
+        fb.ret(None);
+    });
+
+    Workload {
+        meta: meta(name, description, true),
+        program: pb.build().expect("hdsearch builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// HDImageSearch mid-tier: the paper's low-efficiency case study (≈7%
+/// before the fix) — `getpoint` dominates with divergent bucket walks.
+pub fn hdsearch_mid() -> Workload {
+    hdsearch(
+        "hdsearch_mid",
+        "FLANN-style getpoint with data-dependent bucket walks",
+        None,
+    )
+}
+
+/// The SIMT-aware rewrite of [`hdsearch_mid`]: `getpoint` returns a fixed
+/// top-10, making every thread's walk uniform (paper: 6% → 90%).
+pub fn hdsearch_mid_fixed() -> Workload {
+    hdsearch(
+        "hdsearch_mid_fixed",
+        "getpoint capped at top-10: uniform walks",
+        Some(10),
+    )
+}
+
+/// HDImageSearch leaf: dense distance computations, regular and
+/// high-efficiency.
+pub fn hdsearch_leaf() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x4D4C);
+    let reqs = request_pool(&mut rng, 1024);
+    let vectors: Vec<i64> = (0..64 * 16).map(|_| rng.gen_range(-100..100)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_reqs = pb.global_i64("queries", &reqs);
+    let g_vecs = pb.global_i64("vectors", &vectors);
+    let g_out = pb.global("results", 8 * 4096);
+    let kernel = pb.function("hdsearch_leaf_handler", 1, |fb| {
+        let tid = fb.arg(0);
+        let q = receive_request(fb, g_reqs, tid, REQ_FIELDS, 30);
+        let best = fb.var(8);
+        fb.store_var(best, i64::MAX);
+        fb.for_range(0i64, 64i64, 1, |fb, v| {
+            let base = fb.alu(AluOp::Mul, v, 16i64);
+            let dist = fb.var(8);
+            fb.store_var(dist, 0i64);
+            fb.for_range(0i64, 16i64, 1, |fb, d| {
+                let idx = fb.alu(AluOp::Add, base, d);
+                let m = elem8(fb, g_vecs, idx);
+                let x = fb.load(m);
+                let qd = fb.alu(AluOp::Xor, q, d);
+                let qv = fb.alu(AluOp::And, qd, 0x7Fi64);
+                let diff = fb.alu(AluOp::Sub, x, qv);
+                let sq = fb.alu(AluOp::Mul, diff, diff);
+                let a = fb.load_var(dist);
+                let s = fb.alu(AluOp::Add, a, sq);
+                fb.store_var(dist, s);
+            });
+            let total = fb.load_var(dist);
+            let b = fb.load_var(best);
+            let mn = fb.alu(AluOp::Min, total, b);
+            fb.store_var(best, mn);
+        });
+        let b = fb.load_var(best);
+        let mo = elem8(fb, g_out, tid);
+        fb.store(mo, b);
+        send_response(fb, 20);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("hdsearch_leaf", "dense distance scans (leaf), regular", false),
+        program: pb.build().expect("hdsearch_leaf builds"),
+        kernel,
+        init: None,
+    }
+}

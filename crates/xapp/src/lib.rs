@@ -1,0 +1,265 @@
+#![warn(missing_docs)]
+
+//! # XAPP-style baseline predictor (paper Table II)
+//!
+//! The closest prior work to ThreadFuser is XAPP (Ardalani et al., MICRO
+//! 2015): an opaque machine-learning model that predicts GPU speedup from
+//! ~16 profile-based properties of a *single-threaded* CPU execution. This
+//! crate reimplements that approach as the comparison baseline: a ridge-
+//! regularized linear regression over 16 dynamic program features
+//! extracted from one thread's trace.
+//!
+//! Where ThreadFuser emulates the SIMT stack and reports white-box
+//! efficiency/divergence breakdowns, XAPP emits a single speedup number —
+//! reproducing the qualitative contrast of Table II.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use threadfuser_ir::Program;
+use threadfuser_tracer::{TraceEvent, TraceSet};
+
+/// Number of profile features (matching XAPP's 16 program properties).
+pub const N_FEATURES: usize = 16;
+
+/// A dense feature vector extracted from a single-threaded profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector(pub [f64; N_FEATURES]);
+
+/// Extracts the 16 XAPP-style properties from the first thread's trace.
+///
+/// Features: instruction-class mix (5), block shape (3), memory behaviour
+/// (5), call/synchronization density (2), and scale (1).
+///
+/// # Panics
+/// Panics if `traces` is empty.
+pub fn extract_features(program: &Program, traces: &TraceSet) -> FeatureVector {
+    let t = traces.threads().first().expect("at least one thread trace");
+    let mut insts = 0u64;
+    let mut blocks = 0u64;
+    let mut distinct_blocks = HashSet::new();
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut stack_accesses = 0u64;
+    let mut calls = 0u64;
+    let mut syncs = 0u64;
+    let mut addrs: Vec<u64> = Vec::new();
+    let mut bytes_touched = 0u64;
+
+    for e in &t.events {
+        match e {
+            TraceEvent::Block { addr, n_insts } => {
+                blocks += 1;
+                insts += *n_insts as u64;
+                distinct_blocks.insert(*addr);
+            }
+            TraceEvent::Mem { addr, size, is_store, .. } => {
+                if *is_store {
+                    stores += 1;
+                } else {
+                    loads += 1;
+                }
+                if is_stack_segment(*addr) {
+                    stack_accesses += 1;
+                }
+                addrs.push(*addr);
+                bytes_touched += *size as u64;
+            }
+            TraceEvent::Call { .. } => calls += 1,
+            TraceEvent::Ret => {}
+            TraceEvent::Acquire { .. } | TraceEvent::Release { .. } | TraceEvent::Barrier { .. } => {
+                syncs += 1;
+            }
+        }
+    }
+
+    let fi = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    let mem = loads + stores;
+    // Spatial locality proxy: fraction of consecutive accesses within 64 B.
+    let mut near = 0u64;
+    for w in addrs.windows(2) {
+        if w[1].abs_diff(w[0]) <= 64 {
+            near += 1;
+        }
+    }
+    let unique_lines: HashSet<u64> = addrs.iter().map(|a| a / 32).collect();
+
+    let static_insts = program.static_inst_count().max(1);
+    let f = [
+        fi(mem, insts),                                  // 0 memory intensity
+        fi(loads, mem.max(1)),                           // 1 load share
+        fi(stores, mem.max(1)),                          // 2 store share
+        fi(blocks, insts),                               // 3 branch density (1/blocksize)
+        fi(insts, blocks.max(1)) / 32.0,                 // 4 normalized block size
+        fi(distinct_blocks.len() as u64, blocks.max(1)), // 5 code-reuse / loopiness
+        fi(distinct_blocks.len() as u64, static_insts),  // 6 coverage of static code
+        fi(near, addrs.len().max(1) as u64),             // 7 spatial locality
+        fi(unique_lines.len() as u64, mem.max(1)),       // 8 footprint per access
+        fi(stack_accesses, mem.max(1)),                  // 9 stack share
+        fi(calls, blocks.max(1)),                        // 10 call density
+        fi(syncs, blocks.max(1)),                        // 11 sync density
+        fi(t.skipped_io + t.skipped_spin, insts.max(1)), // 12 skipped share
+        (insts as f64).ln().max(0.0) / 20.0,             // 13 work scale (log)
+        fi(bytes_touched, mem.max(1) * 8),               // 14 access width
+        1.0,                                             // 15 bias
+    ];
+    FeatureVector(f)
+}
+
+// Local copy of the segment rule (keeps this crate's dependency surface to
+// ir + tracer; the layout is stable: stacks live at and above
+// 0x1_0000_0000).
+fn is_stack_segment(addr: u64) -> bool {
+    addr >= 0x1_0000_0000
+}
+
+/// Ridge-regularized linear model over [`FeatureVector`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XappModel {
+    weights: [f64; N_FEATURES],
+}
+
+impl XappModel {
+    /// Fits ridge regression (`lambda` > 0 recommended) by solving the
+    /// normal equations with Gaussian elimination.
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn train(samples: &[(FeatureVector, f64)], lambda: f64) -> Self {
+        assert!(!samples.is_empty(), "empty training set");
+        let n = N_FEATURES;
+        // A = X^T X + lambda I ; b = X^T y
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut b = vec![0.0f64; n];
+        for (fv, y) in samples {
+            for i in 0..n {
+                b[i] += fv.0[i] * y;
+                for j in 0..n {
+                    a[i][j] += fv.0[i] * fv.0[j];
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let w = solve(&mut a, &mut b);
+        let mut weights = [0.0; N_FEATURES];
+        weights.copy_from_slice(&w);
+        XappModel { weights }
+    }
+
+    /// Predicts the target (speedup) for a feature vector.
+    pub fn predict(&self, f: &FeatureVector) -> f64 {
+        self.weights.iter().zip(f.0.iter()).map(|(w, x)| w * x).sum()
+    }
+
+    /// The fitted weights (diagnostics).
+    pub fn weights(&self) -> &[f64; N_FEATURES] {
+        &self.weights
+    }
+}
+
+/// Gaussian elimination with partial pivoting; `a` is consumed.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("nonempty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction: leave weight at zero
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-12 { 0.0 } else { acc / a[col][col] };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_tracer::trace_program;
+
+    fn fv(vals: &[f64]) -> FeatureVector {
+        let mut f = [0.0; N_FEATURES];
+        f[..vals.len()].copy_from_slice(vals);
+        f[N_FEATURES - 1] = 1.0; // bias
+        FeatureVector(f)
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        // y = 3*x0 - 2*x1 + 1
+        let samples: Vec<(FeatureVector, f64)> = (0..50)
+            .map(|i| {
+                let x0 = (i % 7) as f64;
+                let x1 = (i % 5) as f64;
+                (fv(&[x0, x1]), 3.0 * x0 - 2.0 * x1 + 1.0)
+            })
+            .collect();
+        let model = XappModel::train(&samples, 1e-6);
+        let pred = model.predict(&fv(&[4.0, 2.0]));
+        assert!((pred - (12.0 - 4.0 + 1.0)).abs() < 1e-3, "got {pred}");
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // x1 == x0 exactly: unregularized normal equations are singular.
+        let samples: Vec<(FeatureVector, f64)> =
+            (0..20).map(|i| (fv(&[i as f64, i as f64]), 2.0 * i as f64)).collect();
+        let model = XappModel::train(&samples, 0.1);
+        let pred = model.predict(&fv(&[5.0, 5.0]));
+        assert!((pred - 10.0).abs() < 0.5, "got {pred}");
+    }
+
+    #[test]
+    fn features_extracted_from_real_trace() {
+        let mut pb = threadfuser_ir::ProgramBuilder::new();
+        let g = pb.global("g", 8 * 64);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let v = fb.var(8);
+            fb.store_var(v, tid);
+            let x = fb.load_var(v);
+            let m = fb.global_ref(g, threadfuser_ir::Operand::Reg(tid), 8);
+            fb.store(m, x);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
+        let f = extract_features(&p, &traces);
+        assert!(f.0[0] > 0.0, "memory intensity present");
+        assert!(f.0[9] > 0.0, "stack accesses present");
+        assert_eq!(f.0[N_FEATURES - 1], 1.0, "bias");
+        assert!(f.0.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prediction_is_linear_in_weights() {
+        let samples: Vec<(FeatureVector, f64)> =
+            (1..30).map(|i| (fv(&[i as f64]), 4.0 * i as f64)).collect();
+        let model = XappModel::train(&samples, 1e-9);
+        let a = model.predict(&fv(&[1.0]));
+        let b = model.predict(&fv(&[2.0]));
+        let c = model.predict(&fv(&[3.0]));
+        assert!((c - b - (b - a)).abs() < 1e-6, "linear spacing");
+    }
+}

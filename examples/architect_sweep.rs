@@ -1,0 +1,76 @@
+//! Architect's sweep: the paper's §V-B use case — explore SIMT design
+//! points (warp width, batching policy, intra-warp lock handling) against
+//! a workload no GPU suite contains.
+//!
+//! ```sh
+//! cargo run --release --example architect_sweep
+//! ```
+
+use threadfuser::analyzer::{dwf_upper_bound, BatchPolicy};
+use threadfuser::workloads::by_name;
+use threadfuser::{Pipeline, TextTable};
+
+fn main() {
+    let w = by_name("usertag").expect("a locking microservice");
+
+    // 1. Warp-width sensitivity (paper Fig. 1 / §V-B).
+    let mut widths = TextTable::new(&["warp width", "SIMT efficiency"]);
+    for ws in [8u32, 16, 32, 64] {
+        let eff = Pipeline::from_workload(&w)
+            .threads(128)
+            .warp_size(ws)
+            .analyze()
+            .expect("analysis succeeds")
+            .simt_efficiency();
+        widths.row(&[ws.to_string(), format!("{:.1}%", eff * 100.0)]);
+    }
+    println!("usertag: efficiency vs warp width\n{widths}");
+
+    // 2. Warp-formation policies (the paper's "different batching
+    //    algorithms can be explored").
+    let mut batching = TextTable::new(&["batching", "SIMT efficiency"]);
+    for (name, policy) in [
+        ("linear", BatchPolicy::Linear),
+        ("strided", BatchPolicy::Strided),
+        ("shuffled", BatchPolicy::Shuffled { seed: 42 }),
+    ] {
+        let eff = Pipeline::from_workload(&w)
+            .threads(128)
+            .batching(policy)
+            .analyze()
+            .expect("analysis succeeds")
+            .simt_efficiency();
+        batching.row(&[name.to_string(), format!("{:.1}%", eff * 100.0)]);
+    }
+    println!("usertag: efficiency vs warp formation\n{batching}");
+
+    // 3. Headroom beyond IPDOM stacks: the ideal dynamic-warp-formation
+    //    ceiling (Fung et al., the paper's [15]) computed from the traces.
+    let divergent = by_name("bfs").expect("divergent workload");
+    let (_, traces) = Pipeline::from_workload(&divergent).threads(128).trace().unwrap();
+    let ipdom_eff = Pipeline::from_workload(&divergent)
+        .threads(128)
+        .analyze()
+        .unwrap()
+        .simt_efficiency();
+    let dwf = dwf_upper_bound(&traces, 32).efficiency_bound();
+    println!(
+        "bfs: IPDOM-stack efficiency {:.1}% vs ideal dynamic-warp-formation ceiling {:.1}%",
+        ipdom_eff * 100.0,
+        dwf * 100.0
+    );
+
+    // 4. Synchronization handling (paper Fig. 9).
+    let fine = Pipeline::from_workload(&w).threads(128).analyze().unwrap();
+    let locked = Pipeline::from_workload(&w)
+        .threads(128)
+        .intra_warp_locks(true)
+        .analyze()
+        .unwrap();
+    println!(
+        "usertag: fine-grain assumption {:.1}% vs intra-warp serialization {:.1}% ({} episodes)",
+        fine.simt_efficiency() * 100.0,
+        locked.simt_efficiency() * 100.0,
+        locked.lock_serializations
+    );
+}

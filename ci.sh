@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass.
+#   ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> tests"
+cargo test -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> rustfmt"
+cargo fmt --check
+
+echo "==> perf_pipeline smoke"
+TF_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_pipeline.json" \
+    cargo run --release -p threadfuser-bench --bin perf_pipeline
+
+echo "==> ci.sh: all green"

@@ -9,9 +9,10 @@
 use serde::{Deserialize, Serialize};
 
 /// How threads are grouped into warps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum BatchPolicy {
     /// Consecutive thread ids per warp (hardware default).
+    #[default]
     Linear,
     /// Warp `w` takes threads `w, w+s, w+2s, …` where `s` is the warp
     /// count — interleaves far-apart threads into one warp.
@@ -21,12 +22,6 @@ pub enum BatchPolicy {
         /// Shuffle seed.
         seed: u64,
     },
-}
-
-impl Default for BatchPolicy {
-    fn default() -> Self {
-        BatchPolicy::Linear
-    }
 }
 
 impl BatchPolicy {

@@ -15,6 +15,7 @@
 use crate::AnalyzeError;
 use std::collections::HashSet;
 use threadfuser_ir::{ipdom_of, BlockId, FuncId, Program};
+use threadfuser_obs::{Obs, Phase};
 use threadfuser_tracer::{TraceEvent, TraceSet};
 
 /// The dynamic CFG of one function, with solved IPDOMs.
@@ -62,14 +63,26 @@ impl DcfgSet {
     /// [`AnalyzeError::MalformedTrace`] when call/return events do not
     /// nest properly.
     pub fn build(program: &Program, traces: &TraceSet) -> Result<Self, AnalyzeError> {
+        Self::build_observed(program, traces, &Obs::none())
+    }
+
+    /// [`DcfgSet::build`], reporting a `dcfg-build` span (trace scanning)
+    /// and an `ipdom` span (post-dominator solving) to `obs`.
+    ///
+    /// # Errors
+    /// [`AnalyzeError::MalformedTrace`] when call/return events do not
+    /// nest properly.
+    pub fn build_observed(
+        program: &Program,
+        traces: &TraceSet,
+        obs: &Obs,
+    ) -> Result<Self, AnalyzeError> {
+        let scan_span = obs.span(Phase::DcfgBuild);
         let n_funcs = program.functions().len();
         // Edge sets per function; node space = blocks + virtual exit.
         let mut edges: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); n_funcs];
-        let mut observed: Vec<Vec<bool>> = program
-            .functions()
-            .iter()
-            .map(|f| vec![false; f.blocks.len()])
-            .collect();
+        let mut observed: Vec<Vec<bool>> =
+            program.functions().iter().map(|f| vec![false; f.blocks.len()]).collect();
 
         for t in traces.threads() {
             // (func, prev block within that frame)
@@ -101,10 +114,7 @@ impl DcfgSet {
                         if *func != addr.func {
                             return Err(AnalyzeError::MalformedTrace {
                                 tid: t.tid,
-                                detail: format!(
-                                    "block of {} while inside {}",
-                                    addr.func, func
-                                ),
+                                detail: format!("block of {} while inside {}", addr.func, func),
                             });
                         }
                         let node = addr.block.0 as usize;
@@ -150,11 +160,17 @@ impl DcfgSet {
             }
         }
 
+        obs.counter(Phase::DcfgBuild, "edges", edges.iter().map(|e| e.len() as u64).sum());
+        scan_span.finish();
+
+        let ipdom_span = obs.span(Phase::Ipdom);
+        let mut solved_funcs = 0u64;
         let per_func = (0..n_funcs)
             .map(|fi| {
                 if edges[fi].is_empty() && !observed[fi].iter().any(|&o| o) {
                     return None;
                 }
+                solved_funcs += 1;
                 let n_blocks = program.functions()[fi].blocks.len();
                 let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_blocks + 1];
                 for &(from, to) in &edges[fi] {
@@ -167,6 +183,8 @@ impl DcfgSet {
                 Some(Dcfg { n_blocks, succs, ipdom, observed: observed[fi].clone() })
             })
             .collect();
+        obs.counter(Phase::Ipdom, "functions_solved", solved_funcs);
+        ipdom_span.finish();
         Ok(DcfgSet { per_func })
     }
 

@@ -152,8 +152,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 128)).unwrap();
-        let stack_eff =
-            analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap().simt_efficiency();
+        let stack_eff = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap().simt_efficiency();
         let bound = dwf_upper_bound(&traces, 32).efficiency_bound();
         assert!(stack_eff < 0.75, "IPDOM serializes the halves: {stack_eff:.3}");
         assert!(bound > 0.95, "DWF repacks both halves fully: {bound:.3}");

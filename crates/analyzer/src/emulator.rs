@@ -23,6 +23,7 @@ use crate::AnalyzeError;
 use std::collections::BTreeMap;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
+use threadfuser_obs::{Obs, Phase};
 use threadfuser_tracer::{ThreadTrace, TraceEvent, TraceSet};
 
 /// Where diverged warp-mates reconverge (ablation knob; the paper uses
@@ -43,6 +44,11 @@ pub enum ReconvergencePolicy {
 }
 
 /// Analyzer configuration.
+///
+/// Construct with [`AnalyzerConfig::new`] and refine through the
+/// chainable setters (or direct field assignment); the struct is
+/// `#[non_exhaustive]` so fields can grow without breaking callers.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct AnalyzerConfig {
     /// Warp width (1–64).
@@ -58,10 +64,13 @@ pub struct AnalyzerConfig {
     pub parallelism: usize,
     /// Per-warp issue budget (runaway guard).
     pub max_issues_per_warp: u64,
+    /// Observability handle; [`Obs::none`] (the default) costs nothing.
+    pub obs: Obs,
 }
 
 impl AnalyzerConfig {
-    /// Defaults: warp 32, linear batching, fine-grain locks, sequential.
+    /// Defaults: warp 32, linear batching, fine-grain locks, sequential,
+    /// no observability sink.
     pub fn new(warp_size: u32) -> Self {
         AnalyzerConfig {
             warp_size,
@@ -70,7 +79,51 @@ impl AnalyzerConfig {
             reconvergence: ReconvergencePolicy::default(),
             parallelism: 1,
             max_issues_per_warp: 1 << 40,
+            obs: Obs::none(),
         }
+    }
+
+    /// Sets the warp width (chainable; same name as the `Pipeline`
+    /// builder — fields and methods live in separate namespaces).
+    pub fn warp_size(mut self, w: u32) -> Self {
+        self.warp_size = w;
+        self
+    }
+
+    /// Sets the thread→warp batching policy (chainable).
+    pub fn batching(mut self, b: BatchPolicy) -> Self {
+        self.batching = b;
+        self
+    }
+
+    /// Enables intra-warp lock serialization emulation (chainable).
+    pub fn intra_warp_locks(mut self, on: bool) -> Self {
+        self.emulate_intra_warp_locks = on;
+        self
+    }
+
+    /// Selects the reconvergence-point policy (chainable).
+    pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
+        self.reconvergence = policy;
+        self
+    }
+
+    /// Sets the worker-thread count (chainable).
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n;
+        self
+    }
+
+    /// Sets the per-warp issue budget (chainable).
+    pub fn max_issues(mut self, n: u64) -> Self {
+        self.max_issues_per_warp = n;
+        self
+    }
+
+    /// Attaches an observability handle (chainable).
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -165,7 +218,7 @@ fn analyze_impl(
     mut sink: Option<&mut dyn StepSink>,
 ) -> Result<AnalysisReport, AnalyzeError> {
     assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
-    let dcfgs = DcfgSet::build(program, traces)?;
+    let dcfgs = DcfgSet::build_observed(program, traces, &config.obs)?;
     // Static CFGs are only needed for the StaticIpdom ablation.
     let static_cfgs: Option<Vec<FuncCfg>> =
         if config.reconvergence == ReconvergencePolicy::StaticIpdom {
@@ -175,6 +228,7 @@ fn analyze_impl(
         };
     let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
 
+    #[allow(clippy::too_many_arguments)]
     fn run_chunk(
         program: &Program,
         dcfgs: &DcfgSet,
@@ -196,31 +250,33 @@ fn analyze_impl(
             // `&mut dyn` is invariant, so a per-iteration reborrow would
             // pin the borrow for the whole loop.
             emu.sink = sink.take();
+            let warp_span = config.obs.span(Phase::WarpEmulate);
             let run_result = emu.run();
             sink = emu.sink.take();
             run_result?;
+            if config.obs.enabled() {
+                emit_warp_obs(&config.obs, &emu.report);
+            }
+            warp_span.finish();
             report.merge(emu.report);
         }
         Ok(report)
     }
 
     // A sink forces sequential emulation (deterministic step order).
-    let workers = if sink.is_some() {
-        1
-    } else {
-        config.parallelism.max(1).min(warps.len().max(1))
-    };
+    let workers =
+        if sink.is_some() { 1 } else { config.parallelism.max(1).min(warps.len().max(1)) };
     let mut report = if workers <= 1 {
         run_chunk(program, &dcfgs, static_cfgs.as_deref(), config, traces, &warps, sink.take(), 0)?
     } else {
         let chunk_len = warps.len().div_ceil(workers);
         let dcfgs_ref = &dcfgs;
         let statics_ref = static_cfgs.as_deref();
-        let results = crossbeam::thread::scope(|s| {
+        let results = std::thread::scope(|s| {
             let handles: Vec<_> = warps
                 .chunks(chunk_len)
                 .map(|c| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         run_chunk(program, dcfgs_ref, statics_ref, config, traces, c, None, 0)
                     })
                 })
@@ -229,8 +285,7 @@ fn analyze_impl(
                 .into_iter()
                 .map(|h| h.join().expect("analysis worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope");
+        });
         let mut merged = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
         for r in results {
             merged.merge(r?);
@@ -242,6 +297,19 @@ fn analyze_impl(
     report.skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
     report.skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
     Ok(report)
+}
+
+/// Per-warp observability: `report` is the finished warp's own report
+/// (one warp per [`WarpEmulator`]), so its counters are warp-local.
+fn emit_warp_obs(obs: &Obs, report: &AnalysisReport) {
+    obs.counter(Phase::WarpEmulate, "issues", report.issues);
+    obs.counter(Phase::WarpEmulate, "thread_insts", report.thread_insts);
+    obs.counter(Phase::WarpEmulate, "divergences", report.divergences);
+    obs.counter(Phase::WarpEmulate, "reconvergences", report.reconvergences);
+    obs.counter(Phase::WarpEmulate, "lock_serializations", report.lock_serializations);
+    obs.counter(Phase::WarpEmulate, "heap_transactions", report.heap.transactions);
+    obs.counter(Phase::WarpEmulate, "stack_transactions", report.stack.transactions);
+    obs.histogram(Phase::WarpEmulate, "warp_issues", report.issues as f64);
 }
 
 struct Cursor<'t> {
@@ -353,6 +421,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             // ---- reconvergence / pop -----------------------------------
             if top.node == top.rpc {
                 self.stack.pop();
+                self.report.reconvergences += 1;
                 if let Some(sink) = self.sink.as_deref_mut() {
                     sink.on_reconvergence(self.warp_index, top.func, top.node, top.mask);
                 }
@@ -412,8 +481,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                     }
                     let active = lanes_of(top.mask, n).count() as u64;
                     let cf = self.program.function(*callee);
-                    let entry = self
-                        .per_function_entry(*callee);
+                    let entry = self.per_function_entry(*callee);
                     entry.invocations += active;
                     let callee_exit = self.dcfg(*callee)?.virtual_exit();
                     self.stack.push(Entry {
@@ -477,10 +545,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                     None => target = Some(*addr),
                     Some(t) if t == *addr => {}
                     Some(t) => {
-                        return Err(self.desync(
-                            l,
-                            format!("call continuation mismatch: {addr} vs {t}"),
-                        ))
+                        return Err(
+                            self.desync(l, format!("call continuation mismatch: {addr} vs {t}"))
+                        )
                     }
                 },
                 other => {
@@ -524,14 +591,10 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                     self.cursors[l].pos += 1;
                 }
                 other => {
-                    return Err(self.desync(
-                        l,
-                        format!("expected block {addr}, got {other:?}"),
-                    ))
+                    return Err(self.desync(l, format!("expected block {addr}, got {other:?}")))
                 }
             }
-            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.cursors[l].peek()
-            {
+            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.cursors[l].peek() {
                 mem_groups.entry(*inst_idx).or_default().push((*addr, *size as u32));
                 self.cursors[l].pos += 1;
             }
@@ -582,10 +645,10 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
 
     fn per_function_entry(&mut self, func: FuncId) -> &mut FunctionReport {
         let name = &self.program.function(func).name;
-        self.report.per_function.entry(func.0).or_insert_with(|| FunctionReport {
-            name: name.clone(),
-            ..Default::default()
-        })
+        self.report
+            .per_function
+            .entry(func.0)
+            .or_insert_with(|| FunctionReport { name: name.clone(), ..Default::default() })
     }
 
     /// Groups active lanes by the block their next trace event names.
@@ -598,9 +661,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                     addr.block.0 as usize
                 }
                 other => {
-                    return Err(
-                        self.desync(l, format!("expected successor block, got {other:?}"))
-                    )
+                    return Err(self.desync(l, format!("expected successor block, got {other:?}")))
                 }
             };
             match groups.iter_mut().find(|(g, _)| *g == node) {
@@ -623,14 +684,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             self.stack.last_mut().expect("nonempty").node = groups[0].0;
             return Ok(());
         }
+        self.report.divergences += 1;
         if let Some(sink) = self.sink.as_deref_mut() {
-            sink.on_divergence(
-                self.warp_index,
-                top.func,
-                BlockId(top.node as u32),
-                ipd,
-                &groups,
-            );
+            sink.on_divergence(self.warp_index, top.func, BlockId(top.node as u32), ipd, &groups);
         }
         self.stack.pop();
         // Reconvergence entry inherits the frame flag so a divergence that

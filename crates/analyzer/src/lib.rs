@@ -165,10 +165,7 @@ mod tests {
             let (report, truth) = predict_and_measure(&p, k, 96, w);
             assert_eq!(report.issues, truth.issues, "warp {w}");
             assert_eq!(report.thread_insts, truth.thread_insts, "warp {w}");
-            assert!(
-                (report.simt_efficiency() - truth.simt_efficiency()).abs() < 1e-12,
-                "warp {w}"
-            );
+            assert!((report.simt_efficiency() - truth.simt_efficiency()).abs() < 1e-12, "warp {w}");
             assert_eq!(report.heap.transactions, truth.heap.transactions, "warp {w}");
             assert_eq!(report.stack.transactions, truth.stack.transactions, "warp {w}");
         }

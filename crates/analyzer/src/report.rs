@@ -81,6 +81,11 @@ pub struct AnalysisReport {
     pub skipped_io: u64,
     /// Instructions skipped spinning on locks (from the traces).
     pub skipped_spin: u64,
+    /// SIMT-stack divergence episodes (branches splitting a warp).
+    pub divergences: u64,
+    /// SIMT-stack reconvergence merges (entries popped at their
+    /// reconvergence point).
+    pub reconvergences: u64,
     /// Intra-warp lock serialization episodes emulated.
     pub lock_serializations: u64,
     /// Contended acquires that could not be serialized (no same-function
@@ -126,11 +131,7 @@ impl AnalysisReport {
         v.sort_by(|a, b| b.own_thread_insts.cmp(&a.own_thread_insts).then(a.name.cmp(&b.name)));
         v.into_iter()
             .map(|f| {
-                let share = if total == 0 {
-                    0.0
-                } else {
-                    f.own_thread_insts as f64 / total as f64
-                };
+                let share = if total == 0 { 0.0 } else { f.own_thread_insts as f64 / total as f64 };
                 (f, share)
             })
             .collect()
@@ -149,13 +150,15 @@ impl AnalysisReport {
         self.stack.merge(&other.stack);
         self.skipped_io += other.skipped_io;
         self.skipped_spin += other.skipped_spin;
+        self.divergences += other.divergences;
+        self.reconvergences += other.reconvergences;
         self.lock_serializations += other.lock_serializations;
         self.lock_fallbacks += other.lock_fallbacks;
         for (k, v) in other.per_function {
-            let e = self.per_function.entry(k).or_insert_with(|| FunctionReport {
-                name: v.name.clone(),
-                ..Default::default()
-            });
+            let e = self
+                .per_function
+                .entry(k)
+                .or_insert_with(|| FunctionReport { name: v.name.clone(), ..Default::default() });
             e.own_issues += v.own_issues;
             e.own_thread_insts += v.own_thread_insts;
             e.invocations += v.invocations;
@@ -183,12 +186,22 @@ mod tests {
         let mut a = report_with(10, 320, 32);
         a.per_function.insert(
             0,
-            FunctionReport { name: "f".into(), own_issues: 10, own_thread_insts: 320, invocations: 1 },
+            FunctionReport {
+                name: "f".into(),
+                own_issues: 10,
+                own_thread_insts: 320,
+                invocations: 1,
+            },
         );
         let mut b = report_with(30, 320, 32);
         b.per_function.insert(
             0,
-            FunctionReport { name: "f".into(), own_issues: 30, own_thread_insts: 320, invocations: 2 },
+            FunctionReport {
+                name: "f".into(),
+                own_issues: 30,
+                own_thread_insts: 320,
+                invocations: 2,
+            },
         );
         a.merge(b);
         assert_eq!(a.issues, 40);
@@ -217,7 +230,12 @@ mod tests {
         let mut r = report_with(10, 100, 32);
         r.per_function.insert(
             2,
-            FunctionReport { name: "f".into(), own_issues: 4, own_thread_insts: 64, invocations: 3 },
+            FunctionReport {
+                name: "f".into(),
+                own_issues: 4,
+                own_thread_insts: 64,
+                invocations: 3,
+            },
         );
         r.heap = SegmentTraffic { transactions: 9, instructions: 3, accesses: 12 };
         let json = serde_json::to_string(&r).unwrap();

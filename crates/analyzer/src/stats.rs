@@ -9,12 +9,7 @@
 pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     assert!(!predicted.is_empty(), "empty input");
-    predicted
-        .iter()
-        .zip(actual)
-        .map(|(p, a)| (p - a).abs())
-        .sum::<f64>()
-        / predicted.len() as f64
+    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / predicted.len() as f64
 }
 
 /// Mean absolute *percentage* error, relative to `actual` (entries with

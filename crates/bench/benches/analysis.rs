@@ -35,9 +35,7 @@ fn bench_analysis(c: &mut Criterion) {
     let (traces, _) = trace_program(&w.program, MachineConfig::new(w.kernel, 512)).unwrap();
 
     let mut group = c.benchmark_group("analyzer");
-    group.bench_function("dcfg_ipdom", |b| {
-        b.iter(|| DcfgSet::build(&w.program, &traces).unwrap())
-    });
+    group.bench_function("dcfg_ipdom", |b| b.iter(|| DcfgSet::build(&w.program, &traces).unwrap()));
     group.bench_function("warp_emulation_w32", |b| {
         b.iter(|| analyze(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap())
     });

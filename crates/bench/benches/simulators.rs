@@ -13,8 +13,7 @@ use threadfuser::workloads::by_name;
 fn bench_simulators(c: &mut Criterion) {
     let w = by_name("streamcluster").unwrap();
     let (traces, _) = trace_program(&w.program, MachineConfig::new(w.kernel, 128)).unwrap();
-    let warp_traces =
-        generate_warp_traces(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap();
+    let warp_traces = generate_warp_traces(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap();
 
     let mut group = c.benchmark_group("simulators");
     group.bench_function("tracegen_w32", |b| {

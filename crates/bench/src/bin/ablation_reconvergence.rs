@@ -18,8 +18,16 @@ use threadfuser_bench::{emit, f3, threads_for};
 
 fn main() {
     let picks = [
-        "bfs", "paropoly_bfs", "btree", "particlefilter", "cc", "pigz", "x264", "freqmine",
-        "hdsearch_mid", "fluidanimate",
+        "bfs",
+        "paropoly_bfs",
+        "btree",
+        "particlefilter",
+        "cc",
+        "pigz",
+        "x264",
+        "freqmine",
+        "hdsearch_mid",
+        "fluidanimate",
     ];
     let mut table = TextTable::new(&["workload", "dynamic", "static", "fn-exit"]);
     for name in picks {

@@ -30,11 +30,10 @@ fn main() {
         hw_txn.push(hw.total_transactions() as f64);
     }
 
-    let mut per_workload =
-        TextTable::new(&["workload", "hw_eff", "O0", "O1", "O2", "O3", "hw_txn", "txn_O0", "txn_O1", "txn_O3"]);
-    let mut summary = TextTable::new(&[
-        "opt", "eff_correl", "eff_mae", "txn_correl", "txn_mape",
+    let mut per_workload = TextTable::new(&[
+        "workload", "hw_eff", "O0", "O1", "O2", "O3", "hw_txn", "txn_O0", "txn_O1", "txn_O3",
     ]);
+    let mut summary = TextTable::new(&["opt", "eff_correl", "eff_mae", "txn_correl", "txn_mape"]);
 
     let mut eff_by_opt: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut txn_by_opt: Vec<Vec<f64>> = vec![Vec::new(); 4];

@@ -19,11 +19,15 @@ use threadfuser_bench::{emit, f2, threads_for};
 fn main() {
     // Scaled device matching the scaled inputs: 16 SMs at decent occupancy
     // (2048 threads = 64 warps = 4 resident warps per SM).
-    let mut simt = SimtSimConfig::default();
-    simt.n_cores = 16;
+    let simt = SimtSimConfig { n_cores: 16, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
-    let mut table =
-        TextTable::new(&["workload", "speedup(ThreadFuser)", "speedup(GPU impl)", "gpu_cycles", "cpu_cycles"]);
+    let mut table = TextTable::new(&[
+        "workload",
+        "speedup(ThreadFuser)",
+        "speedup(GPU impl)",
+        "gpu_cycles",
+        "cpu_cycles",
+    ]);
     let mut tf_series = Vec::new();
     let mut gpu_series = Vec::new();
 
@@ -66,8 +70,6 @@ fn main() {
     );
     // Regular kernels must project real speedups; divergent/serial ones
     // must not (paper Fig. 6 left-to-right shape).
-    let find = |name: &str| {
-        all().iter().position(|w| w.meta.name == name).expect("workload")
-    };
+    let find = |name: &str| all().iter().position(|w| w.meta.name == name).expect("workload");
     let _ = find;
 }

@@ -40,10 +40,7 @@ fn main() {
     let shares = rb.functions_by_share();
     assert_eq!(shares[0].0.name, "getpoint", "hottest function");
     assert!(shares[0].1 > 0.35, "getpoint share {:.2}", shares[0].1);
-    assert!(
-        shares[0].0.efficiency(rb.warp_size) < 0.3,
-        "getpoint must bottleneck"
-    );
+    assert!(shares[0].0.efficiency(rb.warp_size) < 0.3, "getpoint must bottleneck");
     assert!(rb.simt_efficiency() < 0.3 && rf.simt_efficiency() > 0.75);
     println!(
         "\nshape checks passed: {:.1}% -> {:.1}% overall efficiency",

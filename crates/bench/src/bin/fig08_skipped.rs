@@ -18,8 +18,8 @@ fn main() {
     for w in microservices() {
         let mut cfg = MachineConfig::new(w.kernel, threads_for(&w));
         cfg.init = w.init;
-        let (traces, _) = trace_program(&w.program, cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let (traces, _) =
+            trace_program(&w.program, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
         let traced = traces.total_traced_insts();
         let io: u64 = traces.threads().iter().map(|t| t.skipped_io).sum();
         let spin: u64 = traces.threads().iter().map(|t| t.skipped_spin).sum();

@@ -21,9 +21,8 @@ fn main() {
     ]);
     let mut drops = Vec::new();
     for w in microservices() {
-        let fine = developer_pipeline(&w)
-            .analyze()
-            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let fine =
+            developer_pipeline(&w).analyze().unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
         let locked = developer_pipeline(&w)
             .intra_warp_locks(true)
             .analyze()

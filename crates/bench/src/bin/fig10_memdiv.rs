@@ -11,13 +11,8 @@ use threadfuser::TextTable;
 use threadfuser_bench::{developer_pipeline, emit, f2};
 
 fn main() {
-    let mut table = TextTable::new(&[
-        "workload",
-        "heap_txn/inst",
-        "stack_txn/inst",
-        "heap_txns",
-        "stack_txns",
-    ]);
+    let mut table =
+        TextTable::new(&["workload", "heap_txn/inst", "stack_txn/inst", "heap_txns", "stack_txns"]);
     let mut stack_ratios = Vec::new();
     for w in all() {
         // The paper's Fig. 10 shows the microservices plus reference
@@ -26,9 +21,8 @@ fn main() {
         if !relevant {
             continue;
         }
-        let report = developer_pipeline(&w)
-            .analyze()
-            .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
+        let report =
+            developer_pipeline(&w).analyze().unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
         let hr = report.heap.transactions_per_inst();
         let sr = report.stack.transactions_per_inst();
         if report.stack.instructions > 0 {
@@ -47,14 +41,8 @@ fn main() {
     emit("fig10_memdiv", &table);
 
     // Stack accesses cannot coalesce across 1 MiB-spaced private stacks.
-    assert!(
-        !stack_ratios.is_empty(),
-        "microservices must exhibit stack traffic (parse buffers)"
-    );
+    assert!(!stack_ratios.is_empty(), "microservices must exhibit stack traffic (parse buffers)");
     let min_stack = stack_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(
-        min_stack > 8.0,
-        "private stacks must diverge heavily, got min {min_stack:.2}"
-    );
+    assert!(min_stack > 8.0, "private stacks must diverge heavily, got min {min_stack:.2}");
     println!("\nshape check passed: stack transactions/inst ≥ {min_stack:.1} everywhere");
 }

@@ -1,0 +1,108 @@
+//! Pipeline performance benchmark: per-phase wall-times and end-to-end
+//! analyzer throughput for a representative workload slice, captured
+//! through the observability layer itself (an [`InMemorySink`] collects
+//! the span timings the instrumented pipeline emits).
+//!
+//! Writes `BENCH_pipeline.json` to the current directory (override with
+//! `TF_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_pipeline
+//! ```
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use threadfuser::obs::{InMemorySink, Obs, Phase};
+use threadfuser::workloads::by_name;
+use threadfuser::{cpusim::CpuSimConfig, simtsim::SimtSimConfig};
+use threadfuser_bench::{developer_pipeline, threads_for};
+
+const WORKLOADS: &[&str] = &["vectoradd", "md5", "bfs", "pigz", "usertag"];
+
+const PHASES: &[Phase] = &[
+    Phase::Optimize,
+    Phase::Trace,
+    Phase::DcfgBuild,
+    Phase::Ipdom,
+    Phase::WarpEmulate,
+    Phase::Coalesce,
+    Phase::SimtSim,
+    Phase::CpuSim,
+];
+
+#[derive(Serialize)]
+struct PhaseTime {
+    phase: String,
+    spans: u64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadResult {
+    workload: String,
+    threads: u32,
+    thread_insts: u64,
+    simt_efficiency: f64,
+    speedup: f64,
+    total_ms: f64,
+    traced_insts_per_sec: f64,
+    phases: Vec<PhaseTime>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: String,
+    workloads: Vec<WorkloadResult>,
+}
+
+fn main() {
+    let simt = SimtSimConfig::default();
+    let cpu = CpuSimConfig::default();
+    let mut results = Vec::new();
+
+    for &name in WORKLOADS {
+        let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let threads = threads_for(&w);
+        let sink = Arc::new(InMemorySink::new());
+        let pipeline = developer_pipeline(&w).observe(Obs::with_sink(sink.clone()));
+
+        let start = Instant::now();
+        let traced = pipeline.trace().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = traced.analyze().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let proj = traced.project_speedup(&simt, &cpu).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let total = start.elapsed();
+
+        let phases = PHASES
+            .iter()
+            .map(|&p| PhaseTime {
+                phase: p.name().to_string(),
+                spans: sink.span_count(p) as u64,
+                wall_ms: sink.span_nanos(p) as f64 / 1e6,
+            })
+            .collect();
+        let secs = total.as_secs_f64();
+        results.push(WorkloadResult {
+            workload: name.to_string(),
+            threads,
+            thread_insts: report.thread_insts,
+            simt_efficiency: report.simt_efficiency(),
+            speedup: proj.speedup,
+            total_ms: secs * 1e3,
+            traced_insts_per_sec: if secs > 0.0 { report.thread_insts as f64 / secs } else { 0.0 },
+            phases,
+        });
+        println!(
+            "{name:<12} {threads:>6} threads  {:>12} insts  {:>9.1} ms  {:>12.0} insts/s",
+            report.thread_insts,
+            secs * 1e3,
+            report.thread_insts as f64 / secs.max(1e-12),
+        );
+    }
+
+    let report = Report { benchmark: "perf_pipeline".to_string(), workloads: results };
+    let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

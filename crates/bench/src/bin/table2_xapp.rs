@@ -45,21 +45,19 @@ fn main() {
         truth.push(gt.speedup);
         tf_pred.push(tf.speedup);
 
-        let (program, traces) = Pipeline::from_workload(w)
+        let traced = Pipeline::from_workload(w)
             .threads(threads)
             .opt_level(OptLevel::O3)
             .trace()
             .unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
-        features.push(extract_features(&program, &traces));
+        features.push(extract_features(traced.program(), traced.traces()));
     }
 
     // Leave-one-out XAPP predictions.
     let mut xapp_pred = Vec::new();
     for hold in 0..workloads.len() {
-        let train: Vec<(FeatureVector, f64)> = (0..workloads.len())
-            .filter(|&i| i != hold)
-            .map(|i| (features[i], truth[i]))
-            .collect();
+        let train: Vec<(FeatureVector, f64)> =
+            (0..workloads.len()).filter(|&i| i != hold).map(|i| (features[i], truth[i])).collect();
         let model = XappModel::train(&train, 0.05);
         xapp_pred.push(model.predict(&features[hold]).max(0.0));
     }
@@ -76,7 +74,11 @@ fn main() {
     let tf_correl = pearson(&tf_pred, &truth);
     let mut summary = TextTable::new(&["metric", "XAPP", "ThreadFuser"]);
     summary.row(&["exec-time MAPE".to_string(), f2(xapp_err), f2(tf_err)]);
-    summary.row(&["speedup correlation".to_string(), f2(pearson(&xapp_pred, &truth)), f2(tf_correl)]);
+    summary.row(&[
+        "speedup correlation".to_string(),
+        f2(pearson(&xapp_pred, &truth)),
+        f2(tf_correl),
+    ]);
     summary.row(&[
         "output".to_string(),
         "single speedup number".to_string(),

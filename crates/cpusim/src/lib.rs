@@ -104,6 +104,35 @@ impl CpuSimStats {
 
 /// Replays per-thread traces through the multicore timing model.
 pub fn simulate_cpu(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
+    simulate_cpu_observed(traces, config, &threadfuser_obs::Obs::none())
+}
+
+/// [`simulate_cpu`] under a `cpu-sim` span, reporting cycle / stall /
+/// cache counters and a per-core cycle histogram to `obs`.
+pub fn simulate_cpu_observed(
+    traces: &TraceSet,
+    config: &CpuSimConfig,
+    obs: &threadfuser_obs::Obs,
+) -> CpuSimStats {
+    use threadfuser_obs::Phase;
+    let span = obs.span(Phase::CpuSim);
+    let stats = simulate_cpu_impl(traces, config);
+    if obs.enabled() {
+        obs.counter(Phase::CpuSim, "cycles", stats.cycles);
+        obs.counter(Phase::CpuSim, "insts", stats.insts);
+        obs.counter(Phase::CpuSim, "mem_stall_cycles", stats.mem_stall_cycles);
+        obs.counter(Phase::CpuSim, "l1_hits", stats.l1_hits);
+        obs.counter(Phase::CpuSim, "l1_misses", stats.l1_misses);
+        obs.counter(Phase::CpuSim, "dram_accesses", stats.dram_accesses);
+        for &c in &stats.core_cycles {
+            obs.histogram(Phase::CpuSim, "core_cycles", c as f64);
+        }
+    }
+    span.finish();
+    stats
+}
+
+fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
     let mut stats = CpuSimStats::default();
     let n_cores = config.n_cores.max(1) as usize;
     // Banked memory system: per-core L2 slice + even DRAM bandwidth share,
@@ -172,6 +201,7 @@ pub fn simulate_cpu(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use threadfuser_ir::{AluOp, Operand, ProgramBuilder};

@@ -82,7 +82,12 @@ impl ProgramBuilder {
     /// The closure receives a [`FunctionBuilder`] positioned at the entry
     /// block and must end every control path (the builder auto-terminates a
     /// trailing open block with `ret`).
-    pub fn function(&mut self, name: &str, params: u16, f: impl FnOnce(&mut FunctionBuilder)) -> FuncId {
+    pub fn function(
+        &mut self,
+        name: &str,
+        params: u16,
+        f: impl FnOnce(&mut FunctionBuilder),
+    ) -> FuncId {
         let id = self.declare(name);
         self.define(id, params, f);
         id
@@ -95,10 +100,7 @@ impl ProgramBuilder {
     /// already been defined.
     pub fn define(&mut self, id: FuncId, params: u16, f: impl FnOnce(&mut FunctionBuilder)) {
         let pending = id.0 as usize - self.functions.len();
-        assert!(
-            pending < self.reserved.len(),
-            "define() on an unknown or already-defined FuncId"
-        );
+        assert!(pending < self.reserved.len(), "define() on an unknown or already-defined FuncId");
         let name = self.reserved[pending].clone();
         let mut fb = FunctionBuilder::new(name, params);
         f(&mut fb);
@@ -120,11 +122,7 @@ impl ProgramBuilder {
     /// # Panics
     /// Panics if declared functions remain undefined.
     pub fn build(self) -> Result<Program, ValidateError> {
-        assert!(
-            self.reserved.is_empty(),
-            "undefined declared functions: {:?}",
-            self.reserved
-        );
+        assert!(self.reserved.is_empty(), "undefined declared functions: {:?}", self.reserved);
         Program::new(self.functions, self.globals)
     }
 }
@@ -193,7 +191,7 @@ impl FunctionBuilder {
             _ => panic!("variable size must be 1, 2, 4, or 8 bytes"),
         };
         // Keep slots naturally aligned.
-        let offset = (self.scalar_size + size - 1) / size * size;
+        let offset = self.scalar_size.div_ceil(size) * size;
         self.scalar_size = offset + size;
         assert!(
             self.scalar_size <= Self::ARRAY_REGION,
@@ -211,7 +209,7 @@ impl FunctionBuilder {
     /// use [`Self::frame_ref`].
     pub fn frame_array(&mut self, len: u32, elem_size: u32) -> u32 {
         let base = self.array_size.max(Self::ARRAY_REGION);
-        let offset = (base + elem_size - 1) / elem_size * elem_size;
+        let offset = base.div_ceil(elem_size) * elem_size;
         self.array_size = offset + len * elem_size;
         offset
     }
@@ -365,10 +363,7 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if `block` is already terminated.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(
-            self.blocks[block.0 as usize].1.is_none(),
-            "switch_to() on a terminated block"
-        );
+        assert!(self.blocks[block.0 as usize].1.is_none(), "switch_to() on a terminated block");
         self.current = block.0 as usize;
     }
 
@@ -378,10 +373,7 @@ impl FunctionBuilder {
     }
 
     fn terminate(&mut self, term: Terminator) {
-        assert!(
-            self.blocks[self.current].1.is_none(),
-            "block already terminated"
-        );
+        assert!(self.blocks[self.current].1.is_none(), "block already terminated");
         self.blocks[self.current].1 = Some(term);
     }
 
@@ -399,17 +391,17 @@ impl FunctionBuilder {
         taken: BlockId,
         fallthrough: BlockId,
     ) {
-        self.terminate(Terminator::Br {
-            cond,
-            a: a.into(),
-            b: b.into(),
-            taken,
-            fallthrough,
-        });
+        self.terminate(Terminator::Br { cond, a: a.into(), b: b.into(), taken, fallthrough });
     }
 
     /// Ends the current block with a jump table.
-    pub fn switch(&mut self, val: impl Into<Operand>, base: i64, targets: Vec<BlockId>, default: BlockId) {
+    pub fn switch(
+        &mut self,
+        val: impl Into<Operand>,
+        base: i64,
+        targets: Vec<BlockId>,
+        default: BlockId,
+    ) {
         self.terminate(Terminator::Switch { val: val.into(), base, targets, default });
     }
 
@@ -418,12 +410,7 @@ impl FunctionBuilder {
     pub fn call(&mut self, callee: FuncId, args: &[Operand]) -> Reg {
         let dst = self.reg();
         let ret_to = self.new_block();
-        self.terminate(Terminator::Call {
-            callee,
-            args: args.to_vec(),
-            ret_to,
-            dst: Some(dst),
-        });
+        self.terminate(Terminator::Call { callee, args: args.to_vec(), ret_to, dst: Some(dst) });
         self.switch_to(ret_to);
         dst
     }
@@ -603,7 +590,7 @@ fn access(elem_size: u64) -> AccessSize {
 }
 
 fn round_up(v: u32, align: u32) -> u32 {
-    (v + align - 1) / align * align
+    v.div_ceil(align) * align
 }
 
 #[cfg(test)]

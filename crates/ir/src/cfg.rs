@@ -247,13 +247,7 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         pb.function("f", 1, |fb| {
             let a = fb.arg(0);
-            fb.if_then_else(
-                Cond::Gt,
-                a,
-                0i64,
-                |fb| fb.nop(),
-                |fb| fb.nop(),
-            );
+            fb.if_then_else(Cond::Gt, a, 0i64, |fb| fb.nop(), |fb| fb.nop());
             fb.ret(None);
         });
         let p = pb.build().unwrap();

@@ -493,12 +493,8 @@ mod tests {
             fallthrough: BlockId(2),
         };
         assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
-        let call = Terminator::Call {
-            callee: FuncId(7),
-            args: vec![],
-            ret_to: BlockId(9),
-            dst: None,
-        };
+        let call =
+            Terminator::Call { callee: FuncId(7), args: vec![], ret_to: BlockId(9), dst: None };
         assert_eq!(call.successors(), vec![BlockId(9)]);
         assert!(Terminator::Ret { val: None }.successors().is_empty());
     }

@@ -133,7 +133,7 @@ fn direct_frame_slot(m: &MemRef) -> Option<(i64, AccessSize)> {
 
 #[derive(Clone, Copy)]
 struct Known {
-    val: Operand,          // Reg or Imm only
+    val: Operand, // Reg or Imm only
     store_idx: Option<usize>,
     loaded_since: bool,
     size: AccessSize,
@@ -152,19 +152,18 @@ pub fn store_load_forward(f: &mut Function) -> bool {
         let invalidate_reg = |known: &mut HashMap<i64, Known>, r: Reg| {
             known.retain(|_, k| k.val != Operand::Reg(r));
         };
-        let rewrite =
-            |known: &HashMap<i64, Known>, op: &mut Operand, changed: &mut bool| {
-                if let Operand::Mem(m) = *op {
-                    if let Some((disp, size)) = direct_frame_slot(&m) {
-                        if let Some(k) = known.get(&disp) {
-                            if k.size == size {
-                                *op = k.val;
-                                *changed = true;
-                            }
+        let rewrite = |known: &HashMap<i64, Known>, op: &mut Operand, changed: &mut bool| {
+            if let Operand::Mem(m) = *op {
+                if let Some((disp, size)) = direct_frame_slot(&m) {
+                    if let Some(k) = known.get(&disp) {
+                        if k.size == size {
+                            *op = k.val;
+                            *changed = true;
                         }
                     }
                 }
-            };
+            }
+        };
 
         for (i, inst) in b.insts.iter_mut().enumerate() {
             match inst {
@@ -448,8 +447,7 @@ pub fn unroll_rotated_loops(f: &mut Function) -> usize {
             if bi == h || unrolled_here {
                 continue;
             }
-            let loops_back =
-                matches!(f.blocks[bi].term, Terminator::Jmp(t) if t.0 as usize == h);
+            let loops_back = matches!(f.blocks[bi].term, Terminator::Jmp(t) if t.0 as usize == h);
             if !loops_back || f.blocks[bi].insts.is_empty() {
                 continue;
             }
@@ -516,13 +514,7 @@ pub fn convert_jump_tables(f: &mut Function) -> usize {
                 continue 'outer;
             }
             match &b.term {
-                Terminator::Br {
-                    cond: crate::inst::Cond::Eq,
-                    a,
-                    b: bb,
-                    taken,
-                    fallthrough,
-                } => {
+                Terminator::Br { cond: crate::inst::Cond::Eq, a, b: bb, taken, fallthrough } => {
                     let (val_op, key) = match (a, bb) {
                         (x, Operand::Imm(k)) => (*x, *k),
                         (Operand::Imm(k), x) => (*x, *k),
@@ -545,10 +537,9 @@ pub fn convert_jump_tables(f: &mut Function) -> usize {
                     // Chain continues if the fallthrough looks like another
                     // link; otherwise it is the default.
                     let fb = &f.blocks[next];
-                    let looks_like_link = matches!(
-                        fb.term,
-                        Terminator::Br { cond: crate::inst::Cond::Eq, .. }
-                    ) && fb.insts.iter().all(|i| matches!(i, Inst::Mov { .. }));
+                    let looks_like_link =
+                        matches!(fb.term, Terminator::Br { cond: crate::inst::Cond::Eq, .. })
+                            && fb.insts.iter().all(|i| matches!(i, Inst::Mov { .. }));
                     if looks_like_link && cases.len() < 64 {
                         cur = next;
                         continue;
@@ -573,8 +564,7 @@ pub fn convert_jump_tables(f: &mut Function) -> usize {
             targets[(k - min) as usize] = *t;
         }
         let root = root.expect("chain had at least one compare");
-        f.blocks[head].term =
-            Terminator::Switch { val: root, base: min, targets, default };
+        f.blocks[head].term = Terminator::Switch { val: root, base: min, targets, default };
         converted += 1;
     }
     converted
@@ -792,10 +782,8 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let o3 = OptLevel::O3.apply(&p);
-        let has_switch = o3.functions()[0]
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, Terminator::Switch { .. }));
+        let has_switch =
+            o3.functions()[0].blocks.iter().any(|b| matches!(b.term, Terminator::Switch { .. }));
         assert!(has_switch, "eq-chain should become a jump table at O3");
     }
 

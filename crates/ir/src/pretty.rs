@@ -66,20 +66,13 @@ fn fmt_inst(i: &Inst) -> String {
 fn fmt_term(t: &Terminator) -> String {
     match t {
         Terminator::Jmp(b) => format!("jmp {b}"),
-        Terminator::Br { cond, a, b, taken, fallthrough } => format!(
-            "br {:?}({}, {}) ? {taken} : {fallthrough}",
-            cond,
-            fmt_op(a),
-            fmt_op(b)
-        )
-        .to_lowercase(),
+        Terminator::Br { cond, a, b, taken, fallthrough } => {
+            format!("br {:?}({}, {}) ? {taken} : {fallthrough}", cond, fmt_op(a), fmt_op(b))
+                .to_lowercase()
+        }
         Terminator::Switch { val, base, targets, default } => {
             let ts: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
-            format!(
-                "switch {} base={base} [{}] default {default}",
-                fmt_op(val),
-                ts.join(", ")
-            )
+            format!("switch {} base={base} [{}] default {default}", fmt_op(val), ts.join(", "))
         }
         Terminator::Call { callee, args, ret_to, dst } => {
             let a: Vec<String> = args.iter().map(fmt_op).collect();
@@ -139,12 +132,7 @@ mod tests {
         let lock = pb.global("lock", 8);
         pb.function("f", 1, |fb| {
             let a = fb.arg(0);
-            let l = fb.lea(crate::inst::MemRef::global(
-                lock,
-                None,
-                0,
-                crate::inst::AccessSize::B8,
-            ));
+            let l = fb.lea(crate::inst::MemRef::global(lock, None, 0, crate::inst::AccessSize::B8));
             fb.acquire(crate::inst::Operand::Reg(l));
             fb.release(crate::inst::Operand::Reg(l));
             fb.barrier(3);

@@ -414,10 +414,9 @@ impl fmt::Display for ValidateError {
             ValidateError::BadCallee { func, block, callee } => {
                 write!(f, "{func}:{block}: call to nonexistent {callee}")
             }
-            ValidateError::ArgCountMismatch { func, block, callee, expected, got } => write!(
-                f,
-                "{func}:{block}: call to {callee} with {got} args, expected {expected}"
-            ),
+            ValidateError::ArgCountMismatch { func, block, callee, expected, got } => {
+                write!(f, "{func}:{block}: call to {callee} with {got} args, expected {expected}")
+            }
             ValidateError::DuplicateName => write!(f, "duplicate function name"),
         }
     }
@@ -470,12 +469,7 @@ mod tests {
         let m = MemRef::frame(0, AccessSize::B8);
         let f = one_block_fn(
             "main",
-            vec![Inst::Alu {
-                op: AluOp::Add,
-                dst: Reg(0),
-                a: Operand::Mem(m),
-                b: Operand::Mem(m),
-            }],
+            vec![Inst::Alu { op: AluOp::Add, dst: Reg(0), a: Operand::Mem(m), b: Operand::Mem(m) }],
             Terminator::Ret { val: None },
         );
         let err = Program::new(vec![f], vec![]).unwrap_err();
@@ -538,11 +532,7 @@ mod tests {
 
     #[test]
     fn static_inst_count_includes_terminators() {
-        let f = one_block_fn(
-            "main",
-            vec![Inst::Nop, Inst::Nop],
-            Terminator::Ret { val: None },
-        );
+        let f = one_block_fn("main", vec![Inst::Nop, Inst::Nop], Terminator::Ret { val: None });
         let p = Program::new(vec![f], vec![]).unwrap();
         assert_eq!(p.static_inst_count(), 3);
     }

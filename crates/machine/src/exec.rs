@@ -7,9 +7,7 @@
 
 use crate::heap::{Heap, HeapError};
 use crate::memory::Memory;
-use threadfuser_ir::{
-    Base, BlockId, FuncId, Inst, MemRef, Operand, Reg, Terminator,
-};
+use threadfuser_ir::{Base, BlockId, FuncId, Inst, MemRef, Operand, Reg, Terminator};
 
 /// One dynamic memory access performed by an instruction or terminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -392,9 +390,8 @@ mod tests {
         let mut c = ctx(&mut regs, &mut mem, &mut heap);
         c.exec_inst(&Inst::Free { addr: Operand::Reg(Reg(0)) }, &mut Vec::new()).unwrap();
         let mut c = ctx(&mut regs, &mut mem, &mut heap);
-        let err = c
-            .exec_inst(&Inst::Free { addr: Operand::Reg(Reg(0)) }, &mut Vec::new())
-            .unwrap_err();
+        let err =
+            c.exec_inst(&Inst::Free { addr: Operand::Reg(Reg(0)) }, &mut Vec::new()).unwrap_err();
         assert_eq!(err, Trap::InvalidFree(ptr as u64));
     }
 }

@@ -67,6 +67,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn regions_do_not_overlap() {
         assert!(GLOBAL_BASE < HEAP_BASE);
         assert!(HEAP_BASE + HEAP_SIZE <= STACK_BASE);

@@ -204,10 +204,7 @@ impl<'p> LockstepMachine<'p> {
     /// # Errors
     /// [`LockstepError::KernelArity`] on kernel signature mismatch.
     pub fn new(program: &'p Program, config: LockstepConfig) -> Result<Self, LockstepError> {
-        assert!(
-            (1..=64).contains(&config.warp_size),
-            "warp size must be in 1..=64"
-        );
+        assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
         let kf = program.function(config.kernel);
         let got = 1 + config.extra_args.len();
         if kf.params as usize != got {
@@ -274,7 +271,11 @@ impl<'p> LockstepMachine<'p> {
 
     /// Executes one warp whose lanes all start `func` with the given
     /// per-lane arguments.
-    fn run_warp(&mut self, func: FuncId, lanes_args: Vec<(u32, Vec<i64>)>) -> Result<(), LockstepError> {
+    fn run_warp(
+        &mut self,
+        func: FuncId,
+        lanes_args: Vec<(u32, Vec<i64>)>,
+    ) -> Result<(), LockstepError> {
         let f = self.program.function(func);
         let mut lanes: Vec<Lane> = lanes_args
             .into_iter()
@@ -311,8 +312,7 @@ impl<'p> LockstepMachine<'p> {
             let block = func_ref.block(BlockId(top.node as u32));
             let addr = BlockAddr::new(top.func, BlockId(top.node as u32));
             let n_insts = block.len_with_term() as u64;
-            let active: Vec<usize> =
-                (0..lanes.len()).filter(|&l| top.mask >> l & 1 == 1).collect();
+            let active: Vec<usize> = (0..lanes.len()).filter(|&l| top.mask >> l & 1 == 1).collect();
             debug_assert!(!active.is_empty(), "empty active mask on SIMT stack");
 
             self.stats.issues += n_insts;
@@ -483,14 +483,12 @@ impl<'p> LockstepMachine<'p> {
         if !heap.is_empty() {
             self.stats.heap.instructions += 1;
             self.stats.heap.accesses += heap.len() as u64;
-            self.stats.heap.transactions +=
-                threadfuser_mem::coalesce_transactions(heap) as u64;
+            self.stats.heap.transactions += threadfuser_mem::coalesce_transactions(heap) as u64;
         }
         if !stack.is_empty() {
             self.stats.stack.instructions += 1;
             self.stats.stack.accesses += stack.len() as u64;
-            self.stats.stack.transactions +=
-                threadfuser_mem::coalesce_transactions(stack) as u64;
+            self.stats.stack.transactions += threadfuser_mem::coalesce_transactions(stack) as u64;
         }
     }
 }
@@ -558,13 +556,7 @@ mod tests {
         let k = pb.function("k", 1, |fb| {
             let tid = fb.arg(0);
             let bit = fb.alu(AluOp::And, tid, 1i64);
-            fb.if_then_else(
-                Cond::Eq,
-                bit,
-                0i64,
-                |fb| fb.nop(),
-                |fb| fb.nop(),
-            );
+            fb.if_then_else(Cond::Eq, bit, 0i64, |fb| fb.nop(), |fb| fb.nop());
             // Long convergent tail.
             for _ in 0..100 {
                 fb.nop();
@@ -686,8 +678,8 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let stats = run(&p, k, 40, 32); // 32 + 8
-        // Two warps execute the same 1-block kernel: the partial warp halves
-        // reported efficiency for its issues.
+                                        // Two warps execute the same 1-block kernel: the partial warp halves
+                                        // reported efficiency for its issues.
         let expect = (40.0) / (2.0 * 2.0 * 32.0) * 2.0; // thread_insts / (issues*W)
         assert!((stats.simt_efficiency() - expect).abs() < 1e-9);
     }

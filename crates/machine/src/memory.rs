@@ -34,7 +34,7 @@ impl Memory {
             if !g.init.is_empty() {
                 mem.write_bytes(cursor, &g.init);
             }
-            cursor += (g.size + 63) / 64 * 64;
+            cursor += g.size.div_ceil(64) * 64;
         }
         mem
     }
@@ -116,7 +116,8 @@ mod tests {
     #[test]
     fn round_trip_all_sizes() {
         let mut m = Memory::new();
-        for (size, val) in [(1u32, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
+        for (size, val) in
+            [(1u32, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
         {
             m.write(0x100, size, val);
             assert_eq!(m.read(0x100, size), val);

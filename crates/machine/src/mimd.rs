@@ -15,6 +15,7 @@ use crate::memory::Memory;
 use std::collections::HashMap;
 use std::fmt;
 use threadfuser_ir::{BlockAddr, BlockId, FuncId, Inst, Program, Reg};
+use threadfuser_obs::{Obs, Phase};
 
 /// Configuration of one MIMD run.
 #[derive(Debug, Clone)]
@@ -34,6 +35,10 @@ pub struct MachineConfig {
     pub spin_cost: u32,
     /// Total dynamic instruction budget (traps with [`Trap::Budget`]).
     pub max_total_insts: u64,
+    /// Observability handle; the MIMD run reports executed / skipped
+    /// instruction aggregates under the `trace` phase (native execution
+    /// *is* the tracing phase). Default [`Obs::none`]: zero cost.
+    pub obs: Obs,
 }
 
 impl MachineConfig {
@@ -47,7 +52,14 @@ impl MachineConfig {
             quantum_blocks: 64,
             spin_cost: 16,
             max_total_insts: 500_000_000,
+            obs: Obs::none(),
         }
+    }
+
+    /// Attaches an observability handle (chainable).
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -290,10 +302,31 @@ impl<'p> Machine<'p> {
             }
         }
 
-        Ok(RunStats {
+        let stats = RunStats {
             per_thread: self.threads.iter().map(|t| t.stats).collect(),
             heap_allocs: self.heap.alloc_count(),
-        })
+        };
+        if self.config.obs.enabled() {
+            let obs = &self.config.obs;
+            obs.counter(Phase::Trace, "executed_insts", stats.total_traced());
+            obs.counter(
+                Phase::Trace,
+                "skipped_io_insts",
+                stats.per_thread.iter().map(|t| t.skipped_io).sum(),
+            );
+            obs.counter(
+                Phase::Trace,
+                "spin_insts",
+                stats.per_thread.iter().map(|t| t.skipped_spin).sum(),
+            );
+            obs.counter(
+                Phase::Trace,
+                "mem_accesses",
+                stats.per_thread.iter().map(|t| t.mem_accesses).sum(),
+            );
+            obs.counter(Phase::Trace, "heap_allocs", stats.heap_allocs);
+        }
+        Ok(stats)
     }
 
     /// Runs the setup function single-threaded and untraced, on a scratch

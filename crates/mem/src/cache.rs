@@ -152,8 +152,7 @@ impl Cache {
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        self.sets[victim] =
-            Line { tag: line_addr, valid: true, dirty: is_store, lru: self.tick };
+        self.sets[victim] = Line { tag: line_addr, valid: true, dirty: is_store, lru: self.tick };
         CacheAccess { hit: false, writeback: evicted_dirty }
     }
 

@@ -24,7 +24,12 @@ impl HierarchyConfig {
     /// GPU-device defaults (large L2, high-bandwidth DRAM).
     pub fn gpu_default() -> Self {
         HierarchyConfig {
-            l2: CacheConfig { size_bytes: 4 * 1024 * 1024, line_bytes: 32, ways: 16, write_allocate: true },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 32,
+                ways: 16,
+                write_allocate: true,
+            },
             l2_latency: 90,
             dram: DramConfig::gpu_default(),
         }

@@ -166,6 +166,38 @@ fn alu_latency(op: OpClass) -> u64 {
 
 /// Runs the device simulation over a warp-trace set.
 pub fn simulate(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
+    simulate_observed(traces, config, &threadfuser_obs::Obs::none())
+}
+
+/// [`simulate`] under a `simt-sim` span, reporting cycle / stall / cache
+/// counters and a per-core cycle histogram to `obs`.
+pub fn simulate_observed(
+    traces: &WarpTraceSet,
+    config: &SimtSimConfig,
+    obs: &threadfuser_obs::Obs,
+) -> SimtSimStats {
+    use threadfuser_obs::Phase;
+    let span = obs.span(Phase::SimtSim);
+    let stats = simulate_impl(traces, config);
+    if obs.enabled() {
+        obs.counter(Phase::SimtSim, "cycles", stats.cycles);
+        obs.counter(Phase::SimtSim, "warp_insts", stats.warp_insts);
+        obs.counter(Phase::SimtSim, "thread_insts", stats.thread_insts);
+        obs.counter(Phase::SimtSim, "mem_stall_cycles", stats.mem_stall_cycles);
+        obs.counter(Phase::SimtSim, "transactions", stats.transactions);
+        obs.counter(Phase::SimtSim, "l1_hits", stats.l1_hits);
+        obs.counter(Phase::SimtSim, "l1_misses", stats.l1_misses);
+        obs.counter(Phase::SimtSim, "l2_hits", stats.l2_hits);
+        obs.counter(Phase::SimtSim, "dram_accesses", stats.dram_accesses);
+        for &c in &stats.core_cycles {
+            obs.histogram(Phase::SimtSim, "core_cycles", c as f64);
+        }
+    }
+    span.finish();
+    stats
+}
+
+fn simulate_impl(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
     let mut stats = SimtSimStats::default();
     let n_cores = config.n_cores.max(1) as usize;
     // Banked memory system: each core owns an L2 slice and an even share
@@ -175,8 +207,7 @@ pub fn simulate(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
     banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
     banked.dram.cycles_per_transaction =
         banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
-    let mut hierarchies: Vec<Hierarchy> =
-        (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
+    let mut hierarchies: Vec<Hierarchy> = (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
 
     // Static assignment: warp w runs on core w % n_cores (CTA-style).
     let mut cores: Vec<Core> = (0..n_cores)
@@ -205,9 +236,11 @@ pub fn simulate(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
                 < config.max_warps_per_core as usize
             {
                 match core.waiting.pop() {
-                    Some(t) => core
-                        .resident
-                        .push(WarpCtx { trace_idx: t, pos: 0, state: WarpState::Ready }),
+                    Some(t) => core.resident.push(WarpCtx {
+                        trace_idx: t,
+                        pos: 0,
+                        state: WarpState::Ready,
+                    }),
                     None => break,
                 }
             }
@@ -361,6 +394,7 @@ fn service_mem(
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use threadfuser_analyzer::AnalyzerConfig;

@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! threadfuser list
-//! threadfuser analyze <workload> [--threads N] [--warp N] [--opt O0..O3] [--locks] [--batching linear|strided|shuffled] [--json]
+//! threadfuser analyze <workload> [--threads N] [--warp N] [--opt O0..O3] [--locks] [--batching linear|strided|shuffled] [--json] [--obs FILE]
 //! threadfuser functions <workload> [--threads N] [--warp N]
 //! threadfuser hardware <workload> [--threads N] [--warp N]
 //! threadfuser speedup <workload> [--threads N] [--cores N]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use threadfuser::analyzer::BatchPolicy;
 use threadfuser::cpusim::CpuSimConfig;
 use threadfuser::ir::OptLevel;
+use threadfuser::obs::{JsonLinesSink, Obs};
 use threadfuser::simtsim::SimtSimConfig;
 use threadfuser::workloads::{all, by_name, Workload};
 use threadfuser::{Pipeline, TextTable};
@@ -24,6 +26,7 @@ struct Options {
     batching: BatchPolicy,
     json: bool,
     cores: u32,
+    obs_path: Option<String>,
 }
 
 impl Default for Options {
@@ -36,6 +39,7 @@ impl Default for Options {
             batching: BatchPolicy::Linear,
             json: false,
             cores: 16,
+            obs_path: None,
         }
     }
 }
@@ -50,7 +54,8 @@ fn usage() -> ExitCode {
          hardware  <workload>      warp-native lock-step measurement\n  \
          speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n\n\
          options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
-         --batching linear|strided|shuffled --cores N --json"
+         --batching linear|strided|shuffled --cores N --json\n         \
+         --obs FILE   write per-phase metrics as JSON lines to FILE"
     );
     ExitCode::from(2)
 }
@@ -59,9 +64,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut val = || {
-            it.next().cloned().ok_or_else(|| format!("missing value for {a}"))
-        };
+        let mut val = || it.next().cloned().ok_or_else(|| format!("missing value for {a}"));
         match a.as_str() {
             "--threads" => o.threads = Some(val()?.parse().map_err(|e| format!("{e}"))?),
             "--warp" => o.warp = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -85,13 +88,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--locks" => o.locks = true,
             "--json" => o.json = true,
+            "--obs" => o.obs_path = Some(val()?),
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(o)
 }
 
-fn pipeline(w: &Workload, o: &Options) -> Pipeline {
+fn pipeline(w: &Workload, o: &Options) -> Result<Pipeline, String> {
     let mut p = Pipeline::from_workload(w)
         .opt_level(o.opt)
         .warp_size(o.warp)
@@ -100,13 +104,15 @@ fn pipeline(w: &Workload, o: &Options) -> Pipeline {
     if let Some(t) = o.threads {
         p = p.threads(t);
     }
-    p
+    if let Some(path) = &o.obs_path {
+        let sink = JsonLinesSink::create(path).map_err(|e| format!("--obs {path}: {e}"))?;
+        p = p.observe(Obs::with_sink(Arc::new(sink)));
+    }
+    Ok(p)
 }
 
 fn resolve(name: &str) -> Result<Workload, String> {
-    by_name(name).ok_or_else(|| {
-        format!("unknown workload `{name}` (see `threadfuser list`)")
-    })
+    by_name(name).ok_or_else(|| format!("unknown workload `{name}` (see `threadfuser list`)"))
 }
 
 fn cmd_list() -> ExitCode {
@@ -124,7 +130,9 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_analyze(w: &Workload, o: &Options) -> Result<(), String> {
-    let report = pipeline(w, o).analyze().map_err(|e| e.to_string())?;
+    let p = pipeline(w, o)?;
+    let report = p.analyze().map_err(|e| e.to_string())?;
+    p.obs().flush();
     if o.json {
         println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
         return Ok(());
@@ -152,7 +160,9 @@ fn cmd_analyze(w: &Workload, o: &Options) -> Result<(), String> {
 }
 
 fn cmd_functions(w: &Workload, o: &Options) -> Result<(), String> {
-    let report = pipeline(w, o).analyze().map_err(|e| e.to_string())?;
+    let p = pipeline(w, o)?;
+    let report = p.analyze().map_err(|e| e.to_string())?;
+    p.obs().flush();
     let mut t = TextTable::new(&["function", "inst share", "efficiency", "invocations"]);
     for (f, share) in report.functions_by_share() {
         t.row(&[
@@ -167,7 +177,7 @@ fn cmd_functions(w: &Workload, o: &Options) -> Result<(), String> {
 }
 
 fn cmd_hardware(w: &Workload, o: &Options) -> Result<(), String> {
-    let stats = pipeline(w, o).measure_hardware().map_err(|e| e.to_string())?;
+    let stats = pipeline(w, o)?.measure_hardware().map_err(|e| e.to_string())?;
     println!("warp-native measurement of {} (reference O1 binary):", w.meta.name);
     println!("SIMT efficiency : {:.1}%", stats.simt_efficiency() * 100.0);
     println!(
@@ -181,12 +191,18 @@ fn cmd_hardware(w: &Workload, o: &Options) -> Result<(), String> {
 }
 
 fn cmd_speedup(w: &Workload, o: &Options) -> Result<(), String> {
-    let mut simt = SimtSimConfig::default();
-    simt.n_cores = o.cores;
+    let simt = SimtSimConfig { n_cores: o.cores, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
-    let proj = pipeline(w, o).project_speedup(&simt, &cpu).map_err(|e| e.to_string())?;
+    let p = pipeline(w, o)?;
+    let proj = p.project_speedup(&simt, &cpu).map_err(|e| e.to_string())?;
+    p.obs().flush();
     println!("workload   : {}", w.meta.name);
-    println!("GPU        : {} cycles (IPC {:.2}, {} SMs)", proj.gpu.cycles, proj.gpu.ipc(), o.cores);
+    println!(
+        "GPU        : {} cycles (IPC {:.2}, {} SMs)",
+        proj.gpu.cycles,
+        proj.gpu.ipc(),
+        o.cores
+    );
     println!("CPU        : {} cycles ({} cores)", proj.cpu.cycles, cpu.n_cores);
     println!("speedup    : {:.2}x", proj.speedup);
     Ok(())

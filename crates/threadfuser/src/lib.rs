@@ -40,6 +40,7 @@ pub use threadfuser_cpusim as cpusim;
 pub use threadfuser_ir as ir;
 pub use threadfuser_machine as machine;
 pub use threadfuser_mem as mem;
+pub use threadfuser_obs as obs;
 pub use threadfuser_simtsim as simtsim;
 pub use threadfuser_tracegen as tracegen;
 pub use threadfuser_tracer as tracer;
@@ -49,5 +50,5 @@ pub use threadfuser_xapp as xapp;
 pub mod pipeline;
 pub mod table;
 
-pub use pipeline::{Pipeline, PipelineError, SpeedupProjection};
+pub use pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced};
 pub use table::TextTable;

@@ -1,22 +1,30 @@
 //! The one-stop ThreadFuser pipeline: compile (optimize) → execute+trace →
 //! analyze → (optionally) generate warp traces and simulate both sides of
 //! the speedup projection.
+//!
+//! The expensive front half (optimize + trace) is factored into
+//! [`Pipeline::trace`], which returns a reusable [`Traced`] artifact;
+//! every downstream product ([`Traced::analyze`], [`Traced::warp_traces`],
+//! [`Traced::project_speedup`]) replays the *same* capture. The one-shot
+//! convenience methods on [`Pipeline`] remain and simply trace first.
 
 use std::fmt;
 use threadfuser_analyzer::{
     analyze, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
 };
-use threadfuser_cpusim::{simulate_cpu, CpuSimConfig, CpuSimStats};
+use threadfuser_cpusim::{simulate_cpu_observed, CpuSimConfig, CpuSimStats};
 use threadfuser_ir::{FuncId, OptLevel, Program};
 use threadfuser_machine::{
     LockstepConfig, LockstepError, LockstepMachine, LockstepStats, MachineConfig, MachineError,
 };
-use threadfuser_simtsim::{simulate, SimtSimConfig, SimtSimStats};
+use threadfuser_obs::{Obs, Phase};
+use threadfuser_simtsim::{simulate_observed, SimtSimConfig, SimtSimStats};
 use threadfuser_tracegen::{generate_warp_traces, WarpTraceSet};
-use threadfuser_tracer::{trace_program, TraceSet};
+use threadfuser_tracer::{trace_program_observed, TraceSet};
 use threadfuser_workloads::Workload;
 
 /// Any error the pipeline can surface.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// Native MIMD execution failed.
@@ -25,6 +33,9 @@ pub enum PipelineError {
     Analyze(AnalyzeError),
     /// Lock-step ground-truth execution failed.
     Lockstep(LockstepError),
+    /// The SIMT simulation finished in zero cycles (e.g. an empty trace
+    /// set), so a speedup ratio is undefined.
+    ZeroCycleSimulation,
 }
 
 impl fmt::Display for PipelineError {
@@ -33,6 +44,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Machine(e) => write!(f, "machine: {e}"),
             PipelineError::Analyze(e) => write!(f, "analyzer: {e}"),
             PipelineError::Lockstep(e) => write!(f, "lockstep: {e}"),
+            PipelineError::ZeroCycleSimulation => {
+                write!(f, "SIMT simulation took zero cycles; speedup is undefined")
+            }
         }
     }
 }
@@ -98,8 +112,10 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Creates a pipeline for an arbitrary program/kernel pair.
+    /// Creates a pipeline for an arbitrary program/kernel pair. Analyzer
+    /// parallelism defaults to the host's available parallelism.
     pub fn new(program: Program, kernel: FuncId) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         Pipeline {
             program,
             kernel,
@@ -107,7 +123,7 @@ impl Pipeline {
             threads: 64,
             opt: OptLevel::O3,
             hardware_opt: OptLevel::O1,
-            analyzer: AnalyzerConfig::new(32),
+            analyzer: AnalyzerConfig::new(32).parallelism(workers),
             spin_cost: 16,
         }
     }
@@ -167,10 +183,25 @@ impl Pipeline {
         self
     }
 
-    /// Sets analyzer worker-thread count.
+    /// Sets analyzer worker-thread count (default: the host's available
+    /// parallelism).
     pub fn parallelism(mut self, n: usize) -> Self {
         self.analyzer.parallelism = n;
         self
+    }
+
+    /// Attaches an observability handle; every stage (optimize, trace,
+    /// dcfg-build, ipdom, warp-emulate, coalesce, simt-sim, cpu-sim)
+    /// reports spans and counters to its sink. The default [`Obs::none`]
+    /// costs nothing.
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.analyzer.obs = obs;
+        self
+    }
+
+    /// The observability handle configured so far.
+    pub fn obs(&self) -> &Obs {
+        &self.analyzer.obs
     }
 
     /// The analyzer configuration assembled so far.
@@ -186,23 +217,30 @@ impl Pipeline {
     }
 
     /// Optimizes at the configured level and captures per-thread traces
-    /// from native MIMD execution.
+    /// from native MIMD execution — the expensive front half of every
+    /// product. The returned [`Traced`] artifact can be analyzed,
+    /// converted to warp traces, and simulated any number of times
+    /// without re-running the program.
     ///
     /// # Errors
     /// Propagates machine faults (traps, deadlock).
-    pub fn trace(&self) -> Result<(Program, TraceSet), PipelineError> {
-        let program = self.opt.apply(&self.program);
-        let (traces, _) = trace_program(&program, self.machine_config())?;
-        Ok((program, traces))
+    pub fn trace(&self) -> Result<Traced, PipelineError> {
+        let obs = self.analyzer.obs.clone();
+        let program = {
+            let _span = obs.span(Phase::Optimize);
+            self.opt.apply(&self.program)
+        };
+        let (traces, _) = trace_program_observed(&program, self.machine_config(), &obs)?;
+        Ok(Traced { program, traces, analyzer: self.analyzer.clone() })
     }
 
     /// The headline operation: trace, then run the ThreadFuser analysis.
+    /// One-shot wrapper over [`Self::trace`] + [`Traced::analyze`].
     ///
     /// # Errors
     /// Propagates machine and analyzer errors.
     pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
-        let (program, traces) = self.trace()?;
-        Ok(analyze(&program, &traces, &self.analyzer)?)
+        self.trace()?.analyze()
     }
 
     /// Runs the program warp-natively at [`Self::hardware_opt_level`] —
@@ -219,32 +257,110 @@ impl Pipeline {
     }
 
     /// Generates warp-based instruction traces for the SIMT simulator.
+    /// One-shot wrapper over [`Self::trace`] + [`Traced::warp_traces`].
     ///
     /// # Errors
     /// Propagates machine and analyzer errors.
     pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
-        let (program, traces) = self.trace()?;
-        Ok(generate_warp_traces(&program, &traces, &self.analyzer)?)
+        self.trace()?.warp_traces()
     }
 
     /// Projects the speedup of SIMT execution over native multicore CPU
-    /// execution (one bar of paper Fig. 6).
+    /// execution (one bar of paper Fig. 6). One-shot wrapper over
+    /// [`Self::trace`] + [`Traced::project_speedup`].
     ///
     /// # Errors
-    /// Propagates machine and analyzer errors.
+    /// Propagates machine and analyzer errors, and
+    /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
+    /// does no work.
     pub fn project_speedup(
         &self,
         simt: &SimtSimConfig,
         cpu: &CpuSimConfig,
     ) -> Result<SpeedupProjection, PipelineError> {
-        let (program, traces) = self.trace()?;
-        let wt = generate_warp_traces(&program, &traces, &self.analyzer)?;
-        let gpu_stats = simulate(&wt, simt);
-        let cpu_stats = simulate_cpu(&traces, cpu);
+        self.trace()?.project_speedup(simt, cpu)
+    }
+}
+
+/// The reusable capture [`Pipeline::trace`] produces: the optimized
+/// program plus its per-thread MIMD traces, with the analyzer
+/// configuration (and observability handle) they were captured under.
+///
+/// Downstream products replay this artifact without re-executing the
+/// program, so sweeping analyzer or simulator knobs pays the trace cost
+/// once:
+///
+/// ```
+/// use threadfuser::Pipeline;
+/// use threadfuser::workloads;
+///
+/// let w = workloads::by_name("vectoradd").unwrap();
+/// let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
+/// let report = traced.analyze().unwrap();
+/// let warps = traced.warp_traces().unwrap();
+/// assert_eq!(report.warps as usize, warps.warps().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Traced {
+    program: Program,
+    traces: TraceSet,
+    analyzer: AnalyzerConfig,
+}
+
+impl Traced {
+    /// The optimized program the traces were captured from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The captured per-thread traces.
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The analyzer configuration the capture carries.
+    pub fn analyzer_config(&self) -> &AnalyzerConfig {
+        &self.analyzer
+    }
+
+    /// Runs the ThreadFuser analysis over the captured traces.
+    ///
+    /// # Errors
+    /// Propagates analyzer errors.
+    pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
+        Ok(analyze(&self.program, &self.traces, &self.analyzer)?)
+    }
+
+    /// Generates warp-based instruction traces for the SIMT simulator.
+    ///
+    /// # Errors
+    /// Propagates analyzer errors.
+    pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
+        Ok(generate_warp_traces(&self.program, &self.traces, &self.analyzer)?)
+    }
+
+    /// Projects the speedup of SIMT execution over native multicore CPU
+    /// execution from this capture.
+    ///
+    /// # Errors
+    /// Propagates analyzer errors, and
+    /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
+    /// finishes in zero cycles (a speedup ratio would be meaningless).
+    pub fn project_speedup(
+        &self,
+        simt: &SimtSimConfig,
+        cpu: &CpuSimConfig,
+    ) -> Result<SpeedupProjection, PipelineError> {
+        let obs = &self.analyzer.obs;
+        let wt = generate_warp_traces(&self.program, &self.traces, &self.analyzer)?;
+        let gpu_stats = simulate_observed(&wt, simt, obs);
+        let cpu_stats = simulate_cpu_observed(&self.traces, cpu, obs);
         let gpu_s = gpu_stats.seconds(simt.clock_ghz);
         let cpu_s = cpu_stats.seconds(cpu.clock_ghz);
-        let speedup = if gpu_s > 0.0 { cpu_s / gpu_s } else { 0.0 };
-        Ok(SpeedupProjection { gpu: gpu_stats, cpu: cpu_stats, speedup })
+        if gpu_s <= 0.0 {
+            return Err(PipelineError::ZeroCycleSimulation);
+        }
+        Ok(SpeedupProjection { gpu: gpu_stats, cpu: cpu_stats, speedup: cpu_s / gpu_s })
     }
 }
 
@@ -263,16 +379,8 @@ mod tests {
     #[test]
     fn opt_levels_change_the_traced_binary() {
         let w = by_name("vectoradd").unwrap();
-        let o0 = Pipeline::from_workload(&w)
-            .threads(64)
-            .opt_level(OptLevel::O0)
-            .analyze()
-            .unwrap();
-        let o2 = Pipeline::from_workload(&w)
-            .threads(64)
-            .opt_level(OptLevel::O2)
-            .analyze()
-            .unwrap();
+        let o0 = Pipeline::from_workload(&w).threads(64).opt_level(OptLevel::O0).analyze().unwrap();
+        let o2 = Pipeline::from_workload(&w).threads(64).opt_level(OptLevel::O2).analyze().unwrap();
         assert!(
             o0.total_transactions() > o2.total_transactions(),
             "O0 must have more memory traffic: {} vs {}",

@@ -238,9 +238,9 @@ impl StepSink for Generator<'_> {
                 OpClass::Branch
             }
             Terminator::Call { .. } | Terminator::Ret { .. } => OpClass::CallRet,
-            Terminator::Acquire { .. } | Terminator::Release { .. } | Terminator::Barrier { .. } => {
-                OpClass::Sync
-            }
+            Terminator::Acquire { .. }
+            | Terminator::Release { .. }
+            | Terminator::Barrier { .. } => OpClass::Sync,
         };
         push(term_class, None, &mut out, &mut slot);
 
@@ -259,10 +259,19 @@ pub fn generate_warp_traces(
     traces: &TraceSet,
     config: &AnalyzerConfig,
 ) -> Result<WarpTraceSet, AnalyzeError> {
-    let mut generator =
-        Generator { program, warp_size: config.warp_size, warps: Vec::new() };
+    let span = config.obs.span(threadfuser_obs::Phase::Coalesce);
+    let mut generator = Generator { program, warp_size: config.warp_size, warps: Vec::new() };
     analyze_with_sink(program, traces, config, &mut generator)?;
-    Ok(WarpTraceSet { warp_size: generator.warp_size, warps: generator.warps })
+    let set = WarpTraceSet { warp_size: generator.warp_size, warps: generator.warps };
+    if config.obs.enabled() {
+        let obs = &config.obs;
+        obs.counter(threadfuser_obs::Phase::Coalesce, "warp_insts", set.total_insts());
+        let mem_ops: u64 =
+            set.warps.iter().flat_map(|w| &w.insts).filter(|i| i.mem.is_some()).count() as u64;
+        obs.counter(threadfuser_obs::Phase::Coalesce, "mem_micro_ops", mem_ops);
+    }
+    span.finish();
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -300,10 +309,7 @@ mod tests {
         let w = &wt.warps()[0];
         let classes: Vec<OpClass> = w.insts.iter().map(|i| i.op).collect();
         // load (from CISC add), add, store, ret
-        assert_eq!(
-            classes,
-            vec![OpClass::Load, OpClass::IntAlu, OpClass::Store, OpClass::CallRet]
-        );
+        assert_eq!(classes, vec![OpClass::Load, OpClass::IntAlu, OpClass::Store, OpClass::CallRet]);
     }
 
     #[test]
@@ -317,8 +323,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let wt = gen((p, k), 8, 8);
-        let mems: Vec<&MemOp> =
-            wt.warps()[0].insts.iter().filter_map(|i| i.mem.as_ref()).collect();
+        let mems: Vec<&MemOp> = wt.warps()[0].insts.iter().filter_map(|i| i.mem.as_ref()).collect();
         assert_eq!(mems.len(), 2);
         assert!(mems.iter().all(|m| m.space == MemSpace::Local));
         assert!(mems[0].is_store && !mems[1].is_store);
@@ -327,8 +332,7 @@ mod tests {
     #[test]
     fn global_accesses_map_to_global_space() {
         let wt = gen(cisc_add_program(), 8, 8);
-        let mems: Vec<&MemOp> =
-            wt.warps()[0].insts.iter().filter_map(|i| i.mem.as_ref()).collect();
+        let mems: Vec<&MemOp> = wt.warps()[0].insts.iter().filter_map(|i| i.mem.as_ref()).collect();
         assert!(mems.iter().all(|m| m.space == MemSpace::Global));
     }
 

@@ -3,9 +3,7 @@
 use crate::events::{ThreadTrace, TraceEvent, TraceSet};
 use std::collections::HashSet;
 use threadfuser_ir::{BlockAddr, FuncId, Program};
-use threadfuser_machine::{
-    ExecHook, Machine, MachineConfig, MachineError, RunStats, SkipKind,
-};
+use threadfuser_machine::{ExecHook, Machine, MachineConfig, MachineError, RunStats, SkipKind};
 
 /// Tracer configuration.
 #[derive(Debug, Clone, Default)]
@@ -160,6 +158,24 @@ pub fn trace_program_with(
     Ok((tracer.into_traces(), stats))
 }
 
+/// [`trace_program`] with an observability handle: the whole capture runs
+/// under a `trace` span and the machine reports its executed / skipped
+/// instruction aggregates to the same sink.
+///
+/// # Errors
+/// Propagates any [`MachineError`] from the run.
+pub fn trace_program_observed(
+    program: &Program,
+    mut config: MachineConfig,
+    obs: &threadfuser_obs::Obs,
+) -> Result<(TraceSet, RunStats), MachineError> {
+    let span = obs.span(threadfuser_obs::Phase::Trace);
+    config.obs = obs.clone();
+    let result = trace_program_with(program, config, TracerConfig::default());
+    span.finish();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,8 +251,7 @@ mod tests {
         let (p, k, helper) = simple_program();
         let mut tc = TracerConfig::default();
         tc.exclude.insert(helper);
-        let (traces, _) =
-            trace_program_with(&p, MachineConfig::new(k, 1), tc).unwrap();
+        let (traces, _) = trace_program_with(&p, MachineConfig::new(k, 1), tc).unwrap();
         let t = &traces.threads()[0];
         assert!(
             !t.events.iter().any(|e| matches!(e, TraceEvent::Call { .. })),

@@ -187,7 +187,12 @@ mod tests {
                 addr: BlockAddr::new(FuncId(f), BlockId(b)),
                 n_insts: n
             }),
-            (0u32..50, any::<u64>(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<bool>())
+            (
+                0u32..50,
+                any::<u64>(),
+                prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+                any::<bool>()
+            )
                 .prop_map(|(i, a, s, st)| TraceEvent::Mem {
                     inst_idx: i,
                     addr: a,

@@ -159,7 +159,8 @@ mod tests {
     #[test]
     fn traceset_orders_by_tid_and_aggregates() {
         let t1 = ThreadTrace { tid: 1, events: vec![block(4)], ..Default::default() };
-        let t0 = ThreadTrace { tid: 0, events: vec![block(6)], skipped_io: 10, ..Default::default() };
+        let t0 =
+            ThreadTrace { tid: 0, events: vec![block(6)], skipped_io: 10, ..Default::default() };
         let set = TraceSet::new(vec![t1, t0]);
         assert_eq!(set.threads()[0].tid, 0);
         assert_eq!(set.total_traced_insts(), 10);

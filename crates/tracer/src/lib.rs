@@ -37,5 +37,7 @@ pub mod capture;
 pub mod encode;
 pub mod events;
 
-pub use capture::{trace_program, Tracer, TracerConfig};
+pub use capture::{
+    trace_program, trace_program_observed, trace_program_with, Tracer, TracerConfig,
+};
 pub use events::{ThreadTrace, TraceEvent, TraceSet};

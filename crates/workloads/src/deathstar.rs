@@ -3,8 +3,8 @@
 //! workloads of the paper's Fig. 8–10 studies.
 
 use crate::motifs::{
-    bounded_hash, compute_chain, elem8, hash_probe, receive_request, send_response,
-    with_lock, xorshift_round,
+    bounded_hash, compute_chain, elem8, hash_probe, receive_request, send_response, with_lock,
+    xorshift_round,
 };
 use crate::{Suite, Workload, WorkloadMeta};
 use rand::rngs::StdRng;
@@ -34,7 +34,7 @@ fn requests(seed: u64) -> Vec<i64> {
 /// ComposePost: parse, generate an id, run text filtering, then publish to
 /// the author's shard under its lock.
 pub fn post() -> Workload {
-    let reqs = requests(0xD50_1);
+    let reqs = requests(0xD501);
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("requests", &reqs);
     let g_locks = pb.global("shard_locks", 8 * SHARDS as u64);
@@ -107,7 +107,7 @@ pub fn post() -> Workload {
 /// Text: tokenize a variable-length message, branching per token on a
 /// stop-word check — medium divergence.
 pub fn text() -> Workload {
-    let reqs = requests(0xD50_2);
+    let reqs = requests(0xD502);
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("requests", &reqs);
     let g_out = pb.global("tokens_out", 8 * 4096);
@@ -154,7 +154,7 @@ pub fn text() -> Workload {
 /// UrlShorten: shorten 1–3 URLs per request; each goes through hash +
 /// shard-locked table insert.
 pub fn urlshort() -> Workload {
-    let reqs = requests(0xD50_3);
+    let reqs = requests(0xD503);
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("requests", &reqs);
     let g_locks = pb.global("shard_locks", 8 * SHARDS as u64);
@@ -188,7 +188,7 @@ pub fn urlshort() -> Workload {
 /// UniqueID: timestamp/counter id generation — pure convergent hashing,
 /// the highest-efficiency microservice.
 pub fn uniqueid() -> Workload {
-    let reqs = requests(0xD50_4);
+    let reqs = requests(0xD504);
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("requests", &reqs);
     let g_out = pb.global("ids", 8 * 4096);
@@ -213,7 +213,7 @@ pub fn uniqueid() -> Workload {
 /// UserTag: tag 1–8 users per request, each tag updating a per-user shard
 /// under its fine-grain lock — the densest locking microservice.
 pub fn usertag() -> Workload {
-    let reqs = requests(0xD50_5);
+    let reqs = requests(0xD505);
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("requests", &reqs);
     let g_locks = pb.global("user_locks", 8 * SHARDS as u64);
@@ -248,8 +248,8 @@ pub fn usertag() -> Workload {
 /// User: login — fixed-round credential hash chain plus a session-table
 /// probe; convergent except for probe-length variance.
 pub fn user() -> Workload {
-    let mut rng = StdRng::seed_from_u64(0xD50_6);
-    let reqs = requests(0xD50_6);
+    let mut rng = StdRng::seed_from_u64(0xD506);
+    let reqs = requests(0xD506);
     let sessions: Vec<i64> = (0..1024)
         .map(|_| if rng.gen_bool(0.5) { rng.gen_range(1..1_000_000) } else { 0 })
         .collect();

@@ -191,12 +191,7 @@ mod tests {
         for w in all() {
             w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.meta.name));
             // Kernel must take exactly the thread id.
-            assert_eq!(
-                w.program.function(w.kernel).params,
-                1,
-                "{} kernel arity",
-                w.meta.name
-            );
+            assert_eq!(w.program.function(w.kernel).params, 1, "{} kernel arity", w.meta.name);
             if let Some(init) = w.init {
                 assert_eq!(w.program.function(init).params, 0, "{} init arity", w.meta.name);
             }

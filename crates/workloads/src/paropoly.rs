@@ -95,9 +95,9 @@ pub fn cc() -> Workload {
     let mut rng = StdRng::seed_from_u64(0xCC01);
     // Parent forest with shallow random chains.
     let mut parent: Vec<i64> = (0..NODES as i64).collect();
-    for i in 0..NODES {
+    for p in parent.iter_mut() {
         if rng.gen_bool(0.6) {
-            parent[i] = rng.gen_range(0..NODES) as i64;
+            *p = rng.gen_range(0..NODES) as i64;
         }
     }
     let us: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..NODES) as i64).collect();
@@ -172,9 +172,7 @@ pub fn pagerank() -> Workload {
     let mut rng = StdRng::seed_from_u64(0x9123);
     let (row, col) = powerlaw_csr(&mut rng, NODES, 24);
     let ranks: Vec<i64> = (0..NODES).map(|_| rng.gen_range(1..1000)).collect();
-    let degs: Vec<i64> = (0..NODES)
-        .map(|i| (row[i + 1] - row[i]).max(1))
-        .collect();
+    let degs: Vec<i64> = (0..NODES).map(|i| (row[i + 1] - row[i]).max(1)).collect();
 
     let mut pb = ProgramBuilder::new();
     let g_row = pb.global_i64("row_ptr", &row);

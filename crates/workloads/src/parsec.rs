@@ -157,8 +157,7 @@ pub fn bodytrack() -> Workload {
 pub fn facesim() -> Workload {
     let mut rng = StdRng::seed_from_u64(0xFACE);
     const NODES: usize = 512;
-    let nbrs: Vec<i64> =
-        (0..NODES * 8).map(|_| rng.gen_range(0..NODES) as i64).collect();
+    let nbrs: Vec<i64> = (0..NODES * 8).map(|_| rng.gen_range(0..NODES) as i64).collect();
     let pos: Vec<i64> = (0..NODES).map(|_| rng.gen_range(-500..500)).collect();
     let mut pb = ProgramBuilder::new();
     let g_nbrs = pb.global_i64("neighbors", &nbrs);
@@ -251,9 +250,8 @@ pub fn fluidanimate() -> Workload {
 pub fn freqmine() -> Workload {
     let mut rng = StdRng::seed_from_u64(0xF9E3);
     const NODES: usize = 1024;
-    let parent: Vec<i64> = (0..NODES)
-        .map(|i| if i == 0 { 0 } else { rng.gen_range(0..i) as i64 })
-        .collect();
+    let parent: Vec<i64> =
+        (0..NODES).map(|i| if i == 0 { 0 } else { rng.gen_range(0..i) as i64 }).collect();
     let counts: Vec<i64> = (0..NODES).map(|_| rng.gen_range(0..32)).collect();
     let mut pb = ProgramBuilder::new();
     let g_parent = pb.global_i64("fp_parent", &parent);

@@ -157,8 +157,7 @@ pub(crate) fn build_streamcluster(meta: WorkloadMeta, seed: u64) -> Workload {
     const DIMS: i64 = 8;
     let mut rng = StdRng::seed_from_u64(seed);
     let pts: Vec<i64> = (0..POINTS * DIMS as usize).map(|_| rng.gen_range(-50..50)).collect();
-    let ctr: Vec<i64> =
-        (0..(CENTERS * DIMS) as usize).map(|_| rng.gen_range(-50..50)).collect();
+    let ctr: Vec<i64> = (0..(CENTERS * DIMS) as usize).map(|_| rng.gen_range(-50..50)).collect();
 
     let mut pb = ProgramBuilder::new();
     let g_pts = pb.global_i64("points", &pts);

@@ -17,11 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use threadfuser_ir::{AccessSize, AluOp, Cond, MemRef, Operand, ProgramBuilder};
 
-fn meta(
-    name: &'static str,
-    description: &'static str,
-    uses_locks: bool,
-) -> WorkloadMeta {
+fn meta(name: &'static str, description: &'static str, uses_locks: bool) -> WorkloadMeta {
     WorkloadMeta {
         name,
         suite: Suite::USuite,
@@ -52,7 +48,13 @@ fn table_image(rng: &mut StdRng) -> Vec<i64> {
     t
 }
 
-fn mcrouter(name: &'static str, description: &'static str, io_in: u32, io_out: u32, compute: usize) -> Workload {
+fn mcrouter(
+    name: &'static str,
+    description: &'static str,
+    io_in: u32,
+    io_out: u32,
+    compute: usize,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(0x3C20 ^ name.len() as u64);
     let reqs = request_pool(&mut rng, 1024);
     let table = table_image(&mut rng);
@@ -93,13 +95,7 @@ fn mcrouter(name: &'static str, description: &'static str, io_in: u32, io_out: u
 
 /// McRouter fronting memcached: route + cache probe + shard-locked refresh.
 pub fn mcrouter_memcached() -> Workload {
-    mcrouter(
-        "mcrouter_memcached",
-        "key routing + cache probe + locked shard refresh",
-        18,
-        10,
-        32,
-    )
+    mcrouter("mcrouter_memcached", "key routing + cache probe + locked shard refresh", 18, 10, 32)
 }
 
 /// McRouter mid-tier: heavier routing fan-out, more I/O per request.
@@ -112,11 +108,16 @@ pub fn mcrouter_leaf() -> Workload {
     mcrouter("mcrouter_leaf", "leaf node, compute-leaning service", 12, 8, 64)
 }
 
-fn textsearch(name: &'static str, description: &'static str, docs: i64, terms: i64, io: u32) -> Workload {
+fn textsearch(
+    name: &'static str,
+    description: &'static str,
+    docs: i64,
+    terms: i64,
+    io: u32,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(0x7E87 ^ docs as u64);
     let reqs = request_pool(&mut rng, 1024);
-    let postings: Vec<i64> =
-        (0..(docs * terms) as usize).map(|_| rng.gen_range(0..1000)).collect();
+    let postings: Vec<i64> = (0..(docs * terms) as usize).map(|_| rng.gen_range(0..1000)).collect();
 
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("queries", &reqs);
@@ -198,7 +199,7 @@ fn hdsearch(name: &'static str, description: &'static str, fixed_topk: Option<i6
     let mut pb = ProgramBuilder::new();
     let g_reqs = pb.global_i64("queries", &reqs);
     let g_bucket = pb.global_i64("bucket_sizes", &buckets);
-    let g_points = pb.global("point_store", 8 * 1 << 16);
+    let g_points = pb.global("point_store", 8 << 16);
     let g_out = pb.global("results", 8 * 4096);
     let g_alloc_lock = pb.global("malloc_mutex", 8);
 
@@ -316,21 +317,13 @@ fn hdsearch(name: &'static str, description: &'static str, fixed_topk: Option<i6
 /// HDImageSearch mid-tier: the paper's low-efficiency case study (≈7%
 /// before the fix) — `getpoint` dominates with divergent bucket walks.
 pub fn hdsearch_mid() -> Workload {
-    hdsearch(
-        "hdsearch_mid",
-        "FLANN-style getpoint with data-dependent bucket walks",
-        None,
-    )
+    hdsearch("hdsearch_mid", "FLANN-style getpoint with data-dependent bucket walks", None)
 }
 
 /// The SIMT-aware rewrite of [`hdsearch_mid`]: `getpoint` returns a fixed
 /// top-10, making every thread's walk uniform (paper: 6% → 90%).
 pub fn hdsearch_mid_fixed() -> Workload {
-    hdsearch(
-        "hdsearch_mid_fixed",
-        "getpoint capped at top-10: uniform walks",
-        Some(10),
-    )
+    hdsearch("hdsearch_mid_fixed", "getpoint capped at top-10: uniform walks", Some(10))
 }
 
 /// HDImageSearch leaf: dense distance computations, regular and

@@ -22,11 +22,7 @@ fn every_workload_runs_and_analyzes() {
         let threads = w.meta.default_threads.min(128);
         let report = run(&w, threads, 32);
         let eff = report.simt_efficiency();
-        assert!(
-            eff > 0.0 && eff <= 1.0 + 1e-9,
-            "{}: efficiency {eff} out of range",
-            w.meta.name
-        );
+        assert!(eff > 0.0 && eff <= 1.0 + 1e-9, "{}: efficiency {eff} out of range", w.meta.name);
         assert!(report.issues > 0, "{}: no issues recorded", w.meta.name);
         assert!(
             report.thread_insts > 100,
@@ -144,9 +140,10 @@ fn uses_locks_flag_matches_trace_contents() {
         let mut cfg = MachineConfig::new(w.kernel, 64);
         cfg.init = w.init;
         let (traces, _) = trace_program(&w.program, cfg).unwrap();
-        let has_lock_events = traces.threads().iter().any(|t| {
-            t.events.iter().any(|e| matches!(e, TraceEvent::Acquire { .. }))
-        });
+        let has_lock_events = traces
+            .threads()
+            .iter()
+            .any(|t| t.events.iter().any(|e| matches!(e, TraceEvent::Acquire { .. })));
         assert_eq!(
             has_lock_events, w.meta.uses_locks,
             "{}: uses_locks metadata out of sync with behaviour",

@@ -66,7 +66,9 @@ pub fn extract_features(program: &Program, traces: &TraceSet) -> FeatureVector {
             }
             TraceEvent::Call { .. } => calls += 1,
             TraceEvent::Ret => {}
-            TraceEvent::Acquire { .. } | TraceEvent::Release { .. } | TraceEvent::Barrier { .. } => {
+            TraceEvent::Acquire { .. }
+            | TraceEvent::Release { .. }
+            | TraceEvent::Barrier { .. } => {
                 syncs += 1;
             }
         }
@@ -124,6 +126,7 @@ impl XappModel {
     ///
     /// # Panics
     /// Panics on an empty training set.
+    #[allow(clippy::needless_range_loop)]
     pub fn train(samples: &[(FeatureVector, f64)], lambda: f64) -> Self {
         assert!(!samples.is_empty(), "empty training set");
         let n = N_FEATURES;
@@ -159,6 +162,7 @@ impl XappModel {
 }
 
 /// Gaussian elimination with partial pivoting; `a` is consumed.
+#[allow(clippy::needless_range_loop)]
 fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {

@@ -47,13 +47,11 @@ fn main() {
     // 3. Headroom beyond IPDOM stacks: the ideal dynamic-warp-formation
     //    ceiling (Fung et al., the paper's [15]) computed from the traces.
     let divergent = by_name("bfs").expect("divergent workload");
-    let (_, traces) = Pipeline::from_workload(&divergent).threads(128).trace().unwrap();
-    let ipdom_eff = Pipeline::from_workload(&divergent)
-        .threads(128)
-        .analyze()
-        .unwrap()
-        .simt_efficiency();
-    let dwf = dwf_upper_bound(&traces, 32).efficiency_bound();
+    // Staged API: trace once, then both the IPDOM analysis and the DWF
+    // bound replay the same capture.
+    let traced = Pipeline::from_workload(&divergent).threads(128).trace().unwrap();
+    let ipdom_eff = traced.analyze().unwrap().simt_efficiency();
+    let dwf = dwf_upper_bound(traced.traces(), 32).efficiency_bound();
     println!(
         "bfs: IPDOM-stack efficiency {:.1}% vs ideal dynamic-warp-formation ceiling {:.1}%",
         ipdom_eff * 100.0,
@@ -62,11 +60,7 @@ fn main() {
 
     // 4. Synchronization handling (paper Fig. 9).
     let fine = Pipeline::from_workload(&w).threads(128).analyze().unwrap();
-    let locked = Pipeline::from_workload(&w)
-        .threads(128)
-        .intra_warp_locks(true)
-        .analyze()
-        .unwrap();
+    let locked = Pipeline::from_workload(&w).threads(128).intra_warp_locks(true).analyze().unwrap();
     println!(
         "usertag: fine-grain assumption {:.1}% vs intra-warp serialization {:.1}% ({} episodes)",
         fine.simt_efficiency() * 100.0,

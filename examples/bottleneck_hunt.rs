@@ -15,15 +15,10 @@ use threadfuser::{Pipeline, TextTable};
 
 fn main() {
     let original = by_name("hdsearch_mid").expect("workload");
-    let report = Pipeline::from_workload(&original)
-        .threads(128)
-        .analyze()
-        .expect("analysis succeeds");
+    let report =
+        Pipeline::from_workload(&original).threads(128).analyze().expect("analysis succeeds");
 
-    println!(
-        "hdsearch_mid overall SIMT efficiency: {:.1}%\n",
-        report.simt_efficiency() * 100.0
-    );
+    println!("hdsearch_mid overall SIMT efficiency: {:.1}%\n", report.simt_efficiency() * 100.0);
 
     let mut table =
         TextTable::new(&["function", "instruction share", "per-fn efficiency", "calls"]);
@@ -47,10 +42,8 @@ fn main() {
 
     // Apply the paper's fix: uniform top-10 walks for every query.
     let fixed = by_name("hdsearch_mid_fixed").expect("variant");
-    let fixed_report = Pipeline::from_workload(&fixed)
-        .threads(128)
-        .analyze()
-        .expect("analysis succeeds");
+    let fixed_report =
+        Pipeline::from_workload(&fixed).threads(128).analyze().expect("analysis succeeds");
     println!(
         "after the SIMT-aware rewrite: {:.1}% (paper: 6% → 90%)",
         fixed_report.simt_efficiency() * 100.0

@@ -25,14 +25,10 @@ fn main() {
         "hdsearch_mid",
     ];
 
-    let mut table =
-        TextTable::new(&["workload", "SIMT eff", "heap txn/inst", "verdict"]);
+    let mut table = TextTable::new(&["workload", "SIMT eff", "heap txn/inst", "verdict"]);
     for name in candidates {
         let w = by_name(name).expect("known workload");
-        let report = Pipeline::from_workload(&w)
-            .threads(128)
-            .analyze()
-            .expect("analysis succeeds");
+        let report = Pipeline::from_workload(&w).threads(128).analyze().expect("analysis succeeds");
         let eff = report.simt_efficiency();
         let mem = report.heap.transactions_per_inst();
         // The screening rule from the paper's intro: high control

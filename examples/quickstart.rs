@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use threadfuser::analyzer::{
-    analyze, analyze_with_sink, AnalyzerConfig, BlockStep, StepSink,
-};
+use threadfuser::analyzer::{analyze, analyze_with_sink, AnalyzerConfig, BlockStep, StepSink};
 use threadfuser::ir::{pretty::Disasm, AluOp, BlockId, Cond, FuncId, ProgramBuilder};
 use threadfuser::machine::MachineConfig;
 use threadfuser::tracer::trace_program;
@@ -33,8 +31,7 @@ impl StepSink for StackLogger {
         groups: &[(usize, u64)],
     ) {
         if warp == 0 {
-            let gs: Vec<String> =
-                groups.iter().map(|(n, m)| format!("bb{n}:{m:08b}")).collect();
+            let gs: Vec<String> = groups.iter().map(|(n, m)| format!("bb{n}:{m:08b}")).collect();
             println!(
                 "  DIVERGE at {func}:bb{} -> [{}], reconverge at node {reconverge_at}",
                 at.0,
@@ -87,16 +84,12 @@ fn main() {
     // per kernel invocation.
     let (traces, run) =
         trace_program(&program, MachineConfig::new(kernel, 64)).expect("execution succeeds");
-    println!(
-        "traced {} instructions over {} threads",
-        run.total_traced(),
-        traces.threads().len()
-    );
+    println!("traced {} instructions over {} threads", run.total_traced(), traces.threads().len());
 
     // Step 2 (Fig. 3b): DCFG + IPDOM + warp batching + SIMT-stack fusion.
     for warp_size in [8, 16, 32] {
-        let report = analyze(&program, &traces, &AnalyzerConfig::new(warp_size))
-            .expect("analysis succeeds");
+        let report =
+            analyze(&program, &traces, &AnalyzerConfig::new(warp_size)).expect("analysis succeeds");
         println!(
             "warp {warp_size:>2}: SIMT efficiency {:.1}%  ({} lock-step issues, {} thread insts)",
             report.simt_efficiency() * 100.0,

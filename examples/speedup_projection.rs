@@ -12,8 +12,7 @@ use threadfuser::{Pipeline, TextTable};
 
 fn main() {
     // Scaled device for the scaled inputs (see the fig06 harness).
-    let mut simt = SimtSimConfig::default();
-    simt.n_cores = 16;
+    let simt = SimtSimConfig { n_cores: 16, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
 
     let picks = ["vectoradd", "nbody", "md5", "bfs", "pigz"];

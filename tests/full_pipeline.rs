@@ -49,12 +49,9 @@ fn optimizer_preserves_program_results() {
     // The O0 and O3 binaries must compute identical outputs on the MIMD
     // machine (the optimizer is semantics-preserving).
     let w = by_name("pagerank").unwrap();
-    let out_global = w
-        .program
-        .globals()
-        .iter()
-        .position(|g| g.name == "rank_out")
-        .expect("output global") as u32;
+    let out_global =
+        w.program.globals().iter().position(|g| g.name == "rank_out").expect("output global")
+            as u32;
     let read_out = |opt: OptLevel| -> Vec<u64> {
         let program = opt.apply(&w.program);
         let mut m = Machine::new(&program, MachineConfig::new(w.kernel, 64)).unwrap();
@@ -73,12 +70,8 @@ fn lockstep_and_mimd_agree_on_results() {
     // The same binary must compute the same outputs warp-natively and on
     // the MIMD machine (shared executor, different orchestration).
     let w = by_name("blackscholes").unwrap();
-    let out_global = w
-        .program
-        .globals()
-        .iter()
-        .position(|g| g.name == "prices")
-        .expect("output global") as u32;
+    let out_global =
+        w.program.globals().iter().position(|g| g.name == "prices").expect("output global") as u32;
     let gid = threadfuser::ir::GlobalId(out_global);
 
     let mut m = Machine::new(&w.program, MachineConfig::new(w.kernel, 64)).unwrap();
@@ -105,16 +98,11 @@ fn lockstep_and_mimd_agree_on_results() {
 
 #[test]
 fn speedup_projection_ranks_regular_above_divergent() {
-    let mut simt = SimtSimConfig::default();
-    simt.n_cores = 8;
+    let simt = SimtSimConfig { n_cores: 8, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
     let speedup = |name: &str| {
         let w = by_name(name).unwrap();
-        Pipeline::from_workload(&w)
-            .threads(512)
-            .project_speedup(&simt, &cpu)
-            .unwrap()
-            .speedup
+        Pipeline::from_workload(&w).threads(512).project_speedup(&simt, &cpu).unwrap().speedup
     };
     let regular = speedup("vectoradd");
     let divergent = speedup("pigz");

@@ -20,9 +20,7 @@ use threadfuser::ir::{
     AluOp, Cond, FuncId, FunctionBuilder, GlobalId, Operand, OptLevel, Program, ProgramBuilder,
     Slot,
 };
-use threadfuser::machine::{
-    LockstepConfig, LockstepMachine, Machine, MachineConfig, NoopHook,
-};
+use threadfuser::machine::{LockstepConfig, LockstepMachine, Machine, MachineConfig, NoopHook};
 use threadfuser::tracer::trace_program;
 
 const N_THREADS: u32 = 32;
@@ -57,7 +55,11 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (2u8..5, prop::collection::vec(inner.clone(), 1..3), prop::collection::vec(inner.clone(), 0..3))
+            (
+                2u8..5,
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(m, t, e)| Stmt::If { modulus: m, then: t, els: e }),
             (1u8..4, prop::collection::vec(inner.clone(), 1..3))
                 .prop_map(|(n, b)| Stmt::LoopConst { n, body: b }),
@@ -125,9 +127,7 @@ fn emit(fb: &mut FunctionBuilder, tid: threadfuser::ir::Reg, ctx: &Ctx, stmts: &
             }
             Stmt::LoopData { modulus, body } => {
                 let trips = fb.alu(AluOp::Rem, tid, *modulus as i64);
-                fb.for_range(0i64, Operand::Reg(trips), 1, |fb, _| {
-                    emit(fb, tid, ctx, body)
-                });
+                fb.for_range(0i64, Operand::Reg(trips), 1, |fb, _| emit(fb, tid, ctx, body));
             }
             Stmt::CallHelper => {
                 let a = fb.load_var(ctx.acc);
@@ -167,8 +167,8 @@ fn build_program(stmts: &[Stmt]) -> (Program, FuncId) {
 }
 
 fn mimd_output(program: &Program, kernel: FuncId, out_name: &str) -> Vec<u64> {
-    let mut m = Machine::new(program, MachineConfig::new(kernel, N_THREADS))
-        .expect("machine loads");
+    let mut m =
+        Machine::new(program, MachineConfig::new(kernel, N_THREADS)).expect("machine loads");
     m.run(&mut NoopHook).expect("mimd run succeeds");
     let gid = program
         .globals()
@@ -181,7 +181,7 @@ fn mimd_output(program: &Program, kernel: FuncId, out_name: &str) -> Vec<u64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn optimizer_preserves_semantics(stmts in kernel_strategy()) {

@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives — non-generic structs (named,
+//! tuple, unit) and enums (unit, newtype, tuple, struct variants) with no
+//! `#[serde(...)]` attributes — without depending on `syn`/`quote`: the
+//! item is scanned at token level (only names and arities are needed; the
+//! vendored `serde::Deserialize::from_value` relies on type inference) and
+//! the generated impl is produced as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    let src = match (&item.shape, serialize) {
+        (Shape::Struct(fields), true) => gen_struct_ser(&item.name, fields),
+        (Shape::Struct(fields), false) => gen_struct_de(&item.name, fields),
+        (Shape::Enum(variants), true) => gen_enum_ser(&item.name, variants),
+        (Shape::Enum(variants), false) => gen_enum_de(&item.name, variants),
+    };
+    src.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Token-level item model
+// ---------------------------------------------------------------------------
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stub: generic type `{name}` is not supported"));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item { name, shape: Shape::Struct(Fields::Named(named_fields(g.stream())?)) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item { name, shape: Shape::Struct(Fields::Tuple(tuple_arity(g.stream()))) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item { name, shape: Shape::Struct(Fields::Unit) })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item { name, shape: Shape::Enum(enum_variants(g.stream())?) })
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        k => Err(format!("serde stub: cannot derive for `{k}` items")),
+    }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, tracking
+/// angle-bracket depth so generic arguments don't end the field early.
+/// Leaves `i` *on* the comma (or at end).
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        i += 1; // name
+        i += 1; // `:`
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // `,`
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body (top-level comma count, ignoring a
+/// trailing comma).
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_to_comma(&tokens, &mut i);
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a possible discriminant (`= expr`) up to the separating comma.
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text)
+// ---------------------------------------------------------------------------
+
+fn ser_named(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("::serde::Value::Map(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            s,
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({access_prefix}{f})),"
+        );
+    }
+    s.push_str("])");
+    s
+}
+
+fn de_named(ty_path: &str, fields: &[String], payload: &str) -> String {
+    let mut s = format!("{ty_path} {{");
+    for f in fields {
+        let _ = write!(
+            s,
+            "{f}: ::serde::Deserialize::from_value(\
+             ::serde::value::field({payload}, {f:?}, {ty_path:?})?)?,"
+        );
+    }
+    s.push('}');
+    s
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => ser_named(fs, "&self."),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Seq(::std::vec![");
+            for k in 0..*n {
+                let _ = write!(s, "::serde::Serialize::to_value(&self.{k}),");
+            }
+            s.push_str("])");
+            s
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => {
+            let ctor = de_named(name, fs, "v");
+            format!("::core::result::Result::Ok({ctor})")
+        }
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::new(\
+                 \"wrong tuple-struct arity for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}("
+            );
+            for k in 0..*n {
+                let _ = write!(s, "::serde::Deserialize::from_value(&items[{k}])?,");
+            }
+            s.push_str("))");
+            s
+        }
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                );
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let inner = ser_named(fs, "");
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({vn:?}), {inner})]),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let mut s = String::from("::serde::Value::Seq(::std::vec![");
+                    for b in &binds {
+                        let _ = write!(s, "::serde::Serialize::to_value({b}),");
+                    }
+                    s.push_str("])");
+                    s
+                };
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({vn:?}), {inner})]),",
+                    binds.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(arms, "{vn:?} => ::core::result::Result::Ok({name}::{vn}),");
+            }
+            Fields::Named(fs) => {
+                let ctor = de_named(&format!("{name}::{vn}"), fs, "p");
+                let _ = write!(
+                    arms,
+                    "{vn:?} => {{\n\
+                     let p = payload.ok_or_else(|| ::serde::DeError::new(\
+                     \"variant `{vn}` of {name} carries data\"))?;\n\
+                     ::core::result::Result::Ok({ctor})\n\
+                     }}\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "::core::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(p)?))"
+                    )
+                } else {
+                    let mut s = format!(
+                        "let items = p.as_seq().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", p))?;\n\
+                         if items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::new(\
+                         \"wrong arity for variant `{vn}` of {name}\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name}::{vn}("
+                    );
+                    for k in 0..*n {
+                        let _ = write!(s, "::serde::Deserialize::from_value(&items[{k}])?,");
+                    }
+                    s.push_str("))");
+                    s
+                };
+                let _ = write!(
+                    arms,
+                    "{vn:?} => {{\n\
+                     let p = payload.ok_or_else(|| ::serde::DeError::new(\
+                     \"variant `{vn}` of {name} carries data\"))?;\n\
+                     {body}\n\
+                     }}\n"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         let (variant, payload) = ::serde::value::enum_variant(v)?;\n\
+         let _ = &payload;\n\
+         match variant {{\n\
+         {arms}\
+         other => ::core::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }}\n\
+         }}\n\
+         }}"
+    )
+}

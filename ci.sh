@@ -20,4 +20,12 @@ echo "==> perf_pipeline smoke"
 TF_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_pipeline.json" \
     cargo run --release -p threadfuser-bench --bin perf_pipeline
 
+echo "==> perf_sweep smoke (shared index vs cold re-analysis)"
+SWEEP_OUT="${TMPDIR:-/tmp}/BENCH_sweep.json"
+TF_BENCH_OUT="$SWEEP_OUT" \
+    cargo run --release -p threadfuser-bench --bin perf_sweep
+# Fails when the report is malformed or the warm-index sweep was not
+# faster than the cold one.
+cargo run --release -q -p threadfuser-bench --bin perf_sweep -- --check "$SWEEP_OUT"
+
 echo "==> ci.sh: all green"

@@ -70,7 +70,7 @@ pub fn dwf_upper_bound(traces: &TraceSet, warp_size: u32) -> DwfBound {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{analyze, AnalyzerConfig};
+    use crate::AnalyzerConfig;
     use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
     use threadfuser_machine::MachineConfig;
     use threadfuser_tracer::trace_program;
@@ -113,8 +113,7 @@ mod tests {
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 96)).unwrap();
         for w in [8u32, 16, 32] {
-            let stack_eff =
-                analyze(&p, &traces, &AnalyzerConfig::new(w)).unwrap().simt_efficiency();
+            let stack_eff = AnalyzerConfig::new(w).analyze(&p, &traces).unwrap().simt_efficiency();
             let bound = dwf_upper_bound(&traces, w).efficiency_bound();
             assert!(
                 bound >= stack_eff - 1e-12,
@@ -152,7 +151,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 128)).unwrap();
-        let stack_eff = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap().simt_efficiency();
+        let stack_eff = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap().simt_efficiency();
         let bound = dwf_upper_bound(&traces, 32).efficiency_bound();
         assert!(stack_eff < 0.75, "IPDOM serializes the halves: {stack_eff:.3}");
         assert!(bound > 0.95, "DWF repacks both halves fully: {bound:.3}");

@@ -15,12 +15,24 @@
 //! serially (one SIMT-stack entry each), uncontended threads continue as
 //! one group — and everyone reconverges at the anticipated reconvergence
 //! point: the block following one thread's matching unlock.
+//!
+//! Graph construction and IPDOM solving live in the shared
+//! [`AnalysisIndex`]; [`analyze_indexed`] replays warps against a
+//! prebuilt index so knob sweeps over one capture pay that cost once.
+//! Parallel runs distribute warps through a work-stealing queue
+//! ([`WarpScheduler::WorkStealing`]): per-warp trace lengths are wildly
+//! uneven, and a shared atomic cursor keeps every worker busy where the
+//! legacy static partition pinned a long warp's whole chunk on one
+//! thread. Per-warp results are merged in warp order either way, so the
+//! report is bit-identical to a sequential run.
 
 use crate::batching::BatchPolicy;
 use crate::dcfg::{Dcfg, DcfgSet};
+use crate::index::AnalysisIndex;
 use crate::report::{AnalysisReport, FunctionReport};
 use crate::AnalyzeError;
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
 use threadfuser_obs::{Obs, Phase};
@@ -43,11 +55,30 @@ pub enum ReconvergencePolicy {
     FunctionExit,
 }
 
+/// How warps are distributed across analyzer worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarpScheduler {
+    /// A shared atomic warp queue: each worker claims the next unclaimed
+    /// warp, so one long warp no longer pins a whole chunk of warps on a
+    /// single worker (per-warp trace lengths are wildly uneven).
+    #[default]
+    WorkStealing,
+    /// The legacy static partition: warps split into `ceil(n/workers)`
+    /// contiguous chunks, one per worker. Kept for comparison (the
+    /// `perf_sweep` benchmark measures both); results are identical.
+    StaticChunks,
+}
+
 /// Analyzer configuration.
 ///
 /// Construct with [`AnalyzerConfig::new`] and refine through the
 /// chainable setters (or direct field assignment); the struct is
 /// `#[non_exhaustive]` so fields can grow without breaking callers.
+///
+/// [`AnalyzerConfig::analyze`] is the blessed entry point; none of these
+/// knobs invalidates a shared [`AnalysisIndex`], so sweeps should build
+/// the index once and call [`AnalyzerConfig::analyze_indexed`] (or, at
+/// the facade level, `Traced::with_analyzer`).
 #[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct AnalyzerConfig {
@@ -62,6 +93,8 @@ pub struct AnalyzerConfig {
     pub reconvergence: ReconvergencePolicy,
     /// Worker threads for warp-parallel analysis (1 = sequential).
     pub parallelism: usize,
+    /// Warp-to-worker distribution (default work-stealing).
+    pub scheduler: WarpScheduler,
     /// Per-warp issue budget (runaway guard).
     pub max_issues_per_warp: u64,
     /// Observability handle; [`Obs::none`] (the default) costs nothing.
@@ -70,7 +103,7 @@ pub struct AnalyzerConfig {
 
 impl AnalyzerConfig {
     /// Defaults: warp 32, linear batching, fine-grain locks, sequential,
-    /// no observability sink.
+    /// work-stealing scheduler, no observability sink.
     pub fn new(warp_size: u32) -> Self {
         AnalyzerConfig {
             warp_size,
@@ -78,6 +111,7 @@ impl AnalyzerConfig {
             emulate_intra_warp_locks: false,
             reconvergence: ReconvergencePolicy::default(),
             parallelism: 1,
+            scheduler: WarpScheduler::default(),
             max_issues_per_warp: 1 << 40,
             obs: Obs::none(),
         }
@@ -114,6 +148,12 @@ impl AnalyzerConfig {
         self
     }
 
+    /// Selects the warp-to-worker scheduler (chainable).
+    pub fn scheduler(mut self, s: WarpScheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
     /// Sets the per-warp issue budget (chainable).
     pub fn max_issues(mut self, n: u64) -> Self {
         self.max_issues_per_warp = n;
@@ -125,11 +165,98 @@ impl AnalyzerConfig {
         self.obs = obs;
         self
     }
+
+    /// Runs the full analysis under this configuration: index
+    /// construction (DCFGs + IPDOMs), warp batching, and lock-step
+    /// emulation. The blessed one-shot entry point; for sweeps over one
+    /// capture, build an [`AnalysisIndex`] once and use
+    /// [`AnalyzerConfig::analyze_indexed`].
+    ///
+    /// # Errors
+    /// [`AnalyzeError`] when traces are malformed or desynchronize from
+    /// the program structure.
+    pub fn analyze(
+        &self,
+        program: &Program,
+        traces: &TraceSet,
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        let index = AnalysisIndex::build_observed(program, traces, &self.obs)?;
+        analyze_impl(program, traces, &index, self, None)
+    }
+
+    /// Runs the analysis against a prebuilt [`AnalysisIndex`], skipping
+    /// graph construction and IPDOM solving — the warm path of a config
+    /// sweep. The index must come from the same `(program, traces)` pair.
+    ///
+    /// # Errors
+    /// [`AnalyzeError`] when the emulation desynchronizes.
+    pub fn analyze_indexed(
+        &self,
+        program: &Program,
+        traces: &TraceSet,
+        index: &AnalysisIndex,
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        analyze_impl(program, traces, index, self, None)
+    }
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
         Self::new(32)
+    }
+}
+
+/// Per-instruction memory accesses of one emulated block execution:
+/// `inst_idx → (addr, size)` for every active lane, ordered by
+/// instruction index. Backed by a pooled vector the emulator reuses
+/// across block steps.
+#[derive(Debug, Default)]
+pub struct MemGroups {
+    groups: Vec<(u32, Vec<(u64, u32)>)>,
+}
+
+impl MemGroups {
+    /// Accesses of instruction `inst_idx`, if any active lane touched
+    /// memory there.
+    pub fn get(&self, inst_idx: u32) -> Option<&[(u64, u32)]> {
+        self.groups
+            .binary_search_by_key(&inst_idx, |&(i, _)| i)
+            .ok()
+            .map(|p| self.groups[p].1.as_slice())
+    }
+
+    /// Iterates `(inst_idx, accesses)` in instruction order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[(u64, u32)])> {
+        self.groups.iter().map(|(i, v)| (*i, v.as_slice()))
+    }
+
+    /// Whether no instruction accessed memory in this block execution.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of instructions that accessed memory.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns the inner vectors to `pool` for reuse.
+    fn recycle_into(&mut self, pool: &mut Vec<Vec<(u64, u32)>>) {
+        for (_, mut v) in self.groups.drain(..) {
+            v.clear();
+            pool.push(v);
+        }
+    }
+
+    fn push(&mut self, inst_idx: u32, access: (u64, u32), pool: &mut Vec<Vec<(u64, u32)>>) {
+        match self.groups.binary_search_by_key(&inst_idx, |&(i, _)| i) {
+            Ok(p) => self.groups[p].1.push(access),
+            Err(p) => {
+                let mut v = pool.pop().unwrap_or_default();
+                v.push(access);
+                self.groups.insert(p, (inst_idx, v));
+            }
+        }
     }
 }
 
@@ -149,9 +276,8 @@ pub struct BlockStep<'a> {
     pub mask: u64,
     /// Active-lane count.
     pub active: u32,
-    /// Per-instruction memory accesses: instruction index → `(addr, size)`
-    /// for every active lane.
-    pub mem: &'a BTreeMap<u32, Vec<(u64, u32)>>,
+    /// Per-instruction memory accesses of every active lane.
+    pub mem: &'a MemGroups,
 }
 
 /// Observer of emulated lock-step block executions.
@@ -187,115 +313,237 @@ pub trait StepSink {
 /// # Errors
 /// [`AnalyzeError`] when traces are malformed or desynchronize from the
 /// program structure.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `AnalyzerConfig::analyze` (one-shot) or `AnalyzerConfig::analyze_indexed` \
+            with a shared `AnalysisIndex` (sweeps); at the facade level, \
+            `threadfuser::prelude` and `Traced::analyze` are the blessed paths"
+)]
 pub fn analyze(
     program: &Program,
     traces: &TraceSet,
     config: &AnalyzerConfig,
 ) -> Result<AnalysisReport, AnalyzeError> {
-    analyze_impl(program, traces, config, None)
+    config.analyze(program, traces)
 }
 
-/// [`analyze`] with a [`StepSink`] observing every lock-step block
-/// execution. Forces sequential (single-worker) emulation so steps arrive
-/// in deterministic warp order.
+/// [`AnalyzerConfig::analyze`] with a [`StepSink`] observing every
+/// lock-step block execution. Forces sequential (single-worker) emulation
+/// so steps arrive in deterministic warp order.
 ///
 /// # Errors
 /// [`AnalyzeError`] when traces are malformed or desynchronize from the
 /// program structure.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `analyze_indexed_with_sink` with a shared `AnalysisIndex`"
+)]
 pub fn analyze_with_sink(
     program: &Program,
     traces: &TraceSet,
     config: &AnalyzerConfig,
     sink: &mut dyn StepSink,
 ) -> Result<AnalysisReport, AnalyzeError> {
-    analyze_impl(program, traces, config, Some(sink))
+    let index = AnalysisIndex::build_observed(program, traces, &config.obs)?;
+    analyze_impl(program, traces, &index, config, Some(sink))
+}
+
+/// Runs the analysis against a prebuilt [`AnalysisIndex`] (see
+/// [`AnalyzerConfig::analyze_indexed`]).
+///
+/// # Errors
+/// [`AnalyzeError`] when the emulation desynchronizes.
+pub fn analyze_indexed(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    config: &AnalyzerConfig,
+) -> Result<AnalysisReport, AnalyzeError> {
+    analyze_impl(program, traces, index, config, None)
+}
+
+/// [`analyze_indexed`] with a [`StepSink`] observing every lock-step
+/// block execution. Forces sequential (single-worker) emulation so steps
+/// arrive in deterministic warp order.
+///
+/// # Errors
+/// [`AnalyzeError`] when the emulation desynchronizes.
+pub fn analyze_indexed_with_sink(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    config: &AnalyzerConfig,
+    sink: &mut dyn StepSink,
+) -> Result<AnalysisReport, AnalyzeError> {
+    analyze_impl(program, traces, index, config, Some(sink))
+}
+
+/// Shared per-run context threaded to every warp execution.
+struct RunCtx<'a> {
+    program: &'a Program,
+    dcfgs: &'a DcfgSet,
+    statics: Option<&'a [FuncCfg]>,
+    config: &'a AnalyzerConfig,
+    traces: &'a TraceSet,
+}
+
+/// Emulates one warp and returns its warp-local report.
+///
+/// The optional step sink is moved into the emulator and handed back
+/// through `sink` on success (`&mut dyn` is invariant, so a plain
+/// reborrow per warp would not borrow-check across loop iterations).
+fn run_warp(
+    ctx: &RunCtx<'_>,
+    warp: &[u32],
+    warp_index: u32,
+    sink: &mut Option<&mut dyn StepSink>,
+) -> Result<AnalysisReport, AnalyzeError> {
+    let lanes: Vec<&ThreadTrace> =
+        warp.iter().map(|&t| &ctx.traces.threads()[t as usize]).collect();
+    let mut emu = WarpEmulator::new(ctx.program, ctx.dcfgs, ctx.config, &lanes);
+    emu.static_cfgs = ctx.statics;
+    emu.warp_index = warp_index;
+    emu.sink = sink.take();
+    let warp_span = ctx.config.obs.span(Phase::WarpEmulate);
+    emu.run()?;
+    if ctx.config.obs.enabled() {
+        emit_warp_obs(&ctx.config.obs, &emu.report);
+    }
+    warp_span.finish();
+    *sink = emu.sink.take();
+    Ok(emu.report)
 }
 
 fn analyze_impl(
     program: &Program,
     traces: &TraceSet,
+    index: &AnalysisIndex,
     config: &AnalyzerConfig,
     mut sink: Option<&mut dyn StepSink>,
 ) -> Result<AnalysisReport, AnalyzeError> {
     assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
-    let dcfgs = DcfgSet::build_observed(program, traces, &config.obs)?;
-    // Static CFGs are only needed for the StaticIpdom ablation.
-    let static_cfgs: Option<Vec<FuncCfg>> =
-        if config.reconvergence == ReconvergencePolicy::StaticIpdom {
-            Some(program.functions().iter().map(FuncCfg::from_function).collect())
-        } else {
-            None
-        };
+    // Static CFGs are only needed for the StaticIpdom ablation; the index
+    // caches them so repeated ablation runs solve them once.
+    let statics: Option<Arc<Vec<FuncCfg>>> = (config.reconvergence
+        == ReconvergencePolicy::StaticIpdom)
+        .then(|| index.static_cfgs(program));
     let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_chunk(
-        program: &Program,
-        dcfgs: &DcfgSet,
-        static_cfgs: Option<&[FuncCfg]>,
-        config: &AnalyzerConfig,
-        traces: &TraceSet,
-        chunk: &[Vec<u32>],
-        mut sink: Option<&mut dyn StepSink>,
-        warp_base: u32,
-    ) -> Result<AnalysisReport, AnalyzeError> {
-        let mut report = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
-        for (wi, warp) in chunk.iter().enumerate() {
-            let lanes: Vec<&ThreadTrace> =
-                warp.iter().map(|&t| &traces.threads()[t as usize]).collect();
-            let mut emu = WarpEmulator::new(program, dcfgs, config, &lanes);
-            emu.static_cfgs = static_cfgs;
-            emu.warp_index = warp_base + wi as u32;
-            // Move the sink in for this warp and take it back after:
-            // `&mut dyn` is invariant, so a per-iteration reborrow would
-            // pin the borrow for the whole loop.
-            emu.sink = sink.take();
-            let warp_span = config.obs.span(Phase::WarpEmulate);
-            let run_result = emu.run();
-            sink = emu.sink.take();
-            run_result?;
-            if config.obs.enabled() {
-                emit_warp_obs(&config.obs, &emu.report);
-            }
-            warp_span.finish();
-            report.merge(emu.report);
-        }
-        Ok(report)
-    }
+    let ctx = RunCtx {
+        program,
+        dcfgs: index.dcfgs(),
+        statics: statics.as_ref().map(|v| v.as_slice()),
+        config,
+        traces,
+    };
 
     // A sink forces sequential emulation (deterministic step order).
     let workers =
         if sink.is_some() { 1 } else { config.parallelism.max(1).min(warps.len().max(1)) };
-    let mut report = if workers <= 1 {
-        run_chunk(program, &dcfgs, static_cfgs.as_deref(), config, traces, &warps, sink.take(), 0)?
-    } else {
-        let chunk_len = warps.len().div_ceil(workers);
-        let dcfgs_ref = &dcfgs;
-        let statics_ref = static_cfgs.as_deref();
-        let results = std::thread::scope(|s| {
-            let handles: Vec<_> = warps
-                .chunks(chunk_len)
-                .map(|c| {
-                    s.spawn(move || {
-                        run_chunk(program, dcfgs_ref, statics_ref, config, traces, c, None, 0)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("analysis worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut merged = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
-        for r in results {
-            merged.merge(r?);
+    let mut report = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
+    if workers <= 1 {
+        for (wi, warp) in warps.iter().enumerate() {
+            report.merge(run_warp(&ctx, warp, wi as u32, &mut sink)?);
         }
-        merged
-    };
+    } else {
+        match config.scheduler {
+            WarpScheduler::WorkStealing => {
+                // Shared atomic cursor: each worker claims the next warp.
+                // Workers collect (warp index, report) pairs; the merge
+                // below replays them in warp order, so the result is
+                // bit-identical to the sequential loop regardless of
+                // which worker ran which warp.
+                let next = AtomicUsize::new(0);
+                let ctx_ref = &ctx;
+                let warps_ref = &warps;
+                type Claimed = Result<Vec<(usize, AnalysisReport)>, (usize, AnalyzeError)>;
+                let results: Vec<Claimed> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut local = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= warps_ref.len() {
+                                        return Ok(local);
+                                    }
+                                    match run_warp(ctx_ref, &warps_ref[i], i as u32, &mut None) {
+                                        Ok(r) => local.push((i, r)),
+                                        Err(e) => return Err((i, e)),
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("analysis worker panicked"))
+                        .collect()
+                });
+                let mut parts: Vec<(usize, AnalysisReport)> = Vec::with_capacity(warps.len());
+                let mut first_err: Option<(usize, AnalyzeError)> = None;
+                for r in results {
+                    match r {
+                        Ok(v) => parts.extend(v),
+                        // Deterministic error: the lowest-indexed failing
+                        // warp always executes, so report its error.
+                        Err((i, e)) => {
+                            if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                                first_err = Some((i, e));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, e)) = first_err {
+                    return Err(e);
+                }
+                parts.sort_unstable_by_key(|&(i, _)| i);
+                for (_, r) in parts {
+                    report.merge(r);
+                }
+            }
+            WarpScheduler::StaticChunks => {
+                let chunk_len = warps.len().div_ceil(workers);
+                let ctx_ref = &ctx;
+                let results: Vec<Result<AnalysisReport, AnalyzeError>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = warps
+                        .chunks(chunk_len)
+                        .enumerate()
+                        .map(|(ci, chunk)| {
+                            // Each chunk carries its true base offset so
+                            // warp indices stay globally unique.
+                            let base = ci * chunk_len;
+                            s.spawn(move || {
+                                let mut part = AnalysisReport {
+                                    warp_size: ctx_ref.config.warp_size,
+                                    ..Default::default()
+                                };
+                                for (wi, warp) in chunk.iter().enumerate() {
+                                    part.merge(run_warp(
+                                        ctx_ref,
+                                        warp,
+                                        (base + wi) as u32,
+                                        &mut None,
+                                    )?);
+                                }
+                                Ok(part)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("analysis worker panicked"))
+                        .collect()
+                });
+                for r in results {
+                    report.merge(r?);
+                }
+            }
+        }
+    }
 
-    // Skip counters come straight from the traces.
-    report.skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
-    report.skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
+    // Skip counters come pre-summed from the index.
+    report.skipped_io = index.skipped_io();
+    report.skipped_spin = index.skipped_spin();
     Ok(report)
 }
 
@@ -347,10 +595,31 @@ struct WarpEmulator<'a, 't, 's> {
     report: AnalysisReport,
     warp_index: u32,
     sink: Option<&'s mut dyn StepSink>,
+    // Scratch buffers reused across block steps (the emulation hot loop
+    // would otherwise allocate several containers per executed block).
+    mem_scratch: MemGroups,
+    vec_pool: Vec<Vec<(u64, u32)>>,
+    lines_scratch: Vec<u64>,
+    heap_acc_scratch: Vec<(u64, u32)>,
+    stack_acc_scratch: Vec<(u64, u32)>,
+    groups_scratch: Vec<(usize, u64)>,
+    // Per-function accumulators indexed by FuncId, folded into the
+    // report's map once per warp (a HashMap entry per block step would
+    // put a hash on the hot path).
+    func_scratch: Vec<FunctionReport>,
 }
 
-fn lanes_of(mask: u64, n: usize) -> impl Iterator<Item = usize> {
-    (0..n).filter(move |&l| mask >> l & 1 == 1)
+fn lanes_of(mask: u64, _n: usize) -> impl Iterator<Item = usize> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(l)
+        }
+    })
 }
 
 impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
@@ -372,6 +641,13 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             report: AnalysisReport { warp_size: config.warp_size, warps: 1, ..Default::default() },
             warp_index: 0,
             sink: None,
+            mem_scratch: MemGroups::default(),
+            vec_pool: Vec::new(),
+            lines_scratch: Vec::new(),
+            heap_acc_scratch: Vec::new(),
+            stack_acc_scratch: Vec::new(),
+            groups_scratch: Vec::new(),
+            func_scratch: vec![FunctionReport::default(); program.functions().len()],
         }
     }
 
@@ -414,6 +690,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             is_frame: true,
         });
 
+        // Copy of the `&'a Program` reference so terminator borrows do not
+        // pin `self` (avoids a per-block `Terminator` clone).
+        let program = self.program;
         while let Some(&top) = self.stack.last() {
             let dcfg = self.dcfg(top.func)?;
             let vexit = dcfg.virtual_exit();
@@ -444,13 +723,16 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             }
 
             // ---- terminator ---------------------------------------------
-            let term =
-                &self.program.function(top.func).block(BlockId(top.node as u32)).term.clone();
+            let term = &program.function(top.func).block(BlockId(top.node as u32)).term;
             match term {
                 Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
-                    let groups = self.group_by_next_block(top)?;
-                    let ipd = self.reconvergence_point(dcfg, top.func, top.node);
-                    self.apply_transition(top, groups, ipd)?;
+                    let mut groups = std::mem::take(&mut self.groups_scratch);
+                    let result = self.group_by_next_block(top, &mut groups).and_then(|()| {
+                        let ipd = self.reconvergence_point(dcfg, top.func, top.node);
+                        self.apply_transition(top, &mut groups, ipd)
+                    });
+                    self.groups_scratch = groups;
+                    result?;
                 }
                 Terminator::Ret { .. } => {
                     for l in lanes_of(top.mask, n) {
@@ -463,8 +745,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                             }
                         }
                     }
-                    let vx = self.dcfg(top.func)?.virtual_exit();
-                    self.apply_transition(top, vec![(vx, top.mask)], vx)?;
+                    // A single target group: advance straight to the
+                    // virtual exit (the pop above performs the merge).
+                    self.stack.last_mut().expect("nonempty").node = vexit;
                 }
                 Terminator::Call { callee, .. } => {
                     for l in lanes_of(top.mask, n) {
@@ -481,8 +764,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                     }
                     let active = lanes_of(top.mask, n).count() as u64;
                     let cf = self.program.function(*callee);
-                    let entry = self.per_function_entry(*callee);
-                    entry.invocations += active;
+                    self.func_scratch[callee.0 as usize].invocations += active;
                     let callee_exit = self.dcfg(*callee)?.virtual_exit();
                     self.stack.push(Entry {
                         func: *callee,
@@ -528,6 +810,16 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 return Err(self.desync(l, "trailing events after warp completion"));
             }
         }
+
+        // Fold the per-function accumulators into the report's map.
+        for (fi, fr) in self.func_scratch.iter_mut().enumerate() {
+            if fr.own_issues == 0 && fr.invocations == 0 {
+                continue;
+            }
+            let mut fr = std::mem::take(fr);
+            fr.name = self.program.functions()[fi].name.clone();
+            self.report.per_function.insert(fi as u32, fr);
+        }
         Ok(())
     }
 
@@ -572,37 +864,51 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         let n = self.cursors.len();
         let addr = BlockAddr::new(top.func, BlockId(top.node as u32));
         let mut n_insts: Option<u32> = None;
-        let mut mem_groups: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+        // Reuse the per-block scratch containers (hot loop: no fresh
+        // allocations once the pools are warm).
+        let mut mem_groups = std::mem::take(&mut self.mem_scratch);
+        let mut pool = std::mem::take(&mut self.vec_pool);
+        mem_groups.recycle_into(&mut pool);
         let mut active = 0u64;
         for l in lanes_of(top.mask, n) {
             active += 1;
-            match self.cursors[l].peek() {
+            let c = &mut self.cursors[l];
+            match c.peek() {
                 Some(TraceEvent::Block { addr: a, n_insts: ni }) if *a == addr => {
                     match n_insts {
                         None => n_insts = Some(*ni),
                         Some(prev) if prev == *ni => {}
                         Some(prev) => {
-                            return Err(self.desync(
-                                l,
-                                format!("block size mismatch at {addr}: {ni} vs {prev}"),
-                            ))
+                            let err = AnalyzeError::Desync {
+                                tid: c.tid,
+                                detail: format!("block size mismatch at {addr}: {ni} vs {prev}"),
+                            };
+                            self.mem_scratch = mem_groups;
+                            self.vec_pool = pool;
+                            return Err(err);
                         }
                     }
-                    self.cursors[l].pos += 1;
+                    c.pos += 1;
                 }
                 other => {
-                    return Err(self.desync(l, format!("expected block {addr}, got {other:?}")))
+                    let err = AnalyzeError::Desync {
+                        tid: c.tid,
+                        detail: format!("expected block {addr}, got {other:?}"),
+                    };
+                    self.mem_scratch = mem_groups;
+                    self.vec_pool = pool;
+                    return Err(err);
                 }
             }
-            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.cursors[l].peek() {
-                mem_groups.entry(*inst_idx).or_default().push((*addr, *size as u32));
-                self.cursors[l].pos += 1;
+            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = c.peek() {
+                mem_groups.push(*inst_idx, (*addr, *size as u32), &mut pool);
+                c.pos += 1;
             }
         }
         let ni = n_insts.expect("at least one active lane") as u64;
         self.report.issues += ni;
         self.report.thread_insts += ni * active;
-        let fr = self.per_function_entry(top.func);
+        let fr = &mut self.func_scratch[top.func.0 as usize];
         fr.own_issues += ni;
         fr.own_thread_insts += ni * active;
 
@@ -618,43 +924,48 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             });
         }
 
-        for accesses in mem_groups.values() {
-            let mut heap: Vec<(u64, u32)> = Vec::new();
-            let mut stack: Vec<(u64, u32)> = Vec::new();
-            for &(a, s) in accesses {
-                match segment_of(a) {
-                    Segment::Heap => heap.push((a, s)),
-                    Segment::Stack => stack.push((a, s)),
+        for (_, accesses) in mem_groups.iter() {
+            // Single pass: classify each access by segment, then coalesce
+            // each segment's accesses with the shared scratch buffer.
+            self.heap_acc_scratch.clear();
+            self.stack_acc_scratch.clear();
+            for &acc in accesses {
+                match segment_of(acc.0) {
+                    Segment::Heap => self.heap_acc_scratch.push(acc),
+                    Segment::Stack => self.stack_acc_scratch.push(acc),
                 }
             }
-            if !heap.is_empty() {
+            if !self.heap_acc_scratch.is_empty() {
                 self.report.heap.instructions += 1;
-                self.report.heap.accesses += heap.len() as u64;
-                self.report.heap.transactions +=
-                    threadfuser_mem::coalesce_transactions(heap) as u64;
+                self.report.heap.accesses += self.heap_acc_scratch.len() as u64;
+                self.report.heap.transactions += threadfuser_mem::coalesce_transactions_with(
+                    &mut self.lines_scratch,
+                    self.heap_acc_scratch.iter().copied(),
+                ) as u64;
             }
-            if !stack.is_empty() {
+            if !self.stack_acc_scratch.is_empty() {
                 self.report.stack.instructions += 1;
-                self.report.stack.accesses += stack.len() as u64;
-                self.report.stack.transactions +=
-                    threadfuser_mem::coalesce_transactions(stack) as u64;
+                self.report.stack.accesses += self.stack_acc_scratch.len() as u64;
+                self.report.stack.transactions += threadfuser_mem::coalesce_transactions_with(
+                    &mut self.lines_scratch,
+                    self.stack_acc_scratch.iter().copied(),
+                ) as u64;
             }
         }
+        self.mem_scratch = mem_groups;
+        self.vec_pool = pool;
         Ok(())
     }
 
-    fn per_function_entry(&mut self, func: FuncId) -> &mut FunctionReport {
-        let name = &self.program.function(func).name;
-        self.report
-            .per_function
-            .entry(func.0)
-            .or_insert_with(|| FunctionReport { name: name.clone(), ..Default::default() })
-    }
-
-    /// Groups active lanes by the block their next trace event names.
-    fn group_by_next_block(&mut self, top: Entry) -> Result<Vec<(usize, u64)>, AnalyzeError> {
+    /// Groups active lanes by the block their next trace event names,
+    /// filling `groups` (cleared on entry).
+    fn group_by_next_block(
+        &mut self,
+        top: Entry,
+        groups: &mut Vec<(usize, u64)>,
+    ) -> Result<(), AnalyzeError> {
+        groups.clear();
         let n = self.cursors.len();
-        let mut groups: Vec<(usize, u64)> = Vec::new();
         for l in lanes_of(top.mask, n) {
             let node = match self.cursors[l].peek() {
                 Some(TraceEvent::Block { addr, .. }) if addr.func == top.func => {
@@ -669,7 +980,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 None => groups.push((node, 1 << l)),
             }
         }
-        Ok(groups)
+        Ok(())
     }
 
     /// Standard SIMT-stack transition: advance, merge, or diverge via the
@@ -677,7 +988,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
     fn apply_transition(
         &mut self,
         top: Entry,
-        mut groups: Vec<(usize, u64)>,
+        groups: &mut [(usize, u64)],
         ipd: usize,
     ) -> Result<(), AnalyzeError> {
         if groups.len() == 1 {
@@ -686,7 +997,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         }
         self.report.divergences += 1;
         if let Some(sink) = self.sink.as_deref_mut() {
-            sink.on_divergence(self.warp_index, top.func, BlockId(top.node as u32), ipd, &groups);
+            sink.on_divergence(self.warp_index, top.func, BlockId(top.node as u32), ipd, groups);
         }
         self.stack.pop();
         // Reconvergence entry inherits the frame flag so a divergence that
@@ -699,7 +1010,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             is_frame: top.is_frame,
         });
         groups.sort_by_key(|&(node, _)| std::cmp::Reverse(node));
-        for (node, mask) in groups {
+        for &(node, mask) in groups.iter() {
             if node != ipd {
                 self.stack.push(Entry { func: top.func, node, rpc: ipd, mask, is_frame: false });
             }

@@ -1,0 +1,175 @@
+//! The shared **analysis index**: everything the analyzer derives from a
+//! `(program, traces)` capture that is independent of the analyzer knobs.
+//!
+//! Building the index is the expensive middle of every analysis — a full
+//! scan of every thread's event stream (DCFG construction + trace
+//! validation) followed by IPDOM solving — yet none of it depends on warp
+//! size, batching, lock emulation, reconvergence policy, or parallelism.
+//! [`AnalysisIndex`] computes it once; config sweeps over one capture
+//! ([`crate::analyze_indexed`], `Traced::with_analyzer` in the
+//! `threadfuser` facade) replay warps against the same index instead of
+//! re-deriving it per call.
+//!
+//! **Invalidation rule:** the index depends *only* on the program and the
+//! trace set. No [`crate::AnalyzerConfig`] knob invalidates it; a new
+//! capture (different program, optimization level, or thread count)
+//! requires a new index.
+
+use crate::dcfg::DcfgSet;
+use crate::AnalyzeError;
+use std::sync::{Arc, OnceLock};
+use threadfuser_ir::{FuncCfg, Program};
+use threadfuser_obs::{Obs, Phase};
+use threadfuser_tracer::TraceSet;
+
+/// Capture-level cache shared by every analyzer product: per-function
+/// dynamic CFGs with solved IPDOMs, per-thread trace cursor metadata
+/// (event counts), and — lazily — the static per-function CFGs used by
+/// the `StaticIpdom` ablation and the lock-step ground-truth executor.
+///
+/// Construction validates trace structure once, so indexed analyses skip
+/// the malformed-trace scan.
+#[derive(Debug)]
+pub struct AnalysisIndex {
+    dcfgs: DcfgSet,
+    thread_events: Vec<usize>,
+    skipped_io: u64,
+    skipped_spin: u64,
+    statics: OnceLock<Arc<Vec<FuncCfg>>>,
+}
+
+impl AnalysisIndex {
+    /// Builds the index: scans every trace into per-function DCFGs and
+    /// solves their IPDOMs.
+    ///
+    /// # Errors
+    /// [`AnalyzeError::MalformedTrace`] when a trace violates basic
+    /// structure.
+    pub fn build(program: &Program, traces: &TraceSet) -> Result<Self, AnalyzeError> {
+        Self::build_observed(program, traces, &Obs::none())
+    }
+
+    /// [`AnalysisIndex::build`] reporting an `index-build` span (wrapping
+    /// the nested `dcfg-build` and `ipdom` spans) and an `index_misses`
+    /// counter to `obs`. Cache layers (e.g. `Traced` in the `threadfuser`
+    /// facade) emit the matching `index_hits` counter on reuse.
+    ///
+    /// # Errors
+    /// [`AnalyzeError::MalformedTrace`] when a trace violates basic
+    /// structure.
+    pub fn build_observed(
+        program: &Program,
+        traces: &TraceSet,
+        obs: &Obs,
+    ) -> Result<Self, AnalyzeError> {
+        let span = obs.span(Phase::IndexBuild);
+        obs.counter(Phase::IndexBuild, "index_misses", 1);
+        let dcfgs = DcfgSet::build_observed(program, traces, obs)?;
+        let thread_events = traces.threads().iter().map(|t| t.events.len()).collect();
+        let skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
+        let skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
+        span.finish();
+        Ok(AnalysisIndex {
+            dcfgs,
+            thread_events,
+            skipped_io,
+            skipped_spin,
+            statics: OnceLock::new(),
+        })
+    }
+
+    /// The per-function dynamic CFGs with solved IPDOMs.
+    pub fn dcfgs(&self) -> &DcfgSet {
+        &self.dcfgs
+    }
+
+    /// Per-thread trace lengths (event counts), in thread order — the
+    /// cursor metadata the scheduler uses to reason about warp imbalance.
+    pub fn thread_event_counts(&self) -> &[usize] {
+        &self.thread_events
+    }
+
+    /// Total events across all threads.
+    pub fn total_events(&self) -> u64 {
+        self.thread_events.iter().map(|&n| n as u64).sum()
+    }
+
+    /// Instructions the capture skipped in opaque I/O, pre-summed.
+    pub fn skipped_io(&self) -> u64 {
+        self.skipped_io
+    }
+
+    /// Instructions the capture skipped spinning on locks, pre-summed.
+    pub fn skipped_spin(&self) -> u64 {
+        self.skipped_spin
+    }
+
+    /// Static per-function CFGs with solved IPDOMs, built on first use
+    /// and cached — shared by the `StaticIpdom` reconvergence ablation
+    /// and reusable by the lock-step hardware model when it runs the same
+    /// binary. `program` must be the program the index was built from.
+    pub fn static_cfgs(&self, program: &Program) -> Arc<Vec<FuncCfg>> {
+        Arc::clone(self.statics.get_or_init(|| {
+            Arc::new(program.functions().iter().map(FuncCfg::from_function).collect())
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use threadfuser_ir::{AluOp, Cond, ProgramBuilder};
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_obs::InMemorySink;
+    use threadfuser_tracer::trace_program;
+
+    fn capture() -> (Program, TraceSet) {
+        let mut pb = ProgramBuilder::new();
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let bit = fb.alu(AluOp::And, tid, 1i64);
+            fb.if_then(Cond::Eq, bit, 0i64, |fb| fb.nop());
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let (traces, _) = trace_program(&p, MachineConfig::new(k, 16)).unwrap();
+        (p, traces)
+    }
+
+    #[test]
+    fn index_carries_cursor_metadata() {
+        let (p, traces) = capture();
+        let ix = AnalysisIndex::build(&p, &traces).unwrap();
+        assert_eq!(ix.thread_event_counts().len(), 16);
+        assert_eq!(
+            ix.total_events(),
+            traces.threads().iter().map(|t| t.events.len() as u64).sum::<u64>()
+        );
+        assert!(ix.thread_event_counts().iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn build_observed_emits_index_span_and_miss() {
+        let (p, traces) = capture();
+        let sink = StdArc::new(InMemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        AnalysisIndex::build_observed(&p, &traces, &obs).unwrap();
+        assert_eq!(sink.span_count(Phase::IndexBuild), 1);
+        assert_eq!(sink.counter_total("index_misses"), 1);
+        assert_eq!(sink.counter_total("index_hits"), 0);
+        // The nested phases still report under the index span.
+        assert_eq!(sink.span_count(Phase::DcfgBuild), 1);
+        assert_eq!(sink.span_count(Phase::Ipdom), 1);
+    }
+
+    #[test]
+    fn static_cfgs_are_built_once_and_shared() {
+        let (p, traces) = capture();
+        let ix = AnalysisIndex::build(&p, &traces).unwrap();
+        let a = ix.static_cfgs(&p);
+        let b = ix.static_cfgs(&p);
+        assert!(StdArc::ptr_eq(&a, &b), "second call must reuse the first build");
+        assert_eq!(a.len(), p.functions().len());
+    }
+}

@@ -22,11 +22,14 @@
 //!
 //! ## Quick start
 //!
+//! The blessed entry point is [`AnalyzerConfig::analyze`] (one-shot). The
+//! free functions `analyze`/`analyze_with_sink` are deprecated shims.
+//!
 //! ```
 //! use threadfuser_ir::{ProgramBuilder, AluOp, Cond};
 //! use threadfuser_machine::MachineConfig;
 //! use threadfuser_tracer::trace_program;
-//! use threadfuser_analyzer::{analyze, AnalyzerConfig};
+//! use threadfuser_analyzer::AnalyzerConfig;
 //!
 //! // Threads diverge on tid parity.
 //! let mut pb = ProgramBuilder::new();
@@ -38,23 +41,46 @@
 //! });
 //! let program = pb.build().unwrap();
 //! let (traces, _) = trace_program(&program, MachineConfig::new(k, 64)).unwrap();
-//! let report = analyze(&program, &traces, &AnalyzerConfig::new(32)).unwrap();
+//! let report = AnalyzerConfig::new(32).analyze(&program, &traces).unwrap();
 //! assert!(report.simt_efficiency() < 1.0);
+//! ```
+//!
+//! ## Config sweeps
+//!
+//! Every [`AnalyzerConfig`] knob leaves the derived graphs untouched, so a
+//! sweep should pay DCFG construction and IPDOM solving once via the
+//! shared [`AnalysisIndex`]:
+//!
+//! ```no_run
+//! # use threadfuser_analyzer::{AnalysisIndex, AnalyzerConfig};
+//! # fn sweep(program: &threadfuser_ir::Program, traces: &threadfuser_tracer::TraceSet)
+//! #     -> Result<(), threadfuser_analyzer::AnalyzeError> {
+//! let index = AnalysisIndex::build(program, traces)?;
+//! for w in [8, 16, 32, 64] {
+//!     let report = AnalyzerConfig::new(w).analyze_indexed(program, traces, &index)?;
+//!     println!("warp {w}: efficiency {:.3}", report.simt_efficiency());
+//! }
+//! # Ok(()) }
 //! ```
 
 pub mod batching;
 pub mod dcfg;
 pub mod dwf;
 pub mod emulator;
+pub mod index;
 pub mod report;
 pub mod stats;
 
 pub use batching::BatchPolicy;
 pub use dcfg::{Dcfg, DcfgSet};
 pub use dwf::{dwf_upper_bound, DwfBound};
+#[allow(deprecated)]
+pub use emulator::{analyze, analyze_with_sink};
 pub use emulator::{
-    analyze, analyze_with_sink, AnalyzerConfig, BlockStep, ReconvergencePolicy, StepSink,
+    analyze_indexed, analyze_indexed_with_sink, AnalyzerConfig, BlockStep, MemGroups,
+    ReconvergencePolicy, StepSink, WarpScheduler,
 };
+pub use index::AnalysisIndex;
 pub use report::{AnalysisReport, FunctionReport, SegmentTraffic};
 
 use std::fmt;
@@ -113,7 +139,7 @@ mod tests {
         w: u32,
     ) -> (AnalysisReport, threadfuser_machine::LockstepStats) {
         let (traces, _) = trace_program(p, MachineConfig::new(k, n)).unwrap();
-        let report = analyze(p, &traces, &AnalyzerConfig::new(w)).unwrap();
+        let report = AnalyzerConfig::new(w).analyze(p, &traces).unwrap();
         let mut cfg = LockstepConfig::new(k, n);
         cfg.warp_size = w;
         let truth = LockstepMachine::new(p, cfg).unwrap().run().unwrap();
@@ -198,7 +224,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 64)).unwrap();
-        let report = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+        let report = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
         let hot_r = report.function(hot).unwrap();
         let k_r = report.function(k).unwrap();
         assert_eq!(hot_r.invocations, 64);
@@ -242,10 +268,10 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 32)).unwrap();
-        let fine = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+        let fine = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
         let mut cfg = AnalyzerConfig::new(32);
         cfg.emulate_intra_warp_locks = true;
-        let serial = analyze(&p, &traces, &cfg).unwrap();
+        let serial = cfg.analyze(&p, &traces).unwrap();
         assert_eq!(fine.lock_serializations, 0);
         assert!(serial.lock_serializations > 0);
         assert!(
@@ -277,7 +303,7 @@ mod tests {
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 32)).unwrap();
         let mut cfg = AnalyzerConfig::new(32);
         cfg.emulate_intra_warp_locks = true;
-        let report = analyze(&p, &traces, &cfg).unwrap();
+        let report = cfg.analyze(&p, &traces).unwrap();
         assert_eq!(report.lock_serializations, 0);
         assert!((report.simt_efficiency() - 1.0).abs() < 1e-12);
     }
@@ -286,10 +312,10 @@ mod tests {
     fn parallel_analysis_matches_sequential() {
         let (p, k) = divergent_program();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 128)).unwrap();
-        let seq = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+        let seq = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
         let mut cfg = AnalyzerConfig::new(32);
         cfg.parallelism = 4;
-        let par = analyze(&p, &traces, &cfg).unwrap();
+        let par = cfg.analyze(&p, &traces).unwrap();
         assert_eq!(seq.issues, par.issues);
         assert_eq!(seq.thread_insts, par.thread_insts);
         assert_eq!(seq.heap, par.heap);
@@ -314,10 +340,10 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 64)).unwrap();
-        let linear = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+        let linear = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
         let mut cfg = AnalyzerConfig::new(32);
         cfg.batching = BatchPolicy::Strided;
-        let strided = analyze(&p, &traces, &cfg).unwrap();
+        let strided = cfg.analyze(&p, &traces).unwrap();
         assert!(
             linear.simt_efficiency() > strided.simt_efficiency(),
             "linear {} vs strided {}",
@@ -343,7 +369,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 32)).unwrap();
-        let report = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+        let report = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
         assert!((report.simt_efficiency() - 1.0).abs() < 1e-12);
     }
 
@@ -356,7 +382,7 @@ mod tests {
         });
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
-        let report = analyze(&p, &traces, &AnalyzerConfig::new(4)).unwrap();
+        let report = AnalyzerConfig::new(4).analyze(&p, &traces).unwrap();
         assert_eq!(report.skipped_io, 400);
         assert!(report.traced_fraction() < 0.1);
     }
@@ -370,7 +396,7 @@ mod tests {
         let eff = |policy| {
             let mut cfg = AnalyzerConfig::new(32);
             cfg.reconvergence = policy;
-            analyze(&p, &traces, &cfg).unwrap().simt_efficiency()
+            cfg.analyze(&p, &traces).unwrap().simt_efficiency()
         };
         let dynamic = eff(ReconvergencePolicy::DynamicIpdom);
         let fixed = eff(ReconvergencePolicy::StaticIpdom);
@@ -391,7 +417,7 @@ mod tests {
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 96)).unwrap();
         let mut cfg = AnalyzerConfig::new(32);
         cfg.reconvergence = ReconvergencePolicy::StaticIpdom;
-        let report = analyze(&p, &traces, &cfg).unwrap();
+        let report = cfg.analyze(&p, &traces).unwrap();
         let mut lcfg = LockstepConfig::new(k, 96);
         lcfg.warp_size = 32;
         let truth = LockstepMachine::new(&p, lcfg).unwrap().run().unwrap();
@@ -427,7 +453,7 @@ mod tests {
         let p = pb.build().unwrap();
         let (report, truth) = {
             let (traces, _) = trace_program(&p, MachineConfig::new(k, 64)).unwrap();
-            let report = analyze(&p, &traces, &AnalyzerConfig::new(32)).unwrap();
+            let report = AnalyzerConfig::new(32).analyze(&p, &traces).unwrap();
             let mut cfg = LockstepConfig::new(k, 64);
             cfg.warp_size = 32;
             let truth = LockstepMachine::new(&p, cfg).unwrap().run().unwrap();
@@ -446,7 +472,7 @@ mod tests {
         // Ret with no frame.
         let t = ThreadTrace { tid: 0, events: vec![TraceEvent::Ret], ..Default::default() };
         let traces: TraceSet = std::iter::once(t).collect();
-        let err = analyze(&p, &traces, &AnalyzerConfig::new(4)).unwrap_err();
+        let err = AnalyzerConfig::new(4).analyze(&p, &traces).unwrap_err();
         assert!(matches!(err, AnalyzeError::MalformedTrace { .. }));
     }
 }

@@ -3,7 +3,7 @@
 //! and warp emulation throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use threadfuser::analyzer::{analyze, AnalyzerConfig, DcfgSet};
+use threadfuser::analyzer::{AnalysisIndex, AnalyzerConfig, DcfgSet};
 use threadfuser::machine::{Machine, MachineConfig, NoopHook};
 use threadfuser::tracer::{trace_program, Tracer};
 use threadfuser::workloads::by_name;
@@ -37,12 +37,17 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analyzer");
     group.bench_function("dcfg_ipdom", |b| b.iter(|| DcfgSet::build(&w.program, &traces).unwrap()));
     group.bench_function("warp_emulation_w32", |b| {
-        b.iter(|| analyze(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap())
+        b.iter(|| AnalyzerConfig::new(32).analyze(&w.program, &traces).unwrap())
     });
     let mut par = AnalyzerConfig::new(32);
     par.parallelism = 4;
     group.bench_function("warp_emulation_w32_par4", |b| {
-        b.iter(|| analyze(&w.program, &traces, &par).unwrap())
+        b.iter(|| par.analyze(&w.program, &traces).unwrap())
+    });
+    // Warm-index emulation: the sweep fast path (index built once outside).
+    let index = AnalysisIndex::build(&w.program, &traces).unwrap();
+    group.bench_function("warp_emulation_w32_indexed", |b| {
+        b.iter(|| AnalyzerConfig::new(32).analyze_indexed(&w.program, &traces, &index).unwrap())
     });
     group.finish();
 }

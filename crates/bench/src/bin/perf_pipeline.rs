@@ -23,12 +23,14 @@ const WORKLOADS: &[&str] = &["vectoradd", "md5", "bfs", "pigz", "usertag"];
 const PHASES: &[Phase] = &[
     Phase::Optimize,
     Phase::Trace,
+    Phase::IndexBuild,
     Phase::DcfgBuild,
     Phase::Ipdom,
     Phase::WarpEmulate,
     Phase::Coalesce,
     Phase::SimtSim,
     Phase::CpuSim,
+    Phase::Lockstep,
 ];
 
 #[derive(Serialize)]

@@ -1,0 +1,267 @@
+//! Config-sweep benchmark for the shared analysis index: traces each
+//! benchmark workload once, then re-analyzes it across a 3-knob grid
+//! (warp size × batching × reconvergence policy) twice — cold (every
+//! configuration rebuilds DCFGs + IPDOMs via `AnalyzerConfig::analyze`)
+//! and warm (every configuration replays against the capture's shared
+//! `AnalysisIndex` via `Traced::with_analyzer` views). Also times the
+//! warm sweep under both warp schedulers (work-stealing vs the legacy
+//! static partition) and cross-checks that every warm report is
+//! bit-identical to its cold twin and that sequential and parallel
+//! emulation agree.
+//!
+//! Writes `BENCH_sweep.json` to the current directory (override with
+//! `TF_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_sweep
+//! ```
+//!
+//! `perf_sweep --check FILE` re-reads a previously written report and
+//! fails (exit 1) when it is malformed or any workload's warm-index
+//! sweep was not faster than its cold one — the CI guard for the index
+//! fast path.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use threadfuser::analyzer::{AnalysisReport, BatchPolicy, ReconvergencePolicy, WarpScheduler};
+use threadfuser::workloads::by_name;
+use threadfuser::Traced;
+use threadfuser_bench::{developer_pipeline, f2, threads_for};
+
+/// The divergent Table I stress cases: pigz (long, uneven deflate warps)
+/// and hdsearch_mid (the Fig. 7 bottleneck study, branchy FLANN search).
+const WORKLOADS: &[&str] = &["pigz", "hdsearch_mid"];
+
+/// Repetitions per timed sweep; the reported time is the minimum, which
+/// discards host scheduler noise (steal-time spikes on shared machines)
+/// and first-pass cache/frequency ramp.
+const REPS: usize = 4;
+
+#[derive(Serialize, Deserialize)]
+struct WorkloadSweep {
+    workload: String,
+    threads: u32,
+    configs: u32,
+    /// One-time index construction (DCFGs + IPDOMs), amortized by warm.
+    index_build_ms: f64,
+    /// Whole grid, rebuilding the index per configuration.
+    cold_ms: f64,
+    /// Whole grid against the prebuilt shared index.
+    warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    warm_speedup: f64,
+    /// Warm grid under the legacy static-chunk scheduler.
+    static_ms: f64,
+    /// Warm grid under the work-stealing scheduler.
+    stealing_ms: f64,
+    /// Worker threads used for the scheduler comparison.
+    parallelism: usize,
+    /// Sequential and 8-worker runs produced bit-identical reports.
+    deterministic: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SweepReport {
+    benchmark: String,
+    workloads: Vec<WorkloadSweep>,
+}
+
+/// The 3-knob grid: 4 warp sizes × 2 batchings × 3 reconvergence
+/// policies = 24 configurations.
+fn grid() -> Vec<(u32, BatchPolicy, ReconvergencePolicy)> {
+    let mut g = Vec::new();
+    for warp in [8u32, 16, 32, 64] {
+        for batching in [BatchPolicy::Linear, BatchPolicy::Strided] {
+            for policy in [
+                ReconvergencePolicy::DynamicIpdom,
+                ReconvergencePolicy::StaticIpdom,
+                ReconvergencePolicy::FunctionExit,
+            ] {
+                g.push((warp, batching, policy));
+            }
+        }
+    }
+    g
+}
+
+fn warm_sweep(
+    traced: &Traced,
+    grid: &[(u32, BatchPolicy, ReconvergencePolicy)],
+    parallelism: usize,
+    scheduler: WarpScheduler,
+) -> Vec<AnalysisReport> {
+    grid.iter()
+        .map(|&(warp, batching, policy)| {
+            traced
+                .view()
+                .warp_size(warp)
+                .batching(batching)
+                .reconvergence(policy)
+                .parallelism(parallelism)
+                .scheduler(scheduler)
+                .analyze()
+                .expect("warm analysis")
+        })
+        .collect()
+}
+
+fn run_workload(name: &str) -> WorkloadSweep {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let threads = threads_for(&w);
+    let traced = developer_pipeline(&w).trace().expect("trace");
+    let grid = grid();
+
+    let cold_sweep = || -> Vec<AnalysisReport> {
+        grid.iter()
+            .map(|&(warp, batching, policy)| {
+                let mut cfg = traced.analyzer_config().clone().warp_size(warp);
+                cfg.batching = batching;
+                cfg.reconvergence = policy;
+                cfg.parallelism = 1;
+                cfg.analyze(traced.program(), traced.traces()).expect("cold analysis")
+            })
+            .collect()
+    };
+
+    // Untimed warmup: touch every code path once so neither side pays the
+    // first-run instruction-cache and branch-predictor ramp.
+    let _ = cold_sweep();
+
+    // Cold: each configuration pays DCFG + IPDOM again.
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_reports = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        cold_reports = cold_sweep();
+        cold_ms = cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Warm: build the shared index once, then replay warps only.
+    let start = Instant::now();
+    let _ = traced.index().expect("index build");
+    let index_build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_reports = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        warm_reports = warm_sweep(&traced, &grid, 1, WarpScheduler::WorkStealing);
+        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    for (i, (cold, warm)) in cold_reports.iter().zip(&warm_reports).enumerate() {
+        assert_eq!(cold, warm, "{name} config {i}: warm report must equal cold report");
+    }
+
+    // Determinism: 1 worker vs 8 workers, bit-identical reports.
+    let seq = warm_sweep(&traced, &grid, 1, WarpScheduler::WorkStealing);
+    let par = warm_sweep(&traced, &grid, 8, WarpScheduler::WorkStealing);
+    let deterministic = seq == par;
+    assert!(deterministic, "{name}: parallel emulation must be bit-identical to sequential");
+
+    // Scheduler comparison at the host's parallelism (≥ 2 to exercise the
+    // parallel paths even on small hosts).
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let start = Instant::now();
+    let static_reports = warm_sweep(&traced, &grid, parallelism, WarpScheduler::StaticChunks);
+    let static_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let stealing_reports = warm_sweep(&traced, &grid, parallelism, WarpScheduler::WorkStealing);
+    let stealing_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(static_reports, stealing_reports, "{name}: schedulers must agree");
+
+    WorkloadSweep {
+        workload: name.to_string(),
+        threads,
+        configs: grid.len() as u32,
+        index_build_ms,
+        cold_ms,
+        warm_ms,
+        warm_speedup: if warm_ms > 0.0 { cold_ms / warm_ms } else { 0.0 },
+        static_ms,
+        stealing_ms,
+        parallelism,
+        deterministic,
+    }
+}
+
+fn run() -> SweepReport {
+    SweepReport {
+        benchmark: "perf_sweep".to_string(),
+        workloads: WORKLOADS.iter().map(|name| run_workload(name)).collect(),
+    }
+}
+
+/// Validates a previously written report; returns an error message on a
+/// malformed file or a failed invariant.
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let r: SweepReport = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    if r.benchmark != "perf_sweep" {
+        return Err(format!("unexpected benchmark name {:?}", r.benchmark));
+    }
+    if r.workloads.is_empty() {
+        return Err("no workloads in report".to_string());
+    }
+    for s in &r.workloads {
+        if s.configs == 0 || s.cold_ms <= 0.0 || s.warm_ms <= 0.0 {
+            return Err(format!(
+                "{}: implausible timings: {} configs, cold {} ms, warm {} ms",
+                s.workload, s.configs, s.cold_ms, s.warm_ms
+            ));
+        }
+        if !s.deterministic {
+            return Err(format!(
+                "{}: parallel emulation was not bit-identical to sequential",
+                s.workload
+            ));
+        }
+        if s.warm_ms >= s.cold_ms {
+            return Err(format!(
+                "{}: warm-index sweep ({} ms) was not faster than cold ({} ms)",
+                s.workload, s.warm_ms, s.cold_ms
+            ));
+        }
+        println!(
+            "{path}: {} ok ({} configs, warm {}x faster than cold)",
+            s.workload,
+            s.configs,
+            f2(s.warm_speedup)
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_sweep.json");
+        if let Err(e) = check(path) {
+            eprintln!("perf_sweep --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = run();
+    for s in &report.workloads {
+        println!(
+            "{:<12} {:>4} threads  {} configs  cold {:>8} ms  warm {:>8} ms  ({}x)",
+            s.workload,
+            s.threads,
+            s.configs,
+            f2(s.cold_ms),
+            f2(s.warm_ms),
+            f2(s.warm_speedup),
+        );
+        println!(
+            "  schedulers @ {} workers: static {} ms, work-stealing {} ms",
+            s.parallelism,
+            f2(s.static_ms),
+            f2(s.stealing_ms),
+        );
+    }
+    let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

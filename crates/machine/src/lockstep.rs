@@ -194,7 +194,7 @@ pub struct LockstepMachine<'p> {
     config: LockstepConfig,
     memory: Memory,
     heap: Heap,
-    cfgs: Vec<FuncCfg>,
+    cfgs: std::sync::Arc<Vec<FuncCfg>>,
     stats: LockstepStats,
 }
 
@@ -204,13 +204,29 @@ impl<'p> LockstepMachine<'p> {
     /// # Errors
     /// [`LockstepError::KernelArity`] on kernel signature mismatch.
     pub fn new(program: &'p Program, config: LockstepConfig) -> Result<Self, LockstepError> {
+        let cfgs = program.functions().iter().map(FuncCfg::from_function).collect();
+        Self::new_with_cfgs(program, config, std::sync::Arc::new(cfgs))
+    }
+
+    /// [`LockstepMachine::new`] with prebuilt per-function CFGs — lets a
+    /// caller that already solved them (e.g. an analysis index built for
+    /// the same binary) share the solutions instead of re-deriving them.
+    /// `cfgs` must hold one [`FuncCfg`] per program function, in order.
+    ///
+    /// # Errors
+    /// [`LockstepError::KernelArity`] on kernel signature mismatch.
+    pub fn new_with_cfgs(
+        program: &'p Program,
+        config: LockstepConfig,
+        cfgs: std::sync::Arc<Vec<FuncCfg>>,
+    ) -> Result<Self, LockstepError> {
         assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
+        assert_eq!(cfgs.len(), program.functions().len(), "one CFG per function");
         let kf = program.function(config.kernel);
         let got = 1 + config.extra_args.len();
         if kf.params as usize != got {
             return Err(LockstepError::KernelArity { expected: kf.params, got });
         }
-        let cfgs = program.functions().iter().map(FuncCfg::from_function).collect();
         Ok(LockstepMachine {
             program,
             memory: Memory::with_globals(program),

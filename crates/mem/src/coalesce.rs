@@ -29,6 +29,17 @@ pub const TRANSACTION_BYTES: u64 = 32;
 pub fn coalesce_transactions(accesses: impl IntoIterator<Item = (u64, u32)>) -> u32 {
     // Warps are small (≤ 64 lanes); a sorted Vec beats a HashSet here.
     let mut lines: Vec<u64> = Vec::with_capacity(8);
+    coalesce_transactions_with(&mut lines, accesses)
+}
+
+/// [`coalesce_transactions`] with a caller-provided scratch buffer, for
+/// hot loops that coalesce once per emulated memory instruction. The
+/// buffer is cleared on entry; its capacity is retained across calls.
+pub fn coalesce_transactions_with(
+    lines: &mut Vec<u64>,
+    accesses: impl IntoIterator<Item = (u64, u32)>,
+) -> u32 {
+    lines.clear();
     for (addr, size) in accesses {
         debug_assert!(size > 0, "zero-sized access");
         let first = addr / TRANSACTION_BYTES;

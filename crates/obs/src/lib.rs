@@ -49,6 +49,11 @@ pub enum Phase {
     Optimize,
     /// Native MIMD execution + per-thread trace capture.
     Trace,
+    /// Shared analysis-index construction (DCFG build + IPDOM solving +
+    /// per-thread cursor metadata); wraps [`Phase::DcfgBuild`] and
+    /// [`Phase::Ipdom`]. Carries the `index_misses` / `index_hits`
+    /// counters of the capture-level cache.
+    IndexBuild,
     /// Dynamic CFG construction from the traces.
     DcfgBuild,
     /// IPDOM solving over the dynamic CFGs.
@@ -61,6 +66,8 @@ pub enum Phase {
     SimtSim,
     /// Multicore CPU baseline simulation.
     CpuSim,
+    /// Warp-native lock-step ground-truth measurement.
+    Lockstep,
 }
 
 impl Phase {
@@ -69,12 +76,14 @@ impl Phase {
         match self {
             Phase::Optimize => "optimize",
             Phase::Trace => "trace",
+            Phase::IndexBuild => "index-build",
             Phase::DcfgBuild => "dcfg-build",
             Phase::Ipdom => "ipdom",
             Phase::WarpEmulate => "warp-emulate",
             Phase::Coalesce => "coalesce",
             Phase::SimtSim => "simt-sim",
             Phase::CpuSim => "cpu-sim",
+            Phase::Lockstep => "lockstep",
         }
     }
 }

@@ -6,7 +6,12 @@
 //! threadfuser functions <workload> [--threads N] [--warp N]
 //! threadfuser hardware <workload> [--threads N] [--warp N]
 //! threadfuser speedup <workload> [--threads N] [--cores N]
+//! threadfuser sweep <workload> [--threads N] [--opt O0..O3] [--json]
 //! ```
+//!
+//! `sweep` traces the workload once and re-analyzes it across warp sizes
+//! and batching policies through the shared analysis index (the warm-sweep
+//! idiom of `Traced::with_analyzer`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -52,7 +57,8 @@ fn usage() -> ExitCode {
          analyze   <workload>      SIMT efficiency + memory divergence\n  \
          functions <workload>      per-function breakdown (Fig. 7 style)\n  \
          hardware  <workload>      warp-native lock-step measurement\n  \
-         speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n\n\
+         speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n  \
+         sweep     <workload>      warp-size × batching sweep, traced once\n\n\
          options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
          --batching linear|strided|shuffled --cores N --json\n         \
          --obs FILE   write per-phase metrics as JSON lines to FILE"
@@ -190,6 +196,55 @@ fn cmd_hardware(w: &Workload, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+#[derive(serde::Serialize)]
+struct SweepRow {
+    warp: u32,
+    batching: &'static str,
+    simt_efficiency: f64,
+    transactions: u64,
+}
+
+fn cmd_sweep(w: &Workload, o: &Options) -> Result<(), String> {
+    let p = pipeline(w, o)?;
+    // One trace, one index; every configuration below replays warps only.
+    let traced = p.trace().map_err(|e| e.to_string())?;
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for warp in [8u32, 16, 32, 64] {
+        for (label, policy) in [("linear", BatchPolicy::Linear), ("strided", BatchPolicy::Strided)]
+        {
+            let report = traced
+                .view()
+                .warp_size(warp)
+                .batching(policy)
+                .analyze()
+                .map_err(|e| e.to_string())?;
+            rows.push(SweepRow {
+                warp,
+                batching: label,
+                simt_efficiency: report.simt_efficiency(),
+                transactions: report.total_transactions(),
+            });
+        }
+    }
+    p.obs().flush();
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    println!("warm-index sweep of {} (traced once at {}):", w.meta.name, o.opt);
+    let mut t = TextTable::new(&["warp", "batching", "efficiency", "transactions"]);
+    for r in rows {
+        t.row(&[
+            r.warp.to_string(),
+            r.batching.to_string(),
+            format!("{:.1}%", r.simt_efficiency * 100.0),
+            r.transactions.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
 fn cmd_speedup(w: &Workload, o: &Options) -> Result<(), String> {
     let simt = SimtSimConfig { n_cores: o.cores, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
@@ -234,6 +289,7 @@ fn main() -> ExitCode {
         "functions" => cmd_functions(&w, &opts),
         "hardware" => cmd_hardware(&w, &opts),
         "speedup" => cmd_speedup(&w, &opts),
+        "sweep" => cmd_sweep(&w, &opts),
         _ => return usage(),
     };
     match result {

@@ -34,6 +34,33 @@
 //! | [`cpusim`] | Multicore CPU timing baseline (Fig. 6 denominator) |
 //! | [`workloads`] | The 36 Table I workloads |
 //! | [`xapp`] | XAPP-style ML baseline (Table II) |
+//!
+//! ## The blessed analysis path
+//!
+//! There is exactly one recommended way in: build a [`Pipeline`], call
+//! [`Pipeline::trace`] once per capture, and derive every product from the
+//! returned [`Traced`] artifact (everything needed is in [`prelude`]).
+//! `Traced` lazily builds a shared `AnalysisIndex` — the per-function
+//! dynamic CFGs and solved IPDOMs — and every call ([`Traced::analyze`],
+//! [`Traced::warp_traces`], [`Traced::project_speedup`], and each
+//! [`pipeline::TracedView`] sweep configuration) replays warps against
+//! that same index. No analyzer knob invalidates it: the index depends
+//! only on the program and the captured traces.
+//!
+//! Calling the `analyzer` crate's free `analyze` function per
+//! configuration re-derives the graphs every time and is deprecated;
+//! reach for `AnalyzerConfig::analyze`/`analyze_indexed` only when working
+//! below the facade.
+//!
+//! ```
+//! use threadfuser::prelude::*;
+//!
+//! let w = threadfuser::workloads::by_name("bfs").unwrap();
+//! let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
+//! let base = traced.analyze().unwrap(); // builds the index
+//! let wide = traced.view().warp_size(64).analyze().unwrap(); // reuses it
+//! assert!(wide.simt_efficiency() <= base.simt_efficiency() + 1e-12);
+//! ```
 
 pub use threadfuser_analyzer as analyzer;
 pub use threadfuser_cpusim as cpusim;
@@ -50,5 +77,17 @@ pub use threadfuser_xapp as xapp;
 pub mod pipeline;
 pub mod table;
 
-pub use pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced};
+pub use pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced, TracedView};
 pub use table::TextTable;
+
+/// The blessed single-import path: trace once with [`Pipeline::trace`],
+/// derive every product (and every sweep configuration) from [`Traced`].
+pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced, TracedView};
+    pub use threadfuser_analyzer::{
+        AnalysisIndex, AnalysisReport, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
+        WarpScheduler,
+    };
+    pub use threadfuser_ir::OptLevel;
+    pub use threadfuser_obs::{InMemorySink, JsonLinesSink, Obs, Phase};
+}

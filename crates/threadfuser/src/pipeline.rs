@@ -7,10 +7,20 @@
 //! every downstream product ([`Traced::analyze`], [`Traced::warp_traces`],
 //! [`Traced::project_speedup`]) replays the *same* capture. The one-shot
 //! convenience methods on [`Pipeline`] remain and simply trace first.
+//!
+//! Within one capture, the derived analysis index (per-function dynamic
+//! CFGs with solved IPDOMs) is itself shared: [`Traced`] builds it lazily
+//! on first use and every later product — including configuration sweeps
+//! through [`Traced::with_analyzer`] — replays warps against the same
+//! [`AnalysisIndex`]. No analyzer knob invalidates it (see the crate-level
+//! "Sweeping configurations" notes), so a K-config sweep pays DCFG
+//! construction and IPDOM solving once instead of K times.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use threadfuser_analyzer::{
-    analyze, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
+    AnalysisIndex, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
+    WarpScheduler,
 };
 use threadfuser_cpusim::{simulate_cpu_observed, CpuSimConfig, CpuSimStats};
 use threadfuser_ir::{FuncId, OptLevel, Program};
@@ -19,7 +29,7 @@ use threadfuser_machine::{
 };
 use threadfuser_obs::{Obs, Phase};
 use threadfuser_simtsim::{simulate_observed, SimtSimConfig, SimtSimStats};
-use threadfuser_tracegen::{generate_warp_traces, WarpTraceSet};
+use threadfuser_tracegen::{generate_warp_traces_indexed, WarpTraceSet};
 use threadfuser_tracer::{trace_program_observed, TraceSet};
 use threadfuser_workloads::Workload;
 
@@ -190,10 +200,16 @@ impl Pipeline {
         self
     }
 
+    /// Selects the warp-to-worker scheduler (default work-stealing).
+    pub fn scheduler(mut self, s: WarpScheduler) -> Self {
+        self.analyzer.scheduler = s;
+        self
+    }
+
     /// Attaches an observability handle; every stage (optimize, trace,
-    /// dcfg-build, ipdom, warp-emulate, coalesce, simt-sim, cpu-sim)
-    /// reports spans and counters to its sink. The default [`Obs::none`]
-    /// costs nothing.
+    /// index-build, dcfg-build, ipdom, warp-emulate, coalesce, lockstep,
+    /// simt-sim, cpu-sim) reports spans and counters to its sink. The
+    /// default [`Obs::none`] costs nothing.
     pub fn observe(mut self, obs: Obs) -> Self {
         self.analyzer.obs = obs;
         self
@@ -231,7 +247,18 @@ impl Pipeline {
             self.opt.apply(&self.program)
         };
         let (traces, _) = trace_program_observed(&program, self.machine_config(), &obs)?;
-        Ok(Traced { program, traces, analyzer: self.analyzer.clone() })
+        Ok(Traced {
+            program,
+            traces,
+            analyzer: self.analyzer.clone(),
+            index: OnceLock::new(),
+            source: self.program.clone(),
+            kernel: self.kernel,
+            init: self.init,
+            threads: self.threads,
+            traced_opt: self.opt,
+            hardware_opt: self.hardware_opt,
+        })
     }
 
     /// The headline operation: trace, then run the ThreadFuser analysis.
@@ -245,6 +272,7 @@ impl Pipeline {
 
     /// Runs the program warp-natively at [`Self::hardware_opt_level`] —
     /// the "real GPU" measurement the analysis is correlated against.
+    /// Reported to the observability sink under the `lockstep` phase.
     ///
     /// # Errors
     /// Propagates lock-step machine faults.
@@ -253,7 +281,8 @@ impl Pipeline {
         let mut cfg = LockstepConfig::new(self.kernel, self.threads);
         cfg.warp_size = self.analyzer.warp_size;
         cfg.init = self.init;
-        Ok(LockstepMachine::new(&program, cfg)?.run()?)
+        let machine = LockstepMachine::new(&program, cfg)?;
+        run_lockstep_observed(machine, &self.analyzer.obs)
     }
 
     /// Generates warp-based instruction traces for the SIMT simulator.
@@ -282,13 +311,54 @@ impl Pipeline {
     }
 }
 
+/// Runs a lock-step machine under a `lockstep` observability span,
+/// reporting its ground-truth counters to the sink.
+fn run_lockstep_observed(
+    machine: LockstepMachine<'_>,
+    obs: &Obs,
+) -> Result<LockstepStats, PipelineError> {
+    let span = obs.span(Phase::Lockstep);
+    let stats = machine.run()?;
+    if obs.enabled() {
+        obs.counter(Phase::Lockstep, "issues", stats.issues);
+        obs.counter(Phase::Lockstep, "thread_insts", stats.thread_insts);
+        obs.counter(Phase::Lockstep, "heap_transactions", stats.heap.transactions);
+        obs.counter(Phase::Lockstep, "stack_transactions", stats.stack.transactions);
+    }
+    span.finish();
+    Ok(stats)
+}
+
+/// Speedup projection shared by [`Traced`] and [`TracedView`].
+fn project_speedup_impl(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    analyzer: &AnalyzerConfig,
+    simt: &SimtSimConfig,
+    cpu: &CpuSimConfig,
+) -> Result<SpeedupProjection, PipelineError> {
+    let obs = &analyzer.obs;
+    let wt = generate_warp_traces_indexed(program, traces, index, analyzer)?;
+    let gpu_stats = simulate_observed(&wt, simt, obs);
+    let cpu_stats = simulate_cpu_observed(traces, cpu, obs);
+    let gpu_s = gpu_stats.seconds(simt.clock_ghz);
+    let cpu_s = cpu_stats.seconds(cpu.clock_ghz);
+    if gpu_s <= 0.0 {
+        return Err(PipelineError::ZeroCycleSimulation);
+    }
+    Ok(SpeedupProjection { gpu: gpu_stats, cpu: cpu_stats, speedup: cpu_s / gpu_s })
+}
+
 /// The reusable capture [`Pipeline::trace`] produces: the optimized
 /// program plus its per-thread MIMD traces, with the analyzer
 /// configuration (and observability handle) they were captured under.
 ///
 /// Downstream products replay this artifact without re-executing the
-/// program, so sweeping analyzer or simulator knobs pays the trace cost
-/// once:
+/// program, and all of them — [`Traced::analyze`], [`Traced::warp_traces`],
+/// [`Traced::project_speedup`], and every [`TracedView`] sweep
+/// configuration — share one lazily built [`AnalysisIndex`] (DCFGs +
+/// solved IPDOMs), so the graph work is paid once per capture:
 ///
 /// ```
 /// use threadfuser::Pipeline;
@@ -297,14 +367,26 @@ impl Pipeline {
 /// let w = workloads::by_name("vectoradd").unwrap();
 /// let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
 /// let report = traced.analyze().unwrap();
-/// let warps = traced.warp_traces().unwrap();
+/// let warps = traced.warp_traces().unwrap(); // reuses the index
 /// assert_eq!(report.warps as usize, warps.warps().len());
 /// ```
+///
+/// Cloning a `Traced` shares the already-built index (the capture is
+/// immutable, so the cache stays valid across clones).
 #[derive(Debug, Clone)]
 pub struct Traced {
     program: Program,
     traces: TraceSet,
     analyzer: AnalyzerConfig,
+    index: OnceLock<Arc<AnalysisIndex>>,
+    // Everything needed to re-run the capture's sibling products (the
+    // hardware reference) without going back to the Pipeline.
+    source: Program,
+    kernel: FuncId,
+    init: Option<FuncId>,
+    threads: u32,
+    traced_opt: OptLevel,
+    hardware_opt: OptLevel,
 }
 
 impl Traced {
@@ -323,20 +405,75 @@ impl Traced {
         &self.analyzer
     }
 
-    /// Runs the ThreadFuser analysis over the captured traces.
+    /// The shared analysis index of this capture (per-function dynamic
+    /// CFGs with solved IPDOMs), built on first call and cached. Later
+    /// calls emit an `index_hits` counter to the capture's observability
+    /// sink; the build itself reports an `index-build` span and an
+    /// `index_misses` counter.
+    ///
+    /// # Errors
+    /// Propagates analyzer errors from trace validation.
+    pub fn index(&self) -> Result<Arc<AnalysisIndex>, PipelineError> {
+        if let Some(ix) = self.index.get() {
+            self.analyzer.obs.counter(Phase::IndexBuild, "index_hits", 1);
+            return Ok(Arc::clone(ix));
+        }
+        let built = Arc::new(AnalysisIndex::build_observed(
+            &self.program,
+            &self.traces,
+            &self.analyzer.obs,
+        )?);
+        // A concurrent builder may have won the race; both values are
+        // equivalent, keep whichever landed.
+        Ok(Arc::clone(self.index.get_or_init(|| built)))
+    }
+
+    /// A lightweight sweep view over this capture with its own analyzer
+    /// configuration. The view borrows the capture — traces are not
+    /// cloned — and shares its cached [`AnalysisIndex`], so sweeping
+    /// knobs re-runs only the warp emulation:
+    ///
+    /// ```no_run
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use threadfuser::Pipeline;
+    /// use threadfuser::workloads;
+    ///
+    /// let w = workloads::by_name("pigz").unwrap();
+    /// let traced = Pipeline::from_workload(&w).trace()?;
+    /// for warp in [8, 16, 32, 64] {
+    ///     let report = traced.view().warp_size(warp).analyze()?;
+    ///     println!("w{warp}: {:.3}", report.simt_efficiency());
+    /// }
+    /// # Ok(()) }
+    /// ```
+    pub fn with_analyzer(&self, analyzer: AnalyzerConfig) -> TracedView<'_> {
+        TracedView { traced: self, analyzer }
+    }
+
+    /// [`Traced::with_analyzer`] starting from the capture's own
+    /// configuration — override knobs from there.
+    pub fn view(&self) -> TracedView<'_> {
+        self.with_analyzer(self.analyzer.clone())
+    }
+
+    /// Runs the ThreadFuser analysis over the captured traces, replaying
+    /// warps against the capture's shared [`AnalysisIndex`].
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
-        Ok(analyze(&self.program, &self.traces, &self.analyzer)?)
+        let index = self.index()?;
+        Ok(self.analyzer.analyze_indexed(&self.program, &self.traces, &index)?)
     }
 
-    /// Generates warp-based instruction traces for the SIMT simulator.
+    /// Generates warp-based instruction traces for the SIMT simulator,
+    /// sharing the capture's [`AnalysisIndex`].
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
-        Ok(generate_warp_traces(&self.program, &self.traces, &self.analyzer)?)
+        let index = self.index()?;
+        Ok(generate_warp_traces_indexed(&self.program, &self.traces, &index, &self.analyzer)?)
     }
 
     /// Projects the speedup of SIMT execution over native multicore CPU
@@ -351,16 +488,134 @@ impl Traced {
         simt: &SimtSimConfig,
         cpu: &CpuSimConfig,
     ) -> Result<SpeedupProjection, PipelineError> {
-        let obs = &self.analyzer.obs;
-        let wt = generate_warp_traces(&self.program, &self.traces, &self.analyzer)?;
-        let gpu_stats = simulate_observed(&wt, simt, obs);
-        let cpu_stats = simulate_cpu_observed(&self.traces, cpu, obs);
-        let gpu_s = gpu_stats.seconds(simt.clock_ghz);
-        let cpu_s = cpu_stats.seconds(cpu.clock_ghz);
-        if gpu_s <= 0.0 {
-            return Err(PipelineError::ZeroCycleSimulation);
-        }
-        Ok(SpeedupProjection { gpu: gpu_stats, cpu: cpu_stats, speedup: cpu_s / gpu_s })
+        let index = self.index()?;
+        project_speedup_impl(&self.program, &self.traces, &index, &self.analyzer, simt, cpu)
+    }
+
+    /// Runs the capture's program warp-natively at the pipeline's
+    /// hardware optimization level — the "real GPU" reference — under a
+    /// `lockstep` observability span. When the hardware level equals the
+    /// traced level and the index is already built, its cached static
+    /// per-function CFGs (IPDOM solutions) are shared with the machine
+    /// instead of being re-derived.
+    ///
+    /// # Errors
+    /// Propagates lock-step machine faults.
+    pub fn measure_hardware(&self) -> Result<LockstepStats, PipelineError> {
+        let program = self.hardware_opt.apply(&self.source);
+        let mut cfg = LockstepConfig::new(self.kernel, self.threads);
+        cfg.warp_size = self.analyzer.warp_size;
+        cfg.init = self.init;
+        // The optimizer is deterministic, so equal levels mean the
+        // hardware binary is the traced binary and the CFGs transfer.
+        let shared = self.index.get().filter(|_| self.hardware_opt == self.traced_opt);
+        let machine = match shared {
+            Some(ix) => {
+                LockstepMachine::new_with_cfgs(&program, cfg, ix.static_cfgs(&self.program))?
+            }
+            None => LockstepMachine::new(&program, cfg)?,
+        };
+        run_lockstep_observed(machine, &self.analyzer.obs)
+    }
+}
+
+/// A borrowed sweep view over a [`Traced`] capture: its own
+/// [`AnalyzerConfig`] (chainable knob overrides), the capture's traces and
+/// cached [`AnalysisIndex`]. Create one per configuration of a sweep —
+/// nothing is copied and the graph work is never repeated.
+#[derive(Debug, Clone)]
+pub struct TracedView<'t> {
+    traced: &'t Traced,
+    analyzer: AnalyzerConfig,
+}
+
+impl TracedView<'_> {
+    /// Overrides the warp width (chainable).
+    pub fn warp_size(mut self, w: u32) -> Self {
+        self.analyzer.warp_size = w;
+        self
+    }
+
+    /// Overrides the thread→warp batching policy (chainable).
+    pub fn batching(mut self, b: BatchPolicy) -> Self {
+        self.analyzer.batching = b;
+        self
+    }
+
+    /// Overrides intra-warp lock serialization emulation (chainable).
+    pub fn intra_warp_locks(mut self, on: bool) -> Self {
+        self.analyzer.emulate_intra_warp_locks = on;
+        self
+    }
+
+    /// Overrides the reconvergence-point policy (chainable).
+    pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
+        self.analyzer.reconvergence = policy;
+        self
+    }
+
+    /// Overrides the analyzer worker-thread count (chainable).
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.analyzer.parallelism = n;
+        self
+    }
+
+    /// Overrides the warp-to-worker scheduler (chainable).
+    pub fn scheduler(mut self, s: WarpScheduler) -> Self {
+        self.analyzer.scheduler = s;
+        self
+    }
+
+    /// The view's effective analyzer configuration.
+    pub fn analyzer_config(&self) -> &AnalyzerConfig {
+        &self.analyzer
+    }
+
+    /// Runs the analysis under this view's configuration against the
+    /// capture's shared [`AnalysisIndex`].
+    ///
+    /// # Errors
+    /// Propagates analyzer errors.
+    pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
+        let index = self.traced.index()?;
+        Ok(self.analyzer.analyze_indexed(&self.traced.program, &self.traced.traces, &index)?)
+    }
+
+    /// Generates warp traces under this view's configuration against the
+    /// capture's shared [`AnalysisIndex`].
+    ///
+    /// # Errors
+    /// Propagates analyzer errors.
+    pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
+        let index = self.traced.index()?;
+        Ok(generate_warp_traces_indexed(
+            &self.traced.program,
+            &self.traced.traces,
+            &index,
+            &self.analyzer,
+        )?)
+    }
+
+    /// Projects the SIMT-over-CPU speedup under this view's configuration.
+    ///
+    /// # Errors
+    /// Propagates analyzer errors, and
+    /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
+    /// finishes in zero cycles.
+    pub fn project_speedup(
+        &self,
+        simt: &SimtSimConfig,
+        cpu: &CpuSimConfig,
+    ) -> Result<SpeedupProjection, PipelineError> {
+        let index = self.traced.index()?;
+        project_speedup_impl(
+            &self.traced.program,
+            &self.traced.traces,
+            &index,
+            &self.analyzer,
+            simt,
+            cpu,
+        )
     }
 }
 
@@ -403,6 +658,37 @@ mod tests {
             predicted.simt_efficiency(),
             measured.simt_efficiency()
         );
+    }
+
+    #[test]
+    fn traced_hardware_measurement_shares_index_cfgs() {
+        // Traced-level hardware measurement must agree with the
+        // pipeline-level one, with and without a warm index to share.
+        let w = by_name("bfs").unwrap();
+        let p = Pipeline::from_workload(&w).threads(64).opt_level(OptLevel::O1);
+        let baseline = p.measure_hardware().unwrap();
+        let traced = p.trace().unwrap();
+        let cold = traced.measure_hardware().unwrap();
+        traced.analyze().unwrap(); // builds the index
+        let warm = traced.measure_hardware().unwrap();
+        for s in [&cold, &warm] {
+            assert_eq!(s.issues, baseline.issues);
+            assert_eq!(s.thread_insts, baseline.thread_insts);
+            assert_eq!(s.heap.transactions, baseline.heap.transactions);
+        }
+    }
+
+    #[test]
+    fn view_sweep_matches_fresh_pipelines() {
+        // A warm-index sweep must be observationally identical to
+        // configuring each pipeline from scratch.
+        let w = by_name("bfs").unwrap();
+        let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
+        for warp in [8u32, 32] {
+            let swept = traced.view().warp_size(warp).analyze().unwrap();
+            let fresh = Pipeline::from_workload(&w).threads(64).warp_size(warp).analyze().unwrap();
+            assert_eq!(swept, fresh, "warp {warp}");
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
-use threadfuser_analyzer::{analyze_with_sink, AnalyzeError, AnalyzerConfig, BlockStep, StepSink};
+use threadfuser_analyzer::{
+    analyze_indexed_with_sink, AnalysisIndex, AnalyzeError, AnalyzerConfig, BlockStep, StepSink,
+};
 use threadfuser_ir::{Inst, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
 use threadfuser_tracer::TraceSet;
@@ -176,10 +178,10 @@ impl StepSink for Generator<'_> {
         };
 
         for (i, inst) in block.insts.iter().enumerate() {
-            let accesses = step.mem.get(&(i as u32));
+            let accesses = step.mem.get(i as u32);
             // CISC → RISC: a leading load micro-op for memory reads.
             if inst.mem_read().is_some() {
-                let acc = accesses.cloned().unwrap_or_default();
+                let acc = accesses.map(<[_]>::to_vec).unwrap_or_default();
                 let space = space_of(&acc);
                 push(
                     OpClass::Load,
@@ -204,7 +206,7 @@ impl StepSink for Generator<'_> {
                     }
                 }
                 Inst::Store { .. } => {
-                    let acc = accesses.cloned().unwrap_or_default();
+                    let acc = accesses.map(<[_]>::to_vec).unwrap_or_default();
                     let space = space_of(&acc);
                     push(
                         OpClass::Store,
@@ -224,7 +226,7 @@ impl StepSink for Generator<'_> {
         // Terminator.
         let term_idx = (block.insts.len()) as u32;
         if block.term.mem_read().is_some() {
-            let acc = step.mem.get(&term_idx).cloned().unwrap_or_default();
+            let acc = step.mem.get(term_idx).map(<[_]>::to_vec).unwrap_or_default();
             let space = space_of(&acc);
             push(
                 OpClass::Load,
@@ -252,6 +254,10 @@ impl StepSink for Generator<'_> {
 /// lock-step emulation (per-function DCFG + SIMT stack) and decomposing
 /// each TFIR instruction into RISC micro-ops.
 ///
+/// Builds a throwaway [`AnalysisIndex`] internally; callers sweeping
+/// configurations over one capture should build the index once and use
+/// [`generate_warp_traces_indexed`].
+///
 /// # Errors
 /// Propagates [`AnalyzeError`] from the underlying emulation.
 pub fn generate_warp_traces(
@@ -259,9 +265,25 @@ pub fn generate_warp_traces(
     traces: &TraceSet,
     config: &AnalyzerConfig,
 ) -> Result<WarpTraceSet, AnalyzeError> {
+    let index = AnalysisIndex::build_observed(program, traces, &config.obs)?;
+    generate_warp_traces_indexed(program, traces, &index, config)
+}
+
+/// [`generate_warp_traces`] against a prebuilt [`AnalysisIndex`] — the
+/// warm path of a config sweep. The index must come from the same
+/// `(program, traces)` pair.
+///
+/// # Errors
+/// Propagates [`AnalyzeError`] from the underlying emulation.
+pub fn generate_warp_traces_indexed(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    config: &AnalyzerConfig,
+) -> Result<WarpTraceSet, AnalyzeError> {
     let span = config.obs.span(threadfuser_obs::Phase::Coalesce);
     let mut generator = Generator { program, warp_size: config.warp_size, warps: Vec::new() };
-    analyze_with_sink(program, traces, config, &mut generator)?;
+    analyze_indexed_with_sink(program, traces, index, config, &mut generator)?;
     let set = WarpTraceSet { warp_size: generator.warp_size, warps: generator.warps };
     if config.obs.enabled() {
         let obs = &config.obs;

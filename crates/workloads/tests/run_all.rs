@@ -2,7 +2,7 @@
 //! on the MIMD machine, trace cleanly, and analyze to a SIMT efficiency in
 //! the band the paper reports for its class.
 
-use threadfuser_analyzer::{analyze, AnalyzerConfig};
+use threadfuser_analyzer::AnalyzerConfig;
 use threadfuser_machine::MachineConfig;
 use threadfuser_tracer::trace_program;
 use threadfuser_workloads::{all, by_name, Workload};
@@ -12,7 +12,8 @@ fn run(w: &Workload, threads: u32, warp: u32) -> threadfuser_analyzer::AnalysisR
     cfg.init = w.init;
     let (traces, _) = trace_program(&w.program, cfg)
         .unwrap_or_else(|e| panic!("{} failed to execute: {e}", w.meta.name));
-    analyze(&w.program, &traces, &AnalyzerConfig::new(warp))
+    AnalyzerConfig::new(warp)
+        .analyze(&w.program, &traces)
         .unwrap_or_else(|e| panic!("{} failed to analyze: {e}", w.meta.name))
 }
 

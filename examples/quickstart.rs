@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use threadfuser::analyzer::{analyze, analyze_with_sink, AnalyzerConfig, BlockStep, StepSink};
+use threadfuser::analyzer::{
+    analyze_indexed_with_sink, AnalysisIndex, AnalyzerConfig, BlockStep, StepSink,
+};
 use threadfuser::ir::{pretty::Disasm, AluOp, BlockId, Cond, FuncId, ProgramBuilder};
 use threadfuser::machine::MachineConfig;
 use threadfuser::tracer::trace_program;
@@ -87,9 +89,13 @@ fn main() {
     println!("traced {} instructions over {} threads", run.total_traced(), traces.threads().len());
 
     // Step 2 (Fig. 3b): DCFG + IPDOM + warp batching + SIMT-stack fusion.
+    // The index (graphs + solved IPDOMs) is paid once; each warp size
+    // below only replays warps against it.
+    let index = AnalysisIndex::build(&program, &traces).expect("index builds");
     for warp_size in [8, 16, 32] {
-        let report =
-            analyze(&program, &traces, &AnalyzerConfig::new(warp_size)).expect("analysis succeeds");
+        let report = AnalyzerConfig::new(warp_size)
+            .analyze_indexed(&program, &traces, &index)
+            .expect("analysis succeeds");
         println!(
             "warp {warp_size:>2}: SIMT efficiency {:.1}%  ({} lock-step issues, {} thread insts)",
             report.simt_efficiency() * 100.0,
@@ -100,12 +106,12 @@ fn main() {
 
     // The SIMT-stack walk of warp 0 at warp size 8 (paper Fig. 2c).
     println!("\n=== SIMT stack operations, warp 0 (width 8) ===");
-    analyze_with_sink(&program, &traces, &AnalyzerConfig::new(8), &mut StackLogger)
+    analyze_indexed_with_sink(&program, &traces, &index, &AnalyzerConfig::new(8), &mut StackLogger)
         .expect("analysis succeeds");
 
     // The parity branch splits every warp in half, but the reconverged
     // tail keeps overall efficiency well above 50%.
-    let report = analyze(&program, &traces, &AnalyzerConfig::new(32)).unwrap();
+    let report = AnalyzerConfig::new(32).analyze_indexed(&program, &traces, &index).unwrap();
     assert!(report.simt_efficiency() > 0.5 && report.simt_efficiency() < 1.0);
     println!("\ndivergent-but-reconverging kernel confirmed.");
 }

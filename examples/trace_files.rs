@@ -10,7 +10,7 @@
 //! cargo run --release --example trace_files
 //! ```
 
-use threadfuser::analyzer::{analyze, AnalyzerConfig};
+use threadfuser::analyzer::{AnalysisIndex, AnalyzerConfig};
 use threadfuser::machine::MachineConfig;
 use threadfuser::tracer::{encode, trace_program};
 use threadfuser::workloads::by_name;
@@ -34,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cheap step: reload and analyze at several design points.
     let loaded = encode::decode(&std::fs::read(&path)?)?;
     assert_eq!(loaded, traces);
+    // DCFGs + IPDOMs depend only on program + traces: pay them once,
+    // replay warps per design point.
+    let index = AnalysisIndex::build(&w.program, &loaded)?;
     for warp in [8u32, 16, 32] {
-        let report = analyze(&w.program, &loaded, &AnalyzerConfig::new(warp))?;
+        let report = AnalyzerConfig::new(warp).analyze_indexed(&w.program, &loaded, &index)?;
         println!(
             "warp {warp:>2}: efficiency {:.1}%, heap {:.2} txn/inst",
             report.simt_efficiency() * 100.0,

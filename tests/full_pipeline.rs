@@ -2,7 +2,7 @@
 //! compile → execute+trace → analyze → warp traces → both simulators —
 //! exercised across crates on real workloads.
 
-use threadfuser::analyzer::{analyze, AnalyzerConfig};
+use threadfuser::analyzer::AnalyzerConfig;
 use threadfuser::cpusim::{simulate_cpu, CpuSimConfig};
 use threadfuser::ir::OptLevel;
 use threadfuser::machine::{LockstepConfig, LockstepMachine, Machine, MachineConfig, NoopHook};
@@ -19,7 +19,7 @@ fn every_stage_composes() {
     let (traces, run) = trace_program(&program, MachineConfig::new(w.kernel, 64)).unwrap();
     assert_eq!(run.total_traced(), traces.total_traced_insts());
 
-    let report = analyze(&program, &traces, &AnalyzerConfig::new(32)).unwrap();
+    let report = AnalyzerConfig::new(32).analyze(&program, &traces).unwrap();
     assert!(report.simt_efficiency() > 0.9);
 
     let wt = generate_warp_traces(&program, &traces, &AnalyzerConfig::new(32)).unwrap();
@@ -37,8 +37,8 @@ fn trace_binary_round_trip_preserves_analysis() {
     let (traces, _) = trace_program(&w.program, MachineConfig::new(w.kernel, 64)).unwrap();
     let bytes = encode::encode(&traces);
     let back = encode::decode(&bytes).unwrap();
-    let a = analyze(&w.program, &traces, &AnalyzerConfig::new(32)).unwrap();
-    let b = analyze(&w.program, &back, &AnalyzerConfig::new(32)).unwrap();
+    let a = AnalyzerConfig::new(32).analyze(&w.program, &traces).unwrap();
+    let b = AnalyzerConfig::new(32).analyze(&w.program, &back).unwrap();
     assert_eq!(a.issues, b.issues);
     assert_eq!(a.heap, b.heap);
     assert_eq!(a.stack, b.stack);

@@ -1,0 +1,117 @@
+//! Integration tests for the shared [`AnalysisIndex`] and the
+//! work-stealing warp scheduler: the index is built exactly once per
+//! capture no matter how many analyses consume it, every scheduler and
+//! worker count produces bit-identical reports (including the
+//! per-function maps), and the sweep views never clone the capture.
+
+use std::sync::Arc;
+use threadfuser::prelude::*;
+use threadfuser::workloads::by_name;
+
+fn traced(workload: &str, threads: u32) -> Traced {
+    let w = by_name(workload).expect("workload exists");
+    Pipeline::from_workload(&w).threads(threads).trace().expect("trace succeeds")
+}
+
+#[test]
+fn parallel_work_stealing_is_bit_identical_to_sequential() {
+    // pigz is the divergent, uneven-warp stress case: warps finish at
+    // very different times, so the stealing order genuinely varies.
+    let traced = traced("pigz", 128);
+    let seq = traced.view().parallelism(1).analyze().expect("sequential analyze");
+    let par = traced.view().parallelism(8).analyze().expect("parallel analyze");
+
+    // Bit-identical: every scalar and both per-function maps.
+    assert_eq!(seq, par, "8-worker work-stealing must match sequential exactly");
+    assert_eq!(seq.per_function, par.per_function);
+    for (id, f) in &seq.per_function {
+        let p = par.per_function.get(id).expect("function present in parallel report");
+        assert_eq!((f.own_issues, f.invocations), (p.own_issues, p.invocations), "{}", f.name);
+    }
+}
+
+#[test]
+fn schedulers_agree_at_every_worker_count() {
+    let traced = traced("bfs", 256);
+    let reference = traced.view().parallelism(1).analyze().expect("reference");
+    for workers in [2usize, 3, 8] {
+        for scheduler in [WarpScheduler::WorkStealing, WarpScheduler::StaticChunks] {
+            let report = traced
+                .view()
+                .parallelism(workers)
+                .scheduler(scheduler)
+                .analyze()
+                .expect("analyze succeeds");
+            assert_eq!(
+                reference, report,
+                "{scheduler:?} @ {workers} workers must match the sequential report"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_is_built_exactly_once_per_capture() {
+    let sink = Arc::new(InMemorySink::new());
+    let w = by_name("bfs").expect("workload exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(128)
+        .observe(Obs::with_sink(sink.clone()))
+        .trace()
+        .expect("trace succeeds");
+
+    // Two analyses of the same capture: the second must hit the cache.
+    let a = traced.analyze().expect("first analyze");
+    let b = traced.analyze().expect("second analyze");
+    assert_eq!(a, b);
+    assert_eq!(sink.counter_total("index_misses"), 1, "index must be built exactly once");
+    assert!(sink.counter_total("index_hits") >= 1, "second analyze must reuse the index");
+    assert_eq!(sink.span_count(Phase::IndexBuild), 1, "one index-build span per capture");
+
+    // Sweeping knobs never invalidates it: DCFGs + IPDOMs depend only on
+    // the program and the traces.
+    traced.view().warp_size(8).analyze().expect("swept analyze");
+    traced.view().batching(BatchPolicy::Strided).analyze().expect("swept analyze");
+    traced
+        .view()
+        .reconvergence(ReconvergencePolicy::FunctionExit)
+        .analyze()
+        .expect("swept analyze");
+    assert_eq!(sink.counter_total("index_misses"), 1, "no knob may rebuild the index");
+    assert_eq!(sink.span_count(Phase::IndexBuild), 1);
+}
+
+#[test]
+fn clones_share_the_built_index() {
+    let sink = Arc::new(InMemorySink::new());
+    let w = by_name("md5").expect("workload exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(64)
+        .observe(Obs::with_sink(sink.clone()))
+        .trace()
+        .expect("trace succeeds");
+    traced.analyze().expect("analyze");
+
+    // A clone of the capture carries the already-built index with it.
+    let copy = traced.clone();
+    copy.analyze().expect("clone analyze");
+    assert_eq!(sink.counter_total("index_misses"), 1, "clone must not rebuild the index");
+}
+
+#[test]
+fn warm_views_match_fresh_cold_pipelines() {
+    // The warm sweep is an optimization, never a semantic change: each
+    // view's report must equal a from-scratch pipeline at that config.
+    let traced = traced("hdsearch_mid", 128);
+    for (warp, batching) in [(8u32, BatchPolicy::Linear), (64, BatchPolicy::Strided)] {
+        let warm = traced.view().warp_size(warp).batching(batching).analyze().expect("warm");
+        let w = by_name("hdsearch_mid").unwrap();
+        let cold = Pipeline::from_workload(&w)
+            .threads(128)
+            .warp_size(warp)
+            .batching(batching)
+            .analyze()
+            .expect("cold");
+        assert_eq!(warm, cold, "warp {warp}, {batching:?}");
+    }
+}

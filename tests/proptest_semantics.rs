@@ -15,7 +15,7 @@
 //!    pessimistic.
 
 use proptest::prelude::*;
-use threadfuser::analyzer::{analyze, AnalyzerConfig, ReconvergencePolicy};
+use threadfuser::analyzer::{AnalyzerConfig, ReconvergencePolicy};
 use threadfuser::ir::{
     AluOp, Cond, FuncId, FunctionBuilder, GlobalId, Operand, OptLevel, Program, ProgramBuilder,
     Slot,
@@ -207,14 +207,14 @@ proptest! {
         // Static-IPDOM reconvergence == the hardware model, exactly.
         let mut scfg = AnalyzerConfig::new(16);
         scfg.reconvergence = ReconvergencePolicy::StaticIpdom;
-        let fixed = analyze(&program, &traces, &scfg).expect("analysis");
+        let fixed = scfg.analyze(&program, &traces).expect("analysis");
         prop_assert_eq!(fixed.issues, hw.issues);
         prop_assert_eq!(fixed.thread_insts, hw.thread_insts);
         prop_assert_eq!(fixed.heap.transactions, hw.heap.transactions);
         prop_assert_eq!(fixed.stack.transactions, hw.stack.transactions);
 
         // Dynamic IPDOMs may only merge earlier: never more issues.
-        let dynamic = analyze(&program, &traces, &AnalyzerConfig::new(16)).expect("analysis");
+        let dynamic = AnalyzerConfig::new(16).analyze(&program, &traces).expect("analysis");
         prop_assert_eq!(dynamic.thread_insts, hw.thread_insts);
         prop_assert!(dynamic.issues <= hw.issues,
             "dynamic {} vs hardware {}", dynamic.issues, hw.issues);

@@ -16,6 +16,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> rustfmt"
 cargo fmt --check
 
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> perf_pipeline smoke"
 TF_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_pipeline.json" \
     cargo run --release -p threadfuser-bench --bin perf_pipeline
@@ -27,5 +30,13 @@ TF_BENCH_OUT="$SWEEP_OUT" \
 # Fails when the report is malformed or the warm-index sweep was not
 # faster than the cold one.
 cargo run --release -q -p threadfuser-bench --bin perf_sweep -- --check "$SWEEP_OUT"
+
+echo "==> perf_trace smoke (predecoded engine vs legacy, columnar vs materialized replay)"
+TRACE_OUT="${TMPDIR:-/tmp}/BENCH_trace.json"
+TF_BENCH_OUT="$TRACE_OUT" \
+    cargo run --release -p threadfuser-bench --bin perf_trace
+# Fails when the report is malformed, the predecoded engine traced below
+# the speedup gate, or the engines / replay modes disagreed bit for bit.
+cargo run --release -q -p threadfuser-bench --bin perf_trace -- --check "$TRACE_OUT"
 
 echo "==> ci.sh: all green"

@@ -16,7 +16,7 @@ use crate::AnalyzeError;
 use std::collections::HashSet;
 use threadfuser_ir::{ipdom_of, BlockId, FuncId, Program};
 use threadfuser_obs::{Obs, Phase};
-use threadfuser_tracer::{TraceEvent, TraceSet};
+use threadfuser_tracer::{SideEvent, TraceSet};
 
 /// The dynamic CFG of one function, with solved IPDOMs.
 #[derive(Debug, Clone)]
@@ -88,69 +88,72 @@ impl DcfgSet {
             // (func, prev block within that frame)
             let mut frames: Vec<(FuncId, Option<usize>)> = Vec::new();
             let mut root_seen = false;
-            for e in &t.events {
-                match e {
-                    TraceEvent::Block { addr, .. } => {
-                        let fi = addr.func.0 as usize;
-                        if fi >= n_funcs
-                            || addr.block.0 as usize >= program.functions()[fi].blocks.len()
-                        {
-                            return Err(AnalyzeError::MalformedTrace {
-                                tid: t.tid,
-                                detail: format!("block address {} out of program range", addr),
-                            });
-                        }
-                        if frames.is_empty() {
-                            if root_seen {
+            // Cursor walk in stream order: side events when pending, blocks
+            // otherwise. Memory accesses are irrelevant to graph structure
+            // and — being columnar — are skipped without even touching them.
+            let mut cur = t.cursor();
+            loop {
+                if let Some(side) = cur.next_side() {
+                    match side {
+                        SideEvent::Call { callee } => {
+                            if callee.0 as usize >= n_funcs {
                                 return Err(AnalyzeError::MalformedTrace {
                                     tid: t.tid,
-                                    detail: "events after the kernel returned".into(),
+                                    detail: format!("call to unknown {}", callee),
                                 });
                             }
-                            frames.push((addr.func, None));
-                            root_seen = true;
+                            frames.push((callee, None));
                         }
-                        let (func, prev) = frames.last_mut().expect("frame present");
-                        if *func != addr.func {
-                            return Err(AnalyzeError::MalformedTrace {
-                                tid: t.tid,
-                                detail: format!("block of {} while inside {}", addr.func, func),
-                            });
+                        SideEvent::Ret => {
+                            let Some((func, prev)) = frames.pop() else {
+                                return Err(AnalyzeError::MalformedTrace {
+                                    tid: t.tid,
+                                    detail: "return without an active frame".into(),
+                                });
+                            };
+                            let fi = func.0 as usize;
+                            if let Some(p) = prev {
+                                let exit = program.functions()[fi].blocks.len();
+                                edges[fi].insert((p, exit));
+                            }
                         }
-                        let node = addr.block.0 as usize;
-                        observed[fi][node] = true;
-                        if let Some(p) = prev {
-                            edges[fi].insert((*p, node));
-                        }
-                        *prev = Some(node);
+                        SideEvent::Acquire { .. }
+                        | SideEvent::Release { .. }
+                        | SideEvent::Barrier { .. } => {}
                     }
-                    TraceEvent::Call { callee } => {
-                        if callee.0 as usize >= n_funcs {
-                            return Err(AnalyzeError::MalformedTrace {
-                                tid: t.tid,
-                                detail: format!("call to unknown {}", callee),
-                            });
-                        }
-                        frames.push((*callee, None));
-                    }
-                    TraceEvent::Ret => {
-                        let Some((func, prev)) = frames.pop() else {
-                            return Err(AnalyzeError::MalformedTrace {
-                                tid: t.tid,
-                                detail: "return without an active frame".into(),
-                            });
-                        };
-                        let fi = func.0 as usize;
-                        if let Some(p) = prev {
-                            let exit = program.functions()[fi].blocks.len();
-                            edges[fi].insert((p, exit));
-                        }
-                    }
-                    TraceEvent::Mem { .. }
-                    | TraceEvent::Acquire { .. }
-                    | TraceEvent::Release { .. }
-                    | TraceEvent::Barrier { .. } => {}
+                    continue;
                 }
+                let Some((addr, _, _)) = cur.next_block() else { break };
+                let fi = addr.func.0 as usize;
+                if fi >= n_funcs || addr.block.0 as usize >= program.functions()[fi].blocks.len() {
+                    return Err(AnalyzeError::MalformedTrace {
+                        tid: t.tid,
+                        detail: format!("block address {} out of program range", addr),
+                    });
+                }
+                if frames.is_empty() {
+                    if root_seen {
+                        return Err(AnalyzeError::MalformedTrace {
+                            tid: t.tid,
+                            detail: "events after the kernel returned".into(),
+                        });
+                    }
+                    frames.push((addr.func, None));
+                    root_seen = true;
+                }
+                let (func, prev) = frames.last_mut().expect("frame present");
+                if *func != addr.func {
+                    return Err(AnalyzeError::MalformedTrace {
+                        tid: t.tid,
+                        detail: format!("block of {} while inside {}", addr.func, func),
+                    });
+                }
+                let node = addr.block.0 as usize;
+                observed[fi][node] = true;
+                if let Some(p) = prev {
+                    edges[fi].insert((*p, node));
+                }
+                *prev = Some(node);
             }
             if !frames.is_empty() {
                 return Err(AnalyzeError::MalformedTrace {

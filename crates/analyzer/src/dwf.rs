@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use threadfuser_ir::BlockAddr;
-use threadfuser_tracer::{TraceEvent, TraceSet};
+use threadfuser_tracer::TraceSet;
 
 /// The idealized DWF packing result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,12 +52,11 @@ pub fn dwf_upper_bound(traces: &TraceSet, warp_size: u32) -> DwfBound {
     let mut counts: HashMap<BlockAddr, (u64, u32)> = HashMap::new();
     let mut thread_insts = 0u64;
     for t in traces.threads() {
-        for e in &t.events {
-            if let TraceEvent::Block { addr, n_insts } = e {
-                let entry = counts.entry(*addr).or_insert((0, *n_insts));
-                entry.0 += 1;
-                thread_insts += *n_insts as u64;
-            }
+        // Columnar block columns: no event dispatch, no mem/side traffic.
+        for (addr, n_insts) in t.iter_blocks() {
+            let entry = counts.entry(addr).or_insert((0, n_insts));
+            entry.0 += 1;
+            thread_insts += n_insts as u64;
         }
     }
     let ideal_issues = counts

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
 use threadfuser_obs::{Obs, Phase};
-use threadfuser_tracer::{ThreadTrace, TraceEvent, TraceSet};
+use threadfuser_tracer::{SideEvent, ThreadTrace, TraceCursor, TraceEvent, TraceSet};
 
 /// Where diverged warp-mates reconverge (ablation knob; the paper uses
 /// dynamic IPDOMs, §III).
@@ -53,6 +53,23 @@ pub enum ReconvergencePolicy {
     /// Reconverge only at function end (the "distant reconvergence
     /// points" strawman of §III; most conservative).
     FunctionExit,
+}
+
+/// How the emulator reads each lane's trace during replay.
+///
+/// Traces are stored columnar; the emulator normally replays them through
+/// the zero-allocation cursor. The materialized mode reconstructs the
+/// classic interleaved `TraceEvent` stream per lane first — it exists as
+/// the baseline for the `perf_trace` benchmark and to validate that both
+/// replay paths produce bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Replay straight from the columnar storage (the fast path).
+    #[default]
+    Columnar,
+    /// Materialize each lane's events into a `Vec<TraceEvent>` and replay
+    /// that (the pre-columnar behavior; measurably slower).
+    MaterializedEvents,
 }
 
 /// How warps are distributed across analyzer worker threads.
@@ -95,6 +112,8 @@ pub struct AnalyzerConfig {
     pub parallelism: usize,
     /// Warp-to-worker distribution (default work-stealing).
     pub scheduler: WarpScheduler,
+    /// Trace replay path (default columnar; see [`ReplayMode`]).
+    pub replay: ReplayMode,
     /// Per-warp issue budget (runaway guard).
     pub max_issues_per_warp: u64,
     /// Observability handle; [`Obs::none`] (the default) costs nothing.
@@ -112,6 +131,7 @@ impl AnalyzerConfig {
             reconvergence: ReconvergencePolicy::default(),
             parallelism: 1,
             scheduler: WarpScheduler::default(),
+            replay: ReplayMode::default(),
             max_issues_per_warp: 1 << 40,
             obs: Obs::none(),
         }
@@ -151,6 +171,12 @@ impl AnalyzerConfig {
     /// Selects the warp-to-worker scheduler (chainable).
     pub fn scheduler(mut self, s: WarpScheduler) -> Self {
         self.scheduler = s;
+        self
+    }
+
+    /// Selects the trace replay path (chainable).
+    pub fn replay(mut self, r: ReplayMode) -> Self {
+        self.replay = r;
         self
     }
 
@@ -398,9 +424,40 @@ fn run_warp(
     warp_index: u32,
     sink: &mut Option<&mut dyn StepSink>,
 ) -> Result<AnalysisReport, AnalyzeError> {
-    let lanes: Vec<&ThreadTrace> =
-        warp.iter().map(|&t| &ctx.traces.threads()[t as usize]).collect();
-    let mut emu = WarpEmulator::new(ctx.program, ctx.dcfgs, ctx.config, &lanes);
+    match ctx.config.replay {
+        ReplayMode::Columnar => {
+            let lanes: Vec<ColumnarLane<'_>> = warp
+                .iter()
+                .map(|&t| ColumnarLane::new(&ctx.traces.threads()[t as usize]))
+                .collect();
+            run_warp_with(ctx, lanes, warp_index, sink)
+        }
+        ReplayMode::MaterializedEvents => {
+            let events: Vec<Vec<TraceEvent>> = warp
+                .iter()
+                .map(|&t| ctx.traces.threads()[t as usize].iter_events().collect())
+                .collect();
+            let lanes: Vec<EventLane<'_>> = warp
+                .iter()
+                .zip(&events)
+                .map(|(&t, ev)| EventLane {
+                    tid: ctx.traces.threads()[t as usize].tid,
+                    events: ev,
+                    pos: 0,
+                })
+                .collect();
+            run_warp_with(ctx, lanes, warp_index, sink)
+        }
+    }
+}
+
+fn run_warp_with<C: LaneCursor>(
+    ctx: &RunCtx<'_>,
+    cursors: Vec<C>,
+    warp_index: u32,
+    sink: &mut Option<&mut dyn StepSink>,
+) -> Result<AnalysisReport, AnalyzeError> {
+    let mut emu = WarpEmulator::new(ctx.program, ctx.dcfgs, ctx.config, cursors);
     emu.static_cfgs = ctx.statics;
     emu.warp_index = warp_index;
     emu.sink = sink.take();
@@ -560,15 +617,170 @@ fn emit_warp_obs(obs: &Obs, report: &AnalysisReport) {
     obs.histogram(Phase::WarpEmulate, "warp_issues", report.issues as f64);
 }
 
-struct Cursor<'t> {
+/// One lane's view of its trace during warp replay.
+///
+/// The emulator is generic over this trait and monomorphizes twice:
+/// [`ColumnarLane`] replays straight from the columnar storage (the hot
+/// path — no `TraceEvent` is ever materialized), [`EventLane`] replays a
+/// materialized event slice (benchmark baseline / validation). Everything
+/// the emulator needs is block-granular: peek/consume the next block with
+/// its memory accesses streamed through a callback, peek/consume the next
+/// side event, and scan ahead for a lock release. [`LaneCursor::peek_event`]
+/// materializes a single event for desync error messages only.
+trait LaneCursor {
+    /// Thread id of the lane.
+    fn tid(&self) -> u32;
+    /// `(addr, n_insts)` of the next block, if the next event is a block.
+    fn peek_block(&self) -> Option<(BlockAddr, u32)>;
+    /// Consumes the pending block and streams its memory accesses as
+    /// `(inst_idx, addr, size)`. Callers check [`LaneCursor::peek_block`]
+    /// first; consuming when no block is pending is a no-op.
+    fn consume_block(&mut self, f: impl FnMut(u32, u64, u32));
+    /// The next side event, if the next event is one.
+    fn peek_side(&self) -> Option<SideEvent>;
+    /// Consumes the pending side event (no-op if none is pending).
+    fn consume_side(&mut self);
+    /// Whether the lane's stream is fully consumed.
+    fn at_end(&self) -> bool;
+    /// Materializes the next event for error reporting (cold path only).
+    fn peek_event(&self) -> Option<TraceEvent>;
+    /// Scans ahead for the release matching `lock` (same-lock acquires
+    /// nest) and returns the address of the first block after it.
+    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr>;
+}
+
+/// The hot-path lane: a zero-allocation cursor over columnar storage.
+struct ColumnarLane<'t> {
+    cur: TraceCursor<'t>,
+}
+
+impl<'t> ColumnarLane<'t> {
+    fn new(t: &'t ThreadTrace) -> Self {
+        ColumnarLane { cur: t.cursor() }
+    }
+}
+
+impl LaneCursor for ColumnarLane<'_> {
+    fn tid(&self) -> u32 {
+        self.cur.tid()
+    }
+
+    fn peek_block(&self) -> Option<(BlockAddr, u32)> {
+        self.cur.peek_block()
+    }
+
+    fn consume_block(&mut self, mut f: impl FnMut(u32, u64, u32)) {
+        if let Some((_, _, mems)) = self.cur.next_block() {
+            for m in mems.iter() {
+                f(m.inst_idx, m.addr, m.size as u32);
+            }
+        }
+    }
+
+    fn peek_side(&self) -> Option<SideEvent> {
+        self.cur.peek_side()
+    }
+
+    fn consume_side(&mut self) {
+        self.cur.next_side();
+    }
+
+    fn at_end(&self) -> bool {
+        self.cur.at_end()
+    }
+
+    fn peek_event(&self) -> Option<TraceEvent> {
+        self.cur.peek_event()
+    }
+
+    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr> {
+        self.cur.scan_release_target(lock)
+    }
+}
+
+/// The baseline lane: a position over a materialized event slice
+/// (pre-columnar replay semantics, kept for benchmarking and validation).
+struct EventLane<'t> {
     tid: u32,
     events: &'t [TraceEvent],
     pos: usize,
 }
 
-impl<'t> Cursor<'t> {
-    fn peek(&self) -> Option<&'t TraceEvent> {
+impl EventLane<'_> {
+    fn peek(&self) -> Option<&TraceEvent> {
         self.events.get(self.pos)
+    }
+}
+
+impl LaneCursor for EventLane<'_> {
+    fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    fn peek_block(&self) -> Option<(BlockAddr, u32)> {
+        match self.peek() {
+            Some(TraceEvent::Block { addr, n_insts }) => Some((*addr, *n_insts)),
+            _ => None,
+        }
+    }
+
+    fn consume_block(&mut self, mut f: impl FnMut(u32, u64, u32)) {
+        if !matches!(self.peek(), Some(TraceEvent::Block { .. })) {
+            return;
+        }
+        self.pos += 1;
+        while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.peek() {
+            f(*inst_idx, *addr, *size as u32);
+            self.pos += 1;
+        }
+    }
+
+    fn peek_side(&self) -> Option<SideEvent> {
+        match self.peek()? {
+            TraceEvent::Call { callee } => Some(SideEvent::Call { callee: *callee }),
+            TraceEvent::Ret => Some(SideEvent::Ret),
+            TraceEvent::Acquire { lock } => Some(SideEvent::Acquire { lock: *lock }),
+            TraceEvent::Release { lock } => Some(SideEvent::Release { lock: *lock }),
+            TraceEvent::Barrier { id } => Some(SideEvent::Barrier { id: *id }),
+            TraceEvent::Block { .. } | TraceEvent::Mem { .. } => None,
+        }
+    }
+
+    fn consume_side(&mut self) {
+        if self.peek_side().is_some() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.events.len()
+    }
+
+    fn peek_event(&self) -> Option<TraceEvent> {
+        self.peek().copied()
+    }
+
+    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr> {
+        let mut nesting = 0u32;
+        let mut release_at: Option<usize> = None;
+        for (i, e) in self.events[self.pos..].iter().enumerate() {
+            match e {
+                TraceEvent::Acquire { lock: l } if *l == lock => nesting += 1,
+                TraceEvent::Release { lock: l } if *l == lock => {
+                    if nesting == 0 {
+                        release_at = Some(self.pos + i);
+                        break;
+                    }
+                    nesting -= 1;
+                }
+                _ => {}
+            }
+        }
+        let at = release_at?;
+        self.events[at + 1..].iter().find_map(|e| match e {
+            TraceEvent::Block { addr, .. } => Some(*addr),
+            _ => None,
+        })
     }
 }
 
@@ -585,12 +797,12 @@ struct Entry {
     is_frame: bool,
 }
 
-struct WarpEmulator<'a, 't, 's> {
+struct WarpEmulator<'a, 's, C: LaneCursor> {
     program: &'a Program,
     dcfgs: &'a DcfgSet,
     static_cfgs: Option<&'a [FuncCfg]>,
     config: &'a AnalyzerConfig,
-    cursors: Vec<Cursor<'t>>,
+    cursors: Vec<C>,
     stack: Vec<Entry>,
     report: AnalysisReport,
     warp_index: u32,
@@ -622,15 +834,13 @@ fn lanes_of(mask: u64, _n: usize) -> impl Iterator<Item = usize> {
     })
 }
 
-impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
+impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     fn new(
         program: &'a Program,
         dcfgs: &'a DcfgSet,
         config: &'a AnalyzerConfig,
-        lanes: &[&'t ThreadTrace],
+        cursors: Vec<C>,
     ) -> Self {
-        let cursors =
-            lanes.iter().map(|t| Cursor { tid: t.tid, events: &t.events, pos: 0 }).collect();
         WarpEmulator {
             program,
             dcfgs,
@@ -652,7 +862,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
     }
 
     fn desync(&self, lane: usize, detail: impl Into<String>) -> AnalyzeError {
-        AnalyzeError::Desync { tid: self.cursors[lane].tid, detail: detail.into() }
+        AnalyzeError::Desync { tid: self.cursors[lane].tid(), detail: detail.into() }
     }
 
     fn dcfg(&self, f: FuncId) -> Result<&'a Dcfg, AnalyzeError> {
@@ -668,14 +878,15 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
             return Ok(());
         }
         // All lanes must open with the kernel's entry block.
-        let first = match self.cursors[0].peek() {
-            Some(TraceEvent::Block { addr, .. }) => *addr,
-            _ => return Err(self.desync(0, "trace does not start with a block")),
+        let first = match self.cursors[0].peek_block() {
+            Some((addr, _)) => addr,
+            None => return Err(self.desync(0, "trace does not start with a block")),
         };
         for l in 1..n {
-            match self.cursors[l].peek() {
-                Some(TraceEvent::Block { addr, .. }) if *addr == first => {}
-                other => {
+            match self.cursors[l].peek_block() {
+                Some((addr, _)) if addr == first => {}
+                _ => {
+                    let other = self.cursors[l].peek_event();
                     return Err(self.desync(l, format!("lane entry mismatch: {other:?}")));
                 }
             }
@@ -736,12 +947,13 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 }
                 Terminator::Ret { .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek() {
-                            Some(TraceEvent::Ret) => self.cursors[l].pos += 1,
-                            other => {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Ret) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
                                 return Err(
                                     self.desync(l, format!("expected Ret event, got {other:?}"))
-                                )
+                                );
                             }
                         }
                     }
@@ -751,14 +963,15 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 }
                 Terminator::Call { callee, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek() {
-                            Some(TraceEvent::Call { callee: c }) if *c == *callee => {
-                                self.cursors[l].pos += 1;
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Call { callee: c }) if c == *callee => {
+                                self.cursors[l].consume_side();
                             }
-                            other => {
+                            _ => {
+                                let other = self.cursors[l].peek_event();
                                 return Err(
                                     self.desync(l, format!("expected Call event, got {other:?}"))
-                                )
+                                );
                             }
                         }
                     }
@@ -779,11 +992,12 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 }
                 Terminator::Release { next, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek() {
-                            Some(TraceEvent::Release { .. }) => self.cursors[l].pos += 1,
-                            other => {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Release { .. }) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
                                 return Err(self
-                                    .desync(l, format!("expected Release event, got {other:?}")))
+                                    .desync(l, format!("expected Release event, got {other:?}")));
                             }
                         }
                     }
@@ -791,11 +1005,12 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
                 }
                 Terminator::Barrier { next, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek() {
-                            Some(TraceEvent::Barrier { .. }) => self.cursors[l].pos += 1,
-                            other => {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Barrier { .. }) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
                                 return Err(self
-                                    .desync(l, format!("expected Barrier event, got {other:?}")))
+                                    .desync(l, format!("expected Barrier event, got {other:?}")));
                             }
                         }
                     }
@@ -806,7 +1021,7 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
 
         // Every lane must be fully consumed.
         for l in 0..n {
-            if self.cursors[l].peek().is_some() {
+            if !self.cursors[l].at_end() {
                 return Err(self.desync(l, "trailing events after warp completion"));
             }
         }
@@ -832,20 +1047,21 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         };
         let mut target: Option<BlockAddr> = None;
         for l in lanes_of(popped.mask, n) {
-            match self.cursors[l].peek() {
-                Some(TraceEvent::Block { addr, .. }) => match target {
-                    None => target = Some(*addr),
-                    Some(t) if t == *addr => {}
+            match self.cursors[l].peek_block() {
+                Some((addr, _)) => match target {
+                    None => target = Some(addr),
+                    Some(t) if t == addr => {}
                     Some(t) => {
                         return Err(
                             self.desync(l, format!("call continuation mismatch: {addr} vs {t}"))
                         )
                     }
                 },
-                other => {
+                None => {
+                    let other = self.cursors[l].peek_event();
                     return Err(
                         self.desync(l, format!("expected continuation block, got {other:?}"))
-                    )
+                    );
                 }
             }
         }
@@ -873,37 +1089,31 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         for l in lanes_of(top.mask, n) {
             active += 1;
             let c = &mut self.cursors[l];
-            match c.peek() {
-                Some(TraceEvent::Block { addr: a, n_insts: ni }) if *a == addr => {
-                    match n_insts {
-                        None => n_insts = Some(*ni),
-                        Some(prev) if prev == *ni => {}
-                        Some(prev) => {
-                            let err = AnalyzeError::Desync {
-                                tid: c.tid,
-                                detail: format!("block size mismatch at {addr}: {ni} vs {prev}"),
-                            };
-                            self.mem_scratch = mem_groups;
-                            self.vec_pool = pool;
-                            return Err(err);
-                        }
+            match c.peek_block() {
+                Some((a, ni)) if a == addr => match n_insts {
+                    None => n_insts = Some(ni),
+                    Some(prev) if prev == ni => {}
+                    Some(prev) => {
+                        let err = AnalyzeError::Desync {
+                            tid: c.tid(),
+                            detail: format!("block size mismatch at {addr}: {ni} vs {prev}"),
+                        };
+                        self.mem_scratch = mem_groups;
+                        self.vec_pool = pool;
+                        return Err(err);
                     }
-                    c.pos += 1;
-                }
-                other => {
+                },
+                _ => {
                     let err = AnalyzeError::Desync {
-                        tid: c.tid,
-                        detail: format!("expected block {addr}, got {other:?}"),
+                        tid: c.tid(),
+                        detail: format!("expected block {addr}, got {:?}", c.peek_event()),
                     };
                     self.mem_scratch = mem_groups;
                     self.vec_pool = pool;
                     return Err(err);
                 }
             }
-            while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = c.peek() {
-                mem_groups.push(*inst_idx, (*addr, *size as u32), &mut pool);
-                c.pos += 1;
-            }
+            c.consume_block(|inst_idx, a, size| mem_groups.push(inst_idx, (a, size), &mut pool));
         }
         let ni = n_insts.expect("at least one active lane") as u64;
         self.report.issues += ni;
@@ -967,12 +1177,11 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         groups.clear();
         let n = self.cursors.len();
         for l in lanes_of(top.mask, n) {
-            let node = match self.cursors[l].peek() {
-                Some(TraceEvent::Block { addr, .. }) if addr.func == top.func => {
-                    addr.block.0 as usize
-                }
-                other => {
-                    return Err(self.desync(l, format!("expected successor block, got {other:?}")))
+            let node = match self.cursors[l].peek_block() {
+                Some((addr, _)) if addr.func == top.func => addr.block.0 as usize,
+                _ => {
+                    let other = self.cursors[l].peek_event();
+                    return Err(self.desync(l, format!("expected successor block, got {other:?}")));
                 }
             };
             match groups.iter_mut().find(|(g, _)| *g == node) {
@@ -1023,13 +1232,14 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         let n = self.cursors.len();
         let mut locks: Vec<(usize, u64)> = Vec::new(); // (lane, lock)
         for l in lanes_of(top.mask, n) {
-            match self.cursors[l].peek() {
-                Some(TraceEvent::Acquire { lock }) => {
-                    locks.push((l, *lock));
-                    self.cursors[l].pos += 1;
+            match self.cursors[l].peek_side() {
+                Some(SideEvent::Acquire { lock }) => {
+                    locks.push((l, lock));
+                    self.cursors[l].consume_side();
                 }
-                other => {
-                    return Err(self.desync(l, format!("expected Acquire event, got {other:?}")))
+                _ => {
+                    let other = self.cursors[l].peek_event();
+                    return Err(self.desync(l, format!("expected Acquire event, got {other:?}")));
                 }
             }
         }
@@ -1048,7 +1258,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         // pairs of one of the threads").
         let lead = contended[0];
         let lead_lock = locks.iter().find(|(l, _)| *l == lead).expect("present").1;
-        let Some(rpoint) = self.scan_release(lead, lead_lock, top.func) else {
+        let rpoint_addr =
+            self.cursors[lead].scan_release_target(lead_lock).filter(|addr| addr.func == top.func);
+        let Some(rpoint) = rpoint_addr.map(|addr| addr.block.0 as usize) else {
             self.report.lock_fallbacks += 1;
             self.stack.last_mut().expect("nonempty").node = next;
             return Ok(());
@@ -1090,37 +1302,9 @@ impl<'a, 't, 's> WarpEmulator<'a, 't, 's> {
         }
         Ok(())
     }
-
-    /// Scans ahead in `lane`'s trace for the matching `Release` of `lock`,
-    /// returning the block that follows it if it belongs to `func`.
-    fn scan_release(&self, lane: usize, lock: u64, func: FuncId) -> Option<usize> {
-        let c = &self.cursors[lane];
-        let mut nesting = 0u32;
-        let mut release_at: Option<usize> = None;
-        for (i, e) in c.events[c.pos..].iter().enumerate() {
-            match e {
-                TraceEvent::Acquire { lock: l } if *l == lock => nesting += 1,
-                TraceEvent::Release { lock: l } if *l == lock => {
-                    if nesting == 0 {
-                        release_at = Some(c.pos + i);
-                        break;
-                    }
-                    nesting -= 1;
-                }
-                _ => {}
-            }
-        }
-        let at = release_at?;
-        for e in &c.events[at + 1..] {
-            if let TraceEvent::Block { addr, .. } = e {
-                return if addr.func == func { Some(addr.block.0 as usize) } else { None };
-            }
-        }
-        None
-    }
 }
 
-impl WarpEmulator<'_, '_, '_> {
+impl<C: LaneCursor> WarpEmulator<'_, '_, C> {
     /// Reconvergence point of a diverging block under the configured
     /// policy (node index; possibly the virtual exit).
     fn reconvergence_point(&self, dcfg: &Dcfg, func: FuncId, node: usize) -> usize {

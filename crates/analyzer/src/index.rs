@@ -65,7 +65,7 @@ impl AnalysisIndex {
         let span = obs.span(Phase::IndexBuild);
         obs.counter(Phase::IndexBuild, "index_misses", 1);
         let dcfgs = DcfgSet::build_observed(program, traces, obs)?;
-        let thread_events = traces.threads().iter().map(|t| t.events.len()).collect();
+        let thread_events = traces.threads().iter().map(|t| t.event_count()).collect();
         let skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
         let skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
         span.finish();
@@ -144,7 +144,7 @@ mod tests {
         assert_eq!(ix.thread_event_counts().len(), 16);
         assert_eq!(
             ix.total_events(),
-            traces.threads().iter().map(|t| t.events.len() as u64).sum::<u64>()
+            traces.threads().iter().map(|t| t.event_count() as u64).sum::<u64>()
         );
         assert!(ix.thread_event_counts().iter().all(|&n| n > 0));
     }

@@ -78,7 +78,7 @@ pub use dwf::{dwf_upper_bound, DwfBound};
 pub use emulator::{analyze, analyze_with_sink};
 pub use emulator::{
     analyze_indexed, analyze_indexed_with_sink, AnalyzerConfig, BlockStep, MemGroups,
-    ReconvergencePolicy, StepSink, WarpScheduler,
+    ReconvergencePolicy, ReplayMode, StepSink, WarpScheduler,
 };
 pub use index::AnalysisIndex;
 pub use report::{AnalysisReport, FunctionReport, SegmentTraffic};
@@ -470,7 +470,7 @@ mod tests {
         let _k = pb.function("k", 1, |fb| fb.ret(None));
         let p = pb.build().unwrap();
         // Ret with no frame.
-        let t = ThreadTrace { tid: 0, events: vec![TraceEvent::Ret], ..Default::default() };
+        let t = ThreadTrace::from_events(0, [TraceEvent::Ret]);
         let traces: TraceSet = std::iter::once(t).collect();
         let err = AnalyzerConfig::new(4).analyze(&p, &traces).unwrap_err();
         assert!(matches!(err, AnalyzeError::MalformedTrace { .. }));

@@ -22,6 +22,7 @@ const WORKLOADS: &[&str] = &["vectoradd", "md5", "bfs", "pigz", "usertag"];
 
 const PHASES: &[Phase] = &[
     Phase::Optimize,
+    Phase::Predecode,
     Phase::Trace,
     Phase::IndexBuild,
     Phase::DcfgBuild,
@@ -38,6 +39,10 @@ struct PhaseTime {
     phase: String,
     spans: u64,
     wall_ms: f64,
+    /// Traced-instruction throughput of this phase alone (traced
+    /// instructions / phase wall time; 0 when the phase recorded no
+    /// time).
+    insts_per_sec: f64,
 }
 
 #[derive(Serialize)]
@@ -77,10 +82,18 @@ fn main() {
 
         let phases = PHASES
             .iter()
-            .map(|&p| PhaseTime {
-                phase: p.name().to_string(),
-                spans: sink.span_count(p) as u64,
-                wall_ms: sink.span_nanos(p) as f64 / 1e6,
+            .map(|&p| {
+                let wall_ms = sink.span_nanos(p) as f64 / 1e6;
+                PhaseTime {
+                    phase: p.name().to_string(),
+                    spans: sink.span_count(p) as u64,
+                    wall_ms,
+                    insts_per_sec: if wall_ms > 0.0 {
+                        report.thread_insts as f64 / (wall_ms / 1e3)
+                    } else {
+                        0.0
+                    },
+                }
             })
             .collect();
         let secs = total.as_secs_f64();

@@ -1,0 +1,249 @@
+//! Trace-path performance benchmark: the two hot paths this crate
+//! optimizes, measured head to head.
+//!
+//! 1. **Trace phase** — executing + tracing a workload with the legacy
+//!    walk-the-`Program` interpreter versus the predecoded
+//!    [`ExecProgram`] engine (built once, shared).
+//! 2. **Replay phase** — warp emulation replaying the capture from the
+//!    materialized legacy event stream versus the columnar cursor.
+//!
+//! Each timing is the minimum of four runs. Besides speed the benchmark
+//! asserts semantics: both engines must produce identical trace sets and
+//! both replay modes identical analysis reports.
+//!
+//! Writes `BENCH_trace.json` to the current directory (override with
+//! `TF_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_trace
+//! cargo run --release -p threadfuser-bench --bin perf_trace -- --check BENCH_trace.json
+//! ```
+//!
+//! `--check` re-reads a written report and fails unless the predecoded
+//! engine traced at least 1.3x faster than the legacy engine and the
+//! replay modes agreed bit for bit.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+use threadfuser::analyzer::ReplayMode;
+use threadfuser::ir::OptLevel;
+use threadfuser::machine::{ExecEngine, ExecProgram, MachineConfig};
+use threadfuser::tracer::trace_program;
+use threadfuser::workloads::by_name;
+use threadfuser::Pipeline;
+use threadfuser_bench::{f2, threads_for};
+
+const WORKLOADS: &[&str] = &["md5", "pigz"];
+const RUNS: usize = 4;
+/// The `--check` gate: minimum trace-phase speedup of the predecoded
+/// engine over the legacy interpreter.
+const MIN_TRACE_SPEEDUP: f64 = 1.3;
+
+#[derive(Serialize, Deserialize)]
+struct WorkloadPerf {
+    workload: String,
+    threads: u32,
+    traced_insts: u64,
+    trace_bytes: u64,
+    /// Trace phase, legacy engine (min-of-4 wall ms).
+    legacy_trace_ms: f64,
+    /// Trace phase, predecoded engine with a prebuilt shared
+    /// [`ExecProgram`] (min-of-4 wall ms).
+    predecoded_trace_ms: f64,
+    trace_speedup: f64,
+    legacy_insts_per_sec: f64,
+    predecoded_insts_per_sec: f64,
+    /// Both engines produced the same per-thread traces.
+    traces_identical: bool,
+    /// Replay (analyze) phase from materialized legacy events
+    /// (min-of-4 wall ms, warm index).
+    materialized_replay_ms: f64,
+    /// Replay (analyze) phase from the columnar cursor
+    /// (min-of-4 wall ms, warm index).
+    columnar_replay_ms: f64,
+    replay_speedup: f64,
+    /// Both replay modes produced bit-identical reports (including the
+    /// per-function maps).
+    reports_identical: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TraceReport {
+    benchmark: String,
+    workloads: Vec<WorkloadPerf>,
+}
+
+/// Minimum wall time of [`RUNS`] invocations of `f`, in milliseconds.
+fn min_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best, last.expect("RUNS > 0"))
+}
+
+fn run_workload(name: &str) -> WorkloadPerf {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let threads = threads_for(&w);
+    // The developer scenario: trace the -O3 binary.
+    let program = OptLevel::O3.apply(&w.program);
+    let exec = Arc::new(ExecProgram::build(&program));
+
+    let machine_cfg = |engine: ExecEngine, exec: Option<&Arc<ExecProgram>>| {
+        let mut cfg = MachineConfig::new(w.kernel, threads).engine(engine);
+        cfg.init = w.init;
+        if let Some(e) = exec {
+            cfg = cfg.exec_program(Arc::clone(e));
+        }
+        cfg
+    };
+
+    let (legacy_trace_ms, legacy_traces) = min_ms(|| {
+        trace_program(&program, machine_cfg(ExecEngine::Legacy, None))
+            .unwrap_or_else(|e| panic!("{name} (legacy): {e}"))
+            .0
+    });
+    let (predecoded_trace_ms, predecoded_traces) = min_ms(|| {
+        trace_program(&program, machine_cfg(ExecEngine::Predecoded, Some(&exec)))
+            .unwrap_or_else(|e| panic!("{name} (predecoded): {e}"))
+            .0
+    });
+    let traces_identical = legacy_traces == predecoded_traces;
+
+    let traced_insts: u64 = predecoded_traces.threads().iter().map(|t| t.traced_insts()).sum();
+    let trace_bytes = predecoded_traces.storage_bytes() as u64;
+
+    // Replay phase: one capture, warm shared index, both replay modes.
+    let traced = Pipeline::from_workload(&w)
+        .threads(threads)
+        .opt_level(OptLevel::O3)
+        .trace()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    traced.analyze().unwrap_or_else(|e| panic!("{name}: {e}")); // builds the index
+    let (columnar_replay_ms, col_report) =
+        min_ms(|| traced.view().replay(ReplayMode::Columnar).analyze().expect("columnar analyze"));
+    let (materialized_replay_ms, mat_report) = min_ms(|| {
+        traced
+            .view()
+            .replay(ReplayMode::MaterializedEvents)
+            .analyze()
+            .expect("materialized analyze")
+    });
+    let reports_identical =
+        col_report == mat_report && col_report.per_function == mat_report.per_function;
+
+    let ips = |ms: f64| if ms > 0.0 { traced_insts as f64 / (ms / 1e3) } else { 0.0 };
+    WorkloadPerf {
+        workload: name.to_string(),
+        threads,
+        traced_insts,
+        trace_bytes,
+        legacy_trace_ms,
+        predecoded_trace_ms,
+        trace_speedup: if predecoded_trace_ms > 0.0 {
+            legacy_trace_ms / predecoded_trace_ms
+        } else {
+            0.0
+        },
+        legacy_insts_per_sec: ips(legacy_trace_ms),
+        predecoded_insts_per_sec: ips(predecoded_trace_ms),
+        traces_identical,
+        materialized_replay_ms,
+        columnar_replay_ms,
+        replay_speedup: if columnar_replay_ms > 0.0 {
+            materialized_replay_ms / columnar_replay_ms
+        } else {
+            0.0
+        },
+        reports_identical,
+    }
+}
+
+/// Validates a previously written report; returns an error message on a
+/// malformed file or a failed invariant.
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let r: TraceReport = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    if r.benchmark != "perf_trace" {
+        return Err(format!("unexpected benchmark name {:?}", r.benchmark));
+    }
+    if r.workloads.is_empty() {
+        return Err("no workloads in report".to_string());
+    }
+    for s in &r.workloads {
+        if s.traced_insts == 0 || s.legacy_trace_ms <= 0.0 || s.predecoded_trace_ms <= 0.0 {
+            return Err(format!(
+                "{}: implausible numbers: {} insts, legacy {} ms, predecoded {} ms",
+                s.workload, s.traced_insts, s.legacy_trace_ms, s.predecoded_trace_ms
+            ));
+        }
+        if !s.traces_identical {
+            return Err(format!("{}: predecoded engine changed trace contents", s.workload));
+        }
+        if !s.reports_identical {
+            return Err(format!(
+                "{}: columnar replay report differs from materialized-events replay",
+                s.workload
+            ));
+        }
+        if s.trace_speedup < MIN_TRACE_SPEEDUP {
+            return Err(format!(
+                "{}: predecoded trace speedup {} below the {MIN_TRACE_SPEEDUP}x gate",
+                s.workload,
+                f2(s.trace_speedup)
+            ));
+        }
+        println!(
+            "{path}: {} ok (trace {}x, replay {}x, reports identical)",
+            s.workload,
+            f2(s.trace_speedup),
+            f2(s.replay_speedup)
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_trace.json");
+        if let Err(e) = check(path) {
+            eprintln!("perf_trace --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = TraceReport {
+        benchmark: "perf_trace".to_string(),
+        workloads: WORKLOADS.iter().map(|name| run_workload(name)).collect(),
+    };
+    for s in &report.workloads {
+        println!(
+            "{:<8} {:>6} threads  trace: legacy {:>8} ms, predecoded {:>8} ms ({}x)",
+            s.workload,
+            s.threads,
+            f2(s.legacy_trace_ms),
+            f2(s.predecoded_trace_ms),
+            f2(s.trace_speedup),
+        );
+        println!(
+            "  replay: materialized {:>8} ms, columnar {:>8} ms ({}x)  traces {} reports {}",
+            f2(s.materialized_replay_ms),
+            f2(s.columnar_replay_ms),
+            f2(s.replay_speedup),
+            if s.traces_identical { "identical" } else { "DIFFER" },
+            if s.reports_identical { "identical" } else { "DIFFER" },
+        );
+    }
+
+    let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_trace.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -150,24 +150,24 @@ fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
         let l1 = &mut l1s[core];
         let hierarchy = &mut hierarchies[core];
         let mut cycle = core_cycles[core];
-        for e in &t.events {
+        for e in t.iter_events() {
             match e {
                 TraceEvent::Block { n_insts, .. } => {
-                    cycle += *n_insts as u64;
-                    stats.insts += *n_insts as u64;
+                    cycle += n_insts as u64;
+                    stats.insts += n_insts as u64;
                 }
                 TraceEvent::Mem { addr, is_store, .. } => {
-                    let access = l1.access(*addr, *is_store);
+                    let access = l1.access(addr, is_store);
                     if access.hit {
                         cycle += config.l1_hit_extra;
                     } else if !is_store {
                         // Loads stall the in-order pipeline.
-                        let (done, _) = hierarchy.access(cycle, *addr, *is_store);
+                        let (done, _) = hierarchy.access(cycle, addr, is_store);
                         stats.mem_stall_cycles += done.saturating_sub(cycle);
                         cycle = done;
                     } else {
                         // Store misses consume bandwidth but retire.
-                        let _ = hierarchy.access(cycle, *addr, *is_store);
+                        let _ = hierarchy.access(cycle, addr, is_store);
                     }
                 }
                 TraceEvent::Call { .. }

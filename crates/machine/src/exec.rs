@@ -67,6 +67,74 @@ impl From<HeapError> for Trap {
     }
 }
 
+/// Evaluated call-argument values.
+///
+/// Calls sit on the hot path of call-heavy workloads, and almost every
+/// call passes only a handful of words, so the common case lives inline
+/// with no heap allocation; longer lists spill to a `Vec`. Dereferences
+/// to `[i64]`.
+#[derive(Debug, Clone, Eq)]
+pub enum CallArgs {
+    /// At most [`CallArgs::INLINE`] values, stored in place.
+    Inline {
+        /// Backing store; only the first `len` entries are meaningful.
+        buf: [i64; CallArgs::INLINE],
+        /// Number of live values in `buf`.
+        len: u8,
+    },
+    /// More than [`CallArgs::INLINE`] values.
+    Spilled(Vec<i64>),
+}
+
+impl CallArgs {
+    /// Capacity of the inline representation.
+    pub const INLINE: usize = 8;
+
+    /// Empty list with room for `n` values without reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= Self::INLINE {
+            CallArgs::Inline { buf: [0; Self::INLINE], len: 0 }
+        } else {
+            CallArgs::Spilled(Vec::with_capacity(n))
+        }
+    }
+
+    /// Appends a value, spilling to the heap if the inline buffer fills.
+    pub fn push(&mut self, v: i64) {
+        match self {
+            CallArgs::Inline { buf, len } if (*len as usize) < Self::INLINE => {
+                buf[*len as usize] = v;
+                *len += 1;
+            }
+            CallArgs::Inline { buf, len } => {
+                let mut spill = buf[..*len as usize].to_vec();
+                spill.push(v);
+                *self = CallArgs::Spilled(spill);
+            }
+            CallArgs::Spilled(v2) => v2.push(v),
+        }
+    }
+}
+
+impl std::ops::Deref for CallArgs {
+    type Target = [i64];
+
+    fn deref(&self) -> &[i64] {
+        match self {
+            CallArgs::Inline { buf, len } => &buf[..*len as usize],
+            CallArgs::Spilled(v) => v,
+        }
+    }
+}
+
+impl PartialEq for CallArgs {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation-independent: an inline list equals a spilled
+        // list with the same values.
+        **self == **other
+    }
+}
+
 /// Control transfer produced by a terminator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Next {
@@ -77,7 +145,7 @@ pub enum Next {
         /// Callee function.
         callee: FuncId,
         /// Evaluated argument values.
-        args: Vec<i64>,
+        args: CallArgs,
         /// Caller continuation block.
         ret_to: BlockId,
         /// Register in the caller receiving the return value.
@@ -226,7 +294,7 @@ impl ExecCtx<'_> {
                 Next::Goto(t)
             }
             Terminator::Call { callee, args, ret_to, dst } => {
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = CallArgs::with_capacity(args.len());
                 for a in args {
                     vals.push(self.value(a, acc)?);
                 }

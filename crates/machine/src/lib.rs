@@ -24,6 +24,7 @@ pub mod layout;
 pub mod lockstep;
 pub mod memory;
 pub mod mimd;
+pub mod predecode;
 
 pub use exec::{ExecCtx, MemAccess, Next, Trap};
 pub use heap::{Heap, HeapError};
@@ -33,4 +34,5 @@ pub use lockstep::{
     LockstepConfig, LockstepError, LockstepMachine, LockstepStats, SegmentMemStats,
 };
 pub use memory::Memory;
-pub use mimd::{Machine, MachineConfig, MachineError, RunStats, ThreadStats};
+pub use mimd::{ExecEngine, Machine, MachineConfig, MachineError, RunStats, ThreadStats};
+pub use predecode::ExecProgram;

@@ -16,7 +16,9 @@ use crate::exec::{ExecCtx, MemAccess, Next, Trap};
 use crate::heap::Heap;
 use crate::layout::{segment_of, stack_floor, stack_top, Segment};
 use crate::memory::Memory;
+use crate::predecode::{ExecProgram, PInst};
 use std::fmt;
+use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Reg};
 
 /// Configuration of a lock-step run.
@@ -192,20 +194,25 @@ struct Entry {
 pub struct LockstepMachine<'p> {
     program: &'p Program,
     config: LockstepConfig,
+    exec: Arc<ExecProgram>,
     memory: Memory,
     heap: Heap,
-    cfgs: std::sync::Arc<Vec<FuncCfg>>,
+    cfgs: Arc<Vec<FuncCfg>>,
     stats: LockstepStats,
+    seg_heap_scratch: Vec<(u64, u32)>,
+    seg_stack_scratch: Vec<(u64, u32)>,
+    lines_scratch: Vec<u64>,
 }
 
 impl<'p> LockstepMachine<'p> {
-    /// Loads the program and precomputes per-function CFGs and IPDOMs.
+    /// Loads the program and precomputes per-function CFGs, IPDOMs, and
+    /// the predecoded execution form.
     ///
     /// # Errors
     /// [`LockstepError::KernelArity`] on kernel signature mismatch.
     pub fn new(program: &'p Program, config: LockstepConfig) -> Result<Self, LockstepError> {
         let cfgs = program.functions().iter().map(FuncCfg::from_function).collect();
-        Self::new_with_cfgs(program, config, std::sync::Arc::new(cfgs))
+        Self::new_with_cfgs(program, config, Arc::new(cfgs))
     }
 
     /// [`LockstepMachine::new`] with prebuilt per-function CFGs — lets a
@@ -218,10 +225,27 @@ impl<'p> LockstepMachine<'p> {
     pub fn new_with_cfgs(
         program: &'p Program,
         config: LockstepConfig,
-        cfgs: std::sync::Arc<Vec<FuncCfg>>,
+        cfgs: Arc<Vec<FuncCfg>>,
+    ) -> Result<Self, LockstepError> {
+        let exec = Arc::new(ExecProgram::build(program));
+        Self::new_with_parts(program, config, cfgs, exec)
+    }
+
+    /// [`LockstepMachine::new_with_cfgs`] with an additionally prebuilt
+    /// predecoded program (both artifacts depend only on the program, so
+    /// any machine over the same program may share them).
+    ///
+    /// # Errors
+    /// [`LockstepError::KernelArity`] on kernel signature mismatch.
+    pub fn new_with_parts(
+        program: &'p Program,
+        config: LockstepConfig,
+        cfgs: Arc<Vec<FuncCfg>>,
+        exec: Arc<ExecProgram>,
     ) -> Result<Self, LockstepError> {
         assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
         assert_eq!(cfgs.len(), program.functions().len(), "one CFG per function");
+        debug_assert!(exec.matches(program), "cached ExecProgram from another program");
         let kf = program.function(config.kernel);
         let got = 1 + config.extra_args.len();
         if kf.params as usize != got {
@@ -229,17 +253,26 @@ impl<'p> LockstepMachine<'p> {
         }
         Ok(LockstepMachine {
             program,
+            exec,
             memory: Memory::with_globals(program),
             heap: Heap::new(),
             cfgs,
             stats: LockstepStats { warp_size: config.warp_size, ..Default::default() },
             config,
+            seg_heap_scratch: Vec::new(),
+            seg_stack_scratch: Vec::new(),
+            lines_scratch: Vec::new(),
         })
     }
 
     /// The machine's memory image (inspect results after [`Self::run`]).
     pub fn memory(&self) -> &Memory {
         &self.memory
+    }
+
+    /// The program this machine executes.
+    pub fn program(&self) -> &'p Program {
+        self.program
     }
 
     /// Runs init and then every warp to completion; returns ground-truth
@@ -292,7 +325,8 @@ impl<'p> LockstepMachine<'p> {
         func: FuncId,
         lanes_args: Vec<(u32, Vec<i64>)>,
     ) -> Result<(), LockstepError> {
-        let f = self.program.function(func);
+        let exec = Arc::clone(&self.exec);
+        let f = exec.func(func);
         let mut lanes: Vec<Lane> = lanes_args
             .into_iter()
             .map(|(tid, args)| {
@@ -316,6 +350,7 @@ impl<'p> LockstepMachine<'p> {
         }];
 
         let mut acc: Vec<MemAccess> = Vec::with_capacity(4);
+        let mut warp_accesses: Vec<MemAccess> = Vec::new();
         while let Some(&top) = stack.last() {
             let cfg_exit = self.cfg(top.func).virtual_exit();
             // Lanes sitting at their reconvergence point merge into the
@@ -324,10 +359,9 @@ impl<'p> LockstepMachine<'p> {
                 stack.pop();
                 continue;
             }
-            let func_ref = self.program.function(top.func);
-            let block = func_ref.block(BlockId(top.node as u32));
+            let block = exec.block(top.func, BlockId(top.node as u32));
             let addr = BlockAddr::new(top.func, BlockId(top.node as u32));
-            let n_insts = block.len_with_term() as u64;
+            let n_insts = block.n_insts as u64;
             let active: Vec<usize> = (0..lanes.len()).filter(|&l| top.mask >> l & 1 == 1).collect();
             debug_assert!(!active.is_empty(), "empty active mask on SIMT stack");
 
@@ -338,12 +372,12 @@ impl<'p> LockstepMachine<'p> {
             }
 
             // ---- body, one instruction across all active lanes ----------
-            for inst in &block.insts {
-                if matches!(inst, threadfuser_ir::Inst::Io { .. } | threadfuser_ir::Inst::Nop) {
+            for inst in exec.insts(block) {
+                if matches!(inst, PInst::Io { .. } | PInst::Nop) {
                     continue;
                 }
                 let collects_mem = inst.touches_memory();
-                let mut warp_accesses: Vec<MemAccess> = Vec::new();
+                warp_accesses.clear();
                 for &l in &active {
                     let lane = &mut lanes[l];
                     let frame = lane.frames.last_mut().expect("active lane has a frame");
@@ -354,7 +388,7 @@ impl<'p> LockstepMachine<'p> {
                         mem: &mut self.memory,
                         heap: &mut self.heap,
                     };
-                    if let Err(trap) = ctx.exec_inst(inst, &mut acc) {
+                    if let Err(trap) = ctx.exec_pinst(inst, &mut acc) {
                         return Err(LockstepError::Trapped { tid: lane.tid, at: addr, trap });
                     }
                     if collects_mem {
@@ -363,14 +397,15 @@ impl<'p> LockstepMachine<'p> {
                 }
                 if collects_mem {
                     self.note_mem_inst(&warp_accesses);
+                    warp_accesses.clear();
                 }
             }
 
             // ---- terminator ---------------------------------------------
             let mut next_nodes: Vec<(usize, usize)> = Vec::with_capacity(active.len());
             let mut call: Option<(FuncId, BlockId, Option<Reg>)> = None;
-            let mut call_args: Vec<(usize, Vec<i64>)> = Vec::new();
-            let mut warp_accesses: Vec<MemAccess> = Vec::new();
+            let mut call_args: Vec<(usize, crate::exec::CallArgs)> = Vec::new();
+            warp_accesses.clear();
             for &l in &active {
                 let lane = &mut lanes[l];
                 let frame = lane.frames.last_mut().expect("active lane has a frame");
@@ -382,7 +417,7 @@ impl<'p> LockstepMachine<'p> {
                         mem: &mut self.memory,
                         heap: &mut self.heap,
                     };
-                    match ctx.eval_term(&block.term, &mut acc) {
+                    match ctx.eval_pterm(&block.term, &mut acc) {
                         Ok(n) => n,
                         Err(trap) => {
                             return Err(LockstepError::Trapped { tid: lane.tid, at: addr, trap })
@@ -418,7 +453,7 @@ impl<'p> LockstepMachine<'p> {
 
             if let Some((callee, ret_to, dst)) = call {
                 // All active lanes call together (direct calls only).
-                let cf = self.program.function(callee);
+                let cf = exec.func(callee);
                 for (l, args) in call_args {
                     let lane = &mut lanes[l];
                     {
@@ -487,24 +522,31 @@ impl<'p> LockstepMachine<'p> {
     }
 
     /// Records coalescing statistics for one warp-level memory instruction.
+    /// Uses persistent scratch buffers — no allocation on the hot path.
     fn note_mem_inst(&mut self, accesses: &[MemAccess]) {
-        let mut heap: Vec<(u64, u32)> = Vec::new();
-        let mut stack: Vec<(u64, u32)> = Vec::new();
+        self.seg_heap_scratch.clear();
+        self.seg_stack_scratch.clear();
         for a in accesses {
             match segment_of(a.addr) {
-                Segment::Heap => heap.push((a.addr, a.size)),
-                Segment::Stack => stack.push((a.addr, a.size)),
+                Segment::Heap => self.seg_heap_scratch.push((a.addr, a.size)),
+                Segment::Stack => self.seg_stack_scratch.push((a.addr, a.size)),
             }
         }
-        if !heap.is_empty() {
+        if !self.seg_heap_scratch.is_empty() {
             self.stats.heap.instructions += 1;
-            self.stats.heap.accesses += heap.len() as u64;
-            self.stats.heap.transactions += threadfuser_mem::coalesce_transactions(heap) as u64;
+            self.stats.heap.accesses += self.seg_heap_scratch.len() as u64;
+            self.stats.heap.transactions += threadfuser_mem::coalesce_transactions_with(
+                &mut self.lines_scratch,
+                self.seg_heap_scratch.iter().copied(),
+            ) as u64;
         }
-        if !stack.is_empty() {
+        if !self.seg_stack_scratch.is_empty() {
             self.stats.stack.instructions += 1;
-            self.stats.stack.accesses += stack.len() as u64;
-            self.stats.stack.transactions += threadfuser_mem::coalesce_transactions(stack) as u64;
+            self.stats.stack.accesses += self.seg_stack_scratch.len() as u64;
+            self.stats.stack.transactions += threadfuser_mem::coalesce_transactions_with(
+                &mut self.lines_scratch,
+                self.seg_stack_scratch.iter().copied(),
+            ) as u64;
         }
     }
 }

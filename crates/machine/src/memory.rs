@@ -6,16 +6,59 @@
 
 use crate::layout::GLOBAL_BASE;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use threadfuser_ir::{GlobalId, Program};
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Multiply-shift hasher for page numbers. Page lookups sit on the hot
+/// path of every load and store; the default SipHash costs more than the
+/// copy it guards. Page numbers are program addresses (not attacker
+/// controlled), so a fixed odd multiplier is fine.
+#[derive(Debug, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only used through `write_u64` by the page map; keep a correct
+        // fallback anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
+
 /// Sparse memory image plus the resolved addresses of program globals.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
     global_addrs: Vec<u64>,
+}
+
+/// Addresses at which `program`'s globals load: consecutive, 64-byte
+/// aligned, from [`GLOBAL_BASE`], in declaration order. This layout is a
+/// pure function of the program, which is what lets the predecoded
+/// execution engine bake absolute global addresses into its operands.
+pub fn global_layout(program: &Program) -> Vec<u64> {
+    let mut addrs = Vec::with_capacity(program.globals().len());
+    let mut cursor = GLOBAL_BASE;
+    for g in program.globals() {
+        addrs.push(cursor);
+        cursor += g.size.div_ceil(64) * 64;
+    }
+    addrs
 }
 
 impl Memory {
@@ -25,16 +68,15 @@ impl Memory {
     }
 
     /// Creates a memory image with `program`'s globals placed consecutively
-    /// (64-byte aligned) from [`GLOBAL_BASE`].
+    /// (64-byte aligned) from [`GLOBAL_BASE`]; see [`global_layout`].
     pub fn with_globals(program: &Program) -> Self {
         let mut mem = Memory::new();
-        let mut cursor = GLOBAL_BASE;
-        for g in program.globals() {
-            mem.global_addrs.push(cursor);
+        mem.global_addrs = global_layout(program);
+        for (i, g) in program.globals().iter().enumerate() {
             if !g.init.is_empty() {
-                mem.write_bytes(cursor, &g.init);
+                let addr = mem.global_addrs[i];
+                mem.write_bytes(addr, &g.init);
             }
-            cursor += g.size.div_ceil(64) * 64;
         }
         mem
     }
@@ -52,18 +94,41 @@ impl Memory {
     }
 
     /// Reads `size` (1/2/4/8) bytes little-endian, zero-extended to `u64`.
+    #[inline]
     pub fn read(&self, addr: u64, size: u32) -> u64 {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let in_page = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        let size = size as usize;
+        // Hot path: the access sits inside one page (accesses are small
+        // and mostly aligned, so this is nearly every access).
+        if in_page + size <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..size].copy_from_slice(&p[in_page..in_page + size]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+        }
         let mut buf = [0u8; 8];
-        self.read_bytes(addr, &mut buf[..size as usize]);
+        self.read_bytes(addr, &mut buf[..size]);
         u64::from_le_bytes(buf)
     }
 
     /// Writes the low `size` (1/2/4/8) bytes of `value` little-endian.
+    #[inline]
     pub fn write(&mut self, addr: u64, size: u32, value: u64) {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let in_page = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        let size = size as usize;
         let bytes = value.to_le_bytes();
-        self.write_bytes(addr, &bytes[..size as usize]);
+        if in_page + size <= PAGE_SIZE {
+            let page = self.page_mut(addr >> PAGE_SHIFT);
+            page[in_page..in_page + size].copy_from_slice(&bytes[..size]);
+            return;
+        }
+        self.write_bytes(addr, &bytes[..size]);
     }
 
     /// Reads a byte range (zero for untouched pages).

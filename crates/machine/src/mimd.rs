@@ -12,10 +12,25 @@ use crate::heap::Heap;
 use crate::hooks::{ExecHook, SkipKind};
 use crate::layout::{stack_floor, stack_top};
 use crate::memory::Memory;
+use crate::predecode::ExecProgram;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncId, Inst, Program, Reg};
 use threadfuser_obs::{Obs, Phase};
+
+/// Which instruction-fetch path the MIMD machine runs from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Execute from the flat, predecoded [`ExecProgram`] (the default and
+    /// the fast path).
+    #[default]
+    Predecoded,
+    /// Walk the nested [`Program`] enums directly on every dynamic
+    /// instruction. Kept as the benchmark baseline (`perf_trace`) and a
+    /// semantic cross-check; traces are bit-identical between engines.
+    Legacy,
+}
 
 /// Configuration of one MIMD run.
 #[derive(Debug, Clone)]
@@ -35,6 +50,13 @@ pub struct MachineConfig {
     pub spin_cost: u32,
     /// Total dynamic instruction budget (traps with [`Trap::Budget`]).
     pub max_total_insts: u64,
+    /// Instruction-fetch path; see [`ExecEngine`].
+    pub engine: ExecEngine,
+    /// Pre-built predecoded program to share across runs (built on demand
+    /// when absent and the engine is [`ExecEngine::Predecoded`]). The
+    /// artifact depends only on the program, so any machine over the same
+    /// program may reuse it.
+    pub exec: Option<Arc<ExecProgram>>,
     /// Observability handle; the MIMD run reports executed / skipped
     /// instruction aggregates under the `trace` phase (native execution
     /// *is* the tracing phase). Default [`Obs::none`]: zero cost.
@@ -52,6 +74,8 @@ impl MachineConfig {
             quantum_blocks: 64,
             spin_cost: 16,
             max_total_insts: 500_000_000,
+            engine: ExecEngine::default(),
+            exec: None,
             obs: Obs::none(),
         }
     }
@@ -59,6 +83,19 @@ impl MachineConfig {
     /// Attaches an observability handle (chainable).
     pub fn observe(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Selects the instruction-fetch path (chainable).
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Supplies a cached predecoded program (chainable); must have been
+    /// built from the same program this machine will run.
+    pub fn exec_program(mut self, exec: Arc<ExecProgram>) -> Self {
+        self.exec = Some(exec);
         self
     }
 }
@@ -221,6 +258,7 @@ fn make_thread(program: &Program, func: FuncId, tid: u32, args: &[i64]) -> Threa
 pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
+    exec: Option<Arc<ExecProgram>>,
     memory: Memory,
     heap: Heap,
     threads: Vec<Thread>,
@@ -228,6 +266,10 @@ pub struct Machine<'p> {
     barriers: HashMap<u32, Vec<(u32, BlockId)>>,
     total_insts: u64,
     ran: bool,
+    /// Retired call-frame register files, reused by later calls: deep
+    /// call chains (every frame is a fresh `Vec` otherwise) stay off the
+    /// allocator.
+    reg_pool: Vec<Vec<i64>>,
 }
 
 impl<'p> Machine<'p> {
@@ -242,6 +284,16 @@ impl<'p> Machine<'p> {
         if kf.params as usize != got {
             return Err(MachineError::KernelArity { expected: kf.params, got });
         }
+        let exec = match config.engine {
+            ExecEngine::Predecoded => Some(match &config.exec {
+                Some(e) => {
+                    debug_assert!(e.matches(program), "cached ExecProgram from another program");
+                    Arc::clone(e)
+                }
+                None => Arc::new(ExecProgram::build_observed(program, &config.obs)),
+            }),
+            ExecEngine::Legacy => None,
+        };
         let memory = Memory::with_globals(program);
         let mut threads = Vec::with_capacity(config.n_threads as usize);
         for tid in 0..config.n_threads {
@@ -252,6 +304,7 @@ impl<'p> Machine<'p> {
         Ok(Machine {
             program,
             config,
+            exec,
             memory,
             heap: Heap::new(),
             threads,
@@ -259,6 +312,7 @@ impl<'p> Machine<'p> {
             barriers: HashMap::new(),
             total_insts: 0,
             ran: false,
+            reg_pool: Vec::new(),
         })
     }
 
@@ -364,6 +418,8 @@ impl<'p> Machine<'p> {
     /// whether any progress happened.
     fn run_turn(&mut self, tid: u32, hook: &mut impl ExecHook) -> Result<bool, MachineError> {
         let program = self.program;
+        let exec = self.exec.clone();
+        let exec = exec.as_deref();
         let mut progress = false;
         let mut acc: Vec<MemAccess> = Vec::with_capacity(4);
 
@@ -377,49 +433,126 @@ impl<'p> Machine<'p> {
                 let f = th.frames.last().expect("live thread has a frame");
                 (f.func, f.block, th.state)
             };
-            let func = program.function(func_id);
-            let block = func.block(block_id);
-            let n_insts = block.len_with_term();
+            // Engine-specific block handle: the predecoded path fetches a
+            // flat-table entry, the legacy path re-walks the Program enums.
+            let pre = exec.map(|e| e.block(func_id, block_id));
+            let legacy =
+                if exec.is_none() { Some(program.function(func_id).block(block_id)) } else { None };
+            let n_insts = match pre {
+                Some(blk) => blk.n_insts,
+                None => legacy.expect("legacy block").len_with_term(),
+            };
             let addr = BlockAddr::new(func_id, block_id);
 
             // ---- block body --------------------------------------------
             if state == State::BlockStart {
                 hook.on_block(tid, addr, n_insts);
                 let mut charge: u64 = 0;
+                // Intra-function target of a fused pure-block transition
+                // (body + register-only terminator in one borrow).
+                let mut fused: Option<BlockId> = None;
                 {
                     let th = &mut self.threads[tid as usize];
                     th.stats.blocks += 1;
                     let stats = &mut th.stats;
                     let frame = th.frames.last_mut().expect("frame");
-                    for (i, inst) in block.insts.iter().enumerate() {
-                        charge += 1;
-                        if let Inst::Io { cost, .. } = inst {
-                            stats.traced_insts += 1;
-                            stats.skipped_io += *cost as u64;
-                            charge += *cost as u64;
-                            hook.on_skipped(tid, *cost as u64, SkipKind::Io);
-                            continue;
-                        }
-                        acc.clear();
-                        let mut ctx = ExecCtx {
-                            regs: &mut frame.regs,
-                            fp: frame.fp,
-                            mem: &mut self.memory,
-                            heap: &mut self.heap,
+                    // One body loop per engine; `$io` / `$exec` are the only
+                    // differences, everything else must stay in lockstep so
+                    // the engines trace bit-identically.
+                    macro_rules! run_body {
+                        ($insts:expr, $io:path, $exec_one:ident) => {
+                            for (i, inst) in $insts.iter().enumerate() {
+                                charge += 1;
+                                if let $io { cost, .. } = inst {
+                                    stats.traced_insts += 1;
+                                    stats.skipped_io += *cost as u64;
+                                    charge += *cost as u64;
+                                    hook.on_skipped(tid, *cost as u64, SkipKind::Io);
+                                    continue;
+                                }
+                                acc.clear();
+                                let mut ctx = ExecCtx {
+                                    regs: &mut frame.regs,
+                                    fp: frame.fp,
+                                    mem: &mut self.memory,
+                                    heap: &mut self.heap,
+                                };
+                                if let Err(trap) = ctx.$exec_one(inst, &mut acc) {
+                                    return Err(MachineError::Trapped { tid, at: addr, trap });
+                                }
+                                stats.traced_insts += 1;
+                                stats.mem_accesses += acc.len() as u64;
+                                for a in &acc {
+                                    hook.on_mem(tid, i as u32, a.addr, a.size, a.is_store);
+                                }
+                            }
                         };
-                        if let Err(trap) = ctx.exec_inst(inst, &mut acc) {
-                            return Err(MachineError::Trapped { tid, at: addr, trap });
+                    }
+                    match pre {
+                        // Predecode proved the body records no memory
+                        // accesses and skips no I/O: tight loop, batched
+                        // counters, no hook dispatch. Observable behavior
+                        // (trace events, traps, charge) is identical to
+                        // the general loop below.
+                        Some(blk) if blk.pure_body => {
+                            let e = exec.expect("predecoded engine");
+                            let insts = e.insts(blk);
+                            acc.clear();
+                            let mut ctx = ExecCtx {
+                                regs: &mut frame.regs,
+                                fp: frame.fp,
+                                mem: &mut self.memory,
+                                heap: &mut self.heap,
+                            };
+                            for inst in insts {
+                                if let Err(trap) = ctx.exec_pinst(inst, &mut acc) {
+                                    return Err(MachineError::Trapped { tid, at: addr, trap });
+                                }
+                            }
+                            debug_assert!(acc.is_empty(), "pure body recorded an access");
+                            stats.traced_insts += insts.len() as u64;
+                            charge += insts.len() as u64;
+                            // A jump or register-only branch after a pure
+                            // body transfers control right here: no memory
+                            // access to report, no hook to call, no second
+                            // thread borrow. Observable behavior matches
+                            // the general `Next::Goto` arm below.
+                            use crate::predecode::PTerm;
+                            fused = match &blk.term {
+                                PTerm::Jmp(t) => Some(*t),
+                                PTerm::BrRR { cond, a, b, taken, fallthrough } => {
+                                    let av = frame.regs[*a as usize];
+                                    let bv = frame.regs[*b as usize];
+                                    Some(if cond.eval(av, bv) { *taken } else { *fallthrough })
+                                }
+                                PTerm::BrRI { cond, a, b, taken, fallthrough } => {
+                                    let av = frame.regs[*a as usize];
+                                    Some(if cond.eval(av, *b) { *taken } else { *fallthrough })
+                                }
+                                _ => None,
+                            };
+                            if let Some(b) = fused {
+                                stats.traced_insts += 1;
+                                charge += 1;
+                                frame.block = b;
+                            }
                         }
-                        stats.traced_insts += 1;
-                        stats.mem_accesses += acc.len() as u64;
-                        for a in &acc {
-                            hook.on_mem(tid, i as u32, a.addr, a.size, a.is_store);
+                        Some(blk) => {
+                            let e = exec.expect("predecoded engine");
+                            run_body!(e.insts(blk), crate::predecode::PInst::Io, exec_pinst);
+                        }
+                        None => {
+                            run_body!(legacy.expect("legacy block").insts, Inst::Io, exec_inst);
                         }
                     }
-                    th.state = State::AtTerminator;
+                    th.state =
+                        if fused.is_some() { State::BlockStart } else { State::AtTerminator };
                 }
                 progress = true;
                 self.charge(tid, addr, charge)?;
+                if fused.is_some() {
+                    continue;
+                }
             }
 
             // ---- terminator ----------------------------------------------
@@ -433,7 +566,11 @@ impl<'p> Machine<'p> {
                     mem: &mut self.memory,
                     heap: &mut self.heap,
                 };
-                match ctx.eval_term(&block.term, &mut acc) {
+                let evaluated = match pre {
+                    Some(blk) => ctx.eval_pterm(&blk.term, &mut acc),
+                    None => ctx.eval_term(&legacy.expect("legacy block").term, &mut acc),
+                };
+                match evaluated {
                     Ok(n) => n,
                     Err(trap) => return Err(MachineError::Trapped { tid, at: addr, trap }),
                 }
@@ -471,7 +608,9 @@ impl<'p> Machine<'p> {
                             trap: Trap::StackOverflow,
                         });
                     }
-                    let mut regs = vec![0i64; cf.reg_count as usize];
+                    let mut regs = self.reg_pool.pop().unwrap_or_default();
+                    regs.clear();
+                    regs.resize(cf.reg_count as usize, 0);
                     regs[..args.len()].copy_from_slice(&args);
                     hook.on_call(tid, callee);
                     th.frames.push(Frame {
@@ -498,6 +637,7 @@ impl<'p> Machine<'p> {
                         hook.on_ret(tid);
                         let finished = th.frames.pop().expect("ret pops a frame");
                         th.sp = finished.saved_sp;
+                        self.reg_pool.push(finished.regs);
                         match th.frames.last_mut() {
                             Some(caller) => {
                                 if let (Some(dst), Some(v)) = (caller.ret_dst.take(), val) {

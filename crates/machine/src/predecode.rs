@@ -1,0 +1,673 @@
+//! Predecoded execution form of a TFIR program.
+//!
+//! [`ExecProgram`] is built once per [`Program`] and flattens every
+//! function into one contiguous instruction array with a block-offset
+//! table: operands are resolved to dense register indices and inline
+//! immediates, global bases are baked to absolute addresses (the global
+//! layout is a pure function of the program — see
+//! [`crate::memory::global_layout`]), access widths are pre-expanded to
+//! bytes, and callee entry metadata is attached to every call site. Both
+//! interpreters (the MIMD machine and the lock-step executor) fetch from
+//! this form instead of re-matching the nested `Program` enums on every
+//! dynamic instruction.
+//!
+//! The artifact depends **only** on the program: any two builds over the
+//! same (optimized) program are interchangeable, so callers cache it
+//! behind `Arc` exactly like the analyzer's `AnalysisIndex` and share it
+//! across machine runs. Execution semantics are bit-identical to the
+//! legacy tree-walking path (`ExecCtx::exec_inst`/`eval_term`): the same
+//! evaluation order, the same traps, the same recorded memory accesses.
+
+use crate::exec::{CallArgs, ExecCtx, MemAccess, Next, Trap};
+use crate::memory::global_layout;
+use threadfuser_ir::{
+    AluOp, Base, BlockId, Cond, FuncId, Inst, MemRef, Operand, Program, Reg, Terminator,
+};
+use threadfuser_obs::{Obs, Phase};
+
+/// Sentinel register index meaning "no index register".
+const NO_REG: u16 = u16::MAX;
+
+/// Predecoded memory reference: base resolved (globals to absolute
+/// addresses), width in bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PMem {
+    base: PBase,
+    index_reg: u16,
+    scale: u8,
+    size: u8,
+    disp: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PBase {
+    Zero,
+    Reg(u16),
+    Frame,
+    Abs(u64),
+}
+
+/// Predecoded operand. Memory operands are boxed: they are rare (loads
+/// and stores lower to the dedicated [`PInst::Load`]/[`PInst::Store`]
+/// forms), and keeping `PVal` at 16 bytes keeps the flat instruction
+/// array cache-dense.
+#[derive(Debug, Clone)]
+pub(crate) enum PVal {
+    Reg(u16),
+    Imm(i64),
+    Mem(Box<PMem>),
+}
+
+/// Predecoded straight-line instruction.
+///
+/// The hot scalar forms (`AluRR`/`AluRI`/`MovR`/`MovI`) carry their
+/// operands inline and are dispatched without touching the memory-access
+/// machinery at all; `Load`/`Store` carry the resolved [`PMem`] inline.
+/// The general `Alu` form remains for the rare x86-style instruction
+/// with an embedded memory operand.
+#[derive(Debug, Clone)]
+pub(crate) enum PInst {
+    /// `dst = a op b`, both registers.
+    AluRR {
+        op: AluOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// `dst = a op imm`.
+    AluRI {
+        op: AluOp,
+        dst: u16,
+        a: u16,
+        b: i64,
+    },
+    Alu {
+        op: AluOp,
+        dst: u16,
+        a: PVal,
+        b: PVal,
+    },
+    MovR {
+        dst: u16,
+        src: u16,
+    },
+    MovI {
+        dst: u16,
+        src: i64,
+    },
+    /// Register load from memory (`Mov` with a memory source).
+    Load {
+        dst: u16,
+        addr: PMem,
+    },
+    Store {
+        addr: PMem,
+        src: PVal,
+    },
+    Lea {
+        dst: u16,
+        addr: PMem,
+    },
+    Alloc {
+        dst: u16,
+        size: PVal,
+    },
+    Free {
+        addr: PVal,
+    },
+    Io {
+        cost: u32,
+    },
+    Nop,
+}
+
+impl PInst {
+    /// Whether the instruction can record a memory access (mirrors
+    /// `Inst::touches_memory` on the predecoded form).
+    pub(crate) fn touches_memory(&self) -> bool {
+        match self {
+            PInst::Load { .. } | PInst::Store { .. } => true,
+            PInst::Alu { a, b, .. } => matches!(a, PVal::Mem(_)) || matches!(b, PVal::Mem(_)),
+            PInst::Alloc { size, .. } => matches!(size, PVal::Mem(_)),
+            PInst::Free { addr } => matches!(addr, PVal::Mem(_)),
+            PInst::AluRR { .. }
+            | PInst::AluRI { .. }
+            | PInst::MovR { .. }
+            | PInst::MovI { .. }
+            | PInst::Lea { .. }
+            | PInst::Io { .. }
+            | PInst::Nop => false,
+        }
+    }
+}
+
+/// Predecoded terminator with pre-resolved successors.
+#[derive(Debug, Clone)]
+pub(crate) enum PTerm {
+    Jmp(BlockId),
+    /// Register-register compare-and-branch, operands inline. Loop
+    /// back-edges and `if` headers overwhelmingly compare two registers
+    /// (or a register and an immediate, below), so these two forms decide
+    /// nearly every block transition without touching [`PVal`].
+    BrRR {
+        cond: Cond,
+        a: u16,
+        b: u16,
+        taken: BlockId,
+        fallthrough: BlockId,
+    },
+    /// Register-immediate compare-and-branch, operands inline.
+    BrRI {
+        cond: Cond,
+        a: u16,
+        b: i64,
+        taken: BlockId,
+        fallthrough: BlockId,
+    },
+    Br {
+        cond: Cond,
+        a: PVal,
+        b: PVal,
+        taken: BlockId,
+        fallthrough: BlockId,
+    },
+    Switch {
+        val: PVal,
+        base: i64,
+        targets: Box<[BlockId]>,
+        default: BlockId,
+    },
+    Call {
+        callee: FuncId,
+        args: Box<[PVal]>,
+        ret_to: BlockId,
+        dst: Option<Reg>,
+    },
+    Ret {
+        val: Option<PVal>,
+    },
+    Acquire {
+        lock: PVal,
+        next: BlockId,
+    },
+    Release {
+        lock: PVal,
+        next: BlockId,
+    },
+    Barrier {
+        id: u32,
+        next: BlockId,
+    },
+}
+
+impl PTerm {
+    /// Whether evaluating the terminator can record a memory access.
+    /// (Exercised by the equivalence tests; the interpreters learn the
+    /// same fact from `eval_pterm`'s recorded accesses.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn touches_memory(&self) -> bool {
+        let is_mem = |v: &PVal| matches!(v, PVal::Mem(_));
+        match self {
+            PTerm::BrRR { .. } | PTerm::BrRI { .. } => false,
+            PTerm::Br { a, b, .. } => is_mem(a) || is_mem(b),
+            PTerm::Switch { val, .. } => is_mem(val),
+            PTerm::Ret { val: Some(v) } => is_mem(v),
+            _ => false,
+        }
+    }
+}
+
+/// One predecoded basic block: a range into the flat instruction array
+/// plus the terminator.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecBlock {
+    inst_start: u32,
+    inst_end: u32,
+    /// Dynamic length: body instructions plus the terminator.
+    pub(crate) n_insts: u32,
+    /// No body instruction records a memory access or skips I/O: the
+    /// interpreter may run the body in a tight loop with no access
+    /// buffer, no per-instruction hook dispatch, and batched counters.
+    pub(crate) pure_body: bool,
+    pub(crate) term: PTerm,
+}
+
+/// Per-function metadata and block-offset table entry.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecFunc {
+    block_base: u32,
+    pub(crate) entry: BlockId,
+    pub(crate) reg_count: u16,
+    pub(crate) frame_size: u32,
+}
+
+/// The predecoded execution form of a whole program. Build it once with
+/// [`ExecProgram::build`] (or [`ExecProgram::build_observed`] for a
+/// `predecode` phase span), wrap it in an `Arc`, and hand it to every
+/// machine over the same program via `MachineConfig::exec_program` /
+/// `LockstepMachine::new_with_parts`.
+#[derive(Debug)]
+pub struct ExecProgram {
+    funcs: Vec<ExecFunc>,
+    blocks: Vec<ExecBlock>,
+    insts: Vec<PInst>,
+    n_globals: u32,
+}
+
+impl ExecProgram {
+    /// Predecodes `program`.
+    pub fn build(program: &Program) -> Self {
+        let globals = global_layout(program);
+        let mut funcs = Vec::with_capacity(program.functions().len());
+        let mut blocks = Vec::new();
+        let mut insts = Vec::new();
+        for f in program.functions() {
+            funcs.push(ExecFunc {
+                block_base: blocks.len() as u32,
+                entry: f.entry,
+                reg_count: f.reg_count,
+                frame_size: f.frame_size,
+            });
+            for b in &f.blocks {
+                let inst_start = insts.len() as u32;
+                insts.extend(b.insts.iter().map(|i| predecode_inst(i, &globals)));
+                let body = &insts[inst_start as usize..];
+                let pure_body =
+                    body.iter().all(|i| !i.touches_memory() && !matches!(i, PInst::Io { .. }));
+                blocks.push(ExecBlock {
+                    inst_start,
+                    inst_end: insts.len() as u32,
+                    n_insts: b.len_with_term(),
+                    pure_body,
+                    term: predecode_term(&b.term, &globals),
+                });
+            }
+        }
+        ExecProgram { funcs, blocks, insts, n_globals: globals.len() as u32 }
+    }
+
+    /// Predecodes `program` under a [`Phase::Predecode`] span, reporting
+    /// `predecoded_insts` / `predecoded_blocks` counters.
+    pub fn build_observed(program: &Program, obs: &Obs) -> Self {
+        let span = obs.span(Phase::Predecode);
+        let exec = Self::build(program);
+        obs.counter(Phase::Predecode, "predecoded_insts", exec.insts.len() as u64);
+        obs.counter(Phase::Predecode, "predecoded_blocks", exec.blocks.len() as u64);
+        span.finish();
+        exec
+    }
+
+    /// Whether this artifact was predecoded from a program with the same
+    /// shape (cheap sanity check for cached sharing; the invalidation
+    /// rule is "depends only on the program").
+    pub fn matches(&self, program: &Program) -> bool {
+        self.funcs.len() == program.functions().len()
+            && self.n_globals as usize == program.globals().len()
+            && self.insts.len() as u64 + self.blocks.len() as u64 == program.static_inst_count()
+    }
+
+    /// Total predecoded static instructions (bodies plus terminators).
+    pub fn static_inst_count(&self) -> u64 {
+        self.insts.len() as u64 + self.blocks.len() as u64
+    }
+
+    #[inline]
+    pub(crate) fn func(&self, f: FuncId) -> &ExecFunc {
+        &self.funcs[f.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn block(&self, f: FuncId, b: BlockId) -> &ExecBlock {
+        &self.blocks[(self.funcs[f.0 as usize].block_base + b.0) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn insts(&self, blk: &ExecBlock) -> &[PInst] {
+        &self.insts[blk.inst_start as usize..blk.inst_end as usize]
+    }
+}
+
+fn predecode_mem(m: &MemRef, globals: &[u64]) -> PMem {
+    let base = match m.base {
+        Base::None => PBase::Zero,
+        Base::Reg(r) => PBase::Reg(r.0),
+        Base::Frame => PBase::Frame,
+        Base::Global(g) => PBase::Abs(globals[g.0 as usize]),
+    };
+    let (index_reg, scale) = match m.index {
+        Some((r, s)) => (r.0, s),
+        None => (NO_REG, 1),
+    };
+    PMem { base, index_reg, scale, size: m.size.bytes() as u8, disp: m.disp }
+}
+
+fn predecode_val(op: &Operand, globals: &[u64]) -> PVal {
+    match op {
+        Operand::Reg(r) => PVal::Reg(r.0),
+        Operand::Imm(v) => PVal::Imm(*v),
+        Operand::Mem(m) => PVal::Mem(Box::new(predecode_mem(m, globals))),
+    }
+}
+
+fn predecode_inst(inst: &Inst, globals: &[u64]) -> PInst {
+    match inst {
+        // Scalar ALU forms get dedicated, operand-inline encodings.
+        Inst::Alu { op, dst, a: Operand::Reg(a), b: Operand::Reg(b) } => {
+            PInst::AluRR { op: *op, dst: dst.0, a: a.0, b: b.0 }
+        }
+        Inst::Alu { op, dst, a: Operand::Reg(a), b: Operand::Imm(b) } => {
+            PInst::AluRI { op: *op, dst: dst.0, a: a.0, b: *b }
+        }
+        Inst::Alu { op, dst, a, b } => PInst::Alu {
+            op: *op,
+            dst: dst.0,
+            a: predecode_val(a, globals),
+            b: predecode_val(b, globals),
+        },
+        Inst::Mov { dst, src: Operand::Reg(r) } => PInst::MovR { dst: dst.0, src: r.0 },
+        Inst::Mov { dst, src: Operand::Imm(v) } => PInst::MovI { dst: dst.0, src: *v },
+        Inst::Mov { dst, src: Operand::Mem(m) } => {
+            PInst::Load { dst: dst.0, addr: predecode_mem(m, globals) }
+        }
+        Inst::Store { addr, src } => {
+            PInst::Store { addr: predecode_mem(addr, globals), src: predecode_val(src, globals) }
+        }
+        Inst::Lea { dst, addr } => PInst::Lea { dst: dst.0, addr: predecode_mem(addr, globals) },
+        Inst::Alloc { dst, size } => {
+            PInst::Alloc { dst: dst.0, size: predecode_val(size, globals) }
+        }
+        Inst::Free { addr } => PInst::Free { addr: predecode_val(addr, globals) },
+        Inst::Io { cost, .. } => PInst::Io { cost: *cost },
+        Inst::Nop => PInst::Nop,
+    }
+}
+
+fn predecode_term(term: &Terminator, globals: &[u64]) -> PTerm {
+    match term {
+        Terminator::Jmp(t) => PTerm::Jmp(*t),
+        Terminator::Br { cond, a: Operand::Reg(a), b: Operand::Reg(b), taken, fallthrough } => {
+            PTerm::BrRR { cond: *cond, a: a.0, b: b.0, taken: *taken, fallthrough: *fallthrough }
+        }
+        Terminator::Br { cond, a: Operand::Reg(a), b: Operand::Imm(b), taken, fallthrough } => {
+            PTerm::BrRI { cond: *cond, a: a.0, b: *b, taken: *taken, fallthrough: *fallthrough }
+        }
+        Terminator::Br { cond, a, b, taken, fallthrough } => PTerm::Br {
+            cond: *cond,
+            a: predecode_val(a, globals),
+            b: predecode_val(b, globals),
+            taken: *taken,
+            fallthrough: *fallthrough,
+        },
+        Terminator::Switch { val, base, targets, default } => PTerm::Switch {
+            val: predecode_val(val, globals),
+            base: *base,
+            targets: targets.clone().into_boxed_slice(),
+            default: *default,
+        },
+        Terminator::Call { callee, args, ret_to, dst } => PTerm::Call {
+            callee: *callee,
+            args: args.iter().map(|a| predecode_val(a, globals)).collect(),
+            ret_to: *ret_to,
+            dst: *dst,
+        },
+        Terminator::Ret { val } => {
+            PTerm::Ret { val: val.as_ref().map(|v| predecode_val(v, globals)) }
+        }
+        Terminator::Acquire { lock, next } => {
+            PTerm::Acquire { lock: predecode_val(lock, globals), next: *next }
+        }
+        Terminator::Release { lock, next } => {
+            PTerm::Release { lock: predecode_val(lock, globals), next: *next }
+        }
+        Terminator::Barrier { id, next } => PTerm::Barrier { id: *id, next: *next },
+    }
+}
+
+const NULL_GUARD: u64 = 0x1000;
+
+impl ExecCtx<'_> {
+    #[inline]
+    fn p_addr(&self, m: &PMem) -> u64 {
+        let base = match m.base {
+            PBase::Zero => 0,
+            PBase::Reg(r) => self.regs[r as usize] as u64,
+            PBase::Frame => self.fp,
+            PBase::Abs(a) => a,
+        };
+        let index = if m.index_reg == NO_REG {
+            0
+        } else {
+            (self.regs[m.index_reg as usize] as u64).wrapping_mul(m.scale as u64)
+        };
+        base.wrapping_add(index).wrapping_add(m.disp as u64)
+    }
+
+    #[inline]
+    fn p_value(&mut self, v: &PVal, acc: &mut Vec<MemAccess>) -> Result<i64, Trap> {
+        match v {
+            PVal::Reg(r) => Ok(self.regs[*r as usize]),
+            PVal::Imm(v) => Ok(*v),
+            PVal::Mem(m) => {
+                let addr = self.p_addr(m);
+                if addr < NULL_GUARD {
+                    return Err(Trap::NullDeref(addr));
+                }
+                let size = m.size as u32;
+                acc.push(MemAccess { addr, size, is_store: false });
+                Ok(self.mem.read(addr, size) as i64)
+            }
+        }
+    }
+
+    /// Predecoded twin of [`ExecCtx::exec_inst`]: identical semantics,
+    /// traps, and access order.
+    #[inline]
+    pub(crate) fn exec_pinst(
+        &mut self,
+        inst: &PInst,
+        acc: &mut Vec<MemAccess>,
+    ) -> Result<(), Trap> {
+        match inst {
+            PInst::AluRR { op, dst, a, b } => {
+                let av = self.regs[*a as usize];
+                let bv = self.regs[*b as usize];
+                let v = op.eval(av, bv).ok_or(Trap::DivByZero)?;
+                self.regs[*dst as usize] = v;
+            }
+            PInst::AluRI { op, dst, a, b } => {
+                let av = self.regs[*a as usize];
+                let v = op.eval(av, *b).ok_or(Trap::DivByZero)?;
+                self.regs[*dst as usize] = v;
+            }
+            PInst::Alu { op, dst, a, b } => {
+                let av = self.p_value(a, acc)?;
+                let bv = self.p_value(b, acc)?;
+                let v = op.eval(av, bv).ok_or(Trap::DivByZero)?;
+                self.regs[*dst as usize] = v;
+            }
+            PInst::MovR { dst, src } => {
+                self.regs[*dst as usize] = self.regs[*src as usize];
+            }
+            PInst::MovI { dst, src } => {
+                self.regs[*dst as usize] = *src;
+            }
+            PInst::Load { dst, addr } => {
+                let a = self.p_addr(addr);
+                if a < NULL_GUARD {
+                    return Err(Trap::NullDeref(a));
+                }
+                let size = addr.size as u32;
+                acc.push(MemAccess { addr: a, size, is_store: false });
+                self.regs[*dst as usize] = self.mem.read(a, size) as i64;
+            }
+            PInst::Store { addr, src } => {
+                let v = self.p_value(src, acc)?;
+                let a = self.p_addr(addr);
+                if a < NULL_GUARD {
+                    return Err(Trap::NullDeref(a));
+                }
+                let size = addr.size as u32;
+                acc.push(MemAccess { addr: a, size, is_store: true });
+                self.mem.write(a, size, v as u64);
+            }
+            PInst::Lea { dst, addr } => {
+                self.regs[*dst as usize] = self.p_addr(addr) as i64;
+            }
+            PInst::Alloc { dst, size } => {
+                let n = self.p_value(size, acc)?;
+                let ptr = self.heap.alloc(n.max(1) as u64)?;
+                self.regs[*dst as usize] = ptr as i64;
+            }
+            PInst::Free { addr } => {
+                let a = self.p_value(addr, acc)?;
+                self.heap.free(a as u64)?;
+            }
+            PInst::Io { .. } | PInst::Nop => {}
+        }
+        Ok(())
+    }
+
+    /// Predecoded twin of [`ExecCtx::eval_term`].
+    pub(crate) fn eval_pterm(
+        &mut self,
+        term: &PTerm,
+        acc: &mut Vec<MemAccess>,
+    ) -> Result<Next, Trap> {
+        Ok(match term {
+            PTerm::Jmp(t) => Next::Goto(*t),
+            PTerm::BrRR { cond, a, b, taken, fallthrough } => {
+                let av = self.regs[*a as usize];
+                let bv = self.regs[*b as usize];
+                Next::Goto(if cond.eval(av, bv) { *taken } else { *fallthrough })
+            }
+            PTerm::BrRI { cond, a, b, taken, fallthrough } => {
+                let av = self.regs[*a as usize];
+                Next::Goto(if cond.eval(av, *b) { *taken } else { *fallthrough })
+            }
+            PTerm::Br { cond, a, b, taken, fallthrough } => {
+                let av = self.p_value(a, acc)?;
+                let bv = self.p_value(b, acc)?;
+                Next::Goto(if cond.eval(av, bv) { *taken } else { *fallthrough })
+            }
+            PTerm::Switch { val, base, targets, default } => {
+                let v = self.p_value(val, acc)?;
+                let idx = v.wrapping_sub(*base);
+                let t = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                Next::Goto(t)
+            }
+            PTerm::Call { callee, args, ret_to, dst } => {
+                let mut vals = CallArgs::with_capacity(args.len());
+                for a in args.iter() {
+                    vals.push(self.p_value(a, acc)?);
+                }
+                Next::Call { callee: *callee, args: vals, ret_to: *ret_to, dst: *dst }
+            }
+            PTerm::Ret { val } => {
+                let v = match val {
+                    Some(v) => Some(self.p_value(v, acc)?),
+                    None => None,
+                };
+                Next::Ret(v)
+            }
+            PTerm::Acquire { lock, next } => {
+                let l = self.p_value(lock, acc)? as u64;
+                Next::Acquire { lock: l, next: *next }
+            }
+            PTerm::Release { lock, next } => {
+                let l = self.p_value(lock, acc)? as u64;
+                Next::Release { lock: l, next: *next }
+            }
+            PTerm::Barrier { id, next } => Next::Barrier { id: *id, next: *next },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+    use crate::memory::Memory;
+    use threadfuser_ir::ProgramBuilder;
+
+    fn build_demo() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global_i64("g", &[11, 22]);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let src = fb.global_ref(g, Operand::Reg(tid), 8);
+            let v = fb.load(src);
+            let v2 = fb.alu(AluOp::Add, v, 5i64);
+            fb.store(src, v2);
+            fb.ret(Some(Operand::Reg(v2)));
+        });
+        (pb.build().unwrap(), k)
+    }
+
+    #[test]
+    fn predecode_resolves_globals_to_absolute_addresses() {
+        let (p, k) = build_demo();
+        let exec = ExecProgram::build(&p);
+        assert!(exec.matches(&p));
+        let blk = exec.block(k, p.function(k).entry);
+        let insts = exec.insts(blk);
+        let PInst::Load { addr: m, .. } = &insts[0] else {
+            panic!("expected load, got {:?}", insts[0]);
+        };
+        let expected = global_layout(&p)[0];
+        assert!(matches!(m.base, PBase::Abs(a) if a == expected));
+        assert_eq!(m.size, 8);
+    }
+
+    #[test]
+    fn predecoded_exec_matches_legacy_exec() {
+        let (p, k) = build_demo();
+        let exec = ExecProgram::build(&p);
+        let f = p.function(k);
+        let blk = exec.block(k, f.entry);
+        assert_eq!(blk.n_insts, f.block(f.entry).len_with_term());
+
+        // Run the same block body through both executors and compare.
+        let run = |legacy: bool| {
+            let mut regs = vec![0i64; f.reg_count as usize];
+            regs[0] = 1; // tid
+            let mut mem = Memory::with_globals(&p);
+            let mut heap = Heap::new();
+            let fp = crate::layout::stack_top(0) - f.frame_size as u64;
+            let mut acc = Vec::new();
+            let mut ctx = ExecCtx { regs: &mut regs, fp, mem: &mut mem, heap: &mut heap };
+            if legacy {
+                for inst in &f.block(f.entry).insts {
+                    ctx.exec_inst(inst, &mut acc).unwrap();
+                }
+                let next = ctx.eval_term(&f.block(f.entry).term, &mut acc).unwrap();
+                (regs.clone(), acc, next, mem.read(global_layout(&p)[0] + 8, 8))
+            } else {
+                for inst in exec.insts(blk) {
+                    ctx.exec_pinst(inst, &mut acc).unwrap();
+                }
+                let next = ctx.eval_pterm(&blk.term, &mut acc).unwrap();
+                (regs.clone(), acc, next, mem.read(global_layout(&p)[0] + 8, 8))
+            }
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn touches_memory_matches_ir() {
+        let (p, _) = build_demo();
+        let exec = ExecProgram::build(&p);
+        for (fi, f) in p.functions().iter().enumerate() {
+            for (bi, b) in f.iter_blocks() {
+                let blk = exec.block(FuncId(fi as u32), bi);
+                for (inst, pinst) in b.insts.iter().zip(exec.insts(blk)) {
+                    assert_eq!(inst.touches_memory(), pinst.touches_memory());
+                }
+                assert_eq!(b.term.mem_read().is_some(), blk.term.touches_memory());
+            }
+        }
+    }
+}

@@ -47,7 +47,13 @@ use std::time::Instant;
 pub enum Phase {
     /// Compiler optimization of the input program.
     Optimize,
-    /// Native MIMD execution + per-thread trace capture.
+    /// Once-per-program predecode of TFIR into the flat execution form
+    /// (`threadfuser_machine::ExecProgram`) the interpreters run from.
+    /// Carries `predecoded_insts` / `predecoded_blocks` counters.
+    Predecode,
+    /// Native MIMD execution + per-thread trace capture. Carries the
+    /// executed/skipped instruction aggregates plus `trace_bytes` (columnar
+    /// storage footprint) and a `trace_insts_per_sec` histogram.
     Trace,
     /// Shared analysis-index construction (DCFG build + IPDOM solving +
     /// per-thread cursor metadata); wraps [`Phase::DcfgBuild`] and
@@ -75,6 +81,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Optimize => "optimize",
+            Phase::Predecode => "predecode",
             Phase::Trace => "trace",
             Phase::IndexBuild => "index-build",
             Phase::DcfgBuild => "dcfg-build",

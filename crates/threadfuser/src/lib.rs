@@ -86,8 +86,9 @@ pub mod prelude {
     pub use crate::pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced, TracedView};
     pub use threadfuser_analyzer::{
         AnalysisIndex, AnalysisReport, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
-        WarpScheduler,
+        ReplayMode, WarpScheduler,
     };
     pub use threadfuser_ir::OptLevel;
+    pub use threadfuser_machine::{ExecEngine, ExecProgram};
     pub use threadfuser_obs::{InMemorySink, JsonLinesSink, Obs, Phase};
 }

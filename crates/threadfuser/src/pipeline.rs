@@ -20,12 +20,13 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 use threadfuser_analyzer::{
     AnalysisIndex, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
-    WarpScheduler,
+    ReplayMode, WarpScheduler,
 };
 use threadfuser_cpusim::{simulate_cpu_observed, CpuSimConfig, CpuSimStats};
-use threadfuser_ir::{FuncId, OptLevel, Program};
+use threadfuser_ir::{FuncCfg, FuncId, OptLevel, Program};
 use threadfuser_machine::{
-    LockstepConfig, LockstepError, LockstepMachine, LockstepStats, MachineConfig, MachineError,
+    ExecProgram, LockstepConfig, LockstepError, LockstepMachine, LockstepStats, MachineConfig,
+    MachineError,
 };
 use threadfuser_obs::{Obs, Phase};
 use threadfuser_simtsim::{simulate_observed, SimtSimConfig, SimtSimStats};
@@ -206,6 +207,14 @@ impl Pipeline {
         self
     }
 
+    /// Selects the trace replay path of the warp emulator (default
+    /// columnar; the materialized-events mode exists as a validation
+    /// baseline).
+    pub fn replay(mut self, r: ReplayMode) -> Self {
+        self.analyzer.replay = r;
+        self
+    }
+
     /// Attaches an observability handle; every stage (optimize, trace,
     /// index-build, dcfg-build, ipdom, warp-emulate, coalesce, lockstep,
     /// simt-sim, cpu-sim) reports spans and counters to its sink. The
@@ -246,10 +255,16 @@ impl Pipeline {
             let _span = obs.span(Phase::Optimize);
             self.opt.apply(&self.program)
         };
-        let (traces, _) = trace_program_observed(&program, self.machine_config(), &obs)?;
+        // Predecode once per capture; the tracing machine, any lock-step
+        // re-run at the same optimization level, and every clone of the
+        // returned artifact share this flattened form.
+        let exec = Arc::new(ExecProgram::build_observed(&program, &obs));
+        let machine_cfg = self.machine_config().exec_program(Arc::clone(&exec));
+        let (traces, _) = trace_program_observed(&program, machine_cfg, &obs)?;
         Ok(Traced {
             program,
             traces,
+            exec,
             analyzer: self.analyzer.clone(),
             index: OnceLock::new(),
             source: self.program.clone(),
@@ -377,6 +392,8 @@ fn project_speedup_impl(
 pub struct Traced {
     program: Program,
     traces: TraceSet,
+    /// Predecoded form of `program`, built once in [`Pipeline::trace`].
+    exec: Arc<ExecProgram>,
     analyzer: AnalyzerConfig,
     index: OnceLock<Arc<AnalysisIndex>>,
     // Everything needed to re-run the capture's sibling products (the
@@ -398,6 +415,14 @@ impl Traced {
     /// The captured per-thread traces.
     pub fn traces(&self) -> &TraceSet {
         &self.traces
+    }
+
+    /// The capture's predecoded program — the flattened execution form
+    /// the tracing machine ran from. Shared (never rebuilt) across
+    /// clones and across the lock-step reference run when the hardware
+    /// optimization level matches the traced one.
+    pub fn exec_program(&self) -> &Arc<ExecProgram> {
+        &self.exec
     }
 
     /// The analyzer configuration the capture carries.
@@ -507,13 +532,16 @@ impl Traced {
         cfg.warp_size = self.analyzer.warp_size;
         cfg.init = self.init;
         // The optimizer is deterministic, so equal levels mean the
-        // hardware binary is the traced binary and the CFGs transfer.
-        let shared = self.index.get().filter(|_| self.hardware_opt == self.traced_opt);
-        let machine = match shared {
-            Some(ix) => {
-                LockstepMachine::new_with_cfgs(&program, cfg, ix.static_cfgs(&self.program))?
-            }
-            None => LockstepMachine::new(&program, cfg)?,
+        // hardware binary is the traced binary: both the predecoded
+        // program and (when the index is warm) the CFGs transfer.
+        let machine = if self.hardware_opt == self.traced_opt {
+            let cfgs = match self.index.get() {
+                Some(ix) => ix.static_cfgs(&self.program),
+                None => Arc::new(program.functions().iter().map(FuncCfg::from_function).collect()),
+            };
+            LockstepMachine::new_with_parts(&program, cfg, cfgs, Arc::clone(&self.exec))?
+        } else {
+            LockstepMachine::new(&program, cfg)?
         };
         run_lockstep_observed(machine, &self.analyzer.obs)
     }
@@ -563,6 +591,12 @@ impl TracedView<'_> {
     /// Overrides the warp-to-worker scheduler (chainable).
     pub fn scheduler(mut self, s: WarpScheduler) -> Self {
         self.analyzer.scheduler = s;
+        self
+    }
+
+    /// Overrides the trace replay path (chainable).
+    pub fn replay(mut self, r: ReplayMode) -> Self {
+        self.analyzer.replay = r;
         self
     }
 

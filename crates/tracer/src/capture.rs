@@ -1,6 +1,6 @@
 //! The tracing hook and the one-call capture front door.
 
-use crate::events::{ThreadTrace, TraceEvent, TraceSet};
+use crate::events::{SideEvent, ThreadTrace, TraceSet};
 use std::collections::HashSet;
 use threadfuser_ir::{BlockAddr, FuncId, Program};
 use threadfuser_machine::{ExecHook, Machine, MachineConfig, MachineError, RunStats, SkipKind};
@@ -45,8 +45,11 @@ impl Tracer {
     fn thread(&mut self, tid: u32) -> &mut PerThread {
         let idx = tid as usize;
         if idx >= self.threads.len() {
+            let old_len = self.threads.len();
             self.threads.resize_with(idx + 1, PerThread::default);
-            for (i, t) in self.threads.iter_mut().enumerate() {
+            // Stamp tids on the freshly created slots only; rewriting every
+            // slot on each growth made thread discovery quadratic.
+            for (i, t) in self.threads.iter_mut().enumerate().skip(old_len) {
                 t.trace.tid = i as u32;
             }
         }
@@ -67,7 +70,7 @@ impl ExecHook for Tracer {
             t.trace.excluded_insts += n_insts as u64;
             return;
         }
-        t.trace.events.push(TraceEvent::Block { addr, n_insts });
+        t.trace.push_block(addr, n_insts);
     }
 
     fn on_mem(&mut self, tid: u32, inst_idx: u32, addr: u64, size: u32, is_store: bool) {
@@ -75,7 +78,7 @@ impl ExecHook for Tracer {
         if t.excluded_depth > 0 {
             return;
         }
-        t.trace.events.push(TraceEvent::Mem { inst_idx, addr, size: size as u8, is_store });
+        t.trace.push_mem(inst_idx, addr, size as u8, is_store);
     }
 
     fn on_call(&mut self, tid: u32, callee: FuncId) {
@@ -89,7 +92,7 @@ impl ExecHook for Tracer {
             t.excluded_depth = 1;
             return;
         }
-        t.trace.events.push(TraceEvent::Call { callee });
+        t.trace.push_side(SideEvent::Call { callee });
     }
 
     fn on_ret(&mut self, tid: u32) {
@@ -98,27 +101,27 @@ impl ExecHook for Tracer {
             t.excluded_depth -= 1;
             return;
         }
-        t.trace.events.push(TraceEvent::Ret);
+        t.trace.push_side(SideEvent::Ret);
     }
 
     fn on_acquire(&mut self, tid: u32, lock: u64) {
         let t = self.thread(tid);
         if t.excluded_depth == 0 {
-            t.trace.events.push(TraceEvent::Acquire { lock });
+            t.trace.push_side(SideEvent::Acquire { lock });
         }
     }
 
     fn on_release(&mut self, tid: u32, lock: u64) {
         let t = self.thread(tid);
         if t.excluded_depth == 0 {
-            t.trace.events.push(TraceEvent::Release { lock });
+            t.trace.push_side(SideEvent::Release { lock });
         }
     }
 
     fn on_barrier(&mut self, tid: u32, id: u32) {
         let t = self.thread(tid);
         if t.excluded_depth == 0 {
-            t.trace.events.push(TraceEvent::Barrier { id });
+            t.trace.push_side(SideEvent::Barrier { id });
         }
     }
 
@@ -159,8 +162,9 @@ pub fn trace_program_with(
 }
 
 /// [`trace_program`] with an observability handle: the whole capture runs
-/// under a `trace` span and the machine reports its executed / skipped
-/// instruction aggregates to the same sink.
+/// under a `trace` span, the machine reports its executed / skipped
+/// instruction aggregates to the same sink, and the capture's columnar
+/// footprint and throughput land as `trace_bytes` / `trace_insts_per_sec`.
 ///
 /// # Errors
 /// Propagates any [`MachineError`] from the run.
@@ -171,7 +175,20 @@ pub fn trace_program_observed(
 ) -> Result<(TraceSet, RunStats), MachineError> {
     let span = obs.span(threadfuser_obs::Phase::Trace);
     config.obs = obs.clone();
+    let start = std::time::Instant::now();
     let result = trace_program_with(program, config, TracerConfig::default());
+    let elapsed = start.elapsed();
+    if let Ok((traces, _)) = &result {
+        obs.counter(threadfuser_obs::Phase::Trace, "trace_bytes", traces.storage_bytes() as u64);
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            obs.histogram(
+                threadfuser_obs::Phase::Trace,
+                "trace_insts_per_sec",
+                traces.total_traced_insts() as f64 / secs,
+            );
+        }
+    }
     span.finish();
     result
 }
@@ -179,6 +196,7 @@ pub fn trace_program_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::TraceEvent;
     use threadfuser_ir::{AluOp, Operand, ProgramBuilder};
 
     fn simple_program() -> (Program, FuncId, FuncId) {
@@ -205,8 +223,8 @@ mod tests {
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
         let t = &traces.threads()[1];
         // k entry block, call, helper block, ret, k continuation block.
-        let kinds: Vec<&'static str> = t
-            .events
+        let events: Vec<TraceEvent> = t.iter_events().collect();
+        let kinds: Vec<&'static str> = events
             .iter()
             .map(|e| match e {
                 TraceEvent::Block { .. } => "block",
@@ -217,7 +235,7 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["block", "call", "block", "ret", "block", "mem", "ret"]);
-        match t.events[1] {
+        match events[1] {
             TraceEvent::Call { callee } => assert_eq!(callee, helper),
             ref e => panic!("expected call, got {e:?}"),
         }
@@ -227,22 +245,16 @@ mod tests {
     fn per_thread_traces_differ_by_addresses() {
         let (p, k, _) = simple_program();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 2)).unwrap();
-        let mem0 = traces.threads()[0]
-            .events
-            .iter()
-            .find_map(|e| match e {
-                TraceEvent::Mem { addr, .. } => Some(*addr),
-                _ => None,
-            })
-            .unwrap();
-        let mem1 = traces.threads()[1]
-            .events
-            .iter()
-            .find_map(|e| match e {
-                TraceEvent::Mem { addr, .. } => Some(*addr),
-                _ => None,
-            })
-            .unwrap();
+        let first_mem = |t: &ThreadTrace| {
+            t.iter_events()
+                .find_map(|e| match e {
+                    TraceEvent::Mem { addr, .. } => Some(addr),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let mem0 = first_mem(&traces.threads()[0]);
+        let mem1 = first_mem(&traces.threads()[1]);
         assert_eq!(mem1 - mem0, 8, "adjacent output slots");
     }
 
@@ -254,7 +266,7 @@ mod tests {
         let (traces, _) = trace_program_with(&p, MachineConfig::new(k, 1), tc).unwrap();
         let t = &traces.threads()[0];
         assert!(
-            !t.events.iter().any(|e| matches!(e, TraceEvent::Call { .. })),
+            !t.iter_events().any(|e| matches!(e, TraceEvent::Call { .. })),
             "excluded call must not appear"
         );
         assert!(t.excluded_insts > 0);
@@ -281,8 +293,7 @@ mod tests {
         let p = pb.build().unwrap();
         let (traces, _) = trace_program(&p, MachineConfig::new(k, 1)).unwrap();
         let kinds: Vec<&str> = traces.threads()[0]
-            .events
-            .iter()
+            .iter_events()
             .filter_map(|e| match e {
                 TraceEvent::Acquire { .. } => Some("acq"),
                 TraceEvent::Release { .. } => Some("rel"),
@@ -298,5 +309,17 @@ mod tests {
         let (p, k, _) = simple_program();
         let (traces, stats) = trace_program(&p, MachineConfig::new(k, 4)).unwrap();
         assert_eq!(traces.total_traced_insts(), stats.total_traced());
+    }
+
+    #[test]
+    fn late_thread_discovery_keeps_tids_stable() {
+        let mut tracer = Tracer::new();
+        tracer.on_barrier(5, 1); // grows 0..=5
+        tracer.on_barrier(2, 1); // touches an existing slot
+        tracer.on_barrier(9, 1); // grows 6..=9
+        let traces = tracer.into_traces();
+        for (i, t) in traces.threads().iter().enumerate() {
+            assert_eq!(t.tid, i as u32);
+        }
     }
 }

@@ -4,13 +4,24 @@
 //! the tracer and the analyzer/simulator. This module provides a compact
 //! little-endian binary format (much denser than JSON) with a strict
 //! decoder.
+//!
+//! Version 2 is the current format and mirrors the columnar in-memory
+//! layout of [`ThreadTrace`]: per thread, the block, memory-access, and
+//! side-event columns are written as contiguous arrays, so encoding is a
+//! handful of bulk copies rather than one dispatch per event. Version 1
+//! (the original tagged event stream) is still decoded; v1 files produced
+//! by the tracer always interleave events canonically (each `Mem` directly
+//! follows its `Block`), which is what the columnar form preserves.
 
-use crate::events::{ThreadTrace, TraceEvent, TraceSet};
+use crate::events::{SideEvent, ThreadTrace, TraceEvent, TraceSet};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use threadfuser_ir::{BlockAddr, BlockId, FuncId};
 
 const MAGIC: &[u8; 4] = b"TFTR";
-const VERSION: u8 = 1;
+/// Current (columnar) format version.
+const VERSION: u8 = 2;
+/// Original tagged-event-stream version, still decodable.
+const VERSION_LEGACY: u8 = 1;
 
 const TAG_BLOCK: u8 = 0;
 const TAG_MEM: u8 = 1;
@@ -29,6 +40,9 @@ pub enum DecodeError {
     Truncated,
     /// Unknown event tag byte.
     BadTag(u8),
+    /// Structurally invalid content (e.g. a memory access with no
+    /// preceding block, or inconsistent column lengths).
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -37,67 +51,76 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadHeader => write!(f, "bad trace file header"),
             DecodeError::Truncated => write!(f, "truncated trace file"),
             DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::Malformed(why) => write!(f, "malformed trace file: {why}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Serializes a trace set to the binary format.
+/// Serializes a trace set to the current (v2, columnar) binary format.
 pub fn encode(set: &TraceSet) -> Bytes {
-    let mut out = BytesMut::with_capacity(64 + set.threads().len() * 64);
+    let mut out = BytesMut::with_capacity(64 + set.storage_bytes() + set.threads().len() * 64);
     out.put_slice(MAGIC);
     out.put_u8(VERSION);
     out.put_u32_le(set.threads().len() as u32);
     for t in set.threads() {
+        let c = t.raw_columns();
         out.put_u32_le(t.tid);
         out.put_u64_le(t.skipped_io);
         out.put_u64_le(t.skipped_spin);
         out.put_u64_le(t.excluded_insts);
-        out.put_u64_le(t.events.len() as u64);
-        for e in &t.events {
-            encode_event(&mut out, e);
+        out.put_u32_le(c.block_addr.len() as u32);
+        out.put_u32_le(c.mem_addr.len() as u32);
+        out.put_u32_le(c.side.len() as u32);
+        for a in c.block_addr {
+            out.put_u32_le(a.func.0);
+            out.put_u32_le(a.block.0);
+        }
+        for &n in c.block_n_insts {
+            out.put_u32_le(n);
+        }
+        for &e in c.mem_end {
+            out.put_u32_le(e);
+        }
+        for &i in c.mem_inst_idx {
+            out.put_u32_le(i);
+        }
+        for &a in c.mem_addr {
+            out.put_u64_le(a);
+        }
+        out.put_slice(c.mem_size_store);
+        for (s, &after) in c.side.iter().zip(c.side_after) {
+            out.put_u32_le(after);
+            encode_side(&mut out, s);
         }
     }
     out.freeze()
 }
 
-fn encode_event(out: &mut BytesMut, e: &TraceEvent) {
-    match e {
-        TraceEvent::Block { addr, n_insts } => {
-            out.put_u8(TAG_BLOCK);
-            out.put_u32_le(addr.func.0);
-            out.put_u32_le(addr.block.0);
-            out.put_u32_le(*n_insts);
-        }
-        TraceEvent::Mem { inst_idx, addr, size, is_store } => {
-            out.put_u8(TAG_MEM);
-            out.put_u32_le(*inst_idx);
-            out.put_u64_le(*addr);
-            out.put_u8(*size);
-            out.put_u8(u8::from(*is_store));
-        }
-        TraceEvent::Call { callee } => {
+fn encode_side(out: &mut BytesMut, s: &SideEvent) {
+    match s {
+        SideEvent::Call { callee } => {
             out.put_u8(TAG_CALL);
             out.put_u32_le(callee.0);
         }
-        TraceEvent::Ret => out.put_u8(TAG_RET),
-        TraceEvent::Acquire { lock } => {
+        SideEvent::Ret => out.put_u8(TAG_RET),
+        SideEvent::Acquire { lock } => {
             out.put_u8(TAG_ACQUIRE);
             out.put_u64_le(*lock);
         }
-        TraceEvent::Release { lock } => {
+        SideEvent::Release { lock } => {
             out.put_u8(TAG_RELEASE);
             out.put_u64_le(*lock);
         }
-        TraceEvent::Barrier { id } => {
+        SideEvent::Barrier { id } => {
             out.put_u8(TAG_BARRIER);
             out.put_u32_le(*id);
         }
     }
 }
 
-/// Deserializes a trace set from the binary format.
+/// Deserializes a trace set from either binary format version.
 ///
 /// # Errors
 /// Returns a [`DecodeError`] on malformed input.
@@ -106,24 +129,104 @@ pub fn decode(mut buf: &[u8]) -> Result<TraceSet, DecodeError> {
         return Err(DecodeError::BadHeader);
     }
     buf.advance(4);
-    if buf.get_u8() != VERSION {
-        return Err(DecodeError::BadHeader);
+    match buf.get_u8() {
+        VERSION => decode_v2(buf),
+        VERSION_LEGACY => decode_v1(buf),
+        _ => Err(DecodeError::BadHeader),
     }
+}
+
+fn decode_v2(mut buf: &[u8]) -> Result<TraceSet, DecodeError> {
     need(&buf, 4)?;
     let n_threads = buf.get_u32_le() as usize;
-    let mut threads = Vec::with_capacity(n_threads);
+    let mut threads = Vec::with_capacity(n_threads.min(1 << 16));
     for _ in 0..n_threads {
-        need(&buf, 4 + 8 * 4)?;
+        need(&buf, 4 + 8 * 3 + 4 * 3)?;
         let tid = buf.get_u32_le();
         let skipped_io = buf.get_u64_le();
         let skipped_spin = buf.get_u64_le();
         let excluded_insts = buf.get_u64_le();
-        let n_events = buf.get_u64_le() as usize;
-        let mut events = Vec::with_capacity(n_events.min(1 << 20));
-        for _ in 0..n_events {
-            events.push(decode_event(&mut buf)?);
+        let n_blocks = buf.get_u32_le() as usize;
+        let n_mems = buf.get_u32_le() as usize;
+        let n_sides = buf.get_u32_le() as usize;
+
+        need(&buf, n_blocks.checked_mul(16).ok_or(DecodeError::Truncated)?)?;
+        let mut block_addr = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let func = FuncId(buf.get_u32_le());
+            let block = BlockId(buf.get_u32_le());
+            block_addr.push(BlockAddr::new(func, block));
         }
-        threads.push(ThreadTrace { tid, events, skipped_io, skipped_spin, excluded_insts });
+        let mut block_n_insts = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            block_n_insts.push(buf.get_u32_le());
+        }
+        let mut mem_end = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            mem_end.push(buf.get_u32_le());
+        }
+
+        need(&buf, n_mems.checked_mul(13).ok_or(DecodeError::Truncated)?)?;
+        let mut mem_inst_idx = Vec::with_capacity(n_mems);
+        for _ in 0..n_mems {
+            mem_inst_idx.push(buf.get_u32_le());
+        }
+        let mut mem_addr = Vec::with_capacity(n_mems);
+        for _ in 0..n_mems {
+            mem_addr.push(buf.get_u64_le());
+        }
+        let mem_size_store = buf[..n_mems].to_vec();
+        buf.advance(n_mems);
+
+        let mut side = Vec::with_capacity(n_sides.min(1 << 20));
+        let mut side_after = Vec::with_capacity(n_sides.min(1 << 20));
+        for _ in 0..n_sides {
+            need(&buf, 5)?;
+            side_after.push(buf.get_u32_le());
+            side.push(decode_side(&mut buf)?);
+        }
+
+        let t = ThreadTrace::from_raw_parts(
+            tid,
+            skipped_io,
+            skipped_spin,
+            excluded_insts,
+            block_addr,
+            block_n_insts,
+            mem_end,
+            mem_inst_idx,
+            mem_addr,
+            mem_size_store,
+            side,
+            side_after,
+        )
+        .map_err(DecodeError::Malformed)?;
+        threads.push(t);
+    }
+    Ok(TraceSet::new(threads))
+}
+
+fn decode_v1(mut buf: &[u8]) -> Result<TraceSet, DecodeError> {
+    need(&buf, 4)?;
+    let n_threads = buf.get_u32_le() as usize;
+    let mut threads = Vec::with_capacity(n_threads.min(1 << 16));
+    for _ in 0..n_threads {
+        need(&buf, 4 + 8 * 4)?;
+        let tid = buf.get_u32_le();
+        let mut t = ThreadTrace::new(tid);
+        t.skipped_io = buf.get_u64_le();
+        t.skipped_spin = buf.get_u64_le();
+        t.excluded_insts = buf.get_u64_le();
+        let n_events = buf.get_u64_le() as usize;
+        for _ in 0..n_events {
+            match decode_event(&mut buf)? {
+                TraceEvent::Mem { .. } if t.block_count() == 0 => {
+                    return Err(DecodeError::Malformed("mem event with no preceding block"));
+                }
+                e => t.push_event(e),
+            }
+        }
+        threads.push(t);
     }
     Ok(TraceSet::new(threads))
 }
@@ -134,6 +237,31 @@ fn need(buf: &&[u8], n: usize) -> Result<(), DecodeError> {
     } else {
         Ok(())
     }
+}
+
+fn decode_side(buf: &mut &[u8]) -> Result<SideEvent, DecodeError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_CALL => {
+            need(buf, 4)?;
+            SideEvent::Call { callee: FuncId(buf.get_u32_le()) }
+        }
+        TAG_RET => SideEvent::Ret,
+        TAG_ACQUIRE => {
+            need(buf, 8)?;
+            SideEvent::Acquire { lock: buf.get_u64_le() }
+        }
+        TAG_RELEASE => {
+            need(buf, 8)?;
+            SideEvent::Release { lock: buf.get_u64_le() }
+        }
+        TAG_BARRIER => {
+            need(buf, 4)?;
+            SideEvent::Barrier { id: buf.get_u32_le() }
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    })
 }
 
 fn decode_event(buf: &mut &[u8]) -> Result<TraceEvent, DecodeError> {
@@ -181,52 +309,67 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn arb_event() -> impl Strategy<Value = TraceEvent> {
-        prop_oneof![
-            (0u32..100, 0u32..100, 1u32..50).prop_map(|(f, b, n)| TraceEvent::Block {
-                addr: BlockAddr::new(FuncId(f), BlockId(b)),
-                n_insts: n
-            }),
-            (
-                0u32..50,
-                any::<u64>(),
-                prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
-                any::<bool>()
-            )
-                .prop_map(|(i, a, s, st)| TraceEvent::Mem {
-                    inst_idx: i,
-                    addr: a,
-                    size: s,
-                    is_store: st
-                }),
+    /// A canonical per-block record: `(addr, n_insts, mems, side)` — the
+    /// shapes real traces take (mems directly after their block, at most a
+    /// trailing side event per block).
+    fn arb_block_record() -> impl Strategy<Value = Vec<TraceEvent>> {
+        let mem = (
+            0u32..50,
+            any::<u64>(),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            any::<bool>(),
+        )
+            .prop_map(|(i, a, s, st)| TraceEvent::Mem {
+                inst_idx: i,
+                addr: a,
+                size: s,
+                is_store: st,
+            });
+        let side = prop_oneof![
             (0u32..100).prop_map(|f| TraceEvent::Call { callee: FuncId(f) }),
             Just(TraceEvent::Ret),
             any::<u64>().prop_map(|l| TraceEvent::Acquire { lock: l }),
             any::<u64>().prop_map(|l| TraceEvent::Release { lock: l }),
             (0u32..16).prop_map(|id| TraceEvent::Barrier { id }),
-        ]
+        ];
+        (
+            (0u32..100, 0u32..100, 1u32..50),
+            proptest::collection::vec(mem, 0..4),
+            prop_oneof![Just(None), side.prop_map(Some)],
+        )
+            .prop_map(|((f, b, n), mems, side)| {
+                let mut rec = vec![TraceEvent::Block {
+                    addr: BlockAddr::new(FuncId(f), BlockId(b)),
+                    n_insts: n,
+                }];
+                rec.extend(mems);
+                rec.extend(side);
+                rec
+            })
+    }
+
+    fn arb_event_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+        proptest::collection::vec(arb_block_record(), 0..16)
+            .prop_map(|recs| recs.into_iter().flatten().collect())
     }
 
     proptest! {
         #[test]
         fn round_trip(
             traces in proptest::collection::vec(
-                (0u32..64, proptest::collection::vec(arb_event(), 0..64), 0u64..1000, 0u64..1000),
+                (arb_event_stream(), 0u64..1000, 0u64..1000),
                 0..8
             )
         ) {
             let mut tid = 0u32;
             let set: TraceSet = traces
                 .into_iter()
-                .map(|(_, events, io, spin)| {
+                .map(|(events, io, spin)| {
                     tid += 1;
-                    ThreadTrace {
-                        tid,
-                        events,
-                        skipped_io: io,
-                        skipped_spin: spin,
-                        excluded_insts: 0,
-                    }
+                    let mut t = ThreadTrace::from_events(tid, events);
+                    t.skipped_io = io;
+                    t.skipped_spin = spin;
+                    t
                 })
                 .collect();
             let bytes = encode(&set);
@@ -235,15 +378,12 @@ mod tests {
         }
 
         #[test]
-        fn truncation_always_errors(cut in 5usize..40) {
-            let t = ThreadTrace {
-                tid: 0,
-                events: vec![
-                    TraceEvent::Block { addr: BlockAddr::new(FuncId(1), BlockId(2)), n_insts: 3 },
-                    TraceEvent::Mem { inst_idx: 0, addr: 42, size: 8, is_store: false },
-                ],
-                ..Default::default()
-            };
+        fn truncation_always_errors(cut in 5usize..60) {
+            let t = ThreadTrace::from_events(0, [
+                TraceEvent::Block { addr: BlockAddr::new(FuncId(1), BlockId(2)), n_insts: 3 },
+                TraceEvent::Mem { inst_idx: 0, addr: 42, size: 8, is_store: false },
+                TraceEvent::Ret,
+            ]);
             let set: TraceSet = std::iter::once(t).collect();
             let bytes = encode(&set);
             prop_assume!(cut < bytes.len());
@@ -260,7 +400,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert_eq!(decode(b"NOPE\x01\x00\x00\x00\x00"), Err(DecodeError::BadHeader));
+        assert_eq!(decode(b"NOPE\x02\x00\x00\x00\x00"), Err(DecodeError::BadHeader));
     }
 
     #[test]
@@ -269,16 +409,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unknown_tag() {
-        let set: TraceSet = std::iter::once(ThreadTrace {
-            tid: 0,
-            events: vec![TraceEvent::Ret],
-            ..Default::default()
-        })
-        .collect();
+    fn rejects_unknown_side_tag() {
+        let t = ThreadTrace::from_events(0, [TraceEvent::Ret]);
+        let set: TraceSet = std::iter::once(t).collect();
         let mut bytes = encode(&set).to_vec();
         let last = bytes.len() - 1;
         bytes[last] = 200; // clobber the Ret tag
         assert_eq!(decode(&bytes), Err(DecodeError::BadTag(200)));
+    }
+
+    #[test]
+    fn rejects_inconsistent_columns() {
+        // One block whose mem_end claims an access, but no mem columns.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"TFTR");
+        bytes.push(2);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_threads
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // tid
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // io
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // spin
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // excluded
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_blocks
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // n_mems
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // n_sides
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // addr.func
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // addr.block
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // n_insts
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // mem_end[0] = 1 (!)
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn v1_mem_with_no_block_is_malformed_not_panic() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"TFTR");
+        bytes.push(1);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_threads
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // tid
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // io
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // spin
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // excluded
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // n_events
+        bytes.push(1); // TAG_MEM with no preceding block
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        bytes.push(8);
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(DecodeError::Malformed(_))));
     }
 }

@@ -1,4 +1,13 @@
-//! Trace event model.
+//! Trace event model and columnar per-thread storage.
+//!
+//! [`TraceEvent`] is the *interchange* form of a trace event — what the
+//! hooks observe and what tests and cold-path consumers pattern-match.
+//! The storage behind a [`ThreadTrace`] is **columnar** (struct-of-arrays):
+//! the block stream, the memory-access stream, and the sparse call/return/
+//! synchronization side stream live in separate dense arrays. Hot-path
+//! consumers replay a trace through the zero-allocation [`TraceCursor`]
+//! without ever materializing a `TraceEvent`; [`ThreadTrace::iter_events`]
+//! reconstructs the classic interleaved event stream on demand.
 
 use serde::{Deserialize, Serialize};
 use threadfuser_ir::{BlockAddr, FuncId};
@@ -54,13 +63,105 @@ pub enum TraceEvent {
     },
 }
 
-/// The dynamic trace of one logical thread.
+/// A call/return/synchronization event — everything in a trace that is
+/// neither a block nor a memory access. These are sparse relative to the
+/// block and memory streams, so columnar storage keeps them in their own
+/// side array ordered by stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SideEvent {
+    /// A call; the next block is the callee's entry.
+    Call {
+        /// Called function.
+        callee: FuncId,
+    },
+    /// Return from the current function.
+    Ret,
+    /// A mutex was acquired.
+    Acquire {
+        /// Lock address.
+        lock: u64,
+    },
+    /// A mutex was released.
+    Release {
+        /// Lock address.
+        lock: u64,
+    },
+    /// The thread crossed a barrier.
+    Barrier {
+        /// Barrier identity.
+        id: u32,
+    },
+}
+
+impl SideEvent {
+    /// The interchange form of this side event.
+    pub fn to_event(self) -> TraceEvent {
+        match self {
+            SideEvent::Call { callee } => TraceEvent::Call { callee },
+            SideEvent::Ret => TraceEvent::Ret,
+            SideEvent::Acquire { lock } => TraceEvent::Acquire { lock },
+            SideEvent::Release { lock } => TraceEvent::Release { lock },
+            SideEvent::Barrier { id } => TraceEvent::Barrier { id },
+        }
+    }
+}
+
+/// One memory access from a columnar trace (unpacked view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRec {
+    /// Index of the accessing instruction within its block.
+    pub inst_idx: u32,
+    /// Effective address.
+    pub addr: u64,
+    /// Width in bytes.
+    pub size: u8,
+    /// Store (`true`) or load (`false`).
+    pub is_store: bool,
+}
+
+/// Packed size+direction byte: low 7 bits = size, high bit = is_store.
+const STORE_BIT: u8 = 0x80;
+
+fn pack_size_store(size: u8, is_store: bool) -> u8 {
+    debug_assert!(size < STORE_BIT, "access size must fit in 7 bits");
+    size | if is_store { STORE_BIT } else { 0 }
+}
+
+/// The dynamic trace of one logical thread, stored columnar.
+///
+/// The invariant mirrors the event-stream contract: every executed block
+/// contributes one entry to the block arrays; its memory accesses occupy a
+/// contiguous range of the memory arrays (delimited by the per-block
+/// prefix-sum `mem_end`); side events carry the number of blocks that
+/// preceded them, which pins their position in the interleaved stream.
+///
+/// Mutate through [`ThreadTrace::push_block`] / [`ThreadTrace::push_mem`] /
+/// [`ThreadTrace::push_side`] (or [`ThreadTrace::push_event`] for
+/// interchange-form input); read through [`ThreadTrace::cursor`] on hot
+/// paths and [`ThreadTrace::iter_events`] elsewhere.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadTrace {
     /// Thread id.
     pub tid: u32,
-    /// Ordered event stream.
-    pub events: Vec<TraceEvent>,
+    /// Code address per executed block.
+    block_addr: Vec<BlockAddr>,
+    /// Dynamic instructions per executed block (body + terminator).
+    block_n_insts: Vec<u32>,
+    /// Exclusive end index into the memory arrays per block (prefix sums);
+    /// block `k`'s accesses are `mem_end[k-1]..mem_end[k]` (0 for k = 0).
+    mem_end: Vec<u32>,
+    /// Accessing instruction index per memory access.
+    mem_inst_idx: Vec<u32>,
+    /// Effective address per memory access.
+    mem_addr: Vec<u64>,
+    /// Packed width/direction per memory access (see [`MemRec`]).
+    mem_size_store: Vec<u8>,
+    /// Call/return/synchronization events, in stream order.
+    side: Vec<SideEvent>,
+    /// Number of blocks pushed before each side event (parallel to
+    /// `side`): the side sits after block `side_after[j] - 1` and before
+    /// block `side_after[j]` in the interleaved stream.
+    side_after: Vec<u32>,
     /// Instructions skipped inside opaque I/O.
     pub skipped_io: u64,
     /// Instructions skipped spinning on contended locks.
@@ -71,20 +172,406 @@ pub struct ThreadTrace {
 }
 
 impl ThreadTrace {
+    /// An empty trace for `tid`.
+    pub fn new(tid: u32) -> Self {
+        ThreadTrace { tid, ..Default::default() }
+    }
+
+    /// Builds a trace from an interchange-form event stream.
+    ///
+    /// # Panics
+    /// Panics if a `Mem` event appears before any `Block` (see
+    /// [`ThreadTrace::push_event`]).
+    pub fn from_events(tid: u32, events: impl IntoIterator<Item = TraceEvent>) -> Self {
+        let mut t = ThreadTrace::new(tid);
+        for e in events {
+            t.push_event(e);
+        }
+        t
+    }
+
+    /// Appends a block execution.
+    pub fn push_block(&mut self, addr: BlockAddr, n_insts: u32) {
+        self.block_addr.push(addr);
+        self.block_n_insts.push(n_insts);
+        self.mem_end.push(self.mem_addr.len() as u32);
+    }
+
+    /// Appends a memory access of the most recently pushed block.
+    ///
+    /// # Panics
+    /// Panics if no block has been pushed yet: the event-stream contract
+    /// says every access belongs to the block that precedes it.
+    pub fn push_mem(&mut self, inst_idx: u32, addr: u64, size: u8, is_store: bool) {
+        let last = self.mem_end.last_mut().expect("mem access before any block");
+        self.mem_inst_idx.push(inst_idx);
+        self.mem_addr.push(addr);
+        self.mem_size_store.push(pack_size_store(size, is_store));
+        *last += 1;
+    }
+
+    /// Appends a call/return/synchronization event at the current stream
+    /// position.
+    pub fn push_side(&mut self, e: SideEvent) {
+        self.side.push(e);
+        self.side_after.push(self.block_addr.len() as u32);
+    }
+
+    /// Appends an interchange-form event (the legacy-decode and test
+    /// entry point; the tracer pushes columns directly).
+    ///
+    /// # Panics
+    /// Panics if `e` is a `Mem` event and no block has been pushed.
+    pub fn push_event(&mut self, e: TraceEvent) {
+        match e {
+            TraceEvent::Block { addr, n_insts } => self.push_block(addr, n_insts),
+            TraceEvent::Mem { inst_idx, addr, size, is_store } => {
+                self.push_mem(inst_idx, addr, size, is_store);
+            }
+            TraceEvent::Call { callee } => self.push_side(SideEvent::Call { callee }),
+            TraceEvent::Ret => self.push_side(SideEvent::Ret),
+            TraceEvent::Acquire { lock } => self.push_side(SideEvent::Acquire { lock }),
+            TraceEvent::Release { lock } => self.push_side(SideEvent::Release { lock }),
+            TraceEvent::Barrier { id } => self.push_side(SideEvent::Barrier { id }),
+        }
+    }
+
     /// Traced dynamic instructions (sum of block sizes).
     pub fn traced_insts(&self) -> u64 {
-        self.events
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Block { n_insts, .. } => *n_insts as u64,
-                _ => 0,
-            })
-            .sum()
+        self.block_n_insts.iter().map(|&n| n as u64).sum()
     }
 
     /// Executed blocks.
     pub fn block_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::Block { .. })).count()
+        self.block_addr.len()
+    }
+
+    /// Recorded memory accesses.
+    pub fn mem_count(&self) -> usize {
+        self.mem_addr.len()
+    }
+
+    /// Call/return/synchronization events.
+    pub fn side_count(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Total events in the interchange stream (blocks + accesses + sides)
+    /// — what `events.len()` used to report.
+    pub fn event_count(&self) -> usize {
+        self.block_addr.len() + self.mem_addr.len() + self.side.len()
+    }
+
+    /// Approximate in-memory size of the columnar storage, in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.block_addr.len() * std::mem::size_of::<BlockAddr>()
+            + self.block_n_insts.len() * 4
+            + self.mem_end.len() * 4
+            + self.mem_inst_idx.len() * 4
+            + self.mem_addr.len() * 8
+            + self.mem_size_store.len()
+            + self.side.len() * std::mem::size_of::<SideEvent>()
+            + self.side_after.len() * 4
+    }
+
+    /// A zero-allocation replay cursor positioned at the stream start.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor { t: self, block_pos: 0, side_pos: 0 }
+    }
+
+    /// Iterates the executed blocks only — `(addr, n_insts)` in order —
+    /// without touching the memory or side streams.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, u32)> + '_ {
+        self.block_addr.iter().copied().zip(self.block_n_insts.iter().copied())
+    }
+
+    /// Reconstructs the classic interleaved event stream lazily. Cold-path
+    /// convenience; hot paths use [`ThreadTrace::cursor`].
+    pub fn iter_events(&self) -> EventIter<'_> {
+        EventIter { t: self, block_pos: 0, mem_pos: 0, side_pos: 0 }
+    }
+
+    fn mem_range(&self, block: usize) -> (usize, usize) {
+        let start = if block == 0 { 0 } else { self.mem_end[block - 1] as usize };
+        (start, self.mem_end[block] as usize)
+    }
+
+    /// Raw column views for the binary codec (crate-internal).
+    pub(crate) fn raw_columns(&self) -> RawColumns<'_> {
+        RawColumns {
+            block_addr: &self.block_addr,
+            block_n_insts: &self.block_n_insts,
+            mem_end: &self.mem_end,
+            mem_inst_idx: &self.mem_inst_idx,
+            mem_addr: &self.mem_addr,
+            mem_size_store: &self.mem_size_store,
+            side: &self.side,
+            side_after: &self.side_after,
+        }
+    }
+
+    /// Reassembles a trace from decoded columns, validating the columnar
+    /// invariants (crate-internal; the binary decoder's entry point).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        tid: u32,
+        skipped_io: u64,
+        skipped_spin: u64,
+        excluded_insts: u64,
+        block_addr: Vec<BlockAddr>,
+        block_n_insts: Vec<u32>,
+        mem_end: Vec<u32>,
+        mem_inst_idx: Vec<u32>,
+        mem_addr: Vec<u64>,
+        mem_size_store: Vec<u8>,
+        side: Vec<SideEvent>,
+        side_after: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        let n_blocks = block_addr.len();
+        let n_mems = mem_addr.len();
+        if block_n_insts.len() != n_blocks || mem_end.len() != n_blocks {
+            return Err("block column length mismatch");
+        }
+        if mem_inst_idx.len() != n_mems || mem_size_store.len() != n_mems {
+            return Err("mem column length mismatch");
+        }
+        if side_after.len() != side.len() {
+            return Err("side column length mismatch");
+        }
+        let mut prev = 0u32;
+        for &e in &mem_end {
+            if e < prev {
+                return Err("mem_end not monotonic");
+            }
+            prev = e;
+        }
+        if prev as usize != n_mems {
+            return Err("mem_end does not cover the mem columns");
+        }
+        if n_blocks == 0 && n_mems != 0 {
+            return Err("mem accesses without blocks");
+        }
+        let mut prev = 0u32;
+        for &a in &side_after {
+            if a < prev || a as usize > n_blocks {
+                return Err("side_after out of order or out of range");
+            }
+            prev = a;
+        }
+        Ok(ThreadTrace {
+            tid,
+            block_addr,
+            block_n_insts,
+            mem_end,
+            mem_inst_idx,
+            mem_addr,
+            mem_size_store,
+            side,
+            side_after,
+            skipped_io,
+            skipped_spin,
+            excluded_insts,
+        })
+    }
+}
+
+/// Borrowed raw column views of a [`ThreadTrace`] (crate-internal; used by
+/// the binary codec).
+pub(crate) struct RawColumns<'t> {
+    pub block_addr: &'t [BlockAddr],
+    pub block_n_insts: &'t [u32],
+    pub mem_end: &'t [u32],
+    pub mem_inst_idx: &'t [u32],
+    pub mem_addr: &'t [u64],
+    pub mem_size_store: &'t [u8],
+    pub side: &'t [SideEvent],
+    pub side_after: &'t [u32],
+}
+
+/// Lazy interchange-form iterator over a columnar trace (see
+/// [`ThreadTrace::iter_events`]).
+#[derive(Debug, Clone)]
+pub struct EventIter<'t> {
+    t: &'t ThreadTrace,
+    block_pos: usize,
+    mem_pos: usize,
+    side_pos: usize,
+}
+
+impl Iterator for EventIter<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        // Accesses of the block just emitted come first…
+        if self.block_pos > 0 && self.mem_pos < self.t.mem_end[self.block_pos - 1] as usize {
+            let i = self.mem_pos;
+            self.mem_pos += 1;
+            let packed = self.t.mem_size_store[i];
+            return Some(TraceEvent::Mem {
+                inst_idx: self.t.mem_inst_idx[i],
+                addr: self.t.mem_addr[i],
+                size: packed & !STORE_BIT,
+                is_store: packed & STORE_BIT != 0,
+            });
+        }
+        // …then side events pinned before the next block…
+        if self.side_pos < self.t.side.len()
+            && self.t.side_after[self.side_pos] as usize <= self.block_pos
+        {
+            let s = self.t.side[self.side_pos];
+            self.side_pos += 1;
+            return Some(s.to_event());
+        }
+        // …then the next block.
+        if self.block_pos < self.t.block_addr.len() {
+            let k = self.block_pos;
+            self.block_pos += 1;
+            return Some(TraceEvent::Block {
+                addr: self.t.block_addr[k],
+                n_insts: self.t.block_n_insts[k],
+            });
+        }
+        None
+    }
+}
+
+/// A contiguous slice of memory accesses belonging to one block, viewed
+/// straight out of the columnar arrays (no allocation, no materialized
+/// events).
+#[derive(Debug, Clone, Copy)]
+pub struct MemSlice<'t> {
+    inst_idx: &'t [u32],
+    addr: &'t [u64],
+    size_store: &'t [u8],
+}
+
+impl<'t> MemSlice<'t> {
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// Whether the block recorded no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty()
+    }
+
+    /// Iterates the accesses in instruction order.
+    pub fn iter(&self) -> impl Iterator<Item = MemRec> + 't {
+        let (inst_idx, addr, size_store) = (self.inst_idx, self.addr, self.size_store);
+        (0..addr.len()).map(move |i| {
+            let packed = size_store[i];
+            MemRec {
+                inst_idx: inst_idx[i],
+                addr: addr[i],
+                size: packed & !STORE_BIT,
+                is_store: packed & STORE_BIT != 0,
+            }
+        })
+    }
+}
+
+/// Zero-allocation block-granular replay cursor over a columnar
+/// [`ThreadTrace`].
+///
+/// The cursor walks the interleaved stream in order, but at block
+/// granularity: [`TraceCursor::next_block`] consumes a block *and* hands
+/// back its accesses as a [`MemSlice`] in one step, and side events are
+/// peeked/consumed individually between blocks. When a side event is
+/// pending (its stream position has been reached), `peek_block` /
+/// `next_block` return `None` until it is consumed — strict stream order.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'t> {
+    t: &'t ThreadTrace,
+    block_pos: usize,
+    side_pos: usize,
+}
+
+impl<'t> TraceCursor<'t> {
+    /// The thread id of the underlying trace.
+    pub fn tid(&self) -> u32 {
+        self.t.tid
+    }
+
+    fn side_pending(&self) -> bool {
+        self.side_pos < self.t.side.len()
+            && self.t.side_after[self.side_pos] as usize <= self.block_pos
+    }
+
+    /// The next block's `(addr, n_insts)` if the next stream event is a
+    /// block.
+    pub fn peek_block(&self) -> Option<(BlockAddr, u32)> {
+        if self.side_pending() || self.block_pos >= self.t.block_addr.len() {
+            return None;
+        }
+        Some((self.t.block_addr[self.block_pos], self.t.block_n_insts[self.block_pos]))
+    }
+
+    /// Consumes the next block, returning `(addr, n_insts, accesses)`;
+    /// `None` if the next event is a side event or the stream is done.
+    pub fn next_block(&mut self) -> Option<(BlockAddr, u32, MemSlice<'t>)> {
+        let (addr, n_insts) = self.peek_block()?;
+        let (lo, hi) = self.t.mem_range(self.block_pos);
+        self.block_pos += 1;
+        Some((
+            addr,
+            n_insts,
+            MemSlice {
+                inst_idx: &self.t.mem_inst_idx[lo..hi],
+                addr: &self.t.mem_addr[lo..hi],
+                size_store: &self.t.mem_size_store[lo..hi],
+            },
+        ))
+    }
+
+    /// The next side event, if the next stream event is one.
+    pub fn peek_side(&self) -> Option<SideEvent> {
+        if self.side_pending() {
+            Some(self.t.side[self.side_pos])
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the next side event, if the next stream event is one.
+    pub fn next_side(&mut self) -> Option<SideEvent> {
+        let s = self.peek_side()?;
+        self.side_pos += 1;
+        Some(s)
+    }
+
+    /// Whether the whole stream has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.block_pos >= self.t.block_addr.len() && self.side_pos >= self.t.side.len()
+    }
+
+    /// Materializes the next event for error reporting — the one place a
+    /// cursor produces a [`TraceEvent`]; never called on hot paths.
+    pub fn peek_event(&self) -> Option<TraceEvent> {
+        if let Some(s) = self.peek_side() {
+            return Some(s.to_event());
+        }
+        self.peek_block().map(|(addr, n_insts)| TraceEvent::Block { addr, n_insts })
+    }
+
+    /// Scans ahead (without consuming) for the release matching `lock` —
+    /// same-lock acquires nest — and returns the address of the first
+    /// block that follows it in the stream, if any.
+    pub fn scan_release_target(&self, lock: u64) -> Option<BlockAddr> {
+        let mut nesting = 0u32;
+        for j in self.side_pos..self.t.side.len() {
+            match self.t.side[j] {
+                SideEvent::Acquire { lock: l } if l == lock => nesting += 1,
+                SideEvent::Release { lock: l } if l == lock => {
+                    if nesting == 0 {
+                        return self.t.block_addr.get(self.t.side_after[j] as usize).copied();
+                    }
+                    nesting -= 1;
+                }
+                _ => {}
+            }
+        }
+        None
     }
 }
 
@@ -116,6 +603,11 @@ impl TraceSet {
         self.threads.iter().map(|t| t.skipped_io + t.skipped_spin).sum()
     }
 
+    /// Approximate in-memory size of the columnar storage, in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.threads.iter().map(ThreadTrace::storage_bytes).sum()
+    }
+
     /// Fraction of instructions traced (paper Fig. 8).
     pub fn traced_fraction(&self) -> f64 {
         let traced = self.total_traced_insts();
@@ -145,22 +637,17 @@ mod tests {
 
     #[test]
     fn traced_inst_accounting() {
-        let t = ThreadTrace {
-            tid: 0,
-            events: vec![block(3), TraceEvent::Ret, block(5)],
-            skipped_io: 2,
-            skipped_spin: 0,
-            excluded_insts: 0,
-        };
+        let t = ThreadTrace::from_events(0, [block(3), TraceEvent::Ret, block(5)]);
         assert_eq!(t.traced_insts(), 8);
         assert_eq!(t.block_count(), 2);
+        assert_eq!(t.event_count(), 3);
     }
 
     #[test]
     fn traceset_orders_by_tid_and_aggregates() {
-        let t1 = ThreadTrace { tid: 1, events: vec![block(4)], ..Default::default() };
-        let t0 =
-            ThreadTrace { tid: 0, events: vec![block(6)], skipped_io: 10, ..Default::default() };
+        let t1 = ThreadTrace::from_events(1, [block(4)]);
+        let mut t0 = ThreadTrace::from_events(0, [block(6)]);
+        t0.skipped_io = 10;
         let set = TraceSet::new(vec![t1, t0]);
         assert_eq!(set.threads()[0].tid, 0);
         assert_eq!(set.total_traced_insts(), 10);
@@ -173,20 +660,114 @@ mod tests {
     }
 
     #[test]
+    fn iter_events_round_trips_canonical_stream() {
+        let events = vec![
+            block(2),
+            TraceEvent::Mem { inst_idx: 0, addr: 0x1000, size: 8, is_store: true },
+            TraceEvent::Mem { inst_idx: 1, addr: 0x2000, size: 4, is_store: false },
+            TraceEvent::Call { callee: FuncId(3) },
+            TraceEvent::Block { addr: BlockAddr::new(FuncId(3), BlockId(0)), n_insts: 1 },
+            TraceEvent::Ret,
+            block(4),
+            TraceEvent::Mem { inst_idx: 3, addr: 0xbeef, size: 1, is_store: false },
+            TraceEvent::Acquire { lock: 0xbeef },
+            TraceEvent::Release { lock: 0xbeef },
+            TraceEvent::Barrier { id: 2 },
+        ];
+        let t = ThreadTrace::from_events(7, events.clone());
+        assert_eq!(t.iter_events().collect::<Vec<_>>(), events);
+        assert_eq!(t.event_count(), events.len());
+    }
+
+    #[test]
+    fn cursor_walks_stream_in_order() {
+        let t = ThreadTrace::from_events(
+            0,
+            [
+                block(2),
+                TraceEvent::Mem { inst_idx: 1, addr: 0x1000, size: 8, is_store: true },
+                TraceEvent::Call { callee: FuncId(1) },
+                TraceEvent::Block { addr: BlockAddr::new(FuncId(1), BlockId(0)), n_insts: 1 },
+                TraceEvent::Ret,
+                block(3),
+            ],
+        );
+        let mut c = t.cursor();
+        let (a0, n0, mems) = c.next_block().unwrap();
+        assert_eq!((a0, n0), (BlockAddr::new(FuncId(0), BlockId(0)), 2));
+        let recs: Vec<MemRec> = mems.iter().collect();
+        assert_eq!(recs, vec![MemRec { inst_idx: 1, addr: 0x1000, size: 8, is_store: true }]);
+        // Pending side blocks block access until consumed.
+        assert!(c.peek_block().is_none());
+        assert_eq!(c.next_side(), Some(SideEvent::Call { callee: FuncId(1) }));
+        let (a1, ..) = c.next_block().unwrap();
+        assert_eq!(a1, BlockAddr::new(FuncId(1), BlockId(0)));
+        assert_eq!(c.next_side(), Some(SideEvent::Ret));
+        assert!(c.next_block().is_some());
+        assert!(c.at_end());
+        assert!(c.next_block().is_none() && c.next_side().is_none());
+    }
+
+    #[test]
+    fn cursor_scan_release_handles_nesting() {
+        let lk = 0xbeef;
+        let t = ThreadTrace::from_events(
+            0,
+            [
+                block(1),
+                TraceEvent::Acquire { lock: lk },
+                block(1), // critical section, outer
+                TraceEvent::Acquire { lock: lk },
+                block(1), // nested
+                TraceEvent::Release { lock: lk },
+                block(1),
+                TraceEvent::Release { lock: lk },
+                TraceEvent::Block { addr: BlockAddr::new(FuncId(0), BlockId(9)), n_insts: 1 },
+            ],
+        );
+        let mut c = t.cursor();
+        c.next_block();
+        assert_eq!(c.next_side(), Some(SideEvent::Acquire { lock: lk }));
+        // From here, the matching release is the *outer* one; the block
+        // following it is BlockId(9).
+        assert_eq!(c.scan_release_target(lk), Some(BlockAddr::new(FuncId(0), BlockId(9))));
+    }
+
+    #[test]
+    fn sides_before_first_block_and_trailing_sides() {
+        let t =
+            ThreadTrace::from_events(0, [TraceEvent::Barrier { id: 1 }, block(1), TraceEvent::Ret]);
+        let mut c = t.cursor();
+        assert!(c.peek_block().is_none());
+        assert_eq!(c.next_side(), Some(SideEvent::Barrier { id: 1 }));
+        assert!(c.next_block().is_some());
+        assert_eq!(c.next_side(), Some(SideEvent::Ret));
+        assert!(c.at_end());
+        assert_eq!(t.iter_events().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem access before any block")]
+    fn mem_before_block_panics() {
+        let mut t = ThreadTrace::new(0);
+        t.push_mem(0, 0x1000, 8, false);
+    }
+
+    #[test]
     fn serde_round_trip() {
-        let t = ThreadTrace {
-            tid: 7,
-            events: vec![
+        let mut t = ThreadTrace::from_events(
+            7,
+            [
                 block(2),
                 TraceEvent::Mem { inst_idx: 0, addr: 0x1000, size: 8, is_store: true },
                 TraceEvent::Call { callee: FuncId(3) },
                 TraceEvent::Acquire { lock: 0xbeef },
                 TraceEvent::Barrier { id: 2 },
             ],
-            skipped_io: 1,
-            skipped_spin: 2,
-            excluded_insts: 3,
-        };
+        );
+        t.skipped_io = 1;
+        t.skipped_spin = 2;
+        t.excluded_insts = 3;
         let set: TraceSet = std::iter::once(t).collect();
         let json = serde_json::to_string(&set).unwrap();
         let back: TraceSet = serde_json::from_str(&json).unwrap();

@@ -40,4 +40,6 @@ pub mod events;
 pub use capture::{
     trace_program, trace_program_observed, trace_program_with, Tracer, TracerConfig,
 };
-pub use events::{ThreadTrace, TraceEvent, TraceSet};
+pub use events::{
+    EventIter, MemRec, MemSlice, SideEvent, ThreadTrace, TraceCursor, TraceEvent, TraceSet,
+};

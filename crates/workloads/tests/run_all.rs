@@ -144,7 +144,7 @@ fn uses_locks_flag_matches_trace_contents() {
         let has_lock_events = traces
             .threads()
             .iter()
-            .any(|t| t.events.iter().any(|e| matches!(e, TraceEvent::Acquire { .. })));
+            .any(|t| t.iter_events().any(|e| matches!(e, TraceEvent::Acquire { .. })));
         assert_eq!(
             has_lock_events, w.meta.uses_locks,
             "{}: uses_locks metadata out of sync with behaviour",

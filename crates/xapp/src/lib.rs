@@ -45,24 +45,24 @@ pub fn extract_features(program: &Program, traces: &TraceSet) -> FeatureVector {
     let mut addrs: Vec<u64> = Vec::new();
     let mut bytes_touched = 0u64;
 
-    for e in &t.events {
+    for e in t.iter_events() {
         match e {
             TraceEvent::Block { addr, n_insts } => {
                 blocks += 1;
-                insts += *n_insts as u64;
-                distinct_blocks.insert(*addr);
+                insts += n_insts as u64;
+                distinct_blocks.insert(addr);
             }
             TraceEvent::Mem { addr, size, is_store, .. } => {
-                if *is_store {
+                if is_store {
                     stores += 1;
                 } else {
                     loads += 1;
                 }
-                if is_stack_segment(*addr) {
+                if is_stack_segment(addr) {
                     stack_accesses += 1;
                 }
-                addrs.push(*addr);
-                bytes_touched += *size as u64;
+                addrs.push(addr);
+                bytes_touched += size as u64;
             }
             TraceEvent::Call { .. } => calls += 1,
             TraceEvent::Ret => {}

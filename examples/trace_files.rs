@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "wrote {} ({} threads, {} events, {} bytes)",
         path.display(),
         traces.threads().len(),
-        traces.threads().iter().map(|t| t.events.len()).sum::<usize>(),
+        traces.threads().iter().map(|t| t.event_count()).sum::<usize>(),
         bytes.len()
     );
 

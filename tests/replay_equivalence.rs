@@ -1,0 +1,113 @@
+//! Replay-path equivalence: the columnar cursor replay (the fast path)
+//! must be observationally identical to materializing the legacy event
+//! stream and replaying that — same reports, bit for bit, including the
+//! per-function breakdowns, at any worker count.
+//!
+//! This is the safety net for the columnar trace storage: any divergence
+//! between the two `ReplayMode`s is a bug in the cursor, not a tolerance.
+
+use proptest::prelude::*;
+use threadfuser::analyzer::{AnalysisReport, ReplayMode};
+use threadfuser::ir::{AluOp, Cond, Operand, ProgramBuilder};
+use threadfuser::prelude::*;
+use threadfuser::workloads::by_name;
+
+/// Analyzes one capture under both replay modes at `workers` and returns
+/// the pair of reports.
+fn both_modes(traced: &Traced, workers: usize) -> (AnalysisReport, AnalysisReport) {
+    let columnar = traced
+        .view()
+        .replay(ReplayMode::Columnar)
+        .parallelism(workers)
+        .analyze()
+        .expect("columnar analyze");
+    let materialized = traced
+        .view()
+        .replay(ReplayMode::MaterializedEvents)
+        .parallelism(workers)
+        .analyze()
+        .expect("materialized analyze");
+    (columnar, materialized)
+}
+
+#[test]
+fn columnar_replay_matches_materialized_on_workloads() {
+    // Three Table I workloads spanning the efficiency spectrum: md5
+    // (coherent), bfs (divergent control flow), pigz (divergent + deep
+    // call structure).
+    for name in ["md5", "bfs", "pigz"] {
+        let w = by_name(name).unwrap();
+        let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
+        for workers in [1usize, 4] {
+            let (col, mat) = both_modes(&traced, workers);
+            assert_eq!(col, mat, "{name} @ {workers} workers: replay modes disagree");
+            assert_eq!(
+                col.per_function, mat.per_function,
+                "{name} @ {workers} workers: per-function maps disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_replay_matches_materialized_with_locks_emulated() {
+    // Lock serialization exercises the cursor's release-target scan.
+    let w = by_name("urlshort").unwrap();
+    let traced = Pipeline::from_workload(&w).threads(64).intra_warp_locks(true).trace().unwrap();
+    for workers in [1usize, 4] {
+        let (col, mat) = both_modes(&traced, workers);
+        assert_eq!(col, mat, "urlshort @ {workers} workers: replay modes disagree");
+    }
+    assert!(traced.analyze().unwrap().lock_serializations > 0, "locks must actually serialize");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    // Random branchy/loopy kernels: the two replay paths must agree on
+    // every field of the report.
+    #[test]
+    fn columnar_replay_matches_materialized_on_random_kernels(
+        moduli in prop::collection::vec(2u8..7, 1..4),
+        warp in prop_oneof![Just(8u32), Just(16), Just(32)],
+    ) {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global("out", 8 * 64);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let acc = fb.var(8);
+            fb.store_var(acc, tid);
+            for &m in &moduli {
+                // Data-dependent trip count: the divergence generator.
+                let trips = fb.alu(AluOp::Rem, tid, m as i64);
+                fb.for_range(0i64, Operand::Reg(trips), 1, |fb, _| {
+                    let a = fb.load_var(acc);
+                    let v = fb.alu(AluOp::Mul, a, 31i64);
+                    fb.store_var(acc, v);
+                });
+                let bit = fb.alu(AluOp::And, tid, m as i64);
+                fb.if_then_else(
+                    Cond::Eq,
+                    bit,
+                    0i64,
+                    |fb| {
+                        let a = fb.load_var(acc);
+                        let v = fb.alu(AluOp::Add, a, 7i64);
+                        fb.store_var(acc, v);
+                    },
+                    |fb| fb.nop(),
+                );
+            }
+            let a = fb.load_var(acc);
+            let m = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(m, a);
+            fb.ret(None);
+        });
+        let program = pb.build().expect("generated program validates");
+        let traced = Pipeline::new(program, k).threads(64).warp_size(warp).trace().unwrap();
+        for workers in [1usize, 4] {
+            let (col, mat) = both_modes(&traced, workers);
+            prop_assert_eq!(&col, &mat, "warp {} @ {} workers", warp, workers);
+        }
+    }
+}

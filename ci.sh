@@ -39,4 +39,13 @@ TF_BENCH_OUT="$TRACE_OUT" \
 # the speedup gate, or the engines / replay modes disagreed bit for bit.
 cargo run --release -q -p threadfuser-bench --bin perf_trace -- --check "$TRACE_OUT"
 
+echo "==> perf_sim smoke (parallel projection backend vs sequential)"
+SIM_OUT="${TMPDIR:-/tmp}/BENCH_sim.json"
+TF_BENCH_OUT="$SIM_OUT" \
+    cargo run --release -p threadfuser-bench --bin perf_sim
+# Fails when the report is malformed, any parallel stage (tracegen,
+# simt-sim, cpu-sim) diverged from its sequential twin, or — on hosts
+# with >= 4 CPUs — the combined backend speedup fell below the gate.
+cargo run --release -q -p threadfuser-bench --bin perf_sim -- --check "$SIM_OUT"
+
 echo "==> ci.sh: all green"

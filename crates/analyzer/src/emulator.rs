@@ -404,6 +404,123 @@ pub fn analyze_indexed_with_sink(
     analyze_impl(program, traces, index, config, Some(sink))
 }
 
+/// [`analyze_indexed`] with an independent [`StepSink`] **per warp**,
+/// enabling parallel emulation under observation.
+///
+/// The shared-sink entry points force single-worker emulation because one
+/// sink observing interleaved warps would see a nondeterministic step
+/// order. Here `make_sink(warp_index)` constructs a private sink for each
+/// warp, every warp's steps arrive on its own sink in emulation order,
+/// and the sinks are handed back **in warp order** next to the merged
+/// report — so callers that concatenate per-warp sink contents get a
+/// result bit-identical to a sequential run at any
+/// [`AnalyzerConfig::parallelism`] and under either [`WarpScheduler`].
+///
+/// # Errors
+/// [`AnalyzeError`] when the emulation desynchronizes; parallel runs
+/// deterministically report the lowest-indexed failing warp.
+pub fn analyze_indexed_with_warp_sinks<S, F>(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    config: &AnalyzerConfig,
+    make_sink: F,
+) -> Result<(AnalysisReport, Vec<S>), AnalyzeError>
+where
+    S: StepSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
+    assert!((1..=64).contains(&config.warp_size), "warp size must be in 1..=64");
+    let statics: Option<Arc<Vec<FuncCfg>>> = (config.reconvergence
+        == ReconvergencePolicy::StaticIpdom)
+        .then(|| index.static_cfgs(program));
+    let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
+    let ctx = RunCtx {
+        program,
+        dcfgs: index.dcfgs(),
+        statics: statics.as_ref().map(|v| v.as_slice()),
+        config,
+        traces,
+    };
+
+    // Emulates warp `i` against a fresh private sink.
+    let run_one = |i: usize| -> Result<(AnalysisReport, S), AnalyzeError> {
+        let mut sink = make_sink(i as u32);
+        let mut dyn_sink: Option<&mut dyn StepSink> = Some(&mut sink);
+        let r = run_warp(&ctx, &warps[i], i as u32, &mut dyn_sink)?;
+        Ok((r, sink))
+    };
+
+    let workers = config.parallelism.max(1).min(warps.len().max(1));
+    config.obs.counter(Phase::WarpEmulate, "workers", workers as u64);
+    let mut report = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
+    let mut sinks: Vec<S> = Vec::with_capacity(warps.len());
+    if workers <= 1 {
+        for i in 0..warps.len() {
+            let (r, s) = run_one(i)?;
+            report.merge(r);
+            sinks.push(s);
+        }
+    } else {
+        // Both [`WarpScheduler`]s collapse to the work-stealing cursor
+        // here: the claimed (index, report, sink) triples are re-ordered
+        // by warp index below, so the distribution policy cannot affect
+        // the result, only load balance — and the cursor balances better.
+        let next = AtomicUsize::new(0);
+        let run_ref = &run_one;
+        let n_warps = warps.len();
+        type Claimed<S> = Result<Vec<(usize, AnalysisReport, S)>, (usize, AnalyzeError)>;
+        let results: Vec<Claimed<S>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_warps {
+                                return Ok(local);
+                            }
+                            match run_ref(i) {
+                                Ok((r, sink)) => local.push((i, r, sink)),
+                                Err(e) => return Err((i, e)),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("analysis worker panicked")).collect()
+        });
+        let mut parts: Vec<(usize, AnalysisReport, S)> = Vec::with_capacity(n_warps);
+        let mut first_err: Option<(usize, AnalyzeError)> = None;
+        for r in results {
+            match r {
+                Ok(v) => parts.extend(v),
+                // Deterministic error: the lowest-indexed failing warp
+                // always executes, so report its error.
+                Err((i, e)) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        parts.sort_unstable_by_key(|&(i, _, _)| i);
+        for (_, r, sink) in parts {
+            report.merge(r);
+            sinks.push(sink);
+        }
+    }
+
+    // Skip counters come pre-summed from the index.
+    report.skipped_io = index.skipped_io();
+    report.skipped_spin = index.skipped_spin();
+    Ok((report, sinks))
+}
+
 /// Shared per-run context threaded to every warp execution.
 struct RunCtx<'a> {
     program: &'a Program,
@@ -496,6 +613,7 @@ fn analyze_impl(
     // A sink forces sequential emulation (deterministic step order).
     let workers =
         if sink.is_some() { 1 } else { config.parallelism.max(1).min(warps.len().max(1)) };
+    config.obs.counter(Phase::WarpEmulate, "workers", workers as u64);
     let mut report = AnalysisReport { warp_size: config.warp_size, ..Default::default() };
     if workers <= 1 {
         for (wi, warp) in warps.iter().enumerate() {

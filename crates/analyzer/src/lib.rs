@@ -77,8 +77,8 @@ pub use dwf::{dwf_upper_bound, DwfBound};
 #[allow(deprecated)]
 pub use emulator::{analyze, analyze_with_sink};
 pub use emulator::{
-    analyze_indexed, analyze_indexed_with_sink, AnalyzerConfig, BlockStep, MemGroups,
-    ReconvergencePolicy, ReplayMode, StepSink, WarpScheduler,
+    analyze_indexed, analyze_indexed_with_sink, analyze_indexed_with_warp_sinks, AnalyzerConfig,
+    BlockStep, MemGroups, ReconvergencePolicy, ReplayMode, StepSink, WarpScheduler,
 };
 pub use index::AnalysisIndex;
 pub use report::{AnalysisReport, FunctionReport, SegmentTraffic};

@@ -43,6 +43,13 @@ struct PhaseTime {
     /// instructions / phase wall time; 0 when the phase recorded no
     /// time).
     insts_per_sec: f64,
+    /// Worker threads the phase fanned across (0 when the phase reports
+    /// no worker count).
+    workers: u64,
+    /// Core load imbalance of the phase: max over mean of per-core
+    /// finish cycles across active cores (1.0 = perfectly balanced; 0
+    /// when the phase has no per-core histogram).
+    core_imbalance: f64,
 }
 
 #[derive(Serialize)]
@@ -84,6 +91,12 @@ fn main() {
             .iter()
             .map(|&p| {
                 let wall_ms = sink.span_nanos(p) as f64 / 1e6;
+                // max/mean of the phase's per-core finish cycles (the
+                // simulator phases emit one observation per active core).
+                let core_imbalance = match sink.histogram_summary_for(p, "core_cycles") {
+                    Some((count, sum, _, max)) if sum > 0.0 => max * count as f64 / sum,
+                    _ => 0.0,
+                };
                 PhaseTime {
                     phase: p.name().to_string(),
                     spans: sink.span_count(p) as u64,
@@ -93,6 +106,8 @@ fn main() {
                     } else {
                         0.0
                     },
+                    workers: sink.counter_max_for(p, "workers"),
+                    core_imbalance,
                 }
             })
             .collect();

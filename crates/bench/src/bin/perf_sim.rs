@@ -1,0 +1,238 @@
+//! Projection-backend performance benchmark: sequential versus parallel
+//! warp-trace generation, SIMT-device simulation, and CPU-baseline
+//! simulation over one shared capture.
+//!
+//! The backend is embarrassingly parallel by construction — tracegen fans
+//! warps and both simulators fan cores (each core owns a private L1, an
+//! L2 slice, and a DRAM-bandwidth share) — and the parallel paths promise
+//! **bit-identical** results at any worker count. This benchmark measures
+//! the fan-out on the two divergent Table I workloads (bfs, pigz) at a
+//! thread count high enough to populate many cores, and asserts the
+//! identity promise on every stage.
+//!
+//! Each timing is the minimum of four runs. Writes `BENCH_sim.json` to
+//! the current directory (override with `TF_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_sim
+//! cargo run --release -p threadfuser-bench --bin perf_sim -- --check BENCH_sim.json
+//! ```
+//!
+//! `--check` re-reads a written report and fails unless every parallel
+//! stage matched its sequential twin bit for bit and — on hosts with at
+//! least [`PAR_WORKERS`] CPUs — the combined backend ran at least 1.5x
+//! faster at [`PAR_WORKERS`] workers. The speedup gate is skipped on
+//! smaller hosts (a 1-core container cannot express parallel speedup);
+//! the identity checks never are.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use threadfuser::cpusim::{simulate_cpu, CpuSimConfig};
+use threadfuser::ir::OptLevel;
+use threadfuser::simtsim::{simulate, SimtSimConfig};
+use threadfuser::workloads::by_name;
+use threadfuser::Pipeline;
+use threadfuser_bench::f2;
+
+const WORKLOADS: &[&str] = &["bfs", "pigz"];
+/// Thread count: 32 warps at warp 32, enough to occupy many cores.
+const THREADS: u32 = 1024;
+const RUNS: usize = 4;
+/// Worker count of the parallel arm.
+const PAR_WORKERS: usize = 4;
+/// The `--check` gate: minimum combined seq/par backend wall-time ratio,
+/// enforced only when the recording host had >= [`PAR_WORKERS`] CPUs.
+const MIN_COMBINED_SPEEDUP: f64 = 1.5;
+
+#[derive(Serialize, Deserialize)]
+struct StagePerf {
+    /// Sequential wall ms (min-of-4, 1 worker).
+    seq_ms: f64,
+    /// Parallel wall ms (min-of-4, [`PAR_WORKERS`] workers).
+    par_ms: f64,
+    speedup: f64,
+    /// Parallel output was bit-identical to the sequential output.
+    identical: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WorkloadPerf {
+    workload: String,
+    threads: u32,
+    warps: u64,
+    warp_insts: u64,
+    tracegen: StagePerf,
+    simt_sim: StagePerf,
+    cpu_sim: StagePerf,
+    /// Whole-backend ratio: sum of sequential stage times over sum of
+    /// parallel stage times.
+    combined_speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SimReport {
+    benchmark: String,
+    /// `std::thread::available_parallelism()` of the recording host; the
+    /// `--check` speedup gate only applies when this is >= the parallel
+    /// worker count.
+    host_parallelism: usize,
+    workloads: Vec<WorkloadPerf>,
+}
+
+/// Minimum wall time of [`RUNS`] invocations of `f`, in milliseconds.
+fn min_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best, last.expect("RUNS > 0"))
+}
+
+fn stage(seq_ms: f64, par_ms: f64, identical: bool) -> StagePerf {
+    StagePerf {
+        seq_ms,
+        par_ms,
+        speedup: if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 },
+        identical,
+    }
+}
+
+fn run_workload(name: &str) -> WorkloadPerf {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let traced = Pipeline::from_workload(&w)
+        .threads(THREADS)
+        .opt_level(OptLevel::O3)
+        .trace()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    traced.index().unwrap_or_else(|e| panic!("{name}: {e}")); // warm the shared index
+
+    // Stage 1: warp-trace generation, 1 vs PAR_WORKERS analyzer workers.
+    let (tg_seq_ms, wt_seq) =
+        min_ms(|| traced.view().parallelism(1).warp_traces().expect("tracegen (seq)"));
+    let (tg_par_ms, wt_par) =
+        min_ms(|| traced.view().parallelism(PAR_WORKERS).warp_traces().expect("tracegen (par)"));
+    let tg_identical = wt_seq == wt_par;
+
+    // Stage 2: SIMT-device simulation over the (identical) warp traces.
+    let simt_cfg = |workers: usize| SimtSimConfig { workers, ..Default::default() };
+    let (simt_seq_ms, simt_seq) = min_ms(|| simulate(&wt_seq, &simt_cfg(1)));
+    let (simt_par_ms, simt_par) = min_ms(|| simulate(&wt_seq, &simt_cfg(PAR_WORKERS)));
+    let simt_identical = simt_seq == simt_par;
+
+    // Stage 3: CPU-baseline simulation over the per-thread traces.
+    let cpu_cfg = |workers: usize| CpuSimConfig { workers, ..Default::default() };
+    let (cpu_seq_ms, cpu_seq) = min_ms(|| simulate_cpu(traced.traces(), &cpu_cfg(1)));
+    let (cpu_par_ms, cpu_par) = min_ms(|| simulate_cpu(traced.traces(), &cpu_cfg(PAR_WORKERS)));
+    let cpu_identical = cpu_seq == cpu_par;
+
+    let seq_total = tg_seq_ms + simt_seq_ms + cpu_seq_ms;
+    let par_total = tg_par_ms + simt_par_ms + cpu_par_ms;
+    WorkloadPerf {
+        workload: name.to_string(),
+        threads: THREADS,
+        warps: wt_seq.warps().len() as u64,
+        warp_insts: wt_seq.total_insts(),
+        tracegen: stage(tg_seq_ms, tg_par_ms, tg_identical),
+        simt_sim: stage(simt_seq_ms, simt_par_ms, simt_identical),
+        cpu_sim: stage(cpu_seq_ms, cpu_par_ms, cpu_identical),
+        combined_speedup: if par_total > 0.0 { seq_total / par_total } else { 0.0 },
+    }
+}
+
+/// Validates a previously written report; returns an error message on a
+/// malformed file or a failed invariant.
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let r: SimReport = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    if r.benchmark != "perf_sim" {
+        return Err(format!("unexpected benchmark name {:?}", r.benchmark));
+    }
+    if r.workloads.is_empty() {
+        return Err("no workloads in report".to_string());
+    }
+    let gate_speedup = r.host_parallelism >= PAR_WORKERS;
+    for s in &r.workloads {
+        if s.warps == 0 || s.warp_insts == 0 {
+            return Err(format!("{}: implausible report: no warps or instructions", s.workload));
+        }
+        for (label, st) in
+            [("tracegen", &s.tracegen), ("simt_sim", &s.simt_sim), ("cpu_sim", &s.cpu_sim)]
+        {
+            if st.seq_ms <= 0.0 || st.par_ms <= 0.0 {
+                return Err(format!("{}/{label}: implausible zero wall time", s.workload));
+            }
+            if !st.identical {
+                return Err(format!(
+                    "{}/{label}: parallel output differs from sequential",
+                    s.workload
+                ));
+            }
+        }
+        if gate_speedup && s.combined_speedup < MIN_COMBINED_SPEEDUP {
+            return Err(format!(
+                "{}: combined backend speedup {} below the {MIN_COMBINED_SPEEDUP}x gate at \
+                 {PAR_WORKERS} workers (host has {} CPUs)",
+                s.workload,
+                f2(s.combined_speedup),
+                r.host_parallelism
+            ));
+        }
+        println!(
+            "{path}: {} ok (tracegen {}x, simt {}x, cpu {}x, combined {}x{})",
+            s.workload,
+            f2(s.tracegen.speedup),
+            f2(s.simt_sim.speedup),
+            f2(s.cpu_sim.speedup),
+            f2(s.combined_speedup),
+            if gate_speedup { "" } else { "; speedup gate skipped: host too small" },
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_sim.json");
+        if let Err(e) = check(path) {
+            eprintln!("perf_sim --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let report = SimReport {
+        benchmark: "perf_sim".to_string(),
+        host_parallelism: host,
+        workloads: WORKLOADS.iter().map(|name| run_workload(name)).collect(),
+    };
+    for s in &report.workloads {
+        println!(
+            "{:<8} {:>6} threads {:>5} warps  tracegen {:>8}/{:>8} ms ({}x)  simt {:>8}/{:>8} ms \
+             ({}x)  cpu {:>8}/{:>8} ms ({}x)  combined {}x",
+            s.workload,
+            s.threads,
+            s.warps,
+            f2(s.tracegen.seq_ms),
+            f2(s.tracegen.par_ms),
+            f2(s.tracegen.speedup),
+            f2(s.simt_sim.seq_ms),
+            f2(s.simt_sim.par_ms),
+            f2(s.simt_sim.speedup),
+            f2(s.cpu_sim.seq_ms),
+            f2(s.cpu_sim.par_ms),
+            f2(s.cpu_sim.speedup),
+            f2(s.combined_speedup),
+        );
+    }
+
+    let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -12,6 +12,14 @@
 //! Skipped instructions (I/O, lock spinning) still cost CPU cycles — the
 //! real CPU executes them even though the tracer does not trace them.
 //!
+//! Like the SIMT device model, the memory system is banked per core
+//! (private L1, L2 slice, even DRAM-bandwidth share), so cores never
+//! interact and the per-core replay fans across scoped worker threads
+//! when [`CpuSimConfig::workers`] is not 1 — with results bit-identical
+//! to the sequential walk (stats merge in core order). Cores with no
+//! assigned threads are never constructed; their
+//! [`CpuSimStats::core_cycles`] entries stay `0`.
+//!
 //! ```
 //! use threadfuser_ir::{ProgramBuilder, Operand};
 //! use threadfuser_machine::MachineConfig;
@@ -33,8 +41,19 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use threadfuser_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
 use threadfuser_tracer::{TraceEvent, TraceSet};
+
+/// Resolves a `workers` knob: 0 means the host's available parallelism
+/// (mirrors `threadfuser_simtsim::resolve_workers`).
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+}
 
 /// CPU model configuration (defaults sized like the paper's 20-core
 /// Xeon E5-2630 host).
@@ -52,6 +71,9 @@ pub struct CpuSimConfig {
     pub clock_ghz: f64,
     /// Charge cycles for skipped (I/O + spin) instructions too.
     pub include_skipped: bool,
+    /// Worker threads fanning the per-core replay (0 = the host's
+    /// available parallelism). Results are bit-identical at any count.
+    pub workers: usize,
 }
 
 impl Default for CpuSimConfig {
@@ -63,12 +85,13 @@ impl Default for CpuSimConfig {
             hierarchy: HierarchyConfig::cpu_default(),
             clock_ghz: 2.2,
             include_skipped: true,
+            workers: 0,
         }
     }
 }
 
 /// CPU simulation results.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpuSimStats {
     /// Execution cycles (max over cores).
     pub cycles: u64,
@@ -108,7 +131,8 @@ pub fn simulate_cpu(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
 }
 
 /// [`simulate_cpu`] under a `cpu-sim` span, reporting cycle / stall /
-/// cache counters and a per-core cycle histogram to `obs`.
+/// cache counters, the worker and active-core counts, and a per-core
+/// cycle histogram to `obs`.
 pub fn simulate_cpu_observed(
     traces: &TraceSet,
     config: &CpuSimConfig,
@@ -118,13 +142,18 @@ pub fn simulate_cpu_observed(
     let span = obs.span(Phase::CpuSim);
     let stats = simulate_cpu_impl(traces, config);
     if obs.enabled() {
+        let active = (config.n_cores.max(1) as usize).min(traces.threads().len());
+        obs.counter(Phase::CpuSim, "workers", effective_workers(config.workers, active) as u64);
+        obs.counter(Phase::CpuSim, "active_cores", active as u64);
         obs.counter(Phase::CpuSim, "cycles", stats.cycles);
         obs.counter(Phase::CpuSim, "insts", stats.insts);
         obs.counter(Phase::CpuSim, "mem_stall_cycles", stats.mem_stall_cycles);
         obs.counter(Phase::CpuSim, "l1_hits", stats.l1_hits);
         obs.counter(Phase::CpuSim, "l1_misses", stats.l1_misses);
         obs.counter(Phase::CpuSim, "dram_accesses", stats.dram_accesses);
-        for &c in &stats.core_cycles {
+        // Active cores are indices 0..active (round-robin assignment);
+        // idle cores keep 0 and would distort the imbalance summary.
+        for &c in &stats.core_cycles[..active] {
             obs.histogram(Phase::CpuSim, "core_cycles", c as f64);
         }
     }
@@ -132,29 +161,40 @@ pub fn simulate_cpu_observed(
     stats
 }
 
-fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
-    let mut stats = CpuSimStats::default();
-    let n_cores = config.n_cores.max(1) as usize;
-    // Banked memory system: per-core L2 slice + even DRAM bandwidth share,
-    // so per-core clocks stay independent (see threadfuser-simtsim).
-    let mut banked = config.hierarchy;
-    banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
-    banked.dram.cycles_per_transaction =
-        banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
-    let mut hierarchies: Vec<Hierarchy> = (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
-    let mut core_cycles = vec![0u64; n_cores];
-    let mut l1s: Vec<Cache> = (0..n_cores).map(|_| Cache::new(config.l1)).collect();
+fn effective_workers(workers: usize, active_cores: usize) -> usize {
+    resolve_workers(workers).min(active_cores.max(1))
+}
 
-    for (i, t) in traces.threads().iter().enumerate() {
-        let core = i % n_cores;
-        let l1 = &mut l1s[core];
-        let hierarchy = &mut hierarchies[core];
-        let mut cycle = core_cycles[core];
+/// One core's contribution to the machine stats; summed in core order.
+#[derive(Default)]
+struct CorePartial {
+    cycle: u64,
+    insts: u64,
+    mem_stall_cycles: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    dram_accesses: u64,
+}
+
+/// Replays the threads assigned to one core (in round-robin arrival
+/// order) against its private L1 and banked L2/DRAM slice.
+fn simulate_core(
+    traces: &TraceSet,
+    config: &CpuSimConfig,
+    banked: HierarchyConfig,
+    core: usize,
+    n_cores: usize,
+) -> CorePartial {
+    let mut part = CorePartial::default();
+    let mut l1 = Cache::new(config.l1);
+    let mut hierarchy = Hierarchy::new(banked);
+    let mut cycle = 0u64;
+    for t in traces.threads().iter().skip(core).step_by(n_cores) {
         for e in t.iter_events() {
             match e {
                 TraceEvent::Block { n_insts, .. } => {
                     cycle += n_insts as u64;
-                    stats.insts += n_insts as u64;
+                    part.insts += n_insts as u64;
                 }
                 TraceEvent::Mem { addr, is_store, .. } => {
                     let access = l1.access(addr, is_store);
@@ -163,7 +203,7 @@ fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
                     } else if !is_store {
                         // Loads stall the in-order pipeline.
                         let (done, _) = hierarchy.access(cycle, addr, is_store);
-                        stats.mem_stall_cycles += done.saturating_sub(cycle);
+                        part.mem_stall_cycles += done.saturating_sub(cycle);
                         cycle = done;
                     } else {
                         // Store misses consume bandwidth but retire.
@@ -182,21 +222,71 @@ fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
         if config.include_skipped {
             let skipped = t.skipped_io + t.skipped_spin;
             cycle += skipped;
-            stats.insts += skipped;
+            part.insts += skipped;
         }
-        core_cycles[core] = cycle;
     }
+    part.cycle = cycle;
+    let cs = l1.stats();
+    part.l1_hits = cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
+    part.l1_misses = cs.read_misses + cs.write_misses;
+    part.dram_accesses = hierarchy.stats().dram_accesses;
+    part
+}
 
-    for l1 in &l1s {
-        let cs = l1.stats();
-        stats.l1_hits += cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
-        stats.l1_misses += cs.read_misses + cs.write_misses;
+fn simulate_cpu_impl(traces: &TraceSet, config: &CpuSimConfig) -> CpuSimStats {
+    let n_cores = config.n_cores.max(1) as usize;
+    // Banked memory system: per-core L2 slice + even DRAM bandwidth share,
+    // so per-core clocks stay independent (see threadfuser-simtsim). The
+    // bank geometry derives from the full socket width even when fewer
+    // cores are populated.
+    let mut banked = config.hierarchy;
+    banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
+    banked.dram.cycles_per_transaction =
+        banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
+
+    // Threads are distributed round-robin: thread i runs on core
+    // i % n_cores. Only cores with assigned threads are constructed.
+    let active = n_cores.min(traces.threads().len());
+    let workers = effective_workers(config.workers, active);
+    let partials: Vec<CorePartial> = if workers <= 1 {
+        (0..active).map(|c| simulate_core(traces, config, banked, c, n_cores)).collect()
+    } else {
+        // Work-stealing fan-out over cores; ordered merge below keeps
+        // the stats bit-identical to the sequential walk.
+        let next = AtomicUsize::new(0);
+        let mut claimed: Vec<(usize, CorePartial)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= active {
+                                return local;
+                            }
+                            local.push((c, simulate_core(traces, config, banked, c, n_cores)));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("cpu-sim worker panicked")).collect()
+        });
+        claimed.sort_unstable_by_key(|&(c, _)| c);
+        claimed.into_iter().map(|(_, p)| p).collect()
+    };
+
+    let mut stats = CpuSimStats { core_cycles: Vec::with_capacity(n_cores), ..Default::default() };
+    for p in &partials {
+        stats.core_cycles.push(p.cycle);
+        stats.insts += p.insts;
+        stats.mem_stall_cycles += p.mem_stall_cycles;
+        stats.l1_hits += p.l1_hits;
+        stats.l1_misses += p.l1_misses;
+        stats.dram_accesses += p.dram_accesses;
     }
-    for h in &hierarchies {
-        stats.dram_accesses += h.stats().dram_accesses;
-    }
-    stats.cycles = core_cycles.iter().copied().max().unwrap_or(0);
-    stats.core_cycles = core_cycles;
+    stats.core_cycles.resize(n_cores, 0); // idle cores keep 0 entries
+    stats.cycles = stats.core_cycles.iter().copied().max().unwrap_or(0);
     stats
 }
 
@@ -297,5 +387,28 @@ mod tests {
     fn empty_traces_zero_cycles() {
         let stats = simulate_cpu(&TraceSet::default(), &CpuSimConfig::default());
         assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn parallel_workers_are_bit_identical() {
+        let traces = traced(256, 32);
+        let mut seq = CpuSimConfig::default();
+        seq.workers = 1;
+        let base = simulate_cpu(&traces, &seq);
+        for workers in [2usize, 8] {
+            let mut par = seq.clone();
+            par.workers = workers;
+            assert_eq!(base, simulate_cpu(&traces, &par), "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn idle_cores_keep_zero_entries() {
+        // 4 threads on a 20-core socket: only four cores replay.
+        let traces = traced(4, 8);
+        let stats = simulate_cpu(&traces, &CpuSimConfig::default());
+        assert_eq!(stats.core_cycles.len(), 20);
+        assert!(stats.core_cycles[..4].iter().all(|&c| c > 0));
+        assert!(stats.core_cycles[4..].iter().all(|&c| c == 0));
     }
 }

@@ -230,6 +230,63 @@ impl InMemorySink {
         Some((count, sum, min, max))
     }
 
+    /// [`Self::counter_total`] restricted to events of `phase` — the
+    /// disambiguator for names like `workers` that several phases emit.
+    pub fn counter_total_for(&self, phase: Phase, name: &str) -> u64 {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                PhaseEvent::Counter { phase: p, name: n, value } if *p == phase && *n == name => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Largest single [`PhaseEvent::Counter`] value named `name` within
+    /// `phase`. Counters sum across emissions, which is wrong for
+    /// gauge-like readings such as `workers` when a phase runs more than
+    /// once in an observed window; the max recovers the reading.
+    pub fn counter_max_for(&self, phase: Phase, name: &str) -> u64 {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                PhaseEvent::Counter { phase: p, name: n, value } if *p == phase && *n == name => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// [`Self::histogram_summary`] restricted to events of `phase` — the
+    /// disambiguator for names like `core_cycles` that both simulator
+    /// phases emit.
+    pub fn histogram_summary_for(&self, phase: Phase, name: &str) -> Option<(u64, f64, f64, f64)> {
+        let events = self.events.lock().expect("sink poisoned");
+        let mut it = events.iter().filter_map(|e| match e {
+            PhaseEvent::Histogram { phase: p, name: n, value } if *p == phase && *n == name => {
+                Some(*value)
+            }
+            _ => None,
+        });
+        let first = it.next()?;
+        let (mut count, mut sum, mut min, mut max) = (1u64, first, first, first);
+        for v in it {
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some((count, sum, min, max))
+    }
+
     /// Drops all buffered events.
     pub fn clear(&self) {
         self.events.lock().expect("sink poisoned").clear();
@@ -473,6 +530,30 @@ mod tests {
         assert!((sum - 14.0).abs() < 1e-12);
         assert_eq!((min, max), (1.0, 9.0));
         assert!(sink.histogram_summary("absent").is_none());
+    }
+
+    #[test]
+    fn phase_filtered_helpers_disambiguate_shared_names() {
+        let sink = InMemorySink::new();
+        sink.record(&PhaseEvent::Counter { phase: Phase::SimtSim, name: "workers", value: 4 });
+        sink.record(&PhaseEvent::Counter { phase: Phase::CpuSim, name: "workers", value: 2 });
+        sink.record(&PhaseEvent::Histogram {
+            phase: Phase::SimtSim,
+            name: "core_cycles",
+            value: 10.0,
+        });
+        sink.record(&PhaseEvent::Histogram {
+            phase: Phase::CpuSim,
+            name: "core_cycles",
+            value: 3.0,
+        });
+        assert_eq!(sink.counter_total("workers"), 6);
+        assert_eq!(sink.counter_total_for(Phase::SimtSim, "workers"), 4);
+        assert_eq!(sink.counter_total_for(Phase::CpuSim, "workers"), 2);
+        let (count, sum, min, max) =
+            sink.histogram_summary_for(Phase::SimtSim, "core_cycles").unwrap();
+        assert_eq!((count, sum, min, max), (1, 10.0, 10.0, 10.0));
+        assert!(sink.histogram_summary_for(Phase::Lockstep, "core_cycles").is_none());
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //!
 //! The device comprises `n_cores` SIMT cores, each with a private L1 data
 //! cache and a greedy-then-oldest (GTO) or loose-round-robin (LRR) warp
-//! scheduler issuing one warp instruction per cycle, over a shared
+//! scheduler issuing one warp instruction per cycle, over a banked
 //! L2 + bandwidth-limited DRAM (from `threadfuser-mem`). Loads stall the
 //! issuing warp until the slowest of their coalesced 32-byte transactions
 //! returns; stores retire immediately but consume cache/DRAM bandwidth.
+//!
+//! ## Parallel simulation
+//!
+//! The memory system is banked by construction — each core owns a private
+//! L1, an L2 slice, and an even share of DRAM bandwidth — so per-core
+//! clocks never interact and cores are embarrassingly parallel. With
+//! [`SimtSimConfig::workers`] > 1 (or 0 = auto), cores are fanned across
+//! scoped worker threads through a work-stealing cursor and their stats
+//! merged in core order, producing **bit-identical** results to the
+//! sequential walk. Cores with no assigned warps are never constructed
+//! (no L1/L2-slice/DRAM state); their [`SimtSimStats::core_cycles`]
+//! entries remain `0`.
 //!
 //! ```
 //! use threadfuser_ir::{ProgramBuilder, Operand};
@@ -38,6 +50,9 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use threadfuser_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
 use threadfuser_tracegen::{MemOp, OpClass, WarpTraceSet};
 
@@ -68,8 +83,12 @@ pub struct SimtSimConfig {
     pub hierarchy: HierarchyConfig,
     /// Device clock in GHz (for wall-time/speedup conversion).
     pub clock_ghz: f64,
-    /// Simulation cycle budget (runaway guard).
+    /// Simulation cycle budget (runaway guard). When one core exhausts
+    /// it, the remaining cores abort instead of simulating on.
     pub max_cycles: u64,
+    /// Worker threads fanning the per-core simulation (0 = the host's
+    /// available parallelism). Results are bit-identical at any count.
+    pub workers: usize,
 }
 
 impl Default for SimtSimConfig {
@@ -83,12 +102,22 @@ impl Default for SimtSimConfig {
             hierarchy: HierarchyConfig::gpu_default(),
             clock_ghz: 1.5,
             max_cycles: 10_000_000_000,
+            workers: 0,
         }
     }
 }
 
+/// Resolves a `workers` knob: 0 means the host's available parallelism.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
 /// Device-level simulation results.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimtSimStats {
     /// Total device cycles (max over cores).
     pub cycles: u64,
@@ -108,9 +137,13 @@ pub struct SimtSimStats {
     pub l2_hits: u64,
     /// DRAM accesses.
     pub dram_accesses: u64,
-    /// Per-core finish cycles (diagnostics/load balance).
+    /// Per-core finish cycles (diagnostics/load balance), always
+    /// `n_cores` long: cores beyond the warp count are never simulated
+    /// (nor allocated) and keep their `0` entries.
     pub core_cycles: Vec<u64>,
-    /// Whether the cycle budget was exhausted before completion.
+    /// Whether the cycle budget was exhausted before completion. Stats
+    /// of a truncated run are best-effort: sibling cores abort as soon
+    /// as they observe the exhaustion.
     pub truncated: bool,
 }
 
@@ -128,28 +161,6 @@ impl SimtSimStats {
     pub fn seconds(&self, clock_ghz: f64) -> f64 {
         self.cycles as f64 / (clock_ghz * 1e9)
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WarpState {
-    Ready,
-    StalledUntil(u64),
-    Finished,
-}
-
-struct WarpCtx {
-    trace_idx: usize,
-    pos: usize,
-    state: WarpState,
-}
-
-struct Core {
-    resident: Vec<WarpCtx>,
-    waiting: Vec<usize>, // trace indices not yet resident (pop = FIFO)
-    l1: Cache,
-    cycle: u64,
-    last_issued: usize,
-    rr_pointer: usize,
 }
 
 fn alu_latency(op: OpClass) -> u64 {
@@ -170,7 +181,8 @@ pub fn simulate(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
 }
 
 /// [`simulate`] under a `simt-sim` span, reporting cycle / stall / cache
-/// counters and a per-core cycle histogram to `obs`.
+/// counters, the worker and active-core counts, and a per-core cycle
+/// histogram to `obs`.
 pub fn simulate_observed(
     traces: &WarpTraceSet,
     config: &SimtSimConfig,
@@ -180,6 +192,9 @@ pub fn simulate_observed(
     let span = obs.span(Phase::SimtSim);
     let stats = simulate_impl(traces, config);
     if obs.enabled() {
+        let active = (config.n_cores.max(1) as usize).min(traces.warps().len());
+        obs.counter(Phase::SimtSim, "workers", effective_workers(config.workers, active) as u64);
+        obs.counter(Phase::SimtSim, "active_cores", active as u64);
         obs.counter(Phase::SimtSim, "cycles", stats.cycles);
         obs.counter(Phase::SimtSim, "warp_insts", stats.warp_insts);
         obs.counter(Phase::SimtSim, "thread_insts", stats.thread_insts);
@@ -189,7 +204,9 @@ pub fn simulate_observed(
         obs.counter(Phase::SimtSim, "l1_misses", stats.l1_misses);
         obs.counter(Phase::SimtSim, "l2_hits", stats.l2_hits);
         obs.counter(Phase::SimtSim, "dram_accesses", stats.dram_accesses);
-        for &c in &stats.core_cycles {
+        // Active cores are indices 0..active (round-robin assignment);
+        // idle cores keep 0 and would distort the imbalance summary.
+        for &c in &stats.core_cycles[..active] {
             obs.histogram(Phase::SimtSim, "core_cycles", c as f64);
         }
     }
@@ -197,189 +214,369 @@ pub fn simulate_observed(
     stats
 }
 
+fn effective_workers(workers: usize, active_cores: usize) -> usize {
+    resolve_workers(workers).min(active_cores.max(1))
+}
+
+/// Everything one core contributes to the device stats; summed (in core
+/// order) into [`SimtSimStats`] after all cores finish.
+#[derive(Default)]
+struct CorePartial {
+    cycle: u64,
+    warp_insts: u64,
+    thread_insts: u64,
+    mem_stall_cycles: u64,
+    transactions: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    l2_hits: u64,
+    dram_accesses: u64,
+    truncated: bool,
+}
+
+impl CorePartial {
+    fn merge_into(&self, stats: &mut SimtSimStats) {
+        stats.core_cycles.push(self.cycle);
+        stats.warp_insts += self.warp_insts;
+        stats.thread_insts += self.thread_insts;
+        stats.mem_stall_cycles += self.mem_stall_cycles;
+        stats.transactions += self.transactions;
+        stats.l1_hits += self.l1_hits;
+        stats.l1_misses += self.l1_misses;
+        stats.l2_hits += self.l2_hits;
+        stats.dram_accesses += self.dram_accesses;
+        stats.truncated |= self.truncated;
+    }
+}
+
+/// A dense index set over resident-warp slots: one bit per slot, with
+/// first-set and cyclic-first-set queries. Replaces the O(resident)
+/// state scans of the warp picker with word-at-a-time probes.
+#[derive(Default)]
+struct ReadySet {
+    words: Vec<u64>,
+}
+
+impl ReadySet {
+    fn grow_to(&mut self, n_slots: usize) {
+        let words = n_slots.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Lowest set index.
+    fn first(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, w)| wi * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// First set index at or after `start`, wrapping within `0..n`.
+    fn first_cyclic(&self, start: usize, n: usize) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let start = start % n;
+        // Tail: bits in start's word at or after start.
+        let sw = start / 64;
+        let masked = self.words.get(sw).copied().unwrap_or(0) & (!0u64 << (start % 64));
+        if masked != 0 {
+            let idx = sw * 64 + masked.trailing_zeros() as usize;
+            if idx < n {
+                return Some(idx);
+            }
+        }
+        // Remaining words after start's word.
+        for (off, &w) in self.words.iter().enumerate().skip(sw + 1) {
+            if w != 0 {
+                let idx = off * 64 + w.trailing_zeros() as usize;
+                if idx < n {
+                    return Some(idx);
+                }
+            }
+        }
+        // Wrap: words before start's word plus the head of start's word.
+        for (off, &w) in self.words.iter().enumerate().take(sw) {
+            if w != 0 {
+                return Some(off * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        let head = self.words.get(sw).copied().unwrap_or(0) & !(!0u64 << (start % 64));
+        if head != 0 {
+            return Some(sw * 64 + head.trailing_zeros() as usize);
+        }
+        None
+    }
+}
+
+struct WarpCtx {
+    trace_idx: usize,
+    pos: usize,
+}
+
+/// How often an executing core polls the shared abort flag (set when a
+/// sibling exhausts the cycle budget).
+const ABORT_POLL_MASK: u64 = 0xFFF;
+
+/// Simulates one core against its private L1 and banked L2/DRAM slice.
+/// `core_warps` lists the warp-trace indices assigned to this core in
+/// arrival (FIFO) order.
+fn simulate_core(
+    traces: &WarpTraceSet,
+    config: &SimtSimConfig,
+    banked: HierarchyConfig,
+    core_warps: &[usize],
+    abort: &AtomicBool,
+) -> CorePartial {
+    let mut part = CorePartial::default();
+    let mut l1 = Cache::new(config.l1);
+    let mut hierarchy = Hierarchy::new(banked);
+    let mut waiting: VecDeque<usize> = core_warps.iter().copied().collect();
+    let mut resident: Vec<WarpCtx> = Vec::new();
+    let mut ready = ReadySet::default();
+    // Earliest-wake tracking: every stalled warp has exactly one entry
+    // (a warp re-stalls only after it woke and issued), so entries are
+    // never stale and idle stretches skip straight to the next wake.
+    let mut wake: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut live = 0usize;
+    let mut cycle = 0u64;
+    let mut last_issued = 0usize;
+    let mut rr_pointer = 0usize;
+    let mut scratch: Vec<u64> = Vec::with_capacity(64);
+    let mut iters = 0u64;
+
+    loop {
+        // Promote waiting warps into free residency slots.
+        while live < config.max_warps_per_core as usize {
+            match waiting.pop_front() {
+                Some(t) => {
+                    let slot = resident.len();
+                    resident.push(WarpCtx { trace_idx: t, pos: 0 });
+                    ready.grow_to(slot + 1);
+                    ready.insert(slot);
+                    live += 1;
+                }
+                None => break,
+            }
+        }
+        // Wake stalled warps whose completion time has passed.
+        while let Some(&Reverse((t, slot))) = wake.peek() {
+            if t <= cycle {
+                wake.pop();
+                ready.insert(slot);
+            } else {
+                break;
+            }
+        }
+        if live == 0 && waiting.is_empty() {
+            break;
+        }
+        if cycle >= config.max_cycles {
+            part.truncated = true;
+            abort.store(true, Ordering::Relaxed);
+            break;
+        }
+        iters += 1;
+        if iters & ABORT_POLL_MASK == 0 && abort.load(Ordering::Relaxed) {
+            // A sibling core exhausted the budget: stop simulating on.
+            break;
+        }
+
+        // Pick a warp.
+        let n = resident.len();
+        let picked = match config.scheduler {
+            Scheduler::Gto => {
+                if ready.contains(last_issued) {
+                    Some(last_issued)
+                } else {
+                    ready.first()
+                }
+            }
+            Scheduler::Lrr => ready.first_cyclic(rr_pointer, n),
+        };
+        let Some(widx) = picked else {
+            // Nothing ready: jump to the earliest wake-up.
+            match wake.peek() {
+                Some(&Reverse((t, _))) => cycle = t.max(cycle + 1),
+                None => cycle += 1,
+            }
+            continue;
+        };
+
+        // Issue one instruction from the chosen warp.
+        ready.remove(widx);
+        last_issued = widx;
+        rr_pointer = (widx + 1) % n.max(1);
+        let w = &mut resident[widx];
+        let trace = &traces.warps()[w.trace_idx];
+        let inst = &trace.insts[w.pos];
+        w.pos += 1;
+        part.warp_insts += 1;
+        part.thread_insts += inst.active as u64;
+        let finished = w.pos >= trace.insts.len();
+
+        match (&inst.op, &inst.mem) {
+            (OpClass::Load, Some(mem)) => {
+                let done = service_mem(
+                    mem,
+                    cycle,
+                    &mut l1,
+                    &mut hierarchy,
+                    config.l1_latency,
+                    &mut part,
+                    &mut scratch,
+                );
+                part.mem_stall_cycles += done.saturating_sub(cycle);
+                if !finished {
+                    wake.push(Reverse((done, widx)));
+                }
+            }
+            (OpClass::Store, Some(mem)) => {
+                // Write-through-style: traffic counted, no stall.
+                let _ = service_mem(
+                    mem,
+                    cycle,
+                    &mut l1,
+                    &mut hierarchy,
+                    config.l1_latency,
+                    &mut part,
+                    &mut scratch,
+                );
+                if !finished {
+                    wake.push(Reverse((cycle + 1, widx)));
+                }
+            }
+            (op, _) => {
+                if !finished {
+                    wake.push(Reverse((cycle + alu_latency(*op), widx)));
+                }
+            }
+        }
+        if finished {
+            live -= 1;
+        }
+        cycle += 1;
+    }
+
+    part.cycle = cycle;
+    let cs = l1.stats();
+    part.l1_hits = cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
+    part.l1_misses = cs.read_misses + cs.write_misses;
+    part.l2_hits = hierarchy.stats().l2_hits;
+    part.dram_accesses = hierarchy.stats().dram_accesses;
+    part
+}
+
 fn simulate_impl(traces: &WarpTraceSet, config: &SimtSimConfig) -> SimtSimStats {
-    let mut stats = SimtSimStats::default();
     let n_cores = config.n_cores.max(1) as usize;
     // Banked memory system: each core owns an L2 slice and an even share
     // of DRAM bandwidth. This keeps per-core clocks independent while
-    // preserving first-order bandwidth contention.
+    // preserving first-order bandwidth contention. The bank geometry is
+    // derived from the full device width even when fewer cores are
+    // populated, so a small trace set sees the same per-core shares.
     let mut banked = config.hierarchy;
     banked.l2.size_bytes = (banked.l2.size_bytes / n_cores as u64).max(64 * 1024);
     banked.dram.cycles_per_transaction =
         banked.dram.cycles_per_transaction.saturating_mul(n_cores as u64);
-    let mut hierarchies: Vec<Hierarchy> = (0..n_cores).map(|_| Hierarchy::new(banked)).collect();
 
     // Static assignment: warp w runs on core w % n_cores (CTA-style).
-    let mut cores: Vec<Core> = (0..n_cores)
-        .map(|_| Core {
-            resident: Vec::new(),
-            waiting: Vec::new(),
-            l1: Cache::new(config.l1),
-            cycle: 0,
-            last_issued: 0,
-            rr_pointer: 0,
-        })
-        .collect();
-    for (i, _w) in traces.warps().iter().enumerate() {
-        cores[i % n_cores].waiting.push(i);
-    }
-    for core in &mut cores {
-        core.waiting.reverse(); // pop() yields FIFO order
+    // Only cores with assigned warps are ever constructed — the default
+    // 46-core device allocates 2 cache hierarchies for a 2-warp set.
+    let n_warps = traces.warps().len();
+    let active = n_cores.min(n_warps);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); active];
+    for w in 0..n_warps {
+        assignment[w % n_cores].push(w);
     }
 
-    // Each core advances independently against its own memory bank.
-    for (core_idx, core) in cores.iter_mut().enumerate() {
-        let hierarchy = &mut hierarchies[core_idx];
-        loop {
-            // Promote waiting warps into free residency slots.
-            while core.resident.iter().filter(|w| w.state != WarpState::Finished).count()
-                < config.max_warps_per_core as usize
-            {
-                match core.waiting.pop() {
-                    Some(t) => core.resident.push(WarpCtx {
-                        trace_idx: t,
-                        pos: 0,
-                        state: WarpState::Ready,
-                    }),
-                    None => break,
-                }
-            }
-            // Wake stalled warps.
-            for w in &mut core.resident {
-                if let WarpState::StalledUntil(t) = w.state {
-                    if t <= core.cycle {
-                        w.state = WarpState::Ready;
-                    }
-                }
-            }
-            let any_live = core.resident.iter().any(|w| w.state != WarpState::Finished);
-            if !any_live && core.waiting.is_empty() {
-                break;
-            }
-            if core.cycle >= config.max_cycles {
-                stats.truncated = true;
-                break;
-            }
-
-            // Pick a warp.
-            let Some(widx) = pick_warp(core, config.scheduler) else {
-                // Nothing ready: jump to the earliest wake-up.
-                let next = core
-                    .resident
-                    .iter()
-                    .filter_map(|w| match w.state {
-                        WarpState::StalledUntil(t) => Some(t),
-                        _ => None,
+    let workers = effective_workers(config.workers, active);
+    let abort = AtomicBool::new(false);
+    let partials: Vec<CorePartial> = if workers <= 1 {
+        assignment.iter().map(|ws| simulate_core(traces, config, banked, ws, &abort)).collect()
+    } else {
+        // Work-stealing fan-out: per-core runtimes are uneven (warp
+        // counts and trace lengths differ), so workers claim cores off a
+        // shared cursor; the ordered merge below keeps results
+        // bit-identical to the sequential walk.
+        let next = AtomicUsize::new(0);
+        let assignment = &assignment;
+        let abort = &abort;
+        let mut claimed: Vec<(usize, CorePartial)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= assignment.len() {
+                                return local;
+                            }
+                            local.push((
+                                i,
+                                simulate_core(traces, config, banked, &assignment[i], abort),
+                            ));
+                        }
                     })
-                    .min();
-                match next {
-                    Some(t) => core.cycle = t.max(core.cycle + 1),
-                    None => core.cycle += 1,
-                }
-                continue;
-            };
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("simt-sim worker panicked")).collect()
+        });
+        claimed.sort_unstable_by_key(|&(i, _)| i);
+        claimed.into_iter().map(|(_, p)| p).collect()
+    };
 
-            // Issue one instruction from the chosen warp.
-            core.last_issued = widx;
-            core.rr_pointer = (widx + 1) % core.resident.len().max(1);
-            let w = &mut core.resident[widx];
-            let trace = &traces.warps()[w.trace_idx];
-            let inst = &trace.insts[w.pos];
-            w.pos += 1;
-            stats.warp_insts += 1;
-            stats.thread_insts += inst.active as u64;
-
-            match (&inst.op, &inst.mem) {
-                (OpClass::Load, Some(mem)) => {
-                    let done = service_mem(
-                        mem,
-                        core.cycle,
-                        &mut core.l1,
-                        hierarchy,
-                        config.l1_latency,
-                        &mut stats,
-                    );
-                    stats.mem_stall_cycles += done.saturating_sub(core.cycle);
-                    w.state = WarpState::StalledUntil(done);
-                }
-                (OpClass::Store, Some(mem)) => {
-                    // Write-through-style: traffic counted, no stall.
-                    let _ = service_mem(
-                        mem,
-                        core.cycle,
-                        &mut core.l1,
-                        hierarchy,
-                        config.l1_latency,
-                        &mut stats,
-                    );
-                    w.state = WarpState::StalledUntil(core.cycle + 1);
-                }
-                (op, _) => {
-                    w.state = WarpState::StalledUntil(core.cycle + alu_latency(*op));
-                }
-            }
-            if w.pos >= trace.insts.len() {
-                w.state = WarpState::Finished;
-            }
-            core.cycle += 1;
-        }
-        stats.core_cycles.push(core.cycle);
-        let cs = core.l1.stats();
-        stats.l1_hits += cs.read_accesses + cs.write_accesses - cs.read_misses - cs.write_misses;
-        stats.l1_misses += cs.read_misses + cs.write_misses;
+    let mut stats = SimtSimStats { core_cycles: Vec::with_capacity(n_cores), ..Default::default() };
+    for p in &partials {
+        p.merge_into(&mut stats);
     }
-
+    stats.core_cycles.resize(n_cores, 0); // idle cores keep 0 entries
     stats.cycles = stats.core_cycles.iter().copied().max().unwrap_or(0);
-    for h in &hierarchies {
-        stats.l2_hits += h.stats().l2_hits;
-        stats.dram_accesses += h.stats().dram_accesses;
-    }
     stats
-}
-
-fn pick_warp(core: &Core, scheduler: Scheduler) -> Option<usize> {
-    let n = core.resident.len();
-    if n == 0 {
-        return None;
-    }
-    let ready = |i: usize| core.resident[i].state == WarpState::Ready;
-    match scheduler {
-        Scheduler::Gto => {
-            if core.last_issued < n && ready(core.last_issued) {
-                return Some(core.last_issued);
-            }
-            (0..n).find(|&i| ready(i))
-        }
-        Scheduler::Lrr => (0..n).map(|off| (core.rr_pointer + off) % n).find(|&i| ready(i)),
-    }
 }
 
 /// Coalesces a warp memory operation into 32-byte transactions and runs
 /// each through L1 → L2 → DRAM; returns the completion cycle of the
-/// slowest transaction.
+/// slowest transaction. `lines` is a per-core scratch buffer reused
+/// across memory instructions (capacity retained, contents overwritten).
 fn service_mem(
     mem: &MemOp,
     now: u64,
     l1: &mut Cache,
     hierarchy: &mut Hierarchy,
     l1_latency: u64,
-    stats: &mut SimtSimStats,
+    part: &mut CorePartial,
+    lines: &mut Vec<u64>,
 ) -> u64 {
     let line = threadfuser_mem::TRANSACTION_BYTES;
-    let mut lines: Vec<u64> = mem
-        .accesses
-        .iter()
-        .flat_map(|&(a, s)| {
-            let first = a / line;
-            let last = (a + s.max(1) as u64 - 1) / line;
-            first..=last
-        })
-        .collect();
+    lines.clear();
+    for &(a, s) in &mem.accesses {
+        let first = a / line;
+        let last = (a + s.max(1) as u64 - 1) / line;
+        for l in first..=last {
+            lines.push(l);
+        }
+    }
     lines.sort_unstable();
     lines.dedup();
-    stats.transactions += lines.len() as u64;
+    part.transactions += lines.len() as u64;
     let mut done = now + 1;
-    for l in lines {
+    for &l in lines.iter() {
         let addr = l * line;
         let access = l1.access(addr, mem.is_store);
         let completion = if access.hit {
@@ -563,5 +760,46 @@ mod tests {
         let stats = simulate(&WarpTraceSet::default(), &SimtSimConfig::default());
         assert_eq!(stats.cycles, 0);
         assert_eq!(stats.warp_insts, 0);
+    }
+
+    #[test]
+    fn parallel_workers_are_bit_identical() {
+        for build in
+            [coalesced_kernel as fn(&mut ProgramBuilder) -> _, strided_kernel, compute_kernel]
+        {
+            let wt = warp_traces_for(build, 1024, 32);
+            for scheduler in [Scheduler::Gto, Scheduler::Lrr] {
+                let mut seq = SimtSimConfig::default();
+                seq.scheduler = scheduler;
+                seq.workers = 1;
+                let base = simulate(&wt, &seq);
+                for workers in [2usize, 8] {
+                    let mut par = seq.clone();
+                    par.workers = workers;
+                    assert_eq!(
+                        base,
+                        simulate(&wt, &par),
+                        "{scheduler:?} @ {workers} workers diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_cores_keep_zero_entries_without_allocation() {
+        // 64 threads / warp 32 = 2 warps on a 46-core device: only two
+        // cores simulate, the rest stay zero in core order.
+        let wt = warp_traces_for(coalesced_kernel, 64, 32);
+        let stats = simulate(&wt, &SimtSimConfig::default());
+        assert_eq!(stats.core_cycles.len(), 46);
+        assert!(stats.core_cycles[0] > 0 && stats.core_cycles[1] > 0);
+        assert!(stats.core_cycles[2..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn workers_zero_resolves_to_host_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
     }
 }

@@ -47,6 +47,11 @@ pub enum PipelineError {
     /// The SIMT simulation finished in zero cycles (e.g. an empty trace
     /// set), so a speedup ratio is undefined.
     ZeroCycleSimulation,
+    /// The SIMT simulation exhausted its cycle budget
+    /// (`SimtSimConfig::max_cycles`) before the traces completed. The
+    /// capped cycle counts are best-effort, so projecting a speedup from
+    /// them would silently understate GPU time; raise the budget instead.
+    TruncatedSimulation,
 }
 
 impl fmt::Display for PipelineError {
@@ -57,6 +62,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Lockstep(e) => write!(f, "lockstep: {e}"),
             PipelineError::ZeroCycleSimulation => {
                 write!(f, "SIMT simulation took zero cycles; speedup is undefined")
+            }
+            PipelineError::TruncatedSimulation => {
+                write!(
+                    f,
+                    "SIMT simulation hit its max_cycles budget; speedup from a \
+                     truncated simulation would be unsound"
+                )
             }
         }
     }
@@ -314,9 +326,10 @@ impl Pipeline {
     /// [`Self::trace`] + [`Traced::project_speedup`].
     ///
     /// # Errors
-    /// Propagates machine and analyzer errors, and
+    /// Propagates machine and analyzer errors,
     /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
-    /// does no work.
+    /// does no work, and [`PipelineError::TruncatedSimulation`] when it
+    /// exhausts its cycle budget.
     pub fn project_speedup(
         &self,
         simt: &SimtSimConfig,
@@ -335,6 +348,10 @@ fn run_lockstep_observed(
     let span = obs.span(Phase::Lockstep);
     let stats = machine.run()?;
     if obs.enabled() {
+        // Lock-step ground truth is inherently a single warp-synchronous
+        // machine; report the worker count anyway so phase summaries line
+        // up with the parallel simulator phases.
+        obs.counter(Phase::Lockstep, "workers", 1);
         obs.counter(Phase::Lockstep, "issues", stats.issues);
         obs.counter(Phase::Lockstep, "thread_insts", stats.thread_insts);
         obs.counter(Phase::Lockstep, "heap_transactions", stats.heap.transactions);
@@ -354,9 +371,30 @@ fn project_speedup_impl(
     cpu: &CpuSimConfig,
 ) -> Result<SpeedupProjection, PipelineError> {
     let obs = &analyzer.obs;
+    // The pipeline's parallelism knob governs the whole projection: a
+    // simulator config left at `workers: 0` (auto) inherits the analyzer
+    // worker count instead of re-deriving host parallelism, so
+    // `Pipeline::parallelism(1)` really does mean a sequential backend.
+    let simt = {
+        let mut c = simt.clone();
+        if c.workers == 0 {
+            c.workers = analyzer.parallelism.max(1);
+        }
+        c
+    };
+    let cpu = {
+        let mut c = cpu.clone();
+        if c.workers == 0 {
+            c.workers = analyzer.parallelism.max(1);
+        }
+        c
+    };
     let wt = generate_warp_traces_indexed(program, traces, index, analyzer)?;
-    let gpu_stats = simulate_observed(&wt, simt, obs);
-    let cpu_stats = simulate_cpu_observed(traces, cpu, obs);
+    let gpu_stats = simulate_observed(&wt, &simt, obs);
+    if gpu_stats.truncated {
+        return Err(PipelineError::TruncatedSimulation);
+    }
+    let cpu_stats = simulate_cpu_observed(traces, &cpu, obs);
     let gpu_s = gpu_stats.seconds(simt.clock_ghz);
     let cpu_s = cpu_stats.seconds(cpu.clock_ghz);
     if gpu_s <= 0.0 {
@@ -505,9 +543,11 @@ impl Traced {
     /// execution from this capture.
     ///
     /// # Errors
-    /// Propagates analyzer errors, and
+    /// Propagates analyzer errors,
     /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
-    /// finishes in zero cycles (a speedup ratio would be meaningless).
+    /// finishes in zero cycles (a speedup ratio would be meaningless),
+    /// and [`PipelineError::TruncatedSimulation`] when it exhausts its
+    /// cycle budget.
     pub fn project_speedup(
         &self,
         simt: &SimtSimConfig,
@@ -633,9 +673,11 @@ impl TracedView<'_> {
     /// Projects the SIMT-over-CPU speedup under this view's configuration.
     ///
     /// # Errors
-    /// Propagates analyzer errors, and
+    /// Propagates analyzer errors,
     /// [`PipelineError::ZeroCycleSimulation`] when the device simulation
-    /// finishes in zero cycles.
+    /// finishes in zero cycles, and
+    /// [`PipelineError::TruncatedSimulation`] when it exhausts its cycle
+    /// budget.
     pub fn project_speedup(
         &self,
         simt: &SimtSimConfig,

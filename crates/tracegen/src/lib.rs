@@ -15,6 +15,12 @@
 //! * **memory-space mapping**: stack-segment accesses become SIMT *local*
 //!   space, everything else *global* space.
 //!
+//! Generation is parallel: each warp decomposes into its own private
+//! sink while the underlying lock-step emulation fans warps across
+//! `AnalyzerConfig::parallelism` workers, and the per-warp streams are
+//! merged in warp order — the produced [`WarpTraceSet`] is bit-identical
+//! at any worker count.
+//!
 //! ```
 //! use threadfuser_ir::{ProgramBuilder, Operand};
 //! use threadfuser_machine::MachineConfig;
@@ -38,7 +44,8 @@
 
 use serde::{Deserialize, Serialize};
 use threadfuser_analyzer::{
-    analyze_indexed_with_sink, AnalysisIndex, AnalyzeError, AnalyzerConfig, BlockStep, StepSink,
+    analyze_indexed_with_warp_sinks, AnalysisIndex, AnalyzeError, AnalyzerConfig, BlockStep,
+    StepSink,
 };
 use threadfuser_ir::{Inst, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
@@ -136,21 +143,14 @@ impl WarpTraceSet {
     }
 }
 
-struct Generator<'p> {
+/// Per-warp step sink: receives exactly one warp's lock-step blocks (in
+/// emulation order) and decomposes them into that warp's micro-op stream.
+/// One sink per warp is what lets `analyze_indexed_with_warp_sinks` fan
+/// the emulation across workers while the merged trace stays bit-identical
+/// to a sequential run.
+struct WarpGen<'p> {
     program: &'p Program,
-    warp_size: u32,
-    warps: Vec<WarpTrace>,
-}
-
-impl Generator<'_> {
-    fn warp_mut(&mut self, warp: u32) -> &mut WarpTrace {
-        let idx = warp as usize;
-        while self.warps.len() <= idx {
-            let w = self.warps.len() as u32;
-            self.warps.push(WarpTrace { warp: w, insts: Vec::new() });
-        }
-        &mut self.warps[idx]
-    }
+    insts: Vec<WarpInst>,
 }
 
 fn space_of(accesses: &[(u64, u32)]) -> MemSpace {
@@ -163,14 +163,14 @@ fn space_of(accesses: &[(u64, u32)]) -> MemSpace {
     }
 }
 
-impl StepSink for Generator<'_> {
+impl StepSink for WarpGen<'_> {
     fn on_step(&mut self, step: &BlockStep<'_>) {
         let func = self.program.function(step.func);
         let block = func.block(step.block);
         let base_pc = ((step.func.0 as u64) << 24) | ((step.block.0 as u64) << 8);
         let mask = step.mask;
         let active = step.active;
-        let mut out: Vec<WarpInst> = Vec::with_capacity(block.insts.len() + 2);
+        let out = &mut self.insts;
         let mut slot = 0u64;
         let push = |op: OpClass, mem: Option<MemOp>, out: &mut Vec<WarpInst>, slot: &mut u64| {
             out.push(WarpInst { pc: base_pc | *slot, op, mask, active, mem });
@@ -186,7 +186,7 @@ impl StepSink for Generator<'_> {
                 push(
                     OpClass::Load,
                     Some(MemOp { space, is_store: false, accesses: acc }),
-                    &mut out,
+                    out,
                     &mut slot,
                 );
             }
@@ -197,12 +197,12 @@ impl StepSink for Generator<'_> {
                         threadfuser_ir::AluOp::Div | threadfuser_ir::AluOp::Rem => OpClass::IntDiv,
                         _ => OpClass::IntAlu,
                     };
-                    push(class, None, &mut out, &mut slot);
+                    push(class, None, out, &mut slot);
                 }
                 Inst::Mov { src, .. } => {
                     // A pure load decomposes to just the Load micro-op.
                     if src.mem().is_none() {
-                        push(OpClass::IntAlu, None, &mut out, &mut slot);
+                        push(OpClass::IntAlu, None, out, &mut slot);
                     }
                 }
                 Inst::Store { .. } => {
@@ -211,15 +211,15 @@ impl StepSink for Generator<'_> {
                     push(
                         OpClass::Store,
                         Some(MemOp { space, is_store: true, accesses: acc }),
-                        &mut out,
+                        out,
                         &mut slot,
                     );
                 }
-                Inst::Lea { .. } => push(OpClass::IntAlu, None, &mut out, &mut slot),
+                Inst::Lea { .. } => push(OpClass::IntAlu, None, out, &mut slot),
                 Inst::Alloc { .. } | Inst::Free { .. } => {
-                    push(OpClass::Alloc, None, &mut out, &mut slot);
+                    push(OpClass::Alloc, None, out, &mut slot);
                 }
-                Inst::Io { .. } | Inst::Nop => push(OpClass::IntAlu, None, &mut out, &mut slot),
+                Inst::Io { .. } | Inst::Nop => push(OpClass::IntAlu, None, out, &mut slot),
             }
         }
 
@@ -231,7 +231,7 @@ impl StepSink for Generator<'_> {
             push(
                 OpClass::Load,
                 Some(MemOp { space, is_store: false, accesses: acc }),
-                &mut out,
+                out,
                 &mut slot,
             );
         }
@@ -244,9 +244,7 @@ impl StepSink for Generator<'_> {
             | Terminator::Release { .. }
             | Terminator::Barrier { .. } => OpClass::Sync,
         };
-        push(term_class, None, &mut out, &mut slot);
-
-        self.warp_mut(step.warp).insts.extend(out);
+        push(term_class, None, out, &mut slot);
     }
 }
 
@@ -282,9 +280,24 @@ pub fn generate_warp_traces_indexed(
     config: &AnalyzerConfig,
 ) -> Result<WarpTraceSet, AnalyzeError> {
     let span = config.obs.span(threadfuser_obs::Phase::Coalesce);
-    let mut generator = Generator { program, warp_size: config.warp_size, warps: Vec::new() };
-    analyze_indexed_with_sink(program, traces, index, config, &mut generator)?;
-    let set = WarpTraceSet { warp_size: generator.warp_size, warps: generator.warps };
+    // One private sink per warp: generation fans across the analyzer's
+    // worker pool ([`AnalyzerConfig::parallelism`]) and the sinks come
+    // back in warp order, so the concatenation below is bit-identical to
+    // a sequential run at any worker count.
+    let (_, sinks) = analyze_indexed_with_warp_sinks(program, traces, index, config, |_| {
+        WarpGen { program, insts: Vec::new() }
+    })?;
+    let mut warps: Vec<WarpTrace> = sinks
+        .into_iter()
+        .enumerate()
+        .map(|(w, g)| WarpTrace { warp: w as u32, insts: g.insts })
+        .collect();
+    // The pre-parallel generator grew its warp list lazily, so warps past
+    // the last one that ever stepped were absent; keep that shape.
+    while warps.last().is_some_and(|w| w.insts.is_empty()) {
+        warps.pop();
+    }
+    let set = WarpTraceSet { warp_size: config.warp_size, warps };
     if config.obs.enabled() {
         let obs = &config.obs;
         obs.counter(threadfuser_obs::Phase::Coalesce, "warp_insts", set.total_insts());

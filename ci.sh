@@ -19,6 +19,13 @@ cargo fmt --check
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> fuzz_trace (corpus + random-bytes never-panic gate)"
+# Fails when any corpus expectation is violated (valid files must decode
+# and round-trip, invalid ones must return Err under strict validation),
+# when any input panics the decoder, or when a workload capture fails
+# decode(encode(t)) == t.
+cargo run --release -q -p threadfuser-bench --bin fuzz_trace -- --check
+
 echo "==> perf_pipeline smoke"
 TF_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_pipeline.json" \
     cargo run --release -p threadfuser-bench --bin perf_pipeline

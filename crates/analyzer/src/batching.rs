@@ -34,16 +34,16 @@ impl BatchPolicy {
         let order: Vec<u32> = match self {
             BatchPolicy::Linear => (0..n_threads).collect(),
             BatchPolicy::Strided => {
+                // Each stride group IS a warp. Flattening the groups and
+                // re-chunking (like the other policies) would misalign warp
+                // boundaries with group boundaries whenever `n_threads` is
+                // not a multiple of `warp_size`. Every group fits:
+                // ceil(n / n_warps) <= warp_size because
+                // n_warps = ceil(n / warp_size).
                 let n_warps = n_threads.div_ceil(warp_size).max(1);
-                let mut v = Vec::with_capacity(n_threads as usize);
-                for w in 0..n_warps {
-                    let mut t = w;
-                    while t < n_threads {
-                        v.push(t);
-                        t += n_warps;
-                    }
-                }
-                v
+                return (0..n_warps.min(n_threads))
+                    .map(|w| (w..n_threads).step_by(n_warps as usize).collect())
+                    .collect();
             }
             BatchPolicy::Shuffled { seed } => {
                 let mut v: Vec<u32> = (0..n_threads).collect();
@@ -83,6 +83,18 @@ mod tests {
     }
 
     #[test]
+    fn strided_batching_keeps_stride_groups_on_warp_boundaries() {
+        // Regression: with n not a multiple of w, re-chunking the flattened
+        // stride order used to yield warps like [1, 4, 7, 2] that straddle
+        // two stride groups. Warp w must take exactly w, w+s, w+2s, ….
+        let warps = BatchPolicy::Strided.batch(10, 4);
+        assert_eq!(warps, vec![vec![0, 3, 6, 9], vec![1, 4, 7], vec![2, 5, 8]]);
+        // Fewer threads than a warp: a single stride-1 group.
+        let warps = BatchPolicy::Strided.batch(3, 8);
+        assert_eq!(warps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
     fn shuffled_is_deterministic_per_seed() {
         let a = BatchPolicy::Shuffled { seed: 7 }.batch(32, 8);
         let b = BatchPolicy::Shuffled { seed: 7 }.batch(32, 8);
@@ -107,6 +119,17 @@ mod tests {
                 for warp in &warps {
                     prop_assert!(warp.len() <= w as usize);
                     prop_assert!(!warp.is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn strided_warps_are_exactly_the_stride_groups(n in 1u32..200, w in 1u32..64) {
+            let warps = BatchPolicy::Strided.batch(n, w);
+            let s = warps.len() as u32;
+            for (wi, warp) in warps.iter().enumerate() {
+                for (k, &t) in warp.iter().enumerate() {
+                    prop_assert_eq!(t, wi as u32 + k as u32 * s, "warp {} of stride {}", wi, s);
                 }
             }
         }

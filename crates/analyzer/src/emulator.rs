@@ -1048,7 +1048,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             // ---- execute block ------------------------------------------
             self.exec_block(top)?;
             if self.report.issues > self.config.max_issues_per_warp {
-                return Err(AnalyzeError::IssueBudget);
+                return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
             }
 
             // ---- terminator ---------------------------------------------

@@ -104,7 +104,30 @@ pub enum AnalyzeError {
         detail: String,
     },
     /// A warp exceeded the configured issue budget.
-    IssueBudget,
+    IssueBudget {
+        /// Offending warp.
+        warp: u32,
+    },
+}
+
+impl AnalyzeError {
+    /// The thread the failure is attributed to, when there is one.
+    pub fn thread(&self) -> Option<u32> {
+        match self {
+            AnalyzeError::MalformedTrace { tid, .. } | AnalyzeError::Desync { tid, .. } => {
+                Some(*tid)
+            }
+            AnalyzeError::IssueBudget { .. } => None,
+        }
+    }
+
+    /// The warp the failure is attributed to, when there is one.
+    pub fn warp(&self) -> Option<u32> {
+        match self {
+            AnalyzeError::IssueBudget { warp } => Some(*warp),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AnalyzeError {
@@ -116,7 +139,9 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::Desync { tid, detail } => {
                 write!(f, "emulation desynchronized on thread {tid}: {detail}")
             }
-            AnalyzeError::IssueBudget => write!(f, "per-warp issue budget exceeded"),
+            AnalyzeError::IssueBudget { warp } => {
+                write!(f, "warp {warp} exceeded its issue budget")
+            }
         }
     }
 }

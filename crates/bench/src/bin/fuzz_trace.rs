@@ -1,0 +1,505 @@
+//! Fault-injection harness for the hardened trace-ingestion path.
+//!
+//! The decoder's contract (see `DESIGN.md`, "Trace-file format contract")
+//! is that `decode` never panics and never allocates beyond its
+//! `DecodeLimits`, whatever bytes arrive. This binary proves it two ways:
+//!
+//! * a **checked-in corrupt-trace corpus** under `tests/corpus/` —
+//!   truncations, bit-flips, length-field inflation, tag garbage,
+//!   undefined size/flag bytes, non-monotone prefix sums, and
+//!   overflow-bait addresses near `u64::MAX` — regenerated
+//!   deterministically with `--gen`;
+//! * **pseudo-random byte strings** (a deterministic xorshift stream,
+//!   some prefixed with a valid magic+version so the fuzz reaches past the
+//!   header check), decoded under `catch_unwind`.
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin fuzz_trace -- --gen
+//! cargo run --release -p threadfuser-bench --bin fuzz_trace -- --check [--cases N]
+//! ```
+//!
+//! `--check` (the ci.sh gate) walks the corpus — `valid/` must decode and
+//! round-trip, `invalid/` must return `Err` under strict validation, and
+//! `fuzz/` merely must not panic — then throws `N` (default 4096) random
+//! buffers at the decoder, and finally asserts `decode(encode(t)) == t`
+//! for freshly captured workload traces. Any panic or violated
+//! expectation exits nonzero.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use threadfuser::ir::{BlockAddr, BlockId, FuncId, OptLevel};
+use threadfuser::mem::coalesce_transactions;
+use threadfuser::tracer::{
+    decode, decode_with, encode, DecodeOptions, ThreadTrace, TraceEvent, TraceSet, ValidationPolicy,
+};
+use threadfuser::workloads::by_name;
+use threadfuser::Pipeline;
+
+/// Workloads whose captures seed the corpus and the round-trip check.
+const WORKLOADS: &[&str] = &["vectoradd", "bfs", "pigz"];
+const DEFAULT_CASES: usize = 4096;
+
+fn corpus_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Deterministic xorshift64* stream — the corpus must be reproducible, so
+/// no OS entropy anywhere in this binary.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn fill(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next() as u8).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generation
+// ---------------------------------------------------------------------------
+
+/// A small canonical capture, built by hand so corpus bytes do not depend
+/// on workload internals.
+fn synthetic_set() -> TraceSet {
+    let mut threads = Vec::new();
+    for tid in 0..4u32 {
+        let mut t = ThreadTrace::from_events(
+            tid,
+            [
+                TraceEvent::Block { addr: BlockAddr::new(FuncId(0), BlockId(0)), n_insts: 3 },
+                TraceEvent::Mem { inst_idx: 0, addr: 0x40 * tid as u64, size: 8, is_store: false },
+                TraceEvent::Mem { inst_idx: 1, addr: 0x1000, size: 4, is_store: true },
+                TraceEvent::Call { callee: FuncId(1) },
+                TraceEvent::Block { addr: BlockAddr::new(FuncId(1), BlockId(0)), n_insts: 2 },
+                TraceEvent::Ret,
+                TraceEvent::Acquire { lock: 0xbeef },
+                TraceEvent::Release { lock: 0xbeef },
+                TraceEvent::Barrier { id: 1 },
+            ],
+        );
+        t.skipped_io = 7;
+        t.excluded_insts = tid as u64;
+        threads.push(t);
+    }
+    TraceSet::new(threads)
+}
+
+/// A valid capture whose addresses sit at the very top of the address
+/// space: decoding must succeed AND downstream coalescing must not
+/// overflow (the `coalesce_transactions_with` wrap bug this PR fixes).
+fn overflow_bait_set() -> TraceSet {
+    let t = ThreadTrace::from_events(
+        0,
+        [
+            TraceEvent::Block { addr: BlockAddr::new(FuncId(0), BlockId(0)), n_insts: 4 },
+            TraceEvent::Mem { inst_idx: 0, addr: u64::MAX, size: 8, is_store: true },
+            TraceEvent::Mem { inst_idx: 1, addr: u64::MAX - 7, size: 8, is_store: false },
+            TraceEvent::Mem { inst_idx: 2, addr: u64::MAX - 33, size: 8, is_store: false },
+            TraceEvent::Ret,
+        ],
+    );
+    TraceSet::new(vec![t])
+}
+
+/// Hand-writes the legacy v1 (tagged event stream) encoding of a trace
+/// set; the current `encode` only emits v2, but v1 files must keep
+/// decoding forever.
+fn encode_v1(set: &TraceSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"TFTR");
+    out.push(1);
+    out.extend_from_slice(&(set.threads().len() as u32).to_le_bytes());
+    for t in set.threads() {
+        out.extend_from_slice(&t.tid.to_le_bytes());
+        out.extend_from_slice(&t.skipped_io.to_le_bytes());
+        out.extend_from_slice(&t.skipped_spin.to_le_bytes());
+        out.extend_from_slice(&t.excluded_insts.to_le_bytes());
+        out.extend_from_slice(&(t.event_count() as u64).to_le_bytes());
+        for e in t.iter_events() {
+            match e {
+                TraceEvent::Block { addr, n_insts } => {
+                    out.push(0);
+                    out.extend_from_slice(&addr.func.0.to_le_bytes());
+                    out.extend_from_slice(&addr.block.0.to_le_bytes());
+                    out.extend_from_slice(&n_insts.to_le_bytes());
+                }
+                TraceEvent::Mem { inst_idx, addr, size, is_store } => {
+                    out.push(1);
+                    out.extend_from_slice(&inst_idx.to_le_bytes());
+                    out.extend_from_slice(&addr.to_le_bytes());
+                    out.push(size);
+                    out.push(is_store as u8);
+                }
+                TraceEvent::Call { callee } => {
+                    out.push(2);
+                    out.extend_from_slice(&callee.0.to_le_bytes());
+                }
+                TraceEvent::Ret => out.push(3),
+                TraceEvent::Acquire { lock } => {
+                    out.push(4);
+                    out.extend_from_slice(&lock.to_le_bytes());
+                }
+                TraceEvent::Release { lock } => {
+                    out.push(5);
+                    out.extend_from_slice(&lock.to_le_bytes());
+                }
+                TraceEvent::Barrier { id } => {
+                    out.push(6);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Overwrites the 4 bytes at `off` with `v` (little-endian).
+fn patch_u32(bytes: &mut [u8], off: usize, v: u32) {
+    bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write(dir: &Path, name: &str, bytes: &[u8]) {
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  {} ({} bytes)", path.display(), bytes.len());
+}
+
+fn generate(root: &Path) {
+    let valid = root.join("valid");
+    let invalid = root.join("invalid");
+    let fuzz = root.join("fuzz");
+    for d in [&valid, &invalid, &fuzz] {
+        std::fs::create_dir_all(d).unwrap_or_else(|e| panic!("mkdir {}: {e}", d.display()));
+    }
+
+    let set = synthetic_set();
+    let v2 = encode(&set).to_vec();
+    let v1 = encode_v1(&set);
+
+    // ---- valid ------------------------------------------------------------
+    write(&valid, "synthetic_v2.bin", &v2);
+    write(&valid, "synthetic_v1.bin", &v1);
+    write(&valid, "empty_v2.bin", &encode(&TraceSet::default()));
+    write(&valid, "overflow_bait_v2.bin", &encode(&overflow_bait_set()));
+    write(&valid, "overflow_bait_v1.bin", &encode_v1(&overflow_bait_set()));
+    let w = by_name("vectoradd").expect("vectoradd exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(16)
+        .opt_level(OptLevel::O1)
+        .trace()
+        .expect("trace vectoradd");
+    write(&valid, "vectoradd_t16_o1_v2.bin", &encode(traced.traces()));
+
+    // ---- invalid ----------------------------------------------------------
+    // Truncations: mid-header, mid-thread-header, mid-column, last byte.
+    for cut in [3usize, 7, 12, 30, v2.len() / 2, v2.len() - 1] {
+        write(&invalid, &format!("truncated_at_{cut}_v2.bin"), &v2[..cut.min(v2.len())]);
+    }
+    write(&invalid, "truncated_mid_event_v1.bin", &v1[..v1.len() - 3]);
+
+    // Header damage.
+    let mut b = v2.clone();
+    b[..4].copy_from_slice(b"NOPE");
+    write(&invalid, "bad_magic.bin", &b);
+    let mut b = v2.clone();
+    b[4] = 9;
+    write(&invalid, "bad_version.bin", &b);
+
+    // Length-field inflation: every count field lies upward. Offsets per
+    // the format contract: n_threads at 5; thread 0's n_blocks/n_mems/
+    // n_sides at 9+28 = 37/41/45; v1 n_events (u64) at 37.
+    let mut b = v2.clone();
+    patch_u32(&mut b, 5, u32::MAX);
+    write(&invalid, "inflated_n_threads_v2.bin", &b);
+    for (name, off) in [
+        ("inflated_n_blocks_v2.bin", 37),
+        ("inflated_n_mems_v2.bin", 41),
+        ("inflated_n_sides_v2.bin", 45),
+    ] {
+        let mut b = v2.clone();
+        patch_u32(&mut b, off, u32::MAX);
+        write(&invalid, name, &b);
+        let mut b = v2.clone();
+        // A value past the DecodeLimits ceiling but below u32::MAX: must
+        // be caught by the limit, not the byte budget.
+        patch_u32(&mut b, off, 1 << 27);
+        write(&invalid, &format!("limit_{name}"), &b);
+    }
+    let mut b = v1.clone();
+    b[37..45].copy_from_slice(&u64::MAX.to_le_bytes());
+    write(&invalid, "inflated_n_events_v1.bin", &b);
+
+    // Tag garbage: clobber the first v1 event tag / first v2 side tag.
+    let mut b = v1.clone();
+    b[45] = 200;
+    write(&invalid, "garbage_tag_v1.bin", &b);
+    let mut b = v2.clone();
+    let side_tag = find_first_side_tag_v2(&b);
+    b[side_tag] = 250;
+    write(&invalid, "garbage_side_tag_v2.bin", &b);
+
+    // Undefined size/flag bytes.
+    let mut b = v2.clone();
+    let size_byte = find_first_size_byte_v2(&b);
+    b[size_byte] = 0x00;
+    write(&invalid, "zero_mem_size_v2.bin", &b);
+    let mut b = v2.clone();
+    b[size_byte] = 0x83; // store bit + size 3
+    write(&invalid, "bad_mem_size_bits_v2.bin", &b);
+    let mut b = v1.clone();
+    // First v1 event after the block (tag 0, 13 bytes) is the mem event:
+    // tag at 58, is_store byte at 58 + 1 + 4 + 8 + 1 = 72.
+    b[72] = 2;
+    write(&invalid, "bad_store_flag_v1.bin", &b);
+
+    // Non-monotone prefix sums: thread 0 has 2 blocks; mem_end lives after
+    // block_addr (2×8) + block_n_insts (2×4) at 49+24 = 73. Swap order.
+    let mut b = v2.clone();
+    patch_u32(&mut b, 73, 2);
+    patch_u32(&mut b, 77, 0);
+    write(&invalid, "nonmonotone_mem_end_v2.bin", &b);
+
+    // Trailing garbage after a well-formed file.
+    let mut b = v2.clone();
+    b.extend_from_slice(b"junk");
+    write(&invalid, "trailing_bytes_v2.bin", &b);
+
+    // ---- fuzz (no-panic only; validity not asserted) -----------------------
+    let mut rng = XorShift(0x7F4A_7C15_9E37_79B9);
+    for (i, base) in [&v2, &v1].into_iter().enumerate() {
+        let version = if i == 0 { "v2" } else { "v1" };
+        for round in 0..8 {
+            let mut b = base.clone();
+            // 1–8 random bit flips anywhere in the file.
+            for _ in 0..=(rng.next() % 8) {
+                let bit = rng.next() as usize % (b.len() * 8);
+                b[bit / 8] ^= 1 << (bit % 8);
+            }
+            write(&fuzz, &format!("bitflip_{version}_{round}.bin"), &b);
+        }
+    }
+    for round in 0..4 {
+        let n = 16 + (rng.next() as usize % 256);
+        let mut b = b"TFTR\x02".to_vec();
+        b.extend_from_slice(&rng.fill(n));
+        write(&fuzz, &format!("random_body_v2_{round}.bin"), &b);
+    }
+}
+
+/// Byte offset of thread 0's first `mem_size_store` byte in a v2 file
+/// (9-byte file header + 28-byte thread header + 12 bytes of counts read
+/// already... computed from the counts instead of hardcoding).
+fn find_first_size_byte_v2(b: &[u8]) -> usize {
+    let n_blocks = u32::from_le_bytes(b[37..41].try_into().unwrap()) as usize;
+    let n_mems = u32::from_le_bytes(b[41..45].try_into().unwrap()) as usize;
+    // counts end at 49; blocks: addr 8n + n_insts 4n + mem_end 4n; mems:
+    // inst_idx 4n + addr 8n; then the size bytes.
+    49 + 16 * n_blocks + 12 * n_mems
+}
+
+/// Byte offset of thread 0's first side-event tag in a v2 file (right
+/// after its `side_after` u32).
+fn find_first_side_tag_v2(b: &[u8]) -> usize {
+    find_first_size_byte_v2(b)
+        + u32::from_le_bytes(b[41..45].try_into().unwrap()) as usize // the size bytes
+        + 4 // side_after[0]
+}
+
+// ---------------------------------------------------------------------------
+// Checking
+// ---------------------------------------------------------------------------
+
+struct Failures(Vec<String>);
+
+impl Failures {
+    fn fail(&mut self, msg: String) {
+        eprintln!("FAIL: {msg}");
+        self.0.push(msg);
+    }
+}
+
+/// Runs `f` trapping panics; any panic is itself a failed expectation.
+fn no_panic<T>(failures: &mut Failures, what: &str, f: impl FnOnce() -> T) -> Option<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(_) => {
+            failures.fail(format!("{what}: decoder panicked"));
+            None
+        }
+    }
+}
+
+fn decode_both_policies(bytes: &[u8]) -> (Result<TraceSet, String>, Result<usize, String>) {
+    let strict = decode(bytes).map_err(|e| e.to_string());
+    let skip = decode_with(
+        bytes,
+        &DecodeOptions { policy: ValidationPolicy::SkipBadThreads, ..DecodeOptions::default() },
+    )
+    .map(|d| d.quarantined.len())
+    .map_err(|e| e.to_string());
+    (strict, skip)
+}
+
+fn corpus_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run with --gen first?)", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus dir {}", dir.display());
+    files
+}
+
+fn check(root: &Path, cases: usize) -> Result<(), usize> {
+    let mut failures = Failures(Vec::new());
+    // The decoder must never panic; silence the default hook so expected
+    // catch_unwind probes don't spew backtraces while we test that.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut n_valid = 0;
+    for path in corpus_files(&root.join("valid")) {
+        n_valid += 1;
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let Some((strict, skip)) = no_panic(&mut failures, &name, || decode_both_policies(&bytes))
+        else {
+            continue;
+        };
+        match strict {
+            Ok(set) => {
+                // Valid files must round-trip bit-identically through the
+                // current encoder…
+                let re = decode(&encode(&set)).expect("re-decode own encoding");
+                if re != set {
+                    failures.fail(format!("{name}: decode(encode(t)) != t"));
+                }
+                // …and their contents must be safe for downstream
+                // arithmetic (the overflow-bait files exercise coalescing
+                // at the top of the address space).
+                no_panic(&mut failures, &format!("{name}: coalesce"), || {
+                    for t in set.threads() {
+                        let mems = t
+                            .iter_events()
+                            .filter_map(|e| match e {
+                                TraceEvent::Mem { addr, size, .. } => Some((addr, size as u32)),
+                                _ => None,
+                            })
+                            .collect::<Vec<_>>();
+                        coalesce_transactions(mems);
+                    }
+                });
+            }
+            Err(e) => failures.fail(format!("{name}: expected Ok, got {e}")),
+        }
+        if let Err(e) = skip {
+            failures.fail(format!("{name}: SkipBadThreads rejected a valid file: {e}"));
+        }
+    }
+
+    let mut n_invalid = 0;
+    for path in corpus_files(&root.join("invalid")) {
+        n_invalid += 1;
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let Some((strict, _skip)) = no_panic(&mut failures, &name, || decode_both_policies(&bytes))
+        else {
+            continue;
+        };
+        // Strict validation must reject every invalid file; SkipBadThreads
+        // may quarantine instead (already proven panic-free above).
+        if strict.is_ok() {
+            failures.fail(format!("{name}: strict decode accepted an invalid file"));
+        }
+    }
+
+    let mut n_fuzz = 0;
+    for path in corpus_files(&root.join("fuzz")) {
+        n_fuzz += 1;
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // Bit-flipped files may or may not decode; they only must not
+        // panic under either policy.
+        no_panic(&mut failures, &name, || decode_both_policies(&bytes));
+    }
+
+    // Pseudo-random buffers: raw, and with a valid header prefix so the
+    // stream reaches the per-thread parsers.
+    let mut rng = XorShift(0x1234_5678_9ABC_DEF0);
+    for i in 0..cases {
+        let n = rng.next() as usize % 384;
+        let body = rng.fill(n);
+        let buf = match i % 3 {
+            0 => body,
+            1 => [b"TFTR\x02".as_slice(), &body].concat(),
+            _ => [b"TFTR\x01".as_slice(), &body].concat(),
+        };
+        no_panic(&mut failures, &format!("random case {i}"), || decode_both_policies(&buf));
+    }
+
+    // Round-trip over real workload captures (the acceptance bar: decode
+    // (encode(t)) == t for all workload traces).
+    for name in WORKLOADS {
+        let w = by_name(name).expect("workload exists");
+        let traced = Pipeline::from_workload(&w)
+            .threads(64)
+            .trace()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let set = traced.traces();
+        match decode(&encode(set)) {
+            Ok(back) if &back == set => {}
+            Ok(_) => failures.fail(format!("{name}: round-trip changed the trace set")),
+            Err(e) => failures.fail(format!("{name}: round-trip decode failed: {e}")),
+        }
+    }
+
+    let _ = std::panic::take_hook();
+    println!(
+        "fuzz_trace: {n_valid} valid + {n_invalid} invalid + {n_fuzz} fuzz corpus files, \
+         {cases} random cases, {} workload round-trips: {}",
+        WORKLOADS.len(),
+        if failures.0.is_empty() { "all ok" } else { "FAILURES" }
+    );
+    if failures.0.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.0.len())
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = corpus_root();
+    match args.first().map(String::as_str) {
+        Some("--gen") => {
+            let dir = args.get(1).map(PathBuf::from).unwrap_or(root);
+            println!("generating corpus under {}", dir.display());
+            generate(&dir);
+        }
+        Some("--check") | None => {
+            let cases = match (args.iter().position(|a| a == "--cases"), args.len()) {
+                (Some(i), _) => args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--cases needs a number")),
+                _ => DEFAULT_CASES,
+            };
+            if let Err(n) = check(&root, cases) {
+                eprintln!("fuzz_trace --check failed: {n} violated expectations");
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("usage: fuzz_trace [--gen [DIR] | --check [--cases N]] (got {other})");
+            std::process::exit(2);
+        }
+    }
+}

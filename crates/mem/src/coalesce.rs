@@ -43,7 +43,10 @@ pub fn coalesce_transactions_with(
     for (addr, size) in accesses {
         debug_assert!(size > 0, "zero-sized access");
         let first = addr / TRANSACTION_BYTES;
-        let last = (addr + size as u64 - 1) / TRANSACTION_BYTES;
+        // Saturate: an access at the top of the address space must not
+        // wrap `addr + size - 1` around to line 0 (decoded traces can
+        // carry any u64 address); it is clamped to the last line instead.
+        let last = addr.saturating_add(size.saturating_sub(1) as u64) / TRANSACTION_BYTES;
         for line in first..=last {
             lines.push(line);
         }
@@ -100,10 +103,27 @@ mod tests {
         assert_eq!(coalesce_transactions(accesses), 32);
     }
 
+    #[test]
+    fn near_max_address_does_not_wrap() {
+        // An 8-byte access starting at u64::MAX would wrap addr+size-1 to
+        // line 0; saturating math keeps it on the last line instead of
+        // counting 2^59 phantom transactions (or debug-panicking).
+        assert_eq!(coalesce_transactions([(u64::MAX, 8u32)]), 1);
+        // Straddling the very last line boundary still counts both lines.
+        assert_eq!(coalesce_transactions([(u64::MAX - 32, 8u32)]), 2);
+        assert_eq!(coalesce_transactions([(u64::MAX - 7, 8u32)]), 1);
+    }
+
+    /// Addresses across the whole space, weighted toward the overflow-bait
+    /// top end where `addr + size` can exceed `u64::MAX`.
+    fn arb_addr() -> impl Strategy<Value = u64> {
+        prop_oneof![0u64..1 << 40, u64::MAX - 64..=u64::MAX]
+    }
+
     proptest! {
         #[test]
         fn at_least_one_per_nonempty_and_bounded(
-            addrs in proptest::collection::vec((0u64..1 << 40, 1u32..=8), 1..64)
+            addrs in proptest::collection::vec((arb_addr(), 1u32..=8), 1..64)
         ) {
             let n = coalesce_transactions(addrs.iter().copied());
             prop_assert!(n >= 1);

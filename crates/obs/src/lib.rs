@@ -55,6 +55,11 @@ pub enum Phase {
     /// executed/skipped instruction aggregates plus `trace_bytes` (columnar
     /// storage footprint) and a `trace_insts_per_sec` histogram.
     Trace,
+    /// Trace-file ingestion (binary decode + structural validation).
+    /// Carries the `decode_rejects` (corrupt threads or files detected)
+    /// and `quarantined_threads` (threads skipped under
+    /// `ValidationPolicy::SkipBadThreads`) counters.
+    Decode,
     /// Shared analysis-index construction (DCFG build + IPDOM solving +
     /// per-thread cursor metadata); wraps [`Phase::DcfgBuild`] and
     /// [`Phase::Ipdom`]. Carries the `index_misses` / `index_hits`
@@ -83,6 +88,7 @@ impl Phase {
             Phase::Optimize => "optimize",
             Phase::Predecode => "predecode",
             Phase::Trace => "trace",
+            Phase::Decode => "decode",
             Phase::IndexBuild => "index-build",
             Phase::DcfgBuild => "dcfg-build",
             Phase::Ipdom => "ipdom",

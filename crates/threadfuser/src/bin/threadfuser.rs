@@ -7,11 +7,20 @@
 //! threadfuser hardware <workload> [--threads N] [--warp N]
 //! threadfuser speedup <workload> [--threads N] [--cores N]
 //! threadfuser sweep <workload> [--threads N] [--opt O0..O3] [--json]
+//! threadfuser trace <workload> --out FILE [--threads N] [--opt O0..O3]
+//! threadfuser validate <file> [--workload NAME] [--opt O0..O3] [--skip-bad] [--json]
 //! ```
 //!
 //! `sweep` traces the workload once and re-analyzes it across warp sizes
 //! and batching policies through the shared analysis index (the warm-sweep
 //! idiom of `Traced::with_analyzer`).
+//!
+//! `trace` captures a workload and writes the binary trace file; `validate`
+//! decodes such a file under the hardened ingestion path (never panics,
+//! bounded allocation) and reports its structured verdict — with
+//! `--workload`, every function/block id is additionally checked against
+//! that program's shape, and with `--skip-bad`, corrupt threads are
+//! quarantined and reported instead of failing the file.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -20,6 +29,7 @@ use threadfuser::cpusim::CpuSimConfig;
 use threadfuser::ir::OptLevel;
 use threadfuser::obs::{JsonLinesSink, Obs};
 use threadfuser::simtsim::SimtSimConfig;
+use threadfuser::tracer::{decode_with, encode, DecodeOptions, ProgramShape, ValidationPolicy};
 use threadfuser::workloads::{all, by_name, Workload};
 use threadfuser::{Pipeline, TextTable};
 
@@ -32,6 +42,9 @@ struct Options {
     json: bool,
     cores: u32,
     obs_path: Option<String>,
+    out: Option<String>,
+    workload: Option<String>,
+    skip_bad: bool,
 }
 
 impl Default for Options {
@@ -45,6 +58,9 @@ impl Default for Options {
             json: false,
             cores: 16,
             obs_path: None,
+            out: None,
+            workload: None,
+            skip_bad: false,
         }
     }
 }
@@ -58,9 +74,13 @@ fn usage() -> ExitCode {
          functions <workload>      per-function breakdown (Fig. 7 style)\n  \
          hardware  <workload>      warp-native lock-step measurement\n  \
          speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n  \
-         sweep     <workload>      warp-size × batching sweep, traced once\n\n\
+         sweep     <workload>      warp-size × batching sweep, traced once\n  \
+         trace     <workload>      capture and write a binary trace file (--out FILE)\n  \
+         validate  <file>          check a trace file (never panics; --workload NAME\n                            \
+         also validates func/block ids, --skip-bad quarantines)\n\n\
          options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
          --batching linear|strided|shuffled --cores N --json\n         \
+         --out FILE --workload NAME --skip-bad\n         \
          --obs FILE   write per-phase metrics as JSON lines to FILE"
     );
     ExitCode::from(2)
@@ -94,7 +114,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--locks" => o.locks = true,
             "--json" => o.json = true,
+            "--skip-bad" => o.skip_bad = true,
             "--obs" => o.obs_path = Some(val()?),
+            "--out" => o.out = Some(val()?),
+            "--workload" => o.workload = Some(val()?),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -245,6 +268,102 @@ fn cmd_sweep(w: &Workload, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(w: &Workload, o: &Options) -> Result<(), String> {
+    let out = o.out.as_deref().ok_or("trace needs --out FILE")?;
+    let p = pipeline(w, o)?;
+    let traced = p.trace().map_err(|e| e.to_string())?;
+    p.obs().flush();
+    let bytes = encode(traced.traces());
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} threads ({} bytes) of {} at {} to {out}",
+        traced.traces().threads().len(),
+        bytes.len(),
+        w.meta.name,
+        o.opt
+    );
+    Ok(())
+}
+
+#[derive(serde::Serialize)]
+struct ValidateReport {
+    valid: bool,
+    threads: usize,
+    quarantined: Vec<QuarantineRow>,
+    error: Option<String>,
+}
+
+#[derive(serde::Serialize)]
+struct QuarantineRow {
+    index: u32,
+    tid: Option<u32>,
+    error: String,
+}
+
+/// Validates a trace file under the hardened decode path. Exit is
+/// `Ok(false)` — command ran, file invalid — when the file is rejected or
+/// any thread is quarantined.
+fn cmd_validate(path: &str, o: &Options) -> Result<bool, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut opts = DecodeOptions {
+        policy: if o.skip_bad {
+            ValidationPolicy::SkipBadThreads
+        } else {
+            ValidationPolicy::Strict
+        },
+        ..DecodeOptions::default()
+    };
+    if let Some(name) = &o.workload {
+        // The optimizer is deterministic: applying the same level yields
+        // the binary the trace was (claimed to be) captured from, so its
+        // shape bounds every func/block id in the file.
+        let w = resolve(name)?;
+        opts.shape = Some(ProgramShape::from_program(&o.opt.apply(&w.program)));
+    }
+    let report = match decode_with(&bytes, &opts) {
+        Ok(d) => ValidateReport {
+            valid: d.quarantined.is_empty(),
+            threads: d.traces.threads().len(),
+            quarantined: d
+                .quarantined
+                .iter()
+                .map(|q| QuarantineRow { index: q.index, tid: q.tid, error: q.error.to_string() })
+                .collect(),
+            error: None,
+        },
+        Err(e) => ValidateReport {
+            valid: false,
+            threads: 0,
+            quarantined: Vec::new(),
+            error: Some(e.to_string()),
+        },
+    };
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        return Ok(report.valid);
+    }
+    match &report.error {
+        Some(e) => println!("{path}: INVALID — {e}"),
+        None if report.valid => {
+            println!("{path}: ok ({} threads)", report.threads);
+        }
+        None => {
+            println!(
+                "{path}: {} threads ok, {} quarantined:",
+                report.threads,
+                report.quarantined.len()
+            );
+            for q in &report.quarantined {
+                match q.tid {
+                    Some(tid) => println!("  record {} (tid {}): {}", q.index, tid, q.error),
+                    None => println!("  record {}: {}", q.index, q.error),
+                }
+            }
+        }
+    }
+    Ok(report.valid)
+}
+
 fn cmd_speedup(w: &Workload, o: &Options) -> Result<(), String> {
     let simt = SimtSimConfig { n_cores: o.cores, ..SimtSimConfig::default() };
     let cpu = CpuSimConfig::default();
@@ -277,6 +396,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if cmd == "validate" {
+        // `validate` takes a file path, not a workload name.
+        return match cmd_validate(name, &opts) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let w = match resolve(name) {
         Ok(w) => w,
         Err(e) => {
@@ -290,6 +420,7 @@ fn main() -> ExitCode {
         "hardware" => cmd_hardware(&w, &opts),
         "speedup" => cmd_speedup(&w, &opts),
         "sweep" => cmd_sweep(&w, &opts),
+        "trace" => cmd_trace(&w, &opts),
         _ => return usage(),
     };
     match result {

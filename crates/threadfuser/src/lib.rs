@@ -91,4 +91,8 @@ pub mod prelude {
     pub use threadfuser_ir::OptLevel;
     pub use threadfuser_machine::{ExecEngine, ExecProgram};
     pub use threadfuser_obs::{InMemorySink, JsonLinesSink, Obs, Phase};
+    pub use threadfuser_tracer::{
+        decode, decode_observed, decode_with, encode, DecodeError, DecodeErrorKind, DecodeLimits,
+        DecodeOptions, Decoded, ProgramShape, Quarantined, ValidationPolicy,
+    };
 }

@@ -31,13 +31,21 @@ use threadfuser_machine::{
 use threadfuser_obs::{Obs, Phase};
 use threadfuser_simtsim::{simulate_observed, SimtSimConfig, SimtSimStats};
 use threadfuser_tracegen::{generate_warp_traces_indexed, WarpTraceSet};
-use threadfuser_tracer::{trace_program_observed, TraceSet};
+use threadfuser_tracer::{trace_program_observed, DecodeError, TraceSet};
 use threadfuser_workloads::Workload;
 
 /// Any error the pipeline can surface.
+///
+/// Every variant carries enough context to locate the failure:
+/// [`PipelineError::phase`] names the pipeline stage, and
+/// [`PipelineError::thread`] / [`PipelineError::warp`] expose the
+/// offending thread or warp when the underlying error attributes one.
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
+    /// Decoding a binary trace file failed (or a thread was rejected
+    /// under strict validation).
+    Decode(DecodeError),
     /// Native MIMD execution failed.
     Machine(MachineError),
     /// Trace analysis failed.
@@ -54,9 +62,47 @@ pub enum PipelineError {
     TruncatedSimulation,
 }
 
+impl PipelineError {
+    /// The pipeline stage the failure belongs to.
+    pub fn phase(&self) -> Phase {
+        match self {
+            PipelineError::Decode(_) => Phase::Decode,
+            PipelineError::Machine(_) => Phase::Trace,
+            PipelineError::Analyze(_) => Phase::WarpEmulate,
+            PipelineError::Lockstep(_) => Phase::Lockstep,
+            PipelineError::ZeroCycleSimulation | PipelineError::TruncatedSimulation => {
+                Phase::SimtSim
+            }
+        }
+    }
+
+    /// The thread the failure is attributed to, when the underlying error
+    /// names one. For [`PipelineError::Decode`] this is the ordinal of
+    /// the thread record within the file; elsewhere it is a tid.
+    pub fn thread(&self) -> Option<u32> {
+        match self {
+            PipelineError::Decode(e) => e.thread,
+            PipelineError::Machine(MachineError::Trapped { tid, .. }) => Some(*tid),
+            PipelineError::Machine(_) => None,
+            PipelineError::Analyze(e) => e.thread(),
+            _ => None,
+        }
+    }
+
+    /// The warp the failure is attributed to, when the underlying error
+    /// names one.
+    pub fn warp(&self) -> Option<u32> {
+        match self {
+            PipelineError::Analyze(e) => e.warp(),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PipelineError::Decode(e) => write!(f, "decode: {e}"),
             PipelineError::Machine(e) => write!(f, "machine: {e}"),
             PipelineError::Analyze(e) => write!(f, "analyzer: {e}"),
             PipelineError::Lockstep(e) => write!(f, "lockstep: {e}"),
@@ -75,6 +121,12 @@ impl fmt::Display for PipelineError {
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<DecodeError> for PipelineError {
+    fn from(e: DecodeError) -> Self {
+        PipelineError::Decode(e)
+    }
+}
 
 impl From<MachineError> for PipelineError {
     fn from(e: MachineError) -> Self {

@@ -119,8 +119,10 @@ pub struct MemRec {
     pub is_store: bool,
 }
 
-/// Packed size+direction byte: low 7 bits = size, high bit = is_store.
-const STORE_BIT: u8 = 0x80;
+/// Packed size+direction byte: low 7 bits = size, high bit = is_store
+/// (shared with the binary codec, which validates the size bits of every
+/// decoded byte).
+pub(crate) const STORE_BIT: u8 = 0x80;
 
 fn pack_size_store(size: u8, is_store: bool) -> u8 {
     debug_assert!(size < STORE_BIT, "access size must fit in 7 bits");

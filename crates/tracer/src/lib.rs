@@ -40,6 +40,10 @@ pub mod events;
 pub use capture::{
     trace_program, trace_program_observed, trace_program_with, Tracer, TracerConfig,
 };
+pub use encode::{
+    decode, decode_observed, decode_with, encode, DecodeError, DecodeErrorKind, DecodeLimits,
+    DecodeOptions, Decoded, ProgramShape, Quarantined, ValidationPolicy,
+};
 pub use events::{
     EventIter, MemRec, MemSlice, SideEvent, ThreadTrace, TraceCursor, TraceEvent, TraceSet,
 };

@@ -55,4 +55,56 @@ TF_BENCH_OUT="$SIM_OUT" \
 # with >= 4 CPUs — the combined backend speedup fell below the gate.
 cargo run --release -q -p threadfuser-bench --bin perf_sim -- --check "$SIM_OUT"
 
+echo "==> serve smoke (job server end-to-end over TCP)"
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/tf_serve_smoke.XXXXXX")
+trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+# A valid capture plus a truncated (invalid) copy for the decode-error job.
+cargo run --release -q -p threadfuser --bin threadfuser -- \
+    trace vectoradd --threads 8 --out "$SMOKE_DIR/trace.bin" >/dev/null
+head -c 900 "$SMOKE_DIR/trace.bin" > "$SMOKE_DIR/corrupt.bin"
+cargo build --release -q -p threadfuser-serve
+SERVE_PORT=$((17000 + RANDOM % 2000))
+./target/release/threadfuser-serve --listen "127.0.0.1:$SERVE_PORT" --workers 2 \
+    > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$SMOKE_DIR/serve.log" && break
+    sleep 0.1
+done
+grep -q "listening on" "$SMOKE_DIR/serve.log"
+# Four jobs down one connection: analyze, sweep, a strict validate of the
+# corrupt file, and a graceful shutdown.
+CAPTURE='{"source":{"Workload":"vectoradd"},"threads":32,"opt":"O3","policy":"Strict","check_shape":false}'
+KNOBS='{"warp_size":32,"batching":"Linear","intra_warp_locks":false,"reconvergence":"DynamicIpdom","parallelism":0}'
+exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+printf '%s\n' \
+  "{\"id\":1,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Analyze\":{\"capture\":$CAPTURE,\"config\":$KNOBS}}}" \
+  "{\"id\":2,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Sweep\":{\"capture\":$CAPTURE,\"config\":$KNOBS,\"warps\":[8,32],\"batchings\":[\"Linear\"]}}}" \
+  "{\"id\":3,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Validate\":{\"capture\":{\"source\":{\"TraceFile\":{\"path\":\"$SMOKE_DIR/corrupt.bin\",\"workload\":\"vectoradd\"}},\"threads\":null,\"opt\":\"O3\",\"policy\":\"Strict\",\"check_shape\":true}}}}" \
+  "{\"id\":4,\"tenant\":null,\"stream_obs\":false,\"op\":\"Shutdown\"}" >&3
+SMOKE_RESP=$(timeout 60 head -n 4 <&3)
+exec 3<&- 3>&-
+echo "$SMOKE_RESP" | grep -q '"Analysis"'   # analyze answered with a report
+echo "$SMOKE_RESP" | grep -q '"Sweep"'      # sweep answered with rows
+echo "$SMOKE_RESP" | grep -q '"Decode"'     # corrupt file → structured decode error
+echo "$SMOKE_RESP" | grep -q '"Done"'       # shutdown acknowledged
+# Clean exit: the daemon must terminate on its own after Shutdown.
+SERVE_EXIT=0
+for _ in $(seq 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || { SERVE_EXIT=done; break; }
+    sleep 0.1
+done
+[ "$SERVE_EXIT" = done ]
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "==> perf_serve smoke (warm capture cache vs cold, backpressure)"
+SERVE_OUT="${TMPDIR:-/tmp}/BENCH_serve.json"
+TF_BENCH_OUT="$SERVE_OUT" \
+    cargo run --release -p threadfuser-bench --bin perf_serve
+# Fails when the report is malformed, the warm batch missed the 1.5x
+# cache gate, any served report diverged from its direct Pipeline twin,
+# or the full-queue probe saw no structured Overloaded rejection.
+cargo run --release -q -p threadfuser-bench --bin perf_serve -- --check "$SERVE_OUT"
+
 echo "==> ci.sh: all green"

@@ -31,6 +31,7 @@ use crate::dcfg::{Dcfg, DcfgSet};
 use crate::index::AnalysisIndex;
 use crate::report::{AnalysisReport, FunctionReport};
 use crate::AnalyzeError;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
@@ -40,7 +41,7 @@ use threadfuser_tracer::{SideEvent, ThreadTrace, TraceCursor, TraceEvent, TraceS
 
 /// Where diverged warp-mates reconverge (ablation knob; the paper uses
 /// dynamic IPDOMs, §III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ReconvergencePolicy {
     /// Immediate post-dominator on the *dynamic* CFG (the paper's choice;
     /// least conservative).
@@ -62,7 +63,7 @@ pub enum ReconvergencePolicy {
 /// classic interleaved `TraceEvent` stream per lane first — it exists as
 /// the baseline for the `perf_trace` benchmark and to validate that both
 /// replay paths produce bit-identical reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ReplayMode {
     /// Replay straight from the columnar storage (the fast path).
     #[default]
@@ -73,7 +74,7 @@ pub enum ReplayMode {
 }
 
 /// How warps are distributed across analyzer worker threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum WarpScheduler {
     /// A shared atomic warp queue: each worker claims the next unclaimed
     /// warp, so one long warp no longer pins a whole chunk of warps on a
@@ -331,47 +332,6 @@ pub trait StepSink {
     fn on_reconvergence(&mut self, warp: u32, func: FuncId, node: usize, mask: u64) {
         let _ = (warp, func, node, mask);
     }
-}
-
-/// Runs the full analysis: DCFG construction, IPDOM, warp batching, and
-/// lock-step emulation; returns the aggregated report.
-///
-/// # Errors
-/// [`AnalyzeError`] when traces are malformed or desynchronize from the
-/// program structure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `AnalyzerConfig::analyze` (one-shot) or `AnalyzerConfig::analyze_indexed` \
-            with a shared `AnalysisIndex` (sweeps); at the facade level, \
-            `threadfuser::prelude` and `Traced::analyze` are the blessed paths"
-)]
-pub fn analyze(
-    program: &Program,
-    traces: &TraceSet,
-    config: &AnalyzerConfig,
-) -> Result<AnalysisReport, AnalyzeError> {
-    config.analyze(program, traces)
-}
-
-/// [`AnalyzerConfig::analyze`] with a [`StepSink`] observing every
-/// lock-step block execution. Forces sequential (single-worker) emulation
-/// so steps arrive in deterministic warp order.
-///
-/// # Errors
-/// [`AnalyzeError`] when traces are malformed or desynchronize from the
-/// program structure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `analyze_indexed_with_sink` with a shared `AnalysisIndex`"
-)]
-pub fn analyze_with_sink(
-    program: &Program,
-    traces: &TraceSet,
-    config: &AnalyzerConfig,
-    sink: &mut dyn StepSink,
-) -> Result<AnalysisReport, AnalyzeError> {
-    let index = AnalysisIndex::build_observed(program, traces, &config.obs)?;
-    analyze_impl(program, traces, &index, config, Some(sink))
 }
 
 /// Runs the analysis against a prebuilt [`AnalysisIndex`] (see

@@ -22,8 +22,10 @@
 //!
 //! ## Quick start
 //!
-//! The blessed entry point is [`AnalyzerConfig::analyze`] (one-shot). The
-//! free functions `analyze`/`analyze_with_sink` are deprecated shims.
+//! The blessed entry point is [`AnalyzerConfig::analyze`] (one-shot); for
+//! sweeps over one capture, share an [`AnalysisIndex`] and use
+//! [`AnalyzerConfig::analyze_indexed`]. (The free `analyze` /
+//! `analyze_with_sink` shims deprecated since 0.2.0 have been removed.)
 //!
 //! ```
 //! use threadfuser_ir::{ProgramBuilder, AluOp, Cond};
@@ -74,8 +76,6 @@ pub mod stats;
 pub use batching::BatchPolicy;
 pub use dcfg::{Dcfg, DcfgSet};
 pub use dwf::{dwf_upper_bound, DwfBound};
-#[allow(deprecated)]
-pub use emulator::{analyze, analyze_with_sink};
 pub use emulator::{
     analyze_indexed, analyze_indexed_with_sink, analyze_indexed_with_warp_sinks, AnalyzerConfig,
     BlockStep, MemGroups, ReconvergencePolicy, ReplayMode, StepSink, WarpScheduler,

@@ -1,0 +1,276 @@
+//! Serving benchmark for the `threadfuser-serve` capture cache: spins an
+//! in-process server and answers the same 8-job concurrent batch twice —
+//! cold (every job builds its capture: trace + predecode + DCFG + IPDOM)
+//! and warm (every job hits the sharded LRU cache and replays only).
+//! Also cross-checks that a served analysis is bit-identical to a direct
+//! `Pipeline` call and that a one-worker, one-slot server answers a burst
+//! with structured `Overloaded` backpressure instead of blocking.
+//!
+//! Writes `BENCH_serve.json` to the current directory (override with
+//! `TF_BENCH_OUT`):
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_serve
+//! ```
+//!
+//! `perf_serve --check FILE` re-reads a previously written report and
+//! fails (exit 1) when it is malformed, the warm batch was not at least
+//! `GATE`× faster than the cold one, any served report diverged from its
+//! direct twin, or the backpressure probe saw no rejection — the CI guard
+//! for the serving layer.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use threadfuser::ir::OptLevel;
+use threadfuser::obs::Obs;
+use threadfuser::service::{
+    AnalyzeJob, AnalyzerKnobs, CaptureSpec, JobErrorCode, JobOp, JobOutcome, JobRequest,
+};
+use threadfuser::workloads::by_name;
+use threadfuser::Pipeline;
+use threadfuser_bench::f2;
+use threadfuser_serve::{Client, Frame, ServeConfig, Server};
+
+/// Concurrent jobs per batch (the acceptance floor is 8).
+const JOBS: usize = 8;
+
+/// Warm-over-cold speedup the cache must clear.
+const GATE: f64 = 1.5;
+
+/// Warm-batch repetitions; the reported time is the minimum.
+const REPS: usize = 4;
+
+const WORKLOAD: &str = "bfs";
+
+#[derive(Serialize, Deserialize)]
+struct ServeBench {
+    benchmark: String,
+    workload: String,
+    /// Concurrent jobs per batch.
+    jobs: u32,
+    /// First batch: every job builds its capture.
+    cold_ms: f64,
+    /// Repeat batch against the warm cache (min of `reps`).
+    warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    warm_speedup: f64,
+    /// Warm-batch repetitions.
+    reps: u32,
+    /// Capture-cache hits after all batches.
+    cache_hits: u64,
+    /// Capture-cache misses after all batches (= distinct specs).
+    cache_misses: u64,
+    /// A served report equalled the direct `Pipeline` report.
+    bit_identical: bool,
+    /// Rejections observed by the backpressure probe (must be > 0).
+    backpressure_rejections: u64,
+    /// Every probe job was answered (accepted or rejected), none hung.
+    backpressure_all_answered: bool,
+}
+
+/// Eight distinct cache keys on one workload: same program, different
+/// thread counts.
+fn specs() -> Vec<CaptureSpec> {
+    (0..JOBS as u32)
+        .map(|i| CaptureSpec::workload(WORKLOAD, OptLevel::O3).with_threads(32 + 16 * i))
+        .collect()
+}
+
+/// Runs one batch: `JOBS` client threads, one analyze job each, wall
+/// clock until every response lands.
+fn run_batch(addr: std::net::SocketAddr) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = specs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let op =
+                    JobOp::Analyze(AnalyzeJob { capture: spec, config: AnalyzerKnobs::default() });
+                let (resp, _) = client.call(&JobRequest::new(i as u64, op)).expect("call");
+                assert!(
+                    matches!(resp.outcome, JobOutcome::Analysis(_)),
+                    "job {i} failed: {:?}",
+                    resp.outcome
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("batch job");
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// One-worker, one-slot server under a burst: counts structured
+/// rejections and checks nothing hangs or panics.
+fn backpressure_probe() -> (u64, bool) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig { workers: 1, queue_capacity: 1, retry_after_ms: 10, ..ServeConfig::default() },
+        Obs::none(),
+    )
+    .expect("bind probe server");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect probe");
+
+    // Occupy the worker with a heavy build, then burst.
+    let slow = CaptureSpec::workload(WORKLOAD, OptLevel::O3).with_threads(256);
+    let op = JobOp::Analyze(AnalyzeJob { capture: slow, config: AnalyzerKnobs::default() });
+    client.submit(&JobRequest::new(1, op)).expect("submit slow");
+    const BURST: u64 = 8;
+    for id in 2..2 + BURST {
+        let spec = CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(16);
+        let op = JobOp::Analyze(AnalyzeJob { capture: spec, config: AnalyzerKnobs::default() });
+        client.submit(&JobRequest::new(id, op)).expect("submit burst");
+    }
+
+    let mut rejections = 0u64;
+    let mut answered = 0u64;
+    for _ in 0..(1 + BURST) {
+        match client.recv().expect("probe frame") {
+            Frame::Response(resp) => {
+                answered += 1;
+                if let JobOutcome::Failed(e) = &resp.outcome {
+                    assert_eq!(e.code, JobErrorCode::Overloaded, "unexpected failure: {e}");
+                    assert!(e.retry_after_ms.is_some(), "rejections must carry a backoff hint");
+                    rejections += 1;
+                }
+            }
+            Frame::Obs(_) => unreachable!("probe jobs do not stream obs"),
+        }
+    }
+    server.shutdown();
+    (rejections, answered == 1 + BURST)
+}
+
+fn run() -> ServeBench {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig { workers: JOBS, ..ServeConfig::default() },
+        Obs::none(),
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    // Cold: all eight captures build concurrently.
+    let cold_ms = run_batch(addr);
+
+    // Warm: the same eight keys, now all cache hits.
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        warm_ms = warm_ms.min(run_batch(addr));
+    }
+
+    // Bit identity: serve one more job and compare against the direct
+    // pipeline result for the same spec.
+    let mut client = Client::connect(addr).expect("connect identity");
+    let spec = specs().remove(0);
+    let op = JobOp::Analyze(AnalyzeJob { capture: spec, config: AnalyzerKnobs::default() });
+    let (resp, _) = client.call(&JobRequest::new(99, op)).expect("identity call");
+    let JobOutcome::Analysis(served) = resp.outcome else { panic!("identity job failed") };
+    let w = by_name(WORKLOAD).expect("workload");
+    let direct = Pipeline::from_workload(&w).threads(32).analyze().expect("direct analysis");
+    let bit_identical = served == direct;
+
+    let stats = server.stats();
+    server.shutdown();
+
+    let (backpressure_rejections, backpressure_all_answered) = backpressure_probe();
+
+    ServeBench {
+        benchmark: "perf_serve".to_string(),
+        workload: WORKLOAD.to_string(),
+        jobs: JOBS as u32,
+        cold_ms,
+        warm_ms,
+        warm_speedup: if warm_ms > 0.0 { cold_ms / warm_ms } else { 0.0 },
+        reps: REPS as u32,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        bit_identical,
+        backpressure_rejections,
+        backpressure_all_answered,
+    }
+}
+
+/// Validates a previously written report; returns an error message on a
+/// malformed file or a failed invariant.
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let r: ServeBench = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    if r.benchmark != "perf_serve" {
+        return Err(format!("unexpected benchmark name {:?}", r.benchmark));
+    }
+    if r.jobs < JOBS as u32 || r.cold_ms <= 0.0 || r.warm_ms <= 0.0 {
+        return Err(format!(
+            "implausible batch: {} jobs, cold {} ms, warm {} ms",
+            r.jobs, r.cold_ms, r.warm_ms
+        ));
+    }
+    if !r.bit_identical {
+        return Err("served analysis diverged from the direct Pipeline report".to_string());
+    }
+    if r.cache_misses != r.jobs as u64 {
+        return Err(format!(
+            "expected exactly {} capture builds (one per distinct spec), saw {}",
+            r.jobs, r.cache_misses
+        ));
+    }
+    if r.backpressure_rejections == 0 || !r.backpressure_all_answered {
+        return Err(format!(
+            "backpressure probe: {} rejections, all answered: {}",
+            r.backpressure_rejections, r.backpressure_all_answered
+        ));
+    }
+    if r.warm_speedup < GATE {
+        return Err(format!(
+            "warm batch only {}x faster than cold (gate {GATE}x): cold {} ms, warm {} ms",
+            f2(r.warm_speedup),
+            f2(r.cold_ms),
+            f2(r.warm_ms)
+        ));
+    }
+    println!(
+        "{path}: ok ({} concurrent jobs, warm cache {}x faster than cold, \
+         {} backpressure rejections)",
+        r.jobs,
+        f2(r.warm_speedup),
+        r.backpressure_rejections
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_serve.json");
+        if let Err(e) = check(path) {
+            eprintln!("perf_serve --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = run();
+    println!(
+        "{:<12} {} concurrent jobs  cold {:>8} ms  warm {:>8} ms  ({}x)",
+        report.workload,
+        report.jobs,
+        f2(report.cold_ms),
+        f2(report.warm_ms),
+        f2(report.warm_speedup),
+    );
+    println!(
+        "  cache: {} misses, {} hits; identity: {}; backpressure: {} rejections",
+        report.cache_misses,
+        report.cache_hits,
+        report.bit_identical,
+        report.backpressure_rejections
+    );
+    let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

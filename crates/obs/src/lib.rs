@@ -79,6 +79,12 @@ pub enum Phase {
     CpuSim,
     /// Warp-native lock-step ground-truth measurement.
     Lockstep,
+    /// Analysis-as-a-service request handling (`threadfuser-serve`).
+    /// Carries the capture-cache counters (`capture_hits` /
+    /// `capture_misses` / `capture_evictions`), the job counters
+    /// (`jobs_done` / `jobs_failed` / `jobs_rejected`), and one span per
+    /// served job.
+    Serve,
 }
 
 impl Phase {
@@ -97,6 +103,7 @@ impl Phase {
             Phase::SimtSim => "simt-sim",
             Phase::CpuSim => "cpu-sim",
             Phase::Lockstep => "lockstep",
+            Phase::Serve => "serve",
         }
     }
 }

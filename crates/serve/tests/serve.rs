@@ -1,0 +1,273 @@
+//! End-to-end tests of the `threadfuser-serve` job server: wire
+//! protocol, capture-cache sharing, LRU eviction, tenant isolation, and
+//! backpressure.
+
+use std::sync::Arc;
+
+use threadfuser::prelude::*;
+use threadfuser::service::{
+    AnalyzeJob, AnalyzerKnobs, CaptureSpec, JobErrorCode, JobOp, JobOutcome, JobRequest,
+    ValidateJob,
+};
+use threadfuser_serve::{Client, Frame, ServeConfig, Server};
+
+fn bind(config: ServeConfig) -> (Server, std::net::SocketAddr, Arc<InMemorySink>) {
+    let sink = Arc::new(InMemorySink::default());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config,
+        Obs::with_sink(Arc::clone(&sink) as Arc<dyn threadfuser::obs::MetricsSink>),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (server, addr, sink)
+}
+
+fn analyze_op(spec: CaptureSpec) -> JobOp {
+    JobOp::Analyze(AnalyzeJob { capture: spec, config: AnalyzerKnobs::default() })
+}
+
+#[test]
+fn ping_stats_shutdown_roundtrip() {
+    let (server, addr, _sink) = bind(ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let (resp, _) = client.call(&JobRequest::new(1, JobOp::Ping)).unwrap();
+    assert_eq!(resp.outcome, JobOutcome::Pong);
+
+    let (resp, _) = client.call(&JobRequest::new(2, JobOp::Stats)).unwrap();
+    let JobOutcome::Stats(stats) = resp.outcome else { panic!("expected stats") };
+    assert_eq!(stats.queue_capacity, 64);
+    assert_eq!(stats.jobs_done, 1, "the ping");
+
+    let (resp, _) = client.call(&JobRequest::new(3, JobOp::Shutdown)).unwrap();
+    assert_eq!(resp.outcome, JobOutcome::Done);
+    server.run_to_shutdown();
+}
+
+#[test]
+fn served_analysis_is_bit_identical_to_direct_pipeline() {
+    let (server, addr, _sink) = bind(ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let spec = CaptureSpec::workload("bfs", OptLevel::O3).with_threads(64);
+
+    let (resp, _) = client.call(&JobRequest::new(1, analyze_op(spec))).unwrap();
+    let JobOutcome::Analysis(served) = resp.outcome else {
+        panic!("expected analysis, got {:?}", resp.outcome)
+    };
+
+    let w = threadfuser::workloads::by_name("bfs").unwrap();
+    let direct = Pipeline::from_workload(&w).threads(64).analyze().unwrap();
+    assert_eq!(served, direct, "served report must be bit-identical to a direct Pipeline call");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_same_key_jobs_build_the_capture_once() {
+    const JOBS: usize = 8;
+    let (server, addr, sink) = bind(ServeConfig { workers: JOBS, ..ServeConfig::default() });
+    let spec = CaptureSpec::workload("bfs", OptLevel::O3).with_threads(64);
+
+    // One connection per job so all eight land on the worker pool at
+    // once and race into the same cache slot.
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| {
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let (resp, _) =
+                    client.call(&JobRequest::new(i as u64 + 1, analyze_op(spec))).unwrap();
+                match resp.outcome {
+                    JobOutcome::Analysis(report) => report,
+                    other => panic!("job {i} failed: {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &reports[1..] {
+        assert_eq!(*r, reports[0], "all jobs must see the same capture");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, 1, "one job builds");
+    assert_eq!(stats.cache_hits, JOBS as u64 - 1, "the rest latch onto it");
+    assert_eq!(stats.jobs_done, JOBS as u64);
+
+    // The analysis index too was built exactly once, inside the cached
+    // capture; the per-job analyses all hit it.
+    assert_eq!(sink.counter_total_for(Phase::IndexBuild, "index_misses"), 1);
+    assert_eq!(sink.counter_total_for(Phase::IndexBuild, "index_hits"), JOBS as u64);
+    assert_eq!(sink.counter_total_for(Phase::Serve, "capture_misses"), 1);
+    assert_eq!(sink.counter_total_for(Phase::Serve, "capture_hits"), JOBS as u64 - 1);
+    server.shutdown();
+}
+
+#[test]
+fn small_byte_budget_evicts_lru_captures() {
+    // One shard and a 1-byte budget: every new capture evicts the last.
+    let (server, addr, _sink) =
+        bind(ServeConfig { cache_bytes: 1, cache_shards: 1, ..ServeConfig::default() });
+    let mut client = Client::connect(addr).unwrap();
+    for (id, threads) in [(1u64, 16u32), (2, 32), (3, 48)] {
+        let spec = CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(threads);
+        let (resp, _) = client.call(&JobRequest::new(id, analyze_op(spec))).unwrap();
+        assert!(matches!(resp.outcome, JobOutcome::Analysis(_)), "job {id}: {:?}", resp.outcome);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, 3);
+    assert!(stats.cache_evictions >= 2, "expected evictions, got {}", stats.cache_evictions);
+    assert_eq!(stats.cache_entries, 1, "only the newest capture survives the budget");
+    server.shutdown();
+}
+
+/// Writes a vectoradd trace file with one corrupted thread record.
+fn corrupt_trace_file(dir: &std::path::Path) -> String {
+    let w = threadfuser::workloads::by_name("vectoradd").unwrap();
+    let traced = Pipeline::from_workload(&w).threads(8).trace().unwrap();
+    let mut bytes = encode(traced.traces()).to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    let path = dir.join("corrupt.tftrace");
+    std::fs::write(&path, &bytes).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn skip_bad_threads_tenant_cannot_poison_a_strict_tenant() {
+    let dir = std::env::temp_dir().join(format!("tf-serve-isolation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = corrupt_trace_file(&dir);
+
+    let (server, addr, _sink) = bind(ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let strict = CaptureSpec::trace_file(&path, Some("vectoradd"), OptLevel::O3);
+    let lenient = strict.clone().with_policy(ValidationPolicy::SkipBadThreads);
+
+    // The lenient tenant's job succeeds on the surviving threads and
+    // caches its (quarantined) capture...
+    let mut lenient_req = JobRequest::new(1, analyze_op(lenient.clone()));
+    lenient_req.tenant = Some("lenient".to_string());
+    let (resp, _) = client.call(&lenient_req).unwrap();
+    assert!(matches!(resp.outcome, JobOutcome::Analysis(_)), "lenient analyze: {:?}", resp.outcome);
+
+    // ...but the strict tenant's job on the *same file* must still see
+    // the decode error — the quarantined capture never serves it.
+    for id in [2u64, 3] {
+        let mut strict_req = JobRequest::new(id, analyze_op(strict.clone()));
+        strict_req.tenant = Some("strict".to_string());
+        let (resp, _) = client.call(&strict_req).unwrap();
+        let JobOutcome::Failed(err) = &resp.outcome else {
+            panic!("strict job {id} must fail, got {:?}", resp.outcome)
+        };
+        assert_eq!(err.code, JobErrorCode::Decode);
+        assert_eq!(err.phase.as_deref(), Some("decode"));
+    }
+
+    // The lenient capture is still warm: a repeat lenient job hits.
+    let (resp, _) = client.call(&JobRequest::new(4, analyze_op(lenient))).unwrap();
+    assert!(matches!(resp.outcome, JobOutcome::Analysis(_)));
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 1, "only the repeated lenient job hits");
+
+    // Validation of the same file agrees per policy.
+    let (resp, _) = client
+        .call(&JobRequest::new(
+            5,
+            JobOp::Validate(ValidateJob {
+                capture: CaptureSpec::trace_file(&path, Some("vectoradd"), OptLevel::O3)
+                    .with_policy(ValidationPolicy::SkipBadThreads),
+            }),
+        ))
+        .unwrap();
+    let JobOutcome::Validation(v) = resp.outcome else { panic!("expected validation") };
+    assert!(!v.valid);
+    assert_eq!(v.quarantined.len(), 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_rejects_with_structured_backpressure() {
+    // One worker, one queue slot: a slow job plus a burst must reject at
+    // least one request with Overloaded instead of blocking.
+    let (server, addr, _sink) = bind(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 25,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // Occupy the worker with a heavyweight capture, then flood.
+    let slow = CaptureSpec::workload("bfs", OptLevel::O3).with_threads(128);
+    client.submit(&JobRequest::new(1, analyze_op(slow))).unwrap();
+    const BURST: u64 = 8;
+    for id in 2..2 + BURST {
+        let spec = CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(16);
+        client.submit(&JobRequest::new(id, analyze_op(spec))).unwrap();
+    }
+
+    let mut rejected = 0u64;
+    let mut answered = 0u64;
+    for _ in 0..(1 + BURST) {
+        let frame = client.recv().unwrap();
+        let Frame::Response(resp) = frame else { continue };
+        match &resp.outcome {
+            JobOutcome::Failed(e) if e.code == JobErrorCode::Overloaded => {
+                assert_eq!(e.retry_after_ms, Some(25), "rejections carry the backoff hint");
+                rejected += 1;
+            }
+            JobOutcome::Analysis(_) => answered += 1,
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert!(rejected >= 1, "burst into a full queue must produce rejections");
+    assert!(answered >= 1, "accepted jobs still get answers");
+    assert_eq!(server.stats().jobs_rejected, rejected);
+    server.shutdown();
+}
+
+#[test]
+fn streamed_obs_frames_precede_the_response() {
+    let (server, addr, _sink) = bind(ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let mut req = JobRequest::new(
+        9,
+        analyze_op(CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(32)),
+    );
+    req.stream_obs = true;
+    let (resp, frames) = client.call(&req).unwrap();
+    assert!(matches!(resp.outcome, JobOutcome::Analysis(_)));
+    assert!(!frames.is_empty(), "stream_obs must yield per-job events");
+    assert!(frames.iter().all(|f| f.id == 9));
+    assert!(
+        frames.iter().any(|f| f.obs.phase == "warp-emulate"),
+        "analysis phases stream to the requesting connection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unparseable_lines_get_a_bad_request_answer() {
+    let (server, addr, _sink) = bind(ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // Bypass `submit` to write garbage directly.
+    use std::io::Write as _;
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    let resp: threadfuser::service::JobResponse = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(resp.id, 0, "no id to echo");
+    let JobOutcome::Failed(e) = resp.outcome else { panic!("expected failure") };
+    assert_eq!(e.code, JobErrorCode::BadRequest);
+
+    // The connection survives a bad line.
+    let (resp, _) = client.call(&JobRequest::new(1, JobOp::Ping)).unwrap();
+    assert_eq!(resp.outcome, JobOutcome::Pong);
+    server.shutdown();
+}

@@ -11,26 +11,34 @@
 //! threadfuser validate <file> [--workload NAME] [--opt O0..O3] [--skip-bad] [--json]
 //! ```
 //!
-//! `sweep` traces the workload once and re-analyzes it across warp sizes
-//! and batching policies through the shared analysis index (the warm-sweep
-//! idiom of `Traced::with_analyzer`).
+//! Every subcommand is a thin renderer over the service layer: the
+//! command line parses into a [`threadfuser::service::JobRequest`], the
+//! request runs through [`threadfuser::service::execute`] (the same code
+//! path `threadfuser-serve` workers run), and the outcome is rendered as
+//! text — or, under `--json`, printed verbatim as the
+//! [`threadfuser::service::JobResponse`] envelope. Failures are always
+//! machine-readable on the [`threadfuser::service::JobError`] schema in
+//! `--json` mode, human-readable on stderr otherwise.
 //!
-//! `trace` captures a workload and writes the binary trace file; `validate`
-//! decodes such a file under the hardened ingestion path (never panics,
-//! bounded allocation) and reports its structured verdict — with
-//! `--workload`, every function/block id is additionally checked against
-//! that program's shape, and with `--skip-bad`, corrupt threads are
-//! quarantined and reported instead of failing the file.
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | command succeeded (for `validate`: the file is fully valid) |
+//! | 1    | the job failed — or `validate` found quarantined/invalid input |
+//! | 2    | usage error (unknown command/option/value) |
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use threadfuser::analyzer::BatchPolicy;
-use threadfuser::cpusim::CpuSimConfig;
 use threadfuser::ir::OptLevel;
 use threadfuser::obs::{JsonLinesSink, Obs};
-use threadfuser::simtsim::SimtSimConfig;
-use threadfuser::tracer::{decode_with, encode, DecodeOptions, ProgramShape, ValidationPolicy};
-use threadfuser::workloads::{all, by_name, Workload};
+use threadfuser::service::{
+    execute, AnalyzeJob, AnalyzerKnobs, CaptureSpec, JobOp, JobOutcome, JobRequest, JobResponse,
+    SpeedupJob, SweepJob, ValidateJob,
+};
+use threadfuser::tracer::{encode, ValidationPolicy};
+use threadfuser::workloads::all;
 use threadfuser::{Pipeline, TextTable};
 
 struct Options {
@@ -81,7 +89,11 @@ fn usage() -> ExitCode {
          options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
          --batching linear|strided|shuffled --cores N --json\n         \
          --out FILE --workload NAME --skip-bad\n         \
-         --obs FILE   write per-phase metrics as JSON lines to FILE"
+         --obs FILE   write per-phase metrics as JSON lines to FILE\n\n\
+         exit codes: 0 success, 1 job failed (or invalid trace file),\n             \
+         2 usage error\n\n\
+         --json prints the service JobResponse envelope (the same schema\n\
+         threadfuser-serve speaks); failures carry a structured JobError."
     );
     ExitCode::from(2)
 }
@@ -124,24 +136,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn pipeline(w: &Workload, o: &Options) -> Result<Pipeline, String> {
-    let mut p = Pipeline::from_workload(w)
-        .opt_level(o.opt)
-        .warp_size(o.warp)
-        .batching(o.batching)
-        .intra_warp_locks(o.locks);
-    if let Some(t) = o.threads {
-        p = p.threads(t);
+impl Options {
+    fn capture(&self, name: &str) -> CaptureSpec {
+        let mut spec = CaptureSpec::workload(name, self.opt);
+        if let Some(t) = self.threads {
+            spec = spec.with_threads(t);
+        }
+        spec
     }
-    if let Some(path) = &o.obs_path {
-        let sink = JsonLinesSink::create(path).map_err(|e| format!("--obs {path}: {e}"))?;
-        p = p.observe(Obs::with_sink(Arc::new(sink)));
-    }
-    Ok(p)
-}
 
-fn resolve(name: &str) -> Result<Workload, String> {
-    by_name(name).ok_or_else(|| format!("unknown workload `{name}` (see `threadfuser list`)"))
+    fn knobs(&self) -> AnalyzerKnobs {
+        AnalyzerKnobs {
+            warp_size: self.warp,
+            batching: self.batching,
+            intra_warp_locks: self.locks,
+            ..AnalyzerKnobs::default()
+        }
+    }
+
+    fn obs(&self) -> Result<Obs, String> {
+        match &self.obs_path {
+            Some(path) => {
+                let sink = JsonLinesSink::create(path).map_err(|e| format!("--obs {path}: {e}"))?;
+                Ok(Obs::with_sink(Arc::new(sink)))
+            }
+            None => Ok(Obs::none()),
+        }
+    }
 }
 
 fn cmd_list() -> ExitCode {
@@ -158,228 +179,188 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_analyze(w: &Workload, o: &Options) -> Result<(), String> {
-    let p = pipeline(w, o)?;
-    let report = p.analyze().map_err(|e| e.to_string())?;
-    p.obs().flush();
-    if o.json {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-        return Ok(());
-    }
-    println!("workload        : {}", w.meta.name);
-    println!("binary          : {}", o.opt);
-    println!("warp size       : {}", o.warp);
-    println!("warps emulated  : {}", report.warps);
-    println!("SIMT efficiency : {:.1}%", report.simt_efficiency() * 100.0);
-    println!(
-        "memory          : heap {:.2} txn/inst ({}), stack {:.2} txn/inst ({})",
-        report.heap.transactions_per_inst(),
-        report.heap.transactions,
-        report.stack.transactions_per_inst(),
-        report.stack.transactions
-    );
-    println!("traced fraction : {:.1}%", report.traced_fraction() * 100.0);
-    if o.locks {
-        println!(
-            "lock handling   : {} serializations, {} fallbacks",
-            report.lock_serializations, report.lock_fallbacks
-        );
-    }
-    Ok(())
-}
-
-fn cmd_functions(w: &Workload, o: &Options) -> Result<(), String> {
-    let p = pipeline(w, o)?;
-    let report = p.analyze().map_err(|e| e.to_string())?;
-    p.obs().flush();
-    let mut t = TextTable::new(&["function", "inst share", "efficiency", "invocations"]);
-    for (f, share) in report.functions_by_share() {
-        t.row(&[
-            f.name.clone(),
-            format!("{:.1}%", share * 100.0),
-            format!("{:.1}%", f.efficiency(report.warp_size) * 100.0),
-            f.invocations.to_string(),
-        ]);
-    }
-    println!("{t}");
-    Ok(())
-}
-
-fn cmd_hardware(w: &Workload, o: &Options) -> Result<(), String> {
-    let stats = pipeline(w, o)?.measure_hardware().map_err(|e| e.to_string())?;
-    println!("warp-native measurement of {} (reference O1 binary):", w.meta.name);
-    println!("SIMT efficiency : {:.1}%", stats.simt_efficiency() * 100.0);
-    println!(
-        "transactions    : heap {} ({:.2}/inst), stack {} ({:.2}/inst)",
-        stats.heap.transactions,
-        stats.heap.transactions_per_inst(),
-        stats.stack.transactions,
-        stats.stack.transactions_per_inst()
-    );
-    Ok(())
-}
-
-#[derive(serde::Serialize)]
-struct SweepRow {
-    warp: u32,
-    batching: &'static str,
-    simt_efficiency: f64,
-    transactions: u64,
-}
-
-fn cmd_sweep(w: &Workload, o: &Options) -> Result<(), String> {
-    let p = pipeline(w, o)?;
-    // One trace, one index; every configuration below replays warps only.
-    let traced = p.trace().map_err(|e| e.to_string())?;
-    let mut rows: Vec<SweepRow> = Vec::new();
-    for warp in [8u32, 16, 32, 64] {
-        for (label, policy) in [("linear", BatchPolicy::Linear), ("strided", BatchPolicy::Strided)]
-        {
-            let report = traced
-                .view()
-                .warp_size(warp)
-                .batching(policy)
-                .analyze()
-                .map_err(|e| e.to_string())?;
-            rows.push(SweepRow {
-                warp,
-                batching: label,
-                simt_efficiency: report.simt_efficiency(),
-                transactions: report.total_transactions(),
-            });
+/// Builds the job a command line describes. `None` for commands that are
+/// not jobs (`list`, `trace` — the latter writes a file, which the
+/// service layer never does).
+fn job_for(cmd: &str, name: &str, o: &Options) -> Option<JobOp> {
+    match cmd {
+        "analyze" | "functions" => {
+            Some(JobOp::Analyze(AnalyzeJob { capture: o.capture(name), config: o.knobs() }))
         }
-    }
-    p.obs().flush();
-    if o.json {
-        println!("{}", serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?);
-        return Ok(());
-    }
-    println!("warm-index sweep of {} (traced once at {}):", w.meta.name, o.opt);
-    let mut t = TextTable::new(&["warp", "batching", "efficiency", "transactions"]);
-    for r in rows {
-        t.row(&[
-            r.warp.to_string(),
-            r.batching.to_string(),
-            format!("{:.1}%", r.simt_efficiency * 100.0),
-            r.transactions.to_string(),
-        ]);
-    }
-    println!("{t}");
-    Ok(())
-}
-
-fn cmd_trace(w: &Workload, o: &Options) -> Result<(), String> {
-    let out = o.out.as_deref().ok_or("trace needs --out FILE")?;
-    let p = pipeline(w, o)?;
-    let traced = p.trace().map_err(|e| e.to_string())?;
-    p.obs().flush();
-    let bytes = encode(traced.traces());
-    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
-    println!(
-        "wrote {} threads ({} bytes) of {} at {} to {out}",
-        traced.traces().threads().len(),
-        bytes.len(),
-        w.meta.name,
-        o.opt
-    );
-    Ok(())
-}
-
-#[derive(serde::Serialize)]
-struct ValidateReport {
-    valid: bool,
-    threads: usize,
-    quarantined: Vec<QuarantineRow>,
-    error: Option<String>,
-}
-
-#[derive(serde::Serialize)]
-struct QuarantineRow {
-    index: u32,
-    tid: Option<u32>,
-    error: String,
-}
-
-/// Validates a trace file under the hardened decode path. Exit is
-/// `Ok(false)` — command ran, file invalid — when the file is rejected or
-/// any thread is quarantined.
-fn cmd_validate(path: &str, o: &Options) -> Result<bool, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut opts = DecodeOptions {
-        policy: if o.skip_bad {
-            ValidationPolicy::SkipBadThreads
-        } else {
-            ValidationPolicy::Strict
-        },
-        ..DecodeOptions::default()
-    };
-    if let Some(name) = &o.workload {
-        // The optimizer is deterministic: applying the same level yields
-        // the binary the trace was (claimed to be) captured from, so its
-        // shape bounds every func/block id in the file.
-        let w = resolve(name)?;
-        opts.shape = Some(ProgramShape::from_program(&o.opt.apply(&w.program)));
-    }
-    let report = match decode_with(&bytes, &opts) {
-        Ok(d) => ValidateReport {
-            valid: d.quarantined.is_empty(),
-            threads: d.traces.threads().len(),
-            quarantined: d
-                .quarantined
-                .iter()
-                .map(|q| QuarantineRow { index: q.index, tid: q.tid, error: q.error.to_string() })
-                .collect(),
-            error: None,
-        },
-        Err(e) => ValidateReport {
-            valid: false,
-            threads: 0,
-            quarantined: Vec::new(),
-            error: Some(e.to_string()),
-        },
-    };
-    if o.json {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-        return Ok(report.valid);
-    }
-    match &report.error {
-        Some(e) => println!("{path}: INVALID — {e}"),
-        None if report.valid => {
-            println!("{path}: ok ({} threads)", report.threads);
+        "hardware" => {
+            Some(JobOp::Hardware(AnalyzeJob { capture: o.capture(name), config: o.knobs() }))
         }
-        None => {
+        "speedup" => Some(JobOp::Speedup(SpeedupJob {
+            capture: o.capture(name),
+            config: o.knobs(),
+            cores: o.cores,
+        })),
+        "sweep" => Some(JobOp::Sweep(SweepJob {
+            capture: o.capture(name),
+            config: o.knobs(),
+            warps: vec![8, 16, 32, 64],
+            batchings: vec![BatchPolicy::Linear, BatchPolicy::Strided],
+        })),
+        "validate" => {
+            // `name` is a file path here.
+            let mut capture = CaptureSpec::trace_file(name, o.workload.as_deref(), o.opt);
+            if o.skip_bad {
+                capture = capture.with_policy(ValidationPolicy::SkipBadThreads);
+            }
+            capture = capture.with_shape_check(o.workload.is_some());
+            Some(JobOp::Validate(ValidateJob { capture }))
+        }
+        _ => None,
+    }
+}
+
+/// Renders one outcome as text. Returns the exit code the outcome earns
+/// (validation of a quarantined file succeeds as a *job* but fails as a
+/// *command*).
+fn render_text(cmd: &str, name: &str, o: &Options, outcome: &JobOutcome) -> ExitCode {
+    match outcome {
+        JobOutcome::Analysis(report) if cmd == "functions" => {
+            let mut t = TextTable::new(&["function", "inst share", "efficiency", "invocations"]);
+            for (f, share) in report.functions_by_share() {
+                t.row(&[
+                    f.name.clone(),
+                    format!("{:.1}%", share * 100.0),
+                    format!("{:.1}%", f.efficiency(report.warp_size) * 100.0),
+                    f.invocations.to_string(),
+                ]);
+            }
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Analysis(report) => {
+            println!("workload        : {name}");
+            println!("binary          : {}", o.opt);
+            println!("warp size       : {}", o.warp);
+            println!("warps emulated  : {}", report.warps);
+            println!("SIMT efficiency : {:.1}%", report.simt_efficiency() * 100.0);
             println!(
-                "{path}: {} threads ok, {} quarantined:",
-                report.threads,
-                report.quarantined.len()
+                "memory          : heap {:.2} txn/inst ({}), stack {:.2} txn/inst ({})",
+                report.heap.transactions_per_inst(),
+                report.heap.transactions,
+                report.stack.transactions_per_inst(),
+                report.stack.transactions
             );
-            for q in &report.quarantined {
+            println!("traced fraction : {:.1}%", report.traced_fraction() * 100.0);
+            if o.locks {
+                println!(
+                    "lock handling   : {} serializations, {} fallbacks",
+                    report.lock_serializations, report.lock_fallbacks
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Sweep(rows) => {
+            println!("warm-index sweep of {name} (traced once at {}):", o.opt);
+            let mut t = TextTable::new(&["warp", "batching", "efficiency", "transactions"]);
+            for r in rows {
+                t.row(&[
+                    r.warp.to_string(),
+                    format!("{:?}", r.batching).to_lowercase(),
+                    format!("{:.1}%", r.simt_efficiency * 100.0),
+                    r.transactions.to_string(),
+                ]);
+            }
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Speedup(s) => {
+            println!("workload   : {name}");
+            println!(
+                "GPU        : {} cycles (IPC {:.2}, {} SMs)",
+                s.gpu_cycles, s.gpu_ipc, s.gpu_cores
+            );
+            println!("CPU        : {} cycles ({} cores)", s.cpu_cycles, s.cpu_cores);
+            println!("speedup    : {:.2}x", s.speedup);
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Hardware(h) => {
+            println!("warp-native measurement of {name} (reference O1 binary):");
+            println!("SIMT efficiency : {:.1}%", h.simt_efficiency * 100.0);
+            println!(
+                "transactions    : heap {} ({:.2}/inst), stack {} ({:.2}/inst)",
+                h.heap_transactions,
+                h.heap_transactions_per_inst,
+                h.stack_transactions,
+                h.stack_transactions_per_inst
+            );
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Validation(v) if v.valid => {
+            println!("{name}: ok ({} threads)", v.threads);
+            ExitCode::SUCCESS
+        }
+        JobOutcome::Validation(v) => {
+            println!("{name}: {} threads ok, {} quarantined:", v.threads, v.quarantined.len());
+            for q in &v.quarantined {
                 match q.tid {
                     Some(tid) => println!("  record {} (tid {}): {}", q.index, tid, q.error),
                     None => println!("  record {}: {}", q.index, q.error),
                 }
             }
+            ExitCode::FAILURE
+        }
+        JobOutcome::Failed(e) if cmd == "validate" => {
+            println!("{name}: INVALID — {}", e.message);
+            ExitCode::FAILURE
+        }
+        JobOutcome::Failed(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        other => {
+            eprintln!("error: unexpected outcome {other:?}");
+            ExitCode::FAILURE
         }
     }
-    Ok(report.valid)
 }
 
-fn cmd_speedup(w: &Workload, o: &Options) -> Result<(), String> {
-    let simt = SimtSimConfig { n_cores: o.cores, ..SimtSimConfig::default() };
-    let cpu = CpuSimConfig::default();
-    let p = pipeline(w, o)?;
-    let proj = p.project_speedup(&simt, &cpu).map_err(|e| e.to_string())?;
-    p.obs().flush();
-    println!("workload   : {}", w.meta.name);
-    println!(
-        "GPU        : {} cycles (IPC {:.2}, {} SMs)",
-        proj.gpu.cycles,
-        proj.gpu.ipc(),
-        o.cores
-    );
-    println!("CPU        : {} cycles ({} cores)", proj.cpu.cycles, cpu.n_cores);
-    println!("speedup    : {:.2}x", proj.speedup);
-    Ok(())
+/// The exit code an outcome earns in `--json` mode (where rendering is
+/// just the envelope).
+fn exit_for(outcome: &JobOutcome) -> ExitCode {
+    match outcome {
+        JobOutcome::Failed(_) => ExitCode::FAILURE,
+        JobOutcome::Validation(v) if !v.valid => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+fn print_envelope(resp: &JobResponse) {
+    match serde_json::to_string_pretty(resp) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("error: cannot serialize response: {e}"),
+    }
+}
+
+/// `trace` stays outside the service layer (it writes a file), but its
+/// failures still speak the [`JobError`] schema under `--json`.
+fn cmd_trace(name: &str, o: &Options) -> Result<String, threadfuser::service::JobError> {
+    use threadfuser::service::{JobError, JobErrorCode};
+    let out = o.out.as_deref().ok_or_else(|| JobError::bad_request("trace needs --out FILE"))?;
+    let w = threadfuser::workloads::by_name(name).ok_or_else(|| {
+        JobError::new(
+            JobErrorCode::UnknownWorkload,
+            format!("unknown workload `{name}` (see `threadfuser list`)"),
+        )
+    })?;
+    let mut p = Pipeline::from_workload(&w).opt_level(o.opt);
+    if let Some(t) = o.threads {
+        p = p.threads(t);
+    }
+    let traced = p.trace().map_err(JobError::from)?;
+    let bytes = encode(traced.traces());
+    std::fs::write(out, &bytes)
+        .map_err(|e| JobError::new(JobErrorCode::Io, format!("{out}: {e}")))?;
+    Ok(format!(
+        "wrote {} threads ({} bytes) of {name} at {} to {out}",
+        traced.traces().threads().len(),
+        bytes.len(),
+        o.opt
+    ))
 }
 
 fn main() -> ExitCode {
@@ -396,38 +377,40 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if cmd == "validate" {
-        // `validate` takes a file path, not a workload name.
-        return match cmd_validate(name, &opts) {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
+    let obs = match opts.obs() {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cmd == "trace" {
+        return match cmd_trace(name, &opts) {
+            Ok(msg) => {
+                if opts.json {
+                    print_envelope(&JobResponse { id: 0, outcome: JobOutcome::Done });
+                } else {
+                    println!("{msg}");
+                }
+                ExitCode::SUCCESS
+            }
             Err(e) => {
-                eprintln!("error: {e}");
+                if opts.json {
+                    print_envelope(&JobResponse { id: 0, outcome: JobOutcome::Failed(e) });
+                } else {
+                    eprintln!("error: {e}");
+                }
                 ExitCode::FAILURE
             }
         };
     }
-    let w = match resolve(name) {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match cmd.as_str() {
-        "analyze" => cmd_analyze(&w, &opts),
-        "functions" => cmd_functions(&w, &opts),
-        "hardware" => cmd_hardware(&w, &opts),
-        "speedup" => cmd_speedup(&w, &opts),
-        "sweep" => cmd_sweep(&w, &opts),
-        "trace" => cmd_trace(&w, &opts),
-        _ => return usage(),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+    let Some(op) = job_for(cmd, name, &opts) else { return usage() };
+    let resp = execute(&JobRequest::new(0, op), &obs);
+    obs.flush();
+    if opts.json {
+        print_envelope(&resp);
+        exit_for(&resp.outcome)
+    } else {
+        render_text(cmd, name, &opts, &resp.outcome)
     }
 }

@@ -47,10 +47,17 @@
 //! that same index. No analyzer knob invalidates it: the index depends
 //! only on the program and the captured traces.
 //!
-//! Calling the `analyzer` crate's free `analyze` function per
-//! configuration re-derives the graphs every time and is deprecated;
-//! reach for `AnalyzerConfig::analyze`/`analyze_indexed` only when working
-//! below the facade.
+//! Reach for `AnalyzerConfig::analyze`/`analyze_indexed` only when working
+//! below the facade. (The `analyzer` crate's free `analyze` /
+//! `analyze_with_sink` shims, deprecated since 0.2.0, have been removed.)
+//!
+//! ## Analysis as a service
+//!
+//! The [`service`] module is the job-oriented surface on top of the
+//! pipeline: serde-able [`JobRequest`] / [`JobResponse`] / [`JobError`]
+//! types shared verbatim between the CLI's `--json` mode and the
+//! `threadfuser-serve` multi-tenant capture server's line-delimited
+//! protocol.
 //!
 //! ```
 //! use threadfuser::prelude::*;
@@ -75,15 +82,22 @@ pub use threadfuser_workloads as workloads;
 pub use threadfuser_xapp as xapp;
 
 pub mod pipeline;
+pub mod service;
 pub mod table;
 
 pub use pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced, TracedView};
+pub use service::{JobError, JobErrorCode, JobOp, JobOutcome, JobRequest, JobResponse};
 pub use table::TextTable;
 
 /// The blessed single-import path: trace once with [`Pipeline::trace`],
 /// derive every product (and every sweep configuration) from [`Traced`].
 pub mod prelude {
     pub use crate::pipeline::{Pipeline, PipelineError, SpeedupProjection, Traced, TracedView};
+    pub use crate::service::{
+        execute, execute_op, AnalyzeJob, AnalyzerKnobs, Capture, CaptureSpec, JobError,
+        JobErrorCode, JobOp, JobOutcome, JobRequest, JobResponse, JobSource, ObsEventWire,
+        ObsFrame, ServeStats, SpeedupJob, SweepJob, ValidateJob,
+    };
     pub use threadfuser_analyzer::{
         AnalysisIndex, AnalysisReport, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
         ReplayMode, WarpScheduler,

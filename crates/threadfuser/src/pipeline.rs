@@ -340,6 +340,36 @@ impl Pipeline {
         })
     }
 
+    /// Wraps externally captured traces — e.g. decoded from a trace file
+    /// written by `threadfuser trace --out` — in a [`Traced`] artifact, as
+    /// if [`Pipeline::trace`] had just captured them: the program is
+    /// optimized and predecoded at the configured level but **not**
+    /// executed. The caller asserts the traces were captured from this
+    /// program at this optimization level; a mismatch surfaces as an
+    /// analyzer error when the capture is replayed.
+    pub fn adopt_traces(&self, traces: TraceSet) -> Traced {
+        let obs = self.analyzer.obs.clone();
+        let program = {
+            let _span = obs.span(Phase::Optimize);
+            self.opt.apply(&self.program)
+        };
+        let exec = Arc::new(ExecProgram::build_observed(&program, &obs));
+        let threads = traces.threads().len() as u32;
+        Traced {
+            program,
+            traces,
+            exec,
+            analyzer: self.analyzer.clone(),
+            index: OnceLock::new(),
+            source: self.program.clone(),
+            kernel: self.kernel,
+            init: self.init,
+            threads,
+            traced_opt: self.opt,
+            hardware_opt: self.hardware_opt,
+        }
+    }
+
     /// The headline operation: trace, then run the ThreadFuser analysis.
     /// One-shot wrapper over [`Self::trace`] + [`Traced::analyze`].
     ///
@@ -689,6 +719,15 @@ impl TracedView<'_> {
     /// Overrides the trace replay path (chainable).
     pub fn replay(mut self, r: ReplayMode) -> Self {
         self.analyzer.replay = r;
+        self
+    }
+
+    /// Overrides the observability handle for this view's analyses
+    /// (chainable). In a serving context the per-request spans go to the
+    /// job's own sink this way, while the capture keeps its original
+    /// handle for the shared index-build counters.
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.analyzer.obs = obs;
         self
     }
 

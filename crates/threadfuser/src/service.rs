@@ -1,0 +1,998 @@
+//! Analysis-as-a-service: the redesigned request/response surface shared
+//! by the `threadfuser` CLI and the `threadfuser-serve` job server.
+//!
+//! Every analysis product is a [`JobRequest`] carrying a [`JobOp`]; every
+//! answer is a [`JobResponse`] whose [`JobOutcome`] is either a typed
+//! result or a structured [`JobError`]. The same serde types are the
+//! CLI's `--json` schema and the server's line-delimited wire protocol,
+//! so a workflow can move from one-shot CLI invocations to a long-running
+//! multi-tenant server without touching its parsing.
+//!
+//! ## Wire format
+//!
+//! One JSON object per line. Enums follow the workspace serde defaults:
+//! unit variants are strings (`"Ping"`), data variants are single-key
+//! objects (`{"Analyze": {...}}`). Every field is mandatory — optional
+//! fields are written as `null`, never omitted.
+//!
+//! ```text
+//! → {"id":1,"tenant":"alice","stream_obs":false,"op":{"Analyze":{"capture":{...},"config":{...}}}}
+//! ← {"id":1,"outcome":{"Analysis":{"warp_size":32,...}}}
+//! ```
+//!
+//! ## Execution
+//!
+//! [`execute`] answers a request directly (capture → analysis, no cache):
+//! this is what the CLI does per invocation. The server instead resolves
+//! the request's [`CaptureSpec`] through its sharded capture cache and
+//! calls [`run_on_capture`] — the exact same post-capture code path, so
+//! served responses are bit-identical to direct `Pipeline` calls.
+
+use crate::pipeline::{Pipeline, PipelineError, Traced, TracedView};
+use serde::{Deserialize, Serialize};
+use threadfuser_analyzer::{AnalysisReport, BatchPolicy, ReconvergencePolicy};
+use threadfuser_cpusim::CpuSimConfig;
+use threadfuser_ir::OptLevel;
+use threadfuser_obs::{Obs, Phase, PhaseEvent};
+use threadfuser_simtsim::SimtSimConfig;
+use threadfuser_tracer::{decode_observed, DecodeOptions, ProgramShape, ValidationPolicy};
+use threadfuser_workloads::{by_name, Workload};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One job submitted to the analysis service (or executed directly by the
+/// CLI). The `id` is echoed on every frame the job produces, so responses
+/// to concurrently submitted jobs can be matched on one connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Caller-chosen correlation id, echoed in the [`JobResponse`].
+    pub id: u64,
+    /// Tenant label for fairness accounting and log attribution. Tenancy
+    /// does **not** affect cache keying — isolation comes from the
+    /// validation policy being part of the capture key (see DESIGN.md).
+    pub tenant: Option<String>,
+    /// Stream per-job observability events as interleaved [`ObsFrame`]
+    /// lines before the final response (server only; ignored by direct
+    /// execution, where `--obs` attaches a file sink instead).
+    pub stream_obs: bool,
+    /// What to do.
+    pub op: JobOp,
+}
+
+impl JobRequest {
+    /// A request with no tenant and no obs streaming.
+    pub fn new(id: u64, op: JobOp) -> Self {
+        JobRequest { id, tenant: None, stream_obs: false, op }
+    }
+}
+
+/// The operation a job performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOp {
+    /// Full SIMT analysis of one capture (efficiency, memory divergence,
+    /// per-function breakdown) → [`JobOutcome::Analysis`].
+    Analyze(AnalyzeJob),
+    /// Warm sweep over warp sizes × batching policies on one capture →
+    /// [`JobOutcome::Sweep`].
+    Sweep(SweepJob),
+    /// GPU-vs-CPU speedup projection → [`JobOutcome::Speedup`].
+    Speedup(SpeedupJob),
+    /// Warp-native lock-step measurement (runs the program natively; does
+    /// not replay a capture and bypasses the server's capture cache) →
+    /// [`JobOutcome::Hardware`].
+    Hardware(AnalyzeJob),
+    /// Validate a trace file under the hardened decoder →
+    /// [`JobOutcome::Validation`] (or [`JobOutcome::Failed`] with a
+    /// `Decode` error when the file is rejected outright).
+    Validate(ValidateJob),
+    /// Liveness check → [`JobOutcome::Pong`].
+    Ping,
+    /// Server statistics → [`JobOutcome::Stats`] (server only).
+    Stats,
+    /// Graceful server shutdown → [`JobOutcome::Done`] (server only).
+    Shutdown,
+}
+
+/// Where a capture comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobSource {
+    /// Trace a Table I workload by name.
+    Workload(String),
+    /// Ingest a binary trace file (written by `threadfuser trace --out`)
+    /// through the hardened PR-5 decoder. `workload` names the program
+    /// the traces were captured from — required for every op except
+    /// `Validate`, which can check pure structure without one.
+    TraceFile {
+        /// Path to the trace file, resolved on the serving host.
+        path: String,
+        /// Program the traces belong to (enables shape validation and is
+        /// required to analyze).
+        workload: Option<String>,
+    },
+}
+
+/// Everything that identifies a capture — the content-hash key of the
+/// server's capture cache. Two requests with equal specs share one
+/// `trace + predecode + DCFG + IPDOM` artifact; *any* difference (source,
+/// thread count, optimization level, validation policy, shape checking)
+/// keys a separate entry, which is what keeps a `SkipBadThreads` tenant's
+/// quarantined capture from ever serving a `Strict` tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureSpec {
+    /// Workload or trace file.
+    pub source: JobSource,
+    /// Logical thread count (`null` = the workload's default; ignored for
+    /// trace files, whose thread count is whatever the file holds).
+    pub threads: Option<u32>,
+    /// Compiler optimization level of the traced binary.
+    pub opt: OptLevel,
+    /// Corrupt-thread policy for trace-file sources (`Strict` rejects the
+    /// file on the first bad thread, `SkipBadThreads` quarantines).
+    pub policy: ValidationPolicy,
+    /// For trace-file sources with a workload: validate every func/block
+    /// id in the file against the program's shape while decoding.
+    pub check_shape: bool,
+}
+
+impl CaptureSpec {
+    /// A workload capture at the given opt level and default threads.
+    pub fn workload(name: &str, opt: OptLevel) -> Self {
+        CaptureSpec {
+            source: JobSource::Workload(name.to_string()),
+            threads: None,
+            opt,
+            policy: ValidationPolicy::Strict,
+            check_shape: false,
+        }
+    }
+
+    /// A trace-file capture (strict decoding).
+    pub fn trace_file(path: &str, workload: Option<&str>, opt: OptLevel) -> Self {
+        CaptureSpec {
+            source: JobSource::TraceFile {
+                path: path.to_string(),
+                workload: workload.map(str::to_string),
+            },
+            threads: None,
+            opt,
+            policy: ValidationPolicy::Strict,
+            check_shape: false,
+        }
+    }
+
+    /// Sets the thread count (chainable).
+    pub fn with_threads(mut self, n: u32) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the validation policy (chainable).
+    pub fn with_policy(mut self, p: ValidationPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Enables shape validation (chainable).
+    pub fn with_shape_check(mut self, on: bool) -> Self {
+        self.check_shape = on;
+        self
+    }
+}
+
+/// Analyzer knobs a job may override — the serde-able subset of
+/// `AnalyzerConfig` (everything except the observability handle, which
+/// the serving layer owns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerKnobs {
+    /// Warp width (1–64).
+    pub warp_size: u32,
+    /// Thread-to-warp batching policy.
+    pub batching: BatchPolicy,
+    /// Emulate intra-warp lock serialization (paper Fig. 9).
+    pub intra_warp_locks: bool,
+    /// Reconvergence-point policy.
+    pub reconvergence: ReconvergencePolicy,
+    /// Analyzer worker threads (0 = the host's available parallelism).
+    /// Reports are bit-identical at every worker count.
+    pub parallelism: u32,
+}
+
+impl Default for AnalyzerKnobs {
+    fn default() -> Self {
+        AnalyzerKnobs {
+            warp_size: 32,
+            batching: BatchPolicy::Linear,
+            intra_warp_locks: false,
+            reconvergence: ReconvergencePolicy::DynamicIpdom,
+            parallelism: 0,
+        }
+    }
+}
+
+impl AnalyzerKnobs {
+    /// Applies the knobs to a capture view (resolving `parallelism: 0` to
+    /// the host's available parallelism).
+    fn apply<'t>(&self, view: TracedView<'t>) -> TracedView<'t> {
+        let workers = match self.parallelism {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n as usize,
+        };
+        view.warp_size(self.warp_size)
+            .batching(self.batching)
+            .intra_warp_locks(self.intra_warp_locks)
+            .reconvergence(self.reconvergence)
+            .parallelism(workers)
+    }
+}
+
+/// An analysis (or hardware-measurement) job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeJob {
+    /// The capture to analyze.
+    pub capture: CaptureSpec,
+    /// Analyzer configuration.
+    pub config: AnalyzerKnobs,
+}
+
+/// A warm-sweep job: the capture is resolved once and every
+/// `warp × batching` cell replays against its shared analysis index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepJob {
+    /// The capture to sweep.
+    pub capture: CaptureSpec,
+    /// Base analyzer configuration (warp/batching overridden per cell).
+    pub config: AnalyzerKnobs,
+    /// Warp widths to sweep.
+    pub warps: Vec<u32>,
+    /// Batching policies to sweep.
+    pub batchings: Vec<BatchPolicy>,
+}
+
+/// A speedup-projection job (paper Fig. 6 style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupJob {
+    /// The capture to project from.
+    pub capture: CaptureSpec,
+    /// Analyzer configuration for warp-trace generation.
+    pub config: AnalyzerKnobs,
+    /// Simulated SIMT device cores (SMs).
+    pub cores: u32,
+}
+
+/// A trace-file validation job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidateJob {
+    /// The file (and decode policy) to check. The source must be
+    /// [`JobSource::TraceFile`].
+    pub capture: CaptureSpec,
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// The terminal frame of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Result or structured failure.
+    pub outcome: JobOutcome,
+}
+
+/// What a job produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Full analysis report.
+    Analysis(AnalysisReport),
+    /// One row per sweep cell, in `warps × batchings` order.
+    Sweep(Vec<SweepRow>),
+    /// Speedup projection summary.
+    Speedup(SpeedupSummary),
+    /// Warp-native lock-step measurement summary.
+    Hardware(HardwareSummary),
+    /// Trace-file validation verdict.
+    Validation(ValidationReport),
+    /// Liveness answer.
+    Pong,
+    /// Server statistics.
+    Stats(ServeStats),
+    /// Acknowledged (shutdown).
+    Done,
+    /// The job failed; the error says where and why.
+    Failed(JobError),
+}
+
+/// One cell of a sweep response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Warp width of this cell.
+    pub warp: u32,
+    /// Batching policy of this cell.
+    pub batching: BatchPolicy,
+    /// Whole-program SIMT efficiency (Eq. 1).
+    pub simt_efficiency: f64,
+    /// Total 32-byte memory transactions.
+    pub transactions: u64,
+}
+
+/// Speedup projection, flattened for the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Simulated device cycles.
+    pub gpu_cycles: u64,
+    /// Device instructions per cycle.
+    pub gpu_ipc: f64,
+    /// Simulated SIMT cores.
+    pub gpu_cores: u32,
+    /// Simulated CPU cycles.
+    pub cpu_cycles: u64,
+    /// Simulated CPU cores.
+    pub cpu_cores: u32,
+    /// CPU time / GPU time at the configured clocks.
+    pub speedup: f64,
+}
+
+/// Warp-native lock-step measurement, flattened for the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSummary {
+    /// Warp width measured.
+    pub warp_size: u32,
+    /// Lock-step issue slots.
+    pub issues: u64,
+    /// Per-thread instructions.
+    pub thread_insts: u64,
+    /// SIMT efficiency (Eq. 1).
+    pub simt_efficiency: f64,
+    /// Heap-segment 32-byte transactions.
+    pub heap_transactions: u64,
+    /// Heap transactions per warp-level memory instruction.
+    pub heap_transactions_per_inst: f64,
+    /// Stack-segment 32-byte transactions.
+    pub stack_transactions: u64,
+    /// Stack transactions per warp-level memory instruction.
+    pub stack_transactions_per_inst: f64,
+}
+
+/// Trace-file validation verdict. A file-level rejection is reported as
+/// [`JobOutcome::Failed`] with a `Decode` error instead, so clients parse
+/// exactly one error schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// No thread was rejected.
+    pub valid: bool,
+    /// Threads that decoded and validated cleanly.
+    pub threads: u32,
+    /// Threads quarantined under `SkipBadThreads`, in file order.
+    pub quarantined: Vec<QuarantinedThread>,
+}
+
+/// One quarantined thread record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedThread {
+    /// Ordinal of the record within the file (0-based).
+    pub index: u32,
+    /// The tid the record claimed, when its header was readable.
+    pub tid: Option<u32>,
+    /// Why the record was rejected.
+    pub error: String,
+}
+
+/// Server statistics ([`JobOp::Stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Jobs answered successfully.
+    pub jobs_done: u64,
+    /// Jobs answered with a [`JobError`] (excluding rejections).
+    pub jobs_failed: u64,
+    /// Jobs rejected at the door with `Overloaded` backpressure.
+    pub jobs_rejected: u64,
+    /// Capture-cache lookups that found an entry.
+    pub cache_hits: u64,
+    /// Capture-cache lookups that built a new entry.
+    pub cache_misses: u64,
+    /// Entries evicted to stay inside the byte budget.
+    pub cache_evictions: u64,
+    /// Bytes currently resident in the capture cache.
+    pub cache_bytes: u64,
+    /// Entries currently resident in the capture cache.
+    pub cache_entries: u64,
+    /// Configured job-queue capacity.
+    pub queue_capacity: u32,
+    /// Worker threads serving jobs.
+    pub workers: u32,
+}
+
+/// One streamed per-job observability event (`stream_obs: true`):
+/// interleaved with (always before) the job's terminal [`JobResponse`]
+/// line. Distinguish frames by key: responses have `outcome`, obs frames
+/// have `obs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsFrame {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The event.
+    pub obs: ObsEventWire,
+}
+
+/// A [`PhaseEvent`] flattened for the wire (same field vocabulary as the
+/// `JsonLinesSink` file format).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsEventWire {
+    /// `"span_start"`, `"span_end"`, `"counter"`, or `"histogram"`.
+    pub event: String,
+    /// Phase name (`"trace"`, `"warp-emulate"`, …).
+    pub phase: String,
+    /// Counter/histogram name (`null` for spans).
+    pub name: Option<String>,
+    /// Counter/histogram value (`null` for spans).
+    pub value: Option<f64>,
+    /// Span wall time in nanoseconds (`null` otherwise).
+    pub nanos: Option<u64>,
+}
+
+impl ObsEventWire {
+    /// Flattens a [`PhaseEvent`]; `None` for event kinds this wire
+    /// revision does not carry.
+    pub fn from_event(e: &PhaseEvent) -> Option<Self> {
+        let w = match e {
+            PhaseEvent::SpanStart { phase } => ObsEventWire {
+                event: "span_start".into(),
+                phase: phase.name().into(),
+                name: None,
+                value: None,
+                nanos: None,
+            },
+            PhaseEvent::SpanEnd { phase, nanos } => ObsEventWire {
+                event: "span_end".into(),
+                phase: phase.name().into(),
+                name: None,
+                value: None,
+                nanos: Some(*nanos),
+            },
+            PhaseEvent::Counter { phase, name, value } => ObsEventWire {
+                event: "counter".into(),
+                phase: phase.name().into(),
+                name: Some((*name).into()),
+                value: Some(*value as f64),
+                nanos: None,
+            },
+            PhaseEvent::Histogram { phase, name, value } => ObsEventWire {
+                event: "histogram".into(),
+                phase: phase.name().into(),
+                name: Some((*name).into()),
+                value: Some(*value),
+                nanos: None,
+            },
+            _ => return None,
+        };
+        Some(w)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Stable machine-readable failure classes. `#[non_exhaustive]`: new
+/// classes may appear; clients must treat unknown codes as `Internal`.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobErrorCode {
+    /// The request itself is malformed (unparseable line, missing
+    /// workload for a trace-file analysis, bad knob value).
+    BadRequest,
+    /// The named workload does not exist.
+    UnknownWorkload,
+    /// Reading a trace file from disk failed.
+    Io,
+    /// Trace-file decoding rejected the input
+    /// ([`PipelineError::Decode`]).
+    Decode,
+    /// Native MIMD execution failed ([`PipelineError::Machine`]).
+    Machine,
+    /// Trace analysis failed ([`PipelineError::Analyze`]).
+    Analyze,
+    /// Lock-step ground-truth execution failed
+    /// ([`PipelineError::Lockstep`]).
+    Lockstep,
+    /// The device simulation finished in zero cycles.
+    ZeroCycleSimulation,
+    /// The device simulation exhausted its cycle budget.
+    TruncatedSimulation,
+    /// The server's job queue is full — back off for `retry_after_ms`
+    /// and resubmit.
+    Overloaded,
+    /// The server is shutting down and no longer accepts jobs.
+    ShuttingDown,
+    /// The op is not available in this execution context (e.g. `Stats`
+    /// without a server).
+    Unsupported,
+    /// Anything else.
+    Internal,
+}
+
+/// A structured job failure: a stable code, a human-readable message, and
+/// — when the underlying error attributes one — the pipeline phase,
+/// thread, and warp it belongs to. `#[non_exhaustive]`: construct through
+/// [`JobError::new`] and the `with_*` setters.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobError {
+    /// Failure class.
+    pub code: JobErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// Pipeline phase the failure belongs to (`"decode"`, `"trace"`,
+    /// `"warp-emulate"`, …), when attributable.
+    pub phase: Option<String>,
+    /// Offending thread (trace-file ordinal or tid), when attributable.
+    pub thread: Option<u32>,
+    /// Offending warp, when attributable.
+    pub warp: Option<u32>,
+    /// For `Overloaded`: suggested client backoff before resubmitting.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl JobError {
+    /// A new error with no attribution.
+    pub fn new(code: JobErrorCode, message: impl Into<String>) -> Self {
+        JobError {
+            code,
+            message: message.into(),
+            phase: None,
+            thread: None,
+            warp: None,
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches a phase (chainable).
+    pub fn with_phase(mut self, phase: Phase) -> Self {
+        self.phase = Some(phase.name().to_string());
+        self
+    }
+
+    /// Attaches a retry hint (chainable); used with
+    /// [`JobErrorCode::Overloaded`].
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// A `BadRequest` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        JobError::new(JobErrorCode::BadRequest, message)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)?;
+        if let Some(p) = &self.phase {
+            write!(f, " (phase {p}")?;
+            if let Some(t) = self.thread {
+                write!(f, ", thread {t}")?;
+            }
+            if let Some(w) = self.warp {
+                write!(f, ", warp {w}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<PipelineError> for JobError {
+    fn from(e: PipelineError) -> Self {
+        let code = match &e {
+            PipelineError::Decode(_) => JobErrorCode::Decode,
+            PipelineError::Machine(_) => JobErrorCode::Machine,
+            PipelineError::Analyze(_) => JobErrorCode::Analyze,
+            PipelineError::Lockstep(_) => JobErrorCode::Lockstep,
+            PipelineError::ZeroCycleSimulation => JobErrorCode::ZeroCycleSimulation,
+            PipelineError::TruncatedSimulation => JobErrorCode::TruncatedSimulation,
+        };
+        let mut err = JobError::new(code, e.to_string()).with_phase(e.phase());
+        err.thread = e.thread();
+        err.warp = e.warp();
+        err
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Captures
+// ---------------------------------------------------------------------------
+
+/// A resolved capture: the reusable [`Traced`] artifact plus the decode
+/// quarantine report (non-empty only for `SkipBadThreads` trace files).
+/// This is what the server's cache holds, one entry per [`CaptureSpec`]
+/// content hash.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    traced: Traced,
+    quarantined: Vec<QuarantinedThread>,
+    bytes: u64,
+}
+
+impl Capture {
+    /// The capture's replayable artifact.
+    pub fn traced(&self) -> &Traced {
+        &self.traced
+    }
+
+    /// Threads quarantined while decoding (empty for workload captures
+    /// and strict decodes).
+    pub fn quarantined(&self) -> &[QuarantinedThread] {
+        &self.quarantined
+    }
+
+    /// Approximate resident size, used for cache byte budgeting: the
+    /// columnar trace storage dominates; program + index are charged as a
+    /// flat overhead.
+    pub fn cost_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Stable content hash of a capture spec — the cache key. FNV-1a over
+/// the identifying inputs: the program identity (workload name, or the
+/// trace file's *bytes*), optimization level, thread count, validation
+/// policy, and shape-check flag.
+///
+/// # Errors
+/// `Io` when a trace file cannot be read (the hash covers its content).
+pub fn capture_key(spec: &CaptureSpec) -> Result<u64, JobError> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    match &spec.source {
+        JobSource::Workload(name) => {
+            eat(b"workload\0");
+            eat(name.as_bytes());
+        }
+        JobSource::TraceFile { path, workload } => {
+            eat(b"trace-file\0");
+            let bytes = std::fs::read(path)
+                .map_err(|e| JobError::new(JobErrorCode::Io, format!("{path}: {e}")))?;
+            eat(&bytes);
+            eat(b"\0");
+            if let Some(w) = workload {
+                eat(w.as_bytes());
+            }
+        }
+    }
+    eat(&[0, spec.opt as u8]);
+    eat(&spec.threads.unwrap_or(u32::MAX).to_le_bytes());
+    eat(&[matches!(spec.policy, ValidationPolicy::SkipBadThreads) as u8, spec.check_shape as u8]);
+    Ok(h)
+}
+
+fn resolve_workload(name: &str) -> Result<Workload, JobError> {
+    by_name(name).ok_or_else(|| {
+        JobError::new(
+            JobErrorCode::UnknownWorkload,
+            format!("unknown workload `{name}` (see `threadfuser list`)"),
+        )
+    })
+}
+
+fn pipeline_for(spec: &CaptureSpec, w: &Workload, obs: &Obs) -> Pipeline {
+    let mut p = Pipeline::from_workload(w).opt_level(spec.opt).observe(obs.clone());
+    if let Some(t) = spec.threads {
+        p = p.threads(t);
+    }
+    p
+}
+
+/// Resolves a capture spec into a reusable [`Capture`]: workloads are
+/// optimized, predecoded, and traced; trace files are decoded under the
+/// spec's policy and adopted against their workload's program. The
+/// analysis index (DCFGs + IPDOMs) is built eagerly here, so a cached
+/// capture pays trace + predecode + DCFG + IPDOM exactly once no matter
+/// how many jobs replay against it. `obs` is the capture-level
+/// observability handle (trace spans, the shared `index-build` span and
+/// `index_hits`/`index_misses` counters).
+///
+/// # Errors
+/// `UnknownWorkload`/`Io`/`BadRequest` while resolving the source, and
+/// every capture-phase [`PipelineError`] mapped onto [`JobError`].
+pub fn load_capture(spec: &CaptureSpec, obs: &Obs) -> Result<Capture, JobError> {
+    let capture = match &spec.source {
+        JobSource::Workload(name) => {
+            let w = resolve_workload(name)?;
+            let traced = pipeline_for(spec, &w, obs).trace().map_err(JobError::from)?;
+            let bytes = traced.traces().storage_bytes() as u64 + CAPTURE_OVERHEAD_BYTES;
+            Capture { traced, quarantined: Vec::new(), bytes }
+        }
+        JobSource::TraceFile { path, workload } => {
+            let name = workload.as_deref().ok_or_else(|| {
+                JobError::bad_request("trace-file analysis needs a workload to replay against")
+            })?;
+            let w = resolve_workload(name)?;
+            let decoded = decode_trace_file(path, spec, Some(&w), obs)?;
+            let bytes = decoded.traces.storage_bytes() as u64 + CAPTURE_OVERHEAD_BYTES;
+            let traced = pipeline_for(spec, &w, obs).adopt_traces(decoded.traces);
+            Capture { traced, quarantined: quarantine_rows(&decoded.quarantined), bytes }
+        }
+    };
+    capture.traced.index().map_err(JobError::from)?;
+    Ok(capture)
+}
+
+/// Flat per-capture overhead charged on top of the columnar trace bytes
+/// (optimized program, predecoded form, index graphs).
+const CAPTURE_OVERHEAD_BYTES: u64 = 64 * 1024;
+
+fn quarantine_rows(qs: &[threadfuser_tracer::Quarantined]) -> Vec<QuarantinedThread> {
+    qs.iter()
+        .map(|q| QuarantinedThread { index: q.index, tid: q.tid, error: q.error.to_string() })
+        .collect()
+}
+
+fn decode_trace_file(
+    path: &str,
+    spec: &CaptureSpec,
+    workload: Option<&Workload>,
+    obs: &Obs,
+) -> Result<threadfuser_tracer::Decoded, JobError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| JobError::new(JobErrorCode::Io, format!("{path}: {e}")))?;
+    let mut opts = DecodeOptions { policy: spec.policy, ..DecodeOptions::default() };
+    if spec.check_shape {
+        // The optimizer is deterministic: applying the spec's level yields
+        // the binary the file claims to come from, so its shape bounds
+        // every func/block id.
+        if let Some(w) = workload {
+            opts.shape = Some(ProgramShape::from_program(&spec.opt.apply(&w.program)));
+        }
+    }
+    decode_observed(&bytes, &opts, obs).map_err(|e| JobError::from(PipelineError::Decode(e)))
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// The capture spec an op wants resolved through the capture cache, if
+/// any. `Hardware` and `Validate` return `None`: the former runs the
+/// program natively instead of replaying a capture, the latter is an
+/// I/O-bound structural check.
+pub fn capture_spec(op: &JobOp) -> Option<&CaptureSpec> {
+    match op {
+        JobOp::Analyze(j) => Some(&j.capture),
+        JobOp::Sweep(j) => Some(&j.capture),
+        JobOp::Speedup(j) => Some(&j.capture),
+        JobOp::Hardware(_) | JobOp::Validate(_) | JobOp::Ping | JobOp::Stats | JobOp::Shutdown => {
+            None
+        }
+    }
+}
+
+/// Runs a capture-bearing op against an already-resolved capture — the
+/// post-capture half every serving path shares, which is why cached
+/// responses are bit-identical to direct [`execute`] calls. `obs` is the
+/// per-job handle: analysis spans/counters go there, while the capture's
+/// own handle keeps the index-build counters.
+///
+/// # Errors
+/// [`JobError`] with the analyzer/simulator failure, `Unsupported` for
+/// ops that do not take a capture.
+pub fn run_on_capture(op: &JobOp, capture: &Capture, obs: &Obs) -> Result<JobOutcome, JobError> {
+    match op {
+        JobOp::Analyze(j) => {
+            let report = j.config.apply(capture.traced.view()).observe(obs.clone()).analyze()?;
+            Ok(JobOutcome::Analysis(report))
+        }
+        JobOp::Sweep(j) => {
+            if j.warps.is_empty() || j.batchings.is_empty() {
+                return Err(JobError::bad_request("sweep needs at least one warp and batching"));
+            }
+            let mut rows = Vec::with_capacity(j.warps.len() * j.batchings.len());
+            for &warp in &j.warps {
+                for &batching in &j.batchings {
+                    let report = j
+                        .config
+                        .apply(capture.traced.view())
+                        .observe(obs.clone())
+                        .warp_size(warp)
+                        .batching(batching)
+                        .analyze()?;
+                    rows.push(SweepRow {
+                        warp,
+                        batching,
+                        simt_efficiency: report.simt_efficiency(),
+                        transactions: report.total_transactions(),
+                    });
+                }
+            }
+            Ok(JobOutcome::Sweep(rows))
+        }
+        JobOp::Speedup(j) => {
+            let simt = SimtSimConfig { n_cores: j.cores, ..SimtSimConfig::default() };
+            let cpu = CpuSimConfig::default();
+            let proj = j
+                .config
+                .apply(capture.traced.view())
+                .observe(obs.clone())
+                .project_speedup(&simt, &cpu)?;
+            Ok(JobOutcome::Speedup(SpeedupSummary {
+                gpu_cycles: proj.gpu.cycles,
+                gpu_ipc: proj.gpu.ipc(),
+                gpu_cores: j.cores,
+                cpu_cycles: proj.cpu.cycles,
+                cpu_cores: cpu.n_cores,
+                speedup: proj.speedup,
+            }))
+        }
+        _ => Err(JobError::new(
+            JobErrorCode::Unsupported,
+            "op does not run against a capture".to_string(),
+        )),
+    }
+}
+
+fn run_hardware(j: &AnalyzeJob, obs: &Obs) -> Result<JobOutcome, JobError> {
+    let name = match &j.capture.source {
+        JobSource::Workload(name) => name,
+        JobSource::TraceFile { workload, .. } => workload.as_deref().ok_or_else(|| {
+            JobError::bad_request("hardware measurement needs a workload to execute")
+        })?,
+    };
+    let w = resolve_workload(name)?;
+    let stats = pipeline_for(&j.capture, &w, obs)
+        .warp_size(j.config.warp_size)
+        .measure_hardware()
+        .map_err(JobError::from)?;
+    Ok(JobOutcome::Hardware(HardwareSummary {
+        warp_size: stats.warp_size,
+        issues: stats.issues,
+        thread_insts: stats.thread_insts,
+        simt_efficiency: stats.simt_efficiency(),
+        heap_transactions: stats.heap.transactions,
+        heap_transactions_per_inst: stats.heap.transactions_per_inst(),
+        stack_transactions: stats.stack.transactions,
+        stack_transactions_per_inst: stats.stack.transactions_per_inst(),
+    }))
+}
+
+fn run_validate(j: &ValidateJob, obs: &Obs) -> Result<JobOutcome, JobError> {
+    let spec = &j.capture;
+    let (path, workload) = match &spec.source {
+        JobSource::TraceFile { path, workload } => (path, workload),
+        JobSource::Workload(_) => {
+            return Err(JobError::bad_request("validate takes a trace file, not a workload"))
+        }
+    };
+    let w = match workload.as_deref() {
+        Some(name) => Some(resolve_workload(name)?),
+        None => None,
+    };
+    let decoded = decode_trace_file(path, spec, w.as_ref(), obs)?;
+    let quarantined = quarantine_rows(&decoded.quarantined);
+    Ok(JobOutcome::Validation(ValidationReport {
+        valid: quarantined.is_empty(),
+        threads: decoded.traces.threads().len() as u32,
+        quarantined,
+    }))
+}
+
+/// Executes one op directly: resolve the capture (uncached), run. The
+/// serving ops (`Stats`, `Shutdown`) answer `Unsupported` here — only
+/// the long-running server implements them.
+///
+/// # Errors
+/// Every [`JobError`] the op can produce.
+pub fn execute_op(op: &JobOp, obs: &Obs) -> Result<JobOutcome, JobError> {
+    match op {
+        JobOp::Analyze(_) | JobOp::Sweep(_) | JobOp::Speedup(_) => {
+            let spec = capture_spec(op).expect("capture-bearing op");
+            let capture = load_capture(spec, obs)?;
+            run_on_capture(op, &capture, obs)
+        }
+        JobOp::Hardware(j) => run_hardware(j, obs),
+        JobOp::Validate(j) => run_validate(j, obs),
+        JobOp::Ping => Ok(JobOutcome::Pong),
+        JobOp::Stats | JobOp::Shutdown => Err(JobError::new(
+            JobErrorCode::Unsupported,
+            "this op is only served by threadfuser-serve",
+        )),
+    }
+}
+
+/// Answers a request directly (no capture cache) — the CLI's execution
+/// path. Failures land in [`JobOutcome::Failed`]; this never panics on
+/// bad requests.
+pub fn execute(req: &JobRequest, obs: &Obs) -> JobResponse {
+    let outcome = match execute_op(&req.op, obs) {
+        Ok(o) => o,
+        Err(e) => JobOutcome::Failed(e),
+    };
+    JobResponse { id: req.id, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = JobRequest::new(
+            7,
+            JobOp::Analyze(AnalyzeJob {
+                capture: CaptureSpec::workload("bfs", OptLevel::O1).with_threads(64),
+                config: AnalyzerKnobs { warp_size: 16, ..AnalyzerKnobs::default() },
+            }),
+        );
+        let line = serde_json::to_string(&req).unwrap();
+        let back: JobRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn direct_execution_matches_pipeline() {
+        let req = JobRequest::new(
+            1,
+            JobOp::Analyze(AnalyzeJob {
+                capture: CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(64),
+                config: AnalyzerKnobs::default(),
+            }),
+        );
+        let resp = execute(&req, &Obs::none());
+        let JobOutcome::Analysis(report) = &resp.outcome else {
+            panic!("expected analysis, got {:?}", resp.outcome)
+        };
+        let w = threadfuser_workloads::by_name("vectoradd").unwrap();
+        let direct = Pipeline::from_workload(&w).threads(64).analyze().unwrap();
+        assert_eq!(*report, direct);
+    }
+
+    #[test]
+    fn pipeline_errors_keep_their_context() {
+        let e = PipelineError::Analyze(threadfuser_analyzer::AnalyzeError::IssueBudget { warp: 3 });
+        let j = JobError::from(e);
+        assert_eq!(j.code, JobErrorCode::Analyze);
+        assert_eq!(j.phase.as_deref(), Some("warp-emulate"));
+        assert_eq!(j.warp, Some(3));
+        let line = serde_json::to_string(&j).unwrap();
+        let back: JobError = serde_json::from_str(&line).unwrap();
+        assert_eq!(j, back);
+    }
+
+    #[test]
+    fn unknown_workload_is_a_structured_error() {
+        let req = JobRequest::new(
+            2,
+            JobOp::Analyze(AnalyzeJob {
+                capture: CaptureSpec::workload("nope", OptLevel::O3),
+                config: AnalyzerKnobs::default(),
+            }),
+        );
+        let resp = execute(&req, &Obs::none());
+        let JobOutcome::Failed(e) = &resp.outcome else { panic!("expected failure") };
+        assert_eq!(e.code, JobErrorCode::UnknownWorkload);
+    }
+
+    #[test]
+    fn capture_keys_separate_policies_and_configs() {
+        let a = CaptureSpec::workload("bfs", OptLevel::O3);
+        let b = a.clone().with_policy(ValidationPolicy::SkipBadThreads);
+        let c = a.clone().with_threads(64);
+        let d = CaptureSpec::workload("bfs", OptLevel::O1);
+        let ka = capture_key(&a).unwrap();
+        assert_eq!(ka, capture_key(&a.clone()).unwrap());
+        assert_ne!(ka, capture_key(&b).unwrap());
+        assert_ne!(ka, capture_key(&c).unwrap());
+        assert_ne!(ka, capture_key(&d).unwrap());
+    }
+}

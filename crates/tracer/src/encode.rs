@@ -228,7 +228,7 @@ impl Default for DecodeLimits {
 
 /// What to do with a thread record whose content fails validation but
 /// whose byte extent is still known.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ValidationPolicy {
     /// Reject the whole file on the first corrupt thread (the default).
     #[default]

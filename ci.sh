@@ -72,20 +72,25 @@ for _ in $(seq 50); do
     sleep 0.1
 done
 grep -q "listening on" "$SMOKE_DIR/serve.log"
-# Four jobs down one connection: analyze, sweep, a strict validate of the
-# corrupt file, and a graceful shutdown.
+# Five jobs down one connection: analyze, a legacy-shaped sweep (no
+# model/formation fields — the wire back-compat proof), a model×formation
+# grid sweep, a strict validate of the corrupt file, and a graceful
+# shutdown.
 CAPTURE='{"source":{"Workload":"vectoradd"},"threads":32,"opt":"O3","policy":"Strict","check_shape":false}'
 KNOBS='{"warp_size":32,"batching":"Linear","intra_warp_locks":false,"reconvergence":"DynamicIpdom","parallelism":0}'
 exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
 printf '%s\n' \
   "{\"id\":1,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Analyze\":{\"capture\":$CAPTURE,\"config\":$KNOBS}}}" \
   "{\"id\":2,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Sweep\":{\"capture\":$CAPTURE,\"config\":$KNOBS,\"warps\":[8,32],\"batchings\":[\"Linear\"]}}}" \
+  "{\"id\":5,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Sweep\":{\"capture\":$CAPTURE,\"config\":$KNOBS,\"warps\":[32],\"batchings\":[\"Linear\"],\"models\":[\"IpdomStack\",\"StacklessPcMin\",\"BranchMelding\"],\"formations\":[\"Fixed\",{\"DynamicResize\":{\"min_width\":8}}]}}}" \
   "{\"id\":3,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Validate\":{\"capture\":{\"source\":{\"TraceFile\":{\"path\":\"$SMOKE_DIR/corrupt.bin\",\"workload\":\"vectoradd\"}},\"threads\":null,\"opt\":\"O3\",\"policy\":\"Strict\",\"check_shape\":true}}}}" \
   "{\"id\":4,\"tenant\":null,\"stream_obs\":false,\"op\":\"Shutdown\"}" >&3
-SMOKE_RESP=$(timeout 60 head -n 4 <&3)
+SMOKE_RESP=$(timeout 60 head -n 5 <&3)
 exec 3<&- 3>&-
 echo "$SMOKE_RESP" | grep -q '"Analysis"'   # analyze answered with a report
 echo "$SMOKE_RESP" | grep -q '"Sweep"'      # sweep answered with rows
+echo "$SMOKE_RESP" | grep -q 'StacklessPcMin'   # model grid swept the stackless machine
+echo "$SMOKE_RESP" | grep -q 'DynamicResize'    # ... and the resizing formation
 echo "$SMOKE_RESP" | grep -q '"Decode"'     # corrupt file → structured decode error
 echo "$SMOKE_RESP" | grep -q '"Done"'       # shutdown acknowledged
 # Clean exit: the daemon must terminate on its own after Shutdown.

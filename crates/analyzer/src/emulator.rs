@@ -16,6 +16,15 @@
 //! one group — and everyone reconverges at the anticipated reconvergence
 //! point: the block following one thread's matching unlock.
 //!
+//! The emulated machine itself is an axis, not a point
+//! ([`ReconvergenceModel`] × [`WarpFormation`]): besides the paper's
+//! IPDOM stack at fixed warp width, the emulator models MEC-style
+//! stackless earliest-PC scheduling and DARM-style melding of
+//! structurally-identical divergent regions, and can charge issues at
+//! dynamically-resized sub-warp widths. Every model replays the same
+//! cursors through the same coalescing path, dispatched by plain enum
+//! match — no trait objects, and no model knob invalidates the index.
+//!
 //! Graph construction and IPDOM solving live in the shared
 //! [`AnalysisIndex`]; [`analyze_indexed`] replays warps against a
 //! prebuilt index so knob sweeps over one capture pay that cost once.
@@ -56,6 +65,80 @@ pub enum ReconvergencePolicy {
     FunctionExit,
 }
 
+/// The reconvergence machinery of the modeled SIMT machine — the
+/// hardware-model axis (ROADMAP item 2).
+///
+/// All models replay the same traces through the same shared
+/// [`AnalysisIndex`], columnar cursors, and coalescing path; dispatch is
+/// a plain enum match inside the emulator (no trait objects), so
+/// sweeping models over one capture never invalidates the index.
+/// Orthogonal to [`ReconvergencePolicy`], which selects reconvergence
+/// *points* within the stack-based models.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReconvergenceModel {
+    /// Per-warp IPDOM reconvergence stack — the paper's machine and the
+    /// default. Honors [`ReconvergencePolicy`].
+    #[default]
+    IpdomStack,
+    /// Stackless MEC-style control-flow management (arxiv 2407.02944):
+    /// thread groups carry their own call-stack position, the
+    /// earliest-PC group issues next, and groups arriving at identical
+    /// positions opportunistically merge. [`ReconvergencePolicy`] is
+    /// ignored — there are no precomputed reconvergence points.
+    StacklessPcMin,
+    /// DARM-style control-flow melding (arxiv 2107.05681): the IPDOM
+    /// stack machine, except a two-way divergence whose arms are
+    /// straight-line regions of identical shape on the way to the
+    /// reconvergence point executes melded — both arms issue together,
+    /// charged `max` of the paired block sizes per step.
+    BranchMelding,
+}
+
+impl ReconvergenceModel {
+    /// Stable label used for obs counters and CLI/wire tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReconvergenceModel::IpdomStack => "ipdom-stack",
+            ReconvergenceModel::StacklessPcMin => "stackless-pc-min",
+            ReconvergenceModel::BranchMelding => "branch-melding",
+        }
+    }
+}
+
+/// How lanes are packed into issue slots — the warp-formation axis
+/// (dynamic warp resizing, arxiv 1208.2374).
+///
+/// Formation never changes warp *membership* (that is [`BatchPolicy`]'s
+/// job and part of capture identity); it only changes how many lane
+/// slots each issue is charged, so every formation replays identical
+/// warps and agrees on `issues`, `thread_insts`, and memory traffic.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WarpFormation {
+    /// Every issue occupies the full warp width (the paper's machine).
+    #[default]
+    Fixed,
+    /// A diverged group issues at the smallest power-of-two width
+    /// covering its active lanes, clamped to `min_width..=warp_size`.
+    /// `min_width == warp_size` is exactly [`WarpFormation::Fixed`].
+    DynamicResize {
+        /// Narrowest sub-warp the modeled hardware can issue (clamped
+        /// to `1..=warp_size`).
+        min_width: u32,
+    },
+}
+
+impl WarpFormation {
+    /// Stable label used for obs counters and CLI/wire tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WarpFormation::Fixed => "fixed",
+            WarpFormation::DynamicResize { .. } => "dynamic-resize",
+        }
+    }
+}
+
 /// How the emulator reads each lane's trace during replay.
 ///
 /// Traces are stored columnar; the emulator normally replays them through
@@ -90,8 +173,10 @@ pub enum WarpScheduler {
 /// Analyzer configuration.
 ///
 /// Construct with [`AnalyzerConfig::new`] and refine through the
-/// chainable setters (or direct field assignment); the struct is
-/// `#[non_exhaustive]` so fields can grow without breaking callers.
+/// chainable `with_*` builder surface (or direct field assignment); the
+/// struct is `#[non_exhaustive]` so fields can grow without breaking
+/// callers. The pre-0.2 setter names remain as deprecated aliases for
+/// one release.
 ///
 /// [`AnalyzerConfig::analyze`] is the blessed entry point; none of these
 /// knobs invalidates a shared [`AnalysisIndex`], so sweeps should build
@@ -107,6 +192,11 @@ pub struct AnalyzerConfig {
     /// Emulate serialization of warp-mates contending on one lock
     /// (paper Fig. 9). When off, locks are assumed fine-grain.
     pub emulate_intra_warp_locks: bool,
+    /// Reconvergence machinery of the modeled machine (hardware-model
+    /// axis; default IPDOM stack).
+    pub model: ReconvergenceModel,
+    /// Lane-slot formation of the modeled machine (default fixed width).
+    pub formation: WarpFormation,
     /// Reconvergence-point selection (ablation; default dynamic IPDOM).
     pub reconvergence: ReconvergencePolicy,
     /// Worker threads for warp-parallel analysis (1 = sequential).
@@ -129,6 +219,8 @@ impl AnalyzerConfig {
             warp_size,
             batching: BatchPolicy::Linear,
             emulate_intra_warp_locks: false,
+            model: ReconvergenceModel::default(),
+            formation: WarpFormation::default(),
             reconvergence: ReconvergencePolicy::default(),
             parallelism: 1,
             scheduler: WarpScheduler::default(),
@@ -138,59 +230,127 @@ impl AnalyzerConfig {
         }
     }
 
-    /// Sets the warp width (chainable; same name as the `Pipeline`
-    /// builder — fields and methods live in separate namespaces).
-    pub fn warp_size(mut self, w: u32) -> Self {
+    /// Sets the warp width (chainable).
+    pub fn with_warp(mut self, w: u32) -> Self {
         self.warp_size = w;
         self
     }
 
     /// Sets the thread→warp batching policy (chainable).
-    pub fn batching(mut self, b: BatchPolicy) -> Self {
+    pub fn with_batching(mut self, b: BatchPolicy) -> Self {
         self.batching = b;
         self
     }
 
     /// Enables intra-warp lock serialization emulation (chainable).
-    pub fn intra_warp_locks(mut self, on: bool) -> Self {
+    pub fn with_locks(mut self, on: bool) -> Self {
         self.emulate_intra_warp_locks = on;
         self
     }
 
+    /// Selects the reconvergence model — the hardware-model axis
+    /// (chainable).
+    pub fn with_model(mut self, m: ReconvergenceModel) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Selects the warp-formation model (chainable).
+    pub fn with_formation(mut self, f: WarpFormation) -> Self {
+        self.formation = f;
+        self
+    }
+
     /// Selects the reconvergence-point policy (chainable).
-    pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
+    pub fn with_reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
         self.reconvergence = policy;
         self
     }
 
     /// Sets the worker-thread count (chainable).
-    pub fn parallelism(mut self, n: usize) -> Self {
+    pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n;
         self
     }
 
     /// Selects the warp-to-worker scheduler (chainable).
-    pub fn scheduler(mut self, s: WarpScheduler) -> Self {
+    pub fn with_scheduler(mut self, s: WarpScheduler) -> Self {
         self.scheduler = s;
         self
     }
 
     /// Selects the trace replay path (chainable).
-    pub fn replay(mut self, r: ReplayMode) -> Self {
+    pub fn with_replay(mut self, r: ReplayMode) -> Self {
         self.replay = r;
         self
     }
 
     /// Sets the per-warp issue budget (chainable).
-    pub fn max_issues(mut self, n: u64) -> Self {
+    pub fn with_max_issues(mut self, n: u64) -> Self {
         self.max_issues_per_warp = n;
         self
     }
 
     /// Attaches an observability handle (chainable).
-    pub fn observe(mut self, obs: Obs) -> Self {
+    pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    // ---- pre-0.2 setter names (deprecated aliases, one release) -----
+
+    /// Deprecated alias of [`AnalyzerConfig::with_warp`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_warp`")]
+    pub fn warp_size(self, w: u32) -> Self {
+        self.with_warp(w)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_batching`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_batching`")]
+    pub fn batching(self, b: BatchPolicy) -> Self {
+        self.with_batching(b)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_locks`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_locks`")]
+    pub fn intra_warp_locks(self, on: bool) -> Self {
+        self.with_locks(on)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_reconvergence`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_reconvergence`")]
+    pub fn reconvergence(self, policy: ReconvergencePolicy) -> Self {
+        self.with_reconvergence(policy)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_parallelism`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_parallelism`")]
+    pub fn parallelism(self, n: usize) -> Self {
+        self.with_parallelism(n)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_scheduler`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_scheduler`")]
+    pub fn scheduler(self, s: WarpScheduler) -> Self {
+        self.with_scheduler(s)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_replay`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_replay`")]
+    pub fn replay(self, r: ReplayMode) -> Self {
+        self.with_replay(r)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_max_issues`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_max_issues`")]
+    pub fn max_issues(self, n: u64) -> Self {
+        self.with_max_issues(n)
+    }
+
+    /// Deprecated alias of [`AnalyzerConfig::with_obs`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_obs`")]
+    pub fn observe(self, obs: Obs) -> Self {
+        self.with_obs(obs)
     }
 
     /// Runs the full analysis under this configuration: index
@@ -541,7 +701,7 @@ fn run_warp_with<C: LaneCursor>(
     let warp_span = ctx.config.obs.span(Phase::WarpEmulate);
     emu.run()?;
     if ctx.config.obs.enabled() {
-        emit_warp_obs(&ctx.config.obs, &emu.report);
+        emit_warp_obs(&ctx.config.obs, ctx.config, &emu.report);
     }
     warp_span.finish();
     *sink = emu.sink.take();
@@ -684,14 +844,20 @@ fn analyze_impl(
 
 /// Per-warp observability: `report` is the finished warp's own report
 /// (one warp per [`WarpEmulator`]), so its counters are warp-local.
-fn emit_warp_obs(obs: &Obs, report: &AnalysisReport) {
+fn emit_warp_obs(obs: &Obs, config: &AnalyzerConfig, report: &AnalysisReport) {
     obs.counter(Phase::WarpEmulate, "issues", report.issues);
+    obs.counter(Phase::WarpEmulate, "issue_slots", report.issue_slots);
     obs.counter(Phase::WarpEmulate, "thread_insts", report.thread_insts);
     obs.counter(Phase::WarpEmulate, "divergences", report.divergences);
     obs.counter(Phase::WarpEmulate, "reconvergences", report.reconvergences);
     obs.counter(Phase::WarpEmulate, "lock_serializations", report.lock_serializations);
+    obs.counter(Phase::WarpEmulate, "melds", report.melds);
     obs.counter(Phase::WarpEmulate, "heap_transactions", report.heap.transactions);
     obs.counter(Phase::WarpEmulate, "stack_transactions", report.stack.transactions);
+    // Per-model / per-formation attribution (static labels): sweep
+    // sinks can split issue counters by emulated machine.
+    obs.counter(Phase::WarpEmulate, config.model.label(), report.issues);
+    obs.counter(Phase::WarpEmulate, config.formation.label(), report.issue_slots);
     obs.histogram(Phase::WarpEmulate, "warp_issues", report.issues as f64);
 }
 
@@ -875,6 +1041,23 @@ struct Entry {
     is_frame: bool,
 }
 
+/// One thread group of the stackless scheduler
+/// ([`ReconvergenceModel::StacklessPcMin`]): lanes sharing a full
+/// call-stack position.
+#[derive(Debug)]
+struct SGroup {
+    /// Call stack, outermost first; the last frame is the current
+    /// `(function, node)` position. Groups merge only when their whole
+    /// frame stacks match.
+    frames: Vec<(FuncId, usize)>,
+    mask: u64,
+    /// Nonzero while serializing a contended critical section — blocks
+    /// merging until the group reaches `release_at`.
+    serial: u32,
+    /// Position at which `serial` clears (the block after the unlock).
+    release_at: Option<(FuncId, usize)>,
+}
+
 struct WarpEmulator<'a, 's, C: LaneCursor> {
     program: &'a Program,
     dcfgs: &'a DcfgSet,
@@ -951,11 +1134,19 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     }
 
     fn run(&mut self) -> Result<(), AnalyzeError> {
+        match self.config.model {
+            ReconvergenceModel::StacklessPcMin => self.run_stackless(),
+            ReconvergenceModel::IpdomStack | ReconvergenceModel::BranchMelding => self.run_stack(),
+        }
+    }
+
+    /// Verifies every lane opens with the same entry block; returns the
+    /// shared entry address and the full-warp mask (`None`: empty warp).
+    fn start(&mut self) -> Result<Option<(BlockAddr, u64)>, AnalyzeError> {
         let n = self.cursors.len();
         if n == 0 {
-            return Ok(());
+            return Ok(None);
         }
-        // All lanes must open with the kernel's entry block.
         let first = match self.cursors[0].peek_block() {
             Some((addr, _)) => addr,
             None => return Err(self.desync(0, "trace does not start with a block")),
@@ -970,6 +1161,39 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             }
         }
         let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Ok(Some((first, full)))
+    }
+
+    /// End-of-warp checks and the per-function fold, shared by every
+    /// [`ReconvergenceModel`].
+    fn finish(&mut self) -> Result<(), AnalyzeError> {
+        // Every lane must be fully consumed.
+        for l in 0..self.cursors.len() {
+            if !self.cursors[l].at_end() {
+                return Err(self.desync(l, "trailing events after warp completion"));
+            }
+        }
+
+        // Fold the per-function accumulators into the report's map.
+        for (fi, fr) in self.func_scratch.iter_mut().enumerate() {
+            if fr.own_issues == 0 && fr.invocations == 0 {
+                continue;
+            }
+            let mut fr = std::mem::take(fr);
+            fr.name = self.program.functions()[fi].name.clone();
+            self.report.per_function.insert(fi as u32, fr);
+        }
+        Ok(())
+    }
+
+    /// The IPDOM reconvergence stack machine
+    /// ([`ReconvergenceModel::IpdomStack`], and — via the melding hook on
+    /// the branch path — [`ReconvergenceModel::BranchMelding`]).
+    fn run_stack(&mut self) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        let Some((first, full)) = self.start()? else {
+            return Ok(());
+        };
         let vexit = self.dcfg(first.func)?.virtual_exit();
         self.stack.push(Entry {
             func: first.func,
@@ -1016,10 +1240,16 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             match term {
                 Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
                     let mut groups = std::mem::take(&mut self.groups_scratch);
-                    let result = self.group_by_next_block(top, &mut groups).and_then(|()| {
-                        let ipd = self.reconvergence_point(dcfg, top.func, top.node);
-                        self.apply_transition(top, &mut groups, ipd)
-                    });
+                    let result =
+                        self.group_by_next_block(top.func, top.mask, &mut groups).and_then(|()| {
+                            let ipd = self.reconvergence_point(dcfg, top.func, top.node);
+                            if self.config.model == ReconvergenceModel::BranchMelding
+                                && self.try_meld(top.func, &groups, ipd)?
+                            {
+                                return Ok(());
+                            }
+                            self.apply_transition(top, &mut groups, ipd)
+                        });
                     self.groups_scratch = groups;
                     result?;
                 }
@@ -1097,23 +1327,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             }
         }
 
-        // Every lane must be fully consumed.
-        for l in 0..n {
-            if !self.cursors[l].at_end() {
-                return Err(self.desync(l, "trailing events after warp completion"));
-            }
-        }
-
-        // Fold the per-function accumulators into the report's map.
-        for (fi, fr) in self.func_scratch.iter_mut().enumerate() {
-            if fr.own_issues == 0 && fr.invocations == 0 {
-                continue;
-            }
-            let mut fr = std::mem::take(fr);
-            fr.name = self.program.functions()[fi].name.clone();
-            self.report.per_function.insert(fi as u32, fr);
-        }
-        Ok(())
+        self.finish()
     }
 
     /// Pops a frame entry: all its lanes finished a function; set the
@@ -1152,11 +1366,54 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         Ok(())
     }
 
+    /// Lane slots one issue occupies for a group of `active` lanes under
+    /// the configured [`WarpFormation`]: `Fixed` always charges the full
+    /// warp width, `DynamicResize` the smallest covering power of two
+    /// clamped to `min_width..=warp_size`.
+    fn effective_width(&self, active: u64) -> u64 {
+        match self.config.formation {
+            WarpFormation::Fixed => self.config.warp_size as u64,
+            WarpFormation::DynamicResize { min_width } => {
+                let max = self.config.warp_size as u64;
+                let min = (min_width as u64).clamp(1, max);
+                active.max(1).next_power_of_two().clamp(min, max)
+            }
+        }
+    }
+
+    /// Accounts `ni` lock-step issues by a group of `active` lanes: each
+    /// issue occupies the formation's effective width in lane slots.
+    fn account_issue(&mut self, func: FuncId, ni: u64, active: u64) {
+        let slots = ni * self.effective_width(active);
+        self.report.issues += ni;
+        self.report.issue_slots += slots;
+        let fr = &mut self.func_scratch[func.0 as usize];
+        fr.own_issues += ni;
+        fr.own_issue_slots += slots;
+    }
+
     /// Consumes the Block + Mem events of every active lane and accounts
     /// issues, per-function attribution, and coalesced transactions.
     fn exec_block(&mut self, top: Entry) -> Result<(), AnalyzeError> {
+        let (ni, active) = self.exec_block_events(top.func, top.node, top.mask)?;
+        self.account_issue(top.func, ni, active);
+        Ok(())
+    }
+
+    /// Consumes the Block + Mem events of every lane in `mask` at
+    /// `(func, node)`, attributing per-thread instructions, the step
+    /// sink, and coalesced transactions. Returns the block's dynamic
+    /// instruction count and the active-lane count; *issue* accounting is
+    /// the caller's job — the stack, stackless, and melded paths weight
+    /// issues differently.
+    fn exec_block_events(
+        &mut self,
+        func: FuncId,
+        node: usize,
+        mask: u64,
+    ) -> Result<(u64, u64), AnalyzeError> {
         let n = self.cursors.len();
-        let addr = BlockAddr::new(top.func, BlockId(top.node as u32));
+        let addr = BlockAddr::new(func, BlockId(node as u32));
         let mut n_insts: Option<u32> = None;
         // Reuse the per-block scratch containers (hot loop: no fresh
         // allocations once the pools are warm).
@@ -1164,7 +1421,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         let mut pool = std::mem::take(&mut self.vec_pool);
         mem_groups.recycle_into(&mut pool);
         let mut active = 0u64;
-        for l in lanes_of(top.mask, n) {
+        for l in lanes_of(mask, n) {
             active += 1;
             let c = &mut self.cursors[l];
             match c.peek_block() {
@@ -1194,19 +1451,16 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             c.consume_block(|inst_idx, a, size| mem_groups.push(inst_idx, (a, size), &mut pool));
         }
         let ni = n_insts.expect("at least one active lane") as u64;
-        self.report.issues += ni;
         self.report.thread_insts += ni * active;
-        let fr = &mut self.func_scratch[top.func.0 as usize];
-        fr.own_issues += ni;
-        fr.own_thread_insts += ni * active;
+        self.func_scratch[func.0 as usize].own_thread_insts += ni * active;
 
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.on_step(&BlockStep {
                 warp: self.warp_index,
-                func: top.func,
-                block: BlockId(top.node as u32),
+                func,
+                block: BlockId(node as u32),
                 n_insts: ni as u32,
-                mask: top.mask,
+                mask,
                 active: active as u32,
                 mem: &mem_groups,
             });
@@ -1242,21 +1496,23 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         }
         self.mem_scratch = mem_groups;
         self.vec_pool = pool;
-        Ok(())
+        Ok((ni, active))
     }
 
-    /// Groups active lanes by the block their next trace event names,
-    /// filling `groups` (cleared on entry).
+    /// Groups the lanes of `mask` by the block their next trace event
+    /// names (which must stay in `func`), filling `groups` (cleared on
+    /// entry).
     fn group_by_next_block(
         &mut self,
-        top: Entry,
+        func: FuncId,
+        mask: u64,
         groups: &mut Vec<(usize, u64)>,
     ) -> Result<(), AnalyzeError> {
         groups.clear();
         let n = self.cursors.len();
-        for l in lanes_of(top.mask, n) {
+        for l in lanes_of(mask, n) {
             let node = match self.cursors[l].peek_block() {
-                Some((addr, _)) if addr.func == top.func => addr.block.0 as usize,
+                Some((addr, _)) if addr.func == func => addr.block.0 as usize,
                 _ => {
                     let other = self.cursors[l].peek_event();
                     return Err(self.desync(l, format!("expected successor block, got {other:?}")));
@@ -1303,6 +1559,78 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             }
         }
         Ok(())
+    }
+
+    /// DARM-style melding attempt at a two-way divergence
+    /// ([`ReconvergenceModel::BranchMelding`]).
+    ///
+    /// When both target regions are straight-line (`Jmp`-only) chains to
+    /// the reconvergence point of identical shape — same length, same
+    /// per-block instruction count — the two arms execute as one melded
+    /// region: position `i` of both chains issues together, charged
+    /// `max` of the paired block sizes, and the whole warp lands at
+    /// `ipd` without touching the SIMT stack (no divergence is
+    /// recorded). Returns `false` when the shape test fails and the
+    /// normal stack transition should run.
+    fn try_meld(
+        &mut self,
+        func: FuncId,
+        groups: &[(usize, u64)],
+        ipd: usize,
+    ) -> Result<bool, AnalyzeError> {
+        if groups.len() != 2 || groups[0].0 == ipd || groups[1].0 == ipd {
+            return Ok(false);
+        }
+        let (Some(chain_a), Some(chain_b)) =
+            (self.jmp_chain(func, groups[0].0, ipd), self.jmp_chain(func, groups[1].0, ipd))
+        else {
+            return Ok(false);
+        };
+        if chain_a.len() != chain_b.len() {
+            return Ok(false);
+        }
+        let f = self.program.function(func);
+        let same_shape = chain_a.iter().zip(&chain_b).all(|(&a, &b)| {
+            f.block(BlockId(a as u32)).insts.len() == f.block(BlockId(b as u32)).insts.len()
+        });
+        if !same_shape {
+            return Ok(false);
+        }
+
+        let (mask_a, mask_b) = (groups[0].1, groups[1].1);
+        for (&a, &b) in chain_a.iter().zip(&chain_b) {
+            let (ni_a, active_a) = self.exec_block_events(func, a, mask_a)?;
+            let (ni_b, active_b) = self.exec_block_events(func, b, mask_b)?;
+            self.account_issue(func, ni_a.max(ni_b), active_a + active_b);
+            if self.report.issues > self.config.max_issues_per_warp {
+                return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
+            }
+        }
+        self.report.melds += 1;
+        self.stack.last_mut().expect("nonempty").node = ipd;
+        Ok(true)
+    }
+
+    /// The `Jmp`-only chain from `from` up to (exclusive) `ipd`, or
+    /// `None` when the region is not straight-line or exceeds the cap.
+    /// `ipd` may be the virtual exit — unreachable by `Jmp`, so such
+    /// regions simply never meld.
+    fn jmp_chain(&self, func: FuncId, from: usize, ipd: usize) -> Option<Vec<usize>> {
+        const MELD_CHAIN_CAP: usize = 64;
+        let f = self.program.function(func);
+        let mut chain = Vec::new();
+        let mut cur = from;
+        loop {
+            if chain.len() == MELD_CHAIN_CAP {
+                return None;
+            }
+            chain.push(cur);
+            match f.block(BlockId(cur as u32)).term {
+                Terminator::Jmp(t) if t.0 as usize == ipd => return Some(chain),
+                Terminator::Jmp(t) => cur = t.0 as usize,
+                _ => return None,
+            }
+        }
     }
 
     /// Lock handling at an `Acquire` terminator (paper §III).
@@ -1379,6 +1707,284 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             }
         }
         Ok(())
+    }
+
+    /// The stackless MEC-style machine
+    /// ([`ReconvergenceModel::StacklessPcMin`]): no reconvergence stack
+    /// and no precomputed reconvergence points. Thread groups carry
+    /// their own call-stack position; each step the earliest-PC group
+    /// executes one block (lagging groups catch leading ones up), and
+    /// groups arriving at identical positions merge. A divergence
+    /// simply splits a group; a contended lock acquire splits the
+    /// contenders into serialized singleton groups that refuse to merge
+    /// until past their own unlock.
+    fn run_stackless(&mut self) -> Result<(), AnalyzeError> {
+        let n = self.cursors.len();
+        let Some((first, full)) = self.start()? else {
+            return Ok(());
+        };
+        let program = self.program;
+        let mut groups: Vec<SGroup> = vec![SGroup {
+            frames: vec![(first.func, first.block.0 as usize)],
+            mask: full,
+            serial: 0,
+            release_at: None,
+        }];
+        let mut next_serial = 0u32;
+
+        while !groups.is_empty() {
+            // ---- clear expired serial tokens, then merge ---------------
+            for g in groups.iter_mut() {
+                if g.serial != 0
+                    && g.release_at.is_some_and(|r| *g.frames.last().expect("nonempty") == r)
+                {
+                    g.serial = 0;
+                    g.release_at = None;
+                }
+            }
+            let mut i = 0;
+            while i < groups.len() {
+                if groups[i].serial != 0 {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < groups.len() {
+                    if groups[j].serial == 0 && groups[j].frames == groups[i].frames {
+                        let merged = groups.remove(j);
+                        groups[i].mask |= merged.mask;
+                        self.report.reconvergences += 1;
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            let &(f, node) = groups[i].frames.last().expect("nonempty");
+                            sink.on_reconvergence(self.warp_index, f, node, groups[i].mask);
+                        }
+                    } else {
+                        j += 1;
+                    }
+                }
+                i += 1;
+            }
+
+            // ---- schedule: earliest PC, deepest stack, lowest lane -----
+            let gi = (0..groups.len())
+                .min_by_key(|&i| {
+                    let g = &groups[i];
+                    let &(f, node) = g.frames.last().expect("nonempty");
+                    (f.0, node, std::cmp::Reverse(g.frames.len()), g.mask.trailing_zeros())
+                })
+                .expect("nonempty group list");
+            let &(func, node) = groups[gi].frames.last().expect("nonempty");
+            let mask = groups[gi].mask;
+
+            // ---- execute one block -------------------------------------
+            let (ni, active) = self.exec_block_events(func, node, mask)?;
+            self.account_issue(func, ni, active);
+            if self.report.issues > self.config.max_issues_per_warp {
+                return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
+            }
+
+            // ---- terminator --------------------------------------------
+            let term = &program.function(func).block(BlockId(node as u32)).term;
+            match term {
+                Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
+                    // There is no reconvergence point in this model; the
+                    // sink's `reconverge_at` is the virtual exit.
+                    let vexit = self.dcfg(func)?.virtual_exit();
+                    let mut targets = std::mem::take(&mut self.groups_scratch);
+                    let result = self.group_by_next_block(func, mask, &mut targets);
+                    if result.is_ok() {
+                        if targets.len() == 1 {
+                            groups[gi].frames.last_mut().expect("nonempty").1 = targets[0].0;
+                        } else {
+                            self.report.divergences += 1;
+                            if let Some(sink) = self.sink.as_deref_mut() {
+                                sink.on_divergence(
+                                    self.warp_index,
+                                    func,
+                                    BlockId(node as u32),
+                                    vexit,
+                                    &targets,
+                                );
+                            }
+                            let old = groups.swap_remove(gi);
+                            for &(t, m) in targets.iter() {
+                                let mut frames = old.frames.clone();
+                                frames.last_mut().expect("nonempty").1 = t;
+                                groups.push(SGroup {
+                                    frames,
+                                    mask: m,
+                                    serial: old.serial,
+                                    release_at: old.release_at,
+                                });
+                            }
+                        }
+                    }
+                    self.groups_scratch = targets;
+                    result?;
+                }
+                Terminator::Ret { .. } => {
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Ret) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(
+                                    self.desync(l, format!("expected Ret event, got {other:?}"))
+                                );
+                            }
+                        }
+                    }
+                    if groups[gi].frames.len() == 1 {
+                        // Root return: these lanes are done.
+                        groups.swap_remove(gi);
+                        continue;
+                    }
+                    // Pop the frame; the caller's continuation comes from
+                    // the lanes' next trace events (they must agree).
+                    let mut target: Option<BlockAddr> = None;
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_block() {
+                            Some((addr, _)) => match target {
+                                None => target = Some(addr),
+                                Some(t) if t == addr => {}
+                                Some(t) => {
+                                    return Err(self.desync(
+                                        l,
+                                        format!("call continuation mismatch: {addr} vs {t}"),
+                                    ))
+                                }
+                            },
+                            None => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(self.desync(
+                                    l,
+                                    format!("expected continuation block, got {other:?}"),
+                                ));
+                            }
+                        }
+                    }
+                    let t = target.expect("nonempty mask");
+                    let g = &mut groups[gi];
+                    g.frames.pop();
+                    let caller = g.frames.last_mut().expect("nonempty");
+                    if t.func != caller.0 {
+                        let lane = lanes_of(mask, n).next().unwrap_or(0);
+                        return Err(self.desync(lane, "continuation in unexpected function"));
+                    }
+                    caller.1 = t.block.0 as usize;
+                }
+                Terminator::Call { callee, .. } => {
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Call { callee: c }) if c == *callee => {
+                                self.cursors[l].consume_side();
+                            }
+                            _ => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(
+                                    self.desync(l, format!("expected Call event, got {other:?}"))
+                                );
+                            }
+                        }
+                    }
+                    self.func_scratch[callee.0 as usize].invocations += mask.count_ones() as u64;
+                    let entry = program.function(*callee).entry.0 as usize;
+                    groups[gi].frames.push((*callee, entry));
+                }
+                Terminator::Acquire { next, .. } => {
+                    let next = next.0 as usize;
+                    let mut locks: Vec<(usize, u64)> = Vec::new(); // (lane, lock)
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Acquire { lock }) => {
+                                locks.push((l, lock));
+                                self.cursors[l].consume_side();
+                            }
+                            _ => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(self
+                                    .desync(l, format!("expected Acquire event, got {other:?}")));
+                            }
+                        }
+                    }
+                    let contended: Vec<(usize, u64)> = locks
+                        .iter()
+                        .filter(|(_, lk)| locks.iter().filter(|(_, o)| o == lk).count() > 1)
+                        .copied()
+                        .collect();
+                    if !self.config.emulate_intra_warp_locks || contended.is_empty() {
+                        groups[gi].frames.last_mut().expect("nonempty").1 = next;
+                        continue;
+                    }
+                    // Each contended lane that can name its own unlock
+                    // becomes a serialized singleton group — the
+                    // stackless analog of the stack machine's
+                    // one-entry-per-contender serialization.
+                    let old = groups.swap_remove(gi);
+                    let mut serialized = 0u64;
+                    for &(l, lock) in &contended {
+                        let Some(rel) =
+                            self.cursors[l].scan_release_target(lock).filter(|a| a.func == func)
+                        else {
+                            continue;
+                        };
+                        serialized |= 1 << l;
+                        next_serial += 1;
+                        let mut frames = old.frames.clone();
+                        frames.last_mut().expect("nonempty").1 = next;
+                        groups.push(SGroup {
+                            frames,
+                            mask: 1 << l,
+                            serial: next_serial,
+                            release_at: Some((func, rel.block.0 as usize)),
+                        });
+                    }
+                    if serialized == 0 {
+                        self.report.lock_fallbacks += 1;
+                    } else {
+                        self.report.lock_serializations += 1;
+                    }
+                    let rest = old.mask & !serialized;
+                    if rest != 0 {
+                        let mut frames = old.frames;
+                        frames.last_mut().expect("nonempty").1 = next;
+                        groups.push(SGroup {
+                            frames,
+                            mask: rest,
+                            serial: old.serial,
+                            release_at: old.release_at,
+                        });
+                    }
+                }
+                Terminator::Release { next, .. } => {
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Release { .. }) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(self
+                                    .desync(l, format!("expected Release event, got {other:?}")));
+                            }
+                        }
+                    }
+                    groups[gi].frames.last_mut().expect("nonempty").1 = next.0 as usize;
+                }
+                Terminator::Barrier { next, .. } => {
+                    for l in lanes_of(mask, n) {
+                        match self.cursors[l].peek_side() {
+                            Some(SideEvent::Barrier { .. }) => self.cursors[l].consume_side(),
+                            _ => {
+                                let other = self.cursors[l].peek_event();
+                                return Err(self
+                                    .desync(l, format!("expected Barrier event, got {other:?}")));
+                            }
+                        }
+                    }
+                    groups[gi].frames.last_mut().expect("nonempty").1 = next.0 as usize;
+                }
+            }
+        }
+        self.finish()
     }
 }
 

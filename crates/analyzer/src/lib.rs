@@ -78,7 +78,8 @@ pub use dcfg::{Dcfg, DcfgSet};
 pub use dwf::{dwf_upper_bound, DwfBound};
 pub use emulator::{
     analyze_indexed, analyze_indexed_with_sink, analyze_indexed_with_warp_sinks, AnalyzerConfig,
-    BlockStep, MemGroups, ReconvergencePolicy, ReplayMode, StepSink, WarpScheduler,
+    BlockStep, MemGroups, ReconvergenceModel, ReconvergencePolicy, ReplayMode, StepSink,
+    WarpFormation, WarpScheduler,
 };
 pub use index::AnalysisIndex;
 pub use report::{AnalysisReport, FunctionReport, SegmentTraffic};

@@ -43,6 +43,11 @@ pub struct FunctionReport {
     pub name: String,
     /// Lock-step issues spent in the function's own blocks.
     pub own_issues: u64,
+    /// Lane slots those issues occupied (`issues × effective warp width`;
+    /// see [`AnalysisReport::issue_slots`]). Absent in pre-model reports,
+    /// where it defaults to 0 and `issues × warp_size` is used instead.
+    #[serde(default)]
+    pub own_issue_slots: u64,
     /// Per-thread instructions executed in the function's own blocks.
     pub own_thread_insts: u64,
     /// Dynamic call-count (thread-level invocations).
@@ -54,6 +59,8 @@ impl FunctionReport {
     pub fn efficiency(&self, warp_size: u32) -> f64 {
         if self.own_issues == 0 {
             1.0
+        } else if self.own_issue_slots != 0 {
+            self.own_thread_insts as f64 / self.own_issue_slots as f64
         } else {
             self.own_thread_insts as f64 / (self.own_issues as f64 * warp_size as f64)
         }
@@ -69,6 +76,14 @@ pub struct AnalysisReport {
     pub warps: u32,
     /// Total lock-step issue slots.
     pub issues: u64,
+    /// Total lane slots those issues occupied: each issue contributes the
+    /// warp's *effective* width, which is `warp_size` under
+    /// `WarpFormation::Fixed` and the (power-of-two, clamped) resized
+    /// width under `DynamicResize`. Defaults to 0 when deserializing
+    /// pre-model reports; [`AnalysisReport::simt_efficiency`] then falls
+    /// back to `issues × warp_size`.
+    #[serde(default)]
+    pub issue_slots: u64,
     /// Total per-thread instructions.
     pub thread_insts: u64,
     /// Heap-segment (SIMT global space) traffic.
@@ -91,13 +106,24 @@ pub struct AnalysisReport {
     /// Contended acquires that could not be serialized (no same-function
     /// reconvergence point found); treated as fine-grain.
     pub lock_fallbacks: u64,
+    /// Divergent-branch pairs executed as one melded region under
+    /// `ReconvergenceModel::BranchMelding` (0 for the other models).
+    #[serde(default)]
+    pub melds: u64,
 }
 
 impl AnalysisReport {
-    /// Whole-program SIMT efficiency (paper Eq. 1).
+    /// Whole-program SIMT efficiency (paper Eq. 1), generalized to
+    /// variable-width issue: `thread_insts / issue_slots`. For
+    /// fixed-width formations `issue_slots == issues × warp_size`, so
+    /// this is exactly Eq. 1; reports deserialized from before the
+    /// formation axis carry `issue_slots == 0` and fall back to the
+    /// classic denominator.
     pub fn simt_efficiency(&self) -> f64 {
         if self.issues == 0 {
             1.0
+        } else if self.issue_slots != 0 {
+            self.thread_insts as f64 / self.issue_slots as f64
         } else {
             self.thread_insts as f64 / (self.issues as f64 * self.warp_size as f64)
         }
@@ -145,6 +171,7 @@ impl AnalysisReport {
         assert_eq!(self.warp_size, other.warp_size, "cannot merge different warp sizes");
         self.warps += other.warps;
         self.issues += other.issues;
+        self.issue_slots += other.issue_slots;
         self.thread_insts += other.thread_insts;
         self.heap.merge(&other.heap);
         self.stack.merge(&other.stack);
@@ -154,12 +181,14 @@ impl AnalysisReport {
         self.reconvergences += other.reconvergences;
         self.lock_serializations += other.lock_serializations;
         self.lock_fallbacks += other.lock_fallbacks;
+        self.melds += other.melds;
         for (k, v) in other.per_function {
             let e = self
                 .per_function
                 .entry(k)
                 .or_insert_with(|| FunctionReport { name: v.name.clone(), ..Default::default() });
             e.own_issues += v.own_issues;
+            e.own_issue_slots += v.own_issue_slots;
             e.own_thread_insts += v.own_thread_insts;
             e.invocations += v.invocations;
         }
@@ -182,6 +211,36 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_uses_issue_slots_when_present() {
+        // 100 issues at an effective width of 8 lanes: 800 slots.
+        let mut r = report_with(100, 400, 32);
+        r.issue_slots = 800;
+        assert!((r.simt_efficiency() - 0.5).abs() < 1e-12);
+        // issue_slots == 0 (pre-formation report): classic denominator.
+        r.issue_slots = 0;
+        assert!((r.simt_efficiency() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_model_json_still_decodes() {
+        // A report serialized before issue_slots/melds existed.
+        let json = r#"{
+            "warp_size": 32, "warps": 1, "issues": 10, "thread_insts": 320,
+            "heap": {"transactions":0,"instructions":0,"accesses":0},
+            "stack": {"transactions":0,"instructions":0,"accesses":0},
+            "per_function": {"0": {"name":"f","own_issues":10,"own_thread_insts":320,"invocations":1}},
+            "skipped_io": 0, "skipped_spin": 0, "divergences": 0,
+            "reconvergences": 0, "lock_serializations": 0, "lock_fallbacks": 0
+        }"#;
+        let r: AnalysisReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.issue_slots, 0);
+        assert_eq!(r.melds, 0);
+        assert_eq!(r.per_function[&0].own_issue_slots, 0);
+        assert!((r.simt_efficiency() - 1.0).abs() < 1e-12);
+        assert!((r.per_function[&0].efficiency(32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = report_with(10, 320, 32);
         a.per_function.insert(
@@ -191,6 +250,7 @@ mod tests {
                 own_issues: 10,
                 own_thread_insts: 320,
                 invocations: 1,
+                ..Default::default()
             },
         );
         let mut b = report_with(30, 320, 32);
@@ -201,6 +261,7 @@ mod tests {
                 own_issues: 30,
                 own_thread_insts: 320,
                 invocations: 2,
+                ..Default::default()
             },
         );
         a.merge(b);
@@ -235,6 +296,7 @@ mod tests {
                 own_issues: 4,
                 own_thread_insts: 64,
                 invocations: 3,
+                ..Default::default()
             },
         );
         r.heap = SegmentTraffic { transactions: 9, instructions: 3, accesses: 12 };

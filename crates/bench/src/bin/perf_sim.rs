@@ -112,9 +112,10 @@ fn run_workload(name: &str) -> WorkloadPerf {
 
     // Stage 1: warp-trace generation, 1 vs PAR_WORKERS analyzer workers.
     let (tg_seq_ms, wt_seq) =
-        min_ms(|| traced.view().parallelism(1).warp_traces().expect("tracegen (seq)"));
-    let (tg_par_ms, wt_par) =
-        min_ms(|| traced.view().parallelism(PAR_WORKERS).warp_traces().expect("tracegen (par)"));
+        min_ms(|| traced.view().with_parallelism(1).warp_traces().expect("tracegen (seq)"));
+    let (tg_par_ms, wt_par) = min_ms(|| {
+        traced.view().with_parallelism(PAR_WORKERS).warp_traces().expect("tracegen (par)")
+    });
     let tg_identical = wt_seq == wt_par;
 
     // Stage 2: SIMT-device simulation over the (identical) warp traces.

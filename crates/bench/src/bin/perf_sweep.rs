@@ -23,7 +23,10 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use threadfuser::analyzer::{AnalysisReport, BatchPolicy, ReconvergencePolicy, WarpScheduler};
+use threadfuser::analyzer::{
+    AnalysisReport, BatchPolicy, ReconvergenceModel, ReconvergencePolicy, WarpFormation,
+    WarpScheduler,
+};
 use threadfuser::workloads::by_name;
 use threadfuser::Traced;
 use threadfuser_bench::{developer_pipeline, f2, threads_for};
@@ -58,6 +61,24 @@ struct WorkloadSweep {
     parallelism: usize,
     /// Sequential and 8-worker runs produced bit-identical reports.
     deterministic: bool,
+    /// Cells in the hardware-model grid (models × formations × warps).
+    model_configs: u32,
+    /// Model grid, rebuilding the index per configuration.
+    model_cold_ms: f64,
+    /// Model grid against the prebuilt shared index.
+    model_warm_ms: f64,
+    /// `model_cold_ms / model_warm_ms` — the cross-model index-reuse win.
+    model_warm_speedup: f64,
+    /// Per-model warm timings over the formation × warp slice.
+    model_ms: Vec<ModelTiming>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ModelTiming {
+    /// Reconvergence-model label (`ipdom-stack`, …).
+    model: String,
+    /// Warm sweep of this model's formation × warp slice.
+    warm_ms: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -94,13 +115,49 @@ fn warm_sweep(
         .map(|&(warp, batching, policy)| {
             traced
                 .view()
-                .warp_size(warp)
-                .batching(batching)
-                .reconvergence(policy)
-                .parallelism(parallelism)
-                .scheduler(scheduler)
+                .with_warp(warp)
+                .with_batching(batching)
+                .with_reconvergence(policy)
+                .with_parallelism(parallelism)
+                .with_scheduler(scheduler)
                 .analyze()
                 .expect("warm analysis")
+        })
+        .collect()
+}
+
+/// The hardware-model grid: 3 reconvergence models × 2 formations ×
+/// 4 warp sizes (Linear batching) = 24 configurations.
+fn model_grid() -> Vec<(ReconvergenceModel, WarpFormation, u32)> {
+    let mut g = Vec::new();
+    for model in [
+        ReconvergenceModel::IpdomStack,
+        ReconvergenceModel::StacklessPcMin,
+        ReconvergenceModel::BranchMelding,
+    ] {
+        for formation in [WarpFormation::Fixed, WarpFormation::DynamicResize { min_width: 4 }] {
+            for warp in [8u32, 16, 32, 64] {
+                g.push((model, formation, warp));
+            }
+        }
+    }
+    g
+}
+
+fn model_warm_sweep(
+    traced: &Traced,
+    grid: &[(ReconvergenceModel, WarpFormation, u32)],
+) -> Vec<AnalysisReport> {
+    grid.iter()
+        .map(|&(model, formation, warp)| {
+            traced
+                .view()
+                .with_model(model)
+                .with_formation(formation)
+                .with_warp(warp)
+                .with_parallelism(1)
+                .analyze()
+                .expect("warm model analysis")
         })
         .collect()
 }
@@ -114,7 +171,7 @@ fn run_workload(name: &str) -> WorkloadSweep {
     let cold_sweep = || -> Vec<AnalysisReport> {
         grid.iter()
             .map(|&(warp, batching, policy)| {
-                let mut cfg = traced.analyzer_config().clone().warp_size(warp);
+                let mut cfg = traced.analyzer_config().clone().with_warp(warp);
                 cfg.batching = batching;
                 cfg.reconvergence = policy;
                 cfg.parallelism = 1;
@@ -169,6 +226,57 @@ fn run_workload(name: &str) -> WorkloadSweep {
     let stealing_ms = start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(static_reports, stealing_reports, "{name}: schedulers must agree");
 
+    // Hardware-model grid: cold (index rebuilt per cell) vs warm (shared
+    // index), with per-model warm timings for the report's model column.
+    let mgrid = model_grid();
+    let model_cold_sweep = || -> Vec<AnalysisReport> {
+        mgrid
+            .iter()
+            .map(|&(model, formation, warp)| {
+                let mut cfg = traced.analyzer_config().clone().with_warp(warp);
+                cfg.model = model;
+                cfg.formation = formation;
+                cfg.parallelism = 1;
+                cfg.analyze(traced.program(), traced.traces()).expect("cold model analysis")
+            })
+            .collect()
+    };
+    let _ = model_cold_sweep(); // untimed warmup
+    let mut model_cold_ms = f64::INFINITY;
+    let mut model_cold_reports = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        model_cold_reports = model_cold_sweep();
+        model_cold_ms = model_cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut model_warm_ms = f64::INFINITY;
+    let mut model_warm_reports = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        model_warm_reports = model_warm_sweep(&traced, &mgrid);
+        model_warm_ms = model_warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    for (i, (cold, warm)) in model_cold_reports.iter().zip(&model_warm_reports).enumerate() {
+        assert_eq!(cold, warm, "{name} model config {i}: warm must equal cold");
+    }
+    let model_ms = [
+        ReconvergenceModel::IpdomStack,
+        ReconvergenceModel::StacklessPcMin,
+        ReconvergenceModel::BranchMelding,
+    ]
+    .iter()
+    .map(|&model| {
+        let slice: Vec<_> = mgrid.iter().copied().filter(|&(m, _, _)| m == model).collect();
+        let mut ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let _ = model_warm_sweep(&traced, &slice);
+            ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        ModelTiming { model: model.label().to_string(), warm_ms: ms }
+    })
+    .collect();
+
     WorkloadSweep {
         workload: name.to_string(),
         threads,
@@ -181,6 +289,11 @@ fn run_workload(name: &str) -> WorkloadSweep {
         stealing_ms,
         parallelism,
         deterministic,
+        model_configs: mgrid.len() as u32,
+        model_cold_ms,
+        model_warm_ms,
+        model_warm_speedup: if model_warm_ms > 0.0 { model_cold_ms / model_warm_ms } else { 0.0 },
+        model_ms,
     }
 }
 
@@ -221,11 +334,44 @@ fn check(path: &str) -> Result<(), String> {
                 s.workload, s.warm_ms, s.cold_ms
             ));
         }
+        // Cross-model index reuse must pay off: the model grid against the
+        // shared index at least 1.5x faster than rebuilding it per cell.
+        if s.model_configs == 0 || s.model_warm_speedup < 1.5 {
+            return Err(format!(
+                "{}: model-grid warm speedup {} below the 1.5x gate (cold {} ms, warm {} ms)",
+                s.workload,
+                f2(s.model_warm_speedup),
+                s.model_cold_ms,
+                s.model_warm_ms
+            ));
+        }
+        // Default-model regression guard: per-cell, the dispatched
+        // IPDOM-stack machine must stay within 2x of the classic grid's
+        // per-cell cost (both run the same default machine; 2x absorbs
+        // timer noise, not an algorithmic regression).
+        let ipdom = s
+            .model_ms
+            .iter()
+            .find(|m| m.model == "ipdom-stack")
+            .ok_or_else(|| format!("{}: no ipdom-stack timing in model_ms", s.workload))?;
+        let ipdom_cells = (s.model_configs / 3).max(1) as f64;
+        let per_cell_ipdom = ipdom.warm_ms / ipdom_cells;
+        let per_cell_classic = s.warm_ms / s.configs.max(1) as f64;
+        if per_cell_ipdom > per_cell_classic * 2.0 {
+            return Err(format!(
+                "{}: default-model per-cell cost {} ms regressed past 2x the classic grid's {} ms",
+                s.workload,
+                f2(per_cell_ipdom),
+                f2(per_cell_classic)
+            ));
+        }
         println!(
-            "{path}: {} ok ({} configs, warm {}x faster than cold)",
+            "{path}: {} ok ({} configs, warm {}x faster than cold; model grid {} cells, {}x)",
             s.workload,
             s.configs,
-            f2(s.warm_speedup)
+            f2(s.warm_speedup),
+            s.model_configs,
+            f2(s.model_warm_speedup)
         );
     }
     Ok(())
@@ -258,6 +404,16 @@ fn main() {
             s.parallelism,
             f2(s.static_ms),
             f2(s.stealing_ms),
+        );
+        let models: Vec<String> =
+            s.model_ms.iter().map(|m| format!("{} {} ms", m.model, f2(m.warm_ms))).collect();
+        println!(
+            "  model grid: {} cells  cold {} ms  warm {} ms  ({}x)  [{}]",
+            s.model_configs,
+            f2(s.model_cold_ms),
+            f2(s.model_warm_ms),
+            f2(s.model_warm_speedup),
+            models.join(", ")
         );
     }
     let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());

@@ -125,12 +125,13 @@ fn run_workload(name: &str) -> WorkloadPerf {
         .trace()
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     traced.analyze().unwrap_or_else(|e| panic!("{name}: {e}")); // builds the index
-    let (columnar_replay_ms, col_report) =
-        min_ms(|| traced.view().replay(ReplayMode::Columnar).analyze().expect("columnar analyze"));
+    let (columnar_replay_ms, col_report) = min_ms(|| {
+        traced.view().with_replay(ReplayMode::Columnar).analyze().expect("columnar analyze")
+    });
     let (materialized_replay_ms, mat_report) = min_ms(|| {
         traced
             .view()
-            .replay(ReplayMode::MaterializedEvents)
+            .with_replay(ReplayMode::MaterializedEvents)
             .analyze()
             .expect("materialized analyze")
     });

@@ -6,7 +6,7 @@
 //! threadfuser functions <workload> [--threads N] [--warp N]
 //! threadfuser hardware <workload> [--threads N] [--warp N]
 //! threadfuser speedup <workload> [--threads N] [--cores N]
-//! threadfuser sweep <workload> [--threads N] [--opt O0..O3] [--json]
+//! threadfuser sweep <workload> [--threads N] [--opt O0..O3] [--models LIST] [--formations LIST] [--json]
 //! threadfuser trace <workload> --out FILE [--threads N] [--opt O0..O3]
 //! threadfuser validate <file> [--workload NAME] [--opt O0..O3] [--skip-bad] [--json]
 //! ```
@@ -30,7 +30,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use threadfuser::analyzer::BatchPolicy;
+use threadfuser::analyzer::{BatchPolicy, ReconvergenceModel, WarpFormation};
 use threadfuser::ir::OptLevel;
 use threadfuser::obs::{JsonLinesSink, Obs};
 use threadfuser::service::{
@@ -47,6 +47,10 @@ struct Options {
     opt: OptLevel,
     locks: bool,
     batching: BatchPolicy,
+    model: ReconvergenceModel,
+    formation: WarpFormation,
+    models: Vec<ReconvergenceModel>,
+    formations: Vec<WarpFormation>,
     json: bool,
     cores: u32,
     obs_path: Option<String>,
@@ -63,6 +67,10 @@ impl Default for Options {
             opt: OptLevel::O3,
             locks: false,
             batching: BatchPolicy::Linear,
+            model: ReconvergenceModel::IpdomStack,
+            formation: WarpFormation::Fixed,
+            models: Vec::new(),
+            formations: Vec::new(),
             json: false,
             cores: 16,
             obs_path: None,
@@ -82,12 +90,14 @@ fn usage() -> ExitCode {
          functions <workload>      per-function breakdown (Fig. 7 style)\n  \
          hardware  <workload>      warp-native lock-step measurement\n  \
          speedup   <workload>      simulate GPU vs CPU (Fig. 6 style)\n  \
-         sweep     <workload>      warp-size × batching sweep, traced once\n  \
+         sweep     <workload>      model × formation × warp × batching sweep, traced once\n  \
          trace     <workload>      capture and write a binary trace file (--out FILE)\n  \
          validate  <file>          check a trace file (never panics; --workload NAME\n                            \
          also validates func/block ids, --skip-bad quarantines)\n\n\
          options: --threads N --warp N --opt O0|O1|O2|O3 --locks\n         \
          --batching linear|strided|shuffled --cores N --json\n         \
+         --model ipdom|stackless|melding --formation fixed|resize:N\n         \
+         --models LIST --formations LIST   sweep axes (comma lists)\n         \
          --out FILE --workload NAME --skip-bad\n         \
          --obs FILE   write per-phase metrics as JSON lines to FILE\n\n\
          exit codes: 0 success, 1 job failed (or invalid trace file),\n             \
@@ -96,6 +106,36 @@ fn usage() -> ExitCode {
          threadfuser-serve speaks); failures carry a structured JobError."
     );
     ExitCode::from(2)
+}
+
+/// Parses one reconvergence-model name (short or full label).
+fn parse_model(s: &str) -> Result<ReconvergenceModel, String> {
+    match s {
+        "ipdom" | "ipdom-stack" => Ok(ReconvergenceModel::IpdomStack),
+        "stackless" | "stackless-pc-min" => Ok(ReconvergenceModel::StacklessPcMin),
+        "melding" | "branch-melding" => Ok(ReconvergenceModel::BranchMelding),
+        other => Err(format!("unknown model {other} (ipdom|stackless|melding)")),
+    }
+}
+
+/// Parses one warp-formation spec: `fixed` or `resize:MIN_WIDTH`.
+fn parse_formation(s: &str) -> Result<WarpFormation, String> {
+    if s == "fixed" {
+        return Ok(WarpFormation::Fixed);
+    }
+    if let Some(n) = s.strip_prefix("resize:").or_else(|| s.strip_prefix("dynamic-resize:")) {
+        let min_width: u32 = n.parse().map_err(|e| format!("resize min width: {e}"))?;
+        return Ok(WarpFormation::DynamicResize { min_width });
+    }
+    Err(format!("unknown formation {s} (fixed|resize:N)"))
+}
+
+/// Short cell label for a formation (`fixed`, `resize:4`).
+fn formation_cell(f: WarpFormation) -> String {
+    match f {
+        WarpFormation::DynamicResize { min_width } => format!("resize:{min_width}"),
+        _ => f.label().to_string(),
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -124,6 +164,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown batching {other}")),
                 }
             }
+            "--model" => o.model = parse_model(&val()?)?,
+            "--formation" => o.formation = parse_formation(&val()?)?,
+            "--models" => {
+                o.models = val()?.split(',').map(parse_model).collect::<Result<_, _>>()?;
+            }
+            "--formations" => {
+                o.formations = val()?.split(',').map(parse_formation).collect::<Result<_, _>>()?;
+            }
             "--locks" => o.locks = true,
             "--json" => o.json = true,
             "--skip-bad" => o.skip_bad = true,
@@ -150,6 +198,8 @@ impl Options {
             warp_size: self.warp,
             batching: self.batching,
             intra_warp_locks: self.locks,
+            model: self.model,
+            formation: self.formation,
             ..AnalyzerKnobs::default()
         }
     }
@@ -200,6 +250,8 @@ fn job_for(cmd: &str, name: &str, o: &Options) -> Option<JobOp> {
             config: o.knobs(),
             warps: vec![8, 16, 32, 64],
             batchings: vec![BatchPolicy::Linear, BatchPolicy::Strided],
+            models: o.models.clone(),
+            formations: o.formations.clone(),
         })),
         "validate" => {
             // `name` is a file path here.
@@ -256,12 +308,37 @@ fn render_text(cmd: &str, name: &str, o: &Options, outcome: &JobOutcome) -> Exit
         }
         JobOutcome::Sweep(rows) => {
             println!("warm-index sweep of {name} (traced once at {}):", o.opt);
-            let mut t = TextTable::new(&["warp", "batching", "efficiency", "transactions"]);
+            let mut t = TextTable::new(&[
+                "model",
+                "formation",
+                "warp",
+                "batching",
+                "efficiency",
+                "Δ vs ipdom",
+                "transactions",
+            ]);
             for r in rows {
+                // Delta against the IPDOM-stack row of the same
+                // formation/warp/batching cell, when the sweep has one.
+                let base = rows.iter().find(|b| {
+                    b.model == ReconvergenceModel::IpdomStack
+                        && b.formation == r.formation
+                        && b.warp == r.warp
+                        && b.batching == r.batching
+                });
+                let delta = match base {
+                    Some(b) if r.model != ReconvergenceModel::IpdomStack => {
+                        format!("{:+.1}pp", (r.simt_efficiency - b.simt_efficiency) * 100.0)
+                    }
+                    _ => "—".to_string(),
+                };
                 t.row(&[
+                    r.model.label().to_string(),
+                    formation_cell(r.formation),
                     r.warp.to_string(),
                     format!("{:?}", r.batching).to_lowercase(),
                     format!("{:.1}%", r.simt_efficiency * 100.0),
+                    delta,
                     r.transactions.to_string(),
                 ]);
             }
@@ -329,8 +406,11 @@ fn exit_for(outcome: &JobOutcome) -> ExitCode {
     }
 }
 
+/// Prints the response exactly as `threadfuser-serve` would write it on
+/// the wire — one compact JSON object — so CLI and server outputs are
+/// byte-comparable.
 fn print_envelope(resp: &JobResponse) {
-    match serde_json::to_string_pretty(resp) {
+    match serde_json::to_string(resp) {
         Ok(s) => println!("{s}"),
         Err(e) => eprintln!("error: cannot serialize response: {e}"),
     }

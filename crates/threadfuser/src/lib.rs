@@ -65,7 +65,7 @@
 //! let w = threadfuser::workloads::by_name("bfs").unwrap();
 //! let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
 //! let base = traced.analyze().unwrap(); // builds the index
-//! let wide = traced.view().warp_size(64).analyze().unwrap(); // reuses it
+//! let wide = traced.view().with_warp(64).analyze().unwrap(); // reuses it
 //! assert!(wide.simt_efficiency() <= base.simt_efficiency() + 1e-12);
 //! ```
 
@@ -99,8 +99,8 @@ pub mod prelude {
         ObsFrame, ServeStats, SpeedupJob, SweepJob, ValidateJob,
     };
     pub use threadfuser_analyzer::{
-        AnalysisIndex, AnalysisReport, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
-        ReplayMode, WarpScheduler,
+        AnalysisIndex, AnalysisReport, AnalyzerConfig, BatchPolicy, ReconvergenceModel,
+        ReconvergencePolicy, ReplayMode, WarpFormation, WarpScheduler,
     };
     pub use threadfuser_ir::OptLevel;
     pub use threadfuser_machine::{ExecEngine, ExecProgram};

@@ -19,8 +19,8 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 use threadfuser_analyzer::{
-    AnalysisIndex, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergencePolicy,
-    ReplayMode, WarpScheduler,
+    AnalysisIndex, AnalysisReport, AnalyzeError, AnalyzerConfig, BatchPolicy, ReconvergenceModel,
+    ReconvergencePolicy, ReplayMode, WarpFormation, WarpScheduler,
 };
 use threadfuser_cpusim::{simulate_cpu_observed, CpuSimConfig, CpuSimStats};
 use threadfuser_ir::{FuncCfg, FuncId, OptLevel, Program};
@@ -198,7 +198,7 @@ impl Pipeline {
             threads: 64,
             opt: OptLevel::O3,
             hardware_opt: OptLevel::O1,
-            analyzer: AnalyzerConfig::new(32).parallelism(workers),
+            analyzer: AnalyzerConfig::new(32).with_parallelism(workers),
             spin_cost: 16,
         }
     }
@@ -255,6 +255,20 @@ impl Pipeline {
     /// IPDOM, the paper's design).
     pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
         self.analyzer.reconvergence = policy;
+        self
+    }
+
+    /// Selects the reconvergence hardware model (default
+    /// [`ReconvergenceModel::IpdomStack`], the paper's machine).
+    pub fn model(mut self, m: ReconvergenceModel) -> Self {
+        self.analyzer.model = m;
+        self
+    }
+
+    /// Selects the warp-formation model (default
+    /// [`WarpFormation::Fixed`]).
+    pub fn formation(mut self, f: WarpFormation) -> Self {
+        self.analyzer.formation = f;
         self
     }
 
@@ -586,7 +600,7 @@ impl Traced {
     /// let w = workloads::by_name("pigz").unwrap();
     /// let traced = Pipeline::from_workload(&w).trace()?;
     /// for warp in [8, 16, 32, 64] {
-    ///     let report = traced.view().warp_size(warp).analyze()?;
+    ///     let report = traced.view().with_warp(warp).analyze()?;
     ///     println!("w{warp}: {:.3}", report.simt_efficiency());
     /// }
     /// # Ok(()) }
@@ -681,43 +695,57 @@ pub struct TracedView<'t> {
 
 impl TracedView<'_> {
     /// Overrides the warp width (chainable).
-    pub fn warp_size(mut self, w: u32) -> Self {
+    pub fn with_warp(mut self, w: u32) -> Self {
         self.analyzer.warp_size = w;
         self
     }
 
     /// Overrides the thread→warp batching policy (chainable).
-    pub fn batching(mut self, b: BatchPolicy) -> Self {
+    pub fn with_batching(mut self, b: BatchPolicy) -> Self {
         self.analyzer.batching = b;
         self
     }
 
     /// Overrides intra-warp lock serialization emulation (chainable).
-    pub fn intra_warp_locks(mut self, on: bool) -> Self {
+    pub fn with_locks(mut self, on: bool) -> Self {
         self.analyzer.emulate_intra_warp_locks = on;
         self
     }
 
+    /// Overrides the reconvergence hardware model (chainable). Like every
+    /// analyzer knob, the model shares the capture's [`AnalysisIndex`] —
+    /// sweeping models never rebuilds DCFGs or IPDOMs.
+    pub fn with_model(mut self, m: ReconvergenceModel) -> Self {
+        self.analyzer.model = m;
+        self
+    }
+
+    /// Overrides the warp-formation model (chainable).
+    pub fn with_formation(mut self, f: WarpFormation) -> Self {
+        self.analyzer.formation = f;
+        self
+    }
+
     /// Overrides the reconvergence-point policy (chainable).
-    pub fn reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
+    pub fn with_reconvergence(mut self, policy: ReconvergencePolicy) -> Self {
         self.analyzer.reconvergence = policy;
         self
     }
 
     /// Overrides the analyzer worker-thread count (chainable).
-    pub fn parallelism(mut self, n: usize) -> Self {
+    pub fn with_parallelism(mut self, n: usize) -> Self {
         self.analyzer.parallelism = n;
         self
     }
 
     /// Overrides the warp-to-worker scheduler (chainable).
-    pub fn scheduler(mut self, s: WarpScheduler) -> Self {
+    pub fn with_scheduler(mut self, s: WarpScheduler) -> Self {
         self.analyzer.scheduler = s;
         self
     }
 
     /// Overrides the trace replay path (chainable).
-    pub fn replay(mut self, r: ReplayMode) -> Self {
+    pub fn with_replay(mut self, r: ReplayMode) -> Self {
         self.analyzer.replay = r;
         self
     }
@@ -726,9 +754,57 @@ impl TracedView<'_> {
     /// (chainable). In a serving context the per-request spans go to the
     /// job's own sink this way, while the capture keeps its original
     /// handle for the shared index-build counters.
-    pub fn observe(mut self, obs: Obs) -> Self {
+    pub fn with_obs(mut self, obs: Obs) -> Self {
         self.analyzer.obs = obs;
         self
+    }
+
+    /// Renamed alias of [`TracedView::with_warp`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_warp`")]
+    pub fn warp_size(self, w: u32) -> Self {
+        self.with_warp(w)
+    }
+
+    /// Renamed alias of [`TracedView::with_batching`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_batching`")]
+    pub fn batching(self, b: BatchPolicy) -> Self {
+        self.with_batching(b)
+    }
+
+    /// Renamed alias of [`TracedView::with_locks`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_locks`")]
+    pub fn intra_warp_locks(self, on: bool) -> Self {
+        self.with_locks(on)
+    }
+
+    /// Renamed alias of [`TracedView::with_reconvergence`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_reconvergence`")]
+    pub fn reconvergence(self, policy: ReconvergencePolicy) -> Self {
+        self.with_reconvergence(policy)
+    }
+
+    /// Renamed alias of [`TracedView::with_parallelism`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_parallelism`")]
+    pub fn parallelism(self, n: usize) -> Self {
+        self.with_parallelism(n)
+    }
+
+    /// Renamed alias of [`TracedView::with_scheduler`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_scheduler`")]
+    pub fn scheduler(self, s: WarpScheduler) -> Self {
+        self.with_scheduler(s)
+    }
+
+    /// Renamed alias of [`TracedView::with_replay`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_replay`")]
+    pub fn replay(self, r: ReplayMode) -> Self {
+        self.with_replay(r)
+    }
+
+    /// Renamed alias of [`TracedView::with_obs`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_obs`")]
+    pub fn observe(self, obs: Obs) -> Self {
+        self.with_obs(obs)
     }
 
     /// The view's effective analyzer configuration.
@@ -852,7 +928,7 @@ mod tests {
         let w = by_name("bfs").unwrap();
         let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
         for warp in [8u32, 32] {
-            let swept = traced.view().warp_size(warp).analyze().unwrap();
+            let swept = traced.view().with_warp(warp).analyze().unwrap();
             let fresh = Pipeline::from_workload(&w).threads(64).warp_size(warp).analyze().unwrap();
             assert_eq!(swept, fresh, "warp {warp}");
         }

@@ -30,7 +30,9 @@
 
 use crate::pipeline::{Pipeline, PipelineError, Traced, TracedView};
 use serde::{Deserialize, Serialize};
-use threadfuser_analyzer::{AnalysisReport, BatchPolicy, ReconvergencePolicy};
+use threadfuser_analyzer::{
+    AnalysisReport, BatchPolicy, ReconvergenceModel, ReconvergencePolicy, WarpFormation,
+};
 use threadfuser_cpusim::CpuSimConfig;
 use threadfuser_ir::OptLevel;
 use threadfuser_obs::{Obs, Phase, PhaseEvent};
@@ -183,7 +185,10 @@ impl CaptureSpec {
 
 /// Analyzer knobs a job may override — the serde-able subset of
 /// `AnalyzerConfig` (everything except the observability handle, which
-/// the serving layer owns).
+/// the serving layer owns). The hardware-model fields (`model`,
+/// `formation`) are `#[serde(default)]`: requests serialized before the
+/// model axis existed decode to the classic IPDOM-stack / fixed-width
+/// machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalyzerKnobs {
     /// Warp width (1–64).
@@ -194,6 +199,12 @@ pub struct AnalyzerKnobs {
     pub intra_warp_locks: bool,
     /// Reconvergence-point policy.
     pub reconvergence: ReconvergencePolicy,
+    /// Reconvergence hardware model (default IPDOM stack).
+    #[serde(default)]
+    pub model: ReconvergenceModel,
+    /// Warp-formation model (default fixed width).
+    #[serde(default)]
+    pub formation: WarpFormation,
     /// Analyzer worker threads (0 = the host's available parallelism).
     /// Reports are bit-identical at every worker count.
     pub parallelism: u32,
@@ -206,8 +217,23 @@ impl Default for AnalyzerKnobs {
             batching: BatchPolicy::Linear,
             intra_warp_locks: false,
             reconvergence: ReconvergencePolicy::DynamicIpdom,
+            model: ReconvergenceModel::default(),
+            formation: WarpFormation::default(),
             parallelism: 0,
         }
+    }
+}
+
+/// Rejects formation parameters that cannot describe a machine at the
+/// given warp width: `DynamicResize` needs `1 ≤ min_width ≤ warp_size`.
+fn validate_formation(formation: WarpFormation, warp_size: u32) -> Result<(), JobError> {
+    match formation {
+        WarpFormation::DynamicResize { min_width } if min_width == 0 || min_width > warp_size => {
+            Err(JobError::bad_request(format!(
+                "DynamicResize min_width {min_width} out of range 1..={warp_size} (warp width)"
+            )))
+        }
+        _ => Ok(()),
     }
 }
 
@@ -219,11 +245,19 @@ impl AnalyzerKnobs {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n as usize,
         };
-        view.warp_size(self.warp_size)
-            .batching(self.batching)
-            .intra_warp_locks(self.intra_warp_locks)
-            .reconvergence(self.reconvergence)
-            .parallelism(workers)
+        view.with_warp(self.warp_size)
+            .with_batching(self.batching)
+            .with_locks(self.intra_warp_locks)
+            .with_reconvergence(self.reconvergence)
+            .with_model(self.model)
+            .with_formation(self.formation)
+            .with_parallelism(workers)
+    }
+
+    /// Validates the knob values themselves (range checks the analyzer
+    /// would otherwise clamp silently).
+    fn validate(&self) -> Result<(), JobError> {
+        validate_formation(self.formation, self.warp_size)
     }
 }
 
@@ -237,17 +271,26 @@ pub struct AnalyzeJob {
 }
 
 /// A warm-sweep job: the capture is resolved once and every
-/// `warp × batching` cell replays against its shared analysis index.
+/// `model × formation × warp × batching` cell replays against its shared
+/// analysis index. The model/formation axes are `#[serde(default)]` —
+/// absent (or empty) they collapse to the base config's values, so
+/// pre-model sweep requests decode and behave exactly as before.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepJob {
     /// The capture to sweep.
     pub capture: CaptureSpec,
-    /// Base analyzer configuration (warp/batching overridden per cell).
+    /// Base analyzer configuration (grid axes overridden per cell).
     pub config: AnalyzerKnobs,
     /// Warp widths to sweep.
     pub warps: Vec<u32>,
     /// Batching policies to sweep.
     pub batchings: Vec<BatchPolicy>,
+    /// Reconvergence models to sweep (empty = just `config.model`).
+    #[serde(default)]
+    pub models: Vec<ReconvergenceModel>,
+    /// Warp formations to sweep (empty = just `config.formation`).
+    #[serde(default)]
+    pub formations: Vec<WarpFormation>,
 }
 
 /// A speedup-projection job (paper Fig. 6 style).
@@ -287,7 +330,8 @@ pub struct JobResponse {
 pub enum JobOutcome {
     /// Full analysis report.
     Analysis(AnalysisReport),
-    /// One row per sweep cell, in `warps × batchings` order.
+    /// One row per sweep cell, in `models × formations × warps ×
+    /// batchings` order.
     Sweep(Vec<SweepRow>),
     /// Speedup projection summary.
     Speedup(SpeedupSummary),
@@ -308,6 +352,13 @@ pub enum JobOutcome {
 /// One cell of a sweep response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepRow {
+    /// Reconvergence model of this cell. `#[serde(default)]`, so rows
+    /// written before the model axis existed decode as IPDOM stack.
+    #[serde(default)]
+    pub model: ReconvergenceModel,
+    /// Warp formation of this cell (`#[serde(default)]`: fixed).
+    #[serde(default)]
+    pub formation: WarpFormation,
     /// Warp width of this cell.
     pub warp: u32,
     /// Batching policy of this cell.
@@ -791,40 +842,66 @@ pub fn capture_spec(op: &JobOp) -> Option<&CaptureSpec> {
 pub fn run_on_capture(op: &JobOp, capture: &Capture, obs: &Obs) -> Result<JobOutcome, JobError> {
     match op {
         JobOp::Analyze(j) => {
-            let report = j.config.apply(capture.traced.view()).observe(obs.clone()).analyze()?;
+            j.config.validate()?;
+            let report = j.config.apply(capture.traced.view()).with_obs(obs.clone()).analyze()?;
             Ok(JobOutcome::Analysis(report))
         }
         JobOp::Sweep(j) => {
             if j.warps.is_empty() || j.batchings.is_empty() {
                 return Err(JobError::bad_request("sweep needs at least one warp and batching"));
             }
-            let mut rows = Vec::with_capacity(j.warps.len() * j.batchings.len());
-            for &warp in &j.warps {
-                for &batching in &j.batchings {
-                    let report = j
-                        .config
-                        .apply(capture.traced.view())
-                        .observe(obs.clone())
-                        .warp_size(warp)
-                        .batching(batching)
-                        .analyze()?;
-                    rows.push(SweepRow {
-                        warp,
-                        batching,
-                        simt_efficiency: report.simt_efficiency(),
-                        transactions: report.total_transactions(),
-                    });
+            // Empty model/formation axes collapse to the base config —
+            // the pre-model wire shape.
+            let models =
+                if j.models.is_empty() { std::slice::from_ref(&j.config.model) } else { &j.models };
+            let formations = if j.formations.is_empty() {
+                std::slice::from_ref(&j.config.formation)
+            } else {
+                &j.formations
+            };
+            for &formation in formations {
+                for &warp in &j.warps {
+                    validate_formation(formation, warp)?;
+                }
+            }
+            let mut rows = Vec::with_capacity(
+                models.len() * formations.len() * j.warps.len() * j.batchings.len(),
+            );
+            for &model in models {
+                for &formation in formations {
+                    for &warp in &j.warps {
+                        for &batching in &j.batchings {
+                            let report = j
+                                .config
+                                .apply(capture.traced.view())
+                                .with_obs(obs.clone())
+                                .with_model(model)
+                                .with_formation(formation)
+                                .with_warp(warp)
+                                .with_batching(batching)
+                                .analyze()?;
+                            rows.push(SweepRow {
+                                model,
+                                formation,
+                                warp,
+                                batching,
+                                simt_efficiency: report.simt_efficiency(),
+                                transactions: report.total_transactions(),
+                            });
+                        }
+                    }
                 }
             }
             Ok(JobOutcome::Sweep(rows))
         }
         JobOp::Speedup(j) => {
+            j.config.validate()?;
             let simt = SimtSimConfig { n_cores: j.cores, ..SimtSimConfig::default() };
             let cpu = CpuSimConfig::default();
             let proj = j
                 .config
                 .apply(capture.traced.view())
-                .observe(obs.clone())
+                .with_obs(obs.clone())
                 .project_speedup(&simt, &cpu)?;
             Ok(JobOutcome::Speedup(SpeedupSummary {
                 gpu_cycles: proj.gpu.cycles,
@@ -981,6 +1058,60 @@ mod tests {
         let resp = execute(&req, &Obs::none());
         let JobOutcome::Failed(e) = &resp.outcome else { panic!("expected failure") };
         assert_eq!(e.code, JobErrorCode::UnknownWorkload);
+    }
+
+    #[test]
+    fn pre_model_request_json_still_decodes() {
+        // A Sweep request serialized before the model/formation axes
+        // existed: no `model`/`formation` knobs, no `models`/`formations`
+        // axes. It must decode to the classic machine.
+        let line = r#"{"id":3,"tenant":null,"stream_obs":false,"op":{"Sweep":{
+            "capture":{"source":{"Workload":"bfs"},"threads":null,"opt":"O3",
+                       "policy":"Strict","check_shape":false},
+            "config":{"warp_size":32,"batching":"Linear","intra_warp_locks":false,
+                      "reconvergence":"DynamicIpdom","parallelism":0},
+            "warps":[8,32],"batchings":["Linear"]}}}"#;
+        let req: JobRequest = serde_json::from_str(line).unwrap();
+        let JobOp::Sweep(j) = &req.op else { panic!("expected sweep") };
+        assert_eq!(j.config.model, ReconvergenceModel::IpdomStack);
+        assert_eq!(j.config.formation, WarpFormation::Fixed);
+        assert!(j.models.is_empty() && j.formations.is_empty());
+    }
+
+    #[test]
+    fn model_grid_sweep_orders_rows_and_labels_cells() {
+        let req = JobOp::Sweep(SweepJob {
+            capture: CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(64),
+            config: AnalyzerKnobs::default(),
+            warps: vec![32],
+            batchings: vec![BatchPolicy::Linear],
+            models: vec![ReconvergenceModel::IpdomStack, ReconvergenceModel::StacklessPcMin],
+            formations: vec![WarpFormation::Fixed, WarpFormation::DynamicResize { min_width: 4 }],
+        });
+        let out = execute_op(&req, &Obs::none()).unwrap();
+        let JobOutcome::Sweep(rows) = out else { panic!("expected sweep") };
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].model, ReconvergenceModel::IpdomStack);
+        assert_eq!(rows[0].formation, WarpFormation::Fixed);
+        assert_eq!(rows[1].formation, WarpFormation::DynamicResize { min_width: 4 });
+        assert_eq!(rows[2].model, ReconvergenceModel::StacklessPcMin);
+        for r in &rows {
+            assert!(r.simt_efficiency > 0.0 && r.simt_efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn bad_min_width_is_rejected_not_clamped() {
+        let req = JobOp::Analyze(AnalyzeJob {
+            capture: CaptureSpec::workload("vectoradd", OptLevel::O3).with_threads(64),
+            config: AnalyzerKnobs {
+                formation: WarpFormation::DynamicResize { min_width: 64 },
+                warp_size: 32,
+                ..AnalyzerKnobs::default()
+            },
+        });
+        let e = execute_op(&req, &Obs::none()).unwrap_err();
+        assert_eq!(e.code, JobErrorCode::BadRequest);
     }
 
     #[test]

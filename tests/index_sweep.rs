@@ -18,8 +18,8 @@ fn parallel_work_stealing_is_bit_identical_to_sequential() {
     // pigz is the divergent, uneven-warp stress case: warps finish at
     // very different times, so the stealing order genuinely varies.
     let traced = traced("pigz", 128);
-    let seq = traced.view().parallelism(1).analyze().expect("sequential analyze");
-    let par = traced.view().parallelism(8).analyze().expect("parallel analyze");
+    let seq = traced.view().with_parallelism(1).analyze().expect("sequential analyze");
+    let par = traced.view().with_parallelism(8).analyze().expect("parallel analyze");
 
     // Bit-identical: every scalar and both per-function maps.
     assert_eq!(seq, par, "8-worker work-stealing must match sequential exactly");
@@ -33,13 +33,13 @@ fn parallel_work_stealing_is_bit_identical_to_sequential() {
 #[test]
 fn schedulers_agree_at_every_worker_count() {
     let traced = traced("bfs", 256);
-    let reference = traced.view().parallelism(1).analyze().expect("reference");
+    let reference = traced.view().with_parallelism(1).analyze().expect("reference");
     for workers in [2usize, 3, 8] {
         for scheduler in [WarpScheduler::WorkStealing, WarpScheduler::StaticChunks] {
             let report = traced
                 .view()
-                .parallelism(workers)
-                .scheduler(scheduler)
+                .with_parallelism(workers)
+                .with_scheduler(scheduler)
                 .analyze()
                 .expect("analyze succeeds");
             assert_eq!(
@@ -70,11 +70,11 @@ fn index_is_built_exactly_once_per_capture() {
 
     // Sweeping knobs never invalidates it: DCFGs + IPDOMs depend only on
     // the program and the traces.
-    traced.view().warp_size(8).analyze().expect("swept analyze");
-    traced.view().batching(BatchPolicy::Strided).analyze().expect("swept analyze");
+    traced.view().with_warp(8).analyze().expect("swept analyze");
+    traced.view().with_batching(BatchPolicy::Strided).analyze().expect("swept analyze");
     traced
         .view()
-        .reconvergence(ReconvergencePolicy::FunctionExit)
+        .with_reconvergence(ReconvergencePolicy::FunctionExit)
         .analyze()
         .expect("swept analyze");
     assert_eq!(sink.counter_total("index_misses"), 1, "no knob may rebuild the index");
@@ -104,7 +104,7 @@ fn warm_views_match_fresh_cold_pipelines() {
     // view's report must equal a from-scratch pipeline at that config.
     let traced = traced("hdsearch_mid", 128);
     for (warp, batching) in [(8u32, BatchPolicy::Linear), (64, BatchPolicy::Strided)] {
-        let warm = traced.view().warp_size(warp).batching(batching).analyze().expect("warm");
+        let warm = traced.view().with_warp(warp).with_batching(batching).analyze().expect("warm");
         let w = by_name("hdsearch_mid").unwrap();
         let cold = Pipeline::from_workload(&w)
             .threads(128)
@@ -114,4 +114,52 @@ fn warm_views_match_fresh_cold_pipelines() {
             .expect("cold");
         assert_eq!(warm, cold, "warp {warp}, {batching:?}");
     }
+}
+
+#[test]
+fn model_grid_shares_one_index() {
+    // The acceptance bar for the hardware-model axis: a full model ×
+    // formation × warp × batching grid replays one capture with zero
+    // re-tracing and zero index rebuilds.
+    let sink = Arc::new(InMemorySink::new());
+    let w = by_name("pigz").expect("workload exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(128)
+        .observe(Obs::with_sink(sink.clone()))
+        .trace()
+        .expect("trace succeeds");
+    for model in [
+        ReconvergenceModel::IpdomStack,
+        ReconvergenceModel::StacklessPcMin,
+        ReconvergenceModel::BranchMelding,
+    ] {
+        for formation in [WarpFormation::Fixed, WarpFormation::DynamicResize { min_width: 4 }] {
+            for warp in [8u32, 32] {
+                for batching in [BatchPolicy::Linear, BatchPolicy::Strided] {
+                    traced
+                        .view()
+                        .with_model(model)
+                        .with_formation(formation)
+                        .with_warp(warp)
+                        .with_batching(batching)
+                        .analyze()
+                        .expect("grid analyze");
+                }
+            }
+        }
+    }
+    assert_eq!(sink.counter_total("index_misses"), 1, "one index build for the whole grid");
+    assert_eq!(sink.span_count(Phase::IndexBuild), 1);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_setter_aliases_still_work() {
+    // One release of `#[deprecated]` aliases, not silent breakage: the
+    // old names must keep producing the same reports as the new ones.
+    let traced = traced("bfs", 64);
+    let old = traced.view().warp_size(16).batching(BatchPolicy::Strided).analyze().expect("old");
+    let new =
+        traced.view().with_warp(16).with_batching(BatchPolicy::Strided).analyze().expect("new");
+    assert_eq!(old, new);
 }

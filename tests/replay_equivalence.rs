@@ -17,14 +17,14 @@ use threadfuser::workloads::by_name;
 fn both_modes(traced: &Traced, workers: usize) -> (AnalysisReport, AnalysisReport) {
     let columnar = traced
         .view()
-        .replay(ReplayMode::Columnar)
-        .parallelism(workers)
+        .with_replay(ReplayMode::Columnar)
+        .with_parallelism(workers)
         .analyze()
         .expect("columnar analyze");
     let materialized = traced
         .view()
-        .replay(ReplayMode::MaterializedEvents)
-        .parallelism(workers)
+        .with_replay(ReplayMode::MaterializedEvents)
+        .with_parallelism(workers)
         .analyze()
         .expect("materialized analyze");
     (columnar, materialized)

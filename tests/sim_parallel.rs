@@ -24,13 +24,13 @@ const WORKER_COUNTS: &[usize] = &[1, 2, 8];
 /// capture: warp traces across analyzer schedulers, SIMT stats across
 /// warp schedulers, CPU stats.
 fn assert_backend_invariant(traced: &Traced, label: &str) {
-    let wt_base = traced.view().parallelism(1).warp_traces().expect("tracegen (seq)");
+    let wt_base = traced.view().with_parallelism(1).warp_traces().expect("tracegen (seq)");
     for &workers in WORKER_COUNTS {
         for sched in [WarpScheduler::WorkStealing, WarpScheduler::StaticChunks] {
             let wt = traced
                 .view()
-                .parallelism(workers)
-                .scheduler(sched)
+                .with_parallelism(workers)
+                .with_scheduler(sched)
                 .warp_traces()
                 .expect("tracegen (par)");
             assert_eq!(

@@ -2,23 +2,29 @@
 //!
 //! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
 //! shapes this workspace actually derives — non-generic structs (named,
-//! tuple, unit) and enums (unit, newtype, tuple, struct variants) with no
-//! `#[serde(...)]` attributes — without depending on `syn`/`quote`: the
+//! tuple, unit) and enums (unit, newtype, tuple, struct variants) — without
+//! depending on `syn`/`quote`: the
 //! item is scanned at token level (only names and arities are needed; the
 //! vendored `serde::Deserialize::from_value` relies on type inference) and
 //! the generated impl is produced as source text.
+//!
+//! One field attribute is honored: `#[serde(default)]` on a named struct
+//! (or struct-variant) field makes deserialization tolerate the field's
+//! absence via `Default::default()` — the wire-compatibility hook for
+//! fields grown after a format shipped. Other `#[serde(...)]` attributes
+//! are rejected at derive time rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, true)
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, false)
 }
@@ -41,9 +47,16 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
 // Token-level item model
 // ---------------------------------------------------------------------------
 
+/// One named field: its identifier and whether `#[serde(default)]`
+/// applies.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// Field list of a struct or enum variant.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -145,23 +158,68 @@ fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
-        match tokens.get(i) {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+        let default = scan_field_attrs(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
             other => return Err(format!("expected field name, got {other:?}")),
-        }
+        };
+        fields.push(Field { name, default });
         i += 1; // name
         i += 1; // `:`
         skip_to_comma(&tokens, &mut i);
         i += 1; // `,`
     }
     Ok(fields)
+}
+
+/// Skips attributes and visibility ahead of a field, returning whether a
+/// `#[serde(default)]` attribute was among them. Any other `#[serde(...)]`
+/// attribute is an error — the stub must not silently ignore semantics.
+fn scan_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if matches!(&inner[..], [TokenTree::Ident(id), ..] if id.to_string() == "serde")
+                    {
+                        match &inner[..] {
+                            [_, TokenTree::Group(args)]
+                                if args.to_string().replace(' ', "") == "(default)" =>
+                            {
+                                default = true;
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "serde stub: unsupported attribute `#[{}]` (only `#[serde(default)]` is honored)",
+                                    g.stream()
+                                ));
+                            }
+                        }
+                    }
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
 }
 
 /// Number of fields in a tuple body (top-level comma count, ignoring a
@@ -216,9 +274,10 @@ fn enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
 // Code generation (as source text)
 // ---------------------------------------------------------------------------
 
-fn ser_named(fields: &[String], access_prefix: &str) -> String {
+fn ser_named(fields: &[Field], access_prefix: &str) -> String {
     let mut s = String::from("::serde::Value::Map(::std::vec![");
     for f in fields {
+        let f = &f.name;
         let _ = write!(
             s,
             "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({access_prefix}{f})),"
@@ -228,14 +287,26 @@ fn ser_named(fields: &[String], access_prefix: &str) -> String {
     s
 }
 
-fn de_named(ty_path: &str, fields: &[String], payload: &str) -> String {
+fn de_named(ty_path: &str, fields: &[Field], payload: &str) -> String {
     let mut s = format!("{ty_path} {{");
     for f in fields {
-        let _ = write!(
-            s,
-            "{f}: ::serde::Deserialize::from_value(\
-             ::serde::value::field({payload}, {f:?}, {ty_path:?})?)?,"
-        );
+        let (f, default) = (&f.name, f.default);
+        if default {
+            // `#[serde(default)]`: an absent key falls back to Default.
+            let _ = write!(
+                s,
+                "{f}: match {payload}.get({f:?}) {{\
+                 ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\
+                 ::core::option::Option::None => ::core::default::Default::default(),\
+                 }},"
+            );
+        } else {
+            let _ = write!(
+                s,
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::value::field({payload}, {f:?}, {ty_path:?})?)?,"
+            );
+        }
     }
     s.push('}');
     s
@@ -309,7 +380,7 @@ fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
                 );
             }
             Fields::Named(fs) => {
-                let binds = fs.join(", ");
+                let binds = fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                 let inner = ser_named(fs, "");
                 let _ = writeln!(
                     arms,

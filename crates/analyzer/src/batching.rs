@@ -24,12 +24,47 @@ pub enum BatchPolicy {
     },
 }
 
+/// A thread→warp plan in CSR form: every warp's thread ids live in one
+/// flat array, bounded by an offset table — two allocations total no
+/// matter how many warps, instead of a `Vec<u32>` per warp. This is what
+/// the emulator iterates; [`BatchPolicy::batch`] remains as a
+/// nested-`Vec` convenience view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpPlan {
+    /// Warp `w`'s thread ids are `tids[off[w] as usize..off[w+1] as usize]`.
+    off: Vec<u32>,
+    tids: Vec<u32>,
+}
+
+impl WarpPlan {
+    /// Number of warps.
+    pub fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// Whether the plan has no warps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Thread ids of warp `w`.
+    pub fn warp(&self, w: usize) -> &[u32] {
+        &self.tids[self.off[w] as usize..self.off[w + 1] as usize]
+    }
+
+    /// Iterates over warps in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len()).map(|w| self.warp(w))
+    }
+}
+
 impl BatchPolicy {
-    /// Partitions `n_threads` thread ids into warps of at most `warp_size`.
+    /// Partitions `n_threads` thread ids into warps of at most
+    /// `warp_size`, as a CSR [`WarpPlan`].
     ///
     /// # Panics
     /// Panics if `warp_size` is zero.
-    pub fn batch(&self, n_threads: u32, warp_size: u32) -> Vec<Vec<u32>> {
+    pub fn plan(&self, n_threads: u32, warp_size: u32) -> WarpPlan {
         assert!(warp_size > 0, "warp size must be nonzero");
         let order: Vec<u32> = match self {
             BatchPolicy::Linear => (0..n_threads).collect(),
@@ -41,9 +76,13 @@ impl BatchPolicy {
                 // ceil(n / n_warps) <= warp_size because
                 // n_warps = ceil(n / warp_size).
                 let n_warps = n_threads.div_ceil(warp_size).max(1);
-                return (0..n_warps.min(n_threads))
-                    .map(|w| (w..n_threads).step_by(n_warps as usize).collect())
-                    .collect();
+                let mut off = vec![0u32];
+                let mut tids = Vec::with_capacity(n_threads as usize);
+                for w in 0..n_warps.min(n_threads) {
+                    tids.extend((w..n_threads).step_by(n_warps as usize));
+                    off.push(tids.len() as u32);
+                }
+                return WarpPlan { off, tids };
             }
             BatchPolicy::Shuffled { seed } => {
                 let mut v: Vec<u32> = (0..n_threads).collect();
@@ -59,7 +98,20 @@ impl BatchPolicy {
                 v
             }
         };
-        order.chunks(warp_size as usize).map(<[u32]>::to_vec).collect()
+        // Fixed-width chunking: the order vector IS the flat tid array.
+        let off = (0..order.len() as u32)
+            .step_by(warp_size as usize)
+            .chain(std::iter::once(order.len() as u32))
+            .collect();
+        WarpPlan { off, tids: order }
+    }
+
+    /// [`BatchPolicy::plan`] materialized as nested `Vec`s.
+    ///
+    /// # Panics
+    /// Panics if `warp_size` is zero.
+    pub fn batch(&self, n_threads: u32, warp_size: u32) -> Vec<Vec<u32>> {
+        self.plan(n_threads, warp_size).iter().map(<[u32]>::to_vec).collect()
     }
 }
 

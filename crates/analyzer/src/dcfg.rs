@@ -13,16 +13,23 @@
 //! exercised — a property the paper shares.
 
 use crate::AnalyzeError;
-use std::collections::HashSet;
-use threadfuser_ir::{ipdom_of, BlockId, FuncId, Program};
+use threadfuser_ir::{ipdom_of_csr, BlockId, FuncId, Program};
 use threadfuser_obs::{Obs, Phase};
 use threadfuser_tracer::{SideEvent, TraceSet};
 
 /// The dynamic CFG of one function, with solved IPDOMs.
+///
+/// Adjacency is CSR: one packed, per-node-sorted successor array plus an
+/// offset table — two allocations per function instead of one `Vec` per
+/// block, and the IPDOM solver consumes it without flattening.
 #[derive(Debug, Clone)]
 pub struct Dcfg {
     n_blocks: usize,
-    succs: Vec<Vec<usize>>,
+    /// `edge_off[u]..edge_off[u + 1]` bounds node `u`'s run in `edges`.
+    /// Length `n_blocks + 2` (blocks, then the virtual exit's empty run).
+    edge_off: Vec<u32>,
+    /// Successor node indices, ascending within each node's run.
+    edges: Vec<u32>,
     ipdom: Vec<Option<usize>>,
     observed: Vec<bool>,
 }
@@ -44,9 +51,10 @@ impl Dcfg {
         self.observed.get(b.0 as usize).copied().unwrap_or(false)
     }
 
-    /// Observed successor nodes of a block.
-    pub fn succs(&self, b: BlockId) -> &[usize] {
-        &self.succs[b.0 as usize]
+    /// Observed successor nodes of a block, ascending.
+    pub fn succs(&self, b: BlockId) -> &[u32] {
+        let u = b.0 as usize;
+        &self.edges[self.edge_off[u] as usize..self.edge_off[u + 1] as usize]
     }
 }
 
@@ -79,8 +87,13 @@ impl DcfgSet {
     ) -> Result<Self, AnalyzeError> {
         let scan_span = obs.span(Phase::DcfgBuild);
         let n_funcs = program.functions().len();
-        // Edge sets per function; node space = blocks + virtual exit.
-        let mut edges: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); n_funcs];
+        // One packed edge arena for the whole scan: every observed edge is
+        // appended as (func, from << 32 | to) — duplicates and all — then
+        // sorted and deduplicated in place. Replaces a HashSet per
+        // function: appends are branch-free, dedup is one sort, and the
+        // sorted runs are already in CSR order for the per-function build.
+        let mut arena: Vec<(u32, u64)> = Vec::new();
+        let pack = |from: usize, to: usize| ((from as u64) << 32) | to as u64;
         let mut observed: Vec<Vec<bool>> =
             program.functions().iter().map(|f| vec![false; f.blocks.len()]).collect();
 
@@ -114,7 +127,7 @@ impl DcfgSet {
                             let fi = func.0 as usize;
                             if let Some(p) = prev {
                                 let exit = program.functions()[fi].blocks.len();
-                                edges[fi].insert((p, exit));
+                                arena.push((fi as u32, pack(p, exit)));
                             }
                         }
                         SideEvent::Acquire { .. }
@@ -151,7 +164,7 @@ impl DcfgSet {
                 let node = addr.block.0 as usize;
                 observed[fi][node] = true;
                 if let Some(p) = prev {
-                    edges[fi].insert((*p, node));
+                    arena.push((fi as u32, pack(*p, node)));
                 }
                 *prev = Some(node);
             }
@@ -163,27 +176,42 @@ impl DcfgSet {
             }
         }
 
-        obs.counter(Phase::DcfgBuild, "edges", edges.iter().map(|e| e.len() as u64).sum());
+        // Dedup in place: after the sort, a function's edges form one
+        // contiguous run sorted by (from, to) — exactly CSR emission order.
+        arena.sort_unstable();
+        arena.dedup();
+        obs.counter(Phase::DcfgBuild, "edges", arena.len() as u64);
         scan_span.finish();
 
         let ipdom_span = obs.span(Phase::Ipdom);
         let mut solved_funcs = 0u64;
+        let mut run = 0usize;
         let per_func = (0..n_funcs)
             .map(|fi| {
-                if edges[fi].is_empty() && !observed[fi].iter().any(|&o| o) {
+                let start = run;
+                while run < arena.len() && arena[run].0 as usize == fi {
+                    run += 1;
+                }
+                let group = &arena[start..run];
+                if group.is_empty() && !observed[fi].iter().any(|&o| o) {
                     return None;
                 }
                 solved_funcs += 1;
                 let n_blocks = program.functions()[fi].blocks.len();
-                let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_blocks + 1];
-                for &(from, to) in &edges[fi] {
-                    succs[from].push(to);
+                // Node space = blocks + virtual exit; the exit's run is
+                // empty. The group is already sorted, so the packed edge
+                // array is a straight copy and offsets are a counting
+                // pass + prefix sum.
+                let mut edge_off = vec![0u32; n_blocks + 2];
+                for &(_, e) in group {
+                    edge_off[(e >> 32) as usize + 1] += 1;
                 }
-                for s in &mut succs {
-                    s.sort_unstable();
+                for i in 0..n_blocks + 1 {
+                    edge_off[i + 1] += edge_off[i];
                 }
-                let ipdom = ipdom_of(&succs, n_blocks);
-                Some(Dcfg { n_blocks, succs, ipdom, observed: observed[fi].clone() })
+                let edges: Vec<u32> = group.iter().map(|&(_, e)| e as u32).collect();
+                let ipdom = ipdom_of_csr(&edge_off, &edges, n_blocks);
+                Some(Dcfg { n_blocks, edge_off, edges, ipdom, observed: observed[fi].clone() })
             })
             .collect();
         obs.counter(Phase::Ipdom, "functions_solved", solved_funcs);
@@ -278,7 +306,7 @@ mod tests {
         // The call edge is NOT a CFG edge: k's entry block's dynamic
         // successor is its continuation, not h's entry.
         assert_eq!(dk.succs(BlockId(0)), &[1]);
-        assert_eq!(dh.succs(BlockId(0)), &[dh.virtual_exit()]);
+        assert_eq!(dh.succs(BlockId(0)), &[dh.virtual_exit() as u32]);
     }
 
     #[test]

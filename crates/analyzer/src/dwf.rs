@@ -12,8 +12,6 @@
 //! how much headroom smarter warp formation could unlock for a workload —
 //! exactly the §V-B exploration the paper positions ThreadFuser for.
 
-use std::collections::HashMap;
-use threadfuser_ir::BlockAddr;
 use threadfuser_tracer::TraceSet;
 
 /// The idealized DWF packing result.
@@ -49,20 +47,31 @@ impl DwfBound {
 /// Panics if `warp_size` is zero.
 pub fn dwf_upper_bound(traces: &TraceSet, warp_size: u32) -> DwfBound {
     assert!(warp_size > 0, "warp size must be nonzero");
-    let mut counts: HashMap<BlockAddr, (u64, u32)> = HashMap::new();
+    // Every dynamic block execution, packed as (func << 32 | block,
+    // n_insts): sort + run-length count replaces a HashMap keyed by
+    // BlockAddr — the blocks column is appended branch-free and one
+    // unstable sort of plain u64 pairs does the grouping.
+    let mut execs: Vec<(u64, u32)> = Vec::new();
     let mut thread_insts = 0u64;
     for t in traces.threads() {
         // Columnar block columns: no event dispatch, no mem/side traffic.
         for (addr, n_insts) in t.iter_blocks() {
-            let entry = counts.entry(addr).or_insert((0, n_insts));
-            entry.0 += 1;
+            execs.push((((addr.func.0 as u64) << 32) | addr.block.0 as u64, n_insts));
             thread_insts += n_insts as u64;
         }
     }
-    let ideal_issues = counts
-        .values()
-        .map(|&(count, n_insts)| count.div_ceil(warp_size as u64) * n_insts as u64)
-        .sum();
+    execs.sort_unstable();
+    let mut ideal_issues = 0u64;
+    let mut i = 0usize;
+    while i < execs.len() {
+        let key = execs[i].0;
+        let n_insts = execs[i].1 as u64;
+        let start = i;
+        while i < execs.len() && execs[i].0 == key {
+            i += 1;
+        }
+        ideal_issues += ((i - start) as u64).div_ceil(warp_size as u64) * n_insts;
+    }
     DwfBound { warp_size, ideal_issues, thread_insts }
 }
 

@@ -39,6 +39,7 @@ use crate::batching::BatchPolicy;
 use crate::dcfg::{Dcfg, DcfgSet};
 use crate::index::AnalysisIndex;
 use crate::report::{AnalysisReport, FunctionReport};
+use crate::tape::{LaneTapes, TapeView, END_KEY, SIDE_BIT};
 use crate::AnalyzeError;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,7 +47,7 @@ use std::sync::Arc;
 use threadfuser_ir::{BlockAddr, BlockId, FuncCfg, FuncId, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
 use threadfuser_obs::{Obs, Phase};
-use threadfuser_tracer::{SideEvent, ThreadTrace, TraceCursor, TraceEvent, TraceSet};
+use threadfuser_tracer::{SideEvent, TraceEvent, TraceSet};
 
 /// Where diverged warp-mates reconverge (ablation knob; the paper uses
 /// dynamic IPDOMs, §III).
@@ -395,53 +396,139 @@ impl Default for AnalyzerConfig {
 
 /// Per-instruction memory accesses of one emulated block execution:
 /// `inst_idx → (addr, size)` for every active lane, ordered by
-/// instruction index. Backed by a pooled vector the emulator reuses
-/// across block steps.
+/// instruction index.
+///
+/// Stored flat: one packed access arena (`acc`) plus per-instruction
+/// `bounds`, rebuilt each block step by a **stable counting sort** over
+/// the accesses streamed from the lane cursors (radix bucket = the
+/// instruction index, which is `< n_insts` by construction). The old
+/// representation — one `Vec` per instruction, grown via binary-search
+/// insertion per access — allocated per group and shifted group headers
+/// on every new instruction; the radix rebuild is two linear passes and
+/// never allocates once warm. Stability preserves lane-major collection
+/// order inside each group, so downstream coalescing and the step-sink
+/// protocol see byte-identical access sequences.
 #[derive(Debug, Default)]
 pub struct MemGroups {
-    groups: Vec<(u32, Vec<(u64, u32)>)>,
+    /// Streamed `(inst_idx, addr, size)` triples in collection order.
+    triples: Vec<(u32, u64, u32)>,
+    /// Counting-sort table: per-instruction scatter cursor / end offset.
+    counts: Vec<u32>,
+    /// Accesses scattered by instruction, lane order preserved.
+    acc: Vec<(u64, u32)>,
+    /// `(inst_idx, start, end)` into `acc` per instruction with accesses.
+    bounds: Vec<(u32, u32, u32)>,
 }
 
 impl MemGroups {
     /// Accesses of instruction `inst_idx`, if any active lane touched
     /// memory there.
     pub fn get(&self, inst_idx: u32) -> Option<&[(u64, u32)]> {
-        self.groups
-            .binary_search_by_key(&inst_idx, |&(i, _)| i)
-            .ok()
-            .map(|p| self.groups[p].1.as_slice())
+        self.bounds.binary_search_by_key(&inst_idx, |&(i, _, _)| i).ok().map(|p| {
+            let (_, s, e) = self.bounds[p];
+            &self.acc[s as usize..e as usize]
+        })
     }
 
     /// Iterates `(inst_idx, accesses)` in instruction order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[(u64, u32)])> {
-        self.groups.iter().map(|(i, v)| (*i, v.as_slice()))
+        self.bounds.iter().map(|&(i, s, e)| (i, &self.acc[s as usize..e as usize]))
     }
 
     /// Whether no instruction accessed memory in this block execution.
     pub fn is_empty(&self) -> bool {
-        self.groups.is_empty()
+        self.bounds.is_empty()
     }
 
     /// Number of instructions that accessed memory.
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.bounds.len()
     }
 
-    /// Returns the inner vectors to `pool` for reuse.
-    fn recycle_into(&mut self, pool: &mut Vec<Vec<(u64, u32)>>) {
-        for (_, mut v) in self.groups.drain(..) {
-            v.clear();
-            pool.push(v);
+    /// Drops the previous block's accesses (capacity retained).
+    fn clear(&mut self) {
+        self.triples.clear();
+        self.acc.clear();
+        self.bounds.clear();
+    }
+
+    /// Streams one access in collection order (lanes ascending, each
+    /// lane's accesses in trace order).
+    fn collect(&mut self, inst_idx: u32, addr: u64, size: u32) {
+        self.triples.push((inst_idx, addr, size));
+    }
+
+    /// Groups the collected triples by instruction index.
+    ///
+    /// Collection order is lane-major with each lane's accesses already
+    /// ascending, so the stream is frequently globally sorted (single
+    /// memory instruction, or a single lane with accesses) — that case
+    /// is a run-length append with no permutation at all. Otherwise a
+    /// stable counting sort over the *touched* `min..=max` index range
+    /// scatters the accesses in two linear passes; the table is sized by
+    /// the range actually used, never by the block's instruction count.
+    /// A pathological index spread (possible in decoded, never-panic
+    /// captures) falls back to a stable comparison sort with identical
+    /// grouping semantics.
+    fn build(&mut self) {
+        if self.triples.is_empty() {
+            return;
+        }
+        let mut min_i = u32::MAX;
+        let mut max_i = 0u32;
+        let mut prev = 0u32;
+        let mut sorted = true;
+        for &(i, _, _) in &self.triples {
+            sorted &= i >= prev;
+            prev = i;
+            min_i = min_i.min(i);
+            max_i = max_i.max(i);
+        }
+        let range = (max_i - min_i) as usize + 1;
+        if !sorted && range > self.triples.len() * 4 + 64 {
+            self.triples.sort_by_key(|&(i, _, _)| i);
+            sorted = true;
+        }
+        if sorted {
+            self.append_sorted_runs();
+            return;
+        }
+        self.counts.clear();
+        self.counts.resize(range + 1, 0);
+        for &(i, _, _) in &self.triples {
+            self.counts[(i - min_i) as usize + 1] += 1;
+        }
+        for b in 1..=range {
+            self.counts[b] += self.counts[b - 1];
+        }
+        self.acc.resize(self.triples.len(), (0, 0));
+        for &(i, a, s) in &self.triples {
+            let p = &mut self.counts[(i - min_i) as usize];
+            self.acc[*p as usize] = (a, s);
+            *p += 1;
+        }
+        // After scattering, `counts[b]` is the end of bucket `b`'s run;
+        // each run's start is the previous run's end.
+        let mut start = 0u32;
+        for b in 0..range {
+            let end = self.counts[b];
+            if end > start {
+                self.bounds.push((b as u32 + min_i, start, end));
+            }
+            start = end;
         }
     }
 
-    fn push(&mut self, inst_idx: u32, access: (u64, u32), pool: &mut Vec<Vec<(u64, u32)>>) {
-        match self.groups.binary_search_by_key(&inst_idx, |&(i, _)| i) {
-            Ok(p) => self.groups[p].1.push(access),
-            Err(p) => {
-                let mut v = pool.pop().unwrap_or_default();
-                v.push(access);
-                self.groups.insert(p, (inst_idx, v));
+    /// Fills `acc`/`bounds` from `triples` already sorted by instruction
+    /// index (run-length append, lane order preserved).
+    fn append_sorted_runs(&mut self) {
+        for k in 0..self.triples.len() {
+            let (i, a, s) = self.triples[k];
+            self.acc.push((a, s));
+            let end = self.acc.len() as u32;
+            match self.bounds.last_mut() {
+                Some((gi, _, e)) if *gi == i => *e = end,
+                _ => self.bounds.push((i, end - 1, end)),
             }
         }
     }
@@ -554,20 +641,21 @@ where
     let statics: Option<Arc<Vec<FuncCfg>>> = (config.reconvergence
         == ReconvergencePolicy::StaticIpdom)
         .then(|| index.static_cfgs(program));
-    let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
+    let warps = config.batching.plan(traces.threads().len() as u32, config.warp_size);
     let ctx = RunCtx {
         program,
         dcfgs: index.dcfgs(),
         statics: statics.as_ref().map(|v| v.as_slice()),
         config,
         traces,
+        tapes: index.tapes(),
     };
 
     // Emulates warp `i` against a fresh private sink.
     let run_one = |i: usize| -> Result<(AnalysisReport, S), AnalyzeError> {
         let mut sink = make_sink(i as u32);
         let mut dyn_sink: Option<&mut dyn StepSink> = Some(&mut sink);
-        let r = run_warp(&ctx, &warps[i], i as u32, &mut dyn_sink)?;
+        let r = run_warp(&ctx, warps.warp(i), i as u32, &mut dyn_sink)?;
         Ok((r, sink))
     };
 
@@ -648,6 +736,7 @@ struct RunCtx<'a> {
     statics: Option<&'a [FuncCfg]>,
     config: &'a AnalyzerConfig,
     traces: &'a TraceSet,
+    tapes: &'a LaneTapes,
 }
 
 /// Emulates one warp and returns its warp-local report.
@@ -663,38 +752,40 @@ fn run_warp(
 ) -> Result<AnalysisReport, AnalyzeError> {
     match ctx.config.replay {
         ReplayMode::Columnar => {
-            let lanes: Vec<ColumnarLane<'_>> = warp
-                .iter()
-                .map(|&t| ColumnarLane::new(&ctx.traces.threads()[t as usize]))
-                .collect();
-            run_warp_with(ctx, lanes, warp_index, sink)
+            let pos: Vec<u32> = warp.iter().map(|&t| ctx.tapes.start_of(t as usize)).collect();
+            let tids: Vec<u32> = warp.iter().map(|&t| ctx.tapes.tid_of(t as usize)).collect();
+            run_warp_with(ctx, ctx.tapes.view(), pos, tids, warp_index, sink)
         }
         ReplayMode::MaterializedEvents => {
-            let events: Vec<Vec<TraceEvent>> = warp
+            // The ablation path materializes the warp's event streams and
+            // re-fuses them into a private tape, exercising the
+            // event-vector code path end to end.
+            let events: Vec<(u32, Vec<TraceEvent>)> = warp
                 .iter()
-                .map(|&t| ctx.traces.threads()[t as usize].iter_events().collect())
-                .collect();
-            let lanes: Vec<EventLane<'_>> = warp
-                .iter()
-                .zip(&events)
-                .map(|(&t, ev)| EventLane {
-                    tid: ctx.traces.threads()[t as usize].tid,
-                    events: ev,
-                    pos: 0,
+                .map(|&t| {
+                    let th = &ctx.traces.threads()[t as usize];
+                    (th.tid, th.iter_events().collect())
                 })
                 .collect();
-            run_warp_with(ctx, lanes, warp_index, sink)
+            let lanes: Vec<(u32, &[TraceEvent])> =
+                events.iter().map(|(tid, ev)| (*tid, ev.as_slice())).collect();
+            let tapes = LaneTapes::from_events(&lanes);
+            let pos: Vec<u32> = (0..warp.len()).map(|l| tapes.start_of(l)).collect();
+            let tids: Vec<u32> = (0..warp.len()).map(|l| tapes.tid_of(l)).collect();
+            run_warp_with(ctx, tapes.view(), pos, tids, warp_index, sink)
         }
     }
 }
 
-fn run_warp_with<C: LaneCursor>(
+fn run_warp_with(
     ctx: &RunCtx<'_>,
-    cursors: Vec<C>,
+    tape: TapeView<'_>,
+    pos: Vec<u32>,
+    tids: Vec<u32>,
     warp_index: u32,
     sink: &mut Option<&mut dyn StepSink>,
 ) -> Result<AnalysisReport, AnalyzeError> {
-    let mut emu = WarpEmulator::new(ctx.program, ctx.dcfgs, ctx.config, cursors);
+    let mut emu = WarpEmulator::new(ctx.program, ctx.dcfgs, ctx.config, tape, pos, tids);
     emu.static_cfgs = ctx.statics;
     emu.warp_index = warp_index;
     emu.sink = sink.take();
@@ -721,13 +812,14 @@ fn analyze_impl(
     let statics: Option<Arc<Vec<FuncCfg>>> = (config.reconvergence
         == ReconvergencePolicy::StaticIpdom)
         .then(|| index.static_cfgs(program));
-    let warps = config.batching.batch(traces.threads().len() as u32, config.warp_size);
+    let warps = config.batching.plan(traces.threads().len() as u32, config.warp_size);
     let ctx = RunCtx {
         program,
         dcfgs: index.dcfgs(),
         statics: statics.as_ref().map(|v| v.as_slice()),
         config,
         traces,
+        tapes: index.tapes(),
     };
 
     // A sink forces sequential emulation (deterministic step order).
@@ -761,7 +853,8 @@ fn analyze_impl(
                                     if i >= warps_ref.len() {
                                         return Ok(local);
                                     }
-                                    match run_warp(ctx_ref, &warps_ref[i], i as u32, &mut None) {
+                                    match run_warp(ctx_ref, warps_ref.warp(i), i as u32, &mut None)
+                                    {
                                         Ok(r) => local.push((i, r)),
                                         Err(e) => return Err((i, e)),
                                     }
@@ -799,24 +892,24 @@ fn analyze_impl(
             WarpScheduler::StaticChunks => {
                 let chunk_len = warps.len().div_ceil(workers);
                 let ctx_ref = &ctx;
+                let warps_ref = &warps;
                 let results: Vec<Result<AnalysisReport, AnalyzeError>> = std::thread::scope(|s| {
-                    let handles: Vec<_> = warps
-                        .chunks(chunk_len)
-                        .enumerate()
-                        .map(|(ci, chunk)| {
+                    let handles: Vec<_> = (0..warps.len())
+                        .step_by(chunk_len)
+                        .map(|base| {
                             // Each chunk carries its true base offset so
                             // warp indices stay globally unique.
-                            let base = ci * chunk_len;
+                            let end = (base + chunk_len).min(warps_ref.len());
                             s.spawn(move || {
                                 let mut part = AnalysisReport {
                                     warp_size: ctx_ref.config.warp_size,
                                     ..Default::default()
                                 };
-                                for (wi, warp) in chunk.iter().enumerate() {
+                                for wi in base..end {
                                     part.merge(run_warp(
                                         ctx_ref,
-                                        warp,
-                                        (base + wi) as u32,
+                                        warps_ref.warp(wi),
+                                        wi as u32,
                                         &mut None,
                                     )?);
                                 }
@@ -861,173 +954,13 @@ fn emit_warp_obs(obs: &Obs, config: &AnalyzerConfig, report: &AnalysisReport) {
     obs.histogram(Phase::WarpEmulate, "warp_issues", report.issues as f64);
 }
 
-/// One lane's view of its trace during warp replay.
-///
-/// The emulator is generic over this trait and monomorphizes twice:
-/// [`ColumnarLane`] replays straight from the columnar storage (the hot
-/// path — no `TraceEvent` is ever materialized), [`EventLane`] replays a
-/// materialized event slice (benchmark baseline / validation). Everything
-/// the emulator needs is block-granular: peek/consume the next block with
-/// its memory accesses streamed through a callback, peek/consume the next
-/// side event, and scan ahead for a lock release. [`LaneCursor::peek_event`]
-/// materializes a single event for desync error messages only.
-trait LaneCursor {
-    /// Thread id of the lane.
-    fn tid(&self) -> u32;
-    /// `(addr, n_insts)` of the next block, if the next event is a block.
-    fn peek_block(&self) -> Option<(BlockAddr, u32)>;
-    /// Consumes the pending block and streams its memory accesses as
-    /// `(inst_idx, addr, size)`. Callers check [`LaneCursor::peek_block`]
-    /// first; consuming when no block is pending is a no-op.
-    fn consume_block(&mut self, f: impl FnMut(u32, u64, u32));
-    /// The next side event, if the next event is one.
-    fn peek_side(&self) -> Option<SideEvent>;
-    /// Consumes the pending side event (no-op if none is pending).
-    fn consume_side(&mut self);
-    /// Whether the lane's stream is fully consumed.
-    fn at_end(&self) -> bool;
-    /// Materializes the next event for error reporting (cold path only).
-    fn peek_event(&self) -> Option<TraceEvent>;
-    /// Scans ahead for the release matching `lock` (same-lock acquires
-    /// nest) and returns the address of the first block after it.
-    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr>;
-}
-
-/// The hot-path lane: a zero-allocation cursor over columnar storage.
-struct ColumnarLane<'t> {
-    cur: TraceCursor<'t>,
-}
-
-impl<'t> ColumnarLane<'t> {
-    fn new(t: &'t ThreadTrace) -> Self {
-        ColumnarLane { cur: t.cursor() }
-    }
-}
-
-impl LaneCursor for ColumnarLane<'_> {
-    fn tid(&self) -> u32 {
-        self.cur.tid()
-    }
-
-    fn peek_block(&self) -> Option<(BlockAddr, u32)> {
-        self.cur.peek_block()
-    }
-
-    fn consume_block(&mut self, mut f: impl FnMut(u32, u64, u32)) {
-        if let Some((_, _, mems)) = self.cur.next_block() {
-            for m in mems.iter() {
-                f(m.inst_idx, m.addr, m.size as u32);
-            }
-        }
-    }
-
-    fn peek_side(&self) -> Option<SideEvent> {
-        self.cur.peek_side()
-    }
-
-    fn consume_side(&mut self) {
-        self.cur.next_side();
-    }
-
-    fn at_end(&self) -> bool {
-        self.cur.at_end()
-    }
-
-    fn peek_event(&self) -> Option<TraceEvent> {
-        self.cur.peek_event()
-    }
-
-    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr> {
-        self.cur.scan_release_target(lock)
-    }
-}
-
-/// The baseline lane: a position over a materialized event slice
-/// (pre-columnar replay semantics, kept for benchmarking and validation).
-struct EventLane<'t> {
-    tid: u32,
-    events: &'t [TraceEvent],
-    pos: usize,
-}
-
-impl EventLane<'_> {
-    fn peek(&self) -> Option<&TraceEvent> {
-        self.events.get(self.pos)
-    }
-}
-
-impl LaneCursor for EventLane<'_> {
-    fn tid(&self) -> u32 {
-        self.tid
-    }
-
-    fn peek_block(&self) -> Option<(BlockAddr, u32)> {
-        match self.peek() {
-            Some(TraceEvent::Block { addr, n_insts }) => Some((*addr, *n_insts)),
-            _ => None,
-        }
-    }
-
-    fn consume_block(&mut self, mut f: impl FnMut(u32, u64, u32)) {
-        if !matches!(self.peek(), Some(TraceEvent::Block { .. })) {
-            return;
-        }
-        self.pos += 1;
-        while let Some(TraceEvent::Mem { inst_idx, addr, size, .. }) = self.peek() {
-            f(*inst_idx, *addr, *size as u32);
-            self.pos += 1;
-        }
-    }
-
-    fn peek_side(&self) -> Option<SideEvent> {
-        match self.peek()? {
-            TraceEvent::Call { callee } => Some(SideEvent::Call { callee: *callee }),
-            TraceEvent::Ret => Some(SideEvent::Ret),
-            TraceEvent::Acquire { lock } => Some(SideEvent::Acquire { lock: *lock }),
-            TraceEvent::Release { lock } => Some(SideEvent::Release { lock: *lock }),
-            TraceEvent::Barrier { id } => Some(SideEvent::Barrier { id: *id }),
-            TraceEvent::Block { .. } | TraceEvent::Mem { .. } => None,
-        }
-    }
-
-    fn consume_side(&mut self) {
-        if self.peek_side().is_some() {
-            self.pos += 1;
-        }
-    }
-
-    fn at_end(&self) -> bool {
-        self.pos >= self.events.len()
-    }
-
-    fn peek_event(&self) -> Option<TraceEvent> {
-        self.peek().copied()
-    }
-
-    fn scan_release_target(&self, lock: u64) -> Option<BlockAddr> {
-        let mut nesting = 0u32;
-        let mut release_at: Option<usize> = None;
-        for (i, e) in self.events[self.pos..].iter().enumerate() {
-            match e {
-                TraceEvent::Acquire { lock: l } if *l == lock => nesting += 1,
-                TraceEvent::Release { lock: l } if *l == lock => {
-                    if nesting == 0 {
-                        release_at = Some(self.pos + i);
-                        break;
-                    }
-                    nesting -= 1;
-                }
-                _ => {}
-            }
-        }
-        let at = release_at?;
-        self.events[at + 1..].iter().find_map(|e| match e {
-            TraceEvent::Block { addr, .. } => Some(*addr),
-            _ => None,
-        })
-    }
-}
-
+/// One lane's replay state during warp emulation is a single index into
+/// the capture's fused tape arena ([`crate::tape::LaneTapes`], built once
+/// per [`AnalysisIndex`]): the next event is one `u64` key load, and
+/// consuming any event increments the index. [`ReplayMode::Columnar`]
+/// replays the index's shared tapes; [`ReplayMode::MaterializedEvents`]
+/// rebuilds equivalent tapes per warp from reconstructed `TraceEvent`
+/// slices (benchmark baseline / validation).
 /// SIMT-stack entry. `is_frame` marks entries that own a function
 /// activation (root, calls, and their inherited reconvergence entries);
 /// popping a frame entry updates the caller's continuation block from the
@@ -1058,12 +991,30 @@ struct SGroup {
     release_at: Option<(FuncId, usize)>,
 }
 
-struct WarpEmulator<'a, 's, C: LaneCursor> {
+/// Packs a block position into the tape's comparable key.
+#[inline]
+fn pack_key(func: FuncId, node: usize) -> u64 {
+    crate::tape::pack_block_key(func.0, node as u32)
+}
+
+/// Reconstructs a [`BlockAddr`] from a packed key (error paths only).
+fn unpack_key(key: u64) -> BlockAddr {
+    BlockAddr::new(FuncId((key >> 32) as u32), BlockId(key as u32))
+}
+
+struct WarpEmulator<'a, 's> {
     program: &'a Program,
     dcfgs: &'a DcfgSet,
     static_cfgs: Option<&'a [FuncCfg]>,
     config: &'a AnalyzerConfig,
-    cursors: Vec<C>,
+    // Fused tape arena of the capture: every lane's whole event stream
+    // is pre-merged into flat columns, so per-lane replay state is just
+    // `pos` — the next event is one key load, consuming is `pos += 1`.
+    tape: TapeView<'a>,
+    /// Per-lane tape position (absolute index into the arena columns).
+    pos: Vec<u32>,
+    /// Per-lane thread ids (error reporting only).
+    tids: Vec<u32>,
     stack: Vec<Entry>,
     report: AnalysisReport,
     warp_index: u32,
@@ -1071,10 +1022,7 @@ struct WarpEmulator<'a, 's, C: LaneCursor> {
     // Scratch buffers reused across block steps (the emulation hot loop
     // would otherwise allocate several containers per executed block).
     mem_scratch: MemGroups,
-    vec_pool: Vec<Vec<(u64, u32)>>,
     lines_scratch: Vec<u64>,
-    heap_acc_scratch: Vec<(u64, u32)>,
-    stack_acc_scratch: Vec<(u64, u32)>,
     groups_scratch: Vec<(usize, u64)>,
     // Per-function accumulators indexed by FuncId, folded into the
     // report's map once per warp (a HashMap entry per block step would
@@ -1095,35 +1043,108 @@ fn lanes_of(mask: u64, _n: usize) -> impl Iterator<Item = usize> {
     })
 }
 
-impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
+impl<'a, 's> WarpEmulator<'a, 's> {
     fn new(
         program: &'a Program,
         dcfgs: &'a DcfgSet,
         config: &'a AnalyzerConfig,
-        cursors: Vec<C>,
+        tape: TapeView<'a>,
+        pos: Vec<u32>,
+        tids: Vec<u32>,
     ) -> Self {
         WarpEmulator {
             program,
             dcfgs,
             static_cfgs: None,
             config,
-            cursors,
+            tape,
+            pos,
+            tids,
             stack: Vec::new(),
             report: AnalysisReport { warp_size: config.warp_size, warps: 1, ..Default::default() },
             warp_index: 0,
             sink: None,
             mem_scratch: MemGroups::default(),
-            vec_pool: Vec::new(),
             lines_scratch: Vec::new(),
-            heap_acc_scratch: Vec::new(),
-            stack_acc_scratch: Vec::new(),
             groups_scratch: Vec::new(),
             func_scratch: vec![FunctionReport::default(); program.functions().len()],
         }
     }
 
+    /// Lane `l`'s pending tape key: a block key, a side key, or
+    /// [`END_KEY`].
+    #[inline]
+    fn key(&self, l: usize) -> u64 {
+        self.tape.events[self.pos[l] as usize].key
+    }
+
+    /// The pending side event of lane `l`, if its next event is one.
+    #[inline]
+    fn cached_side(&self, l: usize) -> Option<SideEvent> {
+        let k = self.key(l);
+        (k & SIDE_BIT != 0 && k != END_KEY).then(|| self.tape.sides[(k as u32) as usize])
+    }
+
+    /// Consumes lane `l`'s pending side event.
+    #[inline]
+    fn consume_side(&mut self, l: usize) {
+        self.pos[l] += 1;
+    }
+
+    /// Whether lane `l`'s stream is fully consumed.
+    #[inline]
+    fn at_end(&self, l: usize) -> bool {
+        self.key(l) == END_KEY
+    }
+
+    /// Materializes lane `l`'s next event for error reporting (cold).
+    fn peek_event(&self, l: usize) -> Option<TraceEvent> {
+        let k = self.key(l);
+        if k == END_KEY {
+            None
+        } else if k & SIDE_BIT != 0 {
+            Some(self.tape.sides[(k as u32) as usize].to_event())
+        } else {
+            let addr = unpack_key(k);
+            Some(TraceEvent::Block { addr, n_insts: self.tape.events[self.pos[l] as usize].ni })
+        }
+    }
+
+    /// Scans lane `l`'s tape (without consuming) for the release matching
+    /// `lock` — same-lock acquires nest — and returns the address of the
+    /// first block after it in the stream, if any.
+    fn scan_release_target(&self, l: usize, lock: u64) -> Option<BlockAddr> {
+        let events = self.tape.events;
+        let mut p = self.pos[l] as usize;
+        let mut nesting = 0u32;
+        loop {
+            let k = events[p].key;
+            if k == END_KEY {
+                return None;
+            }
+            if k & SIDE_BIT != 0 {
+                match self.tape.sides[(k as u32) as usize] {
+                    SideEvent::Acquire { lock: o } if o == lock => nesting += 1,
+                    SideEvent::Release { lock: o } if o == lock => {
+                        if nesting == 0 {
+                            return events[p + 1..]
+                                .iter()
+                                .map(|e| e.key)
+                                .take_while(|&k2| k2 != END_KEY)
+                                .find(|&k2| k2 & SIDE_BIT == 0)
+                                .map(unpack_key);
+                        }
+                        nesting -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            p += 1;
+        }
+    }
+
     fn desync(&self, lane: usize, detail: impl Into<String>) -> AnalyzeError {
-        AnalyzeError::Desync { tid: self.cursors[lane].tid(), detail: detail.into() }
+        AnalyzeError::Desync { tid: self.tids[lane], detail: detail.into() }
     }
 
     fn dcfg(&self, f: FuncId) -> Result<&'a Dcfg, AnalyzeError> {
@@ -1141,23 +1162,21 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     }
 
     /// Verifies every lane opens with the same entry block; returns the
-    /// shared entry address and the full-warp mask (`None`: empty warp).
-    fn start(&mut self) -> Result<Option<(BlockAddr, u64)>, AnalyzeError> {
-        let n = self.cursors.len();
+    /// shared entry's packed key and the full-warp mask (`None`: empty
+    /// warp).
+    fn start(&mut self) -> Result<Option<(u64, u64)>, AnalyzeError> {
+        let n = self.pos.len();
         if n == 0 {
             return Ok(None);
         }
-        let first = match self.cursors[0].peek_block() {
-            Some((addr, _)) => addr,
-            None => return Err(self.desync(0, "trace does not start with a block")),
-        };
+        let first = self.key(0);
+        if first & SIDE_BIT != 0 {
+            return Err(self.desync(0, "trace does not start with a block"));
+        }
         for l in 1..n {
-            match self.cursors[l].peek_block() {
-                Some((addr, _)) if addr == first => {}
-                _ => {
-                    let other = self.cursors[l].peek_event();
-                    return Err(self.desync(l, format!("lane entry mismatch: {other:?}")));
-                }
+            if self.key(l) != first {
+                let other = self.peek_event(l);
+                return Err(self.desync(l, format!("lane entry mismatch: {other:?}")));
             }
         }
         let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
@@ -1168,8 +1187,8 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     /// [`ReconvergenceModel`].
     fn finish(&mut self) -> Result<(), AnalyzeError> {
         // Every lane must be fully consumed.
-        for l in 0..self.cursors.len() {
-            if !self.cursors[l].at_end() {
+        for l in 0..self.pos.len() {
+            if !self.at_end(l) {
                 return Err(self.desync(l, "trailing events after warp completion"));
             }
         }
@@ -1190,10 +1209,11 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     /// ([`ReconvergenceModel::IpdomStack`], and — via the melding hook on
     /// the branch path — [`ReconvergenceModel::BranchMelding`]).
     fn run_stack(&mut self) -> Result<(), AnalyzeError> {
-        let n = self.cursors.len();
-        let Some((first, full)) = self.start()? else {
+        let n = self.pos.len();
+        let Some((first_key, full)) = self.start()? else {
             return Ok(());
         };
+        let first = unpack_key(first_key);
         let vexit = self.dcfg(first.func)?.virtual_exit();
         self.stack.push(Entry {
             func: first.func,
@@ -1229,8 +1249,17 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 return Err(self.desync(lane, "lanes escaped their reconvergence point"));
             }
 
+            // ---- singleton fast-forward ---------------------------------
+            // A one-lane group (the common case in divergence-heavy code:
+            // serialized loop tails, uneven trip counts) cannot diverge or
+            // disagree, so its straight branch runs replay as a tape walk
+            // without the grouping machinery — identical accounting.
+            if top.mask & (top.mask - 1) == 0 && self.run_singleton(&top, vexit)? {
+                continue;
+            }
+
             // ---- execute block ------------------------------------------
-            self.exec_block(top)?;
+            let next_uniform = self.exec_block(top)?;
             if self.report.issues > self.config.max_issues_per_warp {
                 return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
             }
@@ -1240,8 +1269,16 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             match term {
                 Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
                     let mut groups = std::mem::take(&mut self.groups_scratch);
-                    let result =
-                        self.group_by_next_block(top.func, top.mask, &mut groups).and_then(|()| {
+                    let result = self
+                        .group_by_next_block(top.func, top.mask, next_uniform, &mut groups)
+                        .and_then(|()| {
+                            // Single target: plain advance — no divergence,
+                            // so the IPDOM is never consulted (melding needs
+                            // exactly two groups and bails identically).
+                            if groups.len() == 1 {
+                                self.stack.last_mut().expect("nonempty").node = groups[0].0;
+                                return Ok(());
+                            }
                             let ipd = self.reconvergence_point(dcfg, top.func, top.node);
                             if self.config.model == ReconvergenceModel::BranchMelding
                                 && self.try_meld(top.func, &groups, ipd)?
@@ -1255,10 +1292,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Ret { .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Ret) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Ret) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(
                                     self.desync(l, format!("expected Ret event, got {other:?}"))
                                 );
@@ -1271,12 +1308,12 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Call { callee, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek_side() {
+                        match self.cached_side(l) {
                             Some(SideEvent::Call { callee: c }) if c == *callee => {
-                                self.cursors[l].consume_side();
+                                self.consume_side(l);
                             }
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(
                                     self.desync(l, format!("expected Call event, got {other:?}"))
                                 );
@@ -1300,10 +1337,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Release { next, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Release { .. }) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Release { .. }) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(self
                                     .desync(l, format!("expected Release event, got {other:?}")));
                             }
@@ -1313,10 +1350,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Barrier { next, .. } => {
                     for l in lanes_of(top.mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Barrier { .. }) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Barrier { .. }) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(self
                                     .desync(l, format!("expected Barrier event, got {other:?}")));
                             }
@@ -1333,31 +1370,29 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     /// Pops a frame entry: all its lanes finished a function; set the
     /// caller entry's continuation block from their next trace events.
     fn pop_frame(&mut self, popped: Entry) -> Result<(), AnalyzeError> {
-        let n = self.cursors.len();
+        let n = self.pos.len();
         let Some(below_func) = self.stack.last().map(|e| e.func) else {
             return Ok(()); // root: trailing-event check happens at the end
         };
-        let mut target: Option<BlockAddr> = None;
+        let mut target: Option<u64> = None;
         for l in lanes_of(popped.mask, n) {
-            match self.cursors[l].peek_block() {
-                Some((addr, _)) => match target {
-                    None => target = Some(addr),
-                    Some(t) if t == addr => {}
-                    Some(t) => {
-                        return Err(
-                            self.desync(l, format!("call continuation mismatch: {addr} vs {t}"))
-                        )
-                    }
-                },
-                None => {
-                    let other = self.cursors[l].peek_event();
+            let key = self.key(l);
+            if key & SIDE_BIT != 0 {
+                let other = self.peek_event(l);
+                return Err(self.desync(l, format!("expected continuation block, got {other:?}")));
+            }
+            match target {
+                None => target = Some(key),
+                Some(t) if t == key => {}
+                Some(t) => {
+                    let (addr, t) = (unpack_key(key), unpack_key(t));
                     return Err(
-                        self.desync(l, format!("expected continuation block, got {other:?}"))
+                        self.desync(l, format!("call continuation mismatch: {addr} vs {t}"))
                     );
                 }
             }
         }
-        let t = target.expect("frame entries have nonempty masks");
+        let t = unpack_key(target.expect("frame entries have nonempty masks"));
         if t.func != below_func {
             let lane = lanes_of(popped.mask, n).next().unwrap_or(0);
             return Err(self.desync(lane, "continuation in unexpected function"));
@@ -1394,10 +1429,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
 
     /// Consumes the Block + Mem events of every active lane and accounts
     /// issues, per-function attribution, and coalesced transactions.
-    fn exec_block(&mut self, top: Entry) -> Result<(), AnalyzeError> {
-        let (ni, active) = self.exec_block_events(top.func, top.node, top.mask)?;
+    fn exec_block(&mut self, top: Entry) -> Result<Option<u64>, AnalyzeError> {
+        let (ni, active, next) = self.exec_block_events(top.func, top.node, top.mask)?;
         self.account_issue(top.func, ni, active);
-        Ok(())
+        Ok(next)
     }
 
     /// Consumes the Block + Mem events of every lane in `mask` at
@@ -1411,45 +1446,59 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         func: FuncId,
         node: usize,
         mask: u64,
-    ) -> Result<(u64, u64), AnalyzeError> {
-        let n = self.cursors.len();
-        let addr = BlockAddr::new(func, BlockId(node as u32));
+    ) -> Result<(u64, u64, Option<u64>), AnalyzeError> {
+        let n = self.pos.len();
+        let key = pack_key(func, node);
+        // Borrows of the arena slices: field-disjoint from the scratch
+        // and position columns, so the collect loop streams straight into
+        // the scratch without moving anything out and back.
+        let events = self.tape.events;
+        let mems = self.tape.mems;
         let mut n_insts: Option<u32> = None;
-        // Reuse the per-block scratch containers (hot loop: no fresh
-        // allocations once the pools are warm).
-        let mut mem_groups = std::mem::take(&mut self.mem_scratch);
-        let mut pool = std::mem::take(&mut self.vec_pool);
-        mem_groups.recycle_into(&mut pool);
+        self.mem_scratch.clear();
         let mut active = 0u64;
+        // Uniform next-event key across the active lanes, gathered in the
+        // same pass (the terminator's grouping step short-circuits on it).
+        let mut next_key = u64::MAX;
+        let mut next_same = true;
         for l in lanes_of(mask, n) {
             active += 1;
-            let c = &mut self.cursors[l];
-            match c.peek_block() {
-                Some((a, ni)) if a == addr => match n_insts {
-                    None => n_insts = Some(ni),
-                    Some(prev) if prev == ni => {}
-                    Some(prev) => {
-                        let err = AnalyzeError::Desync {
-                            tid: c.tid(),
-                            detail: format!("block size mismatch at {addr}: {ni} vs {prev}"),
-                        };
-                        self.mem_scratch = mem_groups;
-                        self.vec_pool = pool;
-                        return Err(err);
-                    }
-                },
-                _ => {
-                    let err = AnalyzeError::Desync {
-                        tid: c.tid(),
-                        detail: format!("expected block {addr}, got {:?}", c.peek_event()),
-                    };
-                    self.mem_scratch = mem_groups;
-                    self.vec_pool = pool;
-                    return Err(err);
+            let p = self.pos[l] as usize;
+            let ev = events[p];
+            // Block keys carry bit 63 clear, so one compare validates
+            // both the event kind and the block identity.
+            if ev.key != key {
+                let addr = unpack_key(key);
+                return Err(AnalyzeError::Desync {
+                    tid: self.tids[l],
+                    detail: format!("expected block {addr}, got {:?}", self.peek_event(l)),
+                });
+            }
+            let lni = ev.ni;
+            match n_insts {
+                None => n_insts = Some(lni),
+                Some(prev) if prev == lni => {}
+                Some(prev) => {
+                    let addr = unpack_key(key);
+                    return Err(AnalyzeError::Desync {
+                        tid: self.tids[l],
+                        detail: format!("block size mismatch at {addr}: {lni} vs {prev}"),
+                    });
                 }
             }
-            c.consume_block(|inst_idx, a, size| mem_groups.push(inst_idx, (a, size), &mut pool));
+            // The consumed event is never the thread's last (END follows),
+            // so `p + 1` stays inside this thread's tape segment; the next
+            // record doubles as this block's mem-range end.
+            let next = events[p + 1];
+            for m in &mems[ev.mem_lo as usize..next.mem_lo as usize] {
+                self.mem_scratch.collect(m.inst, m.addr, m.size);
+            }
+            self.pos[l] = p as u32 + 1;
+            let nk = next.key;
+            next_same &= active == 1 || nk == next_key;
+            next_key = nk;
         }
+        self.mem_scratch.build();
         let ni = n_insts.expect("at least one active lane") as u64;
         self.report.thread_insts += ni * active;
         self.func_scratch[func.0 as usize].own_thread_insts += ni * active;
@@ -1462,41 +1511,230 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 n_insts: ni as u32,
                 mask,
                 active: active as u32,
-                mem: &mem_groups,
+                mem: &self.mem_scratch,
             });
         }
 
-        for (_, accesses) in mem_groups.iter() {
-            // Single pass: classify each access by segment, then coalesce
-            // each segment's accesses with the shared scratch buffer.
-            self.heap_acc_scratch.clear();
-            self.stack_acc_scratch.clear();
-            for &acc in accesses {
-                match segment_of(acc.0) {
-                    Segment::Heap => self.heap_acc_scratch.push(acc),
-                    Segment::Stack => self.stack_acc_scratch.push(acc),
-                }
-            }
-            if !self.heap_acc_scratch.is_empty() {
+        for (_, accesses) in self.mem_scratch.iter() {
+            // One tagged radix pass per instruction: each access's line
+            // keys carry the segment in bit 63, so a single sort counts
+            // both segments' transactions — no classify-into-two-buffers
+            // round and one sort instead of two.
+            let mut heap_n = 0u64;
+            let mut stack_n = 0u64;
+            let (heap_tx, stack_tx) = threadfuser_mem::coalesce_transactions_tagged(
+                &mut self.lines_scratch,
+                accesses.iter().map(|&(a, s)| {
+                    let stack = segment_of(a) == Segment::Stack;
+                    if stack {
+                        stack_n += 1;
+                    } else {
+                        heap_n += 1;
+                    }
+                    (a, s, stack)
+                }),
+            );
+            if heap_n > 0 {
                 self.report.heap.instructions += 1;
-                self.report.heap.accesses += self.heap_acc_scratch.len() as u64;
-                self.report.heap.transactions += threadfuser_mem::coalesce_transactions_with(
-                    &mut self.lines_scratch,
-                    self.heap_acc_scratch.iter().copied(),
-                ) as u64;
+                self.report.heap.accesses += heap_n;
+                self.report.heap.transactions += heap_tx as u64;
             }
-            if !self.stack_acc_scratch.is_empty() {
+            if stack_n > 0 {
                 self.report.stack.instructions += 1;
-                self.report.stack.accesses += self.stack_acc_scratch.len() as u64;
-                self.report.stack.transactions += threadfuser_mem::coalesce_transactions_with(
-                    &mut self.lines_scratch,
-                    self.stack_acc_scratch.iter().copied(),
-                ) as u64;
+                self.report.stack.accesses += stack_n;
+                self.report.stack.transactions += stack_tx as u64;
             }
         }
-        self.mem_scratch = mem_groups;
-        self.vec_pool = pool;
-        Ok((ni, active))
+        Ok((ni, active, next_same.then_some(next_key)))
+    }
+
+    /// Fast-forwards a singleton lane group (one active lane) through a
+    /// run of branch-terminated blocks. With one lane there is nothing to
+    /// group, agree on, or diverge: the lane's own tape *is* the warp's
+    /// path, so the per-step stack/grouping machinery collapses to a
+    /// key-validated tape walk with identical accounting and identical
+    /// error behavior. Stops (updating the stack top in place) at the
+    /// entry's reconvergence point, the virtual exit, or the first
+    /// non-branch terminator; returns whether any block was executed.
+    fn run_singleton(&mut self, top: &Entry, vexit: usize) -> Result<bool, AnalyzeError> {
+        let lane = top.mask.trailing_zeros() as usize;
+        let func = top.func;
+        let func_hi = (func.0 as u64) << 32;
+        let f = self.program.function(func);
+        let fi = func.0 as usize;
+        let w1 = self.effective_width(1);
+        let max_issues = self.config.max_issues_per_warp;
+        // The tape is a `&'a` slice (independent of the `self` borrow).
+        let events = self.tape.events;
+        let mut node = top.node;
+        let mut p = self.pos[lane] as usize;
+        let mut executed = false;
+        loop {
+            let term = &f.block(BlockId(node as u32)).term;
+            if !matches!(
+                term,
+                Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. }
+            ) {
+                break;
+            }
+            // ---- execute `node` (same checks as exec_block_events) ------
+            let ev = events[p];
+            if ev.key != pack_key(func, node) {
+                self.pos[lane] = p as u32;
+                let addr = unpack_key(pack_key(func, node));
+                let got = self.peek_event(lane);
+                return Err(self.desync(lane, format!("expected block {addr}, got {got:?}")));
+            }
+            let ni = ev.ni as u64;
+            let (lo, hi) = (ev.mem_lo as usize, events[p + 1].mem_lo as usize);
+            p += 1;
+            if lo != hi || self.sink.is_some() {
+                self.exec_singleton_mem(func, node, ni as u32, top.mask, lo, hi);
+            }
+            self.report.thread_insts += ni;
+            self.report.issues += ni;
+            self.report.issue_slots += ni * w1;
+            let fr = &mut self.func_scratch[fi];
+            fr.own_thread_insts += ni;
+            fr.own_issues += ni;
+            fr.own_issue_slots += ni * w1;
+            executed = true;
+            if self.report.issues > max_issues {
+                return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
+            }
+            // ---- advance (single lane: single target, no divergence) ----
+            let np = events[p].key;
+            if np & !0xffff_ffff != func_hi {
+                self.pos[lane] = p as u32;
+                let got = self.peek_event(lane);
+                return Err(self.desync(lane, format!("expected successor block, got {got:?}")));
+            }
+            node = np as u32 as usize;
+            if node == top.rpc || node == vexit {
+                break;
+            }
+        }
+        self.pos[lane] = p as u32;
+        if executed {
+            self.stack.last_mut().expect("nonempty").node = node;
+        }
+        Ok(executed)
+    }
+
+    /// Memory accounting for one singleton-lane block: `lo..hi` indexes
+    /// the tape's mem arenas. Without a sink the contiguous equal-index
+    /// runs of a single lane's accesses *are* the instruction groups, so
+    /// coalescing skips the scratch rebuild (a lone access's distinct
+    /// lines are just a contiguous range). With a sink the groups are
+    /// materialized exactly like the generic path so `BlockStep` sees the
+    /// same `MemGroups`.
+    fn exec_singleton_mem(
+        &mut self,
+        func: FuncId,
+        node: usize,
+        ni: u32,
+        mask: u64,
+        lo: usize,
+        hi: usize,
+    ) {
+        let mems = self.tape.mems;
+        if self.sink.is_some() {
+            self.mem_scratch.clear();
+            for m in &mems[lo..hi] {
+                self.mem_scratch.collect(m.inst, m.addr, m.size);
+            }
+            self.mem_scratch.build();
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.on_step(&BlockStep {
+                    warp: self.warp_index,
+                    func,
+                    block: BlockId(node as u32),
+                    n_insts: ni,
+                    mask,
+                    active: 1,
+                    mem: &self.mem_scratch,
+                });
+            }
+            for (_, accesses) in self.mem_scratch.iter() {
+                let mut heap_n = 0u64;
+                let mut stack_n = 0u64;
+                let (heap_tx, stack_tx) = threadfuser_mem::coalesce_transactions_tagged(
+                    &mut self.lines_scratch,
+                    accesses.iter().map(|&(a, s)| {
+                        let stack = segment_of(a) == Segment::Stack;
+                        if stack {
+                            stack_n += 1;
+                        } else {
+                            heap_n += 1;
+                        }
+                        (a, s, stack)
+                    }),
+                );
+                if heap_n > 0 {
+                    self.report.heap.instructions += 1;
+                    self.report.heap.accesses += heap_n;
+                    self.report.heap.transactions += heap_tx as u64;
+                }
+                if stack_n > 0 {
+                    self.report.stack.instructions += 1;
+                    self.report.stack.accesses += stack_n;
+                    self.report.stack.transactions += stack_tx as u64;
+                }
+            }
+            return;
+        }
+        let mut j = lo;
+        while j < hi {
+            let inst = mems[j].inst;
+            let mut k = j + 1;
+            while k < hi && mems[k].inst == inst {
+                k += 1;
+            }
+            if k == j + 1 {
+                // One access: its lines form a contiguous range, so the
+                // transaction count is the range length (identical to the
+                // generic sort+dedup over that one access's lines).
+                let (a, sz) = (mems[j].addr, mems[j].size);
+                let first = a / threadfuser_mem::TRANSACTION_BYTES;
+                let last = a.saturating_add(sz.saturating_sub(1) as u64)
+                    / threadfuser_mem::TRANSACTION_BYTES;
+                let seg = if segment_of(a) == Segment::Stack {
+                    &mut self.report.stack
+                } else {
+                    &mut self.report.heap
+                };
+                seg.instructions += 1;
+                seg.accesses += 1;
+                seg.transactions += last - first + 1;
+            } else {
+                let mut heap_n = 0u64;
+                let mut stack_n = 0u64;
+                let (heap_tx, stack_tx) = threadfuser_mem::coalesce_transactions_tagged(
+                    &mut self.lines_scratch,
+                    (j..k).map(|x| {
+                        let a = mems[x].addr;
+                        let stack = segment_of(a) == Segment::Stack;
+                        if stack {
+                            stack_n += 1;
+                        } else {
+                            heap_n += 1;
+                        }
+                        (a, mems[x].size, stack)
+                    }),
+                );
+                if heap_n > 0 {
+                    self.report.heap.instructions += 1;
+                    self.report.heap.accesses += heap_n;
+                    self.report.heap.transactions += heap_tx as u64;
+                }
+                if stack_n > 0 {
+                    self.report.stack.instructions += 1;
+                    self.report.stack.accesses += stack_n;
+                    self.report.stack.transactions += stack_tx as u64;
+                }
+            }
+            j = k;
+        }
     }
 
     /// Groups the lanes of `mask` by the block their next trace event
@@ -1506,18 +1744,31 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         &mut self,
         func: FuncId,
         mask: u64,
+        uniform: Option<u64>,
         groups: &mut Vec<(usize, u64)>,
     ) -> Result<(), AnalyzeError> {
         groups.clear();
-        let n = self.cursors.len();
+        let n = self.pos.len();
+        let func_hi = (func.0 as u64) << 32;
+        // Uniform fast path: every active lane already agreed on its next
+        // event during block execution — one range check replaces the
+        // per-lane walk. (A uniform but wrong key falls through so the
+        // error below names the correct first lane.)
+        if let Some(k) = uniform {
+            if k & !0xffff_ffff == func_hi {
+                groups.push((k as u32 as usize, mask));
+                return Ok(());
+            }
+        }
         for l in lanes_of(mask, n) {
-            let node = match self.cursors[l].peek_block() {
-                Some((addr, _)) if addr.func == func => addr.block.0 as usize,
-                _ => {
-                    let other = self.cursors[l].peek_event();
-                    return Err(self.desync(l, format!("expected successor block, got {other:?}")));
-                }
-            };
+            // Side events and END carry bit 63, so the function-word
+            // compare also rejects non-block events.
+            let key = self.key(l);
+            if key & !0xffff_ffff != func_hi {
+                let other = self.peek_event(l);
+                return Err(self.desync(l, format!("expected successor block, got {other:?}")));
+            }
+            let node = key as u32 as usize;
             match groups.iter_mut().find(|(g, _)| *g == node) {
                 Some((_, m)) => *m |= 1 << l,
                 None => groups.push((node, 1 << l)),
@@ -1599,8 +1850,8 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
 
         let (mask_a, mask_b) = (groups[0].1, groups[1].1);
         for (&a, &b) in chain_a.iter().zip(&chain_b) {
-            let (ni_a, active_a) = self.exec_block_events(func, a, mask_a)?;
-            let (ni_b, active_b) = self.exec_block_events(func, b, mask_b)?;
+            let (ni_a, active_a, _) = self.exec_block_events(func, a, mask_a)?;
+            let (ni_b, active_b, _) = self.exec_block_events(func, b, mask_b)?;
             self.account_issue(func, ni_a.max(ni_b), active_a + active_b);
             if self.report.issues > self.config.max_issues_per_warp {
                 return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
@@ -1635,16 +1886,16 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
 
     /// Lock handling at an `Acquire` terminator (paper §III).
     fn handle_acquire(&mut self, top: Entry, next: usize) -> Result<(), AnalyzeError> {
-        let n = self.cursors.len();
+        let n = self.pos.len();
         let mut locks: Vec<(usize, u64)> = Vec::new(); // (lane, lock)
         for l in lanes_of(top.mask, n) {
-            match self.cursors[l].peek_side() {
+            match self.cached_side(l) {
                 Some(SideEvent::Acquire { lock }) => {
                     locks.push((l, lock));
-                    self.cursors[l].consume_side();
+                    self.consume_side(l);
                 }
                 _ => {
-                    let other = self.cursors[l].peek_event();
+                    let other = self.peek_event(l);
                     return Err(self.desync(l, format!("expected Acquire event, got {other:?}")));
                 }
             }
@@ -1665,7 +1916,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
         let lead = contended[0];
         let lead_lock = locks.iter().find(|(l, _)| *l == lead).expect("present").1;
         let rpoint_addr =
-            self.cursors[lead].scan_release_target(lead_lock).filter(|addr| addr.func == top.func);
+            self.scan_release_target(lead, lead_lock).filter(|addr| addr.func == top.func);
         let Some(rpoint) = rpoint_addr.map(|addr| addr.block.0 as usize) else {
             self.report.lock_fallbacks += 1;
             self.stack.last_mut().expect("nonempty").node = next;
@@ -1719,10 +1970,11 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     /// contenders into serialized singleton groups that refuse to merge
     /// until past their own unlock.
     fn run_stackless(&mut self) -> Result<(), AnalyzeError> {
-        let n = self.cursors.len();
-        let Some((first, full)) = self.start()? else {
+        let n = self.pos.len();
+        let Some((first_key, full)) = self.start()? else {
             return Ok(());
         };
+        let first = unpack_key(first_key);
         let program = self.program;
         let mut groups: Vec<SGroup> = vec![SGroup {
             frames: vec![(first.func, first.block.0 as usize)],
@@ -1777,7 +2029,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
             let mask = groups[gi].mask;
 
             // ---- execute one block -------------------------------------
-            let (ni, active) = self.exec_block_events(func, node, mask)?;
+            let (ni, active, next_uniform) = self.exec_block_events(func, node, mask)?;
             self.account_issue(func, ni, active);
             if self.report.issues > self.config.max_issues_per_warp {
                 return Err(AnalyzeError::IssueBudget { warp: self.warp_index });
@@ -1791,7 +2043,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                     // sink's `reconverge_at` is the virtual exit.
                     let vexit = self.dcfg(func)?.virtual_exit();
                     let mut targets = std::mem::take(&mut self.groups_scratch);
-                    let result = self.group_by_next_block(func, mask, &mut targets);
+                    let result = self.group_by_next_block(func, mask, next_uniform, &mut targets);
                     if result.is_ok() {
                         if targets.len() == 1 {
                             groups[gi].frames.last_mut().expect("nonempty").1 = targets[0].0;
@@ -1824,10 +2076,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Ret { .. } => {
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Ret) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Ret) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(
                                     self.desync(l, format!("expected Ret event, got {other:?}"))
                                 );
@@ -1841,29 +2093,27 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                     }
                     // Pop the frame; the caller's continuation comes from
                     // the lanes' next trace events (they must agree).
-                    let mut target: Option<BlockAddr> = None;
+                    let mut target: Option<u64> = None;
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_block() {
-                            Some((addr, _)) => match target {
-                                None => target = Some(addr),
-                                Some(t) if t == addr => {}
-                                Some(t) => {
-                                    return Err(self.desync(
-                                        l,
-                                        format!("call continuation mismatch: {addr} vs {t}"),
-                                    ))
-                                }
-                            },
-                            None => {
-                                let other = self.cursors[l].peek_event();
+                        let key = self.key(l);
+                        if key & SIDE_BIT != 0 {
+                            let other = self.peek_event(l);
+                            return Err(self
+                                .desync(l, format!("expected continuation block, got {other:?}")));
+                        }
+                        match target {
+                            None => target = Some(key),
+                            Some(t) if t == key => {}
+                            Some(t) => {
+                                let (addr, t) = (unpack_key(key), unpack_key(t));
                                 return Err(self.desync(
                                     l,
-                                    format!("expected continuation block, got {other:?}"),
+                                    format!("call continuation mismatch: {addr} vs {t}"),
                                 ));
                             }
                         }
                     }
-                    let t = target.expect("nonempty mask");
+                    let t = unpack_key(target.expect("nonempty mask"));
                     let g = &mut groups[gi];
                     g.frames.pop();
                     let caller = g.frames.last_mut().expect("nonempty");
@@ -1875,12 +2125,12 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Call { callee, .. } => {
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_side() {
+                        match self.cached_side(l) {
                             Some(SideEvent::Call { callee: c }) if c == *callee => {
-                                self.cursors[l].consume_side();
+                                self.consume_side(l);
                             }
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(
                                     self.desync(l, format!("expected Call event, got {other:?}"))
                                 );
@@ -1895,13 +2145,13 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                     let next = next.0 as usize;
                     let mut locks: Vec<(usize, u64)> = Vec::new(); // (lane, lock)
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_side() {
+                        match self.cached_side(l) {
                             Some(SideEvent::Acquire { lock }) => {
                                 locks.push((l, lock));
-                                self.cursors[l].consume_side();
+                                self.consume_side(l);
                             }
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(self
                                     .desync(l, format!("expected Acquire event, got {other:?}")));
                             }
@@ -1924,7 +2174,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                     let mut serialized = 0u64;
                     for &(l, lock) in &contended {
                         let Some(rel) =
-                            self.cursors[l].scan_release_target(lock).filter(|a| a.func == func)
+                            self.scan_release_target(l, lock).filter(|a| a.func == func)
                         else {
                             continue;
                         };
@@ -1958,10 +2208,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Release { next, .. } => {
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Release { .. }) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Release { .. }) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(self
                                     .desync(l, format!("expected Release event, got {other:?}")));
                             }
@@ -1971,10 +2221,10 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
                 }
                 Terminator::Barrier { next, .. } => {
                     for l in lanes_of(mask, n) {
-                        match self.cursors[l].peek_side() {
-                            Some(SideEvent::Barrier { .. }) => self.cursors[l].consume_side(),
+                        match self.cached_side(l) {
+                            Some(SideEvent::Barrier { .. }) => self.consume_side(l),
                             _ => {
-                                let other = self.cursors[l].peek_event();
+                                let other = self.peek_event(l);
                                 return Err(self
                                     .desync(l, format!("expected Barrier event, got {other:?}")));
                             }
@@ -1988,7 +2238,7 @@ impl<'a, 's, C: LaneCursor> WarpEmulator<'a, 's, C> {
     }
 }
 
-impl<C: LaneCursor> WarpEmulator<'_, '_, C> {
+impl WarpEmulator<'_, '_> {
     /// Reconvergence point of a diverging block under the configured
     /// policy (node index; possibly the virtual exit).
     fn reconvergence_point(&self, dcfg: &Dcfg, func: FuncId, node: usize) -> usize {

@@ -16,6 +16,7 @@
 //! requires a new index.
 
 use crate::dcfg::DcfgSet;
+use crate::tape::LaneTapes;
 use crate::AnalyzeError;
 use std::sync::{Arc, OnceLock};
 use threadfuser_ir::{FuncCfg, Program};
@@ -32,6 +33,7 @@ use threadfuser_tracer::TraceSet;
 #[derive(Debug)]
 pub struct AnalysisIndex {
     dcfgs: DcfgSet,
+    tapes: LaneTapes,
     thread_events: Vec<usize>,
     skipped_io: u64,
     skipped_spin: u64,
@@ -65,12 +67,17 @@ impl AnalysisIndex {
         let span = obs.span(Phase::IndexBuild);
         obs.counter(Phase::IndexBuild, "index_misses", 1);
         let dcfgs = DcfgSet::build_observed(program, traces, obs)?;
+        // The DCFG scan has validated every trace's structure; the tape
+        // pass can fuse the streams without re-checking.
+        let tapes = LaneTapes::build(traces.threads());
+        obs.counter(Phase::IndexBuild, "tape_bytes", tapes.storage_bytes() as u64);
         let thread_events = traces.threads().iter().map(|t| t.event_count()).collect();
         let skipped_io = traces.threads().iter().map(|t| t.skipped_io).sum();
         let skipped_spin = traces.threads().iter().map(|t| t.skipped_spin).sum();
         span.finish();
         Ok(AnalysisIndex {
             dcfgs,
+            tapes,
             thread_events,
             skipped_io,
             skipped_spin,
@@ -81,6 +88,11 @@ impl AnalysisIndex {
     /// The per-function dynamic CFGs with solved IPDOMs.
     pub fn dcfgs(&self) -> &DcfgSet {
         &self.dcfgs
+    }
+
+    /// The fused per-thread replay tapes (see [`LaneTapes`]).
+    pub fn tapes(&self) -> &LaneTapes {
+        &self.tapes
     }
 
     /// Per-thread trace lengths (event counts), in thread order — the

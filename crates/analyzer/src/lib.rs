@@ -72,8 +72,9 @@ pub mod emulator;
 pub mod index;
 pub mod report;
 pub mod stats;
+pub mod tape;
 
-pub use batching::BatchPolicy;
+pub use batching::{BatchPolicy, WarpPlan};
 pub use dcfg::{Dcfg, DcfgSet};
 pub use dwf::{dwf_upper_bound, DwfBound};
 pub use emulator::{
@@ -83,6 +84,7 @@ pub use emulator::{
 };
 pub use index::AnalysisIndex;
 pub use report::{AnalysisReport, FunctionReport, SegmentTraffic};
+pub use tape::LaneTapes;
 
 use std::fmt;
 

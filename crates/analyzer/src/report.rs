@@ -1,7 +1,7 @@
 //! Analyzer output: whole-program and per-function SIMT reports.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use threadfuser_ir::FuncId;
 
 /// Memory-divergence counters for one segment (stack or heap), mirroring
@@ -90,8 +90,11 @@ pub struct AnalysisReport {
     pub heap: SegmentTraffic,
     /// Stack-segment (SIMT local space) traffic.
     pub stack: SegmentTraffic,
-    /// Per-function breakdown, keyed by function index.
-    pub per_function: HashMap<u32, FunctionReport>,
+    /// Per-function breakdown, keyed by function index. Ordered
+    /// (`BTreeMap`) so serialized reports — CLI `--json` envelopes,
+    /// threadfuser-serve responses, golden files — are byte-comparable:
+    /// a `HashMap` here used to emit function entries in random order.
+    pub per_function: BTreeMap<u32, FunctionReport>,
     /// Instructions skipped in opaque I/O (from the traces).
     pub skipped_io: u64,
     /// Instructions skipped spinning on locks (from the traces).

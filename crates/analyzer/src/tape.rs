@@ -1,0 +1,329 @@
+//! Fused per-thread replay tapes: the emulator-facing arena of the
+//! [`crate::AnalysisIndex`].
+//!
+//! Warp emulation is the analyzer's innermost loop: every lane of every
+//! warp walks its thread's event stream in lock step, peeking the next
+//! event dozens of millions of times per second. Replaying straight from
+//! the columnar [`threadfuser_tracer::ThreadTrace`] keeps allocation off
+//! that path, but each peek still merges two streams (is a side event
+//! pending before the next block?) and chases the cursor's pointer into
+//! three separate columns.
+//!
+//! [`LaneTapes`] flattens that merge **once per capture**: a single
+//! CSR-style arena holds, for every thread, its interleaved event stream
+//! as packed 16-byte [`TapeEvent`] records. The emulator's whole per-lane
+//! state collapses to one index into the arena:
+//!
+//! * the next event is `events[pos]` — one 16-byte load; block keys, side
+//!   keys and the end-of-stream sentinel are distinguished by the top bit,
+//! * consuming any event is `pos += 1`,
+//! * validating lock-step agreement, grouping lanes by successor block,
+//!   and testing for stream end are all plain `u64` compares, and
+//! * a block's memory accesses are `mems[ev.mem_lo..next.mem_lo]` in an
+//!   arena-global record array, shared by every warp.
+//!
+//! The record layout matters as much as the fusion: a warp's lanes sit at
+//! 32 unrelated tape positions, so every per-lane field read is a
+//! potential cache miss. Packing `(key, n_insts, mem_lo)` into one
+//! 16-byte record means a lane's event — and, because records are
+//! adjacent, the *next* event that supplies both `mem_hi` and the
+//! successor key — costs one cache line instead of four scattered column
+//! reads. The memory end offset is not stored at all: every record
+//! carries the mem-arena cursor at its stream position, so
+//! `events[pos + 1].mem_lo` *is* the end of `events[pos]`'s range (the
+//! per-thread sentinel keeps `pos + 1` in bounds).
+
+use threadfuser_tracer::{SideEvent, ThreadTrace, TraceEvent};
+
+/// Tag bit for non-block tape keys. Block keys pack
+/// `function << 32 | block` and functions are validated against the
+/// program before tapes are built, so bit 63 is always clear for them.
+pub const SIDE_BIT: u64 = 1 << 63;
+
+/// End-of-stream sentinel key, stored once per thread after its last
+/// event. Distinguishable from side keys (side indices are < 2^32) and
+/// from every block key (bit 63). The sentinel makes `events[pos]` valid
+/// at end of stream — no bounds branch on the hot path.
+pub const END_KEY: u64 = u64::MAX;
+
+/// Packs a block position into a tape key / the emulator's comparable
+/// block identity.
+#[inline]
+pub fn pack_block_key(func: u32, node: u32) -> u64 {
+    (func as u64) << 32 | node as u64
+}
+
+/// One packed tape record: 16 bytes, four per cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeEvent {
+    /// Packed event key: block (`func<<32|block`, bit 63 clear), side
+    /// (`SIDE_BIT | side-arena index`), or [`END_KEY`].
+    pub key: u64,
+    /// Dynamic instruction count (blocks; 0 otherwise).
+    pub ni: u32,
+    /// Mem-arena cursor at this record's stream position. A block's
+    /// access range is `mem_lo .. next_record.mem_lo`.
+    pub mem_lo: u32,
+}
+
+/// One memory access in the arena: 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeMem {
+    /// Effective address.
+    pub addr: u64,
+    /// Accessing instruction index within its block.
+    pub inst: u32,
+    /// Access width in bytes.
+    pub size: u32,
+}
+
+/// Fused replay tapes for every thread of a capture, in one CSR arena.
+///
+/// Built once by [`crate::AnalysisIndex::build`]; every analyzer
+/// configuration (all reconvergence models, warp formations, and the
+/// warp-trace generator) replays warps against the same tapes.
+#[derive(Debug, Default)]
+pub struct LaneTapes {
+    /// Packed event records; thread `t`'s tape (including its sentinel)
+    /// is `events[off[t]..off[t + 1]]`.
+    events: Vec<TapeEvent>,
+    /// Per-thread event range starts (CSR offsets).
+    off: Vec<u32>,
+    /// Per-thread tid, in tape order (error reporting).
+    tids: Vec<u32>,
+    /// Mem arena, referenced by event `mem_lo` cursors.
+    mems: Vec<TapeMem>,
+    /// Side-event arena, referenced by side keys.
+    sides: Vec<SideEvent>,
+}
+
+impl LaneTapes {
+    /// Builds the tapes from a capture's columnar traces: one interleaved
+    /// pass per thread, exactly the stream order a cursor replay sees.
+    pub fn build(threads: &[ThreadTrace]) -> Self {
+        let n_events: usize = threads.iter().map(|t| t.event_count() + 1).sum();
+        let n_mems: usize = threads.iter().map(|t| t.mem_count()).sum();
+        let mut tapes = LaneTapes {
+            events: Vec::with_capacity(n_events),
+            off: Vec::with_capacity(threads.len() + 1),
+            tids: Vec::with_capacity(threads.len()),
+            mems: Vec::with_capacity(n_mems),
+            sides: Vec::new(),
+        };
+        for t in threads {
+            tapes.off.push(tapes.events.len() as u32);
+            tapes.tids.push(t.tid);
+            let mut cur = t.cursor();
+            loop {
+                if let Some(s) = cur.next_side() {
+                    tapes.push_side(s);
+                    continue;
+                }
+                let Some((addr, ni, mems)) = cur.next_block() else { break };
+                let lo = tapes.mems.len() as u32;
+                for m in mems.iter() {
+                    tapes.mems.push(TapeMem {
+                        addr: m.addr,
+                        inst: m.inst_idx,
+                        size: m.size as u32,
+                    });
+                }
+                tapes.events.push(TapeEvent {
+                    key: pack_block_key(addr.func.0, addr.block.0),
+                    ni,
+                    mem_lo: lo,
+                });
+            }
+            tapes.push_end();
+        }
+        tapes.off.push(tapes.events.len() as u32);
+        tapes
+    }
+
+    /// Builds a tape set from materialized event slices (one per lane) —
+    /// the [`crate::ReplayMode::MaterializedEvents`] baseline, which
+    /// replays reconstructed `TraceEvent` streams instead of the capture
+    /// columns. Stream semantics match [`LaneTapes::build`]: events in
+    /// slice order, memory accesses attached to the preceding block.
+    pub fn from_events(lanes: &[(u32, &[TraceEvent])]) -> Self {
+        let mut tapes = LaneTapes::default();
+        for &(tid, events) in lanes {
+            tapes.off.push(tapes.events.len() as u32);
+            tapes.tids.push(tid);
+            for e in events {
+                match *e {
+                    TraceEvent::Block { addr, n_insts } => {
+                        tapes.events.push(TapeEvent {
+                            key: pack_block_key(addr.func.0, addr.block.0),
+                            ni: n_insts,
+                            mem_lo: tapes.mems.len() as u32,
+                        });
+                    }
+                    TraceEvent::Mem { inst_idx, addr, size, .. } => {
+                        // Attaches to the preceding block via the *next*
+                        // record's cursor; a stray access after a side
+                        // event (impossible in decoded captures) lands in
+                        // a range no block references, matching cursor
+                        // replay's drop.
+                        tapes.mems.push(TapeMem { addr, inst: inst_idx, size: size as u32 });
+                    }
+                    TraceEvent::Call { callee } => {
+                        tapes.push_side(SideEvent::Call { callee });
+                    }
+                    TraceEvent::Ret => tapes.push_side(SideEvent::Ret),
+                    TraceEvent::Acquire { lock } => {
+                        tapes.push_side(SideEvent::Acquire { lock });
+                    }
+                    TraceEvent::Release { lock } => {
+                        tapes.push_side(SideEvent::Release { lock });
+                    }
+                    TraceEvent::Barrier { id } => {
+                        tapes.push_side(SideEvent::Barrier { id });
+                    }
+                }
+            }
+            tapes.push_end();
+        }
+        tapes.off.push(tapes.events.len() as u32);
+        tapes
+    }
+
+    fn push_side(&mut self, s: SideEvent) {
+        self.events.push(TapeEvent {
+            key: SIDE_BIT | self.sides.len() as u64,
+            ni: 0,
+            mem_lo: self.mems.len() as u32,
+        });
+        self.sides.push(s);
+    }
+
+    fn push_end(&mut self) {
+        self.events.push(TapeEvent { key: END_KEY, ni: 0, mem_lo: self.mems.len() as u32 });
+    }
+
+    /// Read-only view over the arena, cheap to copy into the emulator's
+    /// hot loop.
+    pub fn view(&self) -> TapeView<'_> {
+        TapeView { events: &self.events, mems: &self.mems, sides: &self.sides }
+    }
+
+    /// Tape start position of thread `t` (index into the event arena).
+    pub fn start_of(&self, t: usize) -> u32 {
+        self.off[t]
+    }
+
+    /// The tid recorded for thread `t`.
+    pub fn tid_of(&self, t: usize) -> u32 {
+        self.tids[t]
+    }
+
+    /// Number of tapes (threads).
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Whether the arena holds no tapes.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Approximate arena footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<TapeEvent>()
+            + self.off.len() * 4
+            + self.tids.len() * 4
+            + self.mems.len() * std::mem::size_of::<TapeMem>()
+            + self.sides.len() * std::mem::size_of::<SideEvent>()
+    }
+}
+
+/// Borrowed arena — everything warp emulation reads.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeView<'a> {
+    /// Packed event records (see [`LaneTapes`]).
+    pub events: &'a [TapeEvent],
+    /// Mem arena.
+    pub mems: &'a [TapeMem],
+    /// Side-event arena.
+    pub sides: &'a [SideEvent],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threadfuser_ir::{AluOp, Cond, Operand, ProgramBuilder};
+    use threadfuser_machine::MachineConfig;
+    use threadfuser_tracer::trace_program;
+
+    fn capture() -> threadfuser_tracer::TraceSet {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global("out", 8 * 64);
+        let k = pb.function("k", 1, |fb| {
+            let tid = fb.arg(0);
+            let bit = fb.alu(AluOp::And, tid, 1i64);
+            let acc = fb.var(8);
+            fb.if_then(Cond::Eq, bit, 0i64, |fb| fb.store_var(acc, 1i64));
+            let v = fb.load_var(acc);
+            let dst = fb.global_ref(out, Operand::Reg(tid), 8);
+            fb.store(dst, v);
+            fb.ret(None);
+        });
+        let p = pb.build().unwrap();
+        trace_program(&p, MachineConfig::new(k, 8)).unwrap().0
+    }
+
+    /// The tape of each thread must replay the exact event stream its
+    /// cursor yields, in order, with identical memory attachment.
+    #[test]
+    fn tape_matches_cursor_replay() {
+        let traces = capture();
+        let tapes = LaneTapes::build(traces.threads());
+        let v = tapes.view();
+        for (t, tr) in traces.threads().iter().enumerate() {
+            assert_eq!(tapes.tid_of(t), tr.tid);
+            let mut pos = tapes.start_of(t) as usize;
+            let mut cur = tr.cursor();
+            loop {
+                if let Some(s) = cur.next_side() {
+                    let key = v.events[pos].key;
+                    assert_eq!(key & SIDE_BIT, SIDE_BIT);
+                    assert_ne!(key, END_KEY);
+                    assert_eq!(v.sides[(key as u32) as usize], s);
+                    pos += 1;
+                    continue;
+                }
+                let Some((addr, ni, mems)) = cur.next_block() else { break };
+                let ev = v.events[pos];
+                assert_eq!(ev.key, pack_block_key(addr.func.0, addr.block.0));
+                assert_eq!(ev.ni, ni);
+                let (lo, hi) = (ev.mem_lo as usize, v.events[pos + 1].mem_lo as usize);
+                let recs: Vec<_> = mems.iter().collect();
+                assert_eq!(hi - lo, recs.len());
+                for (j, m) in recs.iter().enumerate() {
+                    assert_eq!(v.mems[lo + j].inst, m.inst_idx);
+                    assert_eq!(v.mems[lo + j].addr, m.addr);
+                    assert_eq!(v.mems[lo + j].size, m.size as u32);
+                }
+                pos += 1;
+            }
+            assert_eq!(v.events[pos].key, END_KEY, "tape must end with the sentinel");
+        }
+    }
+
+    /// Event-slice construction produces the same arena contents as the
+    /// columnar pass when fed the reconstructed streams.
+    #[test]
+    fn from_events_matches_columnar_build() {
+        let traces = capture();
+        let a = LaneTapes::build(traces.threads());
+        let events: Vec<Vec<TraceEvent>> =
+            traces.threads().iter().map(|t| t.iter_events().collect()).collect();
+        let lanes: Vec<(u32, &[TraceEvent])> =
+            traces.threads().iter().zip(&events).map(|(t, ev)| (t.tid, ev.as_slice())).collect();
+        let b = LaneTapes::from_events(&lanes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.off, b.off);
+        assert_eq!(a.mems, b.mems);
+        assert_eq!(a.sides, b.sides);
+    }
+}

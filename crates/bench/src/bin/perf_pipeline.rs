@@ -1,7 +1,13 @@
-//! Pipeline performance benchmark: per-phase wall-times and end-to-end
-//! analyzer throughput for a representative workload slice, captured
-//! through the observability layer itself (an [`InMemorySink`] collects
-//! the span timings the instrumented pipeline emits).
+//! Pipeline performance benchmark and regression gate: per-phase
+//! wall-times (min-of-4 runs) and end-to-end analyzer throughput for a
+//! representative workload slice, captured through the observability
+//! layer itself (an `InMemorySink` collects the span timings the
+//! instrumented pipeline emits).
+//!
+//! Besides timings, every run records an FNV-1a hash of the serialized
+//! `AnalysisReport` for each workload × reconvergence model × warp
+//! formation, so a recorded baseline pins the analyzer's *output* bits,
+//! not just its speed.
 //!
 //! Writes `BENCH_pipeline.json` to the current directory (override with
 //! `TF_BENCH_OUT`):
@@ -9,16 +15,38 @@
 //! ```text
 //! cargo run --release -p threadfuser-bench --bin perf_pipeline
 //! ```
+//!
+//! Check mode compares a fresh result against the recorded pre-SoA
+//! baseline (`results/BENCH_pipeline_baseline.json`, override with
+//! `--baseline`): report hashes must match bit for bit across the whole
+//! model × formation grid, and the aggregate warp-emulate / coalesce
+//! phase throughput must clear the SoA-refactor speedup gates:
+//!
+//! ```text
+//! cargo run --release -p threadfuser-bench --bin perf_pipeline -- \
+//!     --check BENCH_pipeline.json
+//! ```
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 use threadfuser::obs::{InMemorySink, Obs, Phase};
+use threadfuser::prelude::{ReconvergenceModel, WarpFormation};
 use threadfuser::workloads::by_name;
 use threadfuser::{cpusim::CpuSimConfig, simtsim::SimtSimConfig};
 use threadfuser_bench::{developer_pipeline, threads_for};
 
 const WORKLOADS: &[&str] = &["vectoradd", "md5", "bfs", "pigz", "usertag"];
+
+/// Timed pipeline repetitions per workload; each phase reports its
+/// fastest observation (min-of-N, like `perf_trace` / `perf_sim`).
+const RUNS: usize = 4;
+
+/// Aggregate warp-emulate speedup the SoA refactor must hold over the
+/// recorded baseline (traced insts/sec, time-weighted across workloads).
+const WARP_EMULATE_GATE: f64 = 2.0;
+/// Aggregate coalesce-phase (warp-trace generation) speedup gate.
+const COALESCE_GATE: f64 = 1.5;
 
 const PHASES: &[Phase] = &[
     Phase::Optimize,
@@ -34,10 +62,20 @@ const PHASES: &[Phase] = &[
     Phase::Lockstep,
 ];
 
-#[derive(Serialize)]
+const MODELS: &[ReconvergenceModel] = &[
+    ReconvergenceModel::IpdomStack,
+    ReconvergenceModel::StacklessPcMin,
+    ReconvergenceModel::BranchMelding,
+];
+
+const FORMATIONS: &[WarpFormation] =
+    &[WarpFormation::Fixed, WarpFormation::DynamicResize { min_width: 8 }];
+
+#[derive(Serialize, Deserialize)]
 struct PhaseTime {
     phase: String,
     spans: u64,
+    /// Fastest wall time of the phase across the repetitions.
     wall_ms: f64,
     /// Traced-instruction throughput of this phase alone (traced
     /// instructions / phase wall time; 0 when the phase recorded no
@@ -52,7 +90,18 @@ struct PhaseTime {
     core_imbalance: f64,
 }
 
-#[derive(Serialize)]
+/// FNV-1a hash of one `(model, formation)` grid point's serialized
+/// `AnalysisReport` — `per_function` is a `BTreeMap`, so the JSON is
+/// canonical and the hash pins every field (including `melds` and
+/// `issue_slots`) bit for bit.
+#[derive(Serialize, Deserialize)]
+struct ReportHash {
+    model: String,
+    formation: String,
+    report_fnv1a: String,
+}
+
+#[derive(Serialize, Deserialize)]
 struct WorkloadResult {
     workload: String,
     threads: u32,
@@ -62,15 +111,25 @@ struct WorkloadResult {
     total_ms: f64,
     traced_insts_per_sec: f64,
     phases: Vec<PhaseTime>,
+    report_hashes: Vec<ReportHash>,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Report {
     benchmark: String,
     workloads: Vec<WorkloadResult>,
 }
 
-fn main() {
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn measure() -> Report {
     let simt = SimtSimConfig::default();
     let cpu = CpuSimConfig::default();
     let mut results = Vec::new();
@@ -78,59 +137,223 @@ fn main() {
     for &name in WORKLOADS {
         let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
         let threads = threads_for(&w);
-        let sink = Arc::new(InMemorySink::new());
-        let pipeline = developer_pipeline(&w).observe(Obs::with_sink(sink.clone()));
 
-        let start = Instant::now();
-        let traced = pipeline.trace().unwrap_or_else(|e| panic!("{name}: {e}"));
-        let report = traced.analyze().unwrap_or_else(|e| panic!("{name}: {e}"));
-        let proj = traced.project_speedup(&simt, &cpu).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let total = start.elapsed();
-
+        // Min-of-N timing: each repetition runs the full pipeline against
+        // a fresh sink; every phase keeps its fastest observation.
+        let mut best: Vec<(f64, u64, u64, f64)> = vec![(f64::INFINITY, 0, 0, 0.0); PHASES.len()];
+        let mut thread_insts = 0u64;
+        let mut simt_efficiency = 0.0;
+        let mut speedup = 0.0;
+        let mut best_total = f64::INFINITY;
+        for _ in 0..RUNS {
+            let sink = Arc::new(InMemorySink::new());
+            let pipeline = developer_pipeline(&w).observe(Obs::with_sink(sink.clone()));
+            let start = Instant::now();
+            let traced = pipeline.trace().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = traced.analyze().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let proj =
+                traced.project_speedup(&simt, &cpu).unwrap_or_else(|e| panic!("{name}: {e}"));
+            best_total = best_total.min(start.elapsed().as_secs_f64());
+            thread_insts = report.thread_insts;
+            simt_efficiency = report.simt_efficiency();
+            speedup = proj.speedup;
+            for (i, &p) in PHASES.iter().enumerate() {
+                let wall_ms = sink.span_nanos(p) as f64 / 1e6;
+                if wall_ms < best[i].0 {
+                    let core_imbalance = match sink.histogram_summary_for(p, "core_cycles") {
+                        Some((count, sum, _, max)) if sum > 0.0 => max * count as f64 / sum,
+                        _ => 0.0,
+                    };
+                    best[i] = (
+                        wall_ms,
+                        sink.span_count(p) as u64,
+                        sink.counter_max_for(p, "workers"),
+                        core_imbalance,
+                    );
+                }
+            }
+        }
         let phases = PHASES
             .iter()
-            .map(|&p| {
-                let wall_ms = sink.span_nanos(p) as f64 / 1e6;
-                // max/mean of the phase's per-core finish cycles (the
-                // simulator phases emit one observation per active core).
-                let core_imbalance = match sink.histogram_summary_for(p, "core_cycles") {
-                    Some((count, sum, _, max)) if sum > 0.0 => max * count as f64 / sum,
-                    _ => 0.0,
-                };
-                PhaseTime {
-                    phase: p.name().to_string(),
-                    spans: sink.span_count(p) as u64,
-                    wall_ms,
-                    insts_per_sec: if wall_ms > 0.0 {
-                        report.thread_insts as f64 / (wall_ms / 1e3)
-                    } else {
-                        0.0
-                    },
-                    workers: sink.counter_max_for(p, "workers"),
-                    core_imbalance,
+            .zip(&best)
+            .map(|(&p, &(wall_ms, spans, workers, core_imbalance))| PhaseTime {
+                phase: p.name().to_string(),
+                spans,
+                wall_ms: if wall_ms.is_finite() { wall_ms } else { 0.0 },
+                insts_per_sec: if wall_ms.is_finite() && wall_ms > 0.0 {
+                    thread_insts as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                workers,
+                core_imbalance,
+            })
+            .collect();
+
+        // Output identity: hash the serialized report of every model ×
+        // formation grid point over one shared capture. Parallel merges
+        // are warp-ordered, so the hash is stable at any worker count.
+        let traced = developer_pipeline(&w).trace().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report_hashes = MODELS
+            .iter()
+            .flat_map(|&m| FORMATIONS.iter().map(move |&f| (m, f)))
+            .map(|(m, f)| {
+                let r = traced
+                    .view()
+                    .with_model(m)
+                    .with_formation(f)
+                    .analyze()
+                    .unwrap_or_else(|e| panic!("{name} {m:?} {f:?}: {e}"));
+                let json = serde_json::to_string(&r).expect("serialize report");
+                ReportHash {
+                    model: m.label().to_string(),
+                    formation: f.label().to_string(),
+                    report_fnv1a: format!("{:016x}", fnv1a(json.as_bytes())),
                 }
             })
             .collect();
-        let secs = total.as_secs_f64();
+
         results.push(WorkloadResult {
             workload: name.to_string(),
             threads,
-            thread_insts: report.thread_insts,
-            simt_efficiency: report.simt_efficiency(),
-            speedup: proj.speedup,
-            total_ms: secs * 1e3,
-            traced_insts_per_sec: if secs > 0.0 { report.thread_insts as f64 / secs } else { 0.0 },
+            thread_insts,
+            simt_efficiency,
+            speedup,
+            total_ms: best_total * 1e3,
+            traced_insts_per_sec: if best_total > 0.0 {
+                thread_insts as f64 / best_total
+            } else {
+                0.0
+            },
             phases,
+            report_hashes,
         });
         println!(
-            "{name:<12} {threads:>6} threads  {:>12} insts  {:>9.1} ms  {:>12.0} insts/s",
-            report.thread_insts,
-            secs * 1e3,
-            report.thread_insts as f64 / secs.max(1e-12),
+            "{name:<12} {threads:>6} threads  {thread_insts:>12} insts  {:>9.1} ms  {:>12.0} insts/s",
+            best_total * 1e3,
+            thread_insts as f64 / best_total.max(1e-12),
         );
     }
 
-    let report = Report { benchmark: "perf_pipeline".to_string(), workloads: results };
+    Report { benchmark: "perf_pipeline".to_string(), workloads: results }
+}
+
+/// Time-weighted aggregate throughput of one phase across all workloads:
+/// `sum(thread_insts) / sum(phase wall)`. The slow workloads dominate,
+/// which is exactly where an emulator speedup must show up.
+fn aggregate_insts_per_sec(report: &Report, phase: &str) -> Option<f64> {
+    let mut insts = 0u64;
+    let mut wall_ms = 0.0f64;
+    for w in &report.workloads {
+        let p = w.phases.iter().find(|p| p.phase == phase)?;
+        insts += w.thread_insts;
+        wall_ms += p.wall_ms;
+    }
+    (wall_ms > 0.0).then(|| insts as f64 / (wall_ms / 1e3))
+}
+
+fn check(fresh_path: &str, baseline_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<Report, String> {
+        let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let fresh = load(fresh_path)?;
+    let baseline = load(baseline_path)?;
+
+    // --- bit-identity: every grid point's report hash must match -------
+    let grid = MODELS.len() * FORMATIONS.len();
+    for bw in &baseline.workloads {
+        let fw = fresh
+            .workloads
+            .iter()
+            .find(|w| w.workload == bw.workload)
+            .ok_or_else(|| format!("workload {} missing from fresh run", bw.workload))?;
+        if fw.report_hashes.len() < grid {
+            return Err(format!(
+                "{}: fresh run covers {} grid points, expected {}",
+                bw.workload,
+                fw.report_hashes.len(),
+                grid
+            ));
+        }
+        for bh in &bw.report_hashes {
+            let f = fw
+                .report_hashes
+                .iter()
+                .find(|h| h.model == bh.model && h.formation == bh.formation)
+                .ok_or_else(|| {
+                    format!("{}: {}/{} missing from fresh run", bw.workload, bh.model, bh.formation)
+                })?;
+            if f.report_fnv1a != bh.report_fnv1a {
+                return Err(format!(
+                    "{}: report for {}/{} changed bits: {} -> {}",
+                    bw.workload, bh.model, bh.formation, bh.report_fnv1a, f.report_fnv1a
+                ));
+            }
+        }
+        if bw.thread_insts != fw.thread_insts {
+            return Err(format!(
+                "{}: thread_insts changed: {} -> {}",
+                bw.workload, bw.thread_insts, fw.thread_insts
+            ));
+        }
+    }
+    println!(
+        "report hashes: {} workloads x {} grid points bit-identical to baseline",
+        baseline.workloads.len(),
+        grid
+    );
+
+    // --- speedup gates --------------------------------------------------
+    for (phase, gate) in [("warp-emulate", WARP_EMULATE_GATE), ("coalesce", COALESCE_GATE)] {
+        let base = aggregate_insts_per_sec(&baseline, phase)
+            .ok_or_else(|| format!("baseline records no {phase} time"))?;
+        let now = aggregate_insts_per_sec(&fresh, phase)
+            .ok_or_else(|| format!("fresh run records no {phase} time"))?;
+        let ratio = now / base;
+        println!(
+            "{phase:<13} aggregate {:>12.0} -> {:>12.0} insts/s  ({ratio:.2}x, gate {gate:.1}x)",
+            base, now
+        );
+        for bw in &baseline.workloads {
+            let fw = fresh.workloads.iter().find(|w| w.workload == bw.workload).expect("checked");
+            let b = bw.phases.iter().find(|p| p.phase == phase).map_or(0.0, |p| p.wall_ms);
+            let f = fw.phases.iter().find(|p| p.phase == phase).map_or(0.0, |p| p.wall_ms);
+            if b > 0.0 && f > 0.0 {
+                println!("    {:<12} {:>8.3} ms -> {:>8.3} ms  ({:.2}x)", bw.workload, b, f, b / f);
+            }
+        }
+        if ratio < gate {
+            return Err(format!("{phase} aggregate speedup {ratio:.2}x below the {gate:.1}x gate"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let fresh = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: perf_pipeline --check <fresh.json> [--baseline <baseline.json>]");
+            std::process::exit(2);
+        });
+        let baseline = args
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|j| args.get(j + 1))
+            .map(String::as_str)
+            .unwrap_or("results/BENCH_pipeline_baseline.json");
+        match check(fresh, baseline) {
+            Ok(()) => println!("perf_pipeline check: OK"),
+            Err(e) => {
+                eprintln!("perf_pipeline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = measure();
     let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));

@@ -20,18 +20,48 @@ use crate::program::Function;
 /// Returns, for each node, its immediate post-dominator (`None` for `exit`
 /// itself and for nodes that cannot reach `exit`).
 ///
-/// The implementation is Cooper–Harvey–Kennedy dominance on the reversed
-/// graph, rooted at `exit`.
+/// Thin wrapper over [`ipdom_of_csr`]: flattens the per-node lists into
+/// CSR form and runs the same Cooper–Harvey–Kennedy solver. Callers that
+/// already hold CSR adjacency (the analyzer's dynamic CFGs) skip the
+/// flattening and call the core directly.
 pub fn ipdom_of(succs: &[Vec<usize>], exit: usize) -> Vec<Option<usize>> {
-    let n = succs.len();
-    assert!(exit < n, "exit node out of range");
+    let mut off = Vec::with_capacity(succs.len() + 1);
+    off.push(0u32);
+    let mut edges = Vec::with_capacity(succs.iter().map(Vec::len).sum());
+    for s in succs {
+        edges.extend(s.iter().map(|&v| v as u32));
+        off.push(edges.len() as u32);
+    }
+    ipdom_of_csr(&off, &edges, exit)
+}
 
-    // Predecessor lists of the original graph = successor lists of the
-    // reversed graph.
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (u, ss) in succs.iter().enumerate() {
-        for &v in ss {
-            preds[v].push(u);
+/// [`ipdom_of`] on CSR adjacency: node `u`'s successors are
+/// `edges[off[u] as usize..off[u + 1] as usize]`, so the node count is
+/// `off.len() - 1`. The solver is Cooper–Harvey–Kennedy dominance on the
+/// reversed graph, rooted at `exit`; the predecessor CSR it needs is
+/// derived with one counting sort — no per-node allocation anywhere.
+pub fn ipdom_of_csr(off: &[u32], edges: &[u32], exit: usize) -> Vec<Option<usize>> {
+    let n = off.len().checked_sub(1).expect("offset array has a terminator");
+    assert!(exit < n, "exit node out of range");
+    let node_succs =
+        |u: usize| edges[off[u] as usize..off[u + 1] as usize].iter().map(|&v| v as usize);
+
+    // Predecessor CSR of the original graph = successor CSR of the
+    // reversed graph, via counting sort. Filling in node order keeps each
+    // predecessor run ascending, like the adjacency-list build did.
+    let mut pred_off = vec![0u32; n + 1];
+    for &v in edges {
+        pred_off[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        pred_off[i + 1] += pred_off[i];
+    }
+    let mut preds = vec![0u32; edges.len()];
+    let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+    for u in 0..n {
+        for v in node_succs(u) {
+            preds[cursor[v] as usize] = u as u32;
+            cursor[v] += 1;
         }
     }
 
@@ -39,15 +69,15 @@ pub fn ipdom_of(succs: &[Vec<usize>], exit: usize) -> Vec<Option<usize>> {
     // original predecessor edges).
     let mut postorder = Vec::with_capacity(n);
     let mut visited = vec![false; n];
-    let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+    let mut stack: Vec<(usize, u32)> = vec![(exit, pred_off[exit])];
     visited[exit] = true;
     while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-        if *idx < preds[node].len() {
-            let next = preds[node][*idx];
+        if *idx < pred_off[node + 1] {
+            let next = preds[*idx as usize] as usize;
             *idx += 1;
             if !visited[next] {
                 visited[next] = true;
-                stack.push((next, 0));
+                stack.push((next, pred_off[next]));
             }
         } else {
             postorder.push(node);
@@ -81,7 +111,7 @@ pub fn ipdom_of(succs: &[Vec<usize>], exit: usize) -> Vec<Option<usize>> {
         for &b in rpo.iter().skip(1) {
             // Predecessors in the reversed graph are original successors.
             let mut new_idom: Option<usize> = None;
-            for &s in &succs[b] {
+            for s in node_succs(b) {
                 if idom[s].is_none() {
                     continue;
                 }
@@ -219,6 +249,26 @@ mod tests {
         // reaches exit, so dataflow converges on the 1-path alone (standard
         // behaviour for nonterminating paths).
         assert_eq!(ipd[0], Some(1));
+    }
+
+    #[test]
+    fn csr_solver_matches_adjacency_wrapper() {
+        // Same graphs as above, fed through both entry points.
+        let graphs: Vec<(Vec<Vec<usize>>, usize)> = vec![
+            (vec![vec![1, 2], vec![3], vec![3], vec![4], vec![]], 4),
+            (vec![vec![1, 5], vec![2, 3], vec![4], vec![4], vec![6], vec![6], vec![7], vec![]], 7),
+            (vec![vec![1], vec![2, 3], vec![1], vec![4], vec![]], 4),
+            (vec![vec![1, 2], vec![3], vec![2], vec![]], 3),
+        ];
+        for (succs, exit) in graphs {
+            let mut off = vec![0u32];
+            let mut edges = Vec::new();
+            for s in &succs {
+                edges.extend(s.iter().map(|&v| v as u32));
+                off.push(edges.len() as u32);
+            }
+            assert_eq!(ipdom_of_csr(&off, &edges, exit), ipdom_of(&succs, exit));
+        }
     }
 
     #[test]

@@ -56,6 +56,60 @@ pub fn coalesce_transactions_with(
     lines.len() as u32
 }
 
+/// Two-way tagged coalescing: counts distinct 32-byte lines separately
+/// for plain (`tag = false`) and tagged (`tag = true`) accesses in **one**
+/// radix pass — each line key carries its tag in bit 63 (free because
+/// `line = addr / 32 < 2^59`), so a single sort+run-length scan replaces
+/// two classify-then-coalesce rounds. Returns
+/// `(plain_transactions, tagged_transactions)`.
+///
+/// ThreadFuser's emulator tags stack-segment accesses, coalescing each
+/// memory instruction's heap and stack traffic in one pass; results are
+/// identical to calling [`coalesce_transactions`] on the two partitions.
+///
+/// ```
+/// use threadfuser_mem::coalesce_transactions_tagged;
+/// let mut scratch = Vec::new();
+/// let (heap, stack) = coalesce_transactions_tagged(
+///     &mut scratch,
+///     [(0u64, 8u32, false), (8, 8, false), (1 << 40, 8, true)],
+/// );
+/// assert_eq!((heap, stack), (1, 1));
+/// ```
+pub fn coalesce_transactions_tagged(
+    lines: &mut Vec<u64>,
+    accesses: impl IntoIterator<Item = (u64, u32, bool)>,
+) -> (u32, u32) {
+    const TAG: u64 = 1 << 63;
+    lines.clear();
+    for (addr, size, tag) in accesses {
+        debug_assert!(size > 0, "zero-sized access");
+        let tag = if tag { TAG } else { 0 };
+        let first = addr / TRANSACTION_BYTES;
+        // Same saturating clamp as `coalesce_transactions_with`.
+        let last = addr.saturating_add(size.saturating_sub(1) as u64) / TRANSACTION_BYTES;
+        for line in first..=last {
+            lines.push(line | tag);
+        }
+    }
+    lines.sort_unstable();
+    let mut plain = 0u32;
+    let mut tagged = 0u32;
+    let mut prev = None;
+    for &key in lines.iter() {
+        if prev == Some(key) {
+            continue;
+        }
+        prev = Some(key);
+        if key & TAG == 0 {
+            plain += 1;
+        } else {
+            tagged += 1;
+        }
+    }
+    (plain, tagged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +193,22 @@ mod tests {
             addrs.reverse();
             let b = coalesce_transactions(addrs.iter().copied());
             prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn tagged_matches_two_partitioned_calls(
+            addrs in proptest::collection::vec((arb_addr(), 1u32..=8, any::<bool>()), 0..64)
+        ) {
+            let mut scratch = Vec::new();
+            let (plain, tagged) =
+                coalesce_transactions_tagged(&mut scratch, addrs.iter().copied());
+            let old_plain = coalesce_transactions(
+                addrs.iter().filter(|a| !a.2).map(|&(a, s, _)| (a, s)),
+            );
+            let old_tagged = coalesce_transactions(
+                addrs.iter().filter(|a| a.2).map(|&(a, s, _)| (a, s)),
+            );
+            prop_assert_eq!((plain, tagged), (old_plain, old_tagged));
         }
 
         #[test]

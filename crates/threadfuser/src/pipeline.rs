@@ -30,7 +30,10 @@ use threadfuser_machine::{
 };
 use threadfuser_obs::{Obs, Phase};
 use threadfuser_simtsim::{simulate_observed, SimtSimConfig, SimtSimStats};
-use threadfuser_tracegen::{generate_warp_traces_indexed, WarpTraceSet};
+use threadfuser_tracegen::{
+    expand_warp_recording, generate_warp_traces_indexed, record_warp_steps_indexed, WarpRecording,
+    WarpTraceSet,
+};
 use threadfuser_tracer::{trace_program_observed, DecodeError, TraceSet};
 use threadfuser_workloads::Workload;
 
@@ -345,6 +348,7 @@ impl Pipeline {
             exec,
             analyzer: self.analyzer.clone(),
             index: OnceLock::new(),
+            fused: OnceLock::new(),
             source: self.program.clone(),
             kernel: self.kernel,
             init: self.init,
@@ -375,6 +379,7 @@ impl Pipeline {
             exec,
             analyzer: self.analyzer.clone(),
             index: OnceLock::new(),
+            fused: OnceLock::new(),
             source: self.program.clone(),
             kernel: self.kernel,
             init: self.init,
@@ -457,11 +462,11 @@ fn run_lockstep_observed(
     Ok(stats)
 }
 
-/// Speedup projection shared by [`Traced`] and [`TracedView`].
+/// Speedup projection shared by [`Traced`] and [`TracedView`]. The caller
+/// supplies the warp traces (so `Traced` can feed its cached emulation).
 fn project_speedup_impl(
-    program: &Program,
+    wt: &WarpTraceSet,
     traces: &TraceSet,
-    index: &AnalysisIndex,
     analyzer: &AnalyzerConfig,
     simt: &SimtSimConfig,
     cpu: &CpuSimConfig,
@@ -485,8 +490,7 @@ fn project_speedup_impl(
         }
         c
     };
-    let wt = generate_warp_traces_indexed(program, traces, index, analyzer)?;
-    let gpu_stats = simulate_observed(&wt, &simt, obs);
+    let gpu_stats = simulate_observed(wt, &simt, obs);
     if gpu_stats.truncated {
         return Err(PipelineError::TruncatedSimulation);
     }
@@ -530,6 +534,11 @@ pub struct Traced {
     exec: Arc<ExecProgram>,
     analyzer: AnalyzerConfig,
     index: OnceLock<Arc<AnalysisIndex>>,
+    // One warp emulation serves every capture-config product: the pass
+    // records the analysis report plus a compact step recording, and
+    // `analyze`/`warp_traces`/`project_speedup` share it. Views with
+    // overridden knobs bypass this cache (their emulation differs).
+    fused: OnceLock<Arc<(AnalysisReport, WarpRecording)>>,
     // Everything needed to re-run the capture's sibling products (the
     // hardware reference) without going back to the Pipeline.
     source: Program,
@@ -615,24 +624,50 @@ impl Traced {
         self.with_analyzer(self.analyzer.clone())
     }
 
+    /// The capture's fused emulation product: one recording warp-emulate
+    /// pass yields both the analysis report and the compact step
+    /// recording that every downstream product expands from. Built on
+    /// first use and cached, like [`Traced::index`].
+    fn fused(&self) -> Result<Arc<(AnalysisReport, WarpRecording)>, PipelineError> {
+        if let Some(f) = self.fused.get() {
+            // A fused hit implies an index hit: the recording embeds the
+            // index work, so the counter contract stays intact for
+            // consumers that never call `index()` directly.
+            self.analyzer.obs.counter(Phase::IndexBuild, "index_hits", 1);
+            return Ok(Arc::clone(f));
+        }
+        let index = self.index()?;
+        let built = Arc::new(record_warp_steps_indexed(
+            &self.program,
+            &self.traces,
+            &index,
+            &self.analyzer,
+        )?);
+        Ok(Arc::clone(self.fused.get_or_init(|| built)))
+    }
+
     /// Runs the ThreadFuser analysis over the captured traces, replaying
-    /// warps against the capture's shared [`AnalysisIndex`].
+    /// warps against the capture's shared [`AnalysisIndex`]. The warp
+    /// emulation is shared with [`Traced::warp_traces`] and
+    /// [`Traced::project_speedup`]: whichever runs first pays for the one
+    /// recording pass, the rest reuse it.
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
-        let index = self.index()?;
-        Ok(self.analyzer.analyze_indexed(&self.program, &self.traces, &index)?)
+        Ok(self.fused()?.0.clone())
     }
 
     /// Generates warp-based instruction traces for the SIMT simulator,
-    /// sharing the capture's [`AnalysisIndex`].
+    /// sharing the capture's [`AnalysisIndex`] and its cached warp
+    /// emulation (see [`Traced::analyze`]) — only the micro-op expansion
+    /// runs per call.
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
-        let index = self.index()?;
-        Ok(generate_warp_traces_indexed(&self.program, &self.traces, &index, &self.analyzer)?)
+        let fused = self.fused()?;
+        Ok(expand_warp_recording(&self.program, &fused.1, &self.analyzer))
     }
 
     /// Projects the speedup of SIMT execution over native multicore CPU
@@ -649,8 +684,8 @@ impl Traced {
         simt: &SimtSimConfig,
         cpu: &CpuSimConfig,
     ) -> Result<SpeedupProjection, PipelineError> {
-        let index = self.index()?;
-        project_speedup_impl(&self.program, &self.traces, &index, &self.analyzer, simt, cpu)
+        let wt = self.warp_traces()?;
+        project_speedup_impl(&wt, &self.traces, &self.analyzer, simt, cpu)
     }
 
     /// Runs the capture's program warp-natively at the pipeline's
@@ -850,15 +885,8 @@ impl TracedView<'_> {
         simt: &SimtSimConfig,
         cpu: &CpuSimConfig,
     ) -> Result<SpeedupProjection, PipelineError> {
-        let index = self.traced.index()?;
-        project_speedup_impl(
-            &self.traced.program,
-            &self.traced.traces,
-            &index,
-            &self.analyzer,
-            simt,
-            cpu,
-        )
+        let wt = self.warp_traces()?;
+        project_speedup_impl(&wt, &self.traced.traces, &self.analyzer, simt, cpu)
     }
 }
 

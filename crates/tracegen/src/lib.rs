@@ -44,10 +44,10 @@
 
 use serde::{Deserialize, Serialize};
 use threadfuser_analyzer::{
-    analyze_indexed_with_warp_sinks, AnalysisIndex, AnalyzeError, AnalyzerConfig, BlockStep,
-    StepSink,
+    analyze_indexed_with_warp_sinks, AnalysisIndex, AnalysisReport, AnalyzeError, AnalyzerConfig,
+    BlockStep, StepSink,
 };
-use threadfuser_ir::{Inst, Program, Terminator};
+use threadfuser_ir::{BlockId, FuncId, Inst, Program, Terminator};
 use threadfuser_machine::{segment_of, Segment};
 use threadfuser_tracer::TraceSet;
 
@@ -143,14 +143,107 @@ impl WarpTraceSet {
     }
 }
 
-/// Per-warp step sink: receives exactly one warp's lock-step blocks (in
-/// emulation order) and decomposes them into that warp's micro-op stream.
-/// One sink per warp is what lets `analyze_indexed_with_warp_sinks` fan
-/// the emulation across workers while the merged trace stays bit-identical
-/// to a sequential run.
-struct WarpGen<'p> {
-    program: &'p Program,
-    insts: Vec<WarpInst>,
+/// One precomputed micro-op of a block's CISC → RISC decomposition.
+#[derive(Debug, Clone, Copy)]
+struct MicroOp {
+    /// Latency class.
+    op: OpClass,
+    /// Whether the micro-op is a store (only meaningful with a payload).
+    is_store: bool,
+    /// Instruction index whose accesses become the memory payload, or
+    /// [`NO_MEM`].
+    mem_inst: u32,
+}
+
+const NO_MEM: u32 = u32::MAX;
+
+/// Per-block micro-op decompositions for a whole program, in one CSR
+/// arena: `micro[block_off[func_off[f] + b] .. block_off[.. + 1]]` is
+/// block `(f, b)`'s recipe. The decomposition depends only on the static
+/// instruction list, so it is computed once per generation and each
+/// emulated step replays compact 8-byte records instead of re-matching
+/// the full TFIR instruction enums.
+struct BlockRecipes {
+    micro: Vec<MicroOp>,
+    func_off: Vec<u32>,
+    block_off: Vec<u32>,
+}
+
+impl BlockRecipes {
+    fn build(program: &Program) -> Self {
+        let mut r = BlockRecipes {
+            micro: Vec::new(),
+            func_off: Vec::with_capacity(program.functions().len()),
+            block_off: Vec::new(),
+        };
+        for f in program.functions() {
+            r.func_off.push(r.block_off.len() as u32);
+            for (_, block) in f.iter_blocks() {
+                r.block_off.push(r.micro.len() as u32);
+                for (i, inst) in block.insts.iter().enumerate() {
+                    // A leading load micro-op for memory reads.
+                    if inst.mem_read().is_some() {
+                        r.micro.push(MicroOp {
+                            op: OpClass::Load,
+                            is_store: false,
+                            mem_inst: i as u32,
+                        });
+                    }
+                    let (op, mem_inst) = match inst {
+                        Inst::Alu { op, .. } => {
+                            let class = match op {
+                                threadfuser_ir::AluOp::Mul => OpClass::IntMul,
+                                threadfuser_ir::AluOp::Div | threadfuser_ir::AluOp::Rem => {
+                                    OpClass::IntDiv
+                                }
+                                _ => OpClass::IntAlu,
+                            };
+                            (Some(class), NO_MEM)
+                        }
+                        // A pure load decomposes to just the Load micro-op.
+                        Inst::Mov { src, .. } => {
+                            (src.mem().is_none().then_some(OpClass::IntAlu), NO_MEM)
+                        }
+                        Inst::Store { .. } => (Some(OpClass::Store), i as u32),
+                        Inst::Lea { .. } => (Some(OpClass::IntAlu), NO_MEM),
+                        Inst::Alloc { .. } | Inst::Free { .. } => (Some(OpClass::Alloc), NO_MEM),
+                        Inst::Io { .. } | Inst::Nop => (Some(OpClass::IntAlu), NO_MEM),
+                    };
+                    if let Some(op) = op {
+                        let is_store = mem_inst != NO_MEM;
+                        r.micro.push(MicroOp { op, is_store, mem_inst });
+                    }
+                }
+                // Terminator (its accesses are recorded at index
+                // `insts.len()`).
+                if block.term.mem_read().is_some() {
+                    r.micro.push(MicroOp {
+                        op: OpClass::Load,
+                        is_store: false,
+                        mem_inst: block.insts.len() as u32,
+                    });
+                }
+                let term_class = match &block.term {
+                    Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
+                        OpClass::Branch
+                    }
+                    Terminator::Call { .. } | Terminator::Ret { .. } => OpClass::CallRet,
+                    Terminator::Acquire { .. }
+                    | Terminator::Release { .. }
+                    | Terminator::Barrier { .. } => OpClass::Sync,
+                };
+                r.micro.push(MicroOp { op: term_class, is_store: false, mem_inst: NO_MEM });
+            }
+        }
+        r.block_off.push(r.micro.len() as u32);
+        r
+    }
+
+    #[inline]
+    fn block(&self, func: threadfuser_ir::FuncId, block: threadfuser_ir::BlockId) -> &[MicroOp] {
+        let b = self.func_off[func.0 as usize] as usize + block.0 as usize;
+        &self.micro[self.block_off[b] as usize..self.block_off[b + 1] as usize]
+    }
 }
 
 fn space_of(accesses: &[(u64, u32)]) -> MemSpace {
@@ -163,89 +256,180 @@ fn space_of(accesses: &[(u64, u32)]) -> MemSpace {
     }
 }
 
-impl StepSink for WarpGen<'_> {
-    fn on_step(&mut self, step: &BlockStep<'_>) {
-        let func = self.program.function(step.func);
-        let block = func.block(step.block);
-        let base_pc = ((step.func.0 as u64) << 24) | ((step.block.0 as u64) << 8);
-        let mask = step.mask;
-        let active = step.active;
-        let out = &mut self.insts;
-        let mut slot = 0u64;
-        let push = |op: OpClass, mem: Option<MemOp>, out: &mut Vec<WarpInst>, slot: &mut u64| {
-            out.push(WarpInst { pc: base_pc | *slot, op, mask, active, mem });
-            *slot += 1;
-        };
+/// One recorded lock-step block execution: the compact footprint a step
+/// leaves during emulation (24 bytes + payload arenas), expanded into
+/// micro-ops *after* the warp-emulate phase finishes.
+#[derive(Debug, Clone, Copy)]
+struct StepRec {
+    func: u32,
+    block: u32,
+    active: u32,
+    /// Start of this step's access groups in the warp's group arena
+    /// (the next step's start is the end).
+    grp_lo: u32,
+    mask: u64,
+}
 
-        for (i, inst) in block.insts.iter().enumerate() {
-            let accesses = step.mem.get(i as u32);
-            // CISC → RISC: a leading load micro-op for memory reads.
-            if inst.mem_read().is_some() {
-                let acc = accesses.map(<[_]>::to_vec).unwrap_or_default();
-                let space = space_of(&acc);
-                push(
-                    OpClass::Load,
-                    Some(MemOp { space, is_store: false, accesses: acc }),
-                    out,
-                    &mut slot,
-                );
-            }
-            match inst {
-                Inst::Alu { op, .. } => {
-                    let class = match op {
-                        threadfuser_ir::AluOp::Mul => OpClass::IntMul,
-                        threadfuser_ir::AluOp::Div | threadfuser_ir::AluOp::Rem => OpClass::IntDiv,
-                        _ => OpClass::IntAlu,
-                    };
-                    push(class, None, out, &mut slot);
-                }
-                Inst::Mov { src, .. } => {
-                    // A pure load decomposes to just the Load micro-op.
-                    if src.mem().is_none() {
-                        push(OpClass::IntAlu, None, out, &mut slot);
-                    }
-                }
-                Inst::Store { .. } => {
-                    let acc = accesses.map(<[_]>::to_vec).unwrap_or_default();
-                    let space = space_of(&acc);
-                    push(
-                        OpClass::Store,
-                        Some(MemOp { space, is_store: true, accesses: acc }),
-                        out,
-                        &mut slot,
-                    );
-                }
-                Inst::Lea { .. } => push(OpClass::IntAlu, None, out, &mut slot),
-                Inst::Alloc { .. } | Inst::Free { .. } => {
-                    push(OpClass::Alloc, None, out, &mut slot);
-                }
-                Inst::Io { .. } | Inst::Nop => push(OpClass::IntAlu, None, out, &mut slot),
-            }
-        }
+/// One warp's recorded step stream plus its flat payload arenas.
+#[derive(Debug, Clone, Default)]
+struct WarpRec {
+    steps: Vec<StepRec>,
+    /// `(inst_idx, acc_lo)` per access group, in step-then-instruction
+    /// order; `acc_lo` cursors into `accs` (next group's start is the
+    /// end).
+    groups: Vec<(u32, u32)>,
+    /// Flat `(address, size)` payload arena.
+    accs: Vec<(u64, u32)>,
+}
 
-        // Terminator.
-        let term_idx = (block.insts.len()) as u32;
-        if block.term.mem_read().is_some() {
-            let acc = step.mem.get(term_idx).map(<[_]>::to_vec).unwrap_or_default();
-            let space = space_of(&acc);
-            push(
-                OpClass::Load,
-                Some(MemOp { space, is_store: false, accesses: acc }),
-                out,
-                &mut slot,
-            );
-        }
-        let term_class = match &block.term {
-            Terminator::Jmp(_) | Terminator::Br { .. } | Terminator::Switch { .. } => {
-                OpClass::Branch
-            }
-            Terminator::Call { .. } | Terminator::Ret { .. } => OpClass::CallRet,
-            Terminator::Acquire { .. }
-            | Terminator::Release { .. }
-            | Terminator::Barrier { .. } => OpClass::Sync,
-        };
-        push(term_class, None, out, &mut slot);
+/// A compact capture of one full lock-step emulation: everything needed
+/// to materialize a [`WarpTraceSet`] without replaying the warps.
+///
+/// Recording is what the emulation-side sink does (a few arena appends
+/// per step); the allocation-heavy micro-op expansion happens later in
+/// [`expand_warp_recording`], outside the warp-emulate phase. The
+/// recording is also reusable: one emulation can serve both the analysis
+/// report and any number of trace expansions.
+#[derive(Debug, Clone, Default)]
+pub struct WarpRecording {
+    warps: Vec<WarpRec>,
+    warp_size: u32,
+}
+
+impl WarpRecording {
+    /// Recorded warp count.
+    pub fn warp_count(&self) -> usize {
+        self.warps.len()
     }
+
+    /// Total recorded lock-step block executions.
+    pub fn total_steps(&self) -> u64 {
+        self.warps.iter().map(|w| w.steps.len() as u64).sum()
+    }
+}
+
+/// Per-warp step sink: records exactly one warp's lock-step blocks (in
+/// emulation order). One sink per warp is what lets
+/// `analyze_indexed_with_warp_sinks` fan the emulation across workers
+/// while the merged recording stays bit-identical to a sequential run.
+#[derive(Default)]
+struct StepRecorder {
+    rec: WarpRec,
+}
+
+impl StepSink for StepRecorder {
+    fn on_step(&mut self, step: &BlockStep<'_>) {
+        let rec = &mut self.rec;
+        rec.steps.push(StepRec {
+            func: step.func.0,
+            block: step.block.0,
+            active: step.active,
+            grp_lo: rec.groups.len() as u32,
+            mask: step.mask,
+        });
+        for (i, acc) in step.mem.iter() {
+            rec.groups.push((i, rec.accs.len() as u32));
+            rec.accs.extend_from_slice(acc);
+        }
+    }
+}
+
+/// Runs one lock-step emulation, returning both its [`AnalysisReport`]
+/// and the compact [`WarpRecording`] of every warp's step stream. This is
+/// the fused form of `analyze` + trace generation: the report and the
+/// recording come from the *same* replay, so a pipeline that needs both
+/// pays for one emulation instead of two.
+///
+/// # Errors
+/// Propagates [`AnalyzeError`] from the underlying emulation.
+pub fn record_warp_steps_indexed(
+    program: &Program,
+    traces: &TraceSet,
+    index: &AnalysisIndex,
+    config: &AnalyzerConfig,
+) -> Result<(AnalysisReport, WarpRecording), AnalyzeError> {
+    let (report, sinks) = analyze_indexed_with_warp_sinks(program, traces, index, config, |_| {
+        StepRecorder::default()
+    })?;
+    let mut warps: Vec<WarpRec> = sinks.into_iter().map(|s| s.rec).collect();
+    // The pre-parallel generator grew its warp list lazily, so warps past
+    // the last one that ever stepped were absent; keep that shape.
+    while warps.last().is_some_and(|w| w.steps.is_empty()) {
+        warps.pop();
+    }
+    Ok((report, WarpRecording { warps, warp_size: config.warp_size }))
+}
+
+/// Expands one warp's recording into its micro-op stream.
+fn expand_warp(rec: &WarpRec, recipes: &BlockRecipes, warp: u32) -> WarpTrace {
+    // Exact capacity: the recipe arena knows every step's micro-op count
+    // up front, so the output vector never reallocates.
+    let total: usize =
+        rec.steps.iter().map(|s| recipes.block(FuncId(s.func), BlockId(s.block)).len()).sum();
+    let mut insts = Vec::with_capacity(total);
+    for (si, s) in rec.steps.iter().enumerate() {
+        let grp_hi = rec.steps.get(si + 1).map_or(rec.groups.len(), |n| n.grp_lo as usize);
+        let mut g = s.grp_lo as usize;
+        let base_pc = ((s.func as u64) << 24) | ((s.block as u64) << 8);
+        let recipe = recipes.block(FuncId(s.func), BlockId(s.block));
+        for (slot, m) in recipe.iter().enumerate() {
+            let mem = if m.mem_inst == NO_MEM {
+                None
+            } else {
+                // Group indices and recipe payload indices are both
+                // non-decreasing: one linear cursor per step.
+                while g < grp_hi && rec.groups[g].0 < m.mem_inst {
+                    g += 1;
+                }
+                let acc = if g < grp_hi && rec.groups[g].0 == m.mem_inst {
+                    let lo = rec.groups[g].1 as usize;
+                    let hi = rec.groups.get(g + 1).map_or(rec.accs.len(), |&(_, alo)| alo as usize);
+                    rec.accs[lo..hi].to_vec()
+                } else {
+                    Vec::new()
+                };
+                let space = space_of(&acc);
+                Some(MemOp { space, is_store: m.is_store, accesses: acc })
+            };
+            insts.push(WarpInst {
+                pc: base_pc | slot as u64,
+                op: m.op,
+                mask: s.mask,
+                active: s.active,
+                mem,
+            });
+        }
+    }
+    WarpTrace { warp, insts }
+}
+
+/// Materializes a [`WarpRecording`] into warp-level instruction traces:
+/// the CISC → RISC decomposition (precomputed per block) applied to every
+/// recorded step. Reported under the `coalesce` phase — this is the trace
+/// materialization work, separated from the lock-step replay itself.
+pub fn expand_warp_recording(
+    program: &Program,
+    recording: &WarpRecording,
+    config: &AnalyzerConfig,
+) -> WarpTraceSet {
+    let span = config.obs.span(threadfuser_obs::Phase::Coalesce);
+    let recipes = BlockRecipes::build(program);
+    let warps: Vec<WarpTrace> = recording
+        .warps
+        .iter()
+        .enumerate()
+        .map(|(w, rec)| expand_warp(rec, &recipes, w as u32))
+        .collect();
+    let set = WarpTraceSet { warp_size: recording.warp_size, warps };
+    if config.obs.enabled() {
+        let obs = &config.obs;
+        obs.counter(threadfuser_obs::Phase::Coalesce, "warp_insts", set.total_insts());
+        let mem_ops: u64 =
+            set.warps.iter().flat_map(|w| &w.insts).filter(|i| i.mem.is_some()).count() as u64;
+        obs.counter(threadfuser_obs::Phase::Coalesce, "mem_micro_ops", mem_ops);
+    }
+    span.finish();
+    set
 }
 
 /// Generates warp-based instruction traces by replaying the analyzer's
@@ -279,34 +463,8 @@ pub fn generate_warp_traces_indexed(
     index: &AnalysisIndex,
     config: &AnalyzerConfig,
 ) -> Result<WarpTraceSet, AnalyzeError> {
-    let span = config.obs.span(threadfuser_obs::Phase::Coalesce);
-    // One private sink per warp: generation fans across the analyzer's
-    // worker pool ([`AnalyzerConfig::parallelism`]) and the sinks come
-    // back in warp order, so the concatenation below is bit-identical to
-    // a sequential run at any worker count.
-    let (_, sinks) = analyze_indexed_with_warp_sinks(program, traces, index, config, |_| {
-        WarpGen { program, insts: Vec::new() }
-    })?;
-    let mut warps: Vec<WarpTrace> = sinks
-        .into_iter()
-        .enumerate()
-        .map(|(w, g)| WarpTrace { warp: w as u32, insts: g.insts })
-        .collect();
-    // The pre-parallel generator grew its warp list lazily, so warps past
-    // the last one that ever stepped were absent; keep that shape.
-    while warps.last().is_some_and(|w| w.insts.is_empty()) {
-        warps.pop();
-    }
-    let set = WarpTraceSet { warp_size: config.warp_size, warps };
-    if config.obs.enabled() {
-        let obs = &config.obs;
-        obs.counter(threadfuser_obs::Phase::Coalesce, "warp_insts", set.total_insts());
-        let mem_ops: u64 =
-            set.warps.iter().flat_map(|w| &w.insts).filter(|i| i.mem.is_some()).count() as u64;
-        obs.counter(threadfuser_obs::Phase::Coalesce, "mem_micro_ops", mem_ops);
-    }
-    span.finish();
-    Ok(set)
+    let (_, recording) = record_warp_steps_indexed(program, traces, index, config)?;
+    Ok(expand_warp_recording(program, &recording, config))
 }
 
 #[cfg(test)]

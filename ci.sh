@@ -45,12 +45,14 @@ TF_BENCH_OUT="$SWEEP_OUT" \
 # faster than the cold one.
 cargo run --release -q -p threadfuser-bench --bin perf_sweep -- --check "$SWEEP_OUT"
 
-echo "==> perf_trace smoke (predecoded engine vs legacy, columnar vs materialized replay)"
+echo "==> perf_trace smoke (predecoded engine vs legacy, columnar vs materialized replay, v2 vs v3 format)"
 TRACE_OUT="${TMPDIR:-/tmp}/BENCH_trace.json"
 TF_BENCH_OUT="$TRACE_OUT" \
     cargo run --release -p threadfuser-bench --bin perf_trace
 # Fails when the report is malformed, the predecoded engine traced below
-# the speedup gate, or the engines / replay modes disagreed bit for bit.
+# the speedup gate, the engines / replay modes / decode paths disagreed
+# bit for bit, any v3 encoding exceeded 0.6x of its v2 size, or the
+# aggregate v3 eager-decode speedup over v2 fell below 1.3x.
 cargo run --release -q -p threadfuser-bench --bin perf_trace -- --check "$TRACE_OUT"
 
 echo "==> perf_sim smoke (parallel projection backend vs sequential)"
@@ -65,10 +67,13 @@ cargo run --release -q -p threadfuser-bench --bin perf_sim -- --check "$SIM_OUT"
 echo "==> serve smoke (job server end-to-end over TCP)"
 SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/tf_serve_smoke.XXXXXX")
 trap 'rm -rf "$SMOKE_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
-# A valid capture plus a truncated (invalid) copy for the decode-error job.
+# A valid capture (v3 chunked format, the `trace` default) plus a
+# truncated (invalid) copy for the decode-error job. Truncating to half
+# the file guarantees the v3 footer is gone whatever the file size.
 cargo run --release -q -p threadfuser --bin threadfuser -- \
     trace vectoradd --threads 8 --out "$SMOKE_DIR/trace.bin" >/dev/null
-head -c 900 "$SMOKE_DIR/trace.bin" > "$SMOKE_DIR/corrupt.bin"
+head -c "$(( $(wc -c < "$SMOKE_DIR/trace.bin") / 2 ))" \
+    "$SMOKE_DIR/trace.bin" > "$SMOKE_DIR/corrupt.bin"
 cargo build --release -q -p threadfuser-serve
 SERVE_PORT=$((17000 + RANDOM % 2000))
 ./target/release/threadfuser-serve --listen "127.0.0.1:$SERVE_PORT" --workers 2 \

@@ -6,9 +6,10 @@
 //!
 //! * a **checked-in corrupt-trace corpus** under `tests/corpus/` —
 //!   truncations, bit-flips, length-field inflation, tag garbage,
-//!   undefined size/flag bytes, non-monotone prefix sums, and
-//!   overflow-bait addresses near `u64::MAX` — regenerated
-//!   deterministically with `--gen`;
+//!   undefined size/flag bytes, non-monotone prefix sums, overflow-bait
+//!   addresses near `u64::MAX`, and v3 container damage (lying footer
+//!   offsets and counts, overlapping chunk extents, truncated footers,
+//!   varint-overflow baits) — regenerated deterministically with `--gen`;
 //! * **pseudo-random byte strings** (a deterministic xorshift stream,
 //!   some prefixed with a valid magic+version so the fuzz reaches past the
 //!   header check), decoded under `catch_unwind`.
@@ -30,7 +31,8 @@ use std::path::{Path, PathBuf};
 use threadfuser::ir::{BlockAddr, BlockId, FuncId, OptLevel};
 use threadfuser::mem::coalesce_transactions;
 use threadfuser::tracer::{
-    decode, decode_with, encode, DecodeOptions, ThreadTrace, TraceEvent, TraceSet, ValidationPolicy,
+    decode, decode_with, encode, encode_v3, encode_v3_with, DecodeOptions, ThreadTrace, TraceEvent,
+    TraceSet, ValidationPolicy,
 };
 use threadfuser::workloads::by_name;
 use threadfuser::Pipeline;
@@ -166,6 +168,18 @@ fn patch_u32(bytes: &mut [u8], off: usize, v: u32) {
     bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
+/// Overwrites the 8 bytes at `off` with `v` (little-endian).
+fn patch_u64(bytes: &mut [u8], off: usize, v: u64) {
+    bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Byte offset of the footer (the `n_chunks` u32) in a v3 file, read
+/// back from its own trailer.
+fn v3_footer_start(b: &[u8]) -> usize {
+    let footer_len = u64::from_le_bytes(b[b.len() - 12..b.len() - 4].try_into().unwrap()) as usize;
+    b.len() - 12 - footer_len
+}
+
 fn write(dir: &Path, name: &str, bytes: &[u8]) {
     let path = dir.join(name);
     std::fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
@@ -183,13 +197,22 @@ fn generate(root: &Path) {
     let set = synthetic_set();
     let v2 = encode(&set).to_vec();
     let v1 = encode_v1(&set);
+    let v3 = encode_v3(&set).to_vec();
+    // A 1-byte chunk budget closes a chunk at every thread boundary, so
+    // this file carries one chunk per thread — the multi-chunk shapes the
+    // footer validation has to get right.
+    let v3_multi = encode_v3_with(&set, 1).to_vec();
 
     // ---- valid ------------------------------------------------------------
     write(&valid, "synthetic_v2.bin", &v2);
     write(&valid, "synthetic_v1.bin", &v1);
+    write(&valid, "synthetic_v3.bin", &v3);
+    write(&valid, "synthetic_v3_multichunk.bin", &v3_multi);
     write(&valid, "empty_v2.bin", &encode(&TraceSet::default()));
+    write(&valid, "empty_v3.bin", &encode_v3(&TraceSet::default()));
     write(&valid, "overflow_bait_v2.bin", &encode(&overflow_bait_set()));
     write(&valid, "overflow_bait_v1.bin", &encode_v1(&overflow_bait_set()));
+    write(&valid, "overflow_bait_v3.bin", &encode_v3(&overflow_bait_set()));
     let w = by_name("vectoradd").expect("vectoradd exists");
     let traced = Pipeline::from_workload(&w)
         .threads(16)
@@ -197,6 +220,7 @@ fn generate(root: &Path) {
         .trace()
         .expect("trace vectoradd");
     write(&valid, "vectoradd_t16_o1_v2.bin", &encode(traced.traces()));
+    write(&valid, "vectoradd_t16_o1_v3.bin", &encode_v3(traced.traces()));
 
     // ---- invalid ----------------------------------------------------------
     // Truncations: mid-header, mid-thread-header, mid-column, last byte.
@@ -272,10 +296,67 @@ fn generate(root: &Path) {
     b.extend_from_slice(b"junk");
     write(&invalid, "trailing_bytes_v2.bin", &b);
 
+    // ---- invalid: v3 container damage -------------------------------------
+    // The footer index is untrusted input; every lie below must come back
+    // as a structured `DecodeError`, never a panic or over-allocation.
+    //
+    // Truncated footers: cut inside the trailer, inside the footer body,
+    // and mid-payload.
+    for cut in [v3.len() - 1, v3.len() - 13, v3.len() / 2] {
+        write(&invalid, &format!("truncated_at_{cut}_v3.bin"), &v3[..cut]);
+    }
+    // Bad trailer magic.
+    let mut b = v3.clone();
+    let n = b.len();
+    b[n - 4..].copy_from_slice(b"NOPE");
+    write(&invalid, "bad_trailer_magic_v3.bin", &b);
+    // A footer length that swallows the whole file (and then some).
+    let mut b = v3.clone();
+    let n = b.len();
+    patch_u64(&mut b, n - 12, u64::MAX / 2);
+    write(&invalid, "inflated_footer_len_v3.bin", &b);
+    // Lying chunk offset: chunk 0 claims to start past the header, which
+    // breaks the contiguous-tiling rule. Descriptor layout: n_chunks u32,
+    // then per chunk {offset u64, len u64, thread_start u32,
+    // thread_count u32, n_blocks u64, n_mems u64, n_sides u64}.
+    let fs = v3_footer_start(&v3);
+    let mut b = v3.clone();
+    let off = u64::from_le_bytes(b[fs + 4..fs + 12].try_into().unwrap());
+    patch_u64(&mut b, fs + 4, off + 1);
+    write(&invalid, "lying_chunk_offset_v3.bin", &b);
+    // Out-of-range chunk extent: chunk 0's length runs past the footer.
+    let mut b = v3.clone();
+    patch_u64(&mut b, fs + 12, u64::MAX / 2);
+    write(&invalid, "oversized_chunk_len_v3.bin", &b);
+    // Overlapping chunk extents: in the multi-chunk file, chunk 1 claims
+    // chunk 0's offset.
+    let mfs = v3_footer_start(&v3_multi);
+    let mut b = v3_multi.clone();
+    let c0_off = u64::from_le_bytes(b[mfs + 4..mfs + 12].try_into().unwrap());
+    patch_u64(&mut b, mfs + 4 + 48, c0_off);
+    write(&invalid, "overlapping_chunks_v3.bin", &b);
+    // Lying footer counts: chunk 0's n_blocks total disagrees with the
+    // payload (caught by the post-decode cross-check).
+    let mut b = v3.clone();
+    let blocks = u64::from_le_bytes(b[fs + 4 + 24..fs + 4 + 32].try_into().unwrap());
+    patch_u64(&mut b, fs + 4 + 24, blocks + 1);
+    write(&invalid, "lying_footer_counts_v3.bin", &b);
+    // Footer counts inflated past DecodeLimits: must be refused before
+    // any payload allocation.
+    let mut b = v3.clone();
+    patch_u64(&mut b, fs + 4 + 24, u64::MAX / 2);
+    write(&invalid, "inflated_footer_counts_v3.bin", &b);
+    // Varint-overflow bait: thread 0's leading tid varint becomes an
+    // unterminated run of continuation bytes.
+    let mut b = v3.clone();
+    for byte in &mut b[9..20] {
+        *byte = 0xFF;
+    }
+    write(&invalid, "varint_overflow_v3.bin", &b);
+
     // ---- fuzz (no-panic only; validity not asserted) -----------------------
     let mut rng = XorShift(0x7F4A_7C15_9E37_79B9);
-    for (i, base) in [&v2, &v1].into_iter().enumerate() {
-        let version = if i == 0 { "v2" } else { "v1" };
+    for (version, base) in [("v2", &v2), ("v1", &v1), ("v3", &v3), ("v3multi", &v3_multi)] {
         for round in 0..8 {
             let mut b = base.clone();
             // 1–8 random bit flips anywhere in the file.
@@ -291,6 +372,17 @@ fn generate(root: &Path) {
         let mut b = b"TFTR\x02".to_vec();
         b.extend_from_slice(&rng.fill(n));
         write(&fuzz, &format!("random_body_v2_{round}.bin"), &b);
+    }
+    for round in 0..4 {
+        // Random v3 bodies additionally get a plausible trailer so the
+        // fuzz reaches the footer parser, not just the trailer check.
+        let n = 16 + (rng.next() as usize % 256);
+        let mut b = b"TFTR\x03".to_vec();
+        b.extend_from_slice(&rng.fill(n));
+        let footer_len = rng.next() % (n as u64 + 24);
+        b.extend_from_slice(&footer_len.to_le_bytes());
+        b.extend_from_slice(b"TF3F");
+        write(&fuzz, &format!("random_body_v3_{round}.bin"), &b);
     }
 }
 
@@ -376,11 +468,15 @@ fn check(root: &Path, cases: usize) -> Result<(), usize> {
         };
         match strict {
             Ok(set) => {
-                // Valid files must round-trip bit-identically through the
-                // current encoder…
-                let re = decode(&encode(&set)).expect("re-decode own encoding");
+                // Valid files must round-trip bit-identically through both
+                // current encoders…
+                let re = decode(&encode(&set)).expect("re-decode own v2 encoding");
                 if re != set {
                     failures.fail(format!("{name}: decode(encode(t)) != t"));
+                }
+                let re3 = decode(&encode_v3(&set)).expect("re-decode own v3 encoding");
+                if re3 != set {
+                    failures.fail(format!("{name}: decode(encode_v3(t)) != t"));
                 }
                 // …and their contents must be safe for downstream
                 // arithmetic (the overflow-bait files exercise coalescing
@@ -437,10 +533,11 @@ fn check(root: &Path, cases: usize) -> Result<(), usize> {
     for i in 0..cases {
         let n = rng.next() as usize % 384;
         let body = rng.fill(n);
-        let buf = match i % 3 {
+        let buf = match i % 4 {
             0 => body,
             1 => [b"TFTR\x02".as_slice(), &body].concat(),
-            _ => [b"TFTR\x01".as_slice(), &body].concat(),
+            2 => [b"TFTR\x01".as_slice(), &body].concat(),
+            _ => [b"TFTR\x03".as_slice(), &body].concat(),
         };
         no_panic(&mut failures, &format!("random case {i}"), || decode_both_policies(&buf));
     }
@@ -456,8 +553,13 @@ fn check(root: &Path, cases: usize) -> Result<(), usize> {
         let set = traced.traces();
         match decode(&encode(set)) {
             Ok(back) if &back == set => {}
-            Ok(_) => failures.fail(format!("{name}: round-trip changed the trace set")),
-            Err(e) => failures.fail(format!("{name}: round-trip decode failed: {e}")),
+            Ok(_) => failures.fail(format!("{name}: v2 round-trip changed the trace set")),
+            Err(e) => failures.fail(format!("{name}: v2 round-trip decode failed: {e}")),
+        }
+        match decode(&encode_v3(set)) {
+            Ok(back) if &back == set => {}
+            Ok(_) => failures.fail(format!("{name}: v3 round-trip changed the trace set")),
+            Err(e) => failures.fail(format!("{name}: v3 round-trip decode failed: {e}")),
         }
     }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! threadfuser-serve [--listen ADDR] [--workers N] [--queue N]
-//!                   [--cache-mb N] [--obs FILE]
+//!                   [--cache-mb N] [--max-threads N] [--max-mb N]
+//!                   [--obs FILE]
 //! ```
 //!
 //! Serves the line-delimited JSON job protocol of
@@ -14,6 +15,7 @@ use std::sync::Arc;
 
 use threadfuser_obs::{JsonLinesSink, Obs};
 use threadfuser_serve::{ServeConfig, Server};
+use threadfuser_tracer::DecodeLimits;
 
 const USAGE: &str = "\
 threadfuser-serve: ThreadFuser analysis-as-a-service daemon
@@ -30,6 +32,15 @@ OPTIONS:
     --cache-mb N    Capture-cache byte budget in MiB (default 256)
     --shards N      Capture-cache shard count (default 8)
     --retry-ms N    Backoff hint on Overloaded rejections (default 50)
+    --max-threads N Decode limit: thread records per trace file
+                    (default 1048576)
+    --max-blocks N  Decode limit: executed blocks per thread
+                    (default 67108864)
+    --max-mems N    Decode limit: memory accesses per thread
+                    (default 67108864)
+    --max-sides N   Decode limit: call/sync events per thread
+                    (default 16777216)
+    --max-mb N      Decode limit: trace-file size in MiB (default 4096)
     --obs FILE      Stream server-side observability events to FILE as
                     JSON lines
     -h, --help      Show this help
@@ -46,6 +57,7 @@ struct Options {
     cache_mb: u64,
     shards: usize,
     retry_ms: u64,
+    limits: DecodeLimits,
     obs_path: Option<String>,
 }
 
@@ -57,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         cache_mb: 256,
         shards: 8,
         retry_ms: 50,
+        limits: DecodeLimits::default(),
         obs_path: None,
     };
     let mut args = std::env::args().skip(1);
@@ -80,6 +93,26 @@ fn parse_args() -> Result<Options, String> {
             "--retry-ms" => {
                 opts.retry_ms =
                     value("--retry-ms")?.parse().map_err(|e| format!("--retry-ms: {e}"))?
+            }
+            "--max-threads" => {
+                opts.limits.max_threads =
+                    value("--max-threads")?.parse().map_err(|e| format!("--max-threads: {e}"))?
+            }
+            "--max-blocks" => {
+                opts.limits.max_blocks =
+                    value("--max-blocks")?.parse().map_err(|e| format!("--max-blocks: {e}"))?
+            }
+            "--max-mems" => {
+                opts.limits.max_mems =
+                    value("--max-mems")?.parse().map_err(|e| format!("--max-mems: {e}"))?
+            }
+            "--max-sides" => {
+                opts.limits.max_sides =
+                    value("--max-sides")?.parse().map_err(|e| format!("--max-sides: {e}"))?
+            }
+            "--max-mb" => {
+                let mb: u64 = value("--max-mb")?.parse().map_err(|e| format!("--max-mb: {e}"))?;
+                opts.limits.max_total_bytes = mb << 20;
             }
             "--obs" => opts.obs_path = Some(value("--obs")?),
             "-h" | "--help" => {
@@ -116,6 +149,7 @@ fn main() -> ExitCode {
         cache_bytes: opts.cache_mb << 20,
         cache_shards: opts.shards,
         retry_after_ms: opts.retry_ms,
+        limits: opts.limits,
     };
     let server = match Server::bind(&opts.listen, config, obs) {
         Ok(s) => s,

@@ -31,8 +31,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use threadfuser::service::{capture_key, load_capture, Capture, CaptureSpec, JobError};
+use threadfuser::service::{load_resolved, resolve_spec, Capture, CaptureSpec, JobError};
 use threadfuser_obs::{Obs, Phase};
+use threadfuser_tracer::DecodeLimits;
 
 /// A latched cache slot: the build result appears here exactly once.
 struct LazyCapture {
@@ -66,6 +67,8 @@ pub struct CaptureCache {
     shards: Vec<Mutex<Shard>>,
     /// Byte budget per shard (total budget / shard count).
     shard_budget: u64,
+    /// Decode ceilings applied to every trace file resolved here.
+    limits: DecodeLimits,
     obs: Obs,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -84,14 +87,16 @@ pub enum Lookup {
 
 impl CaptureCache {
     /// A cache of `shards` independent locks splitting `budget_bytes`
-    /// evenly. `obs` receives the `Phase::Serve` cache counters.
-    pub fn new(shards: usize, budget_bytes: u64, obs: Obs) -> Self {
+    /// evenly. `limits` caps every trace-file decode performed on a miss;
+    /// `obs` receives the `Phase::Serve` cache counters.
+    pub fn new(shards: usize, budget_bytes: u64, limits: DecodeLimits, obs: Obs) -> Self {
         let shards = shards.max(1);
         CaptureCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(Shard { entries: HashMap::new(), lru: Vec::new(), bytes: 0 }))
                 .collect(),
             shard_budget: (budget_bytes / shards as u64).max(1),
+            limits,
             obs,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -111,10 +116,15 @@ impl CaptureCache {
     ///
     /// # Errors
     /// `Io` when hashing an unreadable trace file, plus every
-    /// [`load_capture`] error (delivered identically to every job latched
+    /// [`load_resolved`] error (delivered identically to every job latched
     /// on the failed build).
     pub fn get_or_build(&self, spec: &CaptureSpec) -> Result<(Arc<Capture>, Lookup), JobError> {
-        let key = capture_key(spec)?;
+        // One open per lookup: the file streams through the key hash and
+        // into the decode buffer together, so a miss decodes the bytes it
+        // already holds instead of re-reading the file (a hit just drops
+        // them).
+        let resolved = resolve_spec(spec, &self.limits)?;
+        let key = resolved.key();
         let shard = self.shard_for(key);
 
         let (slot, lookup) = {
@@ -144,7 +154,10 @@ impl CaptureCache {
 
         // Build outside the shard lock; concurrent same-key jobs block
         // here on the latch instead of building their own copy.
-        let result = slot.cell.get_or_init(|| load_capture(spec, &self.obs).map(Arc::new)).clone();
+        let result = slot
+            .cell
+            .get_or_init(|| load_resolved(spec, resolved, &self.limits, &self.obs).map(Arc::new))
+            .clone();
 
         match result {
             Ok(capture) => {
@@ -238,7 +251,7 @@ mod tests {
 
     #[test]
     fn second_lookup_hits() {
-        let cache = CaptureCache::new(4, 1 << 30, Obs::none());
+        let cache = CaptureCache::new(4, 1 << 30, DecodeLimits::default(), Obs::none());
         let (a, l1) = cache.get_or_build(&spec(32)).unwrap();
         let (b, l2) = cache.get_or_build(&spec(32)).unwrap();
         assert_eq!(l1, Lookup::Miss);
@@ -249,7 +262,7 @@ mod tests {
 
     #[test]
     fn distinct_specs_do_not_share() {
-        let cache = CaptureCache::new(4, 1 << 30, Obs::none());
+        let cache = CaptureCache::new(4, 1 << 30, DecodeLimits::default(), Obs::none());
         let (a, _) = cache.get_or_build(&spec(32)).unwrap();
         let (b, l) = cache.get_or_build(&spec(64)).unwrap();
         assert_eq!(l, Lookup::Miss);
@@ -260,7 +273,7 @@ mod tests {
     fn tiny_budget_evicts_lru() {
         // One shard so the two entries compete for one budget; budget of
         // 1 byte forces the older entry out as soon as the newer lands.
-        let cache = CaptureCache::new(1, 1, Obs::none());
+        let cache = CaptureCache::new(1, 1, DecodeLimits::default(), Obs::none());
         cache.get_or_build(&spec(32)).unwrap();
         cache.get_or_build(&spec(64)).unwrap();
         let (entries, _) = cache.usage();
@@ -276,7 +289,7 @@ mod tests {
     #[test]
     fn failed_builds_are_not_cached() {
         let bad = CaptureSpec::workload("no-such-workload", OptLevel::O3);
-        let cache = CaptureCache::new(4, 1 << 30, Obs::none());
+        let cache = CaptureCache::new(4, 1 << 30, DecodeLimits::default(), Obs::none());
         assert!(cache.get_or_build(&bad).is_err());
         assert_eq!(cache.usage().0, 0);
         // Retry builds fresh (still fails, but from a new slot).

@@ -49,10 +49,11 @@ use std::thread::JoinHandle;
 
 use cache::CaptureCache;
 use threadfuser::service::{
-    capture_spec, execute_op, run_on_capture, JobError, JobErrorCode, JobOp, JobOutcome,
+    capture_spec, execute_op_with, run_on_capture, JobError, JobErrorCode, JobOp, JobOutcome,
     JobRequest, JobResponse, ObsEventWire, ObsFrame, ServeStats,
 };
 use threadfuser_obs::{MetricsSink, Obs, Phase, PhaseEvent};
+use threadfuser_tracer::DecodeLimits;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,6 +68,10 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Backoff hint attached to `Overloaded` rejections.
     pub retry_after_ms: u64,
+    /// Decode ceilings applied to every trace file this server touches
+    /// (cache misses and validate jobs alike) — the operator's defense
+    /// against hostile or runaway uploads.
+    pub limits: DecodeLimits,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             cache_bytes: 256 << 20,
             cache_shards: 8,
             retry_after_ms: 50,
+            limits: DecodeLimits::default(),
         }
     }
 }
@@ -245,7 +251,7 @@ impl Inner {
                     .cache
                     .get_or_build(spec)
                     .and_then(|(capture, _)| run_on_capture(op, &capture, &job_obs)),
-                None => execute_op(op, &job_obs),
+                None => execute_op_with(op, &self.config.limits, &job_obs),
             },
         };
         let outcome = match outcome {
@@ -352,7 +358,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            cache: CaptureCache::new(config.cache_shards, config.cache_bytes, obs.clone()),
+            cache: CaptureCache::new(
+                config.cache_shards,
+                config.cache_bytes,
+                config.limits,
+                obs.clone(),
+            ),
             queue: JobQueue::new(config.queue_capacity),
             obs,
             addr: local,

@@ -7,8 +7,8 @@
 //! threadfuser hardware <workload> [--threads N] [--warp N]
 //! threadfuser speedup <workload> [--threads N] [--cores N]
 //! threadfuser sweep <workload> [--threads N] [--opt O0..O3] [--models LIST] [--formations LIST] [--json]
-//! threadfuser trace <workload> --out FILE [--threads N] [--opt O0..O3]
-//! threadfuser validate <file> [--workload NAME] [--opt O0..O3] [--skip-bad] [--json]
+//! threadfuser trace <workload> --out FILE [--threads N] [--opt O0..O3] [--format v2|v3] [--chunk-kb N]
+//! threadfuser validate <file> [--workload NAME] [--opt O0..O3] [--skip-bad] [--max-threads N] [--max-mb N] [--json]
 //! ```
 //!
 //! Every subcommand is a thin renderer over the service layer: the
@@ -34,10 +34,10 @@ use threadfuser::analyzer::{BatchPolicy, ReconvergenceModel, WarpFormation};
 use threadfuser::ir::OptLevel;
 use threadfuser::obs::{JsonLinesSink, Obs};
 use threadfuser::service::{
-    execute, AnalyzeJob, AnalyzerKnobs, CaptureSpec, JobOp, JobOutcome, JobRequest, JobResponse,
-    SpeedupJob, SweepJob, ValidateJob,
+    execute_with, AnalyzeJob, AnalyzerKnobs, CaptureSpec, JobOp, JobOutcome, JobRequest,
+    JobResponse, SpeedupJob, SweepJob, ValidateJob,
 };
-use threadfuser::tracer::{encode, ValidationPolicy};
+use threadfuser::tracer::{encode, encode_v3, encode_v3_with, DecodeLimits, ValidationPolicy};
 use threadfuser::workloads::all;
 use threadfuser::{Pipeline, TextTable};
 
@@ -57,6 +57,11 @@ struct Options {
     out: Option<String>,
     workload: Option<String>,
     skip_bad: bool,
+    limits: DecodeLimits,
+    /// Trace-file version `trace` writes (2 = fixed-width columnar,
+    /// 3 = chunked delta/varint — the default).
+    format: u8,
+    chunk_kb: Option<usize>,
 }
 
 impl Default for Options {
@@ -77,6 +82,9 @@ impl Default for Options {
             out: None,
             workload: None,
             skip_bad: false,
+            limits: DecodeLimits::default(),
+            format: 3,
+            chunk_kb: None,
         }
     }
 }
@@ -99,6 +107,9 @@ fn usage() -> ExitCode {
          --model ipdom|stackless|melding --formation fixed|resize:N\n         \
          --models LIST --formations LIST   sweep axes (comma lists)\n         \
          --out FILE --workload NAME --skip-bad\n         \
+         --format v2|v3 --chunk-kb N   trace-file version (default v3)\n         \
+         --max-threads N --max-blocks N --max-mems N --max-sides N\n         \
+         --max-mb N   decode limits for trace-file inputs\n         \
          --obs FILE   write per-phase metrics as JSON lines to FILE\n\n\
          exit codes: 0 success, 1 job failed (or invalid trace file),\n             \
          2 usage error\n\n\
@@ -175,6 +186,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--locks" => o.locks = true,
             "--json" => o.json = true,
             "--skip-bad" => o.skip_bad = true,
+            "--format" => {
+                o.format = match val()?.as_str() {
+                    "v2" | "2" => 2,
+                    "v3" | "3" => 3,
+                    other => return Err(format!("unknown trace format {other} (v2|v3)")),
+                }
+            }
+            "--chunk-kb" => {
+                let kb: usize = val()?.parse().map_err(|e| format!("{e}"))?;
+                o.chunk_kb = Some(kb)
+            }
+            "--max-threads" => o.limits.max_threads = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--max-blocks" => o.limits.max_blocks = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--max-mems" => o.limits.max_mems = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--max-sides" => o.limits.max_sides = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--max-mb" => {
+                let mb: u64 = val()?.parse().map_err(|e| format!("{e}"))?;
+                o.limits.max_total_bytes = mb << 20;
+            }
             "--obs" => o.obs_path = Some(val()?),
             "--out" => o.out = Some(val()?),
             "--workload" => o.workload = Some(val()?),
@@ -432,13 +462,20 @@ fn cmd_trace(name: &str, o: &Options) -> Result<String, threadfuser::service::Jo
         p = p.threads(t);
     }
     let traced = p.trace().map_err(JobError::from)?;
-    let bytes = encode(traced.traces());
+    let bytes = match o.format {
+        2 => encode(traced.traces()),
+        _ => match o.chunk_kb {
+            Some(kb) => encode_v3_with(traced.traces(), kb.max(1) * 1024),
+            None => encode_v3(traced.traces()),
+        },
+    };
     std::fs::write(out, &bytes)
         .map_err(|e| JobError::new(JobErrorCode::Io, format!("{out}: {e}")))?;
     Ok(format!(
-        "wrote {} threads ({} bytes) of {name} at {} to {out}",
+        "wrote {} threads ({} bytes, v{}) of {name} at {} to {out}",
         traced.traces().threads().len(),
         bytes.len(),
+        o.format,
         o.opt
     ))
 }
@@ -485,7 +522,7 @@ fn main() -> ExitCode {
         };
     }
     let Some(op) = job_for(cmd, name, &opts) else { return usage() };
-    let resp = execute(&JobRequest::new(0, op), &obs);
+    let resp = execute_with(&JobRequest::new(0, op), &opts.limits, &obs);
     obs.flush();
     if opts.json {
         print_envelope(&resp);

@@ -37,7 +37,9 @@ use threadfuser_cpusim::CpuSimConfig;
 use threadfuser_ir::OptLevel;
 use threadfuser_obs::{Obs, Phase, PhaseEvent};
 use threadfuser_simtsim::SimtSimConfig;
-use threadfuser_tracer::{decode_observed, DecodeOptions, ProgramShape, ValidationPolicy};
+use threadfuser_tracer::{
+    decode_observed, DecodeLimits, DecodeOptions, ProgramShape, TraceSetReader, ValidationPolicy,
+};
 use threadfuser_workloads::{by_name, Workload};
 
 // ---------------------------------------------------------------------------
@@ -682,51 +684,154 @@ impl Capture {
         &self.quarantined
     }
 
-    /// Approximate resident size, used for cache byte budgeting: the
-    /// columnar trace storage dominates; program + index are charged as a
-    /// flat overhead.
+    /// Resident cost charged against the cache byte budget. Workload
+    /// captures charge their columnar trace storage; trace-file captures
+    /// charge their *encoded* (on-disk) size — with the v3 chunked format
+    /// that is the compressed footprint, so the same budget admits far
+    /// more captures. Program + index are charged as a flat overhead
+    /// either way.
     pub fn cost_bytes(&self) -> u64 {
         self.bytes
     }
 }
 
+/// Incremental FNV-1a, so trace files hash in one streaming pass instead
+/// of being slurped into memory first.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// Folds the non-source identifying fields of a spec into the hash.
+fn eat_spec_tail(h: &mut Fnv, spec: &CaptureSpec) {
+    h.eat(&[0, spec.opt as u8]);
+    h.eat(&spec.threads.unwrap_or(u32::MAX).to_le_bytes());
+    h.eat(&[matches!(spec.policy, ValidationPolicy::SkipBadThreads) as u8, spec.check_shape as u8]);
+}
+
+fn io_err(path: &str, e: std::io::Error) -> JobError {
+    JobError::new(JobErrorCode::Io, format!("{path}: {e}"))
+}
+
+/// A capture spec whose trace-file source (if any) has been read exactly
+/// once: the cache key and the file bytes come from the same open, fixing
+/// the historical double read (`capture_key` + decode each slurping the
+/// file independently).
+pub struct ResolvedSpec {
+    key: u64,
+    /// The trace file's encoded bytes (`None` for workload sources).
+    file: Option<Vec<u8>>,
+}
+
+impl ResolvedSpec {
+    /// The spec's content hash — the capture-cache key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Reads (at most once) and hashes a capture spec's source in a single
+/// pass: the file streams through the FNV hasher *and* into the decode
+/// buffer chunk by chunk, with `limits.max_total_bytes` enforced during
+/// the read — an oversized file is refused before it is ever resident.
+///
+/// # Errors
+/// `Io` when the trace file cannot be read, `Decode` when it exceeds the
+/// byte limit.
+pub fn resolve_spec(spec: &CaptureSpec, limits: &DecodeLimits) -> Result<ResolvedSpec, JobError> {
+    use std::io::Read;
+    let mut h = Fnv::new();
+    let mut file = None;
+    match &spec.source {
+        JobSource::Workload(name) => {
+            h.eat(b"workload\0");
+            h.eat(name.as_bytes());
+        }
+        JobSource::TraceFile { path, workload } => {
+            h.eat(b"trace-file\0");
+            let mut f = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+            let mut bytes = Vec::new();
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                let n = f.read(&mut chunk).map_err(|e| io_err(path, e))?;
+                if n == 0 {
+                    break;
+                }
+                if (bytes.len() + n) as u64 > limits.max_total_bytes {
+                    return Err(JobError::from(PipelineError::Decode(
+                        threadfuser_tracer::DecodeError {
+                            kind: threadfuser_tracer::DecodeErrorKind::LimitExceeded {
+                                what: "total_bytes",
+                                value: (bytes.len() + n) as u64,
+                                limit: limits.max_total_bytes,
+                            },
+                            offset: bytes.len(),
+                            thread: None,
+                        },
+                    )));
+                }
+                h.eat(&chunk[..n]);
+                bytes.extend_from_slice(&chunk[..n]);
+            }
+            h.eat(b"\0");
+            if let Some(w) = workload {
+                h.eat(w.as_bytes());
+            }
+            file = Some(bytes);
+        }
+    }
+    eat_spec_tail(&mut h, spec);
+    Ok(ResolvedSpec { key: h.0, file })
+}
+
 /// Stable content hash of a capture spec — the cache key. FNV-1a over
 /// the identifying inputs: the program identity (workload name, or the
-/// trace file's *bytes*), optimization level, thread count, validation
-/// policy, and shape-check flag.
+/// trace file's *bytes*, hashed in one streaming pass with constant
+/// memory), optimization level, thread count, validation policy, and
+/// shape-check flag.
 ///
 /// # Errors
 /// `Io` when a trace file cannot be read (the hash covers its content).
 pub fn capture_key(spec: &CaptureSpec) -> Result<u64, JobError> {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
+    use std::io::Read;
+    let mut h = Fnv::new();
     match &spec.source {
         JobSource::Workload(name) => {
-            eat(b"workload\0");
-            eat(name.as_bytes());
+            h.eat(b"workload\0");
+            h.eat(name.as_bytes());
         }
         JobSource::TraceFile { path, workload } => {
-            eat(b"trace-file\0");
-            let bytes = std::fs::read(path)
-                .map_err(|e| JobError::new(JobErrorCode::Io, format!("{path}: {e}")))?;
-            eat(&bytes);
-            eat(b"\0");
+            h.eat(b"trace-file\0");
+            let mut f = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                let n = f.read(&mut chunk).map_err(|e| io_err(path, e))?;
+                if n == 0 {
+                    break;
+                }
+                h.eat(&chunk[..n]);
+            }
+            h.eat(b"\0");
             if let Some(w) = workload {
-                eat(w.as_bytes());
+                h.eat(w.as_bytes());
             }
         }
     }
-    eat(&[0, spec.opt as u8]);
-    eat(&spec.threads.unwrap_or(u32::MAX).to_le_bytes());
-    eat(&[matches!(spec.policy, ValidationPolicy::SkipBadThreads) as u8, spec.check_shape as u8]);
-    Ok(h)
+    eat_spec_tail(&mut h, spec);
+    Ok(h.0)
 }
 
 fn resolve_workload(name: &str) -> Result<Workload, JobError> {
@@ -746,19 +851,51 @@ fn pipeline_for(spec: &CaptureSpec, w: &Workload, obs: &Obs) -> Pipeline {
     p
 }
 
+/// Resolves a capture spec into a reusable [`Capture`] under default
+/// [`DecodeLimits`]. See [`load_capture_with`].
+///
+/// # Errors
+/// As [`load_capture_with`].
+pub fn load_capture(spec: &CaptureSpec, obs: &Obs) -> Result<Capture, JobError> {
+    load_capture_with(spec, &DecodeLimits::default(), obs)
+}
+
 /// Resolves a capture spec into a reusable [`Capture`]: workloads are
-/// optimized, predecoded, and traced; trace files are decoded under the
-/// spec's policy and adopted against their workload's program. The
-/// analysis index (DCFGs + IPDOMs) is built eagerly here, so a cached
-/// capture pays trace + predecode + DCFG + IPDOM exactly once no matter
-/// how many jobs replay against it. `obs` is the capture-level
-/// observability handle (trace spans, the shared `index-build` span and
-/// `index_hits`/`index_misses` counters).
+/// optimized, predecoded, and traced; trace files are read once (via
+/// [`resolve_spec`]), decoded under the spec's policy and `limits`, and
+/// adopted against their workload's program. The analysis index (DCFGs +
+/// IPDOMs) is built eagerly here, so a cached capture pays trace +
+/// predecode + DCFG + IPDOM exactly once no matter how many jobs replay
+/// against it. `obs` is the capture-level observability handle (trace
+/// spans, the shared `index-build` span and `index_hits`/`index_misses`
+/// counters).
 ///
 /// # Errors
 /// `UnknownWorkload`/`Io`/`BadRequest` while resolving the source, and
 /// every capture-phase [`PipelineError`] mapped onto [`JobError`].
-pub fn load_capture(spec: &CaptureSpec, obs: &Obs) -> Result<Capture, JobError> {
+pub fn load_capture_with(
+    spec: &CaptureSpec,
+    limits: &DecodeLimits,
+    obs: &Obs,
+) -> Result<Capture, JobError> {
+    let resolved = resolve_spec(spec, limits)?;
+    load_resolved(spec, resolved, limits, obs)
+}
+
+/// The decode-and-adopt half of [`load_capture_with`], taking an already
+/// read-and-hashed [`ResolvedSpec`] so the trace file is opened exactly
+/// once per cache miss (the server hashes for the cache key, then hands
+/// the same bytes here on a miss).
+///
+/// # Errors
+/// As [`load_capture_with`], minus the I/O that [`resolve_spec`] already
+/// performed.
+pub fn load_resolved(
+    spec: &CaptureSpec,
+    resolved: ResolvedSpec,
+    limits: &DecodeLimits,
+    obs: &Obs,
+) -> Result<Capture, JobError> {
     let capture = match &spec.source {
         JobSource::Workload(name) => {
             let w = resolve_workload(name)?;
@@ -766,13 +903,17 @@ pub fn load_capture(spec: &CaptureSpec, obs: &Obs) -> Result<Capture, JobError> 
             let bytes = traced.traces().storage_bytes() as u64 + CAPTURE_OVERHEAD_BYTES;
             Capture { traced, quarantined: Vec::new(), bytes }
         }
-        JobSource::TraceFile { path, workload } => {
+        JobSource::TraceFile { workload, .. } => {
             let name = workload.as_deref().ok_or_else(|| {
                 JobError::bad_request("trace-file analysis needs a workload to replay against")
             })?;
             let w = resolve_workload(name)?;
-            let decoded = decode_trace_file(path, spec, Some(&w), obs)?;
-            let bytes = decoded.traces.storage_bytes() as u64 + CAPTURE_OVERHEAD_BYTES;
+            let encoded = resolved.file.expect("trace-file spec resolves with file bytes");
+            // Residency is charged in *encoded* bytes: with the v3 chunked
+            // format that is the compressed on-disk footprint, so cache
+            // admission tracks what the operator actually budgets for.
+            let bytes = encoded.len() as u64 + CAPTURE_OVERHEAD_BYTES;
+            let decoded = decode_trace_bytes(&encoded, spec, Some(&w), limits, obs)?;
             let traced = pipeline_for(spec, &w, obs).adopt_traces(decoded.traces);
             Capture { traced, quarantined: quarantine_rows(&decoded.quarantined), bytes }
         }
@@ -791,15 +932,16 @@ fn quarantine_rows(qs: &[threadfuser_tracer::Quarantined]) -> Vec<QuarantinedThr
         .collect()
 }
 
-fn decode_trace_file(
-    path: &str,
+/// The [`DecodeOptions`] a spec implies: its validation policy, the
+/// caller's limits, and (when shape checking) the shape of the workload's
+/// optimized program.
+fn decode_options_for(
     spec: &CaptureSpec,
     workload: Option<&Workload>,
-    obs: &Obs,
-) -> Result<threadfuser_tracer::Decoded, JobError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| JobError::new(JobErrorCode::Io, format!("{path}: {e}")))?;
-    let mut opts = DecodeOptions { policy: spec.policy, ..DecodeOptions::default() };
+    limits: &DecodeLimits,
+) -> DecodeOptions {
+    let mut opts =
+        DecodeOptions { policy: spec.policy, limits: *limits, ..DecodeOptions::default() };
     if spec.check_shape {
         // The optimizer is deterministic: applying the spec's level yields
         // the binary the file claims to come from, so its shape bounds
@@ -808,7 +950,18 @@ fn decode_trace_file(
             opts.shape = Some(ProgramShape::from_program(&spec.opt.apply(&w.program)));
         }
     }
-    decode_observed(&bytes, &opts, obs).map_err(|e| JobError::from(PipelineError::Decode(e)))
+    opts
+}
+
+fn decode_trace_bytes(
+    bytes: &[u8],
+    spec: &CaptureSpec,
+    workload: Option<&Workload>,
+    limits: &DecodeLimits,
+    obs: &Obs,
+) -> Result<threadfuser_tracer::Decoded, JobError> {
+    let opts = decode_options_for(spec, workload, limits);
+    decode_observed(bytes, &opts, obs).map_err(|e| JobError::from(PipelineError::Decode(e)))
 }
 
 // ---------------------------------------------------------------------------
@@ -943,10 +1096,10 @@ fn run_hardware(j: &AnalyzeJob, obs: &Obs) -> Result<JobOutcome, JobError> {
     }))
 }
 
-fn run_validate(j: &ValidateJob, obs: &Obs) -> Result<JobOutcome, JobError> {
+fn run_validate(j: &ValidateJob, limits: &DecodeLimits, obs: &Obs) -> Result<JobOutcome, JobError> {
     let spec = &j.capture;
-    let (path, workload) = match &spec.source {
-        JobSource::TraceFile { path, workload } => (path, workload),
+    let workload = match &spec.source {
+        JobSource::TraceFile { workload, .. } => workload,
         JobSource::Workload(_) => {
             return Err(JobError::bad_request("validate takes a trace file, not a workload"))
         }
@@ -955,30 +1108,74 @@ fn run_validate(j: &ValidateJob, obs: &Obs) -> Result<JobOutcome, JobError> {
         Some(name) => Some(resolve_workload(name)?),
         None => None,
     };
-    let decoded = decode_trace_file(path, spec, w.as_ref(), obs)?;
-    let quarantined = quarantine_rows(&decoded.quarantined);
-    Ok(JobOutcome::Validation(ValidationReport {
-        valid: quarantined.is_empty(),
-        threads: decoded.traces.threads().len() as u32,
-        quarantined,
-    }))
+    let resolved = resolve_spec(spec, limits)?;
+    let encoded = resolved.file.expect("trace-file spec resolves with file bytes");
+    let opts = decode_options_for(spec, w.as_ref(), limits);
+    // Stream the file chunk by chunk without retaining decoded columns:
+    // validation only needs counts and quarantine rows, so peak memory is
+    // one chunk's worth of threads, not the whole trace. v1/v2 files open
+    // as a single synthesized chunk, which degrades to the old behavior.
+    let span = obs.span(Phase::Decode);
+    let streamed = (|| {
+        let reader = TraceSetReader::from_bytes(encoded, &opts)?;
+        let mut threads = 0u32;
+        let mut quarantined = Vec::new();
+        for i in 0..reader.n_chunks() {
+            let chunk = reader.decode_chunk_uncached(i)?;
+            threads += chunk.threads.len() as u32;
+            quarantined.extend(quarantine_rows(&chunk.quarantined));
+        }
+        Ok((threads, quarantined))
+    })();
+    span.finish();
+    match streamed {
+        Ok((threads, quarantined)) => {
+            if !quarantined.is_empty() {
+                obs.counter(Phase::Decode, "decode_rejects", quarantined.len() as u64);
+                obs.counter(Phase::Decode, "quarantined_threads", quarantined.len() as u64);
+            }
+            Ok(JobOutcome::Validation(ValidationReport {
+                valid: quarantined.is_empty(),
+                threads,
+                quarantined,
+            }))
+        }
+        Err(e) => {
+            obs.counter(Phase::Decode, "decode_rejects", 1);
+            Err(JobError::from(PipelineError::Decode(e)))
+        }
+    }
 }
 
-/// Executes one op directly: resolve the capture (uncached), run. The
-/// serving ops (`Stats`, `Shutdown`) answer `Unsupported` here — only
-/// the long-running server implements them.
+/// Executes one op directly under default [`DecodeLimits`]. See
+/// [`execute_op_with`].
+///
+/// # Errors
+/// As [`execute_op_with`].
+pub fn execute_op(op: &JobOp, obs: &Obs) -> Result<JobOutcome, JobError> {
+    execute_op_with(op, &DecodeLimits::default(), obs)
+}
+
+/// Executes one op directly: resolve the capture (uncached), run. Trace
+/// files are decoded under the caller's `limits`. The serving ops
+/// (`Stats`, `Shutdown`) answer `Unsupported` here — only the
+/// long-running server implements them.
 ///
 /// # Errors
 /// Every [`JobError`] the op can produce.
-pub fn execute_op(op: &JobOp, obs: &Obs) -> Result<JobOutcome, JobError> {
+pub fn execute_op_with(
+    op: &JobOp,
+    limits: &DecodeLimits,
+    obs: &Obs,
+) -> Result<JobOutcome, JobError> {
     match op {
         JobOp::Analyze(_) | JobOp::Sweep(_) | JobOp::Speedup(_) => {
             let spec = capture_spec(op).expect("capture-bearing op");
-            let capture = load_capture(spec, obs)?;
+            let capture = load_capture_with(spec, limits, obs)?;
             run_on_capture(op, &capture, obs)
         }
         JobOp::Hardware(j) => run_hardware(j, obs),
-        JobOp::Validate(j) => run_validate(j, obs),
+        JobOp::Validate(j) => run_validate(j, limits, obs),
         JobOp::Ping => Ok(JobOutcome::Pong),
         JobOp::Stats | JobOp::Shutdown => Err(JobError::new(
             JobErrorCode::Unsupported,
@@ -987,11 +1184,17 @@ pub fn execute_op(op: &JobOp, obs: &Obs) -> Result<JobOutcome, JobError> {
     }
 }
 
+/// Answers a request directly under default [`DecodeLimits`]. See
+/// [`execute_with`].
+pub fn execute(req: &JobRequest, obs: &Obs) -> JobResponse {
+    execute_with(req, &DecodeLimits::default(), obs)
+}
+
 /// Answers a request directly (no capture cache) — the CLI's execution
 /// path. Failures land in [`JobOutcome::Failed`]; this never panics on
 /// bad requests.
-pub fn execute(req: &JobRequest, obs: &Obs) -> JobResponse {
-    let outcome = match execute_op(&req.op, obs) {
+pub fn execute_with(req: &JobRequest, limits: &DecodeLimits, obs: &Obs) -> JobResponse {
+    let outcome = match execute_op_with(&req.op, limits, obs) {
         Ok(o) => o,
         Err(e) => JobOutcome::Failed(e),
     };

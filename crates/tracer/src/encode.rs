@@ -24,15 +24,20 @@
 //!   phase's `decode_rejects`/`quarantined_threads` counters — while the
 //!   surviving threads decode normally.
 //!
-//! Version 2 is the current format and mirrors the columnar in-memory
-//! layout of [`ThreadTrace`]: per thread, the block, memory-access, and
-//! side-event columns are written as contiguous arrays, so encoding is a
-//! handful of bulk copies rather than one dispatch per event. Version 1
-//! (the original tagged event stream) is still decoded; v1 files produced
-//! by the tracer always interleave events canonically (each `Mem` directly
-//! follows its `Block`), which is what the columnar form preserves.
+//! Three format versions decode through the same entry points. Version 2
+//! mirrors the columnar in-memory layout of [`ThreadTrace`]: per thread,
+//! the block, memory-access, and side-event columns are written as
+//! contiguous fixed-width arrays, so encoding is a handful of bulk copies
+//! rather than one dispatch per event. Version 1 (the original tagged
+//! event stream) is still decoded; v1 files produced by the tracer always
+//! interleave events canonically (each `Mem` directly follows its
+//! `Block`), which is what the columnar form preserves. Version 3 (the
+//! current capture format, implemented in [`crate::chunked`]) groups
+//! delta/varint-packed per-thread columns into independently decodable
+//! chunks behind a trailing footer index, enabling the lazy
+//! [`crate::chunked::TraceSetReader`] read path.
 //!
-//! The byte-level layout of both versions, the validation rules, and the
+//! The byte-level layout of all versions, the validation rules, and the
 //! default limits are specified in the repository's `DESIGN.md` ("Trace-file
 //! format contract").
 
@@ -41,23 +46,25 @@ use bytes::{BufMut, Bytes, BytesMut};
 use threadfuser_ir::{BlockAddr, BlockId, FuncId, Program};
 use threadfuser_obs::{Obs, Phase};
 
-const MAGIC: &[u8; 4] = b"TFTR";
-/// Current (columnar) format version.
-const VERSION: u8 = 2;
+pub(crate) const MAGIC: &[u8; 4] = b"TFTR";
+/// The fixed-width columnar format version.
+pub(crate) const VERSION: u8 = 2;
 /// Original tagged-event-stream version, still decodable.
-const VERSION_LEGACY: u8 = 1;
+pub(crate) const VERSION_LEGACY: u8 = 1;
+/// Chunked delta/varint container version (see [`crate::chunked`]).
+pub(crate) const VERSION_CHUNKED: u8 = 3;
 
 const TAG_BLOCK: u8 = 0;
 const TAG_MEM: u8 = 1;
-const TAG_CALL: u8 = 2;
-const TAG_RET: u8 = 3;
-const TAG_ACQUIRE: u8 = 4;
-const TAG_RELEASE: u8 = 5;
-const TAG_BARRIER: u8 = 6;
+pub(crate) const TAG_CALL: u8 = 2;
+pub(crate) const TAG_RET: u8 = 3;
+pub(crate) const TAG_ACQUIRE: u8 = 4;
+pub(crate) const TAG_RELEASE: u8 = 5;
+pub(crate) const TAG_BARRIER: u8 = 6;
 
-/// Valid access widths: the packed size bits of a v2 `mem_size_store` byte
-/// and the v1 `size` byte must name a machine access size.
-fn valid_access_size(size: u8) -> bool {
+/// Valid access widths: the packed size bits of a v2/v3 `mem_size_store`
+/// byte and the v1 `size` byte must name a machine access size.
+pub(crate) fn valid_access_size(size: u8) -> bool {
     matches!(size, 1 | 2 | 4 | 8)
 }
 
@@ -110,9 +117,12 @@ pub enum DecodeErrorKind {
         /// Blocks that function declares.
         n_blocks: u32,
     },
+    /// A v3 varint (LEB128) field that runs longer than its integer width
+    /// allows.
+    VarintOverflow,
     /// Structurally invalid content (e.g. a memory access with no
-    /// preceding block, non-monotone prefix sums, or inconsistent column
-    /// lengths).
+    /// preceding block, non-monotone prefix sums, inconsistent column
+    /// lengths, or a v3 footer index that disagrees with its payload).
     Malformed(&'static str),
 }
 
@@ -136,6 +146,9 @@ impl std::fmt::Display for DecodeErrorKind {
             DecodeErrorKind::UnknownBlock { func, block, n_blocks } => {
                 write!(f, "block id {block} out of range (function {func} has {n_blocks} blocks)")
             }
+            DecodeErrorKind::VarintOverflow => {
+                write!(f, "varint field exceeds its integer width")
+            }
             DecodeErrorKind::Malformed(why) => write!(f, "malformed trace file: {why}"),
         }
     }
@@ -157,11 +170,11 @@ pub struct DecodeError {
 }
 
 impl DecodeError {
-    fn at(kind: DecodeErrorKind, offset: usize) -> Self {
+    pub(crate) fn at(kind: DecodeErrorKind, offset: usize) -> Self {
         DecodeError { kind, offset, thread: None }
     }
 
-    fn in_thread(mut self, index: u32) -> Self {
+    pub(crate) fn in_thread(mut self, index: u32) -> Self {
         self.thread.get_or_insert(index);
         self
     }
@@ -268,7 +281,7 @@ impl ProgramShape {
         self.blocks_per_func.len() as u32
     }
 
-    fn check_func(&self, func: u32) -> Result<(), DecodeErrorKind> {
+    pub(crate) fn check_func(&self, func: u32) -> Result<(), DecodeErrorKind> {
         if (func as usize) < self.blocks_per_func.len() {
             Ok(())
         } else {
@@ -276,7 +289,7 @@ impl ProgramShape {
         }
     }
 
-    fn check_block(&self, func: u32, block: u32) -> Result<(), DecodeErrorKind> {
+    pub(crate) fn check_block(&self, func: u32, block: u32) -> Result<(), DecodeErrorKind> {
         self.check_func(func)?;
         let n_blocks = self.blocks_per_func[func as usize];
         if block < n_blocks {
@@ -521,6 +534,11 @@ fn decode_inner(buf: &[u8], opts: &DecodeOptions, obs: &Obs) -> Result<Decoded, 
     }
     r.skip(4).expect("header length checked");
     let version = r.u8().expect("header length checked");
+    if version == VERSION_CHUNKED {
+        // The chunked container carries its own index and is decoded (and
+        // its rejections observed) by the v3 module.
+        return crate::chunked::decode_v3(buf, opts, obs);
+    }
     if version != VERSION && version != VERSION_LEGACY {
         return Err(reject(DecodeError::at(DecodeErrorKind::BadHeader, 4)));
     }
@@ -568,7 +586,7 @@ fn decode_inner(buf: &[u8], opts: &DecodeOptions, obs: &Obs) -> Result<Decoded, 
 }
 
 /// Records the *first* content error of a thread; later ones are noise.
-fn condemn(slot: &mut Option<DecodeError>, error: DecodeError) {
+pub(crate) fn condemn(slot: &mut Option<DecodeError>, error: DecodeError) {
     if slot.is_none() {
         *slot = Some(error);
     }
@@ -960,7 +978,7 @@ mod tests {
             // must never panic (the harness in `fuzz_trace` re-proves this
             // under catch_unwind at scale).
             let _ = decode(&data);
-            for version in [1u8, 2] {
+            for version in [1u8, 2, 3] {
                 let mut framed = Vec::with_capacity(data.len() + 5);
                 framed.extend_from_slice(MAGIC);
                 framed.push(version);

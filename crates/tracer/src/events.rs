@@ -595,6 +595,11 @@ impl TraceSet {
         &self.threads
     }
 
+    /// Consumes the set, yielding its per-thread traces (ordered by tid).
+    pub fn into_threads(self) -> Vec<ThreadTrace> {
+        self.threads
+    }
+
     /// Total traced instructions over all threads.
     pub fn total_traced_insts(&self) -> u64 {
         self.threads.iter().map(ThreadTrace::traced_insts).sum()

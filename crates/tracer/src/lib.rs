@@ -34,11 +34,15 @@
 //! ```
 
 pub mod capture;
+pub mod chunked;
 pub mod encode;
 pub mod events;
 
 pub use capture::{
     trace_program, trace_program_observed, trace_program_with, Tracer, TracerConfig,
+};
+pub use chunked::{
+    encode_v3, encode_v3_with, ChunkInfo, DecodedChunk, TraceSetReader, DEFAULT_CHUNK_BYTES,
 };
 pub use encode::{
     decode, decode_observed, decode_with, encode, DecodeError, DecodeErrorKind, DecodeLimits,

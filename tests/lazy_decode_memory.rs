@@ -1,0 +1,103 @@
+//! Peak-allocation proof for the lazy v3 decode path.
+//!
+//! Decoding a multi-chunk v3 file chunk-by-chunk through
+//! [`TraceSetReader::decode_chunk_uncached`] (dropping each chunk after
+//! use) must peak well below materialising the whole file eagerly —
+//! that bound is the point of the chunked container.
+//!
+//! This test lives in its own integration-test binary so the counting
+//! global allocator sees no allocations from unrelated tests running on
+//! sibling harness threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use threadfuser::prelude::*;
+use threadfuser::tracer::{encode_v3_with, TraceSetReader};
+use threadfuser::workloads;
+
+/// Wraps [`System`], tracking live bytes and the high-water mark.
+struct Counting;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+/// Runs `f` and returns how far the live-byte high-water mark rose
+/// above the level at entry.
+fn peak_delta(f: impl FnOnce()) -> usize {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+#[test]
+fn streaming_chunk_decode_peaks_below_whole_file() {
+    // Build a many-chunk file up front; none of this is measured.
+    let w = workloads::by_name("pigz").expect("pigz workload exists");
+    let traced = Pipeline::from_workload(&w).threads(32).trace().expect("pigz traces");
+    let bytes = encode_v3_with(traced.traces(), 8 * 1024);
+    let expected_threads = traced.traces().threads().len();
+    drop(traced);
+
+    let opts = DecodeOptions::default();
+    let n_chunks = TraceSetReader::from_bytes(bytes.clone(), &opts).expect("index").n_chunks();
+    assert!(n_chunks >= 4, "need a multi-chunk file, got {n_chunks} chunks");
+
+    let mut eager_threads = 0usize;
+    let eager_peak = peak_delta(|| {
+        let set = decode(&bytes).expect("eager decode");
+        eager_threads = set.threads().len();
+    });
+
+    let mut lazy_threads = 0usize;
+    let lazy_peak = peak_delta(|| {
+        let reader = TraceSetReader::from_bytes(bytes.clone(), &opts).expect("index");
+        for i in 0..reader.n_chunks() {
+            let chunk = reader.decode_chunk_uncached(i).expect("chunk decode");
+            assert!(chunk.quarantined.is_empty());
+            lazy_threads += chunk.threads.len();
+        }
+    });
+
+    assert_eq!(eager_threads, expected_threads);
+    assert_eq!(lazy_threads, expected_threads, "lazy walk lost threads");
+    assert!(
+        lazy_peak * 2 < eager_peak,
+        "lazy chunk-at-a-time peak ({lazy_peak} B) should be under half the \
+         whole-file decode peak ({eager_peak} B) on a {n_chunks}-chunk file"
+    );
+}

@@ -19,6 +19,25 @@ cargo fmt --check
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> paper tables (Table I + Fig. 1 incl. the coop family)"
+# Thread-capped smoke of the two catalog-wide paper artifacts: Table I
+# must enumerate all 41 workloads (36 paper + 5 coop) and Fig. 1 must
+# hold its efficiency-monotonicity assertion on every one of them.
+TABLE1_OUT=$(TF_THREADS=64 cargo run --release -q -p threadfuser-bench --bin table1_workloads)
+echo "$TABLE1_OUT" | grep -q "coop_lottery"
+FIG01_OUT=$(TF_THREADS=64 cargo run --release -q -p threadfuser-bench --bin fig01_efficiency)
+echo "$FIG01_OUT" | grep -q "coop_rr"
+
+echo "==> trace CLI usage gate (--chunk-kb 0 must be a usage error)"
+set +e
+cargo run --release -q -p threadfuser --bin threadfuser -- \
+    trace vectoradd --threads 8 --out "${TMPDIR:-/tmp}/tf_zero_chunk.bin" --chunk-kb 0 \
+    >/dev/null 2>&1
+ZERO_CHUNK_EXIT=$?
+set -e
+[ "$ZERO_CHUNK_EXIT" -eq 2 ]
+[ ! -f "${TMPDIR:-/tmp}/tf_zero_chunk.bin" ]
+
 echo "==> fuzz_trace (corpus + random-bytes never-panic gate)"
 # Fails when any corpus expectation is violated (valid files must decode
 # and round-trip, invalid ones must return Err under strict validation),
@@ -84,22 +103,27 @@ for _ in $(seq 50); do
     sleep 0.1
 done
 grep -q "listening on" "$SMOKE_DIR/serve.log"
-# Five jobs down one connection: analyze, a legacy-shaped sweep (no
-# model/formation fields — the wire back-compat proof), a model×formation
-# grid sweep, a strict validate of the corrupt file, and a graceful
-# shutdown.
+# Six jobs down one connection: analyze, an analyze of a cooperative-
+# scheduler workload (the coop family must be servable by name), a
+# legacy-shaped sweep (no model/formation fields — the wire back-compat
+# proof), a model×formation grid sweep, a strict validate of the corrupt
+# file, and a graceful shutdown.
 CAPTURE='{"source":{"Workload":"vectoradd"},"threads":32,"opt":"O3","policy":"Strict","check_shape":false}'
+COOP_CAPTURE='{"source":{"Workload":"coop_channel"},"threads":32,"opt":"O3","policy":"Strict","check_shape":false}'
 KNOBS='{"warp_size":32,"batching":"Linear","intra_warp_locks":false,"reconvergence":"DynamicIpdom","parallelism":0}'
 exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
 printf '%s\n' \
   "{\"id\":1,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Analyze\":{\"capture\":$CAPTURE,\"config\":$KNOBS}}}" \
+  "{\"id\":6,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Analyze\":{\"capture\":$COOP_CAPTURE,\"config\":$KNOBS}}}" \
   "{\"id\":2,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Sweep\":{\"capture\":$CAPTURE,\"config\":$KNOBS,\"warps\":[8,32],\"batchings\":[\"Linear\"]}}}" \
   "{\"id\":5,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Sweep\":{\"capture\":$CAPTURE,\"config\":$KNOBS,\"warps\":[32],\"batchings\":[\"Linear\"],\"models\":[\"IpdomStack\",\"StacklessPcMin\",\"BranchMelding\"],\"formations\":[\"Fixed\",{\"DynamicResize\":{\"min_width\":8}}]}}}" \
   "{\"id\":3,\"tenant\":null,\"stream_obs\":false,\"op\":{\"Validate\":{\"capture\":{\"source\":{\"TraceFile\":{\"path\":\"$SMOKE_DIR/corrupt.bin\",\"workload\":\"vectoradd\"}},\"threads\":null,\"opt\":\"O3\",\"policy\":\"Strict\",\"check_shape\":true}}}}" \
   "{\"id\":4,\"tenant\":null,\"stream_obs\":false,\"op\":\"Shutdown\"}" >&3
-SMOKE_RESP=$(timeout 60 head -n 5 <&3)
+SMOKE_RESP=$(timeout 60 head -n 6 <&3)
 exec 3<&- 3>&-
 echo "$SMOKE_RESP" | grep -q '"Analysis"'   # analyze answered with a report
+# The coop job must come back as its own successful analysis (id 6).
+echo "$SMOKE_RESP" | grep '"id":6' | grep -q '"Analysis"'
 echo "$SMOKE_RESP" | grep -q '"Sweep"'      # sweep answered with rows
 echo "$SMOKE_RESP" | grep -q 'StacklessPcMin'   # model grid swept the stackless machine
 echo "$SMOKE_RESP" | grep -q 'DynamicResize'    # ... and the resizing formation

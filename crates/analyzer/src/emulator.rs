@@ -176,8 +176,7 @@ pub enum WarpScheduler {
 /// Construct with [`AnalyzerConfig::new`] and refine through the
 /// chainable `with_*` builder surface (or direct field assignment); the
 /// struct is `#[non_exhaustive]` so fields can grow without breaking
-/// callers. The pre-0.2 setter names remain as deprecated aliases for
-/// one release.
+/// callers.
 ///
 /// [`AnalyzerConfig::analyze`] is the blessed entry point; none of these
 /// knobs invalidates a shared [`AnalysisIndex`], so sweeps should build
@@ -296,62 +295,6 @@ impl AnalyzerConfig {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
-    }
-
-    // ---- pre-0.2 setter names (deprecated aliases, one release) -----
-
-    /// Deprecated alias of [`AnalyzerConfig::with_warp`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_warp`")]
-    pub fn warp_size(self, w: u32) -> Self {
-        self.with_warp(w)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_batching`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_batching`")]
-    pub fn batching(self, b: BatchPolicy) -> Self {
-        self.with_batching(b)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_locks`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_locks`")]
-    pub fn intra_warp_locks(self, on: bool) -> Self {
-        self.with_locks(on)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_reconvergence`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_reconvergence`")]
-    pub fn reconvergence(self, policy: ReconvergencePolicy) -> Self {
-        self.with_reconvergence(policy)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_parallelism`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_parallelism`")]
-    pub fn parallelism(self, n: usize) -> Self {
-        self.with_parallelism(n)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_scheduler`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_scheduler`")]
-    pub fn scheduler(self, s: WarpScheduler) -> Self {
-        self.with_scheduler(s)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_replay`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_replay`")]
-    pub fn replay(self, r: ReplayMode) -> Self {
-        self.with_replay(r)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_max_issues`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_max_issues`")]
-    pub fn max_issues(self, n: u64) -> Self {
-        self.with_max_issues(n)
-    }
-
-    /// Deprecated alias of [`AnalyzerConfig::with_obs`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_obs`")]
-    pub fn observe(self, obs: Obs) -> Self {
-        self.with_obs(obs)
     }
 
     /// Runs the full analysis under this configuration: index

@@ -38,7 +38,9 @@ use threadfuser::workloads::by_name;
 use threadfuser::Pipeline;
 
 /// Workloads whose captures seed the corpus and the round-trip check.
-const WORKLOADS: &[&str] = &["vectoradd", "bfs", "pigz"];
+/// coop_channel covers the cooperative-scheduler family: lock-guarded
+/// sends/recvs put acquire/release side events in every thread.
+const WORKLOADS: &[&str] = &["vectoradd", "bfs", "pigz", "coop_channel"];
 const DEFAULT_CASES: usize = 4096;
 
 fn corpus_root() -> PathBuf {
@@ -221,6 +223,14 @@ fn generate(root: &Path) {
         .expect("trace vectoradd");
     write(&valid, "vectoradd_t16_o1_v2.bin", &encode(traced.traces()));
     write(&valid, "vectoradd_t16_o1_v3.bin", &encode_v3(traced.traces()));
+    let w = by_name("coop_channel").expect("coop_channel exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(16)
+        .opt_level(OptLevel::O1)
+        .trace()
+        .expect("trace coop_channel");
+    write(&valid, "coop_channel_t16_o1_v2.bin", &encode(traced.traces()));
+    write(&valid, "coop_channel_t16_o1_v3.bin", &encode_v3(traced.traces()));
 
     // ---- invalid ----------------------------------------------------------
     // Truncations: mid-header, mid-thread-header, mid-column, last byte.

@@ -81,10 +81,27 @@ struct ModelTiming {
     warm_ms: f64,
 }
 
+/// One cell of the cooperative-scheduler model-delta grid: how a
+/// hardware model sees a user-level scheduler's control flow.
+#[derive(Serialize, Deserialize)]
+struct CoopDelta {
+    workload: String,
+    model: String,
+    formation: String,
+    simt_efficiency: f64,
+    issue_slots: u64,
+    divergences: u64,
+    melds: u64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct SweepReport {
     benchmark: String,
     workloads: Vec<WorkloadSweep>,
+    /// Model × formation grid over the coop workload family at warp 32
+    /// (absent in pre-coop reports).
+    #[serde(default)]
+    coop_model_deltas: Vec<CoopDelta>,
 }
 
 /// The 3-knob grid: 4 warp sizes × 2 batchings × 3 reconvergence
@@ -297,10 +314,53 @@ fn run_workload(name: &str) -> WorkloadSweep {
     }
 }
 
+/// The coop workloads, most- to least-divergent dispatch.
+const COOP_WORKLOADS: &[&str] =
+    &["coop_lottery", "coop_rr", "coop_channel", "coop_jointree", "coop_yield"];
+
+/// Warp width for the coop delta grid — the paper's default.
+const COOP_WARP: u32 = 32;
+
+/// Sweeps each coop workload across model × formation at warp 32, one
+/// shared capture per workload: the model-delta table for EXPERIMENTS.md.
+fn coop_model_deltas() -> Vec<CoopDelta> {
+    let mut rows = Vec::new();
+    for &name in COOP_WORKLOADS {
+        let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let traced = developer_pipeline(&w).trace().expect("trace");
+        for model in [
+            ReconvergenceModel::IpdomStack,
+            ReconvergenceModel::StacklessPcMin,
+            ReconvergenceModel::BranchMelding,
+        ] {
+            for formation in [WarpFormation::Fixed, WarpFormation::DynamicResize { min_width: 4 }] {
+                let r = traced
+                    .view()
+                    .with_model(model)
+                    .with_formation(formation)
+                    .with_warp(COOP_WARP)
+                    .analyze()
+                    .expect("coop analysis");
+                rows.push(CoopDelta {
+                    workload: name.to_string(),
+                    model: model.label().to_string(),
+                    formation: formation.label().to_string(),
+                    simt_efficiency: r.simt_efficiency(),
+                    issue_slots: r.issue_slots,
+                    divergences: r.divergences,
+                    melds: r.melds,
+                });
+            }
+        }
+    }
+    rows
+}
+
 fn run() -> SweepReport {
     SweepReport {
         benchmark: "perf_sweep".to_string(),
         workloads: WORKLOADS.iter().map(|name| run_workload(name)).collect(),
+        coop_model_deltas: coop_model_deltas(),
     }
 }
 
@@ -374,6 +434,57 @@ fn check(path: &str) -> Result<(), String> {
             f2(s.model_warm_speedup)
         );
     }
+    // Coop delta grid (absent in pre-coop reports): the rows must cover
+    // the full grid and hold the family's signature facts — resizing
+    // never adds slots, and the yield-only control case is perfectly
+    // convergent under every model.
+    if !r.coop_model_deltas.is_empty() {
+        let find = |w: &str, m: &str, f: &str| {
+            r.coop_model_deltas
+                .iter()
+                .find(|d| d.workload == w && d.model == m && d.formation == f)
+                .ok_or_else(|| format!("coop delta row {w}/{m}/{f} missing"))
+        };
+        for d in &r.coop_model_deltas {
+            if !(0.0..=1.0).contains(&d.simt_efficiency) {
+                return Err(format!(
+                    "coop delta {}/{}/{}: efficiency {} out of range",
+                    d.workload, d.model, d.formation, d.simt_efficiency
+                ));
+            }
+            if d.workload == "coop_yield" && d.simt_efficiency < 1.0 {
+                return Err(format!(
+                    "coop_yield must be perfectly convergent, got {} under {}/{}",
+                    d.simt_efficiency, d.model, d.formation
+                ));
+            }
+        }
+        for d in &r.coop_model_deltas {
+            if d.formation == "fixed" {
+                let resized = find(&d.workload, &d.model, "dynamic-resize")?;
+                if resized.issue_slots > d.issue_slots {
+                    return Err(format!(
+                        "coop delta {}/{}: resize grew issue_slots ({} > {})",
+                        d.workload, d.model, resized.issue_slots, d.issue_slots
+                    ));
+                }
+            }
+        }
+        let lottery_fixed = find("coop_lottery", "ipdom-stack", "fixed")?;
+        let lottery_resized = find("coop_lottery", "ipdom-stack", "dynamic-resize")?;
+        if lottery_resized.simt_efficiency <= lottery_fixed.simt_efficiency {
+            return Err("coop_lottery: resize must lift efficiency over fixed".to_string());
+        }
+        println!(
+            "{path}: coop model-delta grid ok ({} rows over {} workloads)",
+            r.coop_model_deltas.len(),
+            r.coop_model_deltas
+                .iter()
+                .map(|d| d.workload.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    }
     Ok(())
 }
 
@@ -414,6 +525,19 @@ fn main() {
             f2(s.model_warm_ms),
             f2(s.model_warm_speedup),
             models.join(", ")
+        );
+    }
+    println!("coop model deltas @ warp {COOP_WARP}:");
+    for d in &report.coop_model_deltas {
+        println!(
+            "  {:<14} {:<16} {:<9} eff {:.3}  slots {:>8}  div {:>5}  melds {:>4}",
+            d.workload,
+            d.model,
+            d.formation,
+            d.simt_efficiency,
+            d.issue_slots,
+            d.divergences,
+            d.melds
         );
     }
     let out = std::env::var("TF_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());

@@ -107,7 +107,7 @@ fn usage() -> ExitCode {
          --model ipdom|stackless|melding --formation fixed|resize:N\n         \
          --models LIST --formations LIST   sweep axes (comma lists)\n         \
          --out FILE --workload NAME --skip-bad\n         \
-         --format v2|v3 --chunk-kb N   trace-file version (default v3)\n         \
+         --format v2|v3 --chunk-kb N   trace-file version (default v3; N >= 1)\n         \
          --max-threads N --max-blocks N --max-mems N --max-sides N\n         \
          --max-mb N   decode limits for trace-file inputs\n         \
          --obs FILE   write per-phase metrics as JSON lines to FILE\n\n\
@@ -195,6 +195,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--chunk-kb" => {
                 let kb: usize = val()?.parse().map_err(|e| format!("{e}"))?;
+                if kb == 0 {
+                    return Err("--chunk-kb must be at least 1".into());
+                }
                 o.chunk_kb = Some(kb)
             }
             "--max-threads" => o.limits.max_threads = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -465,7 +468,8 @@ fn cmd_trace(name: &str, o: &Options) -> Result<String, threadfuser::service::Jo
     let bytes = match o.format {
         2 => encode(traced.traces()),
         _ => match o.chunk_kb {
-            Some(kb) => encode_v3_with(traced.traces(), kb.max(1) * 1024),
+            // kb >= 1 is enforced at parse time; 0 never reaches here.
+            Some(kb) => encode_v3_with(traced.traces(), kb * 1024),
             None => encode_v3(traced.traces()),
         },
     };

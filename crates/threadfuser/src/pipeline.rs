@@ -348,7 +348,8 @@ impl Pipeline {
             exec,
             analyzer: self.analyzer.clone(),
             index: OnceLock::new(),
-            fused: OnceLock::new(),
+            report: OnceLock::new(),
+            recording: OnceLock::new(),
             source: self.program.clone(),
             kernel: self.kernel,
             init: self.init,
@@ -379,7 +380,8 @@ impl Pipeline {
             exec,
             analyzer: self.analyzer.clone(),
             index: OnceLock::new(),
-            fused: OnceLock::new(),
+            report: OnceLock::new(),
+            recording: OnceLock::new(),
             source: self.program.clone(),
             kernel: self.kernel,
             init: self.init,
@@ -534,11 +536,15 @@ pub struct Traced {
     exec: Arc<ExecProgram>,
     analyzer: AnalyzerConfig,
     index: OnceLock<Arc<AnalysisIndex>>,
-    // One warp emulation serves every capture-config product: the pass
-    // records the analysis report plus a compact step recording, and
-    // `analyze`/`warp_traces`/`project_speedup` share it. Views with
-    // overridden knobs bypass this cache (their emulation differs).
-    fused: OnceLock<Arc<(AnalysisReport, WarpRecording)>>,
+    // The capture-config emulation products, cached independently so each
+    // caller pays only for what it asks: `analyze()` fills `report` with a
+    // plain (non-recording) emulation; the first `warp_traces()` /
+    // `project_speedup()` runs the recording emulation, filling
+    // `recording` — and `report` too, since the recording pass computes
+    // the same report. Views with overridden knobs bypass both caches
+    // (their emulation differs).
+    report: OnceLock<Arc<AnalysisReport>>,
+    recording: OnceLock<Arc<WarpRecording>>,
     // Everything needed to re-run the capture's sibling products (the
     // hardware reference) without going back to the Pipeline.
     source: Program,
@@ -624,50 +630,56 @@ impl Traced {
         self.with_analyzer(self.analyzer.clone())
     }
 
-    /// The capture's fused emulation product: one recording warp-emulate
-    /// pass yields both the analysis report and the compact step
-    /// recording that every downstream product expands from. Built on
-    /// first use and cached, like [`Traced::index`].
-    fn fused(&self) -> Result<Arc<(AnalysisReport, WarpRecording)>, PipelineError> {
-        if let Some(f) = self.fused.get() {
-            // A fused hit implies an index hit: the recording embeds the
-            // index work, so the counter contract stays intact for
+    /// The capture's compact step recording: one recording warp-emulate
+    /// pass yields both the analysis report and the recording that every
+    /// trace-shaped product expands from. Built on first use and cached,
+    /// like [`Traced::index`]; also seeds the [`Traced::analyze`] report
+    /// cache, since the recording pass computes the same report.
+    fn recorded(&self) -> Result<Arc<WarpRecording>, PipelineError> {
+        if let Some(rec) = self.recording.get() {
+            // A recording hit implies an index hit: the recording embeds
+            // the index work, so the counter contract stays intact for
             // consumers that never call `index()` directly.
             self.analyzer.obs.counter(Phase::IndexBuild, "index_hits", 1);
-            return Ok(Arc::clone(f));
+            return Ok(Arc::clone(rec));
         }
         let index = self.index()?;
-        let built = Arc::new(record_warp_steps_indexed(
-            &self.program,
-            &self.traces,
-            &index,
-            &self.analyzer,
-        )?);
-        Ok(Arc::clone(self.fused.get_or_init(|| built)))
+        let (report, recording) =
+            record_warp_steps_indexed(&self.program, &self.traces, &index, &self.analyzer)?;
+        self.report.get_or_init(|| Arc::new(report));
+        Ok(Arc::clone(self.recording.get_or_init(|| Arc::new(recording))))
     }
 
     /// Runs the ThreadFuser analysis over the captured traces, replaying
-    /// warps against the capture's shared [`AnalysisIndex`]. The warp
-    /// emulation is shared with [`Traced::warp_traces`] and
-    /// [`Traced::project_speedup`]: whichever runs first pays for the one
-    /// recording pass, the rest reuse it.
+    /// warps against the capture's shared [`AnalysisIndex`]. Analyze-only
+    /// callers pay for a plain emulation — no warp-step recording arenas
+    /// are allocated. When [`Traced::warp_traces`] or
+    /// [`Traced::project_speedup`] already ran (or runs later), its
+    /// recording emulation computes the identical report and both paths
+    /// share one cache entry.
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn analyze(&self) -> Result<AnalysisReport, PipelineError> {
-        Ok(self.fused()?.0.clone())
+        if let Some(r) = self.report.get() {
+            // A report hit implies an index hit, exactly like `recorded`.
+            self.analyzer.obs.counter(Phase::IndexBuild, "index_hits", 1);
+            return Ok((**r).clone());
+        }
+        let index = self.index()?;
+        let built = self.analyzer.analyze_indexed(&self.program, &self.traces, &index)?;
+        Ok((**self.report.get_or_init(|| Arc::new(built))).clone())
     }
 
     /// Generates warp-based instruction traces for the SIMT simulator,
-    /// sharing the capture's [`AnalysisIndex`] and its cached warp
-    /// emulation (see [`Traced::analyze`]) — only the micro-op expansion
-    /// runs per call.
+    /// sharing the capture's [`AnalysisIndex`] and its cached step
+    /// recording — only the micro-op expansion runs per call.
     ///
     /// # Errors
     /// Propagates analyzer errors.
     pub fn warp_traces(&self) -> Result<WarpTraceSet, PipelineError> {
-        let fused = self.fused()?;
-        Ok(expand_warp_recording(&self.program, &fused.1, &self.analyzer))
+        let rec = self.recorded()?;
+        Ok(expand_warp_recording(&self.program, &rec, &self.analyzer))
     }
 
     /// Projects the speedup of SIMT execution over native multicore CPU
@@ -792,54 +804,6 @@ impl TracedView<'_> {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.analyzer.obs = obs;
         self
-    }
-
-    /// Renamed alias of [`TracedView::with_warp`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_warp`")]
-    pub fn warp_size(self, w: u32) -> Self {
-        self.with_warp(w)
-    }
-
-    /// Renamed alias of [`TracedView::with_batching`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_batching`")]
-    pub fn batching(self, b: BatchPolicy) -> Self {
-        self.with_batching(b)
-    }
-
-    /// Renamed alias of [`TracedView::with_locks`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_locks`")]
-    pub fn intra_warp_locks(self, on: bool) -> Self {
-        self.with_locks(on)
-    }
-
-    /// Renamed alias of [`TracedView::with_reconvergence`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_reconvergence`")]
-    pub fn reconvergence(self, policy: ReconvergencePolicy) -> Self {
-        self.with_reconvergence(policy)
-    }
-
-    /// Renamed alias of [`TracedView::with_parallelism`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_parallelism`")]
-    pub fn parallelism(self, n: usize) -> Self {
-        self.with_parallelism(n)
-    }
-
-    /// Renamed alias of [`TracedView::with_scheduler`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_scheduler`")]
-    pub fn scheduler(self, s: WarpScheduler) -> Self {
-        self.with_scheduler(s)
-    }
-
-    /// Renamed alias of [`TracedView::with_replay`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_replay`")]
-    pub fn replay(self, r: ReplayMode) -> Self {
-        self.with_replay(r)
-    }
-
-    /// Renamed alias of [`TracedView::with_obs`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_obs`")]
-    pub fn observe(self, obs: Obs) -> Self {
-        self.with_obs(obs)
     }
 
     /// The view's effective analyzer configuration.

@@ -357,7 +357,19 @@ pub fn record_warp_steps_indexed(
     while warps.last().is_some_and(|w| w.steps.is_empty()) {
         warps.pop();
     }
-    Ok((report, WarpRecording { warps, warp_size: config.warp_size }))
+    let recording = WarpRecording { warps, warp_size: config.warp_size };
+    if config.obs.enabled() {
+        // Lets callers distinguish a recording emulation from the plain
+        // analyze-only pass: the staged pipeline asserts on this counter
+        // to prove `analyze()` never pays for step-recording arenas.
+        config.obs.counter(threadfuser_obs::Phase::WarpEmulate, "warp_recordings", 1);
+        config.obs.counter(
+            threadfuser_obs::Phase::WarpEmulate,
+            "recorded_steps",
+            recording.total_steps(),
+        );
+    }
+    Ok((report, recording))
 }
 
 /// Expands one warp's recording into its micro-op stream.

@@ -192,8 +192,11 @@ pub fn encode_v3(set: &TraceSet) -> Bytes {
 /// [`encode_v3`] with an explicit per-chunk encoded-byte budget. A chunk
 /// closes at the first thread boundary at or past the budget, so every
 /// thread lives in exactly one chunk; a budget of `1` yields one chunk per
-/// thread. Encoding is single-pass: chunk payloads stream out first and
-/// the footer index is appended last.
+/// thread. A budget of `0` is not a meaningful request (it would degrade
+/// to one pathological chunk per thread) and is clamped to
+/// [`DEFAULT_CHUNK_BYTES`]; callers that want per-thread chunks must ask
+/// for budget `1` explicitly. Encoding is single-pass: chunk payloads
+/// stream out first and the footer index is appended last.
 pub fn encode_v3_with(set: &TraceSet, chunk_budget_bytes: usize) -> Bytes {
     struct Desc {
         offset: u64,
@@ -205,7 +208,10 @@ pub fn encode_v3_with(set: &TraceSet, chunk_budget_bytes: usize) -> Bytes {
         n_sides: u64,
     }
 
-    let budget = chunk_budget_bytes.max(1);
+    // 0 means "no budget given", never "chunk as small as possible": the
+    // degenerate one-chunk-per-thread encoding must be asked for with an
+    // explicit budget of 1.
+    let budget = if chunk_budget_bytes == 0 { DEFAULT_CHUNK_BYTES } else { chunk_budget_bytes };
     let mut out = BytesMut::with_capacity(HEADER_LEN + TRAILER_LEN + set.storage_bytes() / 2 + 64);
     out.put_slice(MAGIC);
     out.put_u8(VERSION_CHUNKED);

@@ -1,0 +1,608 @@
+//! Cooperative-threading workloads: user-level schedulers, bounded
+//! channels, and join-tree/signal-driven teardown (ROADMAP item 3).
+//!
+//! Every other Table-I workload is pthread-style — preemptive threads
+//! whose divergence comes from data-dependent work inside one logical
+//! task. This family models the *other* sync universe: each simulated
+//! thread runs a user-level scheduler multiplexing a handful of fibers,
+//! so the hot control flow is the scheduler itself — a jump table over
+//! thread control blocks (`Terminator::Switch`), data-dependent winner
+//! scans (lottery), spin-skip channel protocols, and tree joins. This
+//! is the adversarial input set for trace-based IPDOM analysis: the
+//! divergence is *scheduler-driven*, and the PR-7 reconvergence models
+//! (IPDOM stack vs stackless PC-min vs branch melding) visibly disagree
+//! on it.
+//!
+//! `coop_yield` is the control: the identical scheduler skeleton with
+//! fixed, thread-invariant budgets, so every thread takes the same path
+//! through the jump table and the family's divergence is attributable
+//! to scheduling decisions rather than scheduler structure.
+
+use crate::motifs::{bounded_hash, compute_chain, elem8, variable_work, with_lock, xorshift_round};
+use crate::{Suite, Workload, WorkloadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use threadfuser_ir::{AluOp, Cond, FunctionBuilder, Operand, ProgramBuilder, Reg, Slot};
+
+/// Fibers multiplexed by each simulated thread's scheduler.
+const FIBERS: i64 = 4;
+
+fn meta(
+    name: &'static str,
+    description: &'static str,
+    default_threads: u32,
+    uses_locks: bool,
+) -> WorkloadMeta {
+    WorkloadMeta {
+        name,
+        suite: Suite::Coop,
+        description,
+        // Not a paper Table-I row: the family models the mypthreads-style
+        // cooperative runtime at the same scale as the microservices.
+        paper_threads: 256,
+        default_threads,
+        has_gpu_impl: false,
+        uses_locks,
+    }
+}
+
+/// Mixes the fiber-local scheduler state one xorshift round and leaves
+/// the new value both in the returned register and back in `state_var`.
+fn rng_step(fb: &mut FunctionBuilder, state_var: Slot) -> Reg {
+    let s = fb.load_var(state_var);
+    xorshift_round(fb, s);
+    fb.store_var(state_var, s);
+    s
+}
+
+/// Round-robin user-level scheduler: a `while (alive)` loop whose body
+/// dispatches the cursor fiber through a jump table over four fiber
+/// handlers. Each fiber owns a time-slice budget drawn from a hash of
+/// `(tid, fiber)`, so threads retire fibers at different iterations —
+/// the scheduler loop itself is the divergence source.
+pub fn coop_rr() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xC009_0001);
+    let data: Vec<i64> = (0..1024).map(|_| rng.gen_range(1..1_000)).collect();
+
+    let mut pb = ProgramBuilder::new();
+    let g_data = pb.global_i64("rr_data", &data);
+    let g_out = pb.global("rr_out", 8 * 4096);
+    let kernel = pb.function("coop_rr", 1, |fb| {
+        let tid = fb.arg(0);
+        // Thread control blocks: per-fiber remaining time slices (2..=7).
+        let budgets = fb.frame_array(FIBERS as u32, 8);
+        for f in 0..FIBERS {
+            let key = fb.alu(AluOp::Mul, tid, FIBERS);
+            let key = fb.alu(AluOp::Add, key, f);
+            let b = bounded_hash(fb, key, 6);
+            let b = fb.alu(AluOp::Add, b, 2i64);
+            let fi = fb.mov(f);
+            let slot = fb.frame_ref(budgets, Operand::Reg(fi), 8);
+            fb.store(slot, b);
+        }
+        let alive = fb.var(8);
+        fb.store_var(alive, FIBERS);
+        let cursor = fb.var(8);
+        fb.store_var(cursor, 0i64);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+
+        let head = fb.new_block();
+        let dispatch = fb.new_block();
+        let tail = fb.new_block();
+        let exit = fb.new_block();
+        let handlers: Vec<_> = (0..FIBERS).map(|_| fb.new_block()).collect();
+        fb.jmp(head);
+
+        fb.switch_to(head);
+        let a = fb.load_var(alive);
+        fb.br(Cond::Eq, a, 0i64, exit, dispatch);
+
+        fb.switch_to(dispatch);
+        let c = fb.load_var(cursor);
+        fb.switch(c, 0, handlers.clone(), tail);
+
+        for (f, &h) in handlers.iter().enumerate() {
+            fb.switch_to(h);
+            let fi = fb.mov(f as i64);
+            let slot = fb.frame_ref(budgets, Operand::Reg(fi), 8);
+            let b = fb.load(slot);
+            // Dead fibers yield straight back to the scheduler.
+            fb.if_then(Cond::Ne, b, 0i64, |fb| {
+                // Each fiber flavour does different slice work.
+                let v = match f {
+                    0 => compute_chain(fb, tid, 10),
+                    1 => {
+                        let idx = fb.alu(AluOp::Mul, tid, FIBERS);
+                        let idx = fb.alu(AluOp::Add, idx, b);
+                        let idx = fb.alu(AluOp::And, idx, 1023i64);
+                        let m = elem8(fb, g_data, idx);
+                        fb.load(m)
+                    }
+                    2 => {
+                        let seed = fb.alu(AluOp::Xor, tid, b);
+                        compute_chain(fb, seed, 6)
+                    }
+                    _ => {
+                        let h = fb.alu(AluOp::Mul, b, 0x9E37_79B9i64);
+                        fb.alu(AluOp::Xor, h, tid)
+                    }
+                };
+                let a0 = fb.load_var(acc);
+                let a1 = fb.alu(AluOp::Add, a0, v);
+                fb.store_var(acc, a1);
+                let b2 = fb.alu(AluOp::Sub, b, 1i64);
+                fb.store(slot, b2);
+                fb.if_then(Cond::Eq, b2, 0i64, |fb| {
+                    let a = fb.load_var(alive);
+                    let a2 = fb.alu(AluOp::Sub, a, 1i64);
+                    fb.store_var(alive, a2);
+                });
+            });
+            fb.jmp(tail);
+        }
+
+        fb.switch_to(tail);
+        let c = fb.load_var(cursor);
+        let c = fb.alu(AluOp::Add, c, 1i64);
+        let c = fb.alu(AluOp::Rem, c, FIBERS);
+        fb.store_var(cursor, c);
+        fb.jmp(head);
+
+        fb.switch_to(exit);
+        let wrapped = fb.alu(AluOp::And, tid, 4095i64);
+        let m = elem8(fb, g_out, wrapped);
+        let v = fb.load_var(acc);
+        fb.store(m, v);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta("coop_rr", "round-robin fiber scheduler, jump table over TCBs", 128, false),
+        program: pb.build().expect("coop_rr builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Lottery scheduler: every iteration draws a ticket from a xorshift
+/// stream, scans the fiber ticket table until the cumulative count
+/// covers the draw (a data-dependent inner loop), then dispatches the
+/// winner through the same jump-table shape as [`coop_rr`]. Exhausted
+/// fibers surrender their tickets, shrinking the draw space.
+pub fn coop_lottery() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let g_out = pb.global("lottery_out", 8 * 4096);
+    let kernel = pb.function("coop_lottery", 1, |fb| {
+        let tid = fb.arg(0);
+        let tickets = fb.frame_array(FIBERS as u32, 8);
+        let budgets = fb.frame_array(FIBERS as u32, 8);
+        let total = fb.var(8);
+        fb.store_var(total, 0i64);
+        for f in 0..FIBERS {
+            let key = fb.alu(AluOp::Mul, tid, FIBERS);
+            let key = fb.alu(AluOp::Add, key, f);
+            let t = bounded_hash(fb, key, 8);
+            let t = fb.alu(AluOp::Add, t, 1i64); // 1..=8 tickets
+            let key2 = fb.alu(AluOp::Add, key, 0x5151i64);
+            let b = bounded_hash(fb, key2, 4);
+            let b = fb.alu(AluOp::Add, b, 1i64); // 1..=4 slices
+            let fi = fb.mov(f);
+            let ts = fb.frame_ref(tickets, Operand::Reg(fi), 8);
+            fb.store(ts, t);
+            let bs = fb.frame_ref(budgets, Operand::Reg(fi), 8);
+            fb.store(bs, b);
+            let tv = fb.load_var(total);
+            let tv2 = fb.alu(AluOp::Add, tv, t);
+            fb.store_var(total, tv2);
+        }
+        let state = fb.var(8);
+        let seeded = fb.alu(AluOp::Mul, tid, 0x2545_F491_4F6C_DD1Di64);
+        let seeded = fb.alu(AluOp::Add, seeded, 0x9E37i64);
+        fb.store_var(state, seeded);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+
+        fb.while_nonzero(
+            |fb| fb.load_var(total),
+            |fb| {
+                // Draw a ticket in 0..total.
+                let s = rng_step(fb, state);
+                let masked = fb.alu(AluOp::And, s, i64::MAX);
+                let tv = fb.load_var(total);
+                let draw = fb.alu(AluOp::Rem, masked, tv);
+
+                // Winner scan: walk the ticket table until the running
+                // sum covers the draw. Trip count is data-dependent.
+                let cum = fb.var(8);
+                fb.store_var(cum, 0i64);
+                let idx = fb.var(8);
+                fb.store_var(idx, 0i64);
+                let sh = fb.new_block();
+                let sb = fb.new_block();
+                let snext = fb.new_block();
+                let sfound = fb.new_block();
+                let sexit = fb.new_block();
+                fb.jmp(sh);
+
+                fb.switch_to(sh);
+                let i = fb.load_var(idx);
+                fb.br(Cond::Lt, i, FIBERS, sb, sexit);
+
+                fb.switch_to(sb);
+                let ts = fb.frame_ref(tickets, Operand::Reg(i), 8);
+                let ti = fb.load(ts);
+                let c0 = fb.load_var(cum);
+                let c1 = fb.alu(AluOp::Add, c0, ti);
+                fb.store_var(cum, c1);
+                fb.br(Cond::Lt, draw, c1, sfound, snext);
+
+                fb.switch_to(snext);
+                let i2 = fb.alu(AluOp::Add, i, 1i64);
+                fb.store_var(idx, i2);
+                fb.jmp(sh);
+
+                fb.switch_to(sfound);
+                fb.jmp(sexit);
+
+                fb.switch_to(sexit);
+                let winner = fb.load_var(idx);
+                let clamped = fb.alu(AluOp::Rem, winner, FIBERS);
+
+                // Dispatch the winner through the fiber jump table.
+                let join = fb.new_block();
+                let handlers: Vec<_> = (0..FIBERS).map(|_| fb.new_block()).collect();
+                fb.switch(clamped, 0, handlers.clone(), join);
+                for (f, &h) in handlers.iter().enumerate() {
+                    fb.switch_to(h);
+                    let seed = fb.alu(AluOp::Xor, tid, f as i64);
+                    let v = compute_chain(fb, seed, 4 + 2 * f);
+                    let a0 = fb.load_var(acc);
+                    let a1 = fb.alu(AluOp::Add, a0, v);
+                    fb.store_var(acc, a1);
+                    let fi = fb.mov(f as i64);
+                    let bs = fb.frame_ref(budgets, Operand::Reg(fi), 8);
+                    let b = fb.load(bs);
+                    let b2 = fb.alu(AluOp::Sub, b, 1i64);
+                    fb.store(bs, b2);
+                    // An exhausted fiber surrenders its tickets.
+                    fb.if_then(Cond::Le, b2, 0i64, |fb| {
+                        let fi = fb.mov(f as i64);
+                        let ts = fb.frame_ref(tickets, Operand::Reg(fi), 8);
+                        let t = fb.load(ts);
+                        let tv = fb.load_var(total);
+                        let tv2 = fb.alu(AluOp::Sub, tv, t);
+                        fb.store_var(total, tv2);
+                        fb.store(ts, 0i64);
+                    });
+                    fb.jmp(join);
+                }
+                fb.switch_to(join);
+            },
+        );
+
+        let wrapped = fb.alu(AluOp::And, tid, 4095i64);
+        let m = elem8(fb, g_out, wrapped);
+        let v = fb.load_var(acc);
+        fb.store(m, v);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(
+            "coop_lottery",
+            "lottery fiber scheduler, data-dependent ticket scan",
+            128,
+            false,
+        ),
+        program: pb.build().expect("coop_lottery builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Bounded channel between a producer and a consumer fiber: the
+/// scheduler ping-pongs between the two, each turn attempting a burst
+/// of sends/receives. Full/empty channels yield back (spin-skip), and
+/// slot access goes through a shared lock shard, so the workload mixes
+/// scheduler divergence with Fig.-9-style lock serialization.
+pub fn coop_channel() -> Workload {
+    const CAP: i64 = 4;
+    const RING_THREADS: i64 = 256;
+    const BURST: usize = 2;
+
+    let mut pb = ProgramBuilder::new();
+    let g_ring = pb.global("chan_ring", 8 * (RING_THREADS * CAP) as u64);
+    let g_locks = pb.global("chan_locks", 8 * 8);
+    let g_out = pb.global("chan_out", 8 * 4096);
+    let kernel = pb.function("coop_channel", 1, |fb| {
+        let tid = fb.arg(0);
+        let t = fb.alu(AluOp::Rem, tid, RING_THREADS);
+        let base = fb.alu(AluOp::Mul, t, CAP);
+        let lock_slot = fb.alu(AluOp::And, tid, 7i64);
+
+        // 4..=9 items per thread: the channel traffic is divergent.
+        let items = bounded_hash(fb, tid, 6);
+        let items = fb.alu(AluOp::Add, items, 4i64);
+        let produced = fb.var(8);
+        fb.store_var(produced, 0i64);
+        let remaining = fb.var(8);
+        fb.store_var(remaining, items);
+        let head = fb.var(8);
+        fb.store_var(head, 0i64);
+        let tail = fb.var(8);
+        fb.store_var(tail, 0i64);
+        let count = fb.var(8);
+        fb.store_var(count, 0i64);
+        let cur = fb.var(8);
+        fb.store_var(cur, 0i64);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+
+        fb.while_nonzero(
+            |fb| fb.load_var(remaining),
+            |fb| {
+                let fibers = vec![fb.new_block(), fb.new_block()];
+                let join = fb.new_block();
+                let c = fb.load_var(cur);
+                fb.switch(c, 0, fibers.clone(), join);
+
+                // Producer fiber: send a burst, yielding when full.
+                fb.switch_to(fibers[0]);
+                for _ in 0..BURST {
+                    let p = fb.load_var(produced);
+                    fb.if_then(Cond::Lt, p, items, |fb| {
+                        let cnt = fb.load_var(count);
+                        fb.if_then(Cond::Lt, cnt, CAP, |fb| {
+                            let tl = fb.load_var(tail);
+                            let idx = fb.alu(AluOp::Add, base, tl);
+                            let payload = fb.alu(AluOp::Mul, p, 0x9E37_79B9i64);
+                            let payload = fb.alu(AluOp::Xor, payload, tid);
+                            with_lock(fb, g_locks, lock_slot, |fb| {
+                                let m = elem8(fb, g_ring, idx);
+                                fb.store(m, payload);
+                            });
+                            let tl2 = fb.alu(AluOp::Add, tl, 1i64);
+                            let tl2 = fb.alu(AluOp::Rem, tl2, CAP);
+                            fb.store_var(tail, tl2);
+                            let cnt2 = fb.alu(AluOp::Add, cnt, 1i64);
+                            fb.store_var(count, cnt2);
+                            let p2 = fb.alu(AluOp::Add, p, 1i64);
+                            fb.store_var(produced, p2);
+                        });
+                    });
+                }
+                fb.jmp(join);
+
+                // Consumer fiber: drain a burst, yielding when empty;
+                // each item's processing cost depends on its payload.
+                fb.switch_to(fibers[1]);
+                for _ in 0..BURST {
+                    let cnt = fb.load_var(count);
+                    fb.if_then(Cond::Gt, cnt, 0i64, |fb| {
+                        let hd = fb.load_var(head);
+                        let idx = fb.alu(AluOp::Add, base, hd);
+                        let v = fb.var(8);
+                        with_lock(fb, g_locks, lock_slot, |fb| {
+                            let m = elem8(fb, g_ring, idx);
+                            let loaded = fb.load(m);
+                            fb.store_var(v, loaded);
+                        });
+                        let hd2 = fb.alu(AluOp::Add, hd, 1i64);
+                        let hd2 = fb.alu(AluOp::Rem, hd2, CAP);
+                        fb.store_var(head, hd2);
+                        let cnt2 = fb.alu(AluOp::Sub, cnt, 1i64);
+                        fb.store_var(count, cnt2);
+                        let payload = fb.load_var(v);
+                        let masked = fb.alu(AluOp::And, payload, i64::MAX);
+                        let work = fb.alu(AluOp::Rem, masked, 3i64);
+                        let work = fb.alu(AluOp::Add, work, 1i64);
+                        variable_work(fb, work, 3);
+                        let a0 = fb.load_var(acc);
+                        let a1 = fb.alu(AluOp::Add, a0, payload);
+                        fb.store_var(acc, a1);
+                        let r = fb.load_var(remaining);
+                        let r2 = fb.alu(AluOp::Sub, r, 1i64);
+                        fb.store_var(remaining, r2);
+                    });
+                }
+                fb.jmp(join);
+
+                fb.switch_to(join);
+                let c = fb.load_var(cur);
+                let c2 = fb.alu(AluOp::Xor, c, 1i64);
+                fb.store_var(cur, c2);
+            },
+        );
+
+        let wrapped = fb.alu(AluOp::And, tid, 4095i64);
+        let m = elem8(fb, g_out, wrapped);
+        let v = fb.load_var(acc);
+        fb.store(m, v);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(
+            "coop_channel",
+            "bounded channel, producer/consumer fibers ping-pong under lock shards",
+            128,
+            true,
+        ),
+        program: pb.build().expect("coop_channel builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Join tree with signal-driven teardown: eight leaf fibers burn down
+/// hash-drawn budgets; internal nodes poll their children each scheduler
+/// round and merge once both complete (check-and-yield). When the root
+/// joins, a teardown signal sweeps every fiber through a cleanup pass.
+pub fn coop_jointree() -> Workload {
+    const LEAVES: i64 = 8;
+    const NODES: i64 = 2 * LEAVES - 1; // full binary tree, root at 0
+
+    let mut pb = ProgramBuilder::new();
+    let g_out = pb.global("join_out", 8 * 4096);
+    let kernel = pb.function("coop_jointree", 1, |fb| {
+        let tid = fb.arg(0);
+        let work = fb.frame_array(NODES as u32, 8);
+        let done = fb.frame_array(NODES as u32, 8);
+        for n in 0..NODES {
+            let ni = fb.mov(n);
+            let ds = fb.frame_ref(done, Operand::Reg(ni), 8);
+            fb.store(ds, 0i64);
+            let ws = fb.frame_ref(work, Operand::Reg(ni), 8);
+            if n >= LEAVES - 1 {
+                let key = fb.alu(AluOp::Mul, tid, NODES);
+                let key = fb.alu(AluOp::Add, key, n);
+                let b = bounded_hash(fb, key, 4);
+                let b = fb.alu(AluOp::Add, b, 1i64); // 1..=4 slices
+                fb.store(ws, b);
+            } else {
+                fb.store(ws, 0i64);
+            }
+        }
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+
+        // Scheduler rounds until the root joins.
+        let root_done = |fb: &mut FunctionBuilder| {
+            let zero = fb.mov(0i64);
+            let ds = fb.frame_ref(done, Operand::Reg(zero), 8);
+            let d = fb.load(ds);
+            fb.alu(AluOp::Xor, d, 1i64)
+        };
+        fb.while_nonzero(root_done, |fb| {
+            fb.for_range(0i64, NODES, 1, |fb, n| {
+                let ds = fb.frame_ref(done, Operand::Reg(n), 8);
+                let d = fb.load(ds);
+                fb.if_then(Cond::Eq, d, 0i64, |fb| {
+                    fb.if_then_else(
+                        Cond::Ge,
+                        n,
+                        LEAVES - 1,
+                        // Leaf fiber: burn one slice of budget.
+                        |fb| {
+                            let ws = fb.frame_ref(work, Operand::Reg(n), 8);
+                            let w = fb.load(ws);
+                            let seed = fb.alu(AluOp::Xor, tid, n);
+                            let v = compute_chain(fb, seed, 8);
+                            let a0 = fb.load_var(acc);
+                            let a1 = fb.alu(AluOp::Add, a0, v);
+                            fb.store_var(acc, a1);
+                            let w2 = fb.alu(AluOp::Sub, w, 1i64);
+                            fb.store(ws, w2);
+                            fb.if_then(Cond::Le, w2, 0i64, |fb| {
+                                let ds = fb.frame_ref(done, Operand::Reg(n), 8);
+                                fb.store(ds, 1i64);
+                            });
+                        },
+                        // Internal fiber: check-and-yield on the children.
+                        |fb| {
+                            let l = fb.alu(AluOp::Mul, n, 2i64);
+                            let l = fb.alu(AluOp::Add, l, 1i64);
+                            let r = fb.alu(AluOp::Add, l, 1i64);
+                            let lds = fb.frame_ref(done, Operand::Reg(l), 8);
+                            let ld = fb.load(lds);
+                            let rds = fb.frame_ref(done, Operand::Reg(r), 8);
+                            let rd = fb.load(rds);
+                            let both = fb.alu(AluOp::And, ld, rd);
+                            fb.if_then(Cond::Ne, both, 0i64, |fb| {
+                                let seed = fb.alu(AluOp::Add, tid, n);
+                                let v = compute_chain(fb, seed, 5);
+                                let a0 = fb.load_var(acc);
+                                let a1 = fb.alu(AluOp::Add, a0, v);
+                                fb.store_var(acc, a1);
+                                let ds = fb.frame_ref(done, Operand::Reg(n), 8);
+                                fb.store(ds, 1i64);
+                            });
+                        },
+                    );
+                });
+            });
+        });
+
+        // Root joined: broadcast the teardown signal and run every
+        // fiber's cleanup handler.
+        let signal = fb.var(8);
+        fb.store_var(signal, 1i64);
+        fb.for_range(0i64, NODES, 1, |fb, n| {
+            let s = fb.load_var(signal);
+            fb.if_then(Cond::Ne, s, 0i64, |fb| {
+                let seed = fb.alu(AluOp::Mul, n, 31i64);
+                let seed = fb.alu(AluOp::Xor, seed, tid);
+                let v = compute_chain(fb, seed, 3);
+                let a0 = fb.load_var(acc);
+                let a1 = fb.alu(AluOp::Xor, a0, v);
+                fb.store_var(acc, a1);
+                let ds = fb.frame_ref(done, Operand::Reg(n), 8);
+                fb.store(ds, 2i64);
+            });
+        });
+
+        let wrapped = fb.alu(AluOp::And, tid, 4095i64);
+        let m = elem8(fb, g_out, wrapped);
+        let v = fb.load_var(acc);
+        fb.store(m, v);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(
+            "coop_jointree",
+            "fiber join tree, check-and-yield parents, signal-driven teardown",
+            128,
+            false,
+        ),
+        program: pb.build().expect("coop_jointree builds"),
+        kernel,
+        init: None,
+    }
+}
+
+/// Divergence-free control variant: the [`coop_rr`] scheduler skeleton
+/// (same jump-table dispatch) with fixed, thread-invariant budgets.
+/// Every thread makes identical scheduling decisions, so all models
+/// must agree and report zero divergences — the family's baseline.
+pub fn coop_yield() -> Workload {
+    const SLICES: i64 = 6;
+
+    let mut pb = ProgramBuilder::new();
+    let g_out = pb.global("yield_out", 8 * 4096);
+    let kernel = pb.function("coop_yield", 1, |fb| {
+        let tid = fb.arg(0);
+        let acc = fb.var(8);
+        fb.store_var(acc, 0i64);
+        fb.for_range(0i64, SLICES, 1, |fb, round| {
+            fb.for_range(0i64, FIBERS, 1, |fb, f| {
+                let join = fb.new_block();
+                let handlers: Vec<_> = (0..FIBERS).map(|_| fb.new_block()).collect();
+                fb.switch(f, 0, handlers.clone(), join);
+                for (i, &h) in handlers.iter().enumerate() {
+                    fb.switch_to(h);
+                    let seed = fb.alu(AluOp::Add, tid, round);
+                    let v = compute_chain(fb, seed, 4 + 2 * i);
+                    let a0 = fb.load_var(acc);
+                    let a1 = fb.alu(AluOp::Add, a0, v);
+                    fb.store_var(acc, a1);
+                    fb.jmp(join);
+                }
+                fb.switch_to(join);
+            });
+        });
+        let wrapped = fb.alu(AluOp::And, tid, 4095i64);
+        let m = elem8(fb, g_out, wrapped);
+        let v = fb.load_var(acc);
+        fb.store(m, v);
+        fb.ret(None);
+    });
+    Workload {
+        meta: meta(
+            "coop_yield",
+            "round-robin scheduler skeleton with thread-invariant budgets (convergent control)",
+            128,
+            false,
+        ),
+        program: pb.build().expect("coop_yield builds"),
+        kernel,
+        init: None,
+    }
+}

@@ -3,7 +3,9 @@
 //! # ThreadFuser workload suite
 //!
 //! TFIR implementations of the 36 MIMD CPU workloads of the paper's
-//! Table I. Each workload models the control-flow, memory-access, and
+//! Table I, plus a cooperative-threading extension family (`coop_*`)
+//! modeling user-level schedulers, bounded channels, and join trees.
+//! Each workload models the control-flow, memory-access, and
 //! synchronization *structure* of its namesake — the properties the
 //! ThreadFuser analysis actually consumes — at laptop-friendly input
 //! sizes (the paper's thread counts are preserved as metadata).
@@ -17,17 +19,19 @@
 //! | DeathStarBench | `post`, `text`, `urlshort`, `uniqueid`, `usertag`, `user` |
 //! | PARSEC 3.0 | `blackscholes`, `streamcluster_p`, `bodytrack`, `facesim`, `fluidanimate`, `freqmine`, `swaptions`, `vips`, `x264` |
 //! | Others | `pigz`, `rotate`, `md5` |
+//! | Cooperative | `coop_rr`, `coop_lottery`, `coop_channel`, `coop_jointree`, `coop_yield` |
 //!
 //! `hdsearch_mid_fixed` is the SIMT-aware variant of the paper's Fig. 7
 //! case study (top-k-capped `getpoint`).
 //!
 //! ```
 //! use threadfuser_workloads::{all, by_name};
-//! assert_eq!(all().len(), 36);
+//! assert_eq!(all().len(), 41);
 //! let w = by_name("nbody").unwrap();
 //! assert!(w.meta.has_gpu_impl);
 //! ```
 
+pub mod coop;
 pub mod deathstar;
 pub mod micro;
 pub mod motifs;
@@ -56,6 +60,9 @@ pub enum Suite {
     Parsec,
     /// Standalone applications (pigz, rotate, md5).
     Other,
+    /// Cooperative-threading extension family (user-level schedulers,
+    /// channels, join trees) — not a paper Table-I suite.
+    Coop,
 }
 
 /// Static facts about a workload (paper Table I row).
@@ -90,7 +97,8 @@ pub struct Workload {
     pub init: Option<FuncId>,
 }
 
-/// Builds every workload of Table I (36 entries; the Fig. 7 `_fixed`
+/// Builds every studied workload: the 36 Table-I entries plus the 5
+/// cooperative-threading extensions (41 total; the Fig. 7 `_fixed`
 /// variant is separate, see [`usuite::hdsearch_mid_fixed`]).
 pub fn all() -> Vec<Workload> {
     vec![
@@ -135,6 +143,12 @@ pub fn all() -> Vec<Workload> {
         other::rotate(),
         other::md5(),
         other::pigz(),
+        // Cooperative-threading family (5).
+        coop::coop_rr(),
+        coop::coop_lottery(),
+        coop::coop_channel(),
+        coop::coop_jointree(),
+        coop::coop_yield(),
     ]
 }
 
@@ -166,14 +180,27 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn exactly_36_workloads() {
-        assert_eq!(all().len(), 36);
+    fn exactly_41_workloads() {
+        assert_eq!(all().len(), 41);
     }
 
     #[test]
     fn names_are_unique() {
         let names: HashSet<&str> = all().iter().map(|w| w.meta.name).collect();
-        assert_eq!(names.len(), 36);
+        assert_eq!(names.len(), 41);
+    }
+
+    #[test]
+    fn five_coop_workloads() {
+        let coop: Vec<&str> =
+            all().iter().filter(|w| w.meta.suite == Suite::Coop).map(|w| w.meta.name).collect();
+        assert_eq!(
+            coop,
+            ["coop_rr", "coop_lottery", "coop_channel", "coop_jointree", "coop_yield"]
+        );
+        for name in coop {
+            assert!(by_name(name).is_some(), "{name} must resolve via by_name");
+        }
     }
 
     #[test]

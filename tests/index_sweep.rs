@@ -82,6 +82,56 @@ fn index_is_built_exactly_once_per_capture() {
 }
 
 #[test]
+fn analyze_only_path_skips_step_recording() {
+    use threadfuser::cpusim::CpuSimConfig;
+    use threadfuser::simtsim::SimtSimConfig;
+
+    let sink = Arc::new(InMemorySink::new());
+    let w = by_name("coop_rr").expect("workload exists");
+    let traced = Pipeline::from_workload(&w)
+        .threads(64)
+        .observe(Obs::with_sink(sink.clone()))
+        .trace()
+        .expect("trace succeeds");
+
+    // Bare analyze (twice: cold + cached) must run the plain emulation
+    // only — the step-recording arenas are never allocated, so the
+    // recording pass's counters stay at zero.
+    let report = traced.analyze().expect("analyze");
+    traced.analyze().expect("cached analyze");
+    assert_eq!(sink.counter_total("warp_recordings"), 0, "bare analyze must not record steps");
+    assert_eq!(sink.counter_total("recorded_steps"), 0);
+
+    // The first trace-shaped product pays for exactly one recording
+    // pass; project_speedup reuses it.
+    let wt = traced.warp_traces().expect("warp traces");
+    assert_eq!(sink.counter_total("warp_recordings"), 1, "one recording pass per capture");
+    assert!(sink.counter_total("recorded_steps") > 0);
+    traced.project_speedup(&SimtSimConfig::default(), &CpuSimConfig::default()).expect("speedup");
+    assert_eq!(sink.counter_total("warp_recordings"), 1, "speedup must reuse the recording");
+    assert_eq!(report.warps as usize, wt.warps().len());
+
+    // Reverse order on a fresh capture: the recording emulation seeds
+    // the report cache, so a later analyze() is free (no new
+    // warp-emulate spans) and returns the identical report.
+    let sink2 = Arc::new(InMemorySink::new());
+    let traced2 = Pipeline::from_workload(&w)
+        .threads(64)
+        .observe(Obs::with_sink(sink2.clone()))
+        .trace()
+        .expect("trace succeeds");
+    traced2.warp_traces().expect("warp traces");
+    let spans_after_recording = sink2.span_count(Phase::WarpEmulate);
+    let r2 = traced2.analyze().expect("analyze after recording");
+    assert_eq!(
+        sink2.span_count(Phase::WarpEmulate),
+        spans_after_recording,
+        "analyze after a recording pass must hit the report cache"
+    );
+    assert_eq!(r2, report, "both emulation paths must produce the identical report");
+}
+
+#[test]
 fn clones_share_the_built_index() {
     let sink = Arc::new(InMemorySink::new());
     let w = by_name("md5").expect("workload exists");
@@ -150,16 +200,4 @@ fn model_grid_shares_one_index() {
     }
     assert_eq!(sink.counter_total("index_misses"), 1, "one index build for the whole grid");
     assert_eq!(sink.span_count(Phase::IndexBuild), 1);
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_setter_aliases_still_work() {
-    // One release of `#[deprecated]` aliases, not silent breakage: the
-    // old names must keep producing the same reports as the new ones.
-    let traced = traced("bfs", 64);
-    let old = traced.view().warp_size(16).batching(BatchPolicy::Strided).analyze().expect("old");
-    let new =
-        traced.view().with_warp(16).with_batching(BatchPolicy::Strided).analyze().expect("new");
-    assert_eq!(old, new);
 }

@@ -31,7 +31,10 @@ fn divergence_free_workloads_agree_across_models() {
     // Where warps never split, there is nothing for a reconvergence model
     // to decide: every model × formation must report the same efficiency
     // and the same issue count.
-    for name in ["vectoradd", "md5", "nbody"] {
+    // coop_yield is the cooperative-scheduler control: its jump table
+    // dispatches through the same fiber sequence on every thread, so the
+    // scheduler machinery itself contributes no divergence.
+    for name in ["vectoradd", "md5", "nbody", "coop_yield"] {
         let traced = traced(name, 64);
         let base = traced.analyze().expect("baseline");
         assert_eq!(base.divergences, 0, "{name} must be divergence-free for this test");
@@ -130,6 +133,39 @@ fn resize_never_lowers_efficiency() {
     assert_eq!(resized.heap, fixed.heap);
     assert_eq!(resized.stack, fixed.stack);
     assert!(resized.issue_slots < fixed.issue_slots, "pigz diverges; slots must shrink");
+}
+
+#[test]
+fn lottery_scheduler_shows_formation_delta() {
+    // coop_lottery's data-dependent ticket draws send warp-mates to
+    // different fiber handlers almost every dispatch, so the fixed
+    // machine issues mostly-idle full-width slots. Resizing must
+    // reclaim a measurable share of them — this is the coop family's
+    // headline model delta — while leaving warp membership untouched.
+    let traced = traced("coop_lottery", 128);
+    let fixed = traced.view().with_formation(WarpFormation::Fixed).analyze().expect("fixed");
+    let resized = traced
+        .view()
+        .with_formation(WarpFormation::DynamicResize { min_width: 4 })
+        .analyze()
+        .expect("resized");
+    assert!(fixed.divergences > 0, "lottery dispatch must diverge");
+    assert_eq!(resized.issues, fixed.issues);
+    assert_eq!(resized.thread_insts, fixed.thread_insts);
+    assert!(
+        resized.issue_slots < fixed.issue_slots,
+        "resize must reclaim idle slots: {} vs {}",
+        resized.issue_slots,
+        fixed.issue_slots
+    );
+    // "Measurable": at least 5% of the fixed machine's slots reclaimed.
+    let reclaimed = fixed.issue_slots - resized.issue_slots;
+    assert!(
+        reclaimed * 20 >= fixed.issue_slots,
+        "expected >= 5% slot reclaim on lottery dispatch, got {reclaimed}/{}",
+        fixed.issue_slots
+    );
+    assert!(resized.simt_efficiency() > fixed.simt_efficiency());
 }
 
 /// A kernel whose only divergence is a two-way branch with structurally

@@ -32,10 +32,11 @@ fn both_modes(traced: &Traced, workers: usize) -> (AnalysisReport, AnalysisRepor
 
 #[test]
 fn columnar_replay_matches_materialized_on_workloads() {
-    // Three Table I workloads spanning the efficiency spectrum: md5
-    // (coherent), bfs (divergent control flow), pigz (divergent + deep
-    // call structure).
-    for name in ["md5", "bfs", "pigz"] {
+    // Four workloads spanning the efficiency spectrum: md5 (coherent),
+    // bfs (divergent control flow), pigz (divergent + deep call
+    // structure), coop_channel (lock-guarded bounded-channel ping-pong
+    // with data-dependent spin-skips).
+    for name in ["md5", "bfs", "pigz", "coop_channel"] {
         let w = by_name(name).unwrap();
         let traced = Pipeline::from_workload(&w).threads(64).trace().unwrap();
         for workers in [1usize, 4] {

@@ -50,7 +50,7 @@ fn legacy_corpus_reencodes_to_v3_equivalently() {
 #[test]
 fn v2_and_v3_corpus_twins_decode_identically() {
     let dir = corpus_dir("valid");
-    for stem in ["synthetic", "overflow_bait", "vectoradd_t16_o1", "empty"] {
+    for stem in ["synthetic", "overflow_bait", "vectoradd_t16_o1", "coop_channel_t16_o1", "empty"] {
         let v2_path = dir.join(format!("{stem}_v2.bin"));
         let v3_path = dir.join(format!("{stem}_v3.bin"));
         if !v2_path.exists() || !v3_path.exists() {
@@ -113,4 +113,20 @@ fn chunk_budget_is_observationally_irrelevant() {
             .unwrap_or_else(|e| panic!("budget {budget} lazy: {e}"));
         assert_eq!(reference, lazy.traces, "budget {budget}: lazy round-trip diverged");
     }
+}
+
+/// A zero budget is "no budget given", not "chunk as small as possible":
+/// it must clamp to the default chunk size, never degrade to the
+/// pathological one-chunk-per-thread layout (that is budget `1`'s job).
+#[test]
+fn zero_chunk_budget_clamps_to_default() {
+    let w = workloads::by_name("coop_channel").expect("coop_channel workload exists");
+    let traced = Pipeline::from_workload(&w).threads(64).trace().expect("coop_channel traces");
+    let set = traced.traces();
+
+    let zero = encode_v3_with(set, 0);
+    assert_eq!(zero, encode_v3(set), "budget 0 must encode exactly like the default");
+    assert_ne!(zero, encode_v3_with(set, 1), "budget 0 must not mean one chunk per thread");
+    let decoded: TraceSet = decode(&zero).expect("budget-0 encoding round-trips");
+    assert_eq!(set, &decoded);
 }
